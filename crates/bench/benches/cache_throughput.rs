@@ -1,0 +1,57 @@
+//! Criterion bench: raw cache-simulator throughput (accesses/second) for
+//! single-level and hierarchical configurations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use reap_cache::{Cache, CacheConfig, Hierarchy, HierarchyConfig, Replacement};
+use reap_trace::{MemoryAccess, SpecWorkload};
+
+fn single_level(c: &mut Criterion) {
+    let mut group = c.benchmark_group("single_level_cache");
+    for &ways in &[1usize, 4, 8, 16] {
+        let config = CacheConfig::builder()
+            .name("L2")
+            .size_bytes(1 << 20)
+            .associativity(ways)
+            .block_bytes(64)
+            .build()
+            .unwrap();
+        let accesses: Vec<MemoryAccess> = SpecWorkload::Gcc.stream(1).take(20_000).collect();
+        group.throughput(Throughput::Elements(accesses.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(ways), &ways, |b, _| {
+            b.iter(|| {
+                let mut cache = Cache::new(config.clone(), Replacement::Lru);
+                for a in &accesses {
+                    if a.kind.is_read() {
+                        cache.read(a.address, &mut ());
+                    } else {
+                        cache.write(a.address, &mut ());
+                    }
+                }
+                cache.stats().hits()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn full_hierarchy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hierarchy");
+    for policy in [Replacement::Lru, Replacement::TreePlru, Replacement::Srrip] {
+        let accesses: Vec<MemoryAccess> = SpecWorkload::Perlbench.stream(2).take(20_000).collect();
+        group.throughput(Throughput::Elements(accesses.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{policy}")),
+            &policy,
+            |b, &policy| {
+                b.iter(|| {
+                    let mut h = Hierarchy::new(HierarchyConfig::paper(), policy);
+                    h.run(accesses.iter().copied(), &mut ())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, single_level, full_hierarchy);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion bench: the analytical reliability model's per-event cost —
+//! it runs once per L2 demand read in simulation, so it must stay cheap.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use reap_mtj::{read_disturbance_probability, MtjParams};
+use reap_reliability::{uncorrectable_probability, AccumulationModel};
+
+fn eq1(c: &mut Criterion) {
+    let params = MtjParams::default();
+    c.bench_function("eq1_read_disturbance", |b| {
+        b.iter(|| read_disturbance_probability(std::hint::black_box(&params)));
+    });
+}
+
+fn binomial_tail(c: &mut Criterion) {
+    let mut group = c.benchmark_group("uncorrectable_probability");
+    for &trials in &[512u64, 51_200, 5_120_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(trials), &trials, |b, &m| {
+            b.iter(|| uncorrectable_probability(std::hint::black_box(m), 1.5e-8, 1));
+        });
+    }
+    group.finish();
+}
+
+fn accumulation_laws(c: &mut Criterion) {
+    let model = AccumulationModel::sec(1.5e-8);
+    let mut group = c.benchmark_group("accumulation_model");
+    group.bench_function("fail_conventional_n1000", |b| {
+        b.iter(|| model.fail_conventional(std::hint::black_box(288), 1_000));
+    });
+    group.bench_function("fail_reap_n1000", |b| {
+        b.iter(|| model.fail_reap(std::hint::black_box(288), 1_000));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, eq1, binomial_tail, accumulation_laws);
+criterion_main!(benches);

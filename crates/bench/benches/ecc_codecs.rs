@@ -1,0 +1,58 @@
+//! Criterion bench: encode/decode throughput of the ECC codecs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use reap_ecc::{Bch, EccCode, HammingSec, HsiaoSecDed, Interleaved};
+
+fn codecs() -> Vec<(&'static str, Box<dyn EccCode>)> {
+    vec![
+        ("hamming_sec_64", Box::new(HammingSec::new(64).unwrap())),
+        ("hsiao_secded_64", Box::new(HsiaoSecDed::new(64).unwrap())),
+        ("bch_t2_64", Box::new(Bch::new(64, 2).unwrap())),
+        ("bch_t3_512", Box::new(Bch::new(512, 3).unwrap())),
+        (
+            "interleaved_8x_secded",
+            Box::new(Interleaved::new(HsiaoSecDed::new(64).unwrap(), 8).unwrap()),
+        ),
+    ]
+}
+
+fn encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encode");
+    for (name, code) in codecs() {
+        let data: Vec<u8> = (0..code.data_bits().div_ceil(8)).map(|i| i as u8).collect();
+        group.throughput(Throughput::Bytes(data.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(name), &code, |b, code| {
+            b.iter(|| code.encode(&data));
+        });
+    }
+    group.finish();
+}
+
+fn decode_clean(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decode_clean");
+    for (name, code) in codecs() {
+        let data: Vec<u8> = (0..code.data_bits().div_ceil(8)).map(|i| i as u8).collect();
+        let cw = code.encode(&data);
+        group.throughput(Throughput::Bytes(data.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(name), &code, |b, code| {
+            b.iter(|| code.decode(cw.as_bytes()));
+        });
+    }
+    group.finish();
+}
+
+fn decode_with_errors(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decode_corrupted");
+    for (name, code) in codecs() {
+        let data: Vec<u8> = (0..code.data_bits().div_ceil(8)).map(|i| i as u8).collect();
+        let mut cw = code.encode(&data);
+        cw.flip_bit(code.data_bits() / 2);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &code, |b, code| {
+            b.iter(|| code.decode(cw.as_bytes()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, encode, decode_clean, decode_with_errors);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion bench: full experiment throughput (trace generation +
+//! hierarchy + reliability observer), the unit of cost for every figure
+//! regenerator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use reap_core::Experiment;
+use reap_trace::SpecWorkload;
+
+fn end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("experiment");
+    group.sample_size(10);
+    for w in [
+        SpecWorkload::Namd,
+        SpecWorkload::Mcf,
+        SpecWorkload::CactusAdm,
+    ] {
+        let accesses = 50_000u64;
+        group.throughput(Throughput::Elements(accesses));
+        group.bench_with_input(BenchmarkId::from_parameter(w.name()), &w, |b, &w| {
+            b.iter(|| {
+                Experiment::paper_hierarchy()
+                    .workload(w)
+                    .budgets(5_000, accesses)
+                    .seed(1)
+                    .run()
+                    .expect("valid configuration")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Ablation **A4**: replacement policies and reliability. Recency
+//! policies (LRU/PLRU/FIFO/random/SRRIP) are reliability-blind; the LER
+//! policy (the paper's related work, ref. 13) victimizes the most
+//! disturbance-exposed line, trading hit rate for a lower conventional
+//! failure mass. REAP makes the choice moot: with per-read checking, the
+//! policy can be chosen purely for performance.
+
+use reap_bench::{access_budget, print_csv, DEFAULT_SEED};
+use reap_cache::Replacement;
+use reap_core::{Experiment, ProtectionScheme};
+use reap_trace::SpecWorkload;
+
+fn main() {
+    let accesses = access_budget().min(4_000_000);
+    let workload = SpecWorkload::Perlbench;
+    println!("Ablation A4 — replacement policy vs reliability ({workload}, {accesses} accesses)");
+    println!();
+    println!(
+        "{:<10} {:>10} {:>16} {:>16} {:>12}",
+        "policy", "L2 hit%", "E[fail] conv", "E[fail] REAP", "REAP gain"
+    );
+    let mut rows = Vec::new();
+    for policy in [
+        Replacement::Lru,
+        Replacement::TreePlru,
+        Replacement::Fifo,
+        Replacement::Random(7),
+        Replacement::Srrip,
+        Replacement::LeastErrorRate,
+    ] {
+        let report = Experiment::paper_hierarchy()
+            .workload(workload)
+            .accesses(accesses)
+            .seed(DEFAULT_SEED)
+            .replacement(policy)
+            .run()
+            .expect("valid configuration");
+        let conv = report.expected_failures(ProtectionScheme::Conventional);
+        let reap = report.expected_failures(ProtectionScheme::Reap);
+        let hit = 100.0 * report.l2_stats().hit_rate();
+        println!(
+            "{:<10} {:>9.1}% {:>16.3e} {:>16.3e} {:>11.1}x",
+            policy.to_string(),
+            hit,
+            conv,
+            reap,
+            report.mttf_improvement(ProtectionScheme::Reap)
+        );
+        rows.push(format!(
+            "{},{:.3},{:.6e},{:.6e},{:.3}",
+            policy,
+            hit,
+            conv,
+            reap,
+            report.mttf_improvement(ProtectionScheme::Reap)
+        ));
+    }
+    println!();
+    println!(
+        "Reading: LER shifts failure mass out of the conventional cache by \
+         evicting exposed lines, at a hit-rate penalty; under REAP the \
+         failure mass is already per-read bounded, so the recency policies' \
+         better hit rates win outright."
+    );
+    print_csv(
+        "policy,l2_hit_pct,fail_conventional,fail_reap,reap_gain",
+        &rows,
+    );
+}

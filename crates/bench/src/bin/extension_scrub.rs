@@ -1,0 +1,104 @@
+//! Extension **E-SCRUB**: periodic scrubbing as the classical alternative
+//! to REAP. A scrub sweep reads, checks and rewrites every valid L2 line
+//! every `P` demand accesses, bounding accumulation at the cost of extra
+//! array reads/decodes (and bank occupancy). REAP is the `P → 1-access`
+//! limit at far lower cost because its checks ride on reads that happen
+//! anyway.
+//!
+//! Accounting note: every configuration (including the no-scrub baseline)
+//! receives one *terminal* scrub so that disturbance still latent in
+//! resident lines at window end is counted everywhere — otherwise the
+//! no-scrub baseline would silently truncate its own accumulated risk.
+
+use reap_bench::{access_budget, print_csv, DEFAULT_SEED};
+use reap_cache::{Hierarchy, HierarchyConfig, Replacement};
+use reap_core::{ReliabilityObserver, SimulationConfig};
+use reap_mtj::read_disturbance_probability;
+use reap_reliability::AccumulationModel;
+use reap_trace::SpecWorkload;
+
+/// Runs the paper hierarchy with a scrub every `period` accesses
+/// (`None` = unscrubbed) and returns (expected failures, scrub checks,
+/// REAP expected failures).
+fn run_with_scrub(
+    workload: SpecWorkload,
+    accesses: u64,
+    period: Option<u64>,
+    p_rd: f64,
+) -> (f64, u64, f64) {
+    let mut hierarchy = Hierarchy::new(HierarchyConfig::paper(), Replacement::Lru);
+    let stored_bits = hierarchy.l2().stored_line_bits() as u32;
+    let mut observer = ReliabilityObserver::new(AccumulationModel::sec(p_rd), stored_bits);
+    let mut stream = workload.stream(DEFAULT_SEED);
+    for a in stream.by_ref().take(accesses as usize / 10) {
+        hierarchy.access(a, &mut ());
+    }
+    hierarchy.l2_mut().reset_stats();
+    let mut since_scrub = 0u64;
+    for a in stream.take(accesses as usize) {
+        hierarchy.access(a, &mut observer);
+        if let Some(p) = period {
+            since_scrub += 1;
+            if since_scrub >= p {
+                hierarchy.l2_mut().scrub(&mut observer);
+                since_scrub = 0;
+            }
+        }
+    }
+    // Terminal scrub: surface latent accumulation in every configuration.
+    hierarchy.l2_mut().scrub(&mut observer);
+    (
+        observer.conventional().expected_failures(),
+        hierarchy.l2().stats().scrub_checks,
+        observer.reap().expected_failures(),
+    )
+}
+
+fn main() {
+    let accesses = access_budget().min(4_000_000);
+    let workload = SpecWorkload::DealII;
+    let p_rd = read_disturbance_probability(&SimulationConfig::default().mtj);
+
+    println!("Extension — periodic scrubbing vs REAP ({workload}, {accesses} accesses)");
+    println!();
+    let (no_scrub, _, reap) = run_with_scrub(workload, accesses, None, p_rd);
+    println!("no scrub (conventional): E[fail] = {no_scrub:.3e}");
+    println!(
+        "REAP                   : E[fail] = {reap:.3e}  (gain {:.1}x)",
+        no_scrub / reap
+    );
+    println!();
+    println!(
+        "{:>12} {:>16} {:>12} {:>14} {:>16}",
+        "scrub period", "E[fail]", "gain", "scrub checks", "extra reads/acc"
+    );
+
+    let mut rows = Vec::new();
+    for period in [1_000_000u64, 300_000, 100_000, 30_000, 10_000] {
+        let (fail, scrubs, _) = run_with_scrub(workload, accesses, Some(period), p_rd);
+        let extra = scrubs as f64 / accesses as f64;
+        println!(
+            "{:>12} {:>16.3e} {:>11.1}x {:>14} {:>16.3}",
+            period,
+            fail,
+            no_scrub / fail,
+            scrubs,
+            extra
+        );
+        rows.push(format!(
+            "{period},{fail:.6e},{:.3},{scrubs},{extra:.4}",
+            no_scrub / fail
+        ));
+    }
+    println!();
+    println!(
+        "Reading: scrubbing approaches REAP's reliability only when the sweep \
+         period shrinks toward the inter-access scale, by which point the \
+         scrub traffic rivals the demand traffic; REAP gets the same \
+         guarantee from decoders on reads that happen anyway."
+    );
+    print_csv(
+        "scrub_period,expected_failures,gain_vs_no_scrub,scrub_checks,extra_reads_per_access",
+        &rows,
+    );
+}

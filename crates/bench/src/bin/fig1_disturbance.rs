@@ -1,0 +1,44 @@
+//! Regenerates the device-level backdrop of **Fig. 1 / Eq. (1)**: the
+//! read-disturbance probability as a function of read current, pulse
+//! width and thermal stability.
+
+use reap_bench::print_csv;
+use reap_mtj::{read_current_for_probability, DisturbanceSweep, MtjParams};
+
+fn main() {
+    let nominal = MtjParams::default();
+    println!("Eq. (1) — read-disturbance probability of one STT-MRAM cell");
+    println!("nominal card: {nominal}");
+    println!();
+    println!("{:<14} {:>14}", "I_read (µA)", "P_rd per read");
+    let mut rows = Vec::new();
+    for (i, p) in DisturbanceSweep::over_read_current(nominal, 30e-6, 95e-6, 14) {
+        println!("{:<14.1} {:>14.3e}", i * 1e6, p);
+        rows.push(format!("{:.2e},{:.6e}", i, p));
+    }
+
+    println!();
+    println!("{:<14} {:>14}", "Delta", "P_rd per read");
+    for delta in [40.0, 50.0, 60.0, 70.0, 80.0] {
+        let card = nominal.with_thermal_stability(delta).expect("valid");
+        println!(
+            "{:<14.0} {:>14.3e}",
+            delta,
+            reap_mtj::read_disturbance_probability(&card)
+        );
+    }
+
+    println!();
+    for target in [1e-9, 1e-8, 1e-6] {
+        match read_current_for_probability(&nominal, target) {
+            Some(i) => println!(
+                "read current for P_rd = {target:.0e}: {:.1} µA ({:.0}% of Ic0)",
+                i * 1e6,
+                100.0 * i / nominal.critical_current()
+            ),
+            None => println!("read current for P_rd = {target:.0e}: unreachable"),
+        }
+    }
+
+    print_csv("i_read_amps,p_rd", &rows);
+}

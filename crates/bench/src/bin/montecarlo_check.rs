@@ -1,0 +1,57 @@
+//! Cross-check **MC**: bit-level Monte-Carlo fault injection against the
+//! analytical model, at amplified disturbance probability, using real
+//! codecs (Hsiao SEC-DED and BCH) and real MTJ-array disturbance.
+
+use reap_bench::print_csv;
+use reap_ecc::{Bch, EccCode, HsiaoSecDed};
+use reap_reliability::{montecarlo::CheckPolicy, AccumulationModel, MonteCarloLine};
+
+fn main() {
+    let trials = 30_000;
+    println!("Monte-Carlo validation of the accumulation model ({trials} trials/point)");
+    println!();
+    let secded = HsiaoSecDed::new(64).expect("valid geometry");
+    let bch = Bch::new(64, 2).expect("valid geometry");
+    println!(
+        "{:<22} {:>8} {:>8} {:>12} {:>24} {:>12}",
+        "code", "p_rd", "reads", "MC conv", "95% CI", "model conv"
+    );
+    let mut rows = Vec::new();
+    for (name, code, t) in [
+        ("Hsiao SEC-DED (72,64)", &secded as &dyn EccCode, 1usize),
+        ("BCH t=2 (78,64)", &bch as &dyn EccCode, 2usize),
+    ] {
+        for (p, reads) in [(1e-3, 20u64), (1e-3, 60), (3e-3, 40)] {
+            let mc = MonteCarloLine::new(code, p, 2019);
+            let conv_result = mc.run(reads, trials, CheckPolicy::AtEnd);
+            let conv = conv_result.failure_rate();
+            let (lo, hi) = conv_result.failure_rate_ci95();
+            let reap = mc.run(reads, trials, CheckPolicy::EveryRead).failure_rate();
+            let model = AccumulationModel::new(p, t);
+            let expected = model.fail_conventional(code.code_bits() as u32 / 2, reads);
+            let inside = if (lo..=hi).contains(&expected) {
+                "model in CI"
+            } else {
+                ""
+            };
+            println!(
+                "{:<22} {:>8.0e} {:>8} {:>12.4e} [{:>9.3e},{:>9.3e}] {:>12.4e} {} (REAP MC {:.2e})",
+                name, p, reads, conv, lo, hi, expected, inside, reap
+            );
+            rows.push(format!(
+                "{},{:e},{},{:.6e},{:.6e},{:.6e},{:.6e},{:.6e}",
+                name, p, reads, conv, lo, hi, expected, reap
+            ));
+        }
+    }
+    println!();
+    println!(
+        "Reading: the observed conventional failure rate tracks Eq. (3) evaluated \
+         at the mean codeword weight, and checking every read (REAP) collapses \
+         the failure rate — the same mechanism the analytical Fig. 5 pipeline uses."
+    );
+    print_csv(
+        "code,p_rd,reads,mc_conventional,ci_lo,ci_hi,model_conventional,mc_reap",
+        &rows,
+    );
+}

@@ -1,0 +1,50 @@
+//! Regenerates the paper's **§III-B / §IV numeric example**
+//! (Eqs. (4) and (5), and the REAP counterpart): a cache line with 100
+//! stored `1`s at `P_rd = 1e-8` read 50 times.
+
+use reap_core::analysis::NumericExample;
+
+fn main() {
+    let ex = NumericExample::compute();
+    println!("Numeric example of §III-B / §IV (n = 100 ones, P_rd = 1e-8, N = 50)");
+    println!();
+    println!("{:<46} {:>12} {:>12}", "quantity", "computed", "paper");
+    println!(
+        "{:<46} {:>12.2e} {:>12}",
+        "Eq. (4)  P_err single checked read", ex.p_err_single, "5.0e-13"
+    );
+    println!(
+        "{:<46} {:>12.2e} {:>12}",
+        "Eq. (5)  P_err after 50 accumulated reads", ex.p_err_accumulated, "1.3e-9"
+    );
+    println!(
+        "{:<46} {:>12.2e} {:>12}",
+        "§IV      P_err with REAP (50 checked reads)", ex.p_err_reap, "2.6e-11"
+    );
+    println!();
+    println!(
+        "accumulation penalty: {:>8.0}x   (paper: 'more than 3 orders of magnitude')",
+        ex.p_err_accumulated / ex.p_err_single
+    );
+    println!(
+        "REAP vs conventional: {:>8.1}x   (paper: '50x lower')",
+        ex.p_err_accumulated / ex.p_err_reap
+    );
+
+    println!();
+    println!("Sensitivity over N (same line):");
+    println!(
+        "{:<8} {:>14} {:>14} {:>10}",
+        "N", "conventional", "REAP", "gain"
+    );
+    for n in [1u64, 10, 50, 100, 1_000, 10_000, 100_000] {
+        let e = NumericExample::with_parameters(1e-8, 100, n);
+        println!(
+            "{:<8} {:>14.3e} {:>14.3e} {:>9.1}x",
+            n,
+            e.p_err_accumulated,
+            e.p_err_reap,
+            e.p_err_accumulated / e.p_err_reap
+        );
+    }
+}

@@ -1,0 +1,59 @@
+//! Regenerates the **§V-B area and access-time claims**: the ECC decoder
+//! is ~0.1 % of cache area, so replicating it per way costs <1 %; and the
+//! REAP read path is never longer than the conventional one.
+
+use reap_core::{ProtectionScheme, ReadPathModel};
+use reap_ecc::{DecoderCost, EccCode, HammingSec};
+use reap_nvarray::{estimate, ArraySpec, MemTech, TechnologyNode};
+
+fn main() {
+    let node = TechnologyNode::nm(22).expect("supported node");
+    let code = HammingSec::new(512).expect("SEC for a 512-bit line");
+    let spec = ArraySpec::new(1 << 20, 64, 8)
+        .expect("Table I geometry")
+        .with_check_bits(code.check_bits());
+    let array = estimate(&spec, MemTech::SttMram, node);
+    let decoder = DecoderCost::estimate(&code, 22);
+
+    println!("§V-B — area and access-time overheads of REAP (Table I L2, 22 nm)");
+    println!();
+    println!("cache array area          {:>10.4} mm²", array.area * 1e6);
+    println!("one ECC decoder area      {:>10.6} mm²", decoder.area * 1e6);
+    let one = 100.0 * decoder.area / array.area;
+    println!("decoder / cache           {:>10.4} %   (paper: ~0.1%)", one);
+    let eight = decoder.replicated(8);
+    let k_minus_1 = 100.0 * (eight.area - decoder.area) / array.area;
+    println!(
+        "extra 7 decoders / cache  {:>10.4} %   (paper: <1%)",
+        k_minus_1
+    );
+    assert!(k_minus_1 < 1.0, "the <1% claim must hold in the model");
+    println!();
+
+    let model = ReadPathModel::new(array, decoder);
+    println!("{:<30} {:>14} {:>14}", "scheme", "access time", "bank busy");
+    for s in ProtectionScheme::ALL {
+        println!(
+            "{:<30} {:>11.3} ns {:>11.3} ns",
+            s.to_string(),
+            model.read_access_time(s) * 1e9,
+            model.bank_busy_time(s) * 1e9
+        );
+    }
+    let delta = model.reap_access_time_delta();
+    println!();
+    println!(
+        "REAP vs conventional access-time delta: {:+.3} ns (paper: 'less than or equal')",
+        delta * 1e9
+    );
+    assert!(delta <= 1e-15, "REAP must not lengthen the read path");
+
+    println!();
+    println!(
+        "read-path components: tag {:.3} ns, data {:.3} ns, mux {:.3} ns, ecc {:.3} ns",
+        array.tag_latency * 1e9,
+        array.data_read_latency * 1e9,
+        array.mux_latency * 1e9,
+        DecoderCost::estimate(&code, 22).latency * 1e9,
+    );
+}

@@ -1,0 +1,155 @@
+//! Support library for the paper-figure regenerators in `src/bin/`.
+//!
+//! Each binary regenerates one table or figure of the paper (see
+//! `DESIGN.md` §4 for the experiment index) and prints a small
+//! space-aligned table plus a CSV block that plotting scripts can consume.
+//!
+//! The access budget is configurable through the `REAP_ACCESSES`
+//! environment variable (default 400 000 measured accesses per workload) —
+//! larger budgets sharpen the tails of the concealed-read distribution at
+//! proportional runtime cost.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use reap_core::{Experiment, ProtectionScheme, Report};
+use reap_trace::SpecWorkload;
+
+/// Default measured accesses per workload.
+pub const DEFAULT_ACCESSES: u64 = 400_000;
+
+/// The seed all regenerators use, so published numbers are reproducible.
+pub const DEFAULT_SEED: u64 = 2019;
+
+/// Reads the access budget from `REAP_ACCESSES` (falls back to
+/// [`DEFAULT_ACCESSES`]).
+///
+/// # Examples
+///
+/// ```
+/// let n = reap_bench::access_budget();
+/// assert!(n > 0);
+/// ```
+pub fn access_budget() -> u64 {
+    std::env::var("REAP_ACCESSES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n: &u64| n > 0)
+        .unwrap_or(DEFAULT_ACCESSES)
+}
+
+/// Runs the paper-hierarchy experiment for one workload at the configured
+/// budget.
+///
+/// # Panics
+///
+/// Panics if the paper configuration fails to instantiate (it cannot).
+pub fn run_workload(workload: SpecWorkload, accesses: u64) -> Report {
+    Experiment::paper_hierarchy()
+        .workload(workload)
+        .accesses(accesses)
+        .seed(DEFAULT_SEED)
+        .run()
+        .expect("paper configuration is valid")
+}
+
+/// Geometric mean of strictly positive values.
+///
+/// # Panics
+///
+/// Panics if `values` is empty or any value is not positive.
+///
+/// # Examples
+///
+/// ```
+/// let g = reap_bench::geometric_mean(&[1.0, 100.0]);
+/// assert!((g - 10.0).abs() < 1e-12);
+/// ```
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "need at least one value");
+    assert!(values.iter().all(|&v| v > 0.0), "values must be positive");
+    (values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp()
+}
+
+/// Arithmetic mean.
+///
+/// # Panics
+///
+/// Panics if `values` is empty.
+pub fn arithmetic_mean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "need at least one value");
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Prints a CSV block with a marker line so downstream tooling can find it.
+pub fn print_csv(header: &str, rows: &[String]) {
+    println!();
+    println!("# CSV");
+    println!("{header}");
+    for r in rows {
+        println!("{r}");
+    }
+}
+
+/// Formats an MTTF-improvement entry the way the paper's Fig. 5 labels do.
+pub fn format_improvement(workload: SpecWorkload, gain: f64) -> String {
+    format!("{:<12} {:>10.1}x", workload.name(), gain)
+}
+
+/// Convenience: the Fig. 5/6 per-workload sweep across all profiles,
+/// parallelized over the machine's cores (simulations are independent and
+/// deterministic, so scheduling never changes results).
+pub fn sweep_all_workloads(accesses: u64) -> Vec<(SpecWorkload, Report)> {
+    let parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
+    reap_core::sweep::sweep_workloads(accesses, DEFAULT_SEED, parallelism)
+        .into_iter()
+        .map(|(w, r)| (w, r.expect("paper configuration is valid")))
+        .collect()
+}
+
+/// The Fig. 5 metric for a report.
+pub fn mttf_gain(report: &Report) -> f64 {
+    report.mttf_improvement(ProtectionScheme::Reap)
+}
+
+/// The Fig. 6 metric for a report (percent).
+pub fn energy_overhead_percent(report: &Report) -> f64 {
+    100.0 * report.energy_overhead(ProtectionScheme::Reap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometric_mean_basics() {
+        assert!((geometric_mean(&[4.0]) - 4.0).abs() < 1e-12);
+        assert!((geometric_mean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn geometric_mean_rejects_nonpositive() {
+        let _ = geometric_mean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn arithmetic_mean_basics() {
+        assert!((arithmetic_mean(&[1.0, 3.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn budget_defaults_when_unset() {
+        // The test environment does not set REAP_ACCESSES.
+        if std::env::var("REAP_ACCESSES").is_err() {
+            assert_eq!(access_budget(), DEFAULT_ACCESSES);
+        }
+    }
+
+    #[test]
+    fn quick_workload_run() {
+        let r = run_workload(SpecWorkload::Hmmer, 20_000);
+        assert!(mttf_gain(&r) >= 1.0);
+        assert!(energy_overhead_percent(&r) >= 0.0);
+    }
+}

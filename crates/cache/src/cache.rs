@@ -1,0 +1,659 @@
+//! The single-level set-associative cache engine.
+
+use crate::config::{AccessMode, CacheConfig};
+use crate::observer::AccessObserver;
+use crate::replacement::{Replacement, ReplacementPolicy};
+use crate::stats::CacheStats;
+
+/// Metadata of one cache line.
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    valid: bool,
+    dirty: bool,
+    tag: u64,
+    /// Reads (concealed) since the last ECC check or rewrite. A demand
+    /// read reports `unchecked + 1` and resets this to zero.
+    unchecked: u64,
+    /// Number of stored `1` bits in the current content (data + check
+    /// bits), sampled deterministically from the content version.
+    ones: u32,
+    /// Bumped every rewrite, so resampled contents differ.
+    version: u64,
+}
+
+/// Information about a line evicted by a fill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvictionInfo {
+    /// Byte address of the first byte of the evicted line.
+    pub address: u64,
+    /// Whether the victim was dirty (requires a write-back below).
+    pub dirty: bool,
+    /// Unchecked (concealed) reads the victim had accumulated.
+    pub unchecked_reads: u64,
+}
+
+/// Result of one demand access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessResult {
+    /// Whether the access hit.
+    pub hit: bool,
+    /// The victim displaced by the fill, if the access missed and the set
+    /// was full.
+    pub evicted: Option<EvictionInfo>,
+}
+
+/// A single-level, write-back, write-allocate, set-associative cache.
+///
+/// The cache models the read path of §III-A: in
+/// [`AccessMode::Parallel`] every demand read (hit *or* miss) physically
+/// reads all valid ways of the target set; the non-requested ways receive
+/// concealed reads. Event hooks are delivered to an
+/// [`AccessObserver`].
+///
+/// Line contents are not stored; instead each line carries a
+/// deterministic pseudo-random `ones` weight (`n` of the paper's
+/// equations), resampled whenever the line is rewritten. The expected
+/// weight is half the line width, matching random data.
+///
+/// # Examples
+///
+/// ```
+/// use reap_cache::{Cache, CacheConfig, Replacement};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let config = CacheConfig::builder()
+///     .name("L2")
+///     .size_bytes(64 * 1024)
+///     .associativity(8)
+///     .block_bytes(64)
+///     .build()?;
+/// let mut cache = Cache::new(config, Replacement::Lru);
+/// assert!(!cache.read(0x1000, &mut ()).hit); // cold miss
+/// assert!(cache.read(0x1000, &mut ()).hit);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Cache {
+    config: CacheConfig,
+    policy: Box<dyn ReplacementPolicy>,
+    lines: Vec<Line>,
+    stats: CacheStats,
+    ones_seed: u64,
+    /// Extra check bits per line (e.g. 64 for 8x (72,64) SEC-DED),
+    /// included in the sampled weight.
+    check_bits: usize,
+}
+
+impl Cache {
+    /// Creates a cache with the default content-weight seed.
+    pub fn new(config: CacheConfig, replacement: Replacement) -> Self {
+        Self::with_ones_seed(config, replacement, 0x0DDB_1A5E_5BAD_5EED)
+    }
+
+    /// Creates a cache whose line-content weights derive from `ones_seed`.
+    pub fn with_ones_seed(config: CacheConfig, replacement: Replacement, ones_seed: u64) -> Self {
+        let sets = config.num_sets();
+        let ways = config.associativity();
+        let policy = replacement.build(sets, ways);
+        let lines = vec![Line::default(); sets * ways];
+        Self {
+            config,
+            policy,
+            lines,
+            stats: CacheStats::default(),
+            ones_seed,
+            check_bits: 0,
+        }
+    }
+
+    /// Declares that each stored line carries `check_bits` additional ECC
+    /// bits, included in the sampled content weight (disturbance strikes
+    /// check bits too).
+    pub fn set_check_bits(&mut self, check_bits: usize) {
+        self.check_bits = check_bits;
+    }
+
+    /// The configuration this cache was built with.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Resets the counters (not the cache contents).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// Total stored bits per line (data + check bits).
+    pub fn stored_line_bits(&self) -> usize {
+        self.config.line_bits() + self.check_bits
+    }
+
+    /// Performs a demand read of the line containing `address`.
+    ///
+    /// Observer events: `line_read` for every physically read valid way;
+    /// `demand_read` on a hit; `eviction`/`line_write` when a miss fills.
+    pub fn read<O: AccessObserver>(&mut self, address: u64, observer: &mut O) -> AccessResult {
+        self.stats.reads += 1;
+        let (tag, set) = self.config.split_address(address);
+        let ways = self.config.associativity();
+        let base = set * ways;
+        let hit_way = (0..ways).find(|&w| {
+            let l = &self.lines[base + w];
+            l.valid && l.tag == tag
+        });
+
+        // Parallel mode: every valid way in the set is physically read.
+        if self.config.access_mode() == AccessMode::Parallel {
+            for w in 0..ways {
+                let line = &mut self.lines[base + w];
+                if !line.valid {
+                    continue;
+                }
+                self.stats.line_reads += 1;
+                observer.line_read(line.ones);
+                if hit_way != Some(w) {
+                    line.unchecked += 1;
+                    self.stats.concealed_reads += 1;
+                    self.policy.on_concealed_read(set, w);
+                }
+            }
+        } else if let Some(w) = hit_way {
+            // Serial mode: only the matching way is read.
+            let line = &self.lines[base + w];
+            self.stats.line_reads += 1;
+            observer.line_read(line.ones);
+        }
+
+        match hit_way {
+            Some(w) => {
+                let line = &mut self.lines[base + w];
+                let n = line.unchecked + 1;
+                line.unchecked = 0;
+                self.stats.read_hits += 1;
+                self.stats.demand_checks += 1;
+                observer.demand_read(line.ones, n);
+                self.policy.on_access(set, w);
+                AccessResult {
+                    hit: true,
+                    evicted: None,
+                }
+            }
+            None => {
+                let evicted = self.fill(tag, set, false, observer);
+                AccessResult {
+                    hit: false,
+                    evicted,
+                }
+            }
+        }
+    }
+
+    /// Performs a demand write (store or write-back from an upper level)
+    /// to the line containing `address`. Writes are tag-first (no
+    /// concealed reads) and rewrite the line, healing accumulated
+    /// disturbance.
+    pub fn write<O: AccessObserver>(&mut self, address: u64, observer: &mut O) -> AccessResult {
+        self.stats.writes += 1;
+        let (tag, set) = self.config.split_address(address);
+        let ways = self.config.associativity();
+        let base = set * ways;
+        let hit_way = (0..ways).find(|&w| {
+            let l = &self.lines[base + w];
+            l.valid && l.tag == tag
+        });
+        match hit_way {
+            Some(w) => {
+                self.stats.write_hits += 1;
+                let stored_bits = self.stored_line_bits();
+                let seed = self.ones_seed;
+                let line = &mut self.lines[base + w];
+                line.dirty = true;
+                line.unchecked = 0;
+                line.version += 1;
+                line.ones = sample_ones(seed, tag, set as u64, line.version, stored_bits);
+                observer.line_write(line.ones);
+                self.policy.on_access(set, w);
+                AccessResult {
+                    hit: true,
+                    evicted: None,
+                }
+            }
+            None => {
+                // Write-allocate: fill, then mark dirty.
+                let evicted = self.fill(tag, set, true, observer);
+                AccessResult {
+                    hit: false,
+                    evicted,
+                }
+            }
+        }
+    }
+
+    /// Installs `tag` into `set`, evicting a victim if the set is full.
+    fn fill<O: AccessObserver>(
+        &mut self,
+        tag: u64,
+        set: usize,
+        dirty: bool,
+        observer: &mut O,
+    ) -> Option<EvictionInfo> {
+        let ways = self.config.associativity();
+        let base = set * ways;
+        let (way, evicted) = match (0..ways).find(|&w| !self.lines[base + w].valid) {
+            Some(w) => (w, None),
+            None => {
+                let w = self.policy.victim(set);
+                debug_assert!(w < ways, "victim way out of range");
+                let victim = &self.lines[base + w];
+                let info = EvictionInfo {
+                    address: self.config.join_address(victim.tag, set),
+                    dirty: victim.dirty,
+                    unchecked_reads: victim.unchecked,
+                };
+                self.stats.evictions += 1;
+                if victim.dirty {
+                    self.stats.dirty_evictions += 1;
+                }
+                observer.eviction(victim.dirty, victim.ones, victim.unchecked);
+                (w, Some(info))
+            }
+        };
+        self.stats.fills += 1;
+        let stored_bits = self.stored_line_bits();
+        let seed = self.ones_seed;
+        let line = &mut self.lines[base + way];
+        line.version += 1;
+        *line = Line {
+            valid: true,
+            dirty,
+            tag,
+            unchecked: 0,
+            ones: sample_ones(seed, tag, set as u64, line.version, stored_bits),
+            version: line.version,
+        };
+        observer.line_write(line.ones);
+        self.policy.on_fill(set, way);
+        evicted
+    }
+
+    /// Scrubs the whole cache: reads, ECC-checks and (conceptually)
+    /// rewrites every valid line, resetting its accumulation counter.
+    ///
+    /// This is the classic alternative mitigation to REAP: instead of
+    /// checking on every read, sweep the array periodically. Each scrubbed
+    /// line is one more physical read (the scrub read itself disturbs, so
+    /// the check covers `unchecked + 1` reads) reported through
+    /// [`AccessObserver::scrub_check`], and the rewrite heals the line.
+    /// Returns the number of lines scrubbed.
+    pub fn scrub<O: AccessObserver>(&mut self, observer: &mut O) -> u64 {
+        let mut scrubbed = 0;
+        for line in &mut self.lines {
+            if !line.valid {
+                continue;
+            }
+            self.stats.line_reads += 1;
+            self.stats.scrub_checks += 1;
+            observer.line_read(line.ones);
+            observer.scrub_check(line.dirty, line.ones, line.unchecked + 1);
+            line.unchecked = 0;
+            scrubbed += 1;
+        }
+        scrubbed
+    }
+
+    /// Whether the line containing `address` is currently resident.
+    pub fn contains(&self, address: u64) -> bool {
+        let (tag, set) = self.config.split_address(address);
+        let ways = self.config.associativity();
+        let base = set * ways;
+        (0..ways).any(|w| {
+            let l = &self.lines[base + w];
+            l.valid && l.tag == tag
+        })
+    }
+
+    /// Number of currently valid lines.
+    pub fn valid_lines(&self) -> usize {
+        self.lines.iter().filter(|l| l.valid).count()
+    }
+}
+
+/// Deterministic content weight: the popcount of `bits` hashed bits —
+/// exactly Binomial(bits, 1/2) distributed, like random data.
+fn sample_ones(seed: u64, tag: u64, set: u64, version: u64, bits: usize) -> u32 {
+    let mut state = seed
+        ^ tag.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ set.rotate_left(32)
+        ^ version.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    let mut remaining = bits;
+    let mut ones = 0u32;
+    while remaining > 0 {
+        state = splitmix64(&mut state);
+        let take = remaining.min(64);
+        let mask = if take == 64 {
+            u64::MAX
+        } else {
+            (1u64 << take) - 1
+        };
+        ones += (state & mask).count_ones();
+        remaining -= take;
+    }
+    ones
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AccessMode;
+
+    fn small(mode: AccessMode) -> Cache {
+        let config = CacheConfig::builder()
+            .name("T")
+            .size_bytes(4 * 64 * 2) // 2 sets, 4 ways
+            .associativity(4)
+            .block_bytes(64)
+            .access_mode(mode)
+            .build()
+            .unwrap();
+        Cache::new(config, Replacement::Lru)
+    }
+
+    /// Observer that records demand-read N values.
+    #[derive(Default)]
+    struct NRecorder(Vec<u64>);
+
+    impl AccessObserver for NRecorder {
+        fn demand_read(&mut self, _ones: u32, n: u64) {
+            self.0.push(n);
+        }
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = small(AccessMode::Parallel);
+        assert!(!c.read(0, &mut ()).hit);
+        assert!(c.read(0, &mut ()).hit);
+        assert_eq!(c.stats().reads, 2);
+        assert_eq!(c.stats().read_hits, 1);
+        assert_eq!(c.stats().fills, 1);
+    }
+
+    #[test]
+    fn concealed_reads_accumulate_on_set_siblings() {
+        let mut c = small(AccessMode::Parallel);
+        // Two lines in set 0 (set stride = 2 blocks = 128 bytes).
+        c.read(0, &mut ()); // line A fill
+        c.read(128, &mut ()); // line B fill; A gets 1 concealed read
+        let mut rec = NRecorder::default();
+        c.read(128, &mut rec); // B demand hit (N = 1); A gets another concealed
+        c.read(0, &mut rec); // A demand hit: N = 2 concealed + 1 = 3
+        assert_eq!(rec.0, vec![1, 3]);
+        assert_eq!(c.stats().concealed_reads, 3, "A twice, B once");
+    }
+
+    #[test]
+    fn misses_also_impose_concealed_reads() {
+        let mut c = small(AccessMode::Parallel);
+        c.read(0, &mut ()); // A resident
+        c.read(128, &mut ()); // miss fill B; A concealed
+        c.read(256, &mut ()); // miss fill C; A and B concealed
+        assert_eq!(c.stats().concealed_reads, 3);
+    }
+
+    #[test]
+    fn serial_mode_has_no_concealed_reads() {
+        let mut c = small(AccessMode::Serial);
+        c.read(0, &mut ());
+        c.read(128, &mut ());
+        c.read(0, &mut ());
+        c.read(128, &mut ());
+        assert_eq!(c.stats().concealed_reads, 0);
+        let mut rec = NRecorder::default();
+        c.read(0, &mut rec);
+        assert_eq!(rec.0, vec![1], "every demand read has N = 1 in serial mode");
+    }
+
+    #[test]
+    fn write_resets_accumulation() {
+        let mut c = small(AccessMode::Parallel);
+        c.read(0, &mut ());
+        c.read(128, &mut ()); // A concealed
+        c.read(128, &mut ()); // A concealed again
+        c.write(0, &mut ()); // rewrite heals A
+        let mut rec = NRecorder::default();
+        c.read(0, &mut rec);
+        assert_eq!(rec.0, vec![1], "write must reset the unchecked counter");
+    }
+
+    #[test]
+    fn demand_read_resets_accumulation() {
+        let mut c = small(AccessMode::Parallel);
+        c.read(0, &mut ());
+        c.read(128, &mut ()); // A: 1 concealed
+        let mut rec = NRecorder::default();
+        c.read(0, &mut rec); // N = 2, then reset
+        c.read(0, &mut rec); // N = 1
+        assert_eq!(rec.0, vec![2, 1]);
+    }
+
+    #[test]
+    fn lru_eviction_and_writeback_flag() {
+        let mut c = small(AccessMode::Parallel);
+        // Fill set 0 (4 ways): lines at 0, 128, 256, 384 all map to set 0
+        // (stride = 2 blocks).
+        for i in 0..4u64 {
+            c.read(i * 128, &mut ());
+        }
+        c.write(0, &mut ()); // make line 0 dirty and most recent
+                             // Fifth line in set 0 forces an eviction of the LRU line (128).
+        let r = c.read(4 * 128, &mut ());
+        let ev = r.evicted.expect("set was full");
+        assert_eq!(ev.address, 128);
+        assert!(!ev.dirty);
+        // Now evict again; victim should be 256.
+        let r2 = c.read(5 * 128, &mut ());
+        assert_eq!(r2.evicted.unwrap().address, 256);
+    }
+
+    #[test]
+    fn dirty_eviction_reports_dirty() {
+        let mut c = small(AccessMode::Parallel);
+        c.write(0, &mut ());
+        for i in 1..4u64 {
+            c.read(i * 128, &mut ());
+        }
+        // Access others to make line 0 LRU.
+        for i in 1..4u64 {
+            c.read(i * 128, &mut ());
+        }
+        let r = c.read(4 * 128, &mut ());
+        let ev = r.evicted.unwrap();
+        assert_eq!(ev.address, 0);
+        assert!(ev.dirty);
+        assert_eq!(c.stats().dirty_evictions, 1);
+    }
+
+    #[test]
+    fn eviction_reports_accumulated_unchecked_reads() {
+        let mut c = small(AccessMode::Parallel);
+        c.read(0, &mut ()); // A
+                            // Three sibling accesses: A accumulates 3 concealed reads.
+        for i in 1..4u64 {
+            c.read(i * 128, &mut ());
+        }
+        // Make A the LRU victim (it already is) and evict.
+        let r = c.read(4 * 128, &mut ());
+        let ev = r.evicted.unwrap();
+        assert_eq!(ev.address, 0);
+        // A was concealed-read 3 times by sibling fills + 1 by this access.
+        assert_eq!(ev.unchecked_reads, 4);
+    }
+
+    #[test]
+    fn ones_weight_is_near_half_width() {
+        let mut c = small(AccessMode::Parallel);
+        #[derive(Default)]
+        struct Ones(Vec<u32>);
+        impl AccessObserver for Ones {
+            fn line_write(&mut self, ones: u32) {
+                self.0.push(ones);
+            }
+        }
+        let mut obs = Ones::default();
+        for i in 0..100u64 {
+            c.read(i * 64, &mut obs);
+        }
+        let mean = obs.0.iter().map(|&o| f64::from(o)).sum::<f64>() / obs.0.len() as f64;
+        assert!(
+            (mean - 256.0).abs() < 15.0,
+            "mean ones = {mean} for 512-bit lines"
+        );
+    }
+
+    #[test]
+    fn check_bits_extend_sampled_width() {
+        let mut c = small(AccessMode::Parallel);
+        c.set_check_bits(64);
+        assert_eq!(c.stored_line_bits(), 576);
+        #[derive(Default)]
+        struct MaxOnes(u32);
+        impl AccessObserver for MaxOnes {
+            fn line_write(&mut self, ones: u32) {
+                self.0 = self.0.max(ones);
+            }
+        }
+        let mut obs = MaxOnes::default();
+        for i in 0..200u64 {
+            c.read(i * 64, &mut obs);
+        }
+        assert!(
+            obs.0 > 256,
+            "576-bit lines should sometimes exceed 256 ones"
+        );
+    }
+
+    #[test]
+    fn rewrite_resamples_content_weight() {
+        let config = CacheConfig::builder()
+            .name("T")
+            .size_bytes(64)
+            .associativity(1)
+            .block_bytes(64)
+            .build()
+            .unwrap();
+        let mut c = Cache::new(config, Replacement::Lru);
+        #[derive(Default)]
+        struct AllOnes(Vec<u32>);
+        impl AccessObserver for AllOnes {
+            fn line_write(&mut self, ones: u32) {
+                self.0.push(ones);
+            }
+        }
+        let mut obs = AllOnes::default();
+        c.read(0, &mut obs);
+        for _ in 0..20 {
+            c.write(0, &mut obs);
+        }
+        let distinct: std::collections::HashSet<u32> = obs.0.iter().copied().collect();
+        assert!(distinct.len() > 5, "rewrites should resample the weight");
+    }
+
+    /// Observer that records scrub events.
+    #[derive(Default)]
+    struct ScrubRecorder(Vec<(bool, u64)>);
+
+    impl AccessObserver for ScrubRecorder {
+        fn scrub_check(&mut self, dirty: bool, _ones: u32, n: u64) {
+            self.0.push((dirty, n));
+        }
+    }
+
+    #[test]
+    fn scrub_checks_every_valid_line_and_resets_accumulation() {
+        let mut c = small(AccessMode::Parallel);
+        c.read(0, &mut ());
+        c.write(128, &mut ()); // dirty sibling; writes impose no concealed reads
+        c.read(256, &mut ()); // lines 0 and 128 each get one concealed read
+        let mut rec = ScrubRecorder::default();
+        let scrubbed = c.scrub(&mut rec);
+        assert_eq!(scrubbed, 3);
+        let mut events = rec.0.clone();
+        events.sort_unstable();
+        assert_eq!(
+            events,
+            vec![(false, 1), (false, 2), (true, 2)],
+            "fresh line 256 (N=1); clean line 0 and dirty line 128 accumulated (N=2)"
+        );
+        assert_eq!(c.stats().scrub_checks, 3);
+        // After the scrub, a demand read starts from a clean slate.
+        let mut rec2 = NRecorder::default();
+        c.read(0, &mut rec2);
+        assert_eq!(rec2.0, vec![1]);
+    }
+
+    #[test]
+    fn scrub_of_empty_cache_is_a_noop() {
+        let mut c = small(AccessMode::Parallel);
+        assert_eq!(c.scrub(&mut ()), 0);
+        assert_eq!(c.stats().scrub_checks, 0);
+    }
+
+    #[test]
+    fn ler_policy_prefers_exposed_victims_end_to_end() {
+        let config = CacheConfig::builder()
+            .name("T")
+            .size_bytes(2 * 64) // 1 set, 2 ways
+            .associativity(2)
+            .block_bytes(64)
+            .build()
+            .unwrap();
+        let mut c = Cache::new(config, Replacement::LeastErrorRate);
+        c.read(0, &mut ()); // way 0: line 0
+        c.read(64, &mut ()); // way 1: line 64; line 0 concealed-read once
+        c.read(64, &mut ()); // line 0 concealed again (exposure 2), 64 checked
+                             // Fill forces an eviction: LER must pick the exposed line 0 even
+                             // though line 0 is *not* the LRU choice... (it is here) — make 64
+                             // the stale one instead:
+        c.read(0, &mut ()); // 64 exposed once, 0 checked
+        c.read(0, &mut ()); // 64 exposed twice
+        let r = c.read(128, &mut ());
+        assert_eq!(
+            r.evicted.unwrap().address,
+            64,
+            "LER evicts the most-exposed way"
+        );
+    }
+
+    #[test]
+    fn contains_and_valid_lines() {
+        let mut c = small(AccessMode::Parallel);
+        assert!(!c.contains(0));
+        c.read(0, &mut ());
+        assert!(c.contains(0));
+        assert!(c.contains(32), "same line");
+        assert_eq!(c.valid_lines(), 1);
+    }
+
+    #[test]
+    fn stats_reset_keeps_contents() {
+        let mut c = small(AccessMode::Parallel);
+        c.read(0, &mut ());
+        c.reset_stats();
+        assert_eq!(c.stats().accesses(), 0);
+        assert!(c.read(0, &mut ()).hit, "contents survive a stats reset");
+    }
+}

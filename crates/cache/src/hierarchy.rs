@@ -1,0 +1,351 @@
+//! The two-level hierarchy of Table I: split SRAM L1 in front of a shared
+//! STT-MRAM L2.
+
+use crate::cache::Cache;
+use crate::config::{CacheConfig, ConfigError};
+use crate::observer::AccessObserver;
+use crate::replacement::Replacement;
+use reap_trace::{AccessKind, MemoryAccess};
+
+/// Identifies a level/slice of the hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Level {
+    /// L1 instruction cache.
+    L1I,
+    /// L1 data cache.
+    L1D,
+    /// Shared L2.
+    L2,
+}
+
+/// Configurations for all three caches.
+///
+/// [`HierarchyConfig::paper`] reproduces Table I: 32 KB 4-way L1I/L1D and
+/// a 1 MB 8-way L2, all with 64 B blocks, write-back.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HierarchyConfig {
+    /// L1 instruction cache geometry.
+    pub l1i: CacheConfig,
+    /// L1 data cache geometry.
+    pub l1d: CacheConfig,
+    /// Shared L2 geometry.
+    pub l2: CacheConfig,
+}
+
+impl HierarchyConfig {
+    /// The exact configuration of Table I of the paper.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let c = reap_cache::HierarchyConfig::paper();
+    /// assert_eq!(c.l2.num_sets(), 2048);
+    /// assert_eq!(c.l1d.associativity(), 4);
+    /// ```
+    pub fn paper() -> Self {
+        Self::paper_with_l2_ways(8).expect("Table I geometry is valid")
+    }
+
+    /// Table I with a different L2 associativity (for the associativity
+    /// ablation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if `l2_ways` does not divide the 1 MB
+    /// capacity into a power-of-two number of sets.
+    pub fn paper_with_l2_ways(l2_ways: usize) -> Result<Self, ConfigError> {
+        Ok(Self {
+            l1i: CacheConfig::builder()
+                .name("L1I")
+                .size_bytes(32 * 1024)
+                .associativity(4)
+                .block_bytes(64)
+                .build()?,
+            l1d: CacheConfig::builder()
+                .name("L1D")
+                .size_bytes(32 * 1024)
+                .associativity(4)
+                .block_bytes(64)
+                .build()?,
+            l2: CacheConfig::builder()
+                .name("L2")
+                .size_bytes(1024 * 1024)
+                .associativity(l2_ways)
+                .block_bytes(64)
+                .build()?,
+        })
+    }
+}
+
+/// A split-L1 + shared-L2 hierarchy driven access by access.
+///
+/// Policies (matching gem5's classic memory system, which the paper used):
+/// write-back write-allocate everywhere, non-inclusive (an L2 eviction
+/// does not back-invalidate L1), dirty L1 victims written back into L2,
+/// dirty L2 victims counted as memory writes.
+///
+/// The [`AccessObserver`] passed to [`access`](Self::access) receives
+/// events from the **L2 only** — the STT-MRAM level whose reliability the
+/// study analyses. The SRAM L1s are immune to read disturbance.
+///
+/// # Examples
+///
+/// ```
+/// use reap_cache::{Hierarchy, HierarchyConfig, Replacement};
+/// use reap_trace::MemoryAccess;
+///
+/// let mut h = Hierarchy::new(HierarchyConfig::paper(), Replacement::Lru);
+/// h.access(MemoryAccess::load(0x1234), &mut ());
+/// assert_eq!(h.l1d().stats().reads, 1);
+/// assert_eq!(h.l2().stats().reads, 1); // cold L1 miss propagated
+/// ```
+#[derive(Debug)]
+pub struct Hierarchy {
+    l1i: Cache,
+    l1d: Cache,
+    l2: Cache,
+    memory_reads: u64,
+    memory_writes: u64,
+}
+
+impl Hierarchy {
+    /// Builds the hierarchy; all levels share the same replacement policy
+    /// kind (instantiated separately per level).
+    pub fn new(config: HierarchyConfig, replacement: Replacement) -> Self {
+        Self {
+            l1i: Cache::new(config.l1i, replacement),
+            l1d: Cache::new(config.l1d, replacement),
+            l2: Cache::new(config.l2, replacement),
+            memory_reads: 0,
+            memory_writes: 0,
+        }
+    }
+
+    /// The cache at `level`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use reap_cache::{Hierarchy, HierarchyConfig, Level, Replacement};
+    ///
+    /// let h = Hierarchy::new(HierarchyConfig::paper(), Replacement::Lru);
+    /// assert_eq!(h.cache(Level::L2).config().name(), "L2");
+    /// ```
+    pub fn cache(&self, level: Level) -> &Cache {
+        match level {
+            Level::L1I => &self.l1i,
+            Level::L1D => &self.l1d,
+            Level::L2 => &self.l2,
+        }
+    }
+
+    /// The L1 instruction cache.
+    pub fn l1i(&self) -> &Cache {
+        &self.l1i
+    }
+
+    /// The L1 data cache.
+    pub fn l1d(&self) -> &Cache {
+        &self.l1d
+    }
+
+    /// The shared L2.
+    pub fn l2(&self) -> &Cache {
+        &self.l2
+    }
+
+    /// Mutable access to the L2 (e.g. to declare ECC check bits).
+    pub fn l2_mut(&mut self) -> &mut Cache {
+        &mut self.l2
+    }
+
+    /// Reads that reached main memory (L2 misses).
+    pub fn memory_reads(&self) -> u64 {
+        self.memory_reads
+    }
+
+    /// Writes that reached main memory (dirty L2 evictions).
+    pub fn memory_writes(&self) -> u64 {
+        self.memory_writes
+    }
+
+    /// Drives one access through the hierarchy. L2 events are delivered to
+    /// `observer`.
+    pub fn access<O: AccessObserver>(&mut self, access: MemoryAccess, observer: &mut O) {
+        match access.kind {
+            AccessKind::InstrFetch => {
+                let r = self.l1i.read(access.address, &mut ());
+                if !r.hit {
+                    // Instruction lines are never dirty; no write-back.
+                    self.l2_read(access.address, observer);
+                }
+            }
+            AccessKind::Load => {
+                let r = self.l1d.read(access.address, &mut ());
+                if !r.hit {
+                    self.l2_read(access.address, observer);
+                    if let Some(ev) = r.evicted.filter(|e| e.dirty) {
+                        self.l2_write(ev.address, observer);
+                    }
+                }
+            }
+            AccessKind::Store => {
+                let r = self.l1d.write(access.address, &mut ());
+                if !r.hit {
+                    // Write-allocate: fetch the line from L2 first.
+                    self.l2_read(access.address, observer);
+                    if let Some(ev) = r.evicted.filter(|e| e.dirty) {
+                        self.l2_write(ev.address, observer);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drives a whole trace; returns the number of accesses simulated.
+    pub fn run<O, I>(&mut self, trace: I, observer: &mut O) -> u64
+    where
+        O: AccessObserver,
+        I: IntoIterator<Item = MemoryAccess>,
+    {
+        let mut n = 0;
+        for a in trace {
+            self.access(a, observer);
+            n += 1;
+        }
+        n
+    }
+
+    fn l2_read<O: AccessObserver>(&mut self, address: u64, observer: &mut O) {
+        let r = self.l2.read(address, observer);
+        if !r.hit {
+            self.memory_reads += 1;
+        }
+        if let Some(ev) = r.evicted.filter(|e| e.dirty) {
+            let _ = ev;
+            self.memory_writes += 1;
+        }
+    }
+
+    fn l2_write<O: AccessObserver>(&mut self, address: u64, observer: &mut O) {
+        let r = self.l2.write(address, observer);
+        if !r.hit {
+            self.memory_reads += 1; // write-allocate fetch
+        }
+        if let Some(ev) = r.evicted.filter(|e| e.dirty) {
+            let _ = ev;
+            self.memory_writes += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hierarchy() -> Hierarchy {
+        Hierarchy::new(HierarchyConfig::paper(), Replacement::Lru)
+    }
+
+    #[test]
+    fn paper_config_matches_table_one() {
+        let c = HierarchyConfig::paper();
+        assert_eq!(c.l1i.size_bytes(), 32 * 1024);
+        assert_eq!(c.l1i.associativity(), 4);
+        assert_eq!(c.l1d.size_bytes(), 32 * 1024);
+        assert_eq!(c.l2.size_bytes(), 1024 * 1024);
+        assert_eq!(c.l2.associativity(), 8);
+        assert_eq!(c.l2.block_bytes(), 64);
+    }
+
+    #[test]
+    fn l1_hit_does_not_touch_l2() {
+        let mut h = hierarchy();
+        h.access(MemoryAccess::load(0), &mut ());
+        h.access(MemoryAccess::load(0), &mut ());
+        assert_eq!(h.l1d().stats().reads, 2);
+        assert_eq!(h.l2().stats().reads, 1);
+    }
+
+    #[test]
+    fn fetches_route_to_l1i() {
+        let mut h = hierarchy();
+        h.access(MemoryAccess::fetch(0), &mut ());
+        assert_eq!(h.l1i().stats().reads, 1);
+        assert_eq!(h.l1d().stats().reads, 0);
+    }
+
+    #[test]
+    fn store_miss_write_allocates_through_l2() {
+        let mut h = hierarchy();
+        h.access(MemoryAccess::store(0), &mut ());
+        assert_eq!(h.l1d().stats().writes, 1);
+        assert_eq!(h.l2().stats().reads, 1, "write-allocate fetch");
+        assert_eq!(h.memory_reads(), 1);
+    }
+
+    #[test]
+    fn dirty_l1_victim_writes_back_to_l2() {
+        let mut h = hierarchy();
+        // L1D: 32 KB, 4-way, 64 B => 128 sets; set stride = 128 * 64 = 8192.
+        h.access(MemoryAccess::store(0), &mut ());
+        // Evict line 0 from L1D by filling its set with 4 more lines.
+        for i in 1..=4u64 {
+            h.access(MemoryAccess::load(i * 8192), &mut ());
+        }
+        assert!(
+            h.l2().stats().writes >= 1,
+            "dirty victim must write back to L2"
+        );
+    }
+
+    #[test]
+    fn l2_miss_counts_memory_read() {
+        let mut h = hierarchy();
+        h.access(MemoryAccess::load(0), &mut ());
+        assert_eq!(h.memory_reads(), 1);
+        h.access(MemoryAccess::load(64), &mut ());
+        assert_eq!(h.memory_reads(), 2);
+    }
+
+    #[test]
+    fn l2_observer_sees_only_l2_events() {
+        #[derive(Default)]
+        struct CountReads(u64);
+        impl AccessObserver for CountReads {
+            fn line_read(&mut self, _ones: u32) {
+                self.0 += 1;
+            }
+        }
+        let mut h = hierarchy();
+        let mut obs = CountReads::default();
+        h.access(MemoryAccess::load(0), &mut obs); // L2 cold miss: no valid ways yet
+        assert_eq!(obs.0, 0);
+        h.access(MemoryAccess::load(64), &mut obs); // L2 read of set 1: set empty
+        h.access(MemoryAccess::load(2048 * 64), &mut obs); // same L2 set as line 0
+        assert_eq!(obs.0, 1, "the resident line 0 was concealed-read");
+    }
+
+    #[test]
+    fn run_consumes_trace() {
+        let mut h = hierarchy();
+        let trace = (0..100u64).map(|i| MemoryAccess::load(i * 64));
+        let n = h.run(trace, &mut ());
+        assert_eq!(n, 100);
+        assert_eq!(h.l1d().stats().reads, 100);
+    }
+
+    #[test]
+    fn l2_sees_filtered_traffic_under_locality() {
+        let mut h = hierarchy();
+        // 16 hot lines hammered repeatedly: only cold misses reach L2.
+        for round in 0..50u64 {
+            for line in 0..16u64 {
+                let _ = round;
+                h.access(MemoryAccess::load(line * 64), &mut ());
+            }
+        }
+        assert_eq!(h.l1d().stats().reads, 800);
+        assert_eq!(h.l2().stats().reads, 16);
+    }
+}

@@ -1,0 +1,146 @@
+//! The event hook between the cache simulator and the reliability layer.
+
+/// Receives the per-line events the reliability analysis consumes.
+///
+/// The cache calls these hooks inline during simulation; implementations
+/// accumulate whatever statistics they need (failure probabilities,
+/// concealed-read histograms, energy event counts). The unit type `()`
+/// implements the trait as a no-op observer.
+///
+/// `line_ones` is the number of `1` bits (`n` in Eqs. (2)–(6) of the
+/// paper) currently stored in the touched line, including check bits.
+///
+/// # Examples
+///
+/// ```
+/// use reap_cache::AccessObserver;
+///
+/// #[derive(Default)]
+/// struct CountChecks(u64);
+///
+/// impl AccessObserver for CountChecks {
+///     fn demand_read(&mut self, _line_ones: u32, _unchecked_reads: u64) {
+///         self.0 += 1;
+///     }
+/// }
+/// ```
+pub trait AccessObserver {
+    /// A demand read hit: the one moment the *conventional* cache checks
+    /// ECC. `unchecked_reads` is `N` of Eq. (3): the concealed reads
+    /// accumulated since the line was last checked or rewritten, **plus
+    /// one** for this demand read itself.
+    fn demand_read(&mut self, line_ones: u32, unchecked_reads: u64) {
+        let _ = (line_ones, unchecked_reads);
+    }
+
+    /// Any physical read of a valid line — demand or concealed. In the
+    /// REAP scheme every such read is an ECC check of a single read's
+    /// disturbance (Eq. (6)).
+    fn line_read(&mut self, line_ones: u32) {
+        let _ = line_ones;
+    }
+
+    /// A valid line leaves the cache. `unchecked_reads` disturbance
+    /// opportunities were accumulated and never checked; if `dirty`, the
+    /// line's content is consumed by the write-back path.
+    fn eviction(&mut self, dirty: bool, line_ones: u32, unchecked_reads: u64) {
+        let _ = (dirty, line_ones, unchecked_reads);
+    }
+
+    /// A line is (re)written — by a fill or a store — which heals any
+    /// accumulated disturbance. `line_ones` is the weight of the *new*
+    /// content.
+    fn line_write(&mut self, line_ones: u32) {
+        let _ = line_ones;
+    }
+
+    /// A scrub sweep checked this line after `unchecked_reads` accumulated
+    /// reads (including the scrub read itself). Unlike a demand read, a
+    /// scrub that detects an uncorrectable error on a *clean* line is
+    /// recoverable (invalidate and refetch); only a `dirty` line is lost.
+    fn scrub_check(&mut self, dirty: bool, line_ones: u32, unchecked_reads: u64) {
+        let _ = (dirty, line_ones, unchecked_reads);
+    }
+}
+
+impl AccessObserver for () {}
+
+impl<T: AccessObserver + ?Sized> AccessObserver for &mut T {
+    fn demand_read(&mut self, line_ones: u32, unchecked_reads: u64) {
+        (**self).demand_read(line_ones, unchecked_reads);
+    }
+
+    fn line_read(&mut self, line_ones: u32) {
+        (**self).line_read(line_ones);
+    }
+
+    fn eviction(&mut self, dirty: bool, line_ones: u32, unchecked_reads: u64) {
+        (**self).eviction(dirty, line_ones, unchecked_reads);
+    }
+
+    fn line_write(&mut self, line_ones: u32) {
+        (**self).line_write(line_ones);
+    }
+
+    fn scrub_check(&mut self, dirty: bool, line_ones: u32, unchecked_reads: u64) {
+        (**self).scrub_check(dirty, line_ones, unchecked_reads);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default, Debug, PartialEq)]
+    struct Recorder {
+        demands: Vec<(u32, u64)>,
+        reads: usize,
+        evictions: usize,
+        writes: usize,
+    }
+
+    impl AccessObserver for Recorder {
+        fn demand_read(&mut self, line_ones: u32, unchecked_reads: u64) {
+            self.demands.push((line_ones, unchecked_reads));
+        }
+
+        fn line_read(&mut self, _line_ones: u32) {
+            self.reads += 1;
+        }
+
+        fn eviction(&mut self, _dirty: bool, _line_ones: u32, _unchecked_reads: u64) {
+            self.evictions += 1;
+        }
+
+        fn line_write(&mut self, _line_ones: u32) {
+            self.writes += 1;
+        }
+    }
+
+    #[test]
+    fn unit_observer_is_a_noop() {
+        let mut obs = ();
+        obs.demand_read(1, 2);
+        obs.line_read(3);
+        obs.eviction(true, 4, 5);
+        obs.line_write(6);
+    }
+
+    #[test]
+    fn mut_ref_forwards() {
+        let mut rec = Recorder::default();
+        {
+            fn forward(mut fwd: impl AccessObserver) {
+                fwd.demand_read(10, 3);
+                fwd.line_read(10);
+                fwd.eviction(false, 10, 0);
+                fwd.line_write(10);
+            }
+            forward(&mut rec);
+        }
+        assert_eq!(rec.demands, vec![(10, 3)]);
+        assert_eq!(rec.reads, 1);
+        assert_eq!(rec.evictions, 1);
+        assert_eq!(rec.writes, 1);
+    }
+}

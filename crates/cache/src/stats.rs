@@ -1,0 +1,171 @@
+//! Per-cache event counters.
+
+use std::fmt;
+use std::ops::AddAssign;
+
+/// Counters accumulated by one [`Cache`](crate::Cache) over a simulation.
+///
+/// # Examples
+///
+/// ```
+/// use reap_cache::CacheStats;
+///
+/// let s = CacheStats::default();
+/// assert_eq!(s.accesses(), 0);
+/// assert!(s.hit_rate().is_nan());
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Read accesses (demand).
+    pub reads: u64,
+    /// Write accesses (stores and write-backs from above).
+    pub writes: u64,
+    /// Read hits.
+    pub read_hits: u64,
+    /// Write hits.
+    pub write_hits: u64,
+    /// Lines filled on misses.
+    pub fills: u64,
+    /// Valid lines evicted.
+    pub evictions: u64,
+    /// Evictions that required a write-back (dirty victim).
+    pub dirty_evictions: u64,
+    /// Concealed reads imposed on non-requested ways (parallel mode only).
+    pub concealed_reads: u64,
+    /// Physical line reads (demand + concealed) of valid lines.
+    pub line_reads: u64,
+    /// Demand-read ECC-check events (read hits).
+    pub demand_checks: u64,
+    /// Lines checked by explicit scrub sweeps.
+    pub scrub_checks: u64,
+}
+
+impl CacheStats {
+    /// Total demand accesses.
+    pub fn accesses(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Total hits.
+    pub fn hits(&self) -> u64 {
+        self.read_hits + self.write_hits
+    }
+
+    /// Total misses.
+    pub fn misses(&self) -> u64 {
+        self.accesses() - self.hits()
+    }
+
+    /// Hit rate over all accesses (NaN when no accesses were made).
+    pub fn hit_rate(&self) -> f64 {
+        self.hits() as f64 / self.accesses() as f64
+    }
+
+    /// Miss rate over all accesses (NaN when no accesses were made).
+    pub fn miss_rate(&self) -> f64 {
+        1.0 - self.hit_rate()
+    }
+
+    /// Mean concealed reads imposed per demand access.
+    pub fn concealed_per_access(&self) -> f64 {
+        if self.accesses() == 0 {
+            return 0.0;
+        }
+        self.concealed_reads as f64 / self.accesses() as f64
+    }
+}
+
+impl AddAssign for CacheStats {
+    fn add_assign(&mut self, rhs: Self) {
+        self.reads += rhs.reads;
+        self.writes += rhs.writes;
+        self.read_hits += rhs.read_hits;
+        self.write_hits += rhs.write_hits;
+        self.fills += rhs.fills;
+        self.evictions += rhs.evictions;
+        self.dirty_evictions += rhs.dirty_evictions;
+        self.concealed_reads += rhs.concealed_reads;
+        self.line_reads += rhs.line_reads;
+        self.demand_checks += rhs.demand_checks;
+        self.scrub_checks += rhs.scrub_checks;
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} accesses ({} rd / {} wr), {:.1}% hits, {} fills, {} evictions \
+             ({} dirty), {} concealed reads",
+            self.accesses(),
+            self.reads,
+            self.writes,
+            100.0 * self.hit_rate(),
+            self.fills,
+            self.evictions,
+            self.dirty_evictions,
+            self.concealed_reads
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_rates() {
+        let s = CacheStats {
+            reads: 80,
+            writes: 20,
+            read_hits: 60,
+            write_hits: 10,
+            ..CacheStats::default()
+        };
+        assert_eq!(s.accesses(), 100);
+        assert_eq!(s.hits(), 70);
+        assert_eq!(s.misses(), 30);
+        assert!((s.hit_rate() - 0.7).abs() < 1e-12);
+        assert!((s.miss_rate() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_assign_accumulates() {
+        let mut a = CacheStats {
+            reads: 1,
+            concealed_reads: 7,
+            ..CacheStats::default()
+        };
+        let b = CacheStats {
+            reads: 2,
+            concealed_reads: 3,
+            ..CacheStats::default()
+        };
+        a += b;
+        assert_eq!(a.reads, 3);
+        assert_eq!(a.concealed_reads, 10);
+    }
+
+    #[test]
+    fn concealed_per_access() {
+        let s = CacheStats {
+            reads: 10,
+            concealed_reads: 70,
+            ..CacheStats::default()
+        };
+        assert!((s.concealed_per_access() - 7.0).abs() < 1e-12);
+        assert_eq!(CacheStats::default().concealed_per_access(), 0.0);
+    }
+
+    #[test]
+    fn display_contains_key_numbers() {
+        let s = CacheStats {
+            reads: 5,
+            read_hits: 5,
+            ..CacheStats::default()
+        };
+        let text = s.to_string();
+        assert!(text.contains("5 accesses"));
+        assert!(text.contains("100.0% hits"));
+    }
+}

@@ -1,0 +1,143 @@
+//! Hierarchy timing: average memory-access time (AMAT) from per-level
+//! latencies and measured miss rates.
+//!
+//! The REAP claim of "no performance degradation" is a statement about the
+//! L2 access time; this module turns per-level access times into the
+//! end-to-end AMAT a core observes, so scheme-level latency differences
+//! (e.g. the serial tag-first baseline) can be expressed in program-visible
+//! terms.
+
+use crate::stats::CacheStats;
+
+/// Per-level access latencies (s).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyCard {
+    /// L1 hit time.
+    pub l1_hit: f64,
+    /// L2 hit time (the quantity the REAP read-path model produces).
+    pub l2_hit: f64,
+    /// Main-memory access time.
+    pub memory: f64,
+}
+
+impl LatencyCard {
+    /// A typical high-performance configuration: 1 ns L1, caller-supplied
+    /// L2 (from the read-path model), 60 ns DRAM.
+    pub fn with_l2(l2_hit: f64) -> Self {
+        Self {
+            l1_hit: 1e-9,
+            l2_hit,
+            memory: 60e-9,
+        }
+    }
+}
+
+/// Average memory-access time for a two-level hierarchy.
+///
+/// `AMAT = t_L1 + m_L1 · (t_L2 + m_L2 · t_mem)` with miss rates taken from
+/// the measured counters.
+///
+/// Returns the L1 hit time alone when no accesses were recorded.
+///
+/// # Examples
+///
+/// ```
+/// use reap_cache::timing::{amat, LatencyCard};
+/// use reap_cache::CacheStats;
+///
+/// let l1 = CacheStats { reads: 100, read_hits: 90, ..CacheStats::default() };
+/// let l2 = CacheStats { reads: 10, read_hits: 5, ..CacheStats::default() };
+/// let t = amat(&l1, &l2, &LatencyCard::with_l2(5e-9));
+/// // 1ns + 10% * (5ns + 50% * 60ns) = 4.5 ns
+/// assert!((t - 4.5e-9).abs() < 1e-12);
+/// ```
+pub fn amat(l1: &CacheStats, l2: &CacheStats, card: &LatencyCard) -> f64 {
+    if l1.accesses() == 0 {
+        return card.l1_hit;
+    }
+    let m1 = l1.miss_rate();
+    let m2 = if l2.accesses() == 0 {
+        0.0
+    } else {
+        l2.miss_rate()
+    };
+    card.l1_hit + m1 * (card.l2_hit + m2 * card.memory)
+}
+
+/// Relative AMAT change from replacing the L2 hit time `base` with `new`
+/// at the same measured miss rates — how a scheme's L2 latency delta
+/// surfaces at program level.
+///
+/// # Examples
+///
+/// ```
+/// use reap_cache::timing::{amat_delta, LatencyCard};
+/// use reap_cache::CacheStats;
+///
+/// let l1 = CacheStats { reads: 1_000, read_hits: 950, ..CacheStats::default() };
+/// let l2 = CacheStats { reads: 50, read_hits: 40, ..CacheStats::default() };
+/// // A 2x slower L2 hurts, but only through the 5% L1 miss stream.
+/// let d = amat_delta(&l1, &l2, 3e-9, 6e-9);
+/// assert!(d > 0.0 && d < 0.2);
+/// ```
+pub fn amat_delta(l1: &CacheStats, l2: &CacheStats, base_l2: f64, new_l2: f64) -> f64 {
+    let base = amat(l1, l2, &LatencyCard::with_l2(base_l2));
+    let new = amat(l1, l2, &LatencyCard::with_l2(new_l2));
+    new / base - 1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(reads: u64, hits: u64) -> CacheStats {
+        CacheStats {
+            reads,
+            read_hits: hits,
+            ..CacheStats::default()
+        }
+    }
+
+    #[test]
+    fn perfect_l1_gives_l1_latency() {
+        let l1 = stats(100, 100);
+        let l2 = stats(0, 0);
+        let t = amat(&l1, &l2, &LatencyCard::with_l2(5e-9));
+        assert!((t - 1e-9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn all_misses_pay_full_path() {
+        let l1 = stats(10, 0);
+        let l2 = stats(10, 0);
+        let card = LatencyCard::with_l2(5e-9);
+        let t = amat(&l1, &l2, &card);
+        assert!((t - (1e-9 + 5e-9 + 60e-9)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn empty_stats_fall_back_to_l1_time() {
+        let t = amat(
+            &CacheStats::default(),
+            &CacheStats::default(),
+            &LatencyCard::with_l2(5e-9),
+        );
+        assert!((t - 1e-9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn identical_latencies_give_zero_delta() {
+        let l1 = stats(100, 80);
+        let l2 = stats(20, 10);
+        assert!(amat_delta(&l1, &l2, 4e-9, 4e-9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serial_l2_penalty_is_filtered_by_l1() {
+        // Even a 50% slower L2 moves AMAT by far less when L1 hits 95%.
+        let l1 = stats(10_000, 9_500);
+        let l2 = stats(500, 400);
+        let d = amat_delta(&l1, &l2, 4e-9, 6e-9);
+        assert!(d > 0.0 && d < 0.10, "delta = {d}");
+    }
+}

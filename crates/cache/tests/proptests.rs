@@ -1,0 +1,175 @@
+//! Property-based tests for the cache simulator.
+
+use proptest::prelude::*;
+use reap_cache::{AccessMode, AccessObserver, Cache, CacheConfig, Replacement};
+
+fn small_cache(ways: usize, sets_pow: u32, mode: AccessMode, policy: Replacement) -> Cache {
+    let sets = 1usize << sets_pow;
+    let config = CacheConfig::builder()
+        .name("T")
+        .size_bytes(sets * ways * 64)
+        .associativity(ways)
+        .block_bytes(64)
+        .access_mode(mode)
+        .build()
+        .unwrap();
+    Cache::new(config, policy)
+}
+
+fn policies() -> impl Strategy<Value = Replacement> {
+    prop_oneof![
+        Just(Replacement::Lru),
+        Just(Replacement::TreePlru),
+        Just(Replacement::Fifo),
+        any::<u64>().prop_map(Replacement::Random),
+        Just(Replacement::Srrip),
+    ]
+}
+
+/// Records every demand-read N and every eviction.
+#[derive(Default)]
+struct Audit {
+    demand_n: Vec<u64>,
+    line_reads: u64,
+    evictions: u64,
+}
+
+impl AccessObserver for Audit {
+    fn demand_read(&mut self, _ones: u32, n: u64) {
+        self.demand_n.push(n);
+    }
+
+    fn line_read(&mut self, _ones: u32) {
+        self.line_reads += 1;
+    }
+
+    fn eviction(&mut self, _dirty: bool, _ones: u32, _unchecked: u64) {
+        self.evictions += 1;
+    }
+}
+
+proptest! {
+    /// An immediate re-read of any address is always a hit, under every
+    /// replacement policy and geometry.
+    #[test]
+    fn reread_is_always_a_hit(
+        ways in 1usize..9,
+        sets_pow in 0u32..5,
+        policy in policies(),
+        addr in any::<u32>(),
+    ) {
+        let mut c = small_cache(ways, sets_pow, AccessMode::Parallel, policy);
+        c.read(u64::from(addr), &mut ());
+        prop_assert!(c.read(u64::from(addr), &mut ()).hit);
+    }
+
+    /// The number of valid lines never exceeds capacity, and fills =
+    /// valid lines + evictions.
+    #[test]
+    fn occupancy_accounting(
+        ways in 1usize..5,
+        sets_pow in 0u32..4,
+        policy in policies(),
+        addrs in proptest::collection::vec(any::<u16>(), 1..300),
+    ) {
+        let mut c = small_cache(ways, sets_pow, AccessMode::Parallel, policy);
+        let capacity = c.config().num_lines();
+        for &a in &addrs {
+            c.read(u64::from(a) * 64, &mut ());
+        }
+        prop_assert!(c.valid_lines() <= capacity);
+        prop_assert_eq!(
+            c.stats().fills,
+            c.valid_lines() as u64 + c.stats().evictions
+        );
+    }
+
+    /// In parallel mode, every read access concealed-reads exactly the
+    /// *other* valid ways: line_reads = read_hits + concealed_reads, and
+    /// concealed reads per access < ways.
+    #[test]
+    fn concealed_read_arithmetic(
+        ways in 1usize..9,
+        policy in policies(),
+        addrs in proptest::collection::vec(any::<u16>(), 1..400),
+    ) {
+        let mut c = small_cache(ways, 2, AccessMode::Parallel, policy);
+        let mut audit = Audit::default();
+        for &a in &addrs {
+            c.read(u64::from(a) * 64, &mut audit);
+        }
+        let s = c.stats();
+        prop_assert_eq!(s.line_reads, s.read_hits + s.concealed_reads);
+        prop_assert_eq!(audit.line_reads, s.line_reads);
+        // A hit conceals at most k-1 ways; a miss conceals up to all k
+        // valid ways (the parallel read happens before tags resolve).
+        prop_assert!(
+            s.concealed_reads
+                <= (ways as u64 - 1) * s.read_hits + ways as u64 * (s.reads - s.read_hits)
+        );
+    }
+
+    /// Serial mode never produces concealed reads for any access pattern.
+    #[test]
+    fn serial_mode_never_conceals(
+        ways in 1usize..9,
+        addrs in proptest::collection::vec(any::<u16>(), 1..300),
+    ) {
+        let mut c = small_cache(ways, 2, AccessMode::Serial, Replacement::Lru);
+        let mut audit = Audit::default();
+        for &a in &addrs {
+            c.read(u64::from(a) * 64, &mut audit);
+        }
+        prop_assert_eq!(c.stats().concealed_reads, 0);
+        prop_assert!(audit.demand_n.iter().all(|&n| n == 1));
+    }
+
+    /// Total demand-read N sums to at most the total physical reads of
+    /// demand lines: Σ(N) = read_hits + concealed reads that were later
+    /// checked ≤ read_hits + concealed_reads.
+    #[test]
+    fn accumulated_n_is_bounded_by_physical_reads(
+        addrs in proptest::collection::vec(any::<u8>(), 1..500),
+    ) {
+        let mut c = small_cache(4, 2, AccessMode::Parallel, Replacement::Lru);
+        let mut audit = Audit::default();
+        for &a in &addrs {
+            c.read(u64::from(a) * 64, &mut audit);
+        }
+        let s = c.stats();
+        let total_n: u64 = audit.demand_n.iter().sum();
+        prop_assert!(total_n <= s.read_hits + s.concealed_reads);
+        prop_assert!(audit.demand_n.iter().all(|&n| n >= 1));
+    }
+
+    /// Writes always heal: a write followed by a demand read gives N = 1.
+    #[test]
+    fn write_then_read_has_no_accumulation(
+        noise in proptest::collection::vec(any::<u8>(), 0..100),
+        target in any::<u8>(),
+    ) {
+        let mut c = small_cache(4, 2, AccessMode::Parallel, Replacement::Lru);
+        for &a in &noise {
+            c.read(u64::from(a) * 64, &mut ());
+        }
+        c.write(u64::from(target) * 64, &mut ());
+        let mut audit = Audit::default();
+        c.read(u64::from(target) * 64, &mut audit);
+        prop_assert_eq!(audit.demand_n.as_slice(), &[1u64]);
+    }
+
+    /// LRU with a working set no larger than one set's ways never evicts
+    /// on re-traversal (classic LRU stack property).
+    #[test]
+    fn lru_retains_fitting_working_set(rounds in 1usize..10) {
+        let ways = 4;
+        let mut c = small_cache(ways, 0, AccessMode::Parallel, Replacement::Lru);
+        for _ in 0..rounds {
+            for line in 0..ways as u64 {
+                c.read(line * 64, &mut ());
+            }
+        }
+        prop_assert_eq!(c.stats().evictions, 0);
+        prop_assert_eq!(c.stats().read_hits, (rounds as u64 - 1) * ways as u64);
+    }
+}

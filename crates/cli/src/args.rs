@@ -1,0 +1,504 @@
+//! Command-line argument parsing.
+
+use reap_cache::Replacement;
+use reap_core::EccStrength;
+use reap_trace::SpecWorkload;
+use std::error::Error;
+use std::fmt;
+use std::path::PathBuf;
+
+/// A fully parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `reap run` — one experiment on one workload.
+    Run(RunArgs),
+    /// `reap sweep` — all workloads, Fig. 5/6 style.
+    Sweep(SweepArgs),
+    /// `reap trace` — generate a trace file.
+    Trace(TraceArgs),
+    /// `reap trace-info` — characterize a trace file.
+    TraceInfo {
+        /// Path of the trace file to inspect.
+        path: PathBuf,
+    },
+    /// `reap disturbance` — query the device model.
+    Disturbance(DisturbanceArgs),
+    /// `reap list` — list workload profiles.
+    List,
+    /// `reap help` / `--help`.
+    Help,
+}
+
+/// Arguments of `reap run`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunArgs {
+    /// Workload profile.
+    pub workload: SpecWorkload,
+    /// Measured accesses.
+    pub accesses: u64,
+    /// Warm-up accesses (defaults to a tenth of `accesses`).
+    pub warmup: Option<u64>,
+    /// Trace seed.
+    pub seed: u64,
+    /// L2 ECC strength.
+    pub ecc: EccStrength,
+    /// Replacement policy.
+    pub replacement: Replacement,
+    /// L2 associativity override.
+    pub l2_ways: Option<usize>,
+}
+
+impl Default for RunArgs {
+    fn default() -> Self {
+        Self {
+            workload: SpecWorkload::Perlbench,
+            accesses: 1_000_000,
+            warmup: None,
+            seed: 1,
+            ecc: EccStrength::Sec,
+            replacement: Replacement::Lru,
+            l2_ways: None,
+        }
+    }
+}
+
+/// Arguments of `reap sweep`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepArgs {
+    /// Measured accesses per workload.
+    pub accesses: u64,
+    /// Trace seed.
+    pub seed: u64,
+}
+
+impl Default for SweepArgs {
+    fn default() -> Self {
+        Self {
+            accesses: 400_000,
+            seed: 2019,
+        }
+    }
+}
+
+/// Arguments of `reap trace`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceArgs {
+    /// Workload profile.
+    pub workload: SpecWorkload,
+    /// Number of accesses to emit.
+    pub count: u64,
+    /// Trace seed.
+    pub seed: u64,
+    /// Output path.
+    pub out: PathBuf,
+}
+
+/// Arguments of `reap disturbance`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DisturbanceArgs {
+    /// Thermal stability factor override.
+    pub delta: Option<f64>,
+    /// Read current override (µA).
+    pub read_current_ua: Option<f64>,
+    /// Operating temperature (K).
+    pub temperature_k: Option<f64>,
+}
+
+/// Error produced while parsing the command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ParseCliError {
+    /// No subcommand given.
+    MissingCommand,
+    /// Unknown subcommand.
+    UnknownCommand {
+        /// What was found.
+        found: String,
+    },
+    /// Unknown flag for the subcommand.
+    UnknownFlag {
+        /// The offending flag.
+        flag: String,
+    },
+    /// A flag that needs a value was last on the line.
+    MissingValue {
+        /// The offending flag.
+        flag: String,
+    },
+    /// A value failed to parse.
+    BadValue {
+        /// The offending flag.
+        flag: String,
+        /// The offending value.
+        value: String,
+        /// What was expected.
+        expected: &'static str,
+    },
+    /// A required positional/flag is missing.
+    MissingRequired {
+        /// Name of the missing argument.
+        name: &'static str,
+    },
+}
+
+impl fmt::Display for ParseCliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseCliError::MissingCommand => {
+                write!(f, "missing subcommand (try `reap help`)")
+            }
+            ParseCliError::UnknownCommand { found } => {
+                write!(f, "unknown subcommand `{found}` (try `reap help`)")
+            }
+            ParseCliError::UnknownFlag { flag } => write!(f, "unknown flag `{flag}`"),
+            ParseCliError::MissingValue { flag } => write!(f, "flag `{flag}` needs a value"),
+            ParseCliError::BadValue {
+                flag,
+                value,
+                expected,
+            } => {
+                write!(f, "flag `{flag}`: `{value}` is not a valid {expected}")
+            }
+            ParseCliError::MissingRequired { name } => {
+                write!(f, "missing required argument `{name}`")
+            }
+        }
+    }
+}
+
+impl Error for ParseCliError {}
+
+/// A cursor over the raw argument list.
+struct Cursor {
+    args: Vec<String>,
+    next: usize,
+}
+
+impl Cursor {
+    fn take(&mut self) -> Option<String> {
+        let v = self.args.get(self.next).cloned();
+        if v.is_some() {
+            self.next += 1;
+        }
+        v
+    }
+
+    fn value_for(&mut self, flag: &str) -> Result<String, ParseCliError> {
+        self.take().ok_or_else(|| ParseCliError::MissingValue {
+            flag: flag.to_owned(),
+        })
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(
+    flag: &str,
+    value: String,
+    expected: &'static str,
+) -> Result<T, ParseCliError> {
+    // Accept underscores and scientific-ish suffixes like 2e6 for u64.
+    let clean = value.replace('_', "");
+    if let Ok(v) = clean.parse::<T>() {
+        return Ok(v);
+    }
+    // Fall back through f64 for integer types written as 2e6.
+    if let Ok(fv) = clean.parse::<f64>() {
+        if fv >= 0.0 && fv.fract() == 0.0 {
+            if let Ok(v) = format!("{}", fv as u64).parse::<T>() {
+                return Ok(v);
+            }
+        }
+    }
+    Err(ParseCliError::BadValue {
+        flag: flag.to_owned(),
+        value,
+        expected,
+    })
+}
+
+/// Parses a raw argument list (without the program name).
+///
+/// # Errors
+///
+/// Returns a [`ParseCliError`] describing the first problem found.
+///
+/// # Examples
+///
+/// ```
+/// use reap_cli::{parse, Command};
+///
+/// let cmd = parse(["list".to_owned()]).expect("valid");
+/// assert_eq!(cmd, Command::List);
+/// ```
+pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Command, ParseCliError> {
+    let mut cursor = Cursor {
+        args: args.into_iter().collect(),
+        next: 0,
+    };
+    let Some(command) = cursor.take() else {
+        return Err(ParseCliError::MissingCommand);
+    };
+    match command.as_str() {
+        "run" => parse_run(cursor),
+        "sweep" => parse_sweep(cursor),
+        "trace" => parse_trace(cursor),
+        "trace-info" => {
+            let path = cursor
+                .take()
+                .ok_or(ParseCliError::MissingRequired { name: "path" })?;
+            Ok(Command::TraceInfo {
+                path: PathBuf::from(path),
+            })
+        }
+        "disturbance" => parse_disturbance(cursor),
+        "list" => Ok(Command::List),
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        other => Err(ParseCliError::UnknownCommand {
+            found: other.to_owned(),
+        }),
+    }
+}
+
+fn parse_workload(flag: &str, value: String) -> Result<SpecWorkload, ParseCliError> {
+    value.parse().map_err(|_| ParseCliError::BadValue {
+        flag: flag.to_owned(),
+        value,
+        expected: "SPEC CPU2006 workload name",
+    })
+}
+
+fn parse_run(mut c: Cursor) -> Result<Command, ParseCliError> {
+    let mut a = RunArgs::default();
+    let mut got_workload = false;
+    while let Some(flag) = c.take() {
+        match flag.as_str() {
+            "--workload" | "-w" => {
+                a.workload = parse_workload(&flag, c.value_for(&flag)?)?;
+                got_workload = true;
+            }
+            "--accesses" | "-n" => a.accesses = parse_num(&flag, c.value_for(&flag)?, "count")?,
+            "--warmup" => a.warmup = Some(parse_num(&flag, c.value_for(&flag)?, "count")?),
+            "--seed" | "-s" => a.seed = parse_num(&flag, c.value_for(&flag)?, "seed")?,
+            "--ecc" => {
+                let v = c.value_for(&flag)?;
+                a.ecc = match v.to_ascii_lowercase().as_str() {
+                    "sec" => EccStrength::Sec,
+                    "dec" => EccStrength::Dec,
+                    "tec" => EccStrength::Tec,
+                    _ => {
+                        return Err(ParseCliError::BadValue {
+                            flag,
+                            value: v,
+                            expected: "one of sec/dec/tec",
+                        })
+                    }
+                };
+            }
+            "--replacement" | "-r" => {
+                let v = c.value_for(&flag)?;
+                a.replacement = match v.to_ascii_lowercase().as_str() {
+                    "lru" => Replacement::Lru,
+                    "plru" => Replacement::TreePlru,
+                    "fifo" => Replacement::Fifo,
+                    "random" => Replacement::Random(a.seed),
+                    "srrip" => Replacement::Srrip,
+                    "ler" => Replacement::LeastErrorRate,
+                    _ => {
+                        return Err(ParseCliError::BadValue {
+                            flag,
+                            value: v,
+                            expected: "one of lru/plru/fifo/random/srrip/ler",
+                        })
+                    }
+                };
+            }
+            "--l2-ways" => a.l2_ways = Some(parse_num(&flag, c.value_for(&flag)?, "way count")?),
+            _ => return Err(ParseCliError::UnknownFlag { flag }),
+        }
+    }
+    if !got_workload {
+        return Err(ParseCliError::MissingRequired { name: "--workload" });
+    }
+    Ok(Command::Run(a))
+}
+
+fn parse_sweep(mut c: Cursor) -> Result<Command, ParseCliError> {
+    let mut a = SweepArgs::default();
+    while let Some(flag) = c.take() {
+        match flag.as_str() {
+            "--accesses" | "-n" => a.accesses = parse_num(&flag, c.value_for(&flag)?, "count")?,
+            "--seed" | "-s" => a.seed = parse_num(&flag, c.value_for(&flag)?, "seed")?,
+            _ => return Err(ParseCliError::UnknownFlag { flag }),
+        }
+    }
+    Ok(Command::Sweep(a))
+}
+
+fn parse_trace(mut c: Cursor) -> Result<Command, ParseCliError> {
+    let mut workload = None;
+    let mut count = 1_000_000u64;
+    let mut seed = 1u64;
+    let mut out = None;
+    while let Some(flag) = c.take() {
+        match flag.as_str() {
+            "--workload" | "-w" => workload = Some(parse_workload(&flag, c.value_for(&flag)?)?),
+            "--count" | "-n" => count = parse_num(&flag, c.value_for(&flag)?, "count")?,
+            "--seed" | "-s" => seed = parse_num(&flag, c.value_for(&flag)?, "seed")?,
+            "--out" | "-o" => out = Some(PathBuf::from(c.value_for(&flag)?)),
+            _ => return Err(ParseCliError::UnknownFlag { flag }),
+        }
+    }
+    Ok(Command::Trace(TraceArgs {
+        workload: workload.ok_or(ParseCliError::MissingRequired { name: "--workload" })?,
+        count,
+        seed,
+        out: out.ok_or(ParseCliError::MissingRequired { name: "--out" })?,
+    }))
+}
+
+fn parse_disturbance(mut c: Cursor) -> Result<Command, ParseCliError> {
+    let mut a = DisturbanceArgs {
+        delta: None,
+        read_current_ua: None,
+        temperature_k: None,
+    };
+    while let Some(flag) = c.take() {
+        match flag.as_str() {
+            "--delta" => a.delta = Some(parse_num(&flag, c.value_for(&flag)?, "number")?),
+            "--read-current-ua" => {
+                a.read_current_ua = Some(parse_num(&flag, c.value_for(&flag)?, "number")?)
+            }
+            "--temperature-k" => {
+                a.temperature_k = Some(parse_num(&flag, c.value_for(&flag)?, "number")?)
+            }
+            _ => return Err(ParseCliError::UnknownFlag { flag }),
+        }
+    }
+    Ok(Command::Disturbance(a))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(line: &str) -> Result<Command, ParseCliError> {
+        parse(line.split_whitespace().map(str::to_owned))
+    }
+
+    #[test]
+    fn run_with_all_flags() {
+        let cmd = p(
+            "run --workload namd --accesses 2_000_000 --warmup 1000 --seed 9 \
+                     --ecc dec --replacement srrip --l2-ways 16",
+        )
+        .unwrap();
+        let Command::Run(a) = cmd else {
+            panic!("not a run")
+        };
+        assert_eq!(a.workload, SpecWorkload::Namd);
+        assert_eq!(a.accesses, 2_000_000);
+        assert_eq!(a.warmup, Some(1_000));
+        assert_eq!(a.seed, 9);
+        assert_eq!(a.ecc, EccStrength::Dec);
+        assert_eq!(a.replacement, Replacement::Srrip);
+        assert_eq!(a.l2_ways, Some(16));
+    }
+
+    #[test]
+    fn run_accepts_scientific_counts() {
+        let Command::Run(a) = p("run -w mcf -n 2e6").unwrap() else {
+            panic!()
+        };
+        assert_eq!(a.accesses, 2_000_000);
+    }
+
+    #[test]
+    fn run_requires_workload() {
+        assert_eq!(
+            p("run --accesses 100"),
+            Err(ParseCliError::MissingRequired { name: "--workload" })
+        );
+    }
+
+    #[test]
+    fn unknown_workload_is_a_bad_value() {
+        let err = p("run --workload quake3").unwrap_err();
+        assert!(matches!(err, ParseCliError::BadValue { .. }));
+        assert!(err.to_string().contains("quake3"));
+    }
+
+    #[test]
+    fn sweep_defaults() {
+        let Command::Sweep(a) = p("sweep").unwrap() else {
+            panic!()
+        };
+        assert_eq!(a, SweepArgs::default());
+    }
+
+    #[test]
+    fn trace_round_trip() {
+        let Command::Trace(a) = p("trace -w lbm -n 500 -s 3 -o /tmp/x.rtrc").unwrap() else {
+            panic!()
+        };
+        assert_eq!(a.workload, SpecWorkload::Lbm);
+        assert_eq!(a.count, 500);
+        assert_eq!(a.out, PathBuf::from("/tmp/x.rtrc"));
+    }
+
+    #[test]
+    fn trace_requires_out() {
+        assert_eq!(
+            p("trace -w lbm"),
+            Err(ParseCliError::MissingRequired { name: "--out" })
+        );
+    }
+
+    #[test]
+    fn trace_info_takes_a_path() {
+        assert_eq!(
+            p("trace-info foo.rtrc").unwrap(),
+            Command::TraceInfo {
+                path: PathBuf::from("foo.rtrc")
+            }
+        );
+    }
+
+    #[test]
+    fn disturbance_flags() {
+        let Command::Disturbance(a) =
+            p("disturbance --delta 55 --read-current-ua 80 --temperature-k 350").unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(a.delta, Some(55.0));
+        assert_eq!(a.read_current_ua, Some(80.0));
+        assert_eq!(a.temperature_k, Some(350.0));
+    }
+
+    #[test]
+    fn help_and_list() {
+        assert_eq!(p("help").unwrap(), Command::Help);
+        assert_eq!(p("--help").unwrap(), Command::Help);
+        assert_eq!(p("list").unwrap(), Command::List);
+    }
+
+    #[test]
+    fn errors_are_descriptive() {
+        assert_eq!(p(""), Err(ParseCliError::MissingCommand));
+        assert!(matches!(
+            p("frobnicate"),
+            Err(ParseCliError::UnknownCommand { .. })
+        ));
+        assert!(matches!(
+            p("run --bogus"),
+            Err(ParseCliError::UnknownFlag { .. })
+        ));
+        assert!(matches!(
+            p("run --workload"),
+            Err(ParseCliError::MissingValue { .. })
+        ));
+        assert!(matches!(
+            p("run -w namd -n nope"),
+            Err(ParseCliError::BadValue { .. })
+        ));
+    }
+}

@@ -1,0 +1,292 @@
+//! Command execution.
+
+use crate::args::{Command, DisturbanceArgs, RunArgs, SweepArgs, TraceArgs};
+use reap_cache::HierarchyConfig;
+use reap_core::{Experiment, ProtectionScheme};
+use reap_mtj::temperature::at_temperature;
+use reap_mtj::{read_disturbance_probability, MtjParams, MtjParamsBuilder};
+use reap_trace::{SpecWorkload, TraceStats};
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Write};
+
+const HELP: &str = "\
+reap — REAP-cache: STT-MRAM read-disturbance accumulation toolkit
+
+USAGE:
+    reap <COMMAND> [FLAGS]
+
+COMMANDS:
+    run          simulate one workload on the Table I hierarchy
+                 --workload/-w NAME (required)  --accesses/-n N  --warmup N
+                 --seed/-s S  --ecc sec|dec|tec
+                 --replacement/-r lru|plru|fifo|random|srrip|ler
+                 --l2-ways K
+    sweep        all 21 workloads: MTTF gain and energy overhead
+                 --accesses/-n N  --seed/-s S
+    trace        generate a binary trace file
+                 --workload/-w NAME (required)  --count/-n N  --seed/-s S
+                 --out/-o FILE (required)
+    trace-info   characterize a binary trace file: reap trace-info FILE
+    disturbance  query the device model (Eq. (1))
+                 --delta X  --read-current-ua I  --temperature-k T
+    list         list the workload profiles
+    help         show this message
+";
+
+/// Executes a parsed command (see [`crate::execute`]).
+pub fn execute<W: Write>(command: Command, mut out: W) -> io::Result<i32> {
+    match command {
+        Command::Help => {
+            write!(out, "{HELP}")?;
+            Ok(0)
+        }
+        Command::List => {
+            writeln!(
+                out,
+                "{:<12} {:>6} {:>8} {:>8} {:>8} {:>8}",
+                "workload", "rd%", "hot", "stream", "chase", "stencil"
+            )?;
+            for w in SpecWorkload::ALL {
+                let p = w.params();
+                writeln!(
+                    out,
+                    "{:<12} {:>5.0}% {:>8} {:>8} {:>8} {:>8}",
+                    w.name(),
+                    100.0 * p.read_fraction,
+                    p.hot.map_or(0, |h| h.lines),
+                    p.stream.map_or(0, |s| s.lines),
+                    p.chase.map_or(0, |c| c.lines),
+                    p.stencil.map_or(0, |s| s.rows * s.cols),
+                )?;
+            }
+            Ok(0)
+        }
+        Command::Run(args) => run(args, out),
+        Command::Sweep(args) => sweep(args, out),
+        Command::Trace(args) => trace(args, out),
+        Command::TraceInfo { path } => trace_info(&path, out),
+        Command::Disturbance(args) => disturbance(args, out),
+    }
+}
+
+fn run<W: Write>(args: RunArgs, mut out: W) -> io::Result<i32> {
+    let mut experiment = Experiment::paper_hierarchy()
+        .workload(args.workload)
+        .accesses(args.accesses)
+        .seed(args.seed)
+        .ecc(args.ecc)
+        .replacement(args.replacement);
+    if let Some(warmup) = args.warmup {
+        experiment = experiment.budgets(warmup, args.accesses);
+    }
+    if let Some(ways) = args.l2_ways {
+        match HierarchyConfig::paper_with_l2_ways(ways) {
+            Ok(h) => experiment = experiment.hierarchy(h),
+            Err(e) => {
+                writeln!(out, "error: invalid L2 geometry: {e}")?;
+                return Ok(2);
+            }
+        }
+    }
+    match experiment.run() {
+        Ok(report) => {
+            write!(out, "{report}")?;
+            writeln!(
+                out,
+                "max accumulation N = {}, mean concealed reads/access = {:.2}",
+                report.histogram().max_n(),
+                report.mean_concealed_reads()
+            )?;
+            Ok(0)
+        }
+        Err(e) => {
+            writeln!(out, "error: {e}")?;
+            Ok(2)
+        }
+    }
+}
+
+fn sweep<W: Write>(args: SweepArgs, mut out: W) -> io::Result<i32> {
+    writeln!(
+        out,
+        "{:<12} {:>12} {:>12} {:>10} {:>10}",
+        "workload", "REAP gain", "energy", "L2 hit%", "max N"
+    )?;
+    for w in SpecWorkload::ALL {
+        let report = Experiment::paper_hierarchy()
+            .workload(w)
+            .accesses(args.accesses)
+            .seed(args.seed)
+            .run()
+            .map_err(|e| io::Error::other(e.to_string()))?;
+        writeln!(
+            out,
+            "{:<12} {:>11.1}x {:>+11.2}% {:>9.1}% {:>10}",
+            w.name(),
+            report.mttf_improvement(ProtectionScheme::Reap),
+            100.0 * report.energy_overhead(ProtectionScheme::Reap),
+            100.0 * report.l2_stats().hit_rate(),
+            report.histogram().max_n(),
+        )?;
+    }
+    Ok(0)
+}
+
+fn trace<W: Write>(args: TraceArgs, mut out: W) -> io::Result<i32> {
+    let file = File::create(&args.out)?;
+    let stream = args.workload.stream(args.seed).take(args.count as usize);
+    let written = reap_trace::io::write_trace(BufWriter::new(file), stream)?;
+    writeln!(out, "wrote {written} accesses to {}", args.out.display())?;
+    Ok(0)
+}
+
+fn trace_info<W: Write>(path: &std::path::Path, mut out: W) -> io::Result<i32> {
+    let file = match File::open(path) {
+        Ok(f) => f,
+        Err(e) => {
+            writeln!(out, "error: cannot open {}: {e}", path.display())?;
+            return Ok(2);
+        }
+    };
+    match reap_trace::io::read_trace(BufReader::new(file)) {
+        Ok(records) => {
+            let stats = TraceStats::collect(records, 64);
+            writeln!(out, "{stats}")?;
+            Ok(0)
+        }
+        Err(e) => {
+            writeln!(out, "error: {e}")?;
+            Ok(2)
+        }
+    }
+}
+
+fn disturbance<W: Write>(args: DisturbanceArgs, mut out: W) -> io::Result<i32> {
+    let mut builder = MtjParamsBuilder::from(MtjParams::default());
+    if let Some(delta) = args.delta {
+        builder = builder.thermal_stability(delta);
+    }
+    if let Some(ua) = args.read_current_ua {
+        builder = builder.read_current(ua * 1e-6);
+    }
+    let card = match builder.build() {
+        Ok(c) => c,
+        Err(e) => {
+            writeln!(out, "error: {e}")?;
+            return Ok(2);
+        }
+    };
+    let card = match args.temperature_k {
+        Some(t) => match at_temperature(&card, t) {
+            Ok(c) => c,
+            Err(e) => {
+                writeln!(out, "error: {e}")?;
+                return Ok(2);
+            }
+        },
+        None => card,
+    };
+    writeln!(out, "{card}")?;
+    writeln!(
+        out,
+        "P_rd per read of a stored 1: {:.4e}",
+        read_disturbance_probability(&card)
+    )?;
+    writeln!(
+        out,
+        "retention failure over 1 year: {:.4e}",
+        reap_mtj::retention_failure_probability(&card, 3.156e7)
+    )?;
+    Ok(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse;
+
+    fn exec(line: &str) -> (i32, String) {
+        let cmd = parse(line.split_whitespace().map(str::to_owned)).expect("parses");
+        let mut buf = Vec::new();
+        let code = execute(cmd, &mut buf).expect("io ok");
+        (code, String::from_utf8(buf).expect("utf8"))
+    }
+
+    #[test]
+    fn help_mentions_every_command() {
+        let (code, text) = exec("help");
+        assert_eq!(code, 0);
+        for c in ["run", "sweep", "trace", "trace-info", "disturbance", "list"] {
+            assert!(text.contains(c), "help must mention `{c}`");
+        }
+    }
+
+    #[test]
+    fn list_names_all_workloads() {
+        let (code, text) = exec("list");
+        assert_eq!(code, 0);
+        for w in SpecWorkload::ALL {
+            assert!(text.contains(w.name()), "missing {w}");
+        }
+    }
+
+    #[test]
+    fn run_produces_a_report() {
+        let (code, text) = exec("run -w hmmer -n 30000 --seed 2");
+        assert_eq!(code, 0, "output: {text}");
+        assert!(text.contains("REAP-cache"));
+        assert!(text.contains("MTTF gain"));
+        assert!(text.contains("max accumulation N"));
+    }
+
+    #[test]
+    fn run_with_bad_geometry_fails_gracefully() {
+        let (code, text) = exec("run -w hmmer -n 10000 --l2-ways 3");
+        assert_eq!(code, 2);
+        assert!(text.contains("invalid L2 geometry"));
+    }
+
+    #[test]
+    fn trace_and_trace_info_round_trip() {
+        let dir = std::env::temp_dir().join("reap-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.rtrc");
+        let (code, text) = exec(&format!("trace -w lbm -n 2000 -o {}", path.display()));
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("wrote 2000 accesses"));
+        let (code2, info) = exec(&format!("trace-info {}", path.display()));
+        assert_eq!(code2, 0);
+        assert!(info.contains("2000 accesses"), "{info}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn trace_info_on_missing_file_is_exit_2() {
+        let (code, text) = exec("trace-info /definitely/not/here.rtrc");
+        assert_eq!(code, 2);
+        assert!(text.contains("cannot open"));
+    }
+
+    #[test]
+    fn disturbance_reports_probability() {
+        let (code, text) = exec("disturbance --delta 55 --read-current-ua 75");
+        assert_eq!(code, 0);
+        assert!(text.contains("P_rd per read"));
+        assert!(text.contains("Δ=55.0"));
+    }
+
+    #[test]
+    fn disturbance_rejects_invalid_card() {
+        let (code, text) = exec("disturbance --read-current-ua 150");
+        assert_eq!(code, 2);
+        assert!(text.contains("error"));
+    }
+
+    #[test]
+    fn disturbance_with_temperature() {
+        let (_, cold) = exec("disturbance");
+        let (code, hot) = exec("disturbance --temperature-k 360");
+        assert_eq!(code, 0);
+        assert_ne!(cold, hot);
+    }
+}

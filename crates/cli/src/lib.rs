@@ -1,0 +1,41 @@
+//! Implementation of the `reap` command-line tool.
+//!
+//! The CLI wraps the library stack for interactive use:
+//!
+//! ```text
+//! reap run --workload namd --accesses 2000000 --ecc sec
+//! reap sweep --accesses 1000000
+//! reap trace --workload mcf --count 100000 --out mcf.rtrc
+//! reap trace-info mcf.rtrc
+//! reap disturbance --delta 60 --read-current-ua 70
+//! reap list
+//! ```
+//!
+//! Argument parsing is hand-rolled (the project carries no CLI
+//! dependency); every command is a pure function from parsed arguments to
+//! text written on a caller-supplied writer, so the whole surface is unit
+//! testable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+
+pub use args::{parse, Command, ParseCliError};
+
+use std::io::Write;
+
+/// Runs a parsed command, writing human-readable output to `out`.
+///
+/// Returns the process exit code (0 on success). A `&mut W` can be passed
+/// as the writer to keep using it afterwards.
+///
+/// # Errors
+///
+/// I/O failures while writing output are returned as errors; command-level
+/// problems (bad workload name, impossible geometry) are reported on the
+/// writer and reflected in the exit code.
+pub fn execute<W: Write>(command: Command, out: W) -> std::io::Result<i32> {
+    commands::execute(command, out)
+}

@@ -1,0 +1,20 @@
+//! The `reap` binary: thin shell around [`reap_cli`].
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match reap_cli::parse(args) {
+        Ok(command) => match reap_cli::execute(command, std::io::stdout().lock()) {
+            Ok(code) => ExitCode::from(u8::try_from(code.clamp(0, 255)).unwrap_or(1)),
+            Err(e) => {
+                eprintln!("reap: i/o error: {e}");
+                ExitCode::from(1)
+            }
+        },
+        Err(e) => {
+            eprintln!("reap: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

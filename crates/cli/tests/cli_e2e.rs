@@ -1,0 +1,78 @@
+//! End-to-end tests driving the compiled `reap` binary.
+
+use std::process::Command;
+
+fn reap() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_reap"))
+}
+
+#[test]
+fn help_exits_zero() {
+    let out = reap().arg("help").output().expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("USAGE"));
+}
+
+#[test]
+fn no_args_exits_two_with_hint() {
+    let out = reap().output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("missing subcommand"));
+}
+
+#[test]
+fn unknown_flag_reports_on_stderr() {
+    let out = reap().args(["run", "--frobnicate"]).output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--frobnicate"));
+}
+
+#[test]
+fn list_prints_workload_table() {
+    let out = reap().arg("list").output().expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("mcf"));
+    assert!(text.contains("cactusADM"));
+}
+
+#[test]
+fn disturbance_query_round_trips() {
+    let out = reap()
+        .args(["disturbance", "--delta", "60", "--read-current-ua", "70"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("P_rd per read"), "{text}");
+    assert!(text.contains("1.5230e-8") || text.contains("1.523e-8"), "{text}");
+}
+
+#[test]
+fn run_and_trace_pipeline() {
+    let dir = std::env::temp_dir().join(format!("reap-e2e-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace_path = dir.join("x.rtrc");
+
+    let out = reap()
+        .args(["trace", "-w", "sjeng", "-n", "5000", "-o"])
+        .arg(&trace_path)
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stdout));
+
+    let info = reap().arg("trace-info").arg(&trace_path).output().expect("binary runs");
+    assert!(info.status.success());
+    assert!(String::from_utf8_lossy(&info.stdout).contains("5000 accesses"));
+
+    let run = reap()
+        .args(["run", "-w", "sjeng", "-n", "20000", "--seed", "3"])
+        .output()
+        .expect("binary runs");
+    assert!(run.status.success());
+    assert!(String::from_utf8_lossy(&run.stdout).contains("REAP-cache"));
+
+    std::fs::remove_dir_all(dir).ok();
+}

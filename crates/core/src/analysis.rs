@@ -1,0 +1,116 @@
+//! Closed-form analyses reproduced from the paper's text.
+
+use reap_reliability::AccumulationModel;
+
+/// The §III-B / §IV numeric example: a line with 100 stored `1`s at
+/// `P_rd = 1e-8`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NumericExample {
+    /// Eq. (4): uncorrectable probability of a single checked read.
+    pub p_err_single: f64,
+    /// Eq. (5): uncorrectable probability after 50 accumulated reads.
+    pub p_err_accumulated: f64,
+    /// §IV: the same 50 reads, each individually checked (REAP).
+    pub p_err_reap: f64,
+}
+
+impl NumericExample {
+    /// Evaluates the example exactly as the paper sets it up.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let ex = reap_core::analysis::NumericExample::compute();
+    /// // "more than 3 orders of magnitude" (§III-B)
+    /// assert!(ex.p_err_accumulated / ex.p_err_single > 1_000.0);
+    /// // "50x lower than that of conventional cache" (§IV)
+    /// let ratio = ex.p_err_accumulated / ex.p_err_reap;
+    /// assert!((ratio - 50.0).abs() < 1.0);
+    /// ```
+    pub fn compute() -> Self {
+        Self::with_parameters(1e-8, 100, 50)
+    }
+
+    /// The same analysis with arbitrary parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p_rd` is outside `[0, 1]` or `n_reads == 0`.
+    pub fn with_parameters(p_rd: f64, n_ones: u32, n_reads: u64) -> Self {
+        assert!(n_reads > 0, "need at least one read");
+        let model = AccumulationModel::sec(p_rd);
+        Self {
+            p_err_single: model.fail_single(n_ones),
+            p_err_accumulated: model.fail_conventional(n_ones, n_reads),
+            p_err_reap: model.fail_reap(n_ones, n_reads),
+        }
+    }
+}
+
+/// The asymptotic MTTF-improvement law: for SEC in the small-`p` regime,
+/// checking every read improves the per-event failure probability by a
+/// factor of ≈ `N`, so a workload's overall gain is the
+/// failure-probability-weighted mean of `N` — i.e. `E[N²] / E[N]`.
+///
+/// This explains the Fig. 5 spread: `mcf` (tiny reuse, small `N`) gains
+/// single digits; hot-set workloads with `N` up to 1e5 gain thousands.
+///
+/// # Examples
+///
+/// ```
+/// use reap_core::analysis::expected_improvement;
+///
+/// // All demand reads see N = 1: nothing to gain.
+/// assert!((expected_improvement(&[1, 1, 1]) - 1.0).abs() < 1e-12);
+/// // A rare huge-N event dominates.
+/// assert!(expected_improvement(&[1, 1, 10_000]) > 3_000.0);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `n_values` is empty or contains a zero.
+pub fn expected_improvement(n_values: &[u64]) -> f64 {
+    assert!(!n_values.is_empty(), "need at least one event");
+    assert!(
+        n_values.iter().all(|&n| n > 0),
+        "N counts the demand read, so N >= 1"
+    );
+    let sum_n: f64 = n_values.iter().map(|&n| n as f64).sum();
+    let sum_n2: f64 = n_values.iter().map(|&n| (n as f64) * (n as f64)).sum();
+    sum_n2 / sum_n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_example_matches_paper_values() {
+        let ex = NumericExample::compute();
+        assert!((ex.p_err_single / 4.95e-13 - 1.0).abs() < 0.01);
+        assert!((ex.p_err_accumulated / 1.25e-9 - 1.0).abs() < 0.01);
+        assert!((ex.p_err_reap / 2.475e-11 - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn custom_parameters_scale_as_expected() {
+        let small = NumericExample::with_parameters(1e-8, 100, 10);
+        let large = NumericExample::with_parameters(1e-8, 100, 100);
+        assert!(large.p_err_accumulated > 50.0 * small.p_err_accumulated);
+    }
+
+    #[test]
+    fn improvement_is_weighted_by_n_squared() {
+        // Mixture: 1000 events at N=1, one at N=1000.
+        let mut events = vec![1u64; 1000];
+        events.push(1000);
+        let imp = expected_improvement(&events);
+        assert!((imp - (1000.0 + 1e6) / 2000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "N >= 1")]
+    fn zero_n_rejected() {
+        let _ = expected_improvement(&[1, 0]);
+    }
+}

@@ -1,0 +1,251 @@
+//! Dynamic-energy accounting per protection scheme (§V-B, Fig. 6).
+//!
+//! One simulation pass produces one set of cache counters
+//! ([`reap_cache::CacheStats`]) — valid for every scheme, because the
+//! schemes differ only in *when ECC runs*, not in cache behaviour. This
+//! module converts the counters into per-scheme dynamic energy using the
+//! array estimate and the decoder cost:
+//!
+//! | per event | conventional | REAP | serial | restore |
+//! |---|---|---|---|---|
+//! | read access | tag + all-way line reads | same | tag + 1 line read (hits) | same as conventional |
+//! | ECC decodes | 1 per demand hit | 1 per physical line read | 1 per demand hit | 1 per demand hit |
+//! | extra writes | — | — | — | restore write per line read |
+//!
+//! Writes, fills and write-backs are identical across schemes.
+
+use crate::scheme::ProtectionScheme;
+use reap_cache::CacheStats;
+use reap_ecc::DecoderCost;
+use reap_nvarray::ArrayEstimate;
+use std::fmt;
+
+/// Energy totals for one scheme over one simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyBreakdown {
+    /// Tag-array access energy (J).
+    pub tag: f64,
+    /// Data-array read energy (J).
+    pub data_read: f64,
+    /// Data-array write energy — stores, fills, write-backs, restores (J).
+    pub data_write: f64,
+    /// ECC encode + decode energy (J).
+    pub ecc: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total dynamic energy (J).
+    pub fn total(&self) -> f64 {
+        self.tag + self.data_read + self.data_write + self.ecc
+    }
+
+    /// Fraction contributed by the ECC logic.
+    pub fn ecc_fraction(&self) -> f64 {
+        self.ecc / self.total()
+    }
+}
+
+impl fmt::Display for EnergyBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.3e} J (tag {:.2e}, rd {:.2e}, wr {:.2e}, ecc {:.2e})",
+            self.total(),
+            self.tag,
+            self.data_read,
+            self.data_write,
+            self.ecc
+        )
+    }
+}
+
+/// Converts cache counters into per-scheme dynamic energy.
+///
+/// # Examples
+///
+/// ```
+/// use reap_cache::CacheStats;
+/// use reap_core::{EnergyModel, ProtectionScheme};
+/// use reap_ecc::{DecoderCost, EccCode, HsiaoSecDed, Interleaved};
+/// use reap_nvarray::{estimate, ArraySpec, MemTech, TechnologyNode};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let spec = ArraySpec::new(1 << 20, 64, 8)?.with_check_bits(64);
+/// let array = estimate(&spec, MemTech::SttMram, TechnologyNode::nm(22)?);
+/// let code = Interleaved::new(HsiaoSecDed::new(64)?, 8)?;
+/// let model = EnergyModel::new(array, DecoderCost::estimate(&code, 22));
+/// let stats = CacheStats { reads: 1_000, read_hits: 900, line_reads: 7_500,
+///     demand_checks: 900, ..CacheStats::default() };
+/// let conv = model.breakdown(&stats, ProtectionScheme::Conventional).total();
+/// let reap = model.breakdown(&stats, ProtectionScheme::Reap).total();
+/// let overhead = reap / conv - 1.0;
+/// assert!(overhead > 0.0 && overhead < 0.2, "small per-read decoder overhead");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    array: ArrayEstimate,
+    decoder: DecoderCost,
+}
+
+impl EnergyModel {
+    /// Creates the model from an array estimate and a decoder cost.
+    pub fn new(array: ArrayEstimate, decoder: DecoderCost) -> Self {
+        Self { array, decoder }
+    }
+
+    /// The decoder cost in force.
+    pub fn decoder(&self) -> &DecoderCost {
+        &self.decoder
+    }
+
+    /// Dynamic energy of one simulation's L2 activity under `scheme`.
+    pub fn breakdown(&self, stats: &CacheStats, scheme: ProtectionScheme) -> EnergyBreakdown {
+        let a = &self.array;
+        let e_dec = self.decoder.energy_per_decode;
+        // Every demand access (read or write) resolves tags.
+        let tag = stats.accesses() as f64 * a.tag_access_energy;
+
+        // Data reads: in parallel modes, every valid way of the set was
+        // physically read; `line_reads` counts exactly those events. The
+        // serial scheme reads one way, on hits only. Write-backs of dirty
+        // victims read the departing line in all schemes.
+        let parallel_reads = stats.line_reads as f64 + stats.dirty_evictions as f64;
+        let serial_reads = stats.read_hits as f64 + stats.dirty_evictions as f64;
+        let data_read = match scheme {
+            ProtectionScheme::SerialTagFirst => serial_reads * a.line_read_energy,
+            _ => parallel_reads * a.line_read_energy,
+        };
+
+        // Writes: stores into L2 + fills; restore adds a write per read.
+        let base_writes = stats.writes as f64 + stats.fills as f64;
+        let restore_writes = if scheme.restores_after_read() {
+            stats.line_reads as f64
+        } else {
+            0.0
+        };
+        let data_write = (base_writes + restore_writes) * a.line_write_energy;
+
+        // ECC: encodes on every write/fill (all schemes), decodes per the
+        // scheme's checking discipline. Encoder energy ≈ decoder energy
+        // (same syndrome tree, no corrector) — we charge the full decoder
+        // cost, which is conservative.
+        let decodes = if scheme.checks_every_read() {
+            stats.line_reads as f64
+        } else {
+            stats.demand_checks as f64
+        };
+        let encodes = base_writes + restore_writes;
+        let ecc = (decodes + encodes) * e_dec;
+
+        EnergyBreakdown {
+            tag,
+            data_read,
+            data_write,
+            ecc,
+        }
+    }
+
+    /// Relative dynamic-energy overhead of `scheme` versus the
+    /// conventional baseline (the Fig. 6 metric: `E_scheme / E_conv − 1`).
+    pub fn overhead_vs_conventional(&self, stats: &CacheStats, scheme: ProtectionScheme) -> f64 {
+        let conv = self
+            .breakdown(stats, ProtectionScheme::Conventional)
+            .total();
+        let this = self.breakdown(stats, scheme).total();
+        this / conv - 1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reap_ecc::{EccCode as _, HammingSec};
+    use reap_nvarray::{estimate, ArraySpec, MemTech, TechnologyNode};
+
+    fn model() -> EnergyModel {
+        // The simulator's default protection: line-level SEC (10 check bits).
+        let code = HammingSec::new(512).unwrap();
+        let spec = ArraySpec::new(1 << 20, 64, 8)
+            .unwrap()
+            .with_check_bits(code.check_bits());
+        let array = estimate(&spec, MemTech::SttMram, TechnologyNode::nm(22).unwrap());
+        EnergyModel::new(array, DecoderCost::estimate(&code, 22))
+    }
+
+    fn stats() -> CacheStats {
+        CacheStats {
+            reads: 100_000,
+            writes: 20_000,
+            read_hits: 90_000,
+            write_hits: 18_000,
+            fills: 12_000,
+            evictions: 11_000,
+            dirty_evictions: 4_000,
+            concealed_reads: 600_000,
+            line_reads: 690_000,
+            demand_checks: 90_000,
+            scrub_checks: 0,
+        }
+    }
+
+    #[test]
+    fn reap_overhead_is_small_and_positive() {
+        let m = model();
+        let o = m.overhead_vs_conventional(&stats(), ProtectionScheme::Reap);
+        assert!(o > 0.001 && o < 0.10, "overhead = {o}");
+    }
+
+    #[test]
+    fn ecc_is_under_one_percent_of_conventional_energy() {
+        // §V-B premise: the decoder is <1 % of cache energy.
+        let m = model();
+        let b = m.breakdown(&stats(), ProtectionScheme::Conventional);
+        assert!(
+            b.ecc_fraction() < 0.01,
+            "ecc fraction = {}",
+            b.ecc_fraction()
+        );
+    }
+
+    #[test]
+    fn serial_reads_less_data_energy() {
+        let m = model();
+        let conv = m.breakdown(&stats(), ProtectionScheme::Conventional);
+        let serial = m.breakdown(&stats(), ProtectionScheme::SerialTagFirst);
+        assert!(serial.data_read < conv.data_read / 4.0);
+    }
+
+    #[test]
+    fn restore_energy_is_much_larger() {
+        let m = model();
+        let o = m.overhead_vs_conventional(&stats(), ProtectionScheme::DisruptiveRestore);
+        assert!(o > 1.0, "a restore per read multiplies write energy: {o}");
+    }
+
+    #[test]
+    fn conventional_overhead_vs_itself_is_zero() {
+        let m = model();
+        let o = m.overhead_vs_conventional(&stats(), ProtectionScheme::Conventional);
+        assert!(o.abs() < 1e-12);
+    }
+
+    #[test]
+    fn write_energy_identical_between_conventional_and_reap() {
+        let m = model();
+        let conv = m.breakdown(&stats(), ProtectionScheme::Conventional);
+        let reap = m.breakdown(&stats(), ProtectionScheme::Reap);
+        assert_eq!(conv.data_write, reap.data_write);
+        assert_eq!(conv.tag, reap.tag);
+        assert!(reap.ecc > conv.ecc);
+    }
+
+    #[test]
+    fn breakdown_display_mentions_components() {
+        let m = model();
+        let text = m.breakdown(&stats(), ProtectionScheme::Reap).to_string();
+        assert!(text.contains("ecc"));
+        assert!(text.contains("tag"));
+    }
+}

@@ -1,0 +1,202 @@
+//! High-level experiment builder — the one-call entry point.
+
+use crate::report::Report;
+use crate::simulator::{EccStrength, SimulationConfig, SimulationError, Simulator};
+use reap_cache::{HierarchyConfig, Replacement};
+use reap_mtj::MtjParams;
+use reap_trace::SpecWorkload;
+use std::fmt;
+
+/// Builder that configures and runs one simulation of one workload.
+///
+/// # Examples
+///
+/// ```
+/// use reap_core::{Experiment, ProtectionScheme};
+/// use reap_trace::SpecWorkload;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let report = Experiment::paper_hierarchy()
+///     .workload(SpecWorkload::Calculix)
+///     .accesses(60_000)
+///     .seed(3)
+///     .run()?;
+/// println!("{:.1}x", report.mttf_improvement(ProtectionScheme::Reap));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    config: SimulationConfig,
+    workload: SpecWorkload,
+    seed: u64,
+}
+
+impl Experiment {
+    /// Starts from the paper's Table I setup: 32 KB 4-way L1I/L1D, 1 MB
+    /// 8-way STT-MRAM L2, LRU, SEC, 22 nm, default MTJ card.
+    pub fn paper_hierarchy() -> Self {
+        Self {
+            config: SimulationConfig::default(),
+            workload: SpecWorkload::Perlbench,
+            seed: 1,
+        }
+    }
+
+    /// Selects the workload profile.
+    pub fn workload(mut self, workload: SpecWorkload) -> Self {
+        self.workload = workload;
+        self
+    }
+
+    /// Sets the measured access budget; warm-up defaults to 10 % of it.
+    pub fn accesses(mut self, measure: u64) -> Self {
+        self.config.measure_accesses = measure;
+        self.config.warmup_accesses = measure / 10;
+        self
+    }
+
+    /// Overrides warm-up and measurement budgets independently.
+    pub fn budgets(mut self, warmup: u64, measure: u64) -> Self {
+        self.config.warmup_accesses = warmup;
+        self.config.measure_accesses = measure;
+        self
+    }
+
+    /// Sets the trace seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces the cache hierarchy.
+    pub fn hierarchy(mut self, hierarchy: HierarchyConfig) -> Self {
+        self.config.hierarchy = hierarchy;
+        self
+    }
+
+    /// Replaces the replacement policy.
+    pub fn replacement(mut self, replacement: Replacement) -> Self {
+        self.config.replacement = replacement;
+        self
+    }
+
+    /// Replaces the MTJ parameter card.
+    pub fn mtj(mut self, mtj: MtjParams) -> Self {
+        self.config.mtj = mtj;
+        self
+    }
+
+    /// Selects the L2 ECC strength.
+    pub fn ecc(mut self, ecc: EccStrength) -> Self {
+        self.config.ecc = ecc;
+        self
+    }
+
+    /// The configured workload.
+    pub fn configured_workload(&self) -> SpecWorkload {
+        self.workload
+    }
+
+    /// Immutable view of the underlying simulation configuration.
+    pub fn config(&self) -> &SimulationConfig {
+        &self.config
+    }
+
+    /// Runs the experiment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExperimentError`] when the configuration cannot be
+    /// instantiated (bad geometry, unsupported node, zero budget).
+    pub fn run(self) -> Result<Report, ExperimentError> {
+        let stream = self.workload.stream(self.seed);
+        let report = Simulator::new(self.config)?.run(stream)?;
+        Ok(report)
+    }
+}
+
+/// Error raised by [`Experiment::run`].
+#[derive(Debug)]
+pub struct ExperimentError {
+    inner: SimulationError,
+}
+
+impl fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "experiment failed: {}", self.inner)
+    }
+}
+
+impl std::error::Error for ExperimentError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.inner)
+    }
+}
+
+impl From<SimulationError> for ExperimentError {
+    fn from(inner: SimulationError) -> Self {
+        Self { inner }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::ProtectionScheme;
+
+    #[test]
+    fn builder_round_trips_settings() {
+        let e = Experiment::paper_hierarchy()
+            .workload(SpecWorkload::Lbm)
+            .accesses(10_000)
+            .seed(99)
+            .ecc(EccStrength::Dec);
+        assert_eq!(e.configured_workload(), SpecWorkload::Lbm);
+        assert_eq!(e.config().measure_accesses, 10_000);
+        assert_eq!(e.config().warmup_accesses, 1_000);
+        assert_eq!(e.config().ecc, EccStrength::Dec);
+    }
+
+    #[test]
+    fn quick_run_produces_sane_report() {
+        let report = Experiment::paper_hierarchy()
+            .workload(SpecWorkload::Hmmer)
+            .budgets(1_000, 20_000)
+            .seed(5)
+            .run()
+            .unwrap();
+        assert!(report.l2_stats().accesses() > 0);
+        assert!(report.mttf_improvement(ProtectionScheme::Reap) >= 1.0);
+    }
+
+    #[test]
+    fn zero_budget_is_an_error() {
+        let err = Experiment::paper_hierarchy()
+            .budgets(0, 0)
+            .run()
+            .unwrap_err();
+        assert!(err.to_string().contains("experiment failed"));
+        assert!(std::error::Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn stronger_ecc_reduces_failures() {
+        let run = |ecc| {
+            Experiment::paper_hierarchy()
+                .workload(SpecWorkload::Namd)
+                .budgets(2_000, 30_000)
+                .seed(7)
+                .ecc(ecc)
+                .run()
+                .unwrap()
+                .expected_failures(ProtectionScheme::Conventional)
+        };
+        let sec = run(EccStrength::Sec);
+        let dec = run(EccStrength::Dec);
+        assert!(
+            dec < sec / 100.0,
+            "DEC {dec} should be orders below SEC {sec}"
+        );
+    }
+}

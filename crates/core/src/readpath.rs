@@ -1,0 +1,162 @@
+//! Structural access-time model of the cache read path (§V-B).
+//!
+//! The conventional parallel-access pipeline is
+//!
+//! ```text
+//! max(tag compare, data read)  →  way MUX  →  ECC decode  →  out
+//! ```
+//!
+//! REAP swaps the MUX and the (replicated) decoders:
+//!
+//! ```text
+//! max(tag compare, data read → ECC decode)  →  way MUX  →  out
+//! ```
+//!
+//! so the decode latency overlaps the tag path. Whenever
+//! `tag ≥ data + ecc − ecc` (i.e. always, because REAP's total is
+//! `max(tag, data + ecc) + mux ≤ max(tag, data) + mux + ecc`), the REAP
+//! access time is less than or equal to the conventional one — the claim
+//! this module computes from NVSim-like numbers rather than asserting.
+
+use crate::scheme::ProtectionScheme;
+use reap_ecc::DecoderCost;
+use reap_nvarray::ArrayEstimate;
+
+/// Read-path latency calculator for one cache array.
+///
+/// # Examples
+///
+/// ```
+/// use reap_core::{ProtectionScheme, ReadPathModel};
+/// use reap_ecc::{DecoderCost, EccCode, HsiaoSecDed, Interleaved};
+/// use reap_nvarray::{estimate, ArraySpec, MemTech, TechnologyNode};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let spec = ArraySpec::new(1 << 20, 64, 8)?.with_check_bits(64);
+/// let array = estimate(&spec, MemTech::SttMram, TechnologyNode::nm(22)?);
+/// let code = Interleaved::new(HsiaoSecDed::new(64)?, 8)?;
+/// let model = ReadPathModel::new(array, DecoderCost::estimate(&code, 22));
+/// let conv = model.read_access_time(ProtectionScheme::Conventional);
+/// let reap = model.read_access_time(ProtectionScheme::Reap);
+/// assert!(reap <= conv, "REAP never lengthens the read path");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReadPathModel {
+    array: ArrayEstimate,
+    decoder: DecoderCost,
+}
+
+impl ReadPathModel {
+    /// Creates the model from an array estimate and a decoder cost.
+    pub fn new(array: ArrayEstimate, decoder: DecoderCost) -> Self {
+        Self { array, decoder }
+    }
+
+    /// The underlying array estimate.
+    pub fn array(&self) -> &ArrayEstimate {
+        &self.array
+    }
+
+    /// Total read access time (s) under `scheme`.
+    pub fn read_access_time(&self, scheme: ProtectionScheme) -> f64 {
+        let a = &self.array;
+        let ecc = self.decoder.latency;
+        match scheme {
+            ProtectionScheme::Conventional | ProtectionScheme::DisruptiveRestore => {
+                // Note: the restore write of DisruptiveRestore happens off
+                // the critical path (after data is out), but it occupies
+                // the bank (see `bank_busy_time`).
+                a.tag_latency.max(a.data_read_latency) + a.mux_latency + ecc
+            }
+            ProtectionScheme::Reap => a.tag_latency.max(a.data_read_latency + ecc) + a.mux_latency,
+            ProtectionScheme::SerialTagFirst => {
+                // Tag resolution strictly before the (single-way) data read.
+                a.tag_latency + a.data_read_latency + a.mux_latency + ecc
+            }
+        }
+    }
+
+    /// Time (s) the bank stays busy per read — equals the access time
+    /// except for disruptive-restore, which appends a restore write.
+    pub fn bank_busy_time(&self, scheme: ProtectionScheme) -> f64 {
+        let base = self.read_access_time(scheme);
+        if scheme.restores_after_read() {
+            base + self.array.data_write_latency
+        } else {
+            base
+        }
+    }
+
+    /// REAP's access-time change relative to the conventional design
+    /// (≤ 0 by construction; §V-B argues "less than or equal").
+    pub fn reap_access_time_delta(&self) -> f64 {
+        self.read_access_time(ProtectionScheme::Reap)
+            - self.read_access_time(ProtectionScheme::Conventional)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reap_ecc::{HsiaoSecDed, Interleaved};
+    use reap_nvarray::{estimate, ArraySpec, MemTech, TechnologyNode};
+
+    fn model() -> ReadPathModel {
+        let spec = ArraySpec::new(1 << 20, 64, 8).unwrap().with_check_bits(64);
+        let array = estimate(&spec, MemTech::SttMram, TechnologyNode::nm(22).unwrap());
+        let code = Interleaved::new(HsiaoSecDed::new(64).unwrap(), 8).unwrap();
+        ReadPathModel::new(array, DecoderCost::estimate(&code, 22))
+    }
+
+    #[test]
+    fn reap_never_slower_than_conventional() {
+        let m = model();
+        assert!(
+            m.reap_access_time_delta() <= 1e-15,
+            "delta = {}",
+            m.reap_access_time_delta()
+        );
+    }
+
+    #[test]
+    fn serial_is_strictly_slower_than_parallel() {
+        let m = model();
+        let serial = m.read_access_time(ProtectionScheme::SerialTagFirst);
+        let parallel = m.read_access_time(ProtectionScheme::Conventional);
+        assert!(serial > parallel, "serial {serial} vs parallel {parallel}");
+    }
+
+    #[test]
+    fn restore_occupies_the_bank_longer() {
+        let m = model();
+        let conv = m.bank_busy_time(ProtectionScheme::Conventional);
+        let restore = m.bank_busy_time(ProtectionScheme::DisruptiveRestore);
+        assert!(restore > conv + 5e-9, "restore adds the 10 ns write pulse");
+        assert_eq!(
+            m.read_access_time(ProtectionScheme::DisruptiveRestore),
+            m.read_access_time(ProtectionScheme::Conventional),
+            "restore does not lengthen the data-out path"
+        );
+    }
+
+    #[test]
+    fn reap_identity_holds_algebraically() {
+        // max(t, d + e) + m <= max(t, d) + m + e for e >= 0.
+        let m = model();
+        let a = m.array();
+        let conv = a.tag_latency.max(a.data_read_latency) + a.mux_latency;
+        let reap = m.read_access_time(ProtectionScheme::Reap);
+        assert!(reap <= conv + m.decoder.latency + 1e-18);
+    }
+
+    #[test]
+    fn access_times_are_nanoseconds_scale() {
+        let m = model();
+        for s in ProtectionScheme::ALL {
+            let t = m.read_access_time(s);
+            assert!(t > 0.1e-9 && t < 50e-9, "{s}: {t}");
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! The compared cache-protection architectures.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A cache read-path protection architecture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ProtectionScheme {
+    /// Conventional parallel-access cache (Fig. 2 of the paper): all `k`
+    /// ways are read speculatively, one ECC decoder checks only the
+    /// requested way — concealed reads accumulate unchecked disturbance.
+    Conventional,
+    /// REAP-cache (Fig. 4): the MUX and ECC decoders are swapped; `k`
+    /// decoder instances check every way on every read, eliminating
+    /// accumulation entirely.
+    Reap,
+    /// Serial (tag-first) access — §IV approach 1: data is read only after
+    /// tag comparison, so no concealed reads exist, at the cost of a
+    /// serialized (longer) access path.
+    SerialTagFirst,
+    /// Disruptive reading and restoring (the paper's related work
+    /// refs. 14/15 of the paper): the conventional read path plus a restore write after
+    /// every read, healing disturbance at a large energy and write-wear
+    /// cost.
+    DisruptiveRestore,
+}
+
+impl ProtectionScheme {
+    /// All schemes, baseline first.
+    pub const ALL: [ProtectionScheme; 4] = [
+        ProtectionScheme::Conventional,
+        ProtectionScheme::Reap,
+        ProtectionScheme::SerialTagFirst,
+        ProtectionScheme::DisruptiveRestore,
+    ];
+
+    /// Whether concealed reads occur (parallel data access before tag
+    /// resolution).
+    pub fn has_concealed_reads(self) -> bool {
+        !matches!(self, ProtectionScheme::SerialTagFirst)
+    }
+
+    /// Whether every physical read is ECC-checked (no accumulation).
+    pub fn checks_every_read(self) -> bool {
+        matches!(self, ProtectionScheme::Reap)
+    }
+
+    /// Whether every physical read is followed by a restore write.
+    pub fn restores_after_read(self) -> bool {
+        matches!(self, ProtectionScheme::DisruptiveRestore)
+    }
+
+    /// Number of ECC decoder instances required for associativity `k`.
+    pub fn decoder_instances(self, associativity: usize) -> usize {
+        if self.checks_every_read() {
+            associativity
+        } else {
+            1
+        }
+    }
+
+    /// Short identifier used in reports and CSV output.
+    pub fn id(self) -> &'static str {
+        match self {
+            ProtectionScheme::Conventional => "conventional",
+            ProtectionScheme::Reap => "reap",
+            ProtectionScheme::SerialTagFirst => "serial",
+            ProtectionScheme::DisruptiveRestore => "restore",
+        }
+    }
+}
+
+impl fmt::Display for ProtectionScheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtectionScheme::Conventional => f.write_str("conventional parallel-access"),
+            ProtectionScheme::Reap => f.write_str("REAP-cache"),
+            ProtectionScheme::SerialTagFirst => f.write_str("serial tag-first"),
+            ProtectionScheme::DisruptiveRestore => f.write_str("disruptive-read-and-restore"),
+        }
+    }
+}
+
+/// Error parsing a [`ProtectionScheme`] from its id.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseSchemeError {
+    /// The unrecognized id.
+    pub id: String,
+}
+
+impl fmt::Display for ParseSchemeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown protection scheme `{}`", self.id)
+    }
+}
+
+impl std::error::Error for ParseSchemeError {}
+
+impl FromStr for ProtectionScheme {
+    type Err = ParseSchemeError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        ProtectionScheme::ALL
+            .into_iter()
+            .find(|p| p.id().eq_ignore_ascii_case(s))
+            .ok_or_else(|| ParseSchemeError { id: s.to_owned() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicates_encode_the_design_space() {
+        use ProtectionScheme::*;
+        assert!(Conventional.has_concealed_reads());
+        assert!(!Conventional.checks_every_read());
+        assert!(
+            Reap.has_concealed_reads(),
+            "REAP keeps the parallel read path"
+        );
+        assert!(Reap.checks_every_read());
+        assert!(!SerialTagFirst.has_concealed_reads());
+        assert!(DisruptiveRestore.restores_after_read());
+    }
+
+    #[test]
+    fn decoder_instances_match_section_v() {
+        assert_eq!(ProtectionScheme::Conventional.decoder_instances(8), 1);
+        assert_eq!(ProtectionScheme::Reap.decoder_instances(8), 8);
+        assert_eq!(ProtectionScheme::SerialTagFirst.decoder_instances(8), 1);
+    }
+
+    #[test]
+    fn ids_parse_round_trip() {
+        for s in ProtectionScheme::ALL {
+            assert_eq!(s.id().parse::<ProtectionScheme>().unwrap(), s);
+        }
+        assert!("bogus".parse::<ProtectionScheme>().is_err());
+    }
+
+    #[test]
+    fn display_is_descriptive() {
+        assert_eq!(ProtectionScheme::Reap.to_string(), "REAP-cache");
+        assert!(ProtectionScheme::DisruptiveRestore
+            .to_string()
+            .contains("restore"));
+    }
+}

@@ -1,0 +1,359 @@
+//! End-to-end simulation: trace → hierarchy → reliability + energy.
+
+use crate::energy::EnergyModel;
+use crate::observer::ReliabilityObserver;
+use crate::readpath::ReadPathModel;
+use crate::report::Report;
+use reap_cache::{Hierarchy, HierarchyConfig, Replacement};
+use reap_ecc::{Bch, CodeError, DecoderCost, EccCode, HammingSec};
+use reap_mtj::{read_disturbance_probability, MtjParams};
+use reap_nvarray::{estimate, ArraySpec, MemTech, SpecError, TechnologyNode};
+use reap_reliability::AccumulationModel;
+use reap_trace::MemoryAccess;
+use std::fmt;
+
+/// Line-level ECC strength protecting the STT-MRAM L2.
+///
+/// The paper's analysis treats the whole line as one `t`-error-correcting
+/// block (§III-B); the concrete codes here provide exactly that at
+/// realistic check-bit costs for a 512-bit line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EccStrength {
+    /// Single-error correction (Hamming, 10 check bits) — the paper's
+    /// baseline assumption.
+    Sec,
+    /// Double-error correction (BCH t=2, 20 check bits).
+    Dec,
+    /// Triple-error correction (BCH t=3, 30 check bits).
+    Tec,
+}
+
+impl EccStrength {
+    /// All strengths, weakest first.
+    pub const ALL: [EccStrength; 3] = [EccStrength::Sec, EccStrength::Dec, EccStrength::Tec];
+
+    /// The correction capability `t`.
+    pub fn t(self) -> usize {
+        match self {
+            EccStrength::Sec => 1,
+            EccStrength::Dec => 2,
+            EccStrength::Tec => 3,
+        }
+    }
+
+    /// Builds the concrete code for `data_bits` payload bits.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CodeError`] when the geometry cannot be constructed.
+    pub fn build_code(self, data_bits: usize) -> Result<Box<dyn EccCode>, CodeError> {
+        Ok(match self {
+            EccStrength::Sec => Box::new(HammingSec::new(data_bits)?),
+            EccStrength::Dec => Box::new(Bch::new(data_bits, 2)?),
+            EccStrength::Tec => Box::new(Bch::new(data_bits, 3)?),
+        })
+    }
+}
+
+impl fmt::Display for EccStrength {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EccStrength::Sec => f.write_str("SEC"),
+            EccStrength::Dec => f.write_str("DEC"),
+            EccStrength::Tec => f.write_str("TEC"),
+        }
+    }
+}
+
+/// Full configuration of one simulation.
+#[derive(Debug, Clone)]
+pub struct SimulationConfig {
+    /// Cache geometries (Table I by default).
+    pub hierarchy: HierarchyConfig,
+    /// Replacement policy for all levels.
+    pub replacement: Replacement,
+    /// STT-MRAM cell parameters (determine `P_rd` via Eq. (1)).
+    pub mtj: MtjParams,
+    /// L2 line ECC strength.
+    pub ecc: EccStrength,
+    /// Process node in nanometres.
+    pub tech_nm: u32,
+    /// Accesses issued per second by the core (for MTTF time base).
+    pub access_rate_hz: f64,
+    /// Accesses simulated before measurement starts (cache warm-up).
+    pub warmup_accesses: u64,
+    /// Accesses measured.
+    pub measure_accesses: u64,
+}
+
+impl Default for SimulationConfig {
+    /// The paper's setup: Table I hierarchy, LRU, default MTJ card
+    /// (`P_rd ≈ 1.5e-8`), SEC, 22 nm, 1 G accesses/s.
+    fn default() -> Self {
+        Self {
+            hierarchy: HierarchyConfig::paper(),
+            replacement: Replacement::Lru,
+            mtj: MtjParams::default(),
+            ecc: EccStrength::Sec,
+            tech_nm: 22,
+            access_rate_hz: 1e9,
+            warmup_accesses: 100_000,
+            measure_accesses: 1_000_000,
+        }
+    }
+}
+
+/// Error constructing or running a simulation.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum SimulationError {
+    /// The ECC code could not be constructed for the line width.
+    Code(CodeError),
+    /// The array model rejected the geometry or node.
+    Array(SpecError),
+    /// A parameter was out of range.
+    BadParameter(&'static str),
+}
+
+impl fmt::Display for SimulationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimulationError::Code(e) => write!(f, "ecc construction failed: {e}"),
+            SimulationError::Array(e) => write!(f, "array model rejected the setup: {e}"),
+            SimulationError::BadParameter(what) => write!(f, "invalid parameter: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SimulationError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimulationError::Code(e) => Some(e),
+            SimulationError::Array(e) => Some(e),
+            SimulationError::BadParameter(_) => None,
+        }
+    }
+}
+
+impl From<CodeError> for SimulationError {
+    fn from(e: CodeError) -> Self {
+        SimulationError::Code(e)
+    }
+}
+
+impl From<SpecError> for SimulationError {
+    fn from(e: SpecError) -> Self {
+        SimulationError::Array(e)
+    }
+}
+
+/// Runs a configured simulation over a trace.
+///
+/// # Examples
+///
+/// ```
+/// use reap_core::{ProtectionScheme, SimulationConfig, Simulator};
+/// use reap_trace::SpecWorkload;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let config = SimulationConfig {
+///     warmup_accesses: 5_000,
+///     measure_accesses: 50_000,
+///     ..SimulationConfig::default()
+/// };
+/// let report = Simulator::new(config)?.run(SpecWorkload::DealII.stream(1))?;
+/// assert!(report.mttf_improvement(ProtectionScheme::Reap) >= 1.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Simulator {
+    config: SimulationConfig,
+    p_rd: f64,
+    check_bits: usize,
+    energy_model: EnergyModel,
+    readpath_model: ReadPathModel,
+}
+
+impl Simulator {
+    /// Builds the derived models for `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimulationError`] if the ECC code or array model cannot
+    /// be constructed, or a rate/count parameter is zero.
+    pub fn new(config: SimulationConfig) -> Result<Self, SimulationError> {
+        if config.measure_accesses == 0 {
+            return Err(SimulationError::BadParameter(
+                "measure_accesses must be positive",
+            ));
+        }
+        if !(config.access_rate_hz.is_finite() && config.access_rate_hz > 0.0) {
+            return Err(SimulationError::BadParameter(
+                "access_rate_hz must be positive",
+            ));
+        }
+        let line_bits = config.hierarchy.l2.line_bits();
+        let code = config.ecc.build_code(line_bits)?;
+        let check_bits = code.check_bits();
+        let node = TechnologyNode::nm(config.tech_nm)?;
+        let spec = ArraySpec::new(
+            config.hierarchy.l2.size_bytes(),
+            config.hierarchy.l2.block_bytes(),
+            config.hierarchy.l2.associativity(),
+        )?
+        .with_check_bits(check_bits);
+        let array = estimate(&spec, MemTech::SttMram, node);
+        let decoder = DecoderCost::estimate(code.as_ref(), config.tech_nm);
+        let p_rd = read_disturbance_probability(&config.mtj);
+        Ok(Self {
+            config,
+            p_rd,
+            check_bits,
+            energy_model: EnergyModel::new(array, decoder),
+            readpath_model: ReadPathModel::new(array, decoder),
+        })
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &SimulationConfig {
+        &self.config
+    }
+
+    /// The derived per-read, per-cell disturbance probability (Eq. (1)).
+    pub fn p_rd(&self) -> f64 {
+        self.p_rd
+    }
+
+    /// Drives `trace` through the hierarchy and produces the report.
+    ///
+    /// The trace must supply at least `warmup + measure` accesses;
+    /// infinite generator streams always do.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimulationError::BadParameter`] if the trace ends before
+    /// the configured access budget.
+    pub fn run<I>(&self, trace: I) -> Result<Report, SimulationError>
+    where
+        I: IntoIterator<Item = MemoryAccess>,
+    {
+        let mut hierarchy = Hierarchy::new(self.config.hierarchy.clone(), self.config.replacement);
+        hierarchy.l2_mut().set_check_bits(self.check_bits);
+        let stored_bits = hierarchy.l2().stored_line_bits() as u32;
+        let model = AccumulationModel::new(self.p_rd, self.config.ecc.t());
+        let mut observer = ReliabilityObserver::new(model, stored_bits);
+
+        let mut iter = trace.into_iter();
+        for _ in 0..self.config.warmup_accesses {
+            let Some(a) = iter.next() else {
+                return Err(SimulationError::BadParameter(
+                    "trace shorter than warm-up budget",
+                ));
+            };
+            hierarchy.access(a, &mut ());
+        }
+        hierarchy.l2_mut().reset_stats();
+        for _ in 0..self.config.measure_accesses {
+            let Some(a) = iter.next() else {
+                return Err(SimulationError::BadParameter(
+                    "trace shorter than access budget",
+                ));
+            };
+            hierarchy.access(a, &mut observer);
+        }
+
+        let duration_seconds = self.config.measure_accesses as f64 / self.config.access_rate_hz;
+        Ok(Report::assemble(
+            &hierarchy,
+            observer,
+            self.energy_model,
+            self.readpath_model,
+            duration_seconds,
+            self.p_rd,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::ProtectionScheme;
+    use reap_trace::SpecWorkload;
+
+    fn quick_config() -> SimulationConfig {
+        SimulationConfig {
+            warmup_accesses: 2_000,
+            measure_accesses: 30_000,
+            ..SimulationConfig::default()
+        }
+    }
+
+    #[test]
+    fn ecc_strengths_build_codes() {
+        for s in EccStrength::ALL {
+            let code = s.build_code(512).unwrap();
+            assert_eq!(code.correctable_errors(), s.t());
+            assert_eq!(code.data_bits(), 512);
+        }
+        assert_eq!(EccStrength::Sec.build_code(512).unwrap().check_bits(), 10);
+        assert_eq!(EccStrength::Tec.build_code(512).unwrap().check_bits(), 30);
+    }
+
+    #[test]
+    fn simulator_reports_improvement_above_one() {
+        let sim = Simulator::new(quick_config()).unwrap();
+        let report = sim.run(SpecWorkload::Namd.stream(3)).unwrap();
+        let imp = report.mttf_improvement(ProtectionScheme::Reap);
+        assert!(imp > 1.0, "improvement = {imp}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let sim = Simulator::new(quick_config()).unwrap();
+        let a = sim.run(SpecWorkload::Gcc.stream(9)).unwrap();
+        let b = sim.run(SpecWorkload::Gcc.stream(9)).unwrap();
+        assert_eq!(
+            a.expected_failures(ProtectionScheme::Conventional),
+            b.expected_failures(ProtectionScheme::Conventional)
+        );
+        assert_eq!(a.l2_stats().concealed_reads, b.l2_stats().concealed_reads);
+    }
+
+    #[test]
+    fn short_trace_is_an_error() {
+        let sim = Simulator::new(quick_config()).unwrap();
+        let trace: Vec<MemoryAccess> = (0..100).map(|i| MemoryAccess::load(i * 64)).collect();
+        let err = sim.run(trace).unwrap_err();
+        assert!(matches!(err, SimulationError::BadParameter(_)));
+    }
+
+    #[test]
+    fn zero_measure_budget_rejected() {
+        let config = SimulationConfig {
+            measure_accesses: 0,
+            ..SimulationConfig::default()
+        };
+        assert!(matches!(
+            Simulator::new(config),
+            Err(SimulationError::BadParameter(_))
+        ));
+    }
+
+    #[test]
+    fn p_rd_comes_from_eq_one() {
+        let sim = Simulator::new(quick_config()).unwrap();
+        assert!(
+            (sim.p_rd() / 1.523e-8 - 1.0).abs() < 0.01,
+            "p = {}",
+            sim.p_rd()
+        );
+    }
+
+    #[test]
+    fn error_display_chains() {
+        let e = SimulationError::from(CodeError::UnsupportedCorrection { t: 0 });
+        assert!(e.to_string().contains("ecc construction failed"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

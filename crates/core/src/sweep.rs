@@ -1,0 +1,171 @@
+//! Parallel execution of experiment batches.
+//!
+//! Each simulation is single-threaded and deterministic; campaigns (a
+//! Fig. 5 sweep is 21 independent runs) parallelize perfectly across
+//! experiments. [`run_parallel`] fans a batch out over a bounded pool of
+//! OS threads and returns results in input order.
+
+use crate::experiment::{Experiment, ExperimentError};
+use crate::report::Report;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Runs `experiments` on up to `parallelism` threads, returning results in
+/// the same order as the input.
+///
+/// Determinism is unaffected: each experiment's result depends only on its
+/// own configuration and seed, never on scheduling.
+///
+/// # Panics
+///
+/// Panics if `parallelism == 0` or a worker thread panics (a bug in the
+/// simulation stack, not a data-dependent condition).
+///
+/// # Examples
+///
+/// ```
+/// use reap_core::sweep::run_parallel;
+/// use reap_core::{Experiment, ProtectionScheme};
+/// use reap_trace::SpecWorkload;
+///
+/// let batch: Vec<Experiment> = [SpecWorkload::Hmmer, SpecWorkload::Mcf]
+///     .into_iter()
+///     .map(|w| Experiment::paper_hierarchy().workload(w).budgets(1_000, 20_000))
+///     .collect();
+/// let reports = run_parallel(batch, 2);
+/// assert_eq!(reports.len(), 2);
+/// for r in reports {
+///     assert!(r.expect("valid config").mttf_improvement(ProtectionScheme::Reap) >= 1.0);
+/// }
+/// ```
+pub fn run_parallel(
+    experiments: Vec<Experiment>,
+    parallelism: usize,
+) -> Vec<Result<Report, ExperimentError>> {
+    assert!(parallelism > 0, "need at least one worker");
+    let total = experiments.len();
+    if total == 0 {
+        return Vec::new();
+    }
+    let jobs: Vec<Mutex<Option<Experiment>>> =
+        experiments.into_iter().map(|e| Mutex::new(Some(e))).collect();
+    let results: Vec<Mutex<Option<Result<Report, ExperimentError>>>> =
+        (0..total).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let workers = parallelism.min(total);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= total {
+                    break;
+                }
+                let experiment = jobs[i]
+                    .lock()
+                    .expect("job mutex poisoned")
+                    .take()
+                    .expect("each job is claimed exactly once");
+                let result = experiment.run();
+                *results[i].lock().expect("result mutex poisoned") = Some(result);
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result mutex poisoned")
+                .expect("every job ran to completion")
+        })
+        .collect()
+}
+
+/// Convenience: the Fig. 5/6 sweep over all 21 workload profiles.
+///
+/// # Examples
+///
+/// ```no_run
+/// use reap_core::sweep::sweep_workloads;
+///
+/// let reports = sweep_workloads(1_000_000, 2019, 8);
+/// assert_eq!(reports.len(), 21);
+/// ```
+pub fn sweep_workloads(
+    accesses: u64,
+    seed: u64,
+    parallelism: usize,
+) -> Vec<(reap_trace::SpecWorkload, Result<Report, ExperimentError>)> {
+    let workloads = reap_trace::SpecWorkload::ALL;
+    let batch = workloads
+        .into_iter()
+        .map(|w| Experiment::paper_hierarchy().workload(w).accesses(accesses).seed(seed))
+        .collect();
+    workloads.into_iter().zip(run_parallel(batch, parallelism)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::ProtectionScheme;
+    use reap_trace::SpecWorkload;
+
+    #[test]
+    fn parallel_matches_serial_bit_for_bit() {
+        let make = |w: SpecWorkload| {
+            Experiment::paper_hierarchy().workload(w).budgets(1_000, 15_000).seed(4)
+        };
+        let serial: Vec<f64> = [SpecWorkload::Gcc, SpecWorkload::Lbm, SpecWorkload::Namd]
+            .into_iter()
+            .map(|w| {
+                make(w).run().unwrap().expected_failures(ProtectionScheme::Conventional)
+            })
+            .collect();
+        let parallel = run_parallel(
+            [SpecWorkload::Gcc, SpecWorkload::Lbm, SpecWorkload::Namd]
+                .into_iter()
+                .map(make)
+                .collect(),
+            3,
+        );
+        for (s, p) in serial.iter().zip(parallel) {
+            let p = p.unwrap().expected_failures(ProtectionScheme::Conventional);
+            assert_eq!(s.to_bits(), p.to_bits(), "scheduling must not affect results");
+        }
+    }
+
+    #[test]
+    fn results_keep_input_order() {
+        let batch: Vec<Experiment> = [SpecWorkload::Mcf, SpecWorkload::Namd]
+            .into_iter()
+            .map(|w| Experiment::paper_hierarchy().workload(w).budgets(1_000, 20_000).seed(1))
+            .collect();
+        let out = run_parallel(batch, 2);
+        let gain = |r: &Result<Report, ExperimentError>| {
+            r.as_ref().unwrap().mttf_improvement(ProtectionScheme::Reap)
+        };
+        // namd (second) accumulates far more than mcf (first).
+        assert!(gain(&out[1]) > gain(&out[0]));
+    }
+
+    #[test]
+    fn errors_are_propagated_per_job() {
+        let ok = Experiment::paper_hierarchy().budgets(100, 5_000);
+        let bad = Experiment::paper_hierarchy().budgets(0, 0);
+        let out = run_parallel(vec![ok, bad], 2);
+        assert!(out[0].is_ok());
+        assert!(out[1].is_err());
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        assert!(run_parallel(Vec::new(), 4).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_parallelism_rejected() {
+        let _ = run_parallel(Vec::new(), 0);
+    }
+}

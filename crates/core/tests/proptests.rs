@@ -1,0 +1,60 @@
+//! Property-based tests for the REAP core: scheme invariants must hold
+//! for arbitrary event streams, not just the built-in workloads.
+
+use proptest::prelude::*;
+use reap_cache::AccessObserver;
+use reap_core::analysis::NumericExample;
+use reap_core::ReliabilityObserver;
+use reap_reliability::AccumulationModel;
+
+proptest! {
+    /// For any sequence of demand events, the expected-failure ordering
+    /// conventional >= REAP >= serial holds.
+    #[test]
+    fn observer_ordering_for_arbitrary_event_streams(
+        events in proptest::collection::vec((1u32..577, 1u64..50_000), 1..200),
+        p_exp in -10.0f64..-4.0,
+    ) {
+        let model = AccumulationModel::sec(10f64.powf(p_exp));
+        let mut obs = ReliabilityObserver::new(model, 576);
+        for &(n_ones, n_reads) in &events {
+            obs.demand_read(n_ones, n_reads);
+        }
+        let conv = obs.conventional().expected_failures();
+        let reap = obs.reap().expected_failures();
+        let serial = obs.serial().expected_failures();
+        prop_assert!(conv >= reap);
+        prop_assert!(reap >= serial);
+        prop_assert_eq!(obs.conventional().events(), events.len() as u64);
+        prop_assert_eq!(obs.histogram().total_count(), events.len() as u64);
+    }
+
+    /// The observer's histogram failure mass always equals the
+    /// conventional aggregator's mass, event stream regardless.
+    #[test]
+    fn histogram_equals_conventional_mass(
+        events in proptest::collection::vec((1u32..577, 1u64..10_000), 1..100),
+    ) {
+        let mut obs = ReliabilityObserver::new(AccumulationModel::sec(1e-7), 576);
+        for &(n_ones, n_reads) in &events {
+            obs.demand_read(n_ones, n_reads);
+        }
+        let diff = (obs.histogram().total_failure_probability()
+            - obs.conventional().expected_failures())
+        .abs();
+        prop_assert!(diff <= 1e-12 * obs.conventional().expected_failures().max(1e-300));
+    }
+
+    /// The closed-form numeric example scales correctly in each parameter.
+    #[test]
+    fn numeric_example_monotonicity(
+        n_ones in 10u32..500,
+        n_reads in 2u64..10_000,
+    ) {
+        let e = NumericExample::with_parameters(1e-8, n_ones, n_reads);
+        prop_assert!(e.p_err_accumulated >= e.p_err_reap);
+        prop_assert!(e.p_err_reap >= e.p_err_single);
+        let e2 = NumericExample::with_parameters(1e-8, n_ones, n_reads * 2);
+        prop_assert!(e2.p_err_accumulated >= e.p_err_accumulated);
+    }
+}

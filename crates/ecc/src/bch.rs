@@ -1,0 +1,479 @@
+//! Binary BCH codes correcting `t ≥ 1` errors.
+//!
+//! The "aggressive ECC" option of the paper's introduction: a
+//! `t`-error-correcting BCH code over GF(2^m) with designed distance
+//! `2t + 1`. Construction picks the smallest field whose natural length
+//! `n = 2^m − 1` fits the payload plus `deg g(x)` check bits, and shortens
+//! the code to the requested data width. Decoding is the textbook chain:
+//! syndrome evaluation → Berlekamp–Massey → Chien search.
+
+use crate::bits::{get_bit, Codeword};
+use crate::code::{
+    check_code_buffer, check_data_buffer, CodeError, DecodeOutcome, Decoded, EccCode,
+};
+use crate::gf::{gf2_poly_degree, GfTables};
+
+/// A shortened binary BCH code with correction capability `t`.
+///
+/// # Examples
+///
+/// ```
+/// use reap_ecc::{Bch, EccCode};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // A DEC (double-error-correcting) code for a 64-bit word.
+/// let code = Bch::new(64, 2)?;
+/// let data = [1, 2, 3, 4, 5, 6, 7, 8];
+/// let mut cw = code.encode(&data);
+/// cw.flip_bit(0);
+/// cw.flip_bit(63);
+/// let out = code.decode(cw.as_bytes());
+/// assert_eq!(out.data, data);
+/// assert!(out.outcome.is_corrected());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Bch {
+    gf: GfTables,
+    t: usize,
+    data_bits: usize,
+    check_bits: usize,
+    /// Generator polynomial, bit `i` = coefficient of x^i; degree = check_bits.
+    generator: u128,
+}
+
+impl Bch {
+    /// Constructs a `t`-error-correcting BCH code for `data_bits` payload
+    /// bits.
+    ///
+    /// # Errors
+    ///
+    /// * [`CodeError::UnsupportedDataWidth`] if `data_bits == 0`.
+    /// * [`CodeError::UnsupportedCorrection`] if `t == 0`.
+    /// * [`CodeError::DoesNotFit`] if no supported field (m ≤ 14, check
+    ///   bits ≤ 120) can carry the payload at this `t`.
+    pub fn new(data_bits: usize, t: usize) -> Result<Self, CodeError> {
+        if data_bits == 0 {
+            return Err(CodeError::UnsupportedDataWidth { data_bits });
+        }
+        if t == 0 {
+            return Err(CodeError::UnsupportedCorrection { t });
+        }
+        let mut best_fit: Option<(GfTables, u128, usize)> = None;
+        let mut max_payload = 0usize;
+        for m in 3..=14u32 {
+            let gf = GfTables::new(m).expect("supported range");
+            let n = gf.order();
+            if 2 * t >= n {
+                continue;
+            }
+            let Some(gen) = generator_polynomial(&gf, t) else {
+                continue;
+            };
+            let r = gf2_poly_degree(gen).expect("generator is non-zero") as usize;
+            if r > 120 {
+                break;
+            }
+            let k_full = n - r;
+            max_payload = max_payload.max(k_full);
+            if k_full >= data_bits {
+                best_fit = Some((gf, gen, r));
+                break;
+            }
+        }
+        match best_fit {
+            Some((gf, generator, check_bits)) => Ok(Self {
+                gf,
+                t,
+                data_bits,
+                check_bits,
+                generator,
+            }),
+            None => Err(CodeError::DoesNotFit {
+                data_bits,
+                t,
+                max_data_bits: max_payload,
+            }),
+        }
+    }
+
+    /// The underlying field degree `m`.
+    pub fn field_degree(&self) -> u32 {
+        self.gf.degree()
+    }
+
+    /// The natural (unshortened) code length `2^m − 1`.
+    pub fn natural_length(&self) -> usize {
+        self.gf.order()
+    }
+
+    /// Coefficient of x^`p` in the received word, where parity occupies
+    /// coefficients `0..r` and data occupies `r..r+k` (external layout is
+    /// `[data | check]`).
+    fn coeff(&self, received: &[u8], p: usize) -> bool {
+        let r = self.check_bits;
+        if p < r {
+            get_bit(received, self.data_bits + p)
+        } else {
+            get_bit(received, p - r)
+        }
+    }
+
+    /// Maps an internal coefficient index to the external bit index.
+    fn external_index(&self, p: usize) -> usize {
+        let r = self.check_bits;
+        if p < r {
+            self.data_bits + p
+        } else {
+            p - r
+        }
+    }
+
+    /// Syndromes S_1..S_2t of the received word.
+    fn syndromes(&self, received: &[u8]) -> Vec<u32> {
+        let mut s = vec![0u32; 2 * self.t];
+        for p in 0..self.code_bits() {
+            if self.coeff(received, p) {
+                for (j, sj) in s.iter_mut().enumerate() {
+                    *sj ^= self.gf.alpha_pow(p * (j + 1));
+                }
+            }
+        }
+        s
+    }
+
+    /// Berlekamp–Massey: returns the error-locator polynomial σ
+    /// (coefficients low-to-high) or `None` if its degree exceeds `t`.
+    fn berlekamp_massey(&self, s: &[u32]) -> Option<Vec<u32>> {
+        let gf = &self.gf;
+        let mut sigma = vec![1u32];
+        let mut prev = vec![1u32];
+        let mut l = 0usize;
+        let mut shift = 1usize;
+        let mut b = 1u32;
+        for n_i in 0..s.len() {
+            let mut d = s[n_i];
+            for i in 1..=l.min(sigma.len() - 1) {
+                d ^= gf.mul(sigma[i], s[n_i - i]);
+            }
+            if d == 0 {
+                shift += 1;
+            } else if 2 * l <= n_i {
+                let saved = sigma.clone();
+                let scale = gf.div(d, b);
+                add_scaled_shifted(gf, &mut sigma, &prev, scale, shift);
+                l = n_i + 1 - l;
+                prev = saved;
+                b = d;
+                shift = 1;
+            } else {
+                let scale = gf.div(d, b);
+                add_scaled_shifted(gf, &mut sigma, &prev, scale, shift);
+                shift += 1;
+            }
+        }
+        while sigma.last() == Some(&0) && sigma.len() > 1 {
+            sigma.pop();
+        }
+        (sigma.len() - 1 <= self.t && l == sigma.len() - 1).then_some(sigma)
+    }
+
+    /// Chien search: internal coefficient positions where σ locates errors,
+    /// or `None` if the root count does not match σ's degree or a root
+    /// falls in the shortened (non-existent) region.
+    fn chien_search(&self, sigma: &[u32]) -> Option<Vec<usize>> {
+        let n = self.gf.order();
+        let degree = sigma.len() - 1;
+        let mut positions = Vec::with_capacity(degree);
+        for p in 0..n {
+            // Error at position p <=> σ(α^{-p}) = 0.
+            let x = self.gf.alpha_pow(n - p % n);
+            if self.gf.eval_poly(sigma, x) == 0 {
+                if p >= self.code_bits() {
+                    return None; // root in the shortened region: bogus
+                }
+                positions.push(p);
+                if positions.len() > degree {
+                    return None;
+                }
+            }
+        }
+        (positions.len() == degree).then_some(positions)
+    }
+
+    fn extract_data(&self, word: &[u8]) -> Vec<u8> {
+        let mut data = vec![0u8; self.data_bits.div_ceil(8)];
+        for i in 0..self.data_bits {
+            if get_bit(word, i) {
+                crate::bits::set_bit(&mut data, i, true);
+            }
+        }
+        data
+    }
+}
+
+/// `sigma += scale * x^shift * prev` over GF(2^m).
+fn add_scaled_shifted(gf: &GfTables, sigma: &mut Vec<u32>, prev: &[u32], scale: u32, shift: usize) {
+    let needed = prev.len() + shift;
+    if sigma.len() < needed {
+        sigma.resize(needed, 0);
+    }
+    for (i, &p) in prev.iter().enumerate() {
+        sigma[i + shift] ^= gf.mul(scale, p);
+    }
+}
+
+/// Generator polynomial `g(x) = lcm of minimal polynomials of α^1..α^2t`.
+///
+/// Returns `None` when the degree would overflow the u128 representation.
+fn generator_polynomial(gf: &GfTables, t: usize) -> Option<u128> {
+    let mut g: u128 = 1;
+    let mut included: Vec<u64> = Vec::new();
+    for i in 1..=2 * t {
+        let mp = gf.minimal_polynomial(i);
+        if included.contains(&mp) {
+            continue;
+        }
+        let deg_g = gf2_poly_degree(g)?;
+        let deg_mp = 63 - mp.leading_zeros();
+        if deg_g + deg_mp > 120 {
+            return None;
+        }
+        g = poly_mul_u128(g, mp);
+        included.push(mp);
+    }
+    Some(g)
+}
+
+/// Multiplies a u128 GF(2) polynomial by a u64 GF(2) polynomial.
+fn poly_mul_u128(a: u128, b: u64) -> u128 {
+    let mut out = 0u128;
+    let mut bb = b;
+    let mut shift = 0;
+    while bb != 0 {
+        if bb & 1 == 1 {
+            out ^= a << shift;
+        }
+        bb >>= 1;
+        shift += 1;
+    }
+    out
+}
+
+impl EccCode for Bch {
+    fn data_bits(&self) -> usize {
+        self.data_bits
+    }
+
+    fn check_bits(&self) -> usize {
+        self.check_bits
+    }
+
+    fn correctable_errors(&self) -> usize {
+        self.t
+    }
+
+    fn detectable_errors(&self) -> usize {
+        self.t
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "BCH t={} ({},{}) over GF(2^{})",
+            self.t,
+            self.code_bits(),
+            self.data_bits,
+            self.gf.degree()
+        )
+    }
+
+    fn encode(&self, data: &[u8]) -> Codeword {
+        check_data_buffer(data, self.data_bits);
+        let r = self.check_bits;
+        // CRC-style long division: remainder of d(x) * x^r by g(x).
+        let g_low = self.generator & ((1u128 << r) - 1); // g without the x^r term
+        let top = 1u128 << (r - 1);
+        let mut rem = 0u128;
+        for i in (0..self.data_bits).rev() {
+            let feedback = get_bit(data, i) ^ (rem & top != 0);
+            rem = (rem << 1) & ((1u128 << r) - 1);
+            if feedback {
+                rem ^= g_low;
+            }
+        }
+        let mut cw = Codeword::zeroed(self.code_bits());
+        for i in 0..self.data_bits {
+            if get_bit(data, i) {
+                cw.set_bit(i, true);
+            }
+        }
+        for j in 0..r {
+            if rem >> j & 1 == 1 {
+                cw.set_bit(self.data_bits + j, true);
+            }
+        }
+        cw
+    }
+
+    fn decode(&self, received: &[u8]) -> Decoded {
+        check_code_buffer(received, self.code_bits());
+        let s = self.syndromes(received);
+        if s.iter().all(|&x| x == 0) {
+            return Decoded {
+                data: self.extract_data(received),
+                outcome: DecodeOutcome::Clean,
+            };
+        }
+        let Some(sigma) = self.berlekamp_massey(&s) else {
+            return Decoded {
+                data: self.extract_data(received),
+                outcome: DecodeOutcome::Detected,
+            };
+        };
+        let Some(positions) = self.chien_search(&sigma) else {
+            return Decoded {
+                data: self.extract_data(received),
+                outcome: DecodeOutcome::Detected,
+            };
+        };
+        let mut word = received.to_vec();
+        for p in &positions {
+            crate::bits::flip_bit(&mut word, self.external_index(*p));
+        }
+        Decoded {
+            data: self.extract_data(&word),
+            outcome: DecodeOutcome::Corrected(positions.len()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_of_classic_codes() {
+        // BCH(15,7,t=2): m=4, g = lcm(m1,m3) of degree 8.
+        let c = Bch::new(7, 2).unwrap();
+        assert_eq!(c.field_degree(), 4);
+        assert_eq!(c.check_bits(), 8);
+        // BCH(15,5,t=3): degree 10 generator.
+        let c3 = Bch::new(5, 3).unwrap();
+        assert_eq!(c3.field_degree(), 4);
+        assert_eq!(c3.check_bits(), 10);
+        // DEC for 64-bit words: m=7 (n=127), r = 14.
+        let dec = Bch::new(64, 2).unwrap();
+        assert_eq!(dec.field_degree(), 7);
+        assert_eq!(dec.check_bits(), 14);
+        // TEC for 512-bit lines: m=10 (n=1023), r = 30.
+        let tec = Bch::new(512, 3).unwrap();
+        assert_eq!(tec.field_degree(), 10);
+        assert_eq!(tec.check_bits(), 30);
+    }
+
+    #[test]
+    fn rejects_degenerate_parameters() {
+        assert!(matches!(
+            Bch::new(0, 2),
+            Err(CodeError::UnsupportedDataWidth { .. })
+        ));
+        assert!(matches!(
+            Bch::new(64, 0),
+            Err(CodeError::UnsupportedCorrection { .. })
+        ));
+    }
+
+    #[test]
+    fn oversized_payload_reports_fit_limit() {
+        let err = Bch::new(100_000, 8).unwrap_err();
+        assert!(matches!(err, CodeError::DoesNotFit { .. }));
+    }
+
+    #[test]
+    fn clean_round_trip() {
+        let code = Bch::new(64, 2).unwrap();
+        let data = [0xFE, 0xDC, 0xBA, 0x98, 0x76, 0x54, 0x32, 0x10];
+        let out = code.decode(code.encode(&data).as_bytes());
+        assert_eq!(out.outcome, DecodeOutcome::Clean);
+        assert_eq!(out.data, data);
+    }
+
+    #[test]
+    fn corrects_all_single_errors_exhaustively() {
+        let code = Bch::new(16, 2).unwrap();
+        let data = [0xA7, 0x1B];
+        let cw = code.encode(&data);
+        for i in 0..code.code_bits() {
+            let mut w = cw.clone();
+            w.flip_bit(i);
+            let out = code.decode(w.as_bytes());
+            assert_eq!(out.outcome, DecodeOutcome::Corrected(1), "bit {i}");
+            assert_eq!(out.data, data, "bit {i}");
+        }
+    }
+
+    #[test]
+    fn corrects_all_double_errors_exhaustively_small_code() {
+        let code = Bch::new(7, 2).unwrap(); // BCH(15,7)
+        let data = [0b0101_1010 & 0x7F];
+        let cw = code.encode(&data);
+        let n = code.code_bits();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let mut w = cw.clone();
+                w.flip_bit(i);
+                w.flip_bit(j);
+                let out = code.decode(w.as_bytes());
+                assert_eq!(out.outcome, DecodeOutcome::Corrected(2), "bits {i},{j}");
+                assert_eq!(out.data, data, "bits {i},{j}");
+            }
+        }
+    }
+
+    #[test]
+    fn corrects_triple_errors_with_t3() {
+        let code = Bch::new(512, 3).unwrap();
+        let mut data = vec![0u8; 64];
+        for (i, b) in data.iter_mut().enumerate() {
+            *b = (i as u8).wrapping_mul(97).wrapping_add(5);
+        }
+        let cw = code.encode(&data);
+        for (a, b, c) in [
+            (0usize, 255usize, 511usize),
+            (1, 2, 3),
+            (100, 300, 530),
+            (10, 270, 515),
+        ] {
+            let mut w = cw.clone();
+            w.flip_bit(a);
+            w.flip_bit(b);
+            w.flip_bit(c);
+            let out = code.decode(w.as_bytes());
+            assert_eq!(out.outcome, DecodeOutcome::Corrected(3), "bits {a},{b},{c}");
+            assert_eq!(out.data, data);
+        }
+    }
+
+    #[test]
+    fn too_many_errors_do_not_decode_to_truth() {
+        let code = Bch::new(64, 2).unwrap();
+        let data = [0x11; 8];
+        let cw = code.encode(&data);
+        let mut w = cw.clone();
+        for i in [3, 17, 42] {
+            w.flip_bit(i);
+        }
+        let out = code.decode(w.as_bytes());
+        // Three errors with t = 2: either detected or miscorrected.
+        if out.outcome != DecodeOutcome::Detected {
+            assert_ne!(out.data, data);
+        }
+    }
+
+    #[test]
+    fn name_mentions_t_and_field() {
+        let code = Bch::new(512, 3).unwrap();
+        assert_eq!(code.name(), "BCH t=3 (542,512) over GF(2^10)");
+    }
+}

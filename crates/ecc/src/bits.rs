@@ -1,0 +1,209 @@
+//! Bit-level helpers and the [`Codeword`] buffer.
+
+/// Reads bit `i` of `buf` (LSB-first within each byte).
+///
+/// # Panics
+///
+/// Panics if `i / 8 >= buf.len()`.
+///
+/// # Examples
+///
+/// ```
+/// assert!(reap_ecc::bits::get_bit(&[0b0000_0100], 2));
+/// assert!(!reap_ecc::bits::get_bit(&[0b0000_0100], 3));
+/// ```
+pub fn get_bit(buf: &[u8], i: usize) -> bool {
+    buf[i / 8] >> (i % 8) & 1 == 1
+}
+
+/// Sets bit `i` of `buf` to `value` (LSB-first within each byte).
+///
+/// # Panics
+///
+/// Panics if `i / 8 >= buf.len()`.
+pub fn set_bit(buf: &mut [u8], i: usize, value: bool) {
+    let mask = 1u8 << (i % 8);
+    if value {
+        buf[i / 8] |= mask;
+    } else {
+        buf[i / 8] &= !mask;
+    }
+}
+
+/// Flips bit `i` of `buf`.
+///
+/// # Panics
+///
+/// Panics if `i / 8 >= buf.len()`.
+pub fn flip_bit(buf: &mut [u8], i: usize) {
+    buf[i / 8] ^= 1u8 << (i % 8);
+}
+
+/// Number of bits set in `buf`.
+pub fn count_ones(buf: &[u8]) -> usize {
+    buf.iter().map(|b| b.count_ones() as usize).sum()
+}
+
+/// An encoded codeword: a byte buffer with an exact bit length.
+///
+/// Produced by [`EccCode::encode`](crate::EccCode::encode); the trailing
+/// bits of the last byte beyond [`bit_len`](Self::bit_len) are always zero.
+///
+/// # Examples
+///
+/// ```
+/// use reap_ecc::Codeword;
+///
+/// let mut cw = Codeword::zeroed(71);
+/// cw.set_bit(70, true);
+/// assert_eq!(cw.count_ones(), 1);
+/// cw.flip_bit(70);
+/// assert_eq!(cw.count_ones(), 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Codeword {
+    bytes: Vec<u8>,
+    bit_len: usize,
+}
+
+impl Codeword {
+    /// Creates an all-zero codeword of `bit_len` bits.
+    pub fn zeroed(bit_len: usize) -> Self {
+        Self {
+            bytes: vec![0u8; bit_len.div_ceil(8)],
+            bit_len,
+        }
+    }
+
+    /// Wraps existing bytes as a codeword of `bit_len` bits, clearing any
+    /// bits beyond `bit_len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is too short to hold `bit_len` bits.
+    pub fn from_bytes(mut bytes: Vec<u8>, bit_len: usize) -> Self {
+        assert!(bytes.len() * 8 >= bit_len, "buffer shorter than bit length");
+        bytes.truncate(bit_len.div_ceil(8));
+        let mut cw = Self { bytes, bit_len };
+        cw.mask_tail();
+        cw
+    }
+
+    /// Bit length of the codeword.
+    pub fn bit_len(&self) -> usize {
+        self.bit_len
+    }
+
+    /// Borrows the underlying bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Mutably borrows the underlying bytes.
+    pub fn as_bytes_mut(&mut self) -> &mut [u8] {
+        &mut self.bytes
+    }
+
+    /// Consumes the codeword and returns the byte buffer.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+
+    /// Reads bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= bit_len()`.
+    pub fn bit(&self, i: usize) -> bool {
+        assert!(i < self.bit_len, "bit {i} out of range");
+        get_bit(&self.bytes, i)
+    }
+
+    /// Sets bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= bit_len()`.
+    pub fn set_bit(&mut self, i: usize, value: bool) {
+        assert!(i < self.bit_len, "bit {i} out of range");
+        set_bit(&mut self.bytes, i, value);
+    }
+
+    /// Flips bit `i` — the primitive a fault-injection harness uses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= bit_len()`.
+    pub fn flip_bit(&mut self, i: usize) {
+        assert!(i < self.bit_len, "bit {i} out of range");
+        flip_bit(&mut self.bytes, i);
+    }
+
+    /// Number of `1` bits in the codeword — the `n` that the accumulation
+    /// model of `reap-reliability` consumes.
+    pub fn count_ones(&self) -> usize {
+        count_ones(&self.bytes)
+    }
+
+    fn mask_tail(&mut self) {
+        let rem = self.bit_len % 8;
+        if rem != 0 {
+            if let Some(last) = self.bytes.last_mut() {
+                *last &= (1u8 << rem) - 1;
+            }
+        }
+    }
+}
+
+impl AsRef<[u8]> for Codeword {
+    fn as_ref(&self) -> &[u8] {
+        &self.bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_set_flip_round_trip() {
+        let mut buf = [0u8; 4];
+        set_bit(&mut buf, 17, true);
+        assert!(get_bit(&buf, 17));
+        flip_bit(&mut buf, 17);
+        assert!(!get_bit(&buf, 17));
+        assert_eq!(count_ones(&buf), 0);
+    }
+
+    #[test]
+    fn codeword_from_bytes_masks_tail() {
+        let cw = Codeword::from_bytes(vec![0xFF, 0xFF], 12);
+        assert_eq!(cw.count_ones(), 12);
+        assert_eq!(cw.as_bytes(), &[0xFF, 0x0F]);
+    }
+
+    #[test]
+    fn codeword_from_bytes_truncates_excess() {
+        let cw = Codeword::from_bytes(vec![0xAA; 10], 16);
+        assert_eq!(cw.as_bytes().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn codeword_bit_bounds_checked() {
+        let cw = Codeword::zeroed(12);
+        let _ = cw.bit(12);
+    }
+
+    #[test]
+    #[should_panic(expected = "shorter than bit length")]
+    fn from_bytes_rejects_short_buffer() {
+        let _ = Codeword::from_bytes(vec![0u8; 1], 9);
+    }
+
+    #[test]
+    fn zeroed_is_all_zero() {
+        assert_eq!(Codeword::zeroed(100).count_ones(), 0);
+        assert_eq!(Codeword::zeroed(100).bit_len(), 100);
+    }
+}

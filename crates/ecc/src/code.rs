@@ -1,0 +1,247 @@
+//! The [`EccCode`] trait and shared result/error types.
+
+use crate::bits::Codeword;
+use std::error::Error;
+use std::fmt;
+
+/// Outcome of a decode attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DecodeOutcome {
+    /// Syndrome was zero: no error observed.
+    Clean,
+    /// The decoder corrected this many bit errors.
+    Corrected(usize),
+    /// The decoder detected an uncorrectable error; returned data is a
+    /// best-effort extraction of the raw (uncorrected) data bits.
+    Detected,
+}
+
+impl DecodeOutcome {
+    /// Whether the decode ended with a correction.
+    pub fn is_corrected(self) -> bool {
+        matches!(self, DecodeOutcome::Corrected(_))
+    }
+
+    /// Whether the decoder flagged an uncorrectable error.
+    pub fn is_detected_uncorrectable(self) -> bool {
+        matches!(self, DecodeOutcome::Detected)
+    }
+
+    /// Whether the data can be trusted as far as the decoder knows
+    /// (clean or corrected — miscorrections are invisible to the decoder).
+    pub fn is_trusted(self) -> bool {
+        !self.is_detected_uncorrectable()
+    }
+}
+
+impl fmt::Display for DecodeOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeOutcome::Clean => f.write_str("clean"),
+            DecodeOutcome::Corrected(n) => write!(f, "corrected {n} bit(s)"),
+            DecodeOutcome::Detected => f.write_str("uncorrectable error detected"),
+        }
+    }
+}
+
+/// A decoded block: the recovered data bytes plus the decode outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Decoded {
+    /// Recovered data, `data_bits / 8` bytes (LSB-first bit packing).
+    pub data: Vec<u8>,
+    /// What the decoder observed.
+    pub outcome: DecodeOutcome,
+}
+
+/// A binary block error-correcting code.
+///
+/// Implementations are deterministic and pure; the trait is object-safe so
+/// cache models can hold `Box<dyn EccCode>`.
+///
+/// # Examples
+///
+/// ```
+/// use reap_ecc::{EccCode, HammingSec};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let code: Box<dyn EccCode> = Box::new(HammingSec::new(64)?);
+/// assert_eq!(code.data_bits(), 64);
+/// assert_eq!(code.correctable_errors(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub trait EccCode: fmt::Debug + Send + Sync {
+    /// Number of payload bits `k`.
+    fn data_bits(&self) -> usize;
+
+    /// Number of check bits `r`.
+    fn check_bits(&self) -> usize;
+
+    /// Codeword length `n = k + r`.
+    fn code_bits(&self) -> usize {
+        self.data_bits() + self.check_bits()
+    }
+
+    /// Guaranteed number of correctable bit errors `t`.
+    fn correctable_errors(&self) -> usize;
+
+    /// Guaranteed number of detectable bit errors (≥ `t`).
+    fn detectable_errors(&self) -> usize;
+
+    /// Code rate `k / n`.
+    fn rate(&self) -> f64 {
+        self.data_bits() as f64 / self.code_bits() as f64
+    }
+
+    /// Human-readable name, e.g. `"Hsiao SEC-DED (72,64)"`.
+    fn name(&self) -> String;
+
+    /// Encodes `data` (exactly `data_bits().div_ceil(8)` bytes; bits beyond
+    /// `data_bits()` must be zero) into a codeword.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `data` has the wrong length or non-zero
+    /// padding bits.
+    fn encode(&self, data: &[u8]) -> Codeword;
+
+    /// Decodes a received word (exactly `code_bits().div_ceil(8)` bytes).
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `received` has the wrong length.
+    fn decode(&self, received: &[u8]) -> Decoded;
+}
+
+/// Validates an encode input buffer against the code geometry.
+///
+/// Shared helper for `EccCode` implementations.
+///
+/// # Panics
+///
+/// Panics when the buffer length mismatches `data_bits` or padding bits are
+/// set.
+pub(crate) fn check_data_buffer(data: &[u8], data_bits: usize) {
+    assert_eq!(
+        data.len(),
+        data_bits.div_ceil(8),
+        "data buffer must be exactly ceil(k/8) bytes"
+    );
+    let rem = data_bits % 8;
+    if rem != 0 {
+        let tail = data[data.len() - 1];
+        assert_eq!(tail >> rem, 0, "padding bits beyond data_bits must be zero");
+    }
+}
+
+/// Validates a decode input buffer against the code geometry.
+///
+/// # Panics
+///
+/// Panics when the buffer length mismatches `code_bits`.
+pub(crate) fn check_code_buffer(received: &[u8], code_bits: usize) {
+    assert_eq!(
+        received.len(),
+        code_bits.div_ceil(8),
+        "received buffer must be exactly ceil(n/8) bytes"
+    );
+}
+
+/// Error constructing a code with unsupported geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CodeError {
+    /// The requested data width is zero or otherwise unsupported.
+    UnsupportedDataWidth {
+        /// Requested width in bits.
+        data_bits: usize,
+    },
+    /// The requested correction capability is unsupported.
+    UnsupportedCorrection {
+        /// Requested `t`.
+        t: usize,
+    },
+    /// The code would not fit the underlying field/codeword length.
+    DoesNotFit {
+        /// Requested data width in bits.
+        data_bits: usize,
+        /// Requested `t`.
+        t: usize,
+        /// Maximum payload the construction can carry.
+        max_data_bits: usize,
+    },
+}
+
+impl fmt::Display for CodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            CodeError::UnsupportedDataWidth { data_bits } => {
+                write!(f, "unsupported data width of {data_bits} bits")
+            }
+            CodeError::UnsupportedCorrection { t } => {
+                write!(f, "unsupported correction capability t = {t}")
+            }
+            CodeError::DoesNotFit {
+                data_bits,
+                t,
+                max_data_bits,
+            } => write!(
+                f,
+                "a t = {t} code for {data_bits} data bits exceeds the field \
+                 (max payload {max_data_bits} bits)"
+            ),
+        }
+    }
+}
+
+impl Error for CodeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_predicates() {
+        assert!(DecodeOutcome::Clean.is_trusted());
+        assert!(DecodeOutcome::Corrected(1).is_corrected());
+        assert!(DecodeOutcome::Corrected(2).is_trusted());
+        assert!(DecodeOutcome::Detected.is_detected_uncorrectable());
+        assert!(!DecodeOutcome::Detected.is_trusted());
+    }
+
+    #[test]
+    fn outcome_display() {
+        assert_eq!(DecodeOutcome::Clean.to_string(), "clean");
+        assert_eq!(
+            DecodeOutcome::Corrected(2).to_string(),
+            "corrected 2 bit(s)"
+        );
+        assert_eq!(
+            DecodeOutcome::Detected.to_string(),
+            "uncorrectable error detected"
+        );
+    }
+
+    #[test]
+    fn code_error_display() {
+        let e = CodeError::DoesNotFit {
+            data_bits: 4096,
+            t: 3,
+            max_data_bits: 1003,
+        };
+        assert!(e.to_string().contains("4096"));
+        assert!(e.to_string().contains("max payload 1003"));
+    }
+
+    #[test]
+    #[should_panic(expected = "padding bits")]
+    fn data_buffer_padding_checked() {
+        check_data_buffer(&[0xFF], 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly ceil")]
+    fn data_buffer_length_checked() {
+        check_data_buffer(&[0u8; 2], 8);
+    }
+}

@@ -1,0 +1,361 @@
+//! Arithmetic in the finite fields GF(2^m), 3 ≤ m ≤ 14.
+//!
+//! BCH decoding needs multiplication, inversion and exponentiation of field
+//! elements. [`GfTables`] precomputes log/antilog tables from a primitive
+//! polynomial, giving O(1) products.
+
+use std::fmt;
+
+/// Primitive polynomials (bit `i` = coefficient of x^i) for GF(2^m).
+const PRIMITIVE_POLYS: [(u32, u32); 12] = [
+    (3, 0b1011),                // x^3 + x + 1
+    (4, 0b1_0011),              // x^4 + x + 1
+    (5, 0b10_0101),             // x^5 + x^2 + 1
+    (6, 0b100_0011),            // x^6 + x + 1
+    (7, 0b1000_1001),           // x^7 + x^3 + 1
+    (8, 0b1_0001_1101),         // x^8 + x^4 + x^3 + x^2 + 1
+    (9, 0b10_0001_0001),        // x^9 + x^4 + 1
+    (10, 0b100_0000_1001),      // x^10 + x^3 + 1
+    (11, 0b1000_0000_0101),     // x^11 + x^2 + 1
+    (12, 0b1_0000_0101_0011),   // x^12 + x^6 + x^4 + x + 1
+    (13, 0b10_0000_0001_1011),  // x^13 + x^4 + x^3 + x + 1
+    (14, 0b100_0000_0010_1011), // x^14 + x^5 + x^3 + x + 1
+];
+
+/// Log/antilog tables for GF(2^m).
+///
+/// Elements are represented as `u32` bit-vectors of polynomial coefficients;
+/// `0` is the additive identity, `1` the multiplicative identity, and
+/// `alpha = 2` (the polynomial `x`) is a primitive element.
+///
+/// # Examples
+///
+/// ```
+/// use reap_ecc::gf::GfTables;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let gf = GfTables::new(4)?;
+/// let a = gf.alpha_pow(3);
+/// let inv = gf.inv(a);
+/// assert_eq!(gf.mul(a, inv), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone)]
+pub struct GfTables {
+    m: u32,
+    size: usize, // 2^m - 1
+    exp: Vec<u32>,
+    log: Vec<u32>,
+}
+
+impl fmt::Debug for GfTables {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("GfTables")
+            .field("m", &self.m)
+            .field("order", &self.size)
+            .finish()
+    }
+}
+
+/// Error constructing [`GfTables`] for an unsupported extension degree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnsupportedFieldError {
+    /// The requested degree `m`.
+    pub m: u32,
+}
+
+impl fmt::Display for UnsupportedFieldError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "GF(2^{}) is not supported (3 ≤ m ≤ 14)", self.m)
+    }
+}
+
+impl std::error::Error for UnsupportedFieldError {}
+
+impl GfTables {
+    /// Builds the tables for GF(2^m).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnsupportedFieldError`] unless `3 ≤ m ≤ 14`.
+    pub fn new(m: u32) -> Result<Self, UnsupportedFieldError> {
+        let poly = PRIMITIVE_POLYS
+            .iter()
+            .find(|(deg, _)| *deg == m)
+            .map(|(_, p)| *p)
+            .ok_or(UnsupportedFieldError { m })?;
+        let size = (1usize << m) - 1;
+        let mut exp = vec![0u32; 2 * size];
+        let mut log = vec![0u32; size + 1];
+        let mut x = 1u32;
+        for (i, slot) in exp.iter_mut().take(size).enumerate() {
+            *slot = x;
+            log[x as usize] = i as u32;
+            x <<= 1;
+            if x >> m & 1 == 1 {
+                x ^= poly;
+            }
+        }
+        // Duplicate for mod-free indexing in mul.
+        exp.copy_within(0..size, size);
+        Ok(Self { m, size, exp, log })
+    }
+
+    /// Extension degree `m`.
+    pub fn degree(&self) -> u32 {
+        self.m
+    }
+
+    /// Multiplicative group order `2^m - 1` (also the natural BCH length).
+    pub fn order(&self) -> usize {
+        self.size
+    }
+
+    /// α^i for any integer exponent `i ≥ 0`.
+    pub fn alpha_pow(&self, i: usize) -> u32 {
+        self.exp[i % self.size]
+    }
+
+    /// Discrete logarithm of a non-zero element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x == 0` or `x` is outside the field.
+    pub fn log(&self, x: u32) -> u32 {
+        assert!(x != 0, "log of zero is undefined");
+        assert!((x as usize) <= self.size, "element out of field");
+        self.log[x as usize]
+    }
+
+    /// Field product.
+    pub fn mul(&self, a: u32, b: u32) -> u32 {
+        if a == 0 || b == 0 {
+            return 0;
+        }
+        self.exp[(self.log[a as usize] + self.log[b as usize]) as usize]
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x == 0`.
+    pub fn inv(&self, x: u32) -> u32 {
+        assert!(x != 0, "inverse of zero is undefined");
+        self.exp[self.size - self.log[x as usize] as usize]
+    }
+
+    /// Field quotient `a / b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b == 0`.
+    pub fn div(&self, a: u32, b: u32) -> u32 {
+        if a == 0 {
+            return 0;
+        }
+        self.mul(a, self.inv(b))
+    }
+
+    /// `x` raised to an arbitrary power (square-free via logs).
+    pub fn pow(&self, x: u32, e: usize) -> u32 {
+        if x == 0 {
+            return if e == 0 { 1 } else { 0 };
+        }
+        let l = self.log[x as usize] as usize;
+        self.exp[(l * e) % self.size]
+    }
+
+    /// Evaluates a polynomial (coefficients low-to-high) at field element
+    /// `x` using Horner's rule.
+    pub fn eval_poly(&self, coeffs: &[u32], x: u32) -> u32 {
+        let mut acc = 0u32;
+        for &c in coeffs.iter().rev() {
+            acc = self.mul(acc, x) ^ c;
+        }
+        acc
+    }
+
+    /// Minimal polynomial of α^i as a coefficient bit-vector (bit `j` =
+    /// coefficient of x^j), computed from the conjugacy class
+    /// {i, 2i, 4i, ...} mod (2^m − 1).
+    pub fn minimal_polynomial(&self, i: usize) -> u64 {
+        // Collect the cyclotomic coset of i.
+        let mut coset = Vec::new();
+        let mut c = i % self.size;
+        loop {
+            coset.push(c);
+            c = (c * 2) % self.size;
+            if c == i % self.size {
+                break;
+            }
+        }
+        // Multiply out prod (x - α^c) over GF(2^m); result has GF(2) coeffs.
+        // poly holds GF(2^m) coefficients low-to-high.
+        let mut poly: Vec<u32> = vec![1];
+        for &cc in &coset {
+            let root = self.alpha_pow(cc);
+            // poly *= (x + root)
+            let mut next = vec![0u32; poly.len() + 1];
+            for (j, &pj) in poly.iter().enumerate() {
+                next[j + 1] ^= pj; // x * pj
+                next[j] ^= self.mul(pj, root);
+            }
+            poly = next;
+        }
+        let mut out = 0u64;
+        for (j, &pj) in poly.iter().enumerate() {
+            debug_assert!(pj <= 1, "minimal polynomial must have GF(2) coefficients");
+            out |= u64::from(pj) << j;
+        }
+        out
+    }
+}
+
+/// Multiplies two GF(2) polynomials given as coefficient bit-vectors.
+#[cfg(test)]
+pub(crate) fn gf2_poly_mul(a: u64, b: u64) -> u128 {
+    let mut out = 0u128;
+    let mut bb = b;
+    let mut shift = 0;
+    while bb != 0 {
+        if bb & 1 == 1 {
+            out ^= (a as u128) << shift;
+        }
+        bb >>= 1;
+        shift += 1;
+    }
+    out
+}
+
+/// Degree of a GF(2) polynomial bit-vector (`None` for the zero polynomial).
+pub(crate) fn gf2_poly_degree(p: u128) -> Option<u32> {
+    if p == 0 {
+        None
+    } else {
+        Some(127 - p.leading_zeros())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_supported_fields_construct() {
+        for m in 3..=14 {
+            let gf = GfTables::new(m).unwrap();
+            assert_eq!(gf.order(), (1usize << m) - 1);
+        }
+    }
+
+    #[test]
+    fn unsupported_fields_error() {
+        assert!(GfTables::new(2).is_err());
+        assert!(GfTables::new(15).is_err());
+        let e = GfTables::new(20).unwrap_err();
+        assert!(e.to_string().contains("2^20"));
+    }
+
+    #[test]
+    fn alpha_generates_whole_group() {
+        let gf = GfTables::new(8).unwrap();
+        let mut seen = vec![false; gf.order() + 1];
+        for i in 0..gf.order() {
+            let x = gf.alpha_pow(i) as usize;
+            assert!(!seen[x], "α^{i} repeats");
+            seen[x] = true;
+        }
+    }
+
+    #[test]
+    fn mul_matches_schoolbook_in_gf16() {
+        // GF(16) with x^4 + x + 1: α^4 = α + 1 = 0b0011.
+        let gf = GfTables::new(4).unwrap();
+        assert_eq!(gf.mul(0b0010, 0b0010), 0b0100); // x * x = x^2
+        assert_eq!(gf.alpha_pow(4), 0b0011);
+        assert_eq!(gf.mul(0b1000, 0b0010), 0b0011); // x^3 * x = x^4 = x + 1
+    }
+
+    #[test]
+    fn every_nonzero_element_has_inverse() {
+        let gf = GfTables::new(6).unwrap();
+        for x in 1..=gf.order() as u32 {
+            assert_eq!(gf.mul(x, gf.inv(x)), 1, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn division_round_trips() {
+        let gf = GfTables::new(5).unwrap();
+        for a in 0..=gf.order() as u32 {
+            for b in 1..=gf.order() as u32 {
+                assert_eq!(gf.mul(gf.div(a, b), b), a);
+            }
+        }
+    }
+
+    #[test]
+    fn pow_matches_repeated_mul() {
+        let gf = GfTables::new(7).unwrap();
+        let x = gf.alpha_pow(13);
+        let mut acc = 1u32;
+        for e in 0..10 {
+            assert_eq!(gf.pow(x, e), acc);
+            acc = gf.mul(acc, x);
+        }
+        assert_eq!(gf.pow(0, 0), 1);
+        assert_eq!(gf.pow(0, 5), 0);
+    }
+
+    #[test]
+    fn eval_poly_horner() {
+        let gf = GfTables::new(4).unwrap();
+        // p(x) = 1 + x + x^3 at x = α
+        let a = gf.alpha_pow(1);
+        let expected = 1 ^ a ^ gf.pow(a, 3);
+        assert_eq!(gf.eval_poly(&[1, 1, 0, 1], a), expected);
+    }
+
+    #[test]
+    fn minimal_polynomial_of_alpha_is_the_primitive_poly() {
+        let gf = GfTables::new(4).unwrap();
+        assert_eq!(gf.minimal_polynomial(1), 0b1_0011);
+        let gf8 = GfTables::new(8).unwrap();
+        assert_eq!(gf8.minimal_polynomial(1), 0b1_0001_1101);
+    }
+
+    #[test]
+    fn minimal_polynomial_annihilates_its_root() {
+        let gf = GfTables::new(6).unwrap();
+        for i in 1..10 {
+            let mp = gf.minimal_polynomial(i);
+            // Evaluate the GF(2)-coefficient polynomial at α^i in GF(2^m).
+            let coeffs: Vec<u32> = (0..64).map(|j| (mp >> j & 1) as u32).collect();
+            assert_eq!(gf.eval_poly(&coeffs, gf.alpha_pow(i)), 0, "mp of α^{i}");
+        }
+    }
+
+    #[test]
+    fn gf2_poly_helpers() {
+        // (x+1)(x+1) = x^2+1 over GF(2)
+        assert_eq!(gf2_poly_mul(0b11, 0b11), 0b101);
+        assert_eq!(gf2_poly_degree(0b101), Some(2));
+        assert_eq!(gf2_poly_degree(0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "log of zero")]
+    fn log_of_zero_panics() {
+        let gf = GfTables::new(4).unwrap();
+        let _ = gf.log(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "inverse of zero")]
+    fn inv_of_zero_panics() {
+        let gf = GfTables::new(4).unwrap();
+        let _ = gf.inv(0);
+    }
+}

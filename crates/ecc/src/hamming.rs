@@ -1,0 +1,262 @@
+//! Single-error-correcting Hamming codes for arbitrary data widths.
+//!
+//! The classic positional construction: codeword positions are numbered
+//! from 1; positions that are powers of two hold parity bits; parity bit
+//! `2^j` covers every position whose index has bit `j` set. The syndrome of
+//! a received word is then *the index of the flipped bit* (or zero when the
+//! word is clean).
+//!
+//! A shortened code (any `k` that is not of the form `2^r − r − 1`) can
+//! produce a syndrome pointing past the end of the codeword; that is
+//! reported as a detected uncorrectable error.
+
+use crate::bits::{get_bit, Codeword};
+use crate::code::{
+    check_code_buffer, check_data_buffer, CodeError, DecodeOutcome, Decoded, EccCode,
+};
+
+/// A single-error-correcting Hamming code `(k + r, k)`.
+///
+/// # Examples
+///
+/// ```
+/// use reap_ecc::{EccCode, HammingSec};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let code = HammingSec::new(64)?;
+/// assert_eq!(code.check_bits(), 7); // the classic (71,64) geometry
+/// let mut cw = code.encode(&[0x42; 8]);
+/// cw.flip_bit(29);
+/// let out = code.decode(cw.as_bytes());
+/// assert_eq!(out.data, [0x42; 8]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HammingSec {
+    data_bits: usize,
+    check_bits: usize,
+}
+
+impl HammingSec {
+    /// Constructs a SEC Hamming code for `data_bits` payload bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::UnsupportedDataWidth`] if `data_bits == 0`.
+    pub fn new(data_bits: usize) -> Result<Self, CodeError> {
+        if data_bits == 0 {
+            return Err(CodeError::UnsupportedDataWidth { data_bits });
+        }
+        let mut r = 1usize;
+        while (1usize << r) < data_bits + r + 1 {
+            r += 1;
+        }
+        Ok(Self {
+            data_bits,
+            check_bits: r,
+        })
+    }
+
+    /// Whether 1-based codeword position `pos` holds a parity bit.
+    fn is_parity_position(pos: usize) -> bool {
+        pos.is_power_of_two()
+    }
+
+    /// Iterates 1-based positions of data bits in order.
+    fn data_positions(&self) -> impl Iterator<Item = usize> {
+        let n = self.code_bits();
+        (1..=n).filter(|p| !Self::is_parity_position(*p))
+    }
+}
+
+impl EccCode for HammingSec {
+    fn data_bits(&self) -> usize {
+        self.data_bits
+    }
+
+    fn check_bits(&self) -> usize {
+        self.check_bits
+    }
+
+    fn correctable_errors(&self) -> usize {
+        1
+    }
+
+    fn detectable_errors(&self) -> usize {
+        1
+    }
+
+    fn name(&self) -> String {
+        format!("Hamming SEC ({},{})", self.code_bits(), self.data_bits)
+    }
+
+    fn encode(&self, data: &[u8]) -> Codeword {
+        check_data_buffer(data, self.data_bits);
+        let n = self.code_bits();
+        let mut cw = Codeword::zeroed(n);
+        // Place data bits at non-power-of-two positions.
+        for (i, pos) in self.data_positions().enumerate() {
+            if get_bit(data, i) {
+                cw.set_bit(pos - 1, true);
+            }
+        }
+        // Compute each parity bit: XOR of covered positions.
+        for j in 0..self.check_bits {
+            let pbit = 1usize << j;
+            let mut parity = false;
+            for pos in 1..=n {
+                if pos != pbit && pos & pbit != 0 && cw.bit(pos - 1) {
+                    parity = !parity;
+                }
+            }
+            cw.set_bit(pbit - 1, parity);
+        }
+        cw
+    }
+
+    fn decode(&self, received: &[u8]) -> Decoded {
+        let n = self.code_bits();
+        check_code_buffer(received, n);
+        // Syndrome = XOR of the 1-based indices of set bits.
+        let mut syndrome = 0usize;
+        for pos in 1..=n {
+            if get_bit(received, pos - 1) {
+                syndrome ^= pos;
+            }
+        }
+        let mut word = received.to_vec();
+        let outcome = if syndrome == 0 {
+            DecodeOutcome::Clean
+        } else if syndrome <= n {
+            crate::bits::flip_bit(&mut word, syndrome - 1);
+            DecodeOutcome::Corrected(1)
+        } else {
+            // Shortened code: syndrome points past the codeword.
+            DecodeOutcome::Detected
+        };
+        let mut data = vec![0u8; self.data_bits.div_ceil(8)];
+        for (i, pos) in self.data_positions().enumerate() {
+            if get_bit(&word, pos - 1) {
+                crate::bits::set_bit(&mut data, i, true);
+            }
+        }
+        Decoded { data, outcome }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(code: &HammingSec, data: &[u8]) {
+        let cw = code.encode(data);
+        let out = code.decode(cw.as_bytes());
+        assert_eq!(out.outcome, DecodeOutcome::Clean);
+        assert_eq!(out.data, data);
+    }
+
+    #[test]
+    fn geometry_matches_textbook_values() {
+        for (k, r) in [
+            (1, 2),
+            (4, 3),
+            (11, 4),
+            (26, 5),
+            (57, 6),
+            (64, 7),
+            (120, 7),
+            (512, 10),
+        ] {
+            let c = HammingSec::new(k).unwrap();
+            assert_eq!(c.check_bits(), r, "k = {k}");
+            assert_eq!(c.code_bits(), k + r);
+        }
+    }
+
+    #[test]
+    fn zero_width_rejected() {
+        assert!(matches!(
+            HammingSec::new(0),
+            Err(CodeError::UnsupportedDataWidth { data_bits: 0 })
+        ));
+    }
+
+    #[test]
+    fn clean_round_trip_various_widths() {
+        for k in [1usize, 4, 8, 13, 64, 100, 512] {
+            let code = HammingSec::new(k).unwrap();
+            let mut data = vec![0u8; k.div_ceil(8)];
+            for (i, b) in data.iter_mut().enumerate() {
+                *b = (i as u8).wrapping_mul(37).wrapping_add(11);
+            }
+            let rem = k % 8;
+            if rem != 0 {
+                let last = data.len() - 1;
+                data[last] &= (1 << rem) - 1;
+            }
+            roundtrip(&code, &data);
+        }
+    }
+
+    #[test]
+    fn corrects_every_single_bit_error_exhaustively() {
+        let code = HammingSec::new(64).unwrap();
+        let data = [0xC3, 0x5A, 0x00, 0xFF, 0x81, 0x7E, 0x12, 0xEF];
+        let cw = code.encode(&data);
+        for i in 0..code.code_bits() {
+            let mut corrupted = cw.clone();
+            corrupted.flip_bit(i);
+            let out = code.decode(corrupted.as_bytes());
+            assert_eq!(out.outcome, DecodeOutcome::Corrected(1), "bit {i}");
+            assert_eq!(out.data, data, "bit {i}");
+        }
+    }
+
+    #[test]
+    fn double_errors_are_miscorrected_by_sec() {
+        // SEC has distance 3: two flips yield a nonzero syndrome that maps
+        // to some third bit — the decoder "corrects" to a wrong word. This
+        // is exactly why accumulation (§III of the paper) is fatal.
+        let code = HammingSec::new(64).unwrap();
+        let data = [0x55; 8];
+        let cw = code.encode(&data);
+        let mut corrupted = cw.clone();
+        corrupted.flip_bit(3);
+        corrupted.flip_bit(47);
+        let out = code.decode(corrupted.as_bytes());
+        // Either detected (shortened-region syndrome) or silently wrong.
+        if out.outcome != DecodeOutcome::Detected {
+            assert_ne!(
+                out.data, data,
+                "a double error must not decode cleanly to the truth"
+            );
+        }
+    }
+
+    #[test]
+    fn rate_improves_with_block_size() {
+        let small = HammingSec::new(8).unwrap();
+        let large = HammingSec::new(512).unwrap();
+        assert!(large.rate() > small.rate());
+    }
+
+    #[test]
+    fn name_mentions_geometry() {
+        assert_eq!(HammingSec::new(64).unwrap().name(), "Hamming SEC (71,64)");
+    }
+
+    #[test]
+    fn works_as_trait_object() {
+        let code: Box<dyn EccCode> = Box::new(HammingSec::new(16).unwrap());
+        let cw = code.encode(&[0xAB, 0xCD]);
+        assert_eq!(code.decode(cw.as_bytes()).data, vec![0xAB, 0xCD]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly ceil")]
+    fn encode_rejects_wrong_buffer_length() {
+        let code = HammingSec::new(64).unwrap();
+        let _ = code.encode(&[0u8; 7]);
+    }
+}

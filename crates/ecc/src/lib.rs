@@ -1,0 +1,59 @@
+//! Error-correcting codes for memory protection.
+//!
+//! The REAP-cache study protects STT-MRAM cache lines with ECC and hinges on
+//! *when* the decoder runs, not on a particular code. This crate provides
+//! the codes a cache designer would actually consider, behind one
+//! object-safe trait:
+//!
+//! * [`HammingSec`] — classic single-error-correcting Hamming code for any
+//!   data width (e.g. (71,64), (522,512)).
+//! * [`HsiaoSecDed`] — odd-weight-column SEC-DED code (the industry-standard
+//!   (72,64) construction and its generalizations), correcting one and
+//!   detecting two errors.
+//! * [`Bch`] — binary BCH codes over GF(2^m) correcting `t ≥ 1` errors
+//!   (DEC/TEC and beyond), with Berlekamp–Massey decoding and Chien search.
+//! * [`Interleaved`] — splits a wide line into `w` interleaved sub-words
+//!   each protected by an inner code, the standard trick for wide cache
+//!   lines.
+//!
+//! Bit order: all APIs use LSB-first bit numbering within each byte, i.e.
+//! bit `i` of a buffer is `buf[i / 8] >> (i % 8) & 1`.
+//!
+//! # Examples
+//!
+//! ```
+//! use reap_ecc::{Codeword, EccCode, HsiaoSecDed};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let code = HsiaoSecDed::new(64)?;
+//! let data = [0xDE, 0xAD, 0xBE, 0xEF, 0x00, 0x11, 0x22, 0x33];
+//! let mut cw = code.encode(&data);
+//! cw.flip_bit(13); // a read-disturbance flip
+//! let decoded = code.decode(cw.as_bytes());
+//! assert_eq!(decoded.data, data);
+//! assert!(decoded.outcome.is_corrected());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bch;
+pub mod bits;
+pub mod code;
+pub mod energy;
+pub mod gf;
+pub mod hamming;
+pub mod hsiao;
+pub mod interleave;
+pub mod parity;
+
+pub use bch::Bch;
+pub use bits::Codeword;
+pub use code::{CodeError, DecodeOutcome, Decoded, EccCode};
+pub use energy::DecoderCost;
+pub use hamming::HammingSec;
+pub use hsiao::HsiaoSecDed;
+pub use interleave::Interleaved;
+pub use parity::Parity;

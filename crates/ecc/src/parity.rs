@@ -1,0 +1,160 @@
+//! Single-parity-bit code: detects any odd number of errors, corrects
+//! nothing.
+//!
+//! The cheapest protection a tag or metadata array gets; in the REAP
+//! study it serves as the degenerate baseline of the protection-strength
+//! ablation (`t = 0`: every disturbance in a parity-protected line is at
+//! best *detected*).
+
+use crate::bits::{count_ones, get_bit, Codeword};
+use crate::code::{
+    check_code_buffer, check_data_buffer, CodeError, DecodeOutcome, Decoded, EccCode,
+};
+
+/// An even-parity code `(k + 1, k)`.
+///
+/// # Examples
+///
+/// ```
+/// use reap_ecc::parity::Parity;
+/// use reap_ecc::EccCode;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let code = Parity::new(64)?;
+/// let mut cw = code.encode(&[0xAB; 8]);
+/// cw.flip_bit(5);
+/// assert!(code.decode(cw.as_bytes()).outcome.is_detected_uncorrectable());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Parity {
+    data_bits: usize,
+}
+
+impl Parity {
+    /// Creates an even-parity code over `data_bits` payload bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::UnsupportedDataWidth`] if `data_bits == 0`.
+    pub fn new(data_bits: usize) -> Result<Self, CodeError> {
+        if data_bits == 0 {
+            return Err(CodeError::UnsupportedDataWidth { data_bits });
+        }
+        Ok(Self { data_bits })
+    }
+}
+
+impl EccCode for Parity {
+    fn data_bits(&self) -> usize {
+        self.data_bits
+    }
+
+    fn check_bits(&self) -> usize {
+        1
+    }
+
+    fn correctable_errors(&self) -> usize {
+        0
+    }
+
+    fn detectable_errors(&self) -> usize {
+        1
+    }
+
+    fn name(&self) -> String {
+        format!("even parity ({},{})", self.data_bits + 1, self.data_bits)
+    }
+
+    fn encode(&self, data: &[u8]) -> Codeword {
+        check_data_buffer(data, self.data_bits);
+        let mut cw = Codeword::zeroed(self.data_bits + 1);
+        for i in 0..self.data_bits {
+            if get_bit(data, i) {
+                cw.set_bit(i, true);
+            }
+        }
+        if count_ones(data) % 2 == 1 {
+            cw.set_bit(self.data_bits, true);
+        }
+        cw
+    }
+
+    fn decode(&self, received: &[u8]) -> Decoded {
+        check_code_buffer(received, self.data_bits + 1);
+        let parity_ok = count_ones(received).is_multiple_of(2);
+        let mut data = vec![0u8; self.data_bits.div_ceil(8)];
+        for i in 0..self.data_bits {
+            if get_bit(received, i) {
+                crate::bits::set_bit(&mut data, i, true);
+            }
+        }
+        Decoded {
+            data,
+            outcome: if parity_ok {
+                DecodeOutcome::Clean
+            } else {
+                DecodeOutcome::Detected
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_round_trip() {
+        let code = Parity::new(16).unwrap();
+        let data = [0x3C, 0x99];
+        let out = code.decode(code.encode(&data).as_bytes());
+        assert_eq!(out.outcome, DecodeOutcome::Clean);
+        assert_eq!(out.data, data);
+    }
+
+    #[test]
+    fn detects_every_single_flip_exhaustively() {
+        let code = Parity::new(32).unwrap();
+        let data = [0x12, 0x34, 0x56, 0x78];
+        let cw = code.encode(&data);
+        for i in 0..code.code_bits() {
+            let mut w = cw.clone();
+            w.flip_bit(i);
+            assert_eq!(
+                code.decode(w.as_bytes()).outcome,
+                DecodeOutcome::Detected,
+                "bit {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn misses_every_double_flip() {
+        // Even weight errors are invisible to parity — the reason it is
+        // the t = 0 floor of the ablation.
+        let code = Parity::new(16).unwrap();
+        let data = [0xFF, 0x00];
+        let mut w = code.encode(&data);
+        w.flip_bit(0);
+        w.flip_bit(9);
+        assert_eq!(code.decode(w.as_bytes()).outcome, DecodeOutcome::Clean);
+    }
+
+    #[test]
+    fn geometry() {
+        let code = Parity::new(64).unwrap();
+        assert_eq!(code.code_bits(), 65);
+        assert_eq!(code.correctable_errors(), 0);
+        assert_eq!(code.name(), "even parity (65,64)");
+        assert!(Parity::new(0).is_err());
+    }
+
+    #[test]
+    fn parity_bit_value_matches_payload_weight() {
+        let code = Parity::new(8).unwrap();
+        assert!(!code.encode(&[0b0000_0011]).bit(8), "even weight: parity 0");
+        assert!(code.encode(&[0b0000_0111]).bit(8), "odd weight: parity 1");
+    }
+}

@@ -1,0 +1,159 @@
+//! Property-based tests for the ECC codecs.
+
+use proptest::prelude::*;
+use reap_ecc::{Bch, DecodeOutcome, EccCode, HammingSec, HsiaoSecDed, Interleaved};
+
+fn masked(mut data: Vec<u8>, bits: usize) -> Vec<u8> {
+    let rem = bits % 8;
+    if rem != 0 {
+        let last = data.len() - 1;
+        data[last] &= (1 << rem) - 1;
+    }
+    data
+}
+
+proptest! {
+    /// Any Hamming codeword decodes cleanly back to its data.
+    #[test]
+    fn hamming_round_trip(data in proptest::collection::vec(any::<u8>(), 8)) {
+        let code = HammingSec::new(64).unwrap();
+        let out = code.decode(code.encode(&data).as_bytes());
+        prop_assert_eq!(out.outcome, DecodeOutcome::Clean);
+        prop_assert_eq!(out.data, data);
+    }
+
+    /// Hamming corrects any single flip at any position for any payload.
+    #[test]
+    fn hamming_corrects_any_single_flip(
+        data in proptest::collection::vec(any::<u8>(), 8),
+        bit in 0usize..71,
+    ) {
+        let code = HammingSec::new(64).unwrap();
+        let mut cw = code.encode(&data);
+        cw.flip_bit(bit);
+        let out = code.decode(cw.as_bytes());
+        prop_assert_eq!(out.outcome, DecodeOutcome::Corrected(1));
+        prop_assert_eq!(out.data, data);
+    }
+
+    /// Hsiao round-trips at odd data widths too.
+    #[test]
+    fn hsiao_round_trip_odd_widths(
+        raw in proptest::collection::vec(any::<u8>(), 6),
+        width in 33usize..48,
+    ) {
+        let code = HsiaoSecDed::new(width).unwrap();
+        let data = masked(raw[..width.div_ceil(8)].to_vec(), width);
+        let out = code.decode(code.encode(&data).as_bytes());
+        prop_assert_eq!(out.outcome, DecodeOutcome::Clean);
+        prop_assert_eq!(out.data, data);
+    }
+
+    /// Hsiao corrects one flip and detects any two flips, for any payload.
+    #[test]
+    fn hsiao_sec_ded_property(
+        data in proptest::collection::vec(any::<u8>(), 8),
+        b1 in 0usize..72,
+        b2 in 0usize..72,
+    ) {
+        let code = HsiaoSecDed::new(64).unwrap();
+        let mut cw = code.encode(&data);
+        cw.flip_bit(b1);
+        if b1 == b2 {
+            // Flip + unflip = clean.
+            cw.flip_bit(b2);
+            let out = code.decode(cw.as_bytes());
+            prop_assert_eq!(out.outcome, DecodeOutcome::Clean);
+            prop_assert_eq!(out.data, data);
+        } else {
+            let single = code.decode(cw.as_bytes());
+            prop_assert_eq!(single.outcome, DecodeOutcome::Corrected(1));
+            prop_assert_eq!(single.data, data.clone());
+            cw.flip_bit(b2);
+            let double = code.decode(cw.as_bytes());
+            prop_assert_eq!(double.outcome, DecodeOutcome::Detected);
+        }
+    }
+
+    /// BCH t=2 corrects any pair of flips in a 64-bit word.
+    #[test]
+    fn bch_corrects_any_double_flip(
+        data in proptest::collection::vec(any::<u8>(), 8),
+        b1 in 0usize..78,
+        b2 in 0usize..78,
+    ) {
+        prop_assume!(b1 != b2);
+        let code = Bch::new(64, 2).unwrap();
+        let mut cw = code.encode(&data);
+        cw.flip_bit(b1);
+        cw.flip_bit(b2);
+        let out = code.decode(cw.as_bytes());
+        prop_assert_eq!(out.outcome, DecodeOutcome::Corrected(2));
+        prop_assert_eq!(out.data, data);
+    }
+
+    /// BCH t=3 on a 512-bit line corrects any three flips.
+    #[test]
+    fn bch_t3_corrects_any_triple_flip(
+        data in proptest::collection::vec(any::<u8>(), 64),
+        bits in proptest::collection::hash_set(0usize..542, 3),
+    ) {
+        let code = Bch::new(512, 3).unwrap();
+        let mut cw = code.encode(&data);
+        for &b in &bits {
+            cw.flip_bit(b);
+        }
+        let out = code.decode(cw.as_bytes());
+        prop_assert_eq!(out.outcome, DecodeOutcome::Corrected(3));
+        prop_assert_eq!(out.data, data);
+    }
+
+    /// Interleaved SEC-DED corrects up to one flip per sub-word.
+    #[test]
+    fn interleaved_corrects_spread_flips(
+        data in proptest::collection::vec(any::<u8>(), 64),
+        offsets in proptest::collection::vec(0usize..72, 8),
+    ) {
+        let code = Interleaved::new(HsiaoSecDed::new(64).unwrap(), 8).unwrap();
+        let mut cw = code.encode(&data);
+        let mut flips = 0;
+        for (w, &off) in offsets.iter().enumerate() {
+            cw.flip_bit(w * 72 + off);
+            flips += 1;
+        }
+        let out = code.decode(cw.as_bytes());
+        prop_assert_eq!(out.outcome, DecodeOutcome::Corrected(flips));
+        prop_assert_eq!(out.data, data);
+    }
+
+    /// Unidirectional (1→0 only) flips — the read-disturbance error model —
+    /// are corrected whenever their count is within the code capability.
+    #[test]
+    fn unidirectional_flips_within_capability_are_corrected(
+        data in proptest::collection::vec(any::<u8>(), 8),
+        pick in any::<u64>(),
+    ) {
+        let code = Bch::new(64, 2).unwrap();
+        let cw = code.encode(&data);
+        let ones: Vec<usize> = (0..code.code_bits()).filter(|&i| cw.bit(i)).collect();
+        prop_assume!(ones.len() >= 2);
+        let i1 = (pick as usize) % ones.len();
+        let i2 = (pick as usize / ones.len()) % ones.len();
+        prop_assume!(i1 != i2);
+        let mut w = cw.clone();
+        w.set_bit(ones[i1], false);
+        w.set_bit(ones[i2], false);
+        let out = code.decode(w.as_bytes());
+        prop_assert_eq!(out.outcome, DecodeOutcome::Corrected(2));
+        prop_assert_eq!(out.data, data);
+    }
+
+    /// Codeword weight (the `n` fed to the accumulation model) never
+    /// exceeds the code length and tracks the payload weight direction.
+    #[test]
+    fn codeword_weight_is_bounded(data in proptest::collection::vec(any::<u8>(), 8)) {
+        let code = HsiaoSecDed::new(64).unwrap();
+        let cw = code.encode(&data);
+        prop_assert!(cw.count_ones() <= code.code_bits());
+    }
+}

@@ -1,0 +1,301 @@
+//! Bit-packed array of STT-MRAM cells with stochastic read disturbance.
+//!
+//! [`MtjArray`] backs the Monte-Carlo experiments: it stores actual bit
+//! contents (e.g. one cache line's data + ECC check bits) and injects
+//! `1 → 0` flips on every read according to a per-read probability. For
+//! efficiency the array is bit-packed in `u64` words and the number of flips
+//! per read is drawn from the exact per-bit Bernoulli process (each stored
+//! `1` is tested independently), which is what the analytical model in
+//! `reap-reliability` assumes.
+
+use crate::disturbance::read_disturbance_probability;
+use crate::params::MtjParams;
+use rand::Rng;
+
+/// A fixed-width array of MTJ cells storing raw bits.
+///
+/// # Examples
+///
+/// ```
+/// use rand::{rngs::StdRng, SeedableRng};
+/// use reap_mtj::{MtjArray, MtjParams};
+///
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let mut line = MtjArray::new(512, MtjParams::default());
+/// line.write_bytes(&[0xFF; 64]);
+/// assert_eq!(line.count_ones(), 512);
+/// let data = line.read(&mut rng);
+/// assert_eq!(data.len(), 64);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MtjArray {
+    words: Vec<u64>,
+    bits: usize,
+    read_disturbance: f64,
+}
+
+impl MtjArray {
+    /// Creates an array of `bits` cells, all in the `0` state, using the
+    /// disturbance probability derived from `params`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits == 0`.
+    pub fn new(bits: usize, params: MtjParams) -> Self {
+        Self::with_probability(bits, read_disturbance_probability(&params))
+    }
+
+    /// Creates an array with an explicit per-read, per-cell disturbance
+    /// probability (used to amplify error rates in Monte-Carlo runs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits == 0` or `p` is outside `[0, 1]`.
+    pub fn with_probability(bits: usize, p: f64) -> Self {
+        assert!(bits > 0, "array needs at least one cell");
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        let words = vec![0u64; bits.div_ceil(64)];
+        Self {
+            words,
+            bits,
+            read_disturbance: p,
+        }
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.bits
+    }
+
+    /// Whether the array has zero cells (never true: construction requires
+    /// at least one cell).
+    pub fn is_empty(&self) -> bool {
+        self.bits == 0
+    }
+
+    /// The per-read, per-cell disturbance probability in force.
+    pub fn read_disturbance(&self) -> f64 {
+        self.read_disturbance
+    }
+
+    /// Number of cells currently storing `1` — the `n` of Eqs. (2)–(6).
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Writes raw bytes into the array (deterministic; writing heals any
+    /// accumulated disturbance). Extra bits beyond `bytes` are cleared.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` holds more bits than the array.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        assert!(bytes.len() * 8 <= self.bits, "payload wider than array");
+        self.words.fill(0);
+        for (i, &b) in bytes.iter().enumerate() {
+            self.words[i / 8] |= u64::from(b) << ((i % 8) * 8);
+        }
+        self.mask_tail();
+    }
+
+    /// Sets or clears a single bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len()`.
+    pub fn set_bit(&mut self, index: usize, value: bool) {
+        assert!(index < self.bits, "bit index {index} out of range");
+        let mask = 1u64 << (index % 64);
+        if value {
+            self.words[index / 64] |= mask;
+        } else {
+            self.words[index / 64] &= !mask;
+        }
+    }
+
+    /// Reads a single bit without disturbance (an ideal probe, for tests
+    /// and assertions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len()`.
+    pub fn get_bit(&self, index: usize) -> bool {
+        assert!(index < self.bits, "bit index {index} out of range");
+        self.words[index / 64] >> (index % 64) & 1 == 1
+    }
+
+    /// Performs a destructive-capable read of the whole array: every stored
+    /// `1` independently flips to `0` with the configured probability, and
+    /// the returned bytes reflect the post-flip contents.
+    ///
+    /// Returns `len().div_ceil(8)` bytes, little-endian bit order within
+    /// each byte.
+    pub fn read<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Vec<u8> {
+        self.disturb(rng);
+        self.snapshot()
+    }
+
+    /// Applies one read's worth of disturbance without returning data
+    /// (models a concealed read, where the data is discarded at the MUX).
+    /// Returns the number of bits flipped by this read.
+    pub fn disturb<R: Rng + ?Sized>(&mut self, rng: &mut R) -> usize {
+        if self.read_disturbance == 0.0 {
+            return 0;
+        }
+        let mut flipped = 0;
+        for wi in 0..self.words.len() {
+            let mut w = self.words[wi];
+            if w == 0 {
+                continue;
+            }
+            let mut clear = 0u64;
+            while w != 0 {
+                let bit = w.trailing_zeros();
+                w &= w - 1;
+                if rng.gen::<f64>() < self.read_disturbance {
+                    clear |= 1u64 << bit;
+                    flipped += 1;
+                }
+            }
+            self.words[wi] &= !clear;
+        }
+        flipped
+    }
+
+    /// Copies the current contents out as bytes without disturbing them
+    /// (an ideal probe).
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut out = vec![0u8; self.bits.div_ceil(8)];
+        for (i, byte) in out.iter_mut().enumerate() {
+            *byte = (self.words[i / 8] >> ((i % 8) * 8)) as u8;
+        }
+        out
+    }
+
+    fn mask_tail(&mut self) {
+        let rem = self.bits % 64;
+        if rem != 0 {
+            let last = self.words.len() - 1;
+            self.words[last] &= (1u64 << rem) - 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn write_read_round_trip_without_disturbance() {
+        let mut a = MtjArray::with_probability(512, 0.0);
+        let payload: Vec<u8> = (0..64).map(|i| i as u8).collect();
+        a.write_bytes(&payload);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(a.read(&mut rng), payload);
+    }
+
+    #[test]
+    fn count_ones_matches_payload() {
+        let mut a = MtjArray::with_probability(64, 0.0);
+        a.write_bytes(&[0b1010_1010; 8]);
+        assert_eq!(a.count_ones(), 32);
+    }
+
+    #[test]
+    fn set_and_get_bit() {
+        let mut a = MtjArray::with_probability(100, 0.0);
+        a.set_bit(99, true);
+        assert!(a.get_bit(99));
+        assert_eq!(a.count_ones(), 1);
+        a.set_bit(99, false);
+        assert_eq!(a.count_ones(), 0);
+    }
+
+    #[test]
+    fn probability_one_wipes_all_ones_on_read() {
+        let mut a = MtjArray::with_probability(128, 1.0);
+        a.write_bytes(&[0xFF; 16]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let data = a.read(&mut rng);
+        assert!(data.iter().all(|&b| b == 0));
+        assert_eq!(a.count_ones(), 0);
+    }
+
+    #[test]
+    fn disturb_reports_flip_count() {
+        let mut a = MtjArray::with_probability(256, 1.0);
+        a.write_bytes(&[0x0F; 32]);
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(a.disturb(&mut rng), 128);
+        assert_eq!(a.disturb(&mut rng), 0, "nothing left to flip");
+    }
+
+    #[test]
+    fn flips_are_unidirectional() {
+        let mut a = MtjArray::with_probability(64, 0.5);
+        a.write_bytes(&[0b0101_0101; 8]);
+        let before: Vec<bool> = (0..64).map(|i| a.get_bit(i)).collect();
+        let mut rng = StdRng::seed_from_u64(3);
+        a.disturb(&mut rng);
+        for (i, was_set) in before.iter().enumerate() {
+            if !was_set {
+                assert!(!a.get_bit(i), "a stored 0 must never flip to 1");
+            }
+        }
+    }
+
+    #[test]
+    fn average_flip_rate_matches_probability() {
+        let p = 0.01;
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut flips = 0usize;
+        let reads = 2_000;
+        for _ in 0..reads {
+            let mut a = MtjArray::with_probability(512, p);
+            a.write_bytes(&[0xFF; 64]);
+            flips += a.disturb(&mut rng);
+        }
+        let rate = flips as f64 / (reads as f64 * 512.0);
+        assert!((rate - p).abs() < 0.001, "rate = {rate}");
+    }
+
+    #[test]
+    fn rewriting_heals_accumulation() {
+        let mut a = MtjArray::with_probability(64, 1.0);
+        a.write_bytes(&[0xFF; 8]);
+        let mut rng = StdRng::seed_from_u64(5);
+        a.disturb(&mut rng);
+        assert_eq!(a.count_ones(), 0);
+        a.write_bytes(&[0xFF; 8]);
+        assert_eq!(a.count_ones(), 64);
+    }
+
+    #[test]
+    fn non_multiple_of_64_width_is_supported() {
+        let mut a = MtjArray::with_probability(72, 0.0);
+        a.write_bytes(&[0xAB; 9]);
+        assert_eq!(a.snapshot(), vec![0xAB; 9]);
+        assert_eq!(a.len(), 72);
+    }
+
+    #[test]
+    #[should_panic(expected = "wider than array")]
+    fn rejects_oversized_payload() {
+        let mut a = MtjArray::with_probability(64, 0.0);
+        a.write_bytes(&[0u8; 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cell")]
+    fn rejects_zero_width() {
+        let _ = MtjArray::with_probability(0, 0.0);
+    }
+
+    #[test]
+    fn default_params_probability_is_tiny() {
+        let a = MtjArray::new(512, MtjParams::default());
+        assert!(a.read_disturbance() < 1e-7);
+    }
+}

@@ -1,0 +1,259 @@
+//! Stateful model of a single STT-MRAM cell.
+
+use crate::disturbance::read_disturbance_probability;
+use crate::params::MtjParams;
+use rand::Rng;
+use std::fmt;
+
+/// Magnetization of the MTJ free layer relative to the reference layer.
+///
+/// Parallel alignment has low resistance and encodes logic `0`;
+/// anti-parallel alignment has high resistance and encodes logic `1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Magnetization {
+    /// Low-resistance state, logic `0`.
+    #[default]
+    Parallel,
+    /// High-resistance state, logic `1`.
+    AntiParallel,
+}
+
+impl Magnetization {
+    /// The logic value this magnetization encodes.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use reap_mtj::Magnetization;
+    /// assert!(!Magnetization::Parallel.as_bit());
+    /// assert!(Magnetization::AntiParallel.as_bit());
+    /// ```
+    pub fn as_bit(self) -> bool {
+        matches!(self, Magnetization::AntiParallel)
+    }
+
+    /// The magnetization that encodes `bit`.
+    pub fn from_bit(bit: bool) -> Self {
+        if bit {
+            Magnetization::AntiParallel
+        } else {
+            Magnetization::Parallel
+        }
+    }
+}
+
+impl fmt::Display for Magnetization {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Magnetization::Parallel => f.write_str("P"),
+            Magnetization::AntiParallel => f.write_str("AP"),
+        }
+    }
+}
+
+/// Result of reading a cell: the sensed bit and whether this read disturbed
+/// the cell.
+///
+/// Read disturbance is unidirectional (§II of the paper): the read current
+/// flows in the write-`0` direction, so only a stored `1` can flip, and a
+/// disturbed read senses the *flipped* value — the paper counts the final
+/// demand read itself among the error trials ("plus one, to count the last
+/// read access").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadOutcome {
+    /// The bit delivered by the sense amplifier.
+    pub value: bool,
+    /// Whether the cell flipped `1 → 0` during this read.
+    pub disturbed: bool,
+}
+
+/// A single STT-MRAM cell with persistent magnetization state.
+///
+/// # Examples
+///
+/// ```
+/// use rand::{rngs::StdRng, SeedableRng};
+/// use reap_mtj::{MtjCell, MtjParams};
+///
+/// let params = MtjParams::default();
+/// let mut cell = MtjCell::new(params);
+/// cell.write(true);
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let out = cell.read(&mut rng);
+/// // At the nominal card p ≈ 1.5e-8, a single read virtually never disturbs.
+/// assert!(out.value);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MtjCell {
+    params: MtjParams,
+    state: Magnetization,
+}
+
+impl MtjCell {
+    /// Creates a cell in the parallel (`0`) state.
+    pub fn new(params: MtjParams) -> Self {
+        Self {
+            params,
+            state: Magnetization::Parallel,
+        }
+    }
+
+    /// The cell's parameter card.
+    pub fn params(&self) -> &MtjParams {
+        &self.params
+    }
+
+    /// Current magnetization.
+    pub fn state(&self) -> Magnetization {
+        self.state
+    }
+
+    /// Current resistance (Ω), determined by the magnetization.
+    pub fn resistance(&self) -> f64 {
+        match self.state {
+            Magnetization::Parallel => self.params.r_parallel(),
+            Magnetization::AntiParallel => self.params.r_antiparallel(),
+        }
+    }
+
+    /// Writes a bit deterministically (the WER of the write pulse is modeled
+    /// separately in the [`mod@crate::write`] module; the REAP study assumes reliable
+    /// writes, as writes rewrite and thereby *heal* accumulated disturbance).
+    pub fn write(&mut self, bit: bool) {
+        self.state = Magnetization::from_bit(bit);
+    }
+
+    /// Reads the cell, stochastically applying read disturbance.
+    ///
+    /// A stored `1` flips to `0` with probability Eq. (1); a stored `0` is
+    /// immune (unidirectional read current). The sensed value reflects any
+    /// flip that occurred during this read.
+    pub fn read<R: Rng + ?Sized>(&mut self, rng: &mut R) -> ReadOutcome {
+        self.read_with_probability(read_disturbance_probability(&self.params), rng)
+    }
+
+    /// Like [`read`](Self::read), but with an explicit per-read disturbance
+    /// probability — used by Monte-Carlo experiments that amplify the
+    /// physical probability to make failures observable in tractable time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn read_with_probability<R: Rng + ?Sized>(&mut self, p: f64, rng: &mut R) -> ReadOutcome {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        let disturbed = self.state == Magnetization::AntiParallel && rng.gen::<f64>() < p;
+        if disturbed {
+            self.state = Magnetization::Parallel;
+        }
+        ReadOutcome {
+            value: self.state.as_bit(),
+            disturbed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cell() -> MtjCell {
+        MtjCell::new(MtjParams::default())
+    }
+
+    #[test]
+    fn new_cell_starts_parallel() {
+        assert_eq!(cell().state(), Magnetization::Parallel);
+        assert!(!cell().state().as_bit());
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut c = cell();
+        for bit in [true, false, true, true, false] {
+            c.write(bit);
+            assert_eq!(c.read(&mut rng).value, bit);
+        }
+    }
+
+    #[test]
+    fn resistance_tracks_state() {
+        let mut c = cell();
+        c.write(false);
+        assert_eq!(c.resistance(), MtjParams::default().r_parallel());
+        c.write(true);
+        assert_eq!(c.resistance(), MtjParams::default().r_antiparallel());
+    }
+
+    #[test]
+    fn zero_state_is_immune_to_disturbance() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut c = cell();
+        c.write(false);
+        for _ in 0..10_000 {
+            let out = c.read_with_probability(1.0, &mut rng);
+            assert!(!out.disturbed);
+            assert!(!out.value);
+        }
+    }
+
+    #[test]
+    fn one_state_always_flips_at_probability_one() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut c = cell();
+        c.write(true);
+        let out = c.read_with_probability(1.0, &mut rng);
+        assert!(out.disturbed);
+        assert!(!out.value, "disturbed read senses the flipped value");
+        assert_eq!(c.state(), Magnetization::Parallel);
+    }
+
+    #[test]
+    fn disturbance_frequency_matches_probability() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let p = 0.05;
+        let trials = 100_000;
+        let mut disturbed = 0u32;
+        for _ in 0..trials {
+            let mut c = cell();
+            c.write(true);
+            if c.read_with_probability(p, &mut rng).disturbed {
+                disturbed += 1;
+            }
+        }
+        let freq = f64::from(disturbed) / trials as f64;
+        assert!((freq - p).abs() < 0.005, "freq = {freq}");
+    }
+
+    #[test]
+    fn rewrite_heals_disturbed_cell() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut c = cell();
+        c.write(true);
+        let _ = c.read_with_probability(1.0, &mut rng); // flips to 0
+        c.write(true); // heal
+        assert_eq!(c.state(), Magnetization::AntiParallel);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability out of range")]
+    fn rejects_probability_above_one() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut c = cell();
+        let _ = c.read_with_probability(1.5, &mut rng);
+    }
+
+    #[test]
+    fn magnetization_from_bit_round_trips() {
+        assert!(Magnetization::from_bit(true).as_bit());
+        assert!(!Magnetization::from_bit(false).as_bit());
+    }
+
+    #[test]
+    fn magnetization_display() {
+        assert_eq!(Magnetization::Parallel.to_string(), "P");
+        assert_eq!(Magnetization::AntiParallel.to_string(), "AP");
+    }
+}

@@ -1,0 +1,266 @@
+//! Read-disturbance probability model (Eq. (1) of the paper).
+
+use crate::params::MtjParams;
+
+/// Thermally-activated switching *rate* (1/s) of a stored `1` under the read
+/// current, i.e. the argument of the outer exponential in Eq. (1) divided by
+/// the pulse width.
+///
+/// `rate = (1/tau) * exp(-Delta * (1 - I_read/Ic0))`
+///
+/// # Examples
+///
+/// ```
+/// use reap_mtj::{MtjParams, read_disturbance_rate};
+///
+/// let r = read_disturbance_rate(&MtjParams::default());
+/// assert!(r > 0.0);
+/// ```
+pub fn read_disturbance_rate(params: &MtjParams) -> f64 {
+    let exponent = -params.thermal_stability() * (1.0 - params.read_overdrive());
+    exponent.exp() / params.attempt_period()
+}
+
+/// Probability that a single read of a stored `1` flips the cell to `0`
+/// (Eq. (1)).
+///
+/// Computed as `-expm1(-t_read * rate)` for numerical accuracy at the tiny
+/// probabilities (≈ 1e-8 and below) the model operates at.
+///
+/// # Examples
+///
+/// ```
+/// use reap_mtj::{MtjParams, read_disturbance_probability};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let nominal = read_disturbance_probability(&MtjParams::default());
+/// // Raising the read current raises the disturbance probability.
+/// let hot = MtjParams::default().with_read_current(90e-6)?;
+/// assert!(read_disturbance_probability(&hot) > nominal);
+/// # Ok(())
+/// # }
+/// ```
+pub fn read_disturbance_probability(params: &MtjParams) -> f64 {
+    let lambda = read_disturbance_rate(params) * params.read_pulse();
+    -(-lambda).exp_m1()
+}
+
+/// Solves Eq. (1) for the read current that yields a target disturbance
+/// probability, holding every other parameter fixed.
+///
+/// Useful for design-space exploration: "how much read-current margin does a
+/// target error rate leave?". Returns `None` when the target is not
+/// reachable with `0 < I_read < Ic0` (e.g. a target above the probability at
+/// `I_read → Ic0`, or a target below the probability at `I_read → 0`).
+///
+/// # Examples
+///
+/// ```
+/// use reap_mtj::{MtjParams, read_current_for_probability, read_disturbance_probability};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let params = MtjParams::default();
+/// let i = read_current_for_probability(&params, 1e-6).expect("reachable");
+/// let check = params.with_read_current(i)?;
+/// let p = read_disturbance_probability(&check);
+/// assert!((p.log10() - (-6.0)).abs() < 1e-6);
+/// # Ok(())
+/// # }
+/// ```
+pub fn read_current_for_probability(params: &MtjParams, target: f64) -> Option<f64> {
+    if !(target > 0.0 && target < 1.0) {
+        return None;
+    }
+    // Invert analytically: p = 1 - exp(-(t/tau) e^{-Δ(1-I/Ic0)})
+    //   => -ln(1-p) * tau/t = e^{-Δ(1-I/Ic0)}
+    //   => 1 - I/Ic0 = -ln( -ln(1-p) * tau/t ) / Δ
+    let lhs = -(-target).ln_1p() * params.attempt_period() / params.read_pulse();
+    if lhs <= 0.0 {
+        return None;
+    }
+    let one_minus_ratio = -lhs.ln() / params.thermal_stability();
+    let ratio = 1.0 - one_minus_ratio;
+    if ratio <= 0.0 || ratio >= 1.0 {
+        return None;
+    }
+    Some(ratio * params.critical_current())
+}
+
+/// A parameter sweep over read current, producing `(I_read, P_rd)` pairs.
+///
+/// The iterator yields `points` evenly spaced currents in
+/// `[i_min, i_max]` (inclusive), clamped to stay strictly below `Ic0`.
+///
+/// # Examples
+///
+/// ```
+/// use reap_mtj::{DisturbanceSweep, MtjParams};
+///
+/// let sweep = DisturbanceSweep::over_read_current(MtjParams::default(), 40e-6, 90e-6, 6);
+/// let pts: Vec<(f64, f64)> = sweep.collect();
+/// assert_eq!(pts.len(), 6);
+/// // Monotonically increasing in current.
+/// assert!(pts.windows(2).all(|w| w[1].1 >= w[0].1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct DisturbanceSweep {
+    params: MtjParams,
+    i_min: f64,
+    i_max: f64,
+    points: usize,
+    next: usize,
+}
+
+impl DisturbanceSweep {
+    /// Creates a sweep over read current in `[i_min, i_max]` with `points`
+    /// samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points == 0` or `i_min > i_max`.
+    pub fn over_read_current(params: MtjParams, i_min: f64, i_max: f64, points: usize) -> Self {
+        assert!(points > 0, "sweep needs at least one point");
+        assert!(i_min <= i_max, "sweep range is inverted");
+        Self {
+            params,
+            i_min,
+            i_max,
+            points,
+            next: 0,
+        }
+    }
+}
+
+impl Iterator for DisturbanceSweep {
+    type Item = (f64, f64);
+
+    fn next(&mut self) -> Option<(f64, f64)> {
+        if self.next >= self.points {
+            return None;
+        }
+        let t = if self.points == 1 {
+            0.0
+        } else {
+            self.next as f64 / (self.points - 1) as f64
+        };
+        self.next += 1;
+        let raw = self.i_min + t * (self.i_max - self.i_min);
+        // Stay strictly inside the valid read-current range.
+        let i = raw.min(self.params.critical_current() * (1.0 - 1e-9));
+        let p = self
+            .params
+            .with_read_current(i)
+            .map(|pp| read_disturbance_probability(&pp))
+            .unwrap_or(f64::NAN);
+        Some((i, p))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.points - self.next;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for DisturbanceSweep {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_probability_matches_paper_operating_point() {
+        // Δ=60, I/Ic0=0.7, t=τ  =>  p = 1 - exp(-e^{-18}) ≈ 1.523e-8.
+        let p = read_disturbance_probability(&MtjParams::default());
+        let expected = (-18.0_f64).exp();
+        assert!(
+            (p - expected).abs() / expected < 1e-6,
+            "p = {p}, expected ≈ {expected}"
+        );
+    }
+
+    #[test]
+    fn probability_increases_with_current() {
+        let base = MtjParams::default();
+        let mut last = 0.0;
+        for ua in [30.0, 50.0, 70.0, 90.0, 99.0] {
+            let p = read_disturbance_probability(&base.with_read_current(ua * 1e-6).unwrap());
+            assert!(p > last, "p({ua}µA) = {p} not > {last}");
+            last = p;
+        }
+    }
+
+    #[test]
+    fn probability_decreases_with_stability() {
+        let lo = MtjParams::default().with_thermal_stability(40.0).unwrap();
+        let hi = MtjParams::default().with_thermal_stability(80.0).unwrap();
+        assert!(read_disturbance_probability(&lo) > read_disturbance_probability(&hi));
+    }
+
+    #[test]
+    fn probability_scales_linearly_with_pulse_width_when_small() {
+        let p1 = read_disturbance_probability(&MtjParams::default());
+        let long = MtjParams::builder().read_pulse(2e-9).build().unwrap();
+        let p2 = read_disturbance_probability(&long);
+        assert!(
+            (p2 / p1 - 2.0).abs() < 1e-6,
+            "doubling t_read should double tiny p"
+        );
+    }
+
+    #[test]
+    fn inverse_solver_round_trips() {
+        let params = MtjParams::default();
+        for target in [1e-10, 1e-8, 1e-6, 1e-4] {
+            let i = read_current_for_probability(&params, target).expect("reachable");
+            let p = read_disturbance_probability(&params.with_read_current(i).unwrap());
+            assert!(
+                (p / target - 1.0).abs() < 1e-9,
+                "target {target}: got {p} at I={i}"
+            );
+        }
+    }
+
+    #[test]
+    fn inverse_solver_rejects_unreachable_targets() {
+        let params = MtjParams::default();
+        assert_eq!(read_current_for_probability(&params, 0.0), None);
+        assert_eq!(read_current_for_probability(&params, 1.0), None);
+        // Probability at I→Ic0 is ~1-exp(-1)≈0.63; 0.99 is unreachable.
+        assert_eq!(read_current_for_probability(&params, 0.99), None);
+        // Probability at I→0 is ~e^{-60}; far below that is unreachable.
+        assert_eq!(read_current_for_probability(&params, 1e-300), None);
+    }
+
+    #[test]
+    fn sweep_covers_range_inclusively() {
+        let pts: Vec<_> =
+            DisturbanceSweep::over_read_current(MtjParams::default(), 40e-6, 80e-6, 5).collect();
+        assert_eq!(pts.len(), 5);
+        assert!((pts[0].0 - 40e-6).abs() < 1e-18);
+        assert!((pts[4].0 - 80e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn sweep_single_point_sits_at_minimum() {
+        let pts: Vec<_> =
+            DisturbanceSweep::over_read_current(MtjParams::default(), 55e-6, 80e-6, 1).collect();
+        assert_eq!(pts.len(), 1);
+        assert!((pts[0].0 - 55e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn sweep_clamps_below_critical_current() {
+        let pts: Vec<_> =
+            DisturbanceSweep::over_read_current(MtjParams::default(), 90e-6, 200e-6, 3).collect();
+        for (i, p) in pts {
+            assert!(i < 100e-6);
+            assert!(p.is_finite());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one point")]
+    fn sweep_rejects_zero_points() {
+        let _ = DisturbanceSweep::over_read_current(MtjParams::default(), 1e-6, 2e-6, 0);
+    }
+}

@@ -1,0 +1,65 @@
+//! STT-MRAM device model: MTJ cells, read disturbance, retention, write
+//! errors and process variation.
+//!
+//! This crate implements the device-physics substrate of the REAP-cache
+//! study. The central quantity is the *read-disturbance probability* of a
+//! Spin-Transfer Torque MRAM cell — the probability that the unidirectional
+//! read current unintentionally flips a stored `1` to `0` (Eq. (1) of the
+//! paper):
+//!
+//! ```text
+//! P_rd = 1 - exp( -(t_read / tau) * exp( -Delta * (1 - I_read / Ic0) ) )
+//! ```
+//!
+//! where `tau` is the thermal attempt period (~1 ns), `Delta` the thermal
+//! stability factor, `I_read` the read current and `Ic0` the critical
+//! switching current at 0 K.
+//!
+//! > Note on the paper's typesetting: the DATE'19 text prints the inner
+//! > exponent as `-Delta (I_read - Ic0)/Ic0`, which for `I_read < Ic0` would
+//! > be *positive* and drive `P_rd → 1`. The physically meaningful (and
+//! > standard, cf. the paper's refs refs. 12/13 of the paper) form has the exponent
+//! > `-Delta (1 - I_read/Ic0) < 0`; we implement that form, which also
+//! > reproduces the paper's own numeric example (`P_rd ≈ 1e-8`).
+//!
+//! # Examples
+//!
+//! ```
+//! use reap_mtj::{MtjParams, read_disturbance_probability};
+//!
+//! let params = MtjParams::default();
+//! let p = read_disturbance_probability(&params);
+//! // The paper's running example assumes P_rd-cell ~ 1e-8.
+//! assert!(p > 1e-9 && p < 1e-7, "p = {p}");
+//! ```
+//!
+//! The crate also provides:
+//! * [`MtjCell`] / [`MtjArray`] — stateful bit-level cell and array models
+//!   with stochastic disturbance injection for Monte-Carlo experiments,
+//! * [`variation`] — per-cell process variation (Gaussian `Delta`, `Ic0`,
+//!   log-normal resistances),
+//! * [`retention`] — thermal retention-failure model,
+//! * [`mod@write`] — write-error-rate model for the programming pulse.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod array;
+pub mod cell;
+pub mod disturbance;
+pub mod params;
+pub mod retention;
+pub mod temperature;
+pub mod variation;
+pub mod write;
+
+pub use array::MtjArray;
+pub use cell::{Magnetization, MtjCell, ReadOutcome};
+pub use disturbance::{
+    read_current_for_probability, read_disturbance_probability, read_disturbance_rate,
+    DisturbanceSweep,
+};
+pub use params::{MtjParams, MtjParamsBuilder, ParamsError};
+pub use retention::retention_failure_probability;
+pub use variation::{CellSample, VariationModel};
+pub use write::write_error_rate;

@@ -1,0 +1,487 @@
+//! Device parameters of an STT-MRAM (MTJ + access transistor) cell.
+
+use std::error::Error;
+use std::fmt;
+
+/// Physical and electrical parameters of an STT-MRAM cell.
+///
+/// All currents are in amperes, times in seconds, resistances in ohms.
+/// Construct with [`MtjParams::builder`] (validated) or use the calibrated
+/// [`Default`] card, which targets a 22 nm perpendicular MTJ and yields a
+/// read-disturbance probability of ≈ 1.5 × 10⁻⁸ per read — the operating
+/// point of the paper's running example.
+///
+/// # Examples
+///
+/// ```
+/// use reap_mtj::MtjParams;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let p = MtjParams::builder()
+///     .thermal_stability(62.0)
+///     .read_current(65e-6)
+///     .build()?;
+/// assert_eq!(p.thermal_stability(), 62.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MtjParams {
+    delta: f64,
+    ic0: f64,
+    i_read: f64,
+    i_write: f64,
+    t_read: f64,
+    t_write: f64,
+    tau: f64,
+    r_parallel: f64,
+    r_antiparallel: f64,
+}
+
+impl MtjParams {
+    /// Starts building a parameter set from the default card.
+    pub fn builder() -> MtjParamsBuilder {
+        MtjParamsBuilder::new()
+    }
+
+    /// Thermal stability factor Δ = E_b / k_B·T (dimensionless).
+    pub fn thermal_stability(&self) -> f64 {
+        self.delta
+    }
+
+    /// Critical switching current at 0 K, `Ic0` (A).
+    pub fn critical_current(&self) -> f64 {
+        self.ic0
+    }
+
+    /// Read current `I_read` (A). Always below [`critical_current`].
+    ///
+    /// [`critical_current`]: Self::critical_current
+    pub fn read_current(&self) -> f64 {
+        self.i_read
+    }
+
+    /// Write current `I_write` (A). Always above [`critical_current`].
+    ///
+    /// [`critical_current`]: Self::critical_current
+    pub fn write_current(&self) -> f64 {
+        self.i_write
+    }
+
+    /// Read pulse width `t_read` (s).
+    pub fn read_pulse(&self) -> f64 {
+        self.t_read
+    }
+
+    /// Write pulse width `t_write` (s).
+    pub fn write_pulse(&self) -> f64 {
+        self.t_write
+    }
+
+    /// Thermal attempt period τ (s); the paper assumes 1 ns.
+    pub fn attempt_period(&self) -> f64 {
+        self.tau
+    }
+
+    /// Resistance in the parallel (logic `0`) state (Ω).
+    pub fn r_parallel(&self) -> f64 {
+        self.r_parallel
+    }
+
+    /// Resistance in the anti-parallel (logic `1`) state (Ω).
+    pub fn r_antiparallel(&self) -> f64 {
+        self.r_antiparallel
+    }
+
+    /// Tunnel magneto-resistance ratio, `(R_ap - R_p) / R_p`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let p = reap_mtj::MtjParams::default();
+    /// assert!(p.tmr() > 0.5);
+    /// ```
+    pub fn tmr(&self) -> f64 {
+        (self.r_antiparallel - self.r_parallel) / self.r_parallel
+    }
+
+    /// Read-current overdrive ratio `I_read / Ic0` (always < 1).
+    pub fn read_overdrive(&self) -> f64 {
+        self.i_read / self.ic0
+    }
+
+    /// Write-current overdrive ratio `I_write / Ic0` (always > 1).
+    pub fn write_overdrive(&self) -> f64 {
+        self.i_write / self.ic0
+    }
+
+    /// Returns a copy with a different read current.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamsError`] if `i_read` is not in `(0, Ic0)`.
+    pub fn with_read_current(&self, i_read: f64) -> Result<Self, ParamsError> {
+        MtjParamsBuilder::from(*self).read_current(i_read).build()
+    }
+
+    /// Returns a copy with a different thermal stability factor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamsError`] if `delta` is not positive and finite.
+    pub fn with_thermal_stability(&self, delta: f64) -> Result<Self, ParamsError> {
+        MtjParamsBuilder::from(*self)
+            .thermal_stability(delta)
+            .build()
+    }
+}
+
+impl Default for MtjParams {
+    /// Calibrated 22 nm perpendicular-MTJ card.
+    ///
+    /// Δ = 60, Ic0 = 100 µA, I_read = 70 µA, I_write = 150 µA,
+    /// t_read = 1 ns, t_write = 10 ns, τ = 1 ns, R_p = 3 kΩ, R_ap = 6 kΩ.
+    /// Read disturbance ≈ 1.5 × 10⁻⁸ per read of a stored `1`.
+    fn default() -> Self {
+        Self {
+            delta: 60.0,
+            ic0: 100e-6,
+            i_read: 70e-6,
+            i_write: 150e-6,
+            t_read: 1e-9,
+            t_write: 10e-9,
+            tau: 1e-9,
+            r_parallel: 3_000.0,
+            r_antiparallel: 6_000.0,
+        }
+    }
+}
+
+impl fmt::Display for MtjParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "MTJ(Δ={:.1}, Ic0={:.1}µA, Iread={:.1}µA, Iwrite={:.1}µA, tread={:.2}ns)",
+            self.delta,
+            self.ic0 * 1e6,
+            self.i_read * 1e6,
+            self.i_write * 1e6,
+            self.t_read * 1e9
+        )
+    }
+}
+
+/// Builder for [`MtjParams`] with validation on [`build`](Self::build).
+///
+/// # Examples
+///
+/// ```
+/// use reap_mtj::MtjParamsBuilder;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let p = MtjParamsBuilder::new()
+///     .critical_current(120e-6)
+///     .read_current(80e-6)
+///     .write_current(180e-6)
+///     .build()?;
+/// assert!(p.read_overdrive() < 1.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct MtjParamsBuilder {
+    params: MtjParams,
+}
+
+impl MtjParamsBuilder {
+    /// Creates a builder seeded with the default parameter card.
+    pub fn new() -> Self {
+        Self {
+            params: MtjParams::default(),
+        }
+    }
+
+    /// Sets the thermal stability factor Δ.
+    pub fn thermal_stability(mut self, delta: f64) -> Self {
+        self.params.delta = delta;
+        self
+    }
+
+    /// Sets the critical switching current Ic0 (A).
+    pub fn critical_current(mut self, ic0: f64) -> Self {
+        self.params.ic0 = ic0;
+        self
+    }
+
+    /// Sets the read current (A).
+    pub fn read_current(mut self, i_read: f64) -> Self {
+        self.params.i_read = i_read;
+        self
+    }
+
+    /// Sets the write current (A).
+    pub fn write_current(mut self, i_write: f64) -> Self {
+        self.params.i_write = i_write;
+        self
+    }
+
+    /// Sets the read pulse width (s).
+    pub fn read_pulse(mut self, t_read: f64) -> Self {
+        self.params.t_read = t_read;
+        self
+    }
+
+    /// Sets the write pulse width (s).
+    pub fn write_pulse(mut self, t_write: f64) -> Self {
+        self.params.t_write = t_write;
+        self
+    }
+
+    /// Sets the thermal attempt period τ (s).
+    pub fn attempt_period(mut self, tau: f64) -> Self {
+        self.params.tau = tau;
+        self
+    }
+
+    /// Sets the parallel-state resistance (Ω).
+    pub fn r_parallel(mut self, r: f64) -> Self {
+        self.params.r_parallel = r;
+        self
+    }
+
+    /// Sets the anti-parallel-state resistance (Ω).
+    pub fn r_antiparallel(mut self, r: f64) -> Self {
+        self.params.r_antiparallel = r;
+        self
+    }
+
+    /// Validates and produces the parameter set.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParamsError`] describing the first violated constraint:
+    /// all quantities must be positive and finite, `I_read < Ic0`,
+    /// `I_write > Ic0`, and `R_ap > R_p`.
+    pub fn build(self) -> Result<MtjParams, ParamsError> {
+        let p = self.params;
+        fn pos(name: &'static str, v: f64) -> Result<(), ParamsError> {
+            if v.is_finite() && v > 0.0 {
+                Ok(())
+            } else {
+                Err(ParamsError::NotPositive { name, value: v })
+            }
+        }
+        pos("delta", p.delta)?;
+        pos("ic0", p.ic0)?;
+        pos("i_read", p.i_read)?;
+        pos("i_write", p.i_write)?;
+        pos("t_read", p.t_read)?;
+        pos("t_write", p.t_write)?;
+        pos("tau", p.tau)?;
+        pos("r_parallel", p.r_parallel)?;
+        pos("r_antiparallel", p.r_antiparallel)?;
+        if p.i_read >= p.ic0 {
+            return Err(ParamsError::ReadCurrentTooHigh {
+                i_read: p.i_read,
+                ic0: p.ic0,
+            });
+        }
+        if p.i_write <= p.ic0 {
+            return Err(ParamsError::WriteCurrentTooLow {
+                i_write: p.i_write,
+                ic0: p.ic0,
+            });
+        }
+        if p.r_antiparallel <= p.r_parallel {
+            return Err(ParamsError::InvertedResistance {
+                r_p: p.r_parallel,
+                r_ap: p.r_antiparallel,
+            });
+        }
+        Ok(p)
+    }
+}
+
+impl Default for MtjParamsBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl From<MtjParams> for MtjParamsBuilder {
+    fn from(params: MtjParams) -> Self {
+        Self { params }
+    }
+}
+
+/// Error produced when validating [`MtjParams`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum ParamsError {
+    /// A quantity that must be positive and finite was not.
+    NotPositive {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Offending value.
+        value: f64,
+    },
+    /// The read current reaches or exceeds the critical current, so every
+    /// read would be a destructive write.
+    ReadCurrentTooHigh {
+        /// Offending read current (A).
+        i_read: f64,
+        /// Critical current (A).
+        ic0: f64,
+    },
+    /// The write current does not exceed the critical current, so writes
+    /// would never complete deterministically.
+    WriteCurrentTooLow {
+        /// Offending write current (A).
+        i_write: f64,
+        /// Critical current (A).
+        ic0: f64,
+    },
+    /// The anti-parallel resistance does not exceed the parallel resistance.
+    InvertedResistance {
+        /// Parallel-state resistance (Ω).
+        r_p: f64,
+        /// Anti-parallel-state resistance (Ω).
+        r_ap: f64,
+    },
+}
+
+impl fmt::Display for ParamsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ParamsError::NotPositive { name, value } => {
+                write!(
+                    f,
+                    "parameter `{name}` must be positive and finite, got {value}"
+                )
+            }
+            ParamsError::ReadCurrentTooHigh { i_read, ic0 } => write!(
+                f,
+                "read current {:.3e} A must be below the critical current {:.3e} A",
+                i_read, ic0
+            ),
+            ParamsError::WriteCurrentTooLow { i_write, ic0 } => write!(
+                f,
+                "write current {:.3e} A must exceed the critical current {:.3e} A",
+                i_write, ic0
+            ),
+            ParamsError::InvertedResistance { r_p, r_ap } => write!(
+                f,
+                "anti-parallel resistance {r_ap} Ω must exceed parallel resistance {r_p} Ω"
+            ),
+        }
+    }
+}
+
+impl Error for ParamsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_card_is_valid() {
+        let p = MtjParams::default();
+        assert!(MtjParamsBuilder::from(p).build().is_ok());
+    }
+
+    #[test]
+    fn default_overdrives_are_sane() {
+        let p = MtjParams::default();
+        assert!(p.read_overdrive() > 0.0 && p.read_overdrive() < 1.0);
+        assert!(p.write_overdrive() > 1.0);
+    }
+
+    #[test]
+    fn tmr_of_default_card() {
+        let p = MtjParams::default();
+        assert!(
+            (p.tmr() - 1.0).abs() < 1e-12,
+            "Rap=2Rp gives TMR of exactly 1"
+        );
+    }
+
+    #[test]
+    fn rejects_read_current_above_critical() {
+        let err = MtjParams::builder()
+            .read_current(200e-6)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ParamsError::ReadCurrentTooHigh { .. }));
+    }
+
+    #[test]
+    fn rejects_write_current_below_critical() {
+        let err = MtjParams::builder()
+            .write_current(50e-6)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ParamsError::WriteCurrentTooLow { .. }));
+    }
+
+    #[test]
+    fn rejects_negative_delta() {
+        let err = MtjParams::builder()
+            .thermal_stability(-3.0)
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ParamsError::NotPositive { name: "delta", .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_nan_pulse() {
+        let err = MtjParams::builder()
+            .read_pulse(f64::NAN)
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ParamsError::NotPositive { name: "t_read", .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_inverted_resistances() {
+        let err = MtjParams::builder()
+            .r_antiparallel(1_000.0)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ParamsError::InvertedResistance { .. }));
+    }
+
+    #[test]
+    fn with_read_current_round_trips() {
+        let p = MtjParams::default().with_read_current(42e-6).unwrap();
+        assert_eq!(p.read_current(), 42e-6);
+        // Unrelated fields untouched.
+        assert_eq!(
+            p.thermal_stability(),
+            MtjParams::default().thermal_stability()
+        );
+    }
+
+    #[test]
+    fn display_mentions_key_parameters() {
+        let s = MtjParams::default().to_string();
+        assert!(s.contains("Δ=60.0"));
+        assert!(s.contains("Ic0=100.0µA"));
+    }
+
+    #[test]
+    fn error_display_is_lowercase_and_informative() {
+        let err = MtjParams::builder()
+            .read_current(200e-6)
+            .build()
+            .unwrap_err();
+        let s = err.to_string();
+        assert!(s.starts_with("read current"));
+        assert!(!s.ends_with('.'));
+    }
+}

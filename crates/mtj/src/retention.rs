@@ -1,0 +1,131 @@
+//! Thermal retention-failure model.
+//!
+//! Even without any access, thermal agitation can flip an MTJ free layer.
+//! The mean time between spontaneous flips follows the Néel–Arrhenius law
+//! `tau_ret = tau * exp(Delta)`; the probability of at least one flip within
+//! an interval `t` is `1 - exp(-t / tau_ret)`.
+//!
+//! Retention errors are second-order for the REAP-cache study (Δ ≈ 60 gives
+//! a retention time of ~10¹⁷ s), but the model is needed to justify *why*
+//! read disturbance — not retention — dominates the STT-MRAM cache error
+//! rate, and it participates in the ablation benches.
+
+use crate::params::MtjParams;
+
+/// Probability that a stored bit spontaneously flips within `interval`
+/// seconds, with no access activity.
+///
+/// # Examples
+///
+/// ```
+/// use reap_mtj::{retention_failure_probability, MtjParams};
+///
+/// let p_year = retention_failure_probability(&MtjParams::default(), 3.15e7);
+/// // With Δ = 60 the retention failure over a year is far below the
+/// // per-read disturbance probability (~1e-8).
+/// assert!(p_year < 1e-9);
+/// ```
+pub fn retention_failure_probability(params: &MtjParams, interval: f64) -> f64 {
+    if interval <= 0.0 {
+        return 0.0;
+    }
+    let tau_ret = params.attempt_period() * params.thermal_stability().exp();
+    -(-interval / tau_ret).exp_m1()
+}
+
+/// Mean retention time (s): expected time until a spontaneous flip.
+///
+/// # Examples
+///
+/// ```
+/// use reap_mtj::MtjParams;
+/// use reap_mtj::retention::mean_retention_time;
+///
+/// let t = mean_retention_time(&MtjParams::default());
+/// assert!(t > 1e16, "Δ = 60 retains for ~3.6e9 years");
+/// ```
+pub fn mean_retention_time(params: &MtjParams) -> f64 {
+    params.attempt_period() * params.thermal_stability().exp()
+}
+
+/// Thermal stability factor required to retain data for `target` seconds
+/// with failure probability at most `p_max`.
+///
+/// Returns `None` for out-of-range inputs (`target <= 0`, `p_max` outside
+/// `(0, 1)`).
+///
+/// # Examples
+///
+/// ```
+/// use reap_mtj::MtjParams;
+/// use reap_mtj::retention::required_stability;
+///
+/// // Ten years at 1e-9 failure probability needs roughly Δ ≈ 60.
+/// let delta = required_stability(&MtjParams::default(), 3.15e8, 1e-9).expect("in range");
+/// assert!(delta > 55.0 && delta < 65.0, "delta = {delta}");
+/// ```
+pub fn required_stability(params: &MtjParams, target: f64, p_max: f64) -> Option<f64> {
+    let target_valid = target.is_finite() && target > 0.0;
+    let p_valid = p_max > 0.0 && p_max < 1.0;
+    if !target_valid || !p_valid {
+        return None;
+    }
+    // p = 1 - exp(-t / (tau e^Δ))  =>  Δ = ln( t / (tau * -ln(1-p)) )
+    let denom = params.attempt_period() * -(-p_max).ln_1p();
+    Some((target / denom).ln())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_interval_never_fails() {
+        assert_eq!(
+            retention_failure_probability(&MtjParams::default(), 0.0),
+            0.0
+        );
+    }
+
+    #[test]
+    fn failure_probability_monotone_in_interval() {
+        let p = MtjParams::default();
+        let day = retention_failure_probability(&p, 86_400.0);
+        let year = retention_failure_probability(&p, 3.15e7);
+        assert!(year > day);
+    }
+
+    #[test]
+    fn lower_stability_fails_sooner() {
+        let stable = MtjParams::default();
+        let flaky = MtjParams::default().with_thermal_stability(30.0).unwrap();
+        let t = 1.0;
+        assert!(
+            retention_failure_probability(&flaky, t) > retention_failure_probability(&stable, t)
+        );
+    }
+
+    #[test]
+    fn mean_retention_time_matches_neel_arrhenius() {
+        let p = MtjParams::default();
+        let expected = 1e-9 * 60.0_f64.exp();
+        assert!((mean_retention_time(&p) / expected - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn required_stability_round_trips() {
+        let base = MtjParams::default();
+        let delta = required_stability(&base, 3.15e7, 1e-6).unwrap();
+        let card = base.with_thermal_stability(delta).unwrap();
+        let p = retention_failure_probability(&card, 3.15e7);
+        assert!((p / 1e-6 - 1.0).abs() < 1e-9, "p = {p}");
+    }
+
+    #[test]
+    fn required_stability_rejects_bad_inputs() {
+        let p = MtjParams::default();
+        assert_eq!(required_stability(&p, -1.0, 1e-6), None);
+        assert_eq!(required_stability(&p, 1.0, 0.0), None);
+        assert_eq!(required_stability(&p, 1.0, 1.0), None);
+    }
+}

@@ -1,0 +1,171 @@
+//! Temperature dependence of the MTJ parameters.
+//!
+//! The thermal stability factor is an energy barrier over `k_B·T`:
+//! `Δ(T) = E_b(T) / (k_B·T)`, and the barrier itself softens as the
+//! free-layer magnetization `M_s(T)` decreases toward the Curie point:
+//! `E_b ∝ M_s²(T)` with `M_s(T) ≈ M_s(0)·(1 − T/T_c)^0.5` (mean-field).
+//! The critical current scales with the same barrier. Read disturbance is
+//! exponential in Δ, so a hot die is *dramatically* more disturb-prone —
+//! the reason cache-level mitigation must hold margin at `T_max`, not at
+//! room temperature.
+
+use crate::params::{MtjParams, MtjParamsBuilder, ParamsError};
+
+/// Reference temperature at which a card's Δ and Ic0 are specified (K).
+pub const REFERENCE_TEMPERATURE: f64 = 300.0;
+
+/// Curie temperature of the CoFeB free layer (K).
+pub const CURIE_TEMPERATURE: f64 = 700.0;
+
+/// Rescales a parameter card from [`REFERENCE_TEMPERATURE`] to the
+/// operating temperature `t_kelvin`.
+///
+/// Both the thermal stability factor and the critical current are scaled
+/// by the barrier softening `(1 − T/T_c) / (1 − T_ref/T_c)` and Δ
+/// additionally by `T_ref / T` (it is a barrier *per thermal energy*).
+///
+/// # Errors
+///
+/// Returns [`ParamsError`] if the scaled card becomes invalid (e.g. the
+/// critical current drops to or below the read current near the Curie
+/// point) or `t_kelvin` is outside `(0, T_c)`.
+///
+/// # Examples
+///
+/// ```
+/// use reap_mtj::temperature::at_temperature;
+/// use reap_mtj::{read_disturbance_probability, MtjParams};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let cold = MtjParams::default();
+/// let hot = at_temperature(&cold, 360.0)?;
+/// assert!(hot.thermal_stability() < cold.thermal_stability());
+/// assert!(read_disturbance_probability(&hot) > read_disturbance_probability(&cold));
+/// # Ok(())
+/// # }
+/// ```
+pub fn at_temperature(card: &MtjParams, t_kelvin: f64) -> Result<MtjParams, ParamsError> {
+    if !(t_kelvin > 0.0 && t_kelvin < CURIE_TEMPERATURE) {
+        return Err(ParamsError::NotPositive {
+            name: "t_kelvin",
+            value: t_kelvin,
+        });
+    }
+    let softening =
+        (1.0 - t_kelvin / CURIE_TEMPERATURE) / (1.0 - REFERENCE_TEMPERATURE / CURIE_TEMPERATURE);
+    let delta = card.thermal_stability() * softening * (REFERENCE_TEMPERATURE / t_kelvin);
+    let ic0 = card.critical_current() * softening;
+    MtjParamsBuilder::from(*card)
+        .thermal_stability(delta)
+        .critical_current(ic0)
+        .build()
+}
+
+/// The highest operating temperature (K) at which the card still meets a
+/// target read-disturbance probability, found by bisection over
+/// `[REFERENCE_TEMPERATURE, T_c)`.
+///
+/// Returns `None` if even the reference temperature misses the target, or
+/// every temperature up to the search ceiling meets it.
+///
+/// # Examples
+///
+/// ```
+/// use reap_mtj::temperature::max_operating_temperature;
+/// use reap_mtj::MtjParams;
+///
+/// let t = max_operating_temperature(&MtjParams::default(), 1e-6).expect("bounded");
+/// assert!(t > 300.0 && t < 700.0);
+/// ```
+pub fn max_operating_temperature(card: &MtjParams, p_target: f64) -> Option<f64> {
+    let p_at = |t: f64| {
+        at_temperature(card, t).map(|c| crate::disturbance::read_disturbance_probability(&c))
+    };
+    let p_ref = p_at(REFERENCE_TEMPERATURE).ok()?;
+    if p_ref > p_target {
+        return None;
+    }
+    let ceiling = CURIE_TEMPERATURE - 1.0;
+    match p_at(ceiling) {
+        Ok(p) if p <= p_target => return None, // never violated below ceiling
+        _ => {}
+    }
+    let (mut lo, mut hi) = (REFERENCE_TEMPERATURE, ceiling);
+    for _ in 0..64 {
+        let mid = 0.5 * (lo + hi);
+        match p_at(mid) {
+            Ok(p) if p <= p_target => lo = mid,
+            _ => hi = mid,
+        }
+    }
+    Some(lo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disturbance::read_disturbance_probability;
+
+    #[test]
+    fn reference_temperature_is_identity() {
+        let card = MtjParams::default();
+        let same = at_temperature(&card, REFERENCE_TEMPERATURE).unwrap();
+        assert!((same.thermal_stability() - card.thermal_stability()).abs() < 1e-9);
+        assert!((same.critical_current() - card.critical_current()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn heating_softens_the_barrier() {
+        let card = MtjParams::default();
+        let mut last_delta = card.thermal_stability();
+        let mut last_p = read_disturbance_probability(&card);
+        for t in [320.0, 350.0, 380.0, 400.0] {
+            let hot = at_temperature(&card, t).unwrap();
+            assert!(hot.thermal_stability() < last_delta, "Δ must fall with T");
+            let p = read_disturbance_probability(&hot);
+            assert!(p > last_p, "P_rd must rise with T");
+            last_delta = hot.thermal_stability();
+            last_p = p;
+        }
+    }
+
+    #[test]
+    fn cooling_hardens_the_barrier() {
+        let card = MtjParams::default();
+        let cold = at_temperature(&card, 250.0).unwrap();
+        assert!(cold.thermal_stability() > card.thermal_stability());
+    }
+
+    #[test]
+    fn out_of_range_temperatures_rejected() {
+        let card = MtjParams::default();
+        assert!(at_temperature(&card, 0.0).is_err());
+        assert!(at_temperature(&card, -10.0).is_err());
+        assert!(at_temperature(&card, CURIE_TEMPERATURE).is_err());
+    }
+
+    #[test]
+    fn near_curie_card_becomes_invalid() {
+        // Ic0 collapses below I_read well before T_c.
+        let card = MtjParams::default();
+        assert!(at_temperature(&card, 660.0).is_err());
+    }
+
+    #[test]
+    fn max_operating_temperature_brackets_the_target() {
+        let card = MtjParams::default();
+        let target = 1e-6;
+        let t = max_operating_temperature(&card, target).unwrap();
+        let p_at_t = read_disturbance_probability(&at_temperature(&card, t).unwrap());
+        let p_above = read_disturbance_probability(&at_temperature(&card, t + 2.0).unwrap());
+        assert!(p_at_t <= target * 1.001, "p({t}) = {p_at_t}");
+        assert!(p_above > target, "p({}) = {p_above}", t + 2.0);
+    }
+
+    #[test]
+    fn unreachable_targets_return_none() {
+        let card = MtjParams::default();
+        // Already violated at the reference temperature.
+        assert_eq!(max_operating_temperature(&card, 1e-12), None);
+    }
+}

@@ -1,0 +1,275 @@
+//! Process variation: per-cell parameter sampling.
+//!
+//! Fabricated MTJs deviate from the nominal card: the thermal stability
+//! factor and critical current vary (approximately Gaussian) with oxide
+//! thickness and free-layer geometry, and the two resistance states vary
+//! log-normally. Variation widens the tail of the read-disturbance
+//! distribution — the worst cells dominate the block failure probability —
+//! so Monte-Carlo experiments sample per-cell parameters through this model.
+
+use crate::disturbance::read_disturbance_probability;
+use crate::params::MtjParams;
+use rand::Rng;
+
+/// Relative (σ/µ) process-variation magnitudes for the cell parameters.
+///
+/// # Examples
+///
+/// ```
+/// use reap_mtj::VariationModel;
+///
+/// let v = VariationModel::new(0.05, 0.04, 0.03);
+/// assert_eq!(v.sigma_delta(), 0.05);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VariationModel {
+    sigma_delta: f64,
+    sigma_ic0: f64,
+    sigma_resistance: f64,
+}
+
+impl VariationModel {
+    /// Creates a variation model from relative sigmas for Δ, Ic0 and the
+    /// resistances.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any sigma is negative or not finite.
+    pub fn new(sigma_delta: f64, sigma_ic0: f64, sigma_resistance: f64) -> Self {
+        for (name, s) in [
+            ("sigma_delta", sigma_delta),
+            ("sigma_ic0", sigma_ic0),
+            ("sigma_resistance", sigma_resistance),
+        ] {
+            assert!(
+                s.is_finite() && s >= 0.0,
+                "{name} must be finite and non-negative"
+            );
+        }
+        Self {
+            sigma_delta,
+            sigma_ic0,
+            sigma_resistance,
+        }
+    }
+
+    /// A model with no variation: every sampled cell equals the nominal card.
+    pub fn none() -> Self {
+        Self::new(0.0, 0.0, 0.0)
+    }
+
+    /// Typical 22 nm variation magnitudes (σΔ/Δ = 5 %, σIc0/Ic0 = 4 %,
+    /// σR/R = 3 %).
+    pub fn typical() -> Self {
+        Self::new(0.05, 0.04, 0.03)
+    }
+
+    /// Relative sigma of the thermal stability factor.
+    pub fn sigma_delta(&self) -> f64 {
+        self.sigma_delta
+    }
+
+    /// Relative sigma of the critical current.
+    pub fn sigma_ic0(&self) -> f64 {
+        self.sigma_ic0
+    }
+
+    /// Relative sigma of the resistance states.
+    pub fn sigma_resistance(&self) -> f64 {
+        self.sigma_resistance
+    }
+
+    /// Samples one cell's parameters around the `nominal` card.
+    ///
+    /// Sampled values are clamped so the card stays physically valid
+    /// (`I_read < Ic0 < I_write`, positive resistances); the clamp only
+    /// engages beyond ±4σ at the [`typical`](Self::typical) magnitudes.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rand::{rngs::StdRng, SeedableRng};
+    /// use reap_mtj::{MtjParams, VariationModel};
+    ///
+    /// let mut rng = StdRng::seed_from_u64(7);
+    /// let sample = VariationModel::typical().sample(&MtjParams::default(), &mut rng);
+    /// assert!(sample.params.thermal_stability() > 0.0);
+    /// ```
+    pub fn sample<R: Rng + ?Sized>(&self, nominal: &MtjParams, rng: &mut R) -> CellSample {
+        let delta = gaussian(rng, nominal.thermal_stability(), self.sigma_delta)
+            .max(nominal.thermal_stability() * 0.2);
+        // Keep Ic0 strictly between I_read and I_write so the card stays valid.
+        let ic0_lo = nominal.read_current() * 1.01;
+        let ic0_hi = nominal.write_current() * 0.99;
+        let ic0 = gaussian(rng, nominal.critical_current(), self.sigma_ic0).clamp(ic0_lo, ic0_hi);
+        let r_p = lognormal(rng, nominal.r_parallel(), self.sigma_resistance);
+        let r_ap_nominal = nominal.r_antiparallel() / nominal.r_parallel() * r_p;
+        let r_ap = lognormal(rng, r_ap_nominal, self.sigma_resistance).max(r_p * 1.05);
+
+        let params = crate::params::MtjParamsBuilder::from(*nominal)
+            .thermal_stability(delta)
+            .critical_current(ic0)
+            .r_parallel(r_p)
+            .r_antiparallel(r_ap)
+            .build()
+            .expect("clamped sample must be valid");
+        let read_disturbance = read_disturbance_probability(&params);
+        CellSample {
+            params,
+            read_disturbance,
+        }
+    }
+
+    /// Samples `count` cells and returns the empirical mean and maximum
+    /// read-disturbance probability — the figure of merit the tail of the
+    /// variation distribution controls.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rand::{rngs::StdRng, SeedableRng};
+    /// use reap_mtj::{MtjParams, VariationModel};
+    ///
+    /// let mut rng = StdRng::seed_from_u64(1);
+    /// let (mean, max) = VariationModel::typical()
+    ///     .disturbance_statistics(&MtjParams::default(), 1_000, &mut rng);
+    /// assert!(max >= mean);
+    /// ```
+    pub fn disturbance_statistics<R: Rng + ?Sized>(
+        &self,
+        nominal: &MtjParams,
+        count: usize,
+        rng: &mut R,
+    ) -> (f64, f64) {
+        assert!(count > 0, "need at least one sample");
+        let mut sum = 0.0;
+        let mut max = 0.0_f64;
+        for _ in 0..count {
+            let p = self.sample(nominal, rng).read_disturbance;
+            sum += p;
+            max = max.max(p);
+        }
+        (sum / count as f64, max)
+    }
+}
+
+impl Default for VariationModel {
+    fn default() -> Self {
+        Self::typical()
+    }
+}
+
+/// One sampled cell: its parameter card and the derived per-read
+/// disturbance probability.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellSample {
+    /// The sampled parameter card.
+    pub params: MtjParams,
+    /// Read-disturbance probability of this particular cell.
+    pub read_disturbance: f64,
+}
+
+/// Box–Muller Gaussian sample with mean `mu` and relative sigma
+/// `rel_sigma` (σ = µ·rel_sigma).
+fn gaussian<R: Rng + ?Sized>(rng: &mut R, mu: f64, rel_sigma: f64) -> f64 {
+    if rel_sigma == 0.0 {
+        return mu;
+    }
+    mu + mu * rel_sigma * standard_normal(rng)
+}
+
+/// Log-normal sample whose median is `median` and whose log-sigma equals
+/// `rel_sigma` (a good approximation of relative sigma for small values).
+fn lognormal<R: Rng + ?Sized>(rng: &mut R, median: f64, rel_sigma: f64) -> f64 {
+    if rel_sigma == 0.0 {
+        return median;
+    }
+    median * (rel_sigma * standard_normal(rng)).exp()
+}
+
+/// Standard normal variate via the Box–Muller transform.
+fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid u1 == 0 (ln of zero).
+    let u1: f64 = loop {
+        let u = rng.gen::<f64>();
+        if u > 0.0 {
+            break u;
+        }
+    };
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn no_variation_reproduces_nominal() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let nominal = MtjParams::default();
+        let s = VariationModel::none().sample(&nominal, &mut rng);
+        assert_eq!(s.params, nominal);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let nominal = MtjParams::default();
+        let a = VariationModel::typical().sample(&nominal, &mut StdRng::seed_from_u64(42));
+        let b = VariationModel::typical().sample(&nominal, &mut StdRng::seed_from_u64(42));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn samples_stay_physically_valid() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let nominal = MtjParams::default();
+        let model = VariationModel::new(0.2, 0.2, 0.2); // extreme variation
+        for _ in 0..2_000 {
+            let s = model.sample(&nominal, &mut rng);
+            assert!(s.params.read_overdrive() < 1.0);
+            assert!(s.params.write_overdrive() > 1.0);
+            assert!(s.params.r_antiparallel() > s.params.r_parallel());
+            assert!(s.read_disturbance > 0.0 && s.read_disturbance < 1.0);
+        }
+    }
+
+    #[test]
+    fn sample_mean_delta_near_nominal() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let nominal = MtjParams::default();
+        let model = VariationModel::typical();
+        let n = 20_000;
+        let mean: f64 = (0..n)
+            .map(|_| model.sample(&nominal, &mut rng).params.thermal_stability())
+            .sum::<f64>()
+            / n as f64;
+        assert!(
+            (mean / nominal.thermal_stability() - 1.0).abs() < 0.01,
+            "mean Δ = {mean}"
+        );
+    }
+
+    #[test]
+    fn variation_raises_mean_disturbance() {
+        // Because p is convex (exponential) in Δ, E[p(Δ)] > p(E[Δ]).
+        let nominal = MtjParams::default();
+        let p_nominal = read_disturbance_probability(&nominal);
+        let mut rng = StdRng::seed_from_u64(5);
+        let (mean, max) =
+            VariationModel::typical().disturbance_statistics(&nominal, 20_000, &mut rng);
+        assert!(
+            mean > p_nominal,
+            "mean {mean} should exceed nominal {p_nominal}"
+        );
+        assert!(max > 10.0 * p_nominal, "tail cells dominate: max {max}");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_sigma() {
+        let _ = VariationModel::new(-0.1, 0.0, 0.0);
+    }
+}

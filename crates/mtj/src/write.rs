@@ -1,0 +1,154 @@
+//! Write-error-rate model for the programming pulse.
+//!
+//! Writing an MTJ applies a current above `Ic0`. Switching is still
+//! stochastic: the cell switches with a rate that grows with the overdrive
+//! `I_write / Ic0 - 1`. We use the thermal-activation form (Sun model,
+//! extended past `Ic0`), the same family of expressions the paper's
+//! references refs. 12/13 of the paper use:
+//!
+//! ```text
+//! tau_sw = tau * exp( Delta * (1 - I_write/Ic0) )      (< tau, since I > Ic0)
+//! WER    = exp( -t_write / tau_sw )
+//! ```
+//!
+//! The write-error rate matters for the disruptive-reading-and-restoring
+//! baseline (§II of the paper): restoring after every read performs extra
+//! writes, each of which can fail with this probability.
+
+use crate::params::MtjParams;
+
+/// Probability that a write pulse fails to switch the cell (WER).
+///
+/// # Examples
+///
+/// ```
+/// use reap_mtj::{write_error_rate, MtjParams};
+///
+/// let wer = write_error_rate(&MtjParams::default());
+/// assert!(wer < 1e-12, "a 10 ns pulse at 1.5x overdrive is reliable: {wer}");
+/// ```
+pub fn write_error_rate(params: &MtjParams) -> f64 {
+    ln_write_error_rate(params).exp()
+}
+
+/// Natural logarithm of the write-error rate.
+///
+/// WER values underflow `f64` at realistic overdrives (e.g. the default
+/// card gives `ln WER ≈ -2e13`); use this form when comparing or summing
+/// write-error rates.
+///
+/// # Examples
+///
+/// ```
+/// use reap_mtj::MtjParams;
+/// use reap_mtj::write::ln_write_error_rate;
+///
+/// assert!(ln_write_error_rate(&MtjParams::default()) < -1e6);
+/// ```
+pub fn ln_write_error_rate(params: &MtjParams) -> f64 {
+    -params.write_pulse() / switching_time(params)
+}
+
+/// Characteristic switching time (s) of the write pulse.
+///
+/// # Examples
+///
+/// ```
+/// use reap_mtj::MtjParams;
+/// use reap_mtj::write::switching_time;
+///
+/// let t = switching_time(&MtjParams::default());
+/// assert!(t < MtjParams::default().attempt_period());
+/// ```
+pub fn switching_time(params: &MtjParams) -> f64 {
+    let exponent = params.thermal_stability() * (1.0 - params.write_overdrive());
+    params.attempt_period() * exponent.exp()
+}
+
+/// Write pulse width (s) needed to reach a target write-error rate.
+///
+/// Returns `None` if `target` is outside `(0, 1)`.
+///
+/// # Examples
+///
+/// ```
+/// use reap_mtj::{write_error_rate, MtjParams};
+/// use reap_mtj::write::pulse_for_error_rate;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let params = MtjParams::default();
+/// let t = pulse_for_error_rate(&params, 1e-15).expect("in range");
+/// let tuned = reap_mtj::MtjParamsBuilder::from(params).write_pulse(t).build()?;
+/// assert!((write_error_rate(&tuned).log10() - (-15.0)).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+pub fn pulse_for_error_rate(params: &MtjParams, target: f64) -> Option<f64> {
+    if !(target > 0.0 && target < 1.0) {
+        return None;
+    }
+    Some(-target.ln() * switching_time(params))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::MtjParamsBuilder;
+
+    #[test]
+    fn wer_decreases_with_longer_pulse() {
+        let short = MtjParamsBuilder::new().write_pulse(2e-9).build().unwrap();
+        let long = MtjParamsBuilder::new().write_pulse(20e-9).build().unwrap();
+        assert!(ln_write_error_rate(&long) < ln_write_error_rate(&short));
+    }
+
+    #[test]
+    fn wer_decreases_with_higher_current() {
+        let weak = MtjParamsBuilder::new()
+            .write_current(120e-6)
+            .build()
+            .unwrap();
+        let strong = MtjParamsBuilder::new()
+            .write_current(200e-6)
+            .build()
+            .unwrap();
+        assert!(ln_write_error_rate(&strong) < ln_write_error_rate(&weak));
+    }
+
+    #[test]
+    fn wer_is_representable_at_mild_overdrive() {
+        // 1.05x overdrive, 1 ns pulse: tau_sw = 1ns * e^{-3} => WER = e^{-e^3}.
+        let mild = MtjParamsBuilder::new()
+            .write_current(105e-6)
+            .write_pulse(1e-9)
+            .build()
+            .unwrap();
+        let wer = write_error_rate(&mild);
+        assert!(wer > 0.0 && wer < 1.0);
+        let expected = (-(3.0_f64).exp()).exp();
+        assert!((wer / expected - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn switching_faster_than_attempt_period_above_critical() {
+        let p = MtjParams::default();
+        assert!(switching_time(&p) < p.attempt_period());
+    }
+
+    #[test]
+    fn pulse_for_error_rate_round_trips() {
+        let p = MtjParams::default();
+        let t = pulse_for_error_rate(&p, 1e-12).unwrap();
+        let tuned = MtjParamsBuilder::from(p).write_pulse(t).build().unwrap();
+        let wer = write_error_rate(&tuned);
+        assert!((wer / 1e-12 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pulse_for_error_rate_rejects_bad_targets() {
+        let p = MtjParams::default();
+        assert_eq!(pulse_for_error_rate(&p, 0.0), None);
+        assert_eq!(pulse_for_error_rate(&p, 1.0), None);
+        assert_eq!(pulse_for_error_rate(&p, -0.5), None);
+    }
+}

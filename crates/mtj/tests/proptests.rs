@@ -1,0 +1,124 @@
+//! Property-based tests for the STT-MRAM device model.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use reap_mtj::{
+    read_current_for_probability, read_disturbance_probability, retention_failure_probability,
+    MtjArray, MtjParams, VariationModel,
+};
+
+proptest! {
+    /// Eq. (1) always yields a valid probability for any valid card.
+    #[test]
+    fn disturbance_probability_is_valid(
+        delta in 20.0..100.0f64,
+        ratio in 0.05..0.99f64,
+        t_read_ns in 0.1..10.0f64,
+    ) {
+        let params = MtjParams::builder()
+            .thermal_stability(delta)
+            .read_current(ratio * 100e-6)
+            .read_pulse(t_read_ns * 1e-9)
+            .build()
+            .unwrap();
+        let p = read_disturbance_probability(&params);
+        prop_assert!(p > 0.0 && p < 1.0, "p = {p}");
+    }
+
+    /// Disturbance probability is monotone in the read current.
+    #[test]
+    fn disturbance_monotone_in_current(
+        lo in 0.1..0.5f64,
+        gap in 0.01..0.45f64,
+    ) {
+        let base = MtjParams::default();
+        let p_lo = read_disturbance_probability(&base.with_read_current(lo * 100e-6).unwrap());
+        let p_hi = read_disturbance_probability(
+            &base.with_read_current((lo + gap) * 100e-6).unwrap(),
+        );
+        prop_assert!(p_hi > p_lo);
+    }
+
+    /// Disturbance probability is antitone in the thermal stability factor.
+    #[test]
+    fn disturbance_antitone_in_stability(
+        delta in 20.0..90.0f64,
+        bump in 1.0..30.0f64,
+    ) {
+        let base = MtjParams::default();
+        let p_lo = read_disturbance_probability(&base.with_thermal_stability(delta + bump).unwrap());
+        let p_hi = read_disturbance_probability(&base.with_thermal_stability(delta).unwrap());
+        prop_assert!(p_hi > p_lo);
+    }
+
+    /// The inverse solver round-trips through Eq. (1) across twelve decades.
+    #[test]
+    fn inverse_current_solver_round_trips(exp in -12.0..-1.5f64) {
+        let target = 10.0_f64.powf(exp);
+        let params = MtjParams::default();
+        if let Some(i) = read_current_for_probability(&params, target) {
+            let p = read_disturbance_probability(&params.with_read_current(i).unwrap());
+            prop_assert!((p / target - 1.0).abs() < 1e-6, "target {target}, got {p}");
+        }
+    }
+
+    /// Retention failure probability is a valid, monotone CDF of time.
+    #[test]
+    fn retention_is_monotone_cdf(t1 in 1.0..1e9f64, scale in 1.01..100.0f64) {
+        let params = MtjParams::default().with_thermal_stability(35.0).unwrap();
+        let p1 = retention_failure_probability(&params, t1);
+        let p2 = retention_failure_probability(&params, t1 * scale);
+        prop_assert!((0.0..=1.0).contains(&p1));
+        prop_assert!(p2 >= p1);
+    }
+
+    /// Reads can only clear bits, never set them, and `count_ones` never grows.
+    #[test]
+    fn array_reads_are_unidirectional(
+        payload in proptest::collection::vec(any::<u8>(), 64),
+        p in 0.0..1.0f64,
+        seed in any::<u64>(),
+    ) {
+        let mut array = MtjArray::with_probability(512, p);
+        array.write_bytes(&payload);
+        let before: Vec<u8> = array.snapshot();
+        let ones_before = array.count_ones();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let after = array.read(&mut rng);
+        prop_assert!(array.count_ones() <= ones_before);
+        for (b, a) in before.iter().zip(after.iter()) {
+            prop_assert_eq!(a & !b, 0, "a stored 0 flipped to 1");
+        }
+    }
+
+    /// Writing always heals: after a write the contents equal the payload.
+    #[test]
+    fn array_write_heals(
+        payload in proptest::collection::vec(any::<u8>(), 32),
+        seed in any::<u64>(),
+    ) {
+        let mut array = MtjArray::with_probability(256, 0.9);
+        let mut rng = StdRng::seed_from_u64(seed);
+        array.write_bytes(&payload);
+        let _ = array.read(&mut rng);
+        array.write_bytes(&payload);
+        prop_assert_eq!(array.snapshot(), payload);
+    }
+
+    /// Variation sampling always produces valid cards with valid probabilities.
+    #[test]
+    fn variation_samples_are_valid(
+        sd in 0.0..0.3f64,
+        si in 0.0..0.3f64,
+        sr in 0.0..0.3f64,
+        seed in any::<u64>(),
+    ) {
+        let model = VariationModel::new(sd, si, sr);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let s = model.sample(&MtjParams::default(), &mut rng);
+        prop_assert!(s.params.read_overdrive() < 1.0);
+        prop_assert!(s.params.write_overdrive() > 1.0);
+        prop_assert!(s.read_disturbance > 0.0 && s.read_disturbance < 1.0);
+    }
+}

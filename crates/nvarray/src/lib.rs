@@ -1,0 +1,448 @@
+//! Circuit-level energy / area / latency estimation for cache arrays —
+//! a deliberately simplified reimplementation of the role NVSim ref. 21 of the paper
+//! plays in the paper.
+//!
+//! Given a cache geometry, a memory technology ([`MemTech::Sram`] or
+//! [`MemTech::SttMram`]) and a process node, [`estimate`] produces an
+//! [`ArrayEstimate`]: per-line read/write energies, tag-array access
+//! energy, leakage, silicon area and the read-path component latencies the
+//! REAP access-time argument (§V-B) needs.
+//!
+//! Calibration targets (documented in `DESIGN.md` §2) are the published
+//! NVSim values for a 1 MB STT-MRAM L2 at 22 nm — read ≈ 0.1–0.5 nJ,
+//! write several× the read energy, leakage far below SRAM — so the
+//! *relative* quantities that drive the paper's Figs. 5–6 (read vs write
+//! energy, ECC decoder ≪ array) are faithful even though absolute joules
+//! are estimates.
+//!
+//! # Examples
+//!
+//! ```
+//! use reap_nvarray::{estimate, ArraySpec, MemTech, TechnologyNode};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let spec = ArraySpec::new(1 << 20, 64, 8)?; // the paper's L2
+//! let stt = estimate(&spec, MemTech::SttMram, TechnologyNode::nm(22)?);
+//! let sram = estimate(&spec, MemTech::Sram, TechnologyNode::nm(22)?);
+//! assert!(stt.leakage_power < sram.leakage_power / 5.0);
+//! assert!(stt.area < sram.area);
+//! assert!(stt.line_write_energy > stt.line_read_energy);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::error::Error;
+use std::fmt;
+
+/// A process technology node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TechnologyNode {
+    feature_nm: u32,
+}
+
+impl TechnologyNode {
+    /// Creates a node from its feature size in nanometres.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::UnsupportedNode`] outside 10–90 nm (the range
+    /// the scaling rules are sane for).
+    pub fn nm(feature_nm: u32) -> Result<Self, SpecError> {
+        if !(10..=90).contains(&feature_nm) {
+            return Err(SpecError::UnsupportedNode { feature_nm });
+        }
+        Ok(Self { feature_nm })
+    }
+
+    /// Feature size in nanometres.
+    pub fn feature_nm(&self) -> u32 {
+        self.feature_nm
+    }
+
+    /// Energy/area scale factor relative to the 45 nm calibration point.
+    fn quad_scale(&self) -> f64 {
+        (f64::from(self.feature_nm) / 45.0).powi(2)
+    }
+
+    /// Latency scale factor relative to 45 nm.
+    fn lin_scale(&self) -> f64 {
+        f64::from(self.feature_nm) / 45.0
+    }
+
+    /// Square metres per F².
+    fn f2(&self) -> f64 {
+        let f = f64::from(self.feature_nm) * 1e-9;
+        f * f
+    }
+}
+
+/// Memory cell technology of the data array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemTech {
+    /// 6T SRAM.
+    Sram,
+    /// 1T-1MTJ STT-MRAM.
+    SttMram,
+}
+
+impl fmt::Display for MemTech {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemTech::Sram => f.write_str("SRAM"),
+            MemTech::SttMram => f.write_str("STT-MRAM"),
+        }
+    }
+}
+
+/// Per-technology calibration constants at the 45 nm reference node.
+struct TechConstants {
+    /// Cell area in F².
+    cell_f2: f64,
+    /// Read energy per bit (J), including local bitline + sense.
+    read_per_bit: f64,
+    /// Write energy per bit (J).
+    write_per_bit: f64,
+    /// Leakage per bit (W) including its share of periphery.
+    leak_per_bit: f64,
+    /// Sense latency floor (s).
+    sense_latency: f64,
+    /// Write pulse latency (s).
+    write_latency: f64,
+}
+
+impl MemTech {
+    fn constants(self) -> TechConstants {
+        match self {
+            MemTech::Sram => TechConstants {
+                cell_f2: 146.0,
+                read_per_bit: 30e-15,
+                write_per_bit: 30e-15,
+                leak_per_bit: 60e-12,
+                sense_latency: 0.20e-9,
+                write_latency: 0.20e-9,
+            },
+            MemTech::SttMram => TechConstants {
+                cell_f2: 40.0,
+                read_per_bit: 500e-15,
+                write_per_bit: 3_500e-15,
+                leak_per_bit: 2e-12,
+                sense_latency: 1.0e-9,
+                write_latency: 10.0e-9,
+            },
+        }
+    }
+}
+
+/// Geometry of the modelled cache array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ArraySpec {
+    capacity_bytes: usize,
+    block_bytes: usize,
+    associativity: usize,
+    check_bits_per_line: usize,
+}
+
+impl ArraySpec {
+    /// Creates a spec; `check_bits_per_line` defaults to zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::BadGeometry`] if any quantity is zero or the
+    /// capacity does not divide into whole sets.
+    pub fn new(
+        capacity_bytes: usize,
+        block_bytes: usize,
+        associativity: usize,
+    ) -> Result<Self, SpecError> {
+        if capacity_bytes == 0
+            || block_bytes == 0
+            || associativity == 0
+            || !capacity_bytes.is_multiple_of(block_bytes * associativity)
+        {
+            return Err(SpecError::BadGeometry {
+                capacity_bytes,
+                block_bytes,
+                associativity,
+            });
+        }
+        Ok(Self {
+            capacity_bytes,
+            block_bytes,
+            associativity,
+            check_bits_per_line: 0,
+        })
+    }
+
+    /// Adds per-line ECC check bits to the stored width.
+    pub fn with_check_bits(mut self, check_bits_per_line: usize) -> Self {
+        self.check_bits_per_line = check_bits_per_line;
+        self
+    }
+
+    /// Stored bits per line (data + check).
+    pub fn stored_line_bits(&self) -> usize {
+        self.block_bytes * 8 + self.check_bits_per_line
+    }
+
+    /// Total stored data-array bits.
+    pub fn total_bits(&self) -> usize {
+        self.capacity_bytes / self.block_bytes * self.stored_line_bits()
+    }
+
+    /// Number of sets.
+    pub fn num_sets(&self) -> usize {
+        self.capacity_bytes / (self.block_bytes * self.associativity)
+    }
+
+    /// Tag width in bits for a 48-bit physical address space.
+    pub fn tag_bits(&self) -> usize {
+        let offset_bits = (self.block_bytes as f64).log2() as usize;
+        let index_bits = (self.num_sets() as f64).log2() as usize;
+        // valid + dirty + tag
+        48 - offset_bits - index_bits + 2
+    }
+}
+
+/// Estimated electrical characteristics of one cache array.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArrayEstimate {
+    /// Energy to read one line (one way) from the data array (J).
+    pub line_read_energy: f64,
+    /// Energy to write one line (J).
+    pub line_write_energy: f64,
+    /// Energy of one tag-array access (all ways' tags compared) (J).
+    pub tag_access_energy: f64,
+    /// Static leakage of the whole array (W).
+    pub leakage_power: f64,
+    /// Silicon area of data + tag arrays (m²).
+    pub area: f64,
+    /// Latency of tag read + comparison (s).
+    pub tag_latency: f64,
+    /// Latency of a data-array line read (s).
+    pub data_read_latency: f64,
+    /// Latency of a data-array line write (s).
+    pub data_write_latency: f64,
+    /// Latency of the way-select output MUX (s).
+    pub mux_latency: f64,
+}
+
+/// Estimates the array characteristics of `spec` in `tech` at `node`.
+///
+/// The model is a two-level NVSim-like abstraction: per-bit cell energy
+/// plus an H-tree routing overhead that grows with the square root of the
+/// mat count, and periphery (decoder/sense) latency that grows with
+/// log₂(rows).
+pub fn estimate(spec: &ArraySpec, tech: MemTech, node: TechnologyNode) -> ArrayEstimate {
+    let c = tech.constants();
+    let bits = spec.total_bits() as f64;
+    let line_bits = spec.stored_line_bits() as f64;
+
+    // Mat organization: 512x512-bit subarrays.
+    let mats = (bits / (512.0 * 512.0)).max(1.0);
+    let routing_factor = 1.0 + 0.15 * mats.sqrt().log2().max(0.0);
+
+    let quad = node.quad_scale();
+    let lin = node.lin_scale();
+
+    let line_read_energy = line_bits * c.read_per_bit * quad * routing_factor;
+    let line_write_energy = line_bits * c.write_per_bit * quad * routing_factor;
+
+    // Tag array is SRAM in both cases (as in commercial STT-MRAM proposals
+    // and the paper's premise that REAP leaves tags untouched).
+    let tag_bits_total = (spec.tag_bits() * spec.associativity) as f64;
+    let sram = MemTech::Sram.constants();
+    let tag_access_energy = tag_bits_total * sram.read_per_bit * quad * routing_factor;
+
+    // Tag-array leakage is folded into the SRAM per-bit constant.
+    let leakage_power = bits * c.leak_per_bit * quad
+        + tag_bits_total * spec.num_sets() as f64 * sram.leak_per_bit * quad;
+
+    let tag_area = spec.tag_bits() as f64
+        * spec.associativity as f64
+        * spec.num_sets() as f64
+        * sram.cell_f2
+        * node.f2();
+    let area = (bits * c.cell_f2 * node.f2() + tag_area) * 1.6; // periphery (decoders, sense amps, H-tree) overhead
+
+    let rows = 512.0f64;
+    let decode_latency = 0.15e-9 * lin * rows.log2() / 9.0;
+    let wire_latency = 0.05e-9 * lin * mats.sqrt().log2().max(1.0);
+    let data_read_latency = decode_latency + wire_latency + c.sense_latency * lin;
+    let data_write_latency = decode_latency + wire_latency + c.write_latency;
+    let tag_latency = decode_latency + wire_latency + sram.sense_latency * lin + 0.25e-9 * lin;
+    let mux_latency = 0.08e-9 * lin;
+
+    ArrayEstimate {
+        line_read_energy,
+        line_write_energy,
+        tag_access_energy,
+        leakage_power,
+        area,
+        tag_latency,
+        data_read_latency,
+        data_write_latency,
+        mux_latency,
+    }
+}
+
+/// Error constructing a spec or node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SpecError {
+    /// Feature size out of the supported scaling range.
+    UnsupportedNode {
+        /// Requested feature size.
+        feature_nm: u32,
+    },
+    /// Geometry quantities are zero or do not divide evenly.
+    BadGeometry {
+        /// Requested capacity.
+        capacity_bytes: usize,
+        /// Requested block size.
+        block_bytes: usize,
+        /// Requested associativity.
+        associativity: usize,
+    },
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            SpecError::UnsupportedNode { feature_nm } => {
+                write!(f, "unsupported technology node {feature_nm} nm (10-90 nm)")
+            }
+            SpecError::BadGeometry {
+                capacity_bytes,
+                block_bytes,
+                associativity,
+            } => write!(
+                f,
+                "invalid geometry: {capacity_bytes} B / ({associativity} x {block_bytes} B)"
+            ),
+        }
+    }
+}
+
+impl Error for SpecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l2_spec() -> ArraySpec {
+        ArraySpec::new(1 << 20, 64, 8).unwrap().with_check_bits(64)
+    }
+
+    fn node22() -> TechnologyNode {
+        TechnologyNode::nm(22).unwrap()
+    }
+
+    #[test]
+    fn stt_l2_energies_in_plausible_range() {
+        let e = estimate(&l2_spec(), MemTech::SttMram, node22());
+        // Published NVSim figures for ~1 MB STT-MRAM: reads 0.05-0.5 nJ,
+        // writes a few times larger.
+        assert!(
+            e.line_read_energy > 0.02e-9 && e.line_read_energy < 1e-9,
+            "read {:.3e}",
+            e.line_read_energy
+        );
+        assert!(e.line_write_energy / e.line_read_energy > 2.0);
+    }
+
+    #[test]
+    fn stt_beats_sram_on_leakage_and_area() {
+        let stt = estimate(&l2_spec(), MemTech::SttMram, node22());
+        let sram = estimate(&l2_spec(), MemTech::Sram, node22());
+        assert!(stt.leakage_power < sram.leakage_power / 5.0);
+        assert!(stt.area < sram.area / 2.0);
+    }
+
+    #[test]
+    fn sram_reads_faster_than_stt() {
+        let stt = estimate(&l2_spec(), MemTech::SttMram, node22());
+        let sram = estimate(&l2_spec(), MemTech::Sram, node22());
+        assert!(sram.data_read_latency < stt.data_read_latency);
+        assert!(sram.data_write_latency < stt.data_write_latency);
+    }
+
+    #[test]
+    fn stt_write_dominated_by_pulse() {
+        let e = estimate(&l2_spec(), MemTech::SttMram, node22());
+        assert!(
+            e.data_write_latency >= 10e-9,
+            "10 ns programming pulse floor"
+        );
+    }
+
+    #[test]
+    fn scaling_with_node() {
+        let spec = l2_spec();
+        let e22 = estimate(&spec, MemTech::SttMram, node22());
+        let e45 = estimate(&spec, MemTech::SttMram, TechnologyNode::nm(45).unwrap());
+        assert!(e22.line_read_energy < e45.line_read_energy);
+        assert!(e22.area < e45.area);
+        assert!(e22.tag_latency < e45.tag_latency);
+    }
+
+    #[test]
+    fn bigger_arrays_cost_more() {
+        let small = ArraySpec::new(1 << 18, 64, 8).unwrap();
+        let big = ArraySpec::new(1 << 22, 64, 8).unwrap();
+        let es = estimate(&small, MemTech::SttMram, node22());
+        let eb = estimate(&big, MemTech::SttMram, node22());
+        assert!(eb.area > 3.0 * es.area);
+        assert!(eb.leakage_power > 3.0 * es.leakage_power);
+        assert!(
+            eb.line_read_energy > es.line_read_energy,
+            "routing overhead grows"
+        );
+    }
+
+    #[test]
+    fn check_bits_increase_stored_width_and_energy() {
+        let plain = ArraySpec::new(1 << 20, 64, 8).unwrap();
+        let ecc = plain.with_check_bits(64);
+        assert_eq!(plain.stored_line_bits(), 512);
+        assert_eq!(ecc.stored_line_bits(), 576);
+        let ep = estimate(&plain, MemTech::SttMram, node22());
+        let ee = estimate(&ecc, MemTech::SttMram, node22());
+        assert!(ee.line_read_energy > ep.line_read_energy);
+    }
+
+    #[test]
+    fn tag_latency_shorter_than_stt_data_latency() {
+        // The premise of the parallel-access win and of REAP's free ECC
+        // overlap: tags (SRAM) resolve no later than STT data.
+        let e = estimate(&l2_spec(), MemTech::SttMram, node22());
+        assert!(e.tag_latency <= e.data_read_latency);
+    }
+
+    #[test]
+    fn paper_l2_area_about_right() {
+        // 1 MB STT-MRAM at 22 nm should land in the low square millimetres.
+        let e = estimate(&l2_spec(), MemTech::SttMram, node22());
+        let mm2 = e.area * 1e6;
+        assert!(mm2 > 0.05 && mm2 < 5.0, "area = {mm2} mm²");
+    }
+
+    #[test]
+    fn spec_validation() {
+        assert!(ArraySpec::new(0, 64, 8).is_err());
+        assert!(ArraySpec::new(1000, 64, 8).is_err());
+        assert!(TechnologyNode::nm(5).is_err());
+        assert!(TechnologyNode::nm(130).is_err());
+        let err = TechnologyNode::nm(5).unwrap_err();
+        assert!(err.to_string().contains("5 nm"));
+    }
+
+    #[test]
+    fn tag_bits_account_for_geometry() {
+        let spec = ArraySpec::new(1 << 20, 64, 8).unwrap();
+        // 48 - 6 (offset) - 11 (index) + 2 (valid+dirty) = 33.
+        assert_eq!(spec.tag_bits(), 33);
+    }
+}

@@ -1,0 +1,82 @@
+//! Property-based tests for the array cost model: physical sanity must
+//! hold across the whole supported design space, not just the paper point.
+
+use proptest::prelude::*;
+use reap_nvarray::{estimate, ArraySpec, MemTech, TechnologyNode};
+
+fn spec_strategy() -> impl Strategy<Value = ArraySpec> {
+    (10usize..=22, 0usize..=4, 5usize..=9, 0usize..=64).prop_map(
+        |(cap_pow, ways_pow, block_pow, check)| {
+            ArraySpec::new(1 << cap_pow.max(ways_pow + block_pow + 1), 1 << block_pow, 1 << ways_pow)
+                .expect("power-of-two geometry always divides")
+                .with_check_bits(check)
+        },
+    )
+}
+
+proptest! {
+    /// Every estimate is positive and finite for any valid spec/tech/node.
+    #[test]
+    fn estimates_are_physical(
+        spec in spec_strategy(),
+        nm in 10u32..=90,
+        stt in any::<bool>(),
+    ) {
+        let tech = if stt { MemTech::SttMram } else { MemTech::Sram };
+        let e = estimate(&spec, tech, TechnologyNode::nm(nm).unwrap());
+        for (name, v) in [
+            ("line_read_energy", e.line_read_energy),
+            ("line_write_energy", e.line_write_energy),
+            ("tag_access_energy", e.tag_access_energy),
+            ("leakage_power", e.leakage_power),
+            ("area", e.area),
+            ("tag_latency", e.tag_latency),
+            ("data_read_latency", e.data_read_latency),
+            ("data_write_latency", e.data_write_latency),
+            ("mux_latency", e.mux_latency),
+        ] {
+            prop_assert!(v.is_finite() && v > 0.0, "{name} = {v}");
+        }
+    }
+
+    /// STT-MRAM always leaks less and writes slower than SRAM at identical
+    /// geometry and node.
+    #[test]
+    fn stt_tradeoffs_hold_everywhere(spec in spec_strategy(), nm in 10u32..=90) {
+        let node = TechnologyNode::nm(nm).unwrap();
+        let stt = estimate(&spec, MemTech::SttMram, node);
+        let sram = estimate(&spec, MemTech::Sram, node);
+        prop_assert!(stt.leakage_power < sram.leakage_power);
+        prop_assert!(stt.data_write_latency > sram.data_write_latency);
+        prop_assert!(stt.area < sram.area);
+        prop_assert!(stt.line_write_energy > stt.line_read_energy);
+    }
+
+    /// Energy and area scale monotonically with capacity.
+    #[test]
+    fn capacity_monotonicity(cap_pow in 16usize..=21, nm in 16u32..=45) {
+        let node = TechnologyNode::nm(nm).unwrap();
+        let small = ArraySpec::new(1 << cap_pow, 64, 8).unwrap();
+        let big = ArraySpec::new(1 << (cap_pow + 1), 64, 8).unwrap();
+        let es = estimate(&small, MemTech::SttMram, node);
+        let eb = estimate(&big, MemTech::SttMram, node);
+        prop_assert!(eb.area > es.area);
+        prop_assert!(eb.leakage_power > es.leakage_power);
+        prop_assert!(eb.line_read_energy >= es.line_read_energy);
+    }
+
+    /// Check bits increase stored width, energy and area, and never
+    /// decrease any latency.
+    #[test]
+    fn check_bits_cost_something(check in 1usize..=80) {
+        let node = TechnologyNode::nm(22).unwrap();
+        let plain = ArraySpec::new(1 << 20, 64, 8).unwrap();
+        let ecc = plain.with_check_bits(check);
+        prop_assert_eq!(ecc.stored_line_bits(), 512 + check);
+        let ep = estimate(&plain, MemTech::SttMram, node);
+        let ee = estimate(&ecc, MemTech::SttMram, node);
+        prop_assert!(ee.line_read_energy > ep.line_read_energy);
+        prop_assert!(ee.area > ep.area);
+        prop_assert!(ee.data_read_latency >= ep.data_read_latency);
+    }
+}

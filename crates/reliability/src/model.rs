@@ -1,0 +1,379 @@
+//! Binomial failure models — Eqs. (2), (3), (6) of the paper, generalized
+//! to `t`-error-correcting codes.
+//!
+//! A read of a line with `n` stored `1`s is a binomial experiment: each
+//! `1` flips independently with probability `p` (Eq. (1)). With a
+//! `t`-error-correcting code, the block is uncorrectable when more than
+//! `t` of the `m` trials fail:
+//!
+//! ```text
+//! P_unc(m, p, t) = P[X > t],  X ~ Binomial(m, p)
+//! ```
+//!
+//! * Conventional cache with `N` accumulated (unchecked) reads:
+//!   `m = N·n` — Eq. (3) is the `t = 1` case.
+//! * REAP cache: each of the `N` reads is checked individually, so the
+//!   block survives iff every read is individually correctable:
+//!   `P_fail = 1 − (1 − P_unc(n, p, t))^N` — Eq. (6).
+//!
+//! All tails are summed term by term in log space. For the regime of
+//! interest (`p ≤ 1e-4`, `m·p ≪ t`), the series converges within a few
+//! terms and stays accurate at magnitudes far below `f64::MIN_POSITIVE`'s
+//! complement (values like 1e-26 are exact, not `0` or `1 - 1` artifacts).
+
+/// Natural log of `n!` via Stirling's series (exact table for small `n`).
+fn ln_factorial(n: u64) -> f64 {
+    // ln(2!) happens to be ln 2; the table is factorial logs, not constants.
+    #[allow(clippy::approx_constant)]
+    const TABLE: [f64; 21] = [
+        0.0,
+        0.0,
+        0.693_147_180_559_945_3,
+        1.791_759_469_228_055,
+        3.178_053_830_347_946,
+        4.787_491_742_782_046,
+        6.579_251_212_010_101,
+        8.525_161_361_065_415,
+        10.604_602_902_745_25,
+        12.801_827_480_081_469,
+        15.104_412_573_075_516,
+        17.502_307_845_873_887,
+        19.987_214_495_661_885,
+        22.552_163_853_123_42,
+        25.191_221_182_738_68,
+        27.899_271_383_840_894,
+        30.671_860_106_080_672,
+        33.505_073_450_136_89,
+        36.395_445_208_033_05,
+        39.339_884_187_199_495,
+        42.335_616_460_753_485,
+    ];
+    if n < 21 {
+        return TABLE[n as usize];
+    }
+    let x = n as f64;
+    // Stirling with 1/(12n) and 1/(360n^3) corrections: <1e-12 relative
+    // error for n >= 21.
+    x * x.ln() - x + 0.5 * (2.0 * std::f64::consts::PI * x).ln() + 1.0 / (12.0 * x)
+        - 1.0 / (360.0 * x * x * x)
+}
+
+/// Natural log of the binomial coefficient `C(m, i)`.
+fn ln_choose(m: u64, i: u64) -> f64 {
+    debug_assert!(i <= m);
+    ln_factorial(m) - ln_factorial(i) - ln_factorial(m - i)
+}
+
+/// Probability that a binomial experiment with `trials` trials of
+/// per-trial failure probability `p` produces **more than `t`** failures —
+/// i.e. the block is uncorrectable under a `t`-error-correcting code.
+///
+/// Eq. (2) of the paper is `1 − uncorrectable_probability(n, p, 1)`;
+/// Eq. (3) is `uncorrectable_probability(N·n, p, 1)`.
+///
+/// # Panics
+///
+/// Panics if `p` is not in `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use reap_reliability::uncorrectable_probability;
+///
+/// // The paper's Eq. (4): n = 100, p = 1e-8, SEC -> ~5e-13.
+/// let p = uncorrectable_probability(100, 1e-8, 1);
+/// assert!((p / 4.95e-13 - 1.0).abs() < 0.02);
+/// ```
+pub fn uncorrectable_probability(trials: u64, p: f64, t: usize) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+    if trials == 0 || p == 0.0 {
+        return 0.0;
+    }
+    if trials as usize <= t {
+        return 0.0; // cannot exceed t failures with <= t trials
+    }
+    if p == 1.0 {
+        return 1.0; // all trials fail, trials > t
+    }
+    let ln_p = p.ln();
+    let ln_q = (-p).ln_1p();
+    let mean = trials as f64 * p;
+    if mean > t as f64 + 1.0 {
+        // Heavy regime: compute via the complement CDF (sum i = 0..=t).
+        let mut cdf = 0.0f64;
+        for i in 0..=t as u64 {
+            let ln_term = ln_choose(trials, i) + i as f64 * ln_p + (trials - i) as f64 * ln_q;
+            cdf += ln_term.exp();
+        }
+        return (1.0 - cdf).clamp(0.0, 1.0);
+    }
+    // Light regime (the STT-MRAM operating point): sum the tail directly.
+    let mut sum = 0.0f64;
+    let mut i = t as u64 + 1;
+    let ln_first = ln_choose(trials, i) + i as f64 * ln_p + (trials - i) as f64 * ln_q;
+    let mut term = ln_first.exp();
+    loop {
+        sum += term;
+        if i >= trials {
+            break;
+        }
+        // term_{i+1} / term_i = (m - i)/(i + 1) * p/q
+        let ratio = (trials - i) as f64 / (i + 1) as f64 * (p / (1.0 - p));
+        term *= ratio;
+        i += 1;
+        if term < sum * 1e-17 || term == 0.0 {
+            break;
+        }
+    }
+    sum.min(1.0)
+}
+
+/// The three failure laws of the paper for one protection strength.
+///
+/// Wraps a per-read, per-cell disturbance probability `p` and a code
+/// correction capability `t`, exposing the conventional (accumulating),
+/// REAP (check-every-read) and single-read failure probabilities.
+///
+/// # Examples
+///
+/// ```
+/// use reap_reliability::AccumulationModel;
+///
+/// let m = AccumulationModel::new(1e-8, 1);
+/// // Accumulation is strictly worse than checking every read.
+/// assert!(m.fail_conventional(256, 100) > m.fail_reap(256, 100));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccumulationModel {
+    p_rd: f64,
+    t: usize,
+}
+
+impl AccumulationModel {
+    /// Creates a model for disturbance probability `p_rd` and a
+    /// `t`-error-correcting code.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p_rd` is outside `[0, 1]` or `t == 0`.
+    pub fn new(p_rd: f64, t: usize) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&p_rd),
+            "probability out of range: {p_rd}"
+        );
+        assert!(t > 0, "correction capability must be at least 1");
+        Self { p_rd, t }
+    }
+
+    /// Convenience constructor for the paper's single-error-correcting
+    /// setting.
+    pub fn sec(p_rd: f64) -> Self {
+        Self::new(p_rd, 1)
+    }
+
+    /// The per-read, per-cell disturbance probability.
+    pub fn p_rd(&self) -> f64 {
+        self.p_rd
+    }
+
+    /// The code's correction capability `t`.
+    pub fn correction_capability(&self) -> usize {
+        self.t
+    }
+
+    /// Failure probability of a single checked read of a line with
+    /// `n_ones` stored `1`s (complement of Eq. (2)).
+    pub fn fail_single(&self, n_ones: u32) -> f64 {
+        uncorrectable_probability(u64::from(n_ones), self.p_rd, self.t)
+    }
+
+    /// Conventional cache, Eq. (3): the line was read `n_reads` times
+    /// (N−1 concealed + the final demand read) and only checked at the
+    /// end; disturbances accumulate across all `n_reads · n_ones` trials.
+    pub fn fail_conventional(&self, n_ones: u32, n_reads: u64) -> f64 {
+        uncorrectable_probability(n_reads * u64::from(n_ones), self.p_rd, self.t)
+    }
+
+    /// REAP cache, Eq. (6): each of the `n_reads` reads is checked (and
+    /// corrected) individually; the block fails iff any single read is
+    /// individually uncorrectable.
+    pub fn fail_reap(&self, n_ones: u32, n_reads: u64) -> f64 {
+        let single = self.fail_single(n_ones);
+        if single == 0.0 {
+            return 0.0;
+        }
+        // 1 - (1 - single)^N, stable for tiny `single`.
+        -(n_reads as f64 * (-single).ln_1p()).exp_m1()
+    }
+
+    /// The per-demand-event MTTF improvement factor of REAP over the
+    /// conventional cache (`fail_conventional / fail_reap`), ≈ `N` in the
+    /// small-`p` SEC regime.
+    pub fn improvement(&self, n_ones: u32, n_reads: u64) -> f64 {
+        let conv = self.fail_conventional(n_ones, n_reads);
+        let reap = self.fail_reap(n_ones, n_reads);
+        if reap == 0.0 {
+            return 1.0;
+        }
+        conv / reap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_factorial_matches_direct_products() {
+        for n in 0..30u64 {
+            let direct: f64 = (1..=n).map(|k| (k as f64).ln()).sum();
+            assert!(
+                (ln_factorial(n) - direct).abs() < 1e-9,
+                "n = {n}: {} vs {direct}",
+                ln_factorial(n)
+            );
+        }
+    }
+
+    #[test]
+    fn ln_choose_matches_pascal() {
+        assert!((ln_choose(5, 2) - 10.0f64.ln()).abs() < 1e-12);
+        assert!((ln_choose(52, 5) - 2_598_960.0f64.ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_equation_four() {
+        // n = 100 ones, p = 1e-8, SEC, single read: ≈ 4.95e-13
+        // (the paper rounds to 5.0e-13).
+        let p = uncorrectable_probability(100, 1e-8, 1);
+        assert!((p / 4.949_999e-13 - 1.0).abs() < 1e-3, "p = {p}");
+    }
+
+    #[test]
+    fn paper_equation_five() {
+        // 50 accumulated reads: trials = 5000 => C(5000,2) p^2 ≈ 1.25e-9
+        // (the paper rounds to 1.3e-9).
+        let p = uncorrectable_probability(5000, 1e-8, 1);
+        assert!((p / 1.249_75e-9 - 1.0).abs() < 1e-3, "p = {p}");
+    }
+
+    #[test]
+    fn paper_section_four_reap_example() {
+        // REAP with N = 50: ≈ 50x the single-read probability ≈ 2.5e-11
+        // (the paper reports 2.6e-11 and "50x lower than conventional").
+        let m = AccumulationModel::sec(1e-8);
+        let reap = m.fail_reap(100, 50);
+        assert!((reap / 2.475e-11 - 1.0).abs() < 1e-3, "reap = {reap}");
+        let ratio = m.fail_conventional(100, 50) / reap;
+        assert!((ratio - 50.0).abs() < 0.5, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn zero_cases() {
+        assert_eq!(uncorrectable_probability(0, 1e-8, 1), 0.0);
+        assert_eq!(uncorrectable_probability(100, 0.0, 1), 0.0);
+        assert_eq!(
+            uncorrectable_probability(1, 0.5, 1),
+            0.0,
+            "1 trial cannot exceed t = 1"
+        );
+        assert_eq!(uncorrectable_probability(3, 1.0, 2), 1.0);
+    }
+
+    #[test]
+    fn monotone_in_trials_probability_and_t() {
+        let base = uncorrectable_probability(1000, 1e-8, 1);
+        assert!(uncorrectable_probability(2000, 1e-8, 1) > base);
+        assert!(uncorrectable_probability(1000, 2e-8, 1) > base);
+        assert!(uncorrectable_probability(1000, 1e-8, 2) < base);
+    }
+
+    #[test]
+    fn heavy_regime_matches_exact_small_case() {
+        // Binomial(4, 0.5), t = 1: P[X > 1] = 1 - (C(4,0)+C(4,1))/16 = 11/16.
+        let p = uncorrectable_probability(4, 0.5, 1);
+        assert!((p - 11.0 / 16.0).abs() < 1e-12, "p = {p}");
+    }
+
+    #[test]
+    fn light_regime_matches_exact_small_case() {
+        // Binomial(3, 1e-3), t = 1: exact tail = 3 q p^2 + p^3.
+        let pp = 1e-3f64;
+        let exact = 3.0 * (1.0 - pp) * pp * pp + pp * pp * pp;
+        let got = uncorrectable_probability(3, pp, 1);
+        assert!(
+            (got / exact - 1.0).abs() < 1e-12,
+            "got {got}, exact {exact}"
+        );
+    }
+
+    #[test]
+    fn regimes_agree_at_the_boundary() {
+        // mean = trials * p around t + 1 should be continuous-ish.
+        let t = 1usize;
+        let p = 1e-3;
+        let a = uncorrectable_probability(1_999, p, t); // mean 1.999, light
+        let b = uncorrectable_probability(2_001, p, t); // mean 2.001, heavy
+        assert!((a / b - 1.0).abs() < 0.01, "a = {a}, b = {b}");
+    }
+
+    #[test]
+    fn reap_improvement_approximates_n_reads_for_sec() {
+        let m = AccumulationModel::sec(1e-8);
+        for n_reads in [2u64, 10, 100, 1000] {
+            let imp = m.improvement(256, n_reads);
+            assert!(
+                (imp / n_reads as f64 - 1.0).abs() < 0.05,
+                "N = {n_reads}: improvement {imp}"
+            );
+        }
+    }
+
+    #[test]
+    fn stronger_codes_reduce_failures_superlinearly() {
+        let sec = AccumulationModel::new(1e-6, 1);
+        let dec = AccumulationModel::new(1e-6, 2);
+        let tec = AccumulationModel::new(1e-6, 3);
+        let n = 256;
+        let reads = 100;
+        let f1 = sec.fail_conventional(n, reads);
+        let f2 = dec.fail_conventional(n, reads);
+        let f3 = tec.fail_conventional(n, reads);
+        assert!(
+            f1 / f2 > 100.0,
+            "DEC gains orders of magnitude: {f1} vs {f2}"
+        );
+        assert!(f2 / f3 > 100.0);
+    }
+
+    #[test]
+    fn probabilities_stay_in_unit_interval_at_extremes() {
+        for &trials in &[1u64, 100, 10_000, 10_000_000] {
+            for &p in &[1e-15, 1e-8, 1e-3, 0.1, 0.9] {
+                for &t in &[1usize, 2, 3] {
+                    let u = uncorrectable_probability(trials, p, t);
+                    assert!((0.0..=1.0).contains(&u), "({trials},{p},{t}) -> {u}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fail_reap_with_huge_n_saturates_at_one() {
+        let m = AccumulationModel::sec(1e-2);
+        let f = m.fail_reap(512, 1_000_000);
+        assert!(f > 0.999999 && f <= 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability out of range")]
+    fn rejects_bad_probability() {
+        let _ = uncorrectable_probability(10, 1.5, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn rejects_zero_capability_model() {
+        let _ = AccumulationModel::new(1e-8, 0);
+    }
+}

@@ -1,0 +1,309 @@
+//! Bit-level Monte-Carlo fault injection against real ECC codecs.
+//!
+//! The analytical model ([`crate::model`]) abstracts a cache line as "`n`
+//! ones, each flipping with probability `p`". This module validates that
+//! abstraction end to end: it stores *actual encoded codewords* in an
+//! [`MtjArray`], applies the stochastic unidirectional disturbance of the
+//! device model on every read, and runs a *real decoder* from
+//! [`reap_ecc`] — either once at the end (conventional cache) or after
+//! every read with correction + scrubbing (REAP).
+//!
+//! Physical disturbance probabilities (~1e-8) would need 10¹² trials to
+//! observe failures, so experiments amplify `p`; the analytical model is
+//! evaluated at the same amplified `p` for comparison.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use reap_ecc::{DecodeOutcome, EccCode};
+use reap_mtj::MtjArray;
+
+/// When the decoder runs relative to reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckPolicy {
+    /// Decode only after the final read (the conventional cache: all
+    /// preceding reads were concealed).
+    AtEnd,
+    /// Decode after *every* read, write corrected data back (REAP).
+    EveryRead,
+}
+
+/// Outcome counts of a Monte-Carlo campaign.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct McLineResult {
+    /// Trials whose final delivered data equalled the original data.
+    pub correct: u64,
+    /// Trials where the decoder reported an uncorrectable error.
+    pub detected: u64,
+    /// Trials where the decoder silently delivered wrong data
+    /// (miscorrection) — counted separately because the paper's "failure"
+    /// covers both.
+    pub silent_corruption: u64,
+    /// Total trials.
+    pub trials: u64,
+}
+
+impl McLineResult {
+    /// Observed failure rate: anything that is not a correct delivery.
+    pub fn failure_rate(&self) -> f64 {
+        (self.detected + self.silent_corruption) as f64 / self.trials as f64
+    }
+
+    /// 95 % Wilson score interval for the failure rate — tells whether an
+    /// observed MC/model discrepancy is statistically meaningful.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use reap_reliability::McLineResult;
+    ///
+    /// let r = McLineResult { correct: 990, detected: 10, silent_corruption: 0, trials: 1000 };
+    /// let (lo, hi) = r.failure_rate_ci95();
+    /// assert!(lo < 0.01 && 0.01 < hi);
+    /// ```
+    pub fn failure_rate_ci95(&self) -> (f64, f64) {
+        let n = self.trials as f64;
+        let p = self.failure_rate();
+        let z = 1.959_963_984_540_054; // Φ⁻¹(0.975)
+        let z2 = z * z;
+        let denom = 1.0 + z2 / n;
+        let center = (p + z2 / (2.0 * n)) / denom;
+        let half = z * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt() / denom;
+        ((center - half).max(0.0), (center + half).min(1.0))
+    }
+}
+
+/// A Monte-Carlo experiment on a single protected cache line.
+///
+/// # Examples
+///
+/// ```
+/// use reap_ecc::HsiaoSecDed;
+/// use reap_reliability::{MonteCarloLine, montecarlo::CheckPolicy};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let code = HsiaoSecDed::new(64)?;
+/// let mc = MonteCarloLine::new(&code, 1e-3, 42);
+/// let conv = mc.run(50, 2_000, CheckPolicy::AtEnd);
+/// let reap = mc.run(50, 2_000, CheckPolicy::EveryRead);
+/// assert!(conv.failure_rate() > reap.failure_rate());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct MonteCarloLine<'a> {
+    code: &'a dyn EccCode,
+    p_rd: f64,
+    seed: u64,
+}
+
+impl<'a> MonteCarloLine<'a> {
+    /// Creates an experiment for `code` at amplified disturbance
+    /// probability `p_rd`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p_rd` is outside `[0, 1]`.
+    pub fn new(code: &'a dyn EccCode, p_rd: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&p_rd),
+            "probability out of range: {p_rd}"
+        );
+        Self { code, p_rd, seed }
+    }
+
+    /// Runs `trials` independent lines, each read `n_reads` times, and
+    /// reports the outcome counts.
+    ///
+    /// Each trial draws fresh random data, encodes it, stores the codeword
+    /// in an MTJ array, applies `n_reads` disturbing reads under the given
+    /// [`CheckPolicy`], and compares the finally delivered data with the
+    /// truth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_reads == 0` or `trials == 0`.
+    pub fn run(&self, n_reads: u64, trials: u64, policy: CheckPolicy) -> McLineResult {
+        assert!(n_reads > 0, "need at least one read");
+        assert!(trials > 0, "need at least one trial");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let data_bytes = self.code.data_bits().div_ceil(8);
+        let mut result = McLineResult {
+            trials,
+            ..McLineResult::default()
+        };
+        for _ in 0..trials {
+            let mut data = vec![0u8; data_bytes];
+            rng.fill(&mut data[..]);
+            let rem = self.code.data_bits() % 8;
+            if rem != 0 {
+                let last = data.len() - 1;
+                data[last] &= (1 << rem) - 1;
+            }
+            let cw = self.code.encode(&data);
+            let mut array = MtjArray::with_probability(self.code.code_bits(), self.p_rd);
+            array.write_bytes(cw.as_bytes());
+            let (delivered, outcome) = match policy {
+                CheckPolicy::AtEnd => {
+                    // n_reads - 1 concealed reads, then the checked demand read.
+                    for _ in 0..n_reads {
+                        array.disturb(&mut rng);
+                    }
+                    let word = array.snapshot();
+                    let out = self.code.decode(&word);
+                    (out.data, out.outcome)
+                }
+                CheckPolicy::EveryRead => {
+                    let mut last = (data.clone(), DecodeOutcome::Clean);
+                    for _ in 0..n_reads {
+                        array.disturb(&mut rng);
+                        let word = array.snapshot();
+                        let out = self.code.decode(&word);
+                        if out.outcome.is_detected_uncorrectable() {
+                            last = (out.data, out.outcome);
+                            break;
+                        }
+                        // Scrub: write the corrected codeword back.
+                        if out.outcome.is_corrected() {
+                            let fixed = self.code.encode(&out.data);
+                            array.write_bytes(fixed.as_bytes());
+                        }
+                        last = (out.data, out.outcome);
+                    }
+                    last
+                }
+            };
+            if outcome.is_detected_uncorrectable() {
+                result.detected += 1;
+            } else if delivered != data {
+                result.silent_corruption += 1;
+            } else {
+                result.correct += 1;
+            }
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::AccumulationModel;
+    use reap_ecc::HsiaoSecDed;
+
+    #[test]
+    fn zero_probability_never_fails() {
+        let code = HsiaoSecDed::new(64).unwrap();
+        let mc = MonteCarloLine::new(&code, 0.0, 1);
+        let r = mc.run(100, 200, CheckPolicy::AtEnd);
+        assert_eq!(r.correct, 200);
+        assert_eq!(r.failure_rate(), 0.0);
+    }
+
+    #[test]
+    fn reap_policy_beats_at_end_checking() {
+        let code = HsiaoSecDed::new(64).unwrap();
+        let mc = MonteCarloLine::new(&code, 2e-3, 2);
+        let conv = mc.run(60, 3_000, CheckPolicy::AtEnd);
+        let reap = mc.run(60, 3_000, CheckPolicy::EveryRead);
+        assert!(
+            conv.failure_rate() > 5.0 * reap.failure_rate(),
+            "conv {} vs reap {}",
+            conv.failure_rate(),
+            reap.failure_rate()
+        );
+    }
+
+    #[test]
+    fn conventional_rate_matches_analytical_model() {
+        let code = HsiaoSecDed::new(64).unwrap();
+        let p = 1e-3;
+        let n_reads = 40u64;
+        let trials = 20_000u64;
+        let mc = MonteCarloLine::new(&code, p, 3);
+        let observed = mc.run(n_reads, trials, CheckPolicy::AtEnd).failure_rate();
+        // Analytical: average over the binomial weight of random codewords
+        // ≈ use expected ones = code_bits / 2.
+        let model = AccumulationModel::sec(p);
+        let expected = model.fail_conventional(code.code_bits() as u32 / 2, n_reads);
+        assert!(
+            (observed / expected - 1.0).abs() < 0.25,
+            "observed {observed}, model {expected}"
+        );
+    }
+
+    #[test]
+    fn detected_failures_dominate_for_secded() {
+        // SEC-DED turns double errors into *detected* failures rather than
+        // silent corruption; silent corruption needs >= 3 flips, which is
+        // rare at this amplification (mean cumulative flips < 1).
+        let code = HsiaoSecDed::new(64).unwrap();
+        let mc = MonteCarloLine::new(&code, 3e-4, 4);
+        let r = mc.run(60, 20_000, CheckPolicy::AtEnd);
+        assert!(
+            r.detected > 0,
+            "double errors must occur at this amplification"
+        );
+        assert!(
+            r.detected > 3 * r.silent_corruption,
+            "detected {} vs silent {}",
+            r.detected,
+            r.silent_corruption
+        );
+    }
+
+    #[test]
+    fn wilson_interval_brackets_the_estimate() {
+        let r = McLineResult {
+            correct: 900,
+            detected: 80,
+            silent_corruption: 20,
+            trials: 1000,
+        };
+        let (lo, hi) = r.failure_rate_ci95();
+        let p = r.failure_rate();
+        assert!(lo < p && p < hi);
+        assert!(hi - lo < 0.05, "1000 trials give a tight interval");
+    }
+
+    #[test]
+    fn wilson_interval_handles_zero_failures() {
+        let r = McLineResult {
+            correct: 500,
+            detected: 0,
+            silent_corruption: 0,
+            trials: 500,
+        };
+        let (lo, hi) = r.failure_rate_ci95();
+        assert!(lo < 1e-12, "lower bound collapses to zero: {lo}");
+        assert!(hi > 0.0 && hi < 0.02, "rule-of-three-ish upper bound: {hi}");
+    }
+
+    #[test]
+    fn more_trials_tighten_the_interval() {
+        let small = McLineResult {
+            correct: 90,
+            detected: 10,
+            silent_corruption: 0,
+            trials: 100,
+        };
+        let large = McLineResult {
+            correct: 9_000,
+            detected: 1_000,
+            silent_corruption: 0,
+            trials: 10_000,
+        };
+        let w = |r: &McLineResult| {
+            let (lo, hi) = r.failure_rate_ci95();
+            hi - lo
+        };
+        assert!(w(&large) < w(&small) / 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one read")]
+    fn zero_reads_rejected() {
+        let code = HsiaoSecDed::new(64).unwrap();
+        let mc = MonteCarloLine::new(&code, 0.1, 5);
+        let _ = mc.run(0, 10, CheckPolicy::AtEnd);
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests for the reliability mathematics.
+
+use proptest::prelude::*;
+use reap_reliability::{
+    uncorrectable_probability, AccumulationModel, FailureAggregator, LogHistogram,
+};
+
+proptest! {
+    /// The uncorrectable probability is always a probability and is
+    /// monotone in trials and p, antitone in t.
+    #[test]
+    fn tail_bounds_and_monotonicity(
+        trials in 1u64..1_000_000,
+        p_exp in -12.0f64..-1.0,
+        t in 1usize..4,
+    ) {
+        let p = 10f64.powf(p_exp);
+        let u = uncorrectable_probability(trials, p, t);
+        prop_assert!((0.0..=1.0).contains(&u));
+        let u_more_trials = uncorrectable_probability(trials * 2, p, t);
+        prop_assert!(u_more_trials >= u);
+        let u_higher_p = uncorrectable_probability(trials, (p * 2.0).min(1.0), t);
+        prop_assert!(u_higher_p >= u);
+        let u_stronger = uncorrectable_probability(trials, p, t + 1);
+        prop_assert!(u_stronger <= u);
+    }
+
+    /// Eq. (3) >= Eq. (6) >= single read, for all parameters: the paper's
+    /// central inequality chain.
+    #[test]
+    fn accumulation_dominates_reap_dominates_single(
+        n_ones in 1u32..600,
+        n_reads in 1u64..100_000,
+        p_exp in -10.0f64..-3.0,
+    ) {
+        let model = AccumulationModel::sec(10f64.powf(p_exp));
+        let conv = model.fail_conventional(n_ones, n_reads);
+        let reap = model.fail_reap(n_ones, n_reads);
+        let single = model.fail_single(n_ones);
+        prop_assert!(conv >= reap - 1e-300, "conv {conv} < reap {reap}");
+        prop_assert!(reap >= single - 1e-300, "reap {reap} < single {single}");
+    }
+
+    /// For SEC in the light regime the REAP gain is ≈ N (within 20 % when
+    /// N·n·p < 0.1) — the asymptotic law behind Fig. 5.
+    #[test]
+    fn sec_gain_approximates_n(n_reads in 2u64..10_000) {
+        let model = AccumulationModel::sec(1e-9);
+        let n_ones = 256u32;
+        prop_assume!((n_reads as f64) * 256.0 * 1e-9 < 0.1);
+        let gain = model.improvement(n_ones, n_reads);
+        prop_assert!(
+            (gain / n_reads as f64 - 1.0).abs() < 0.2,
+            "N = {n_reads}, gain {gain}"
+        );
+    }
+
+    /// For light-tail SEC the closed form C(m,2)p² approximates the tail.
+    #[test]
+    fn light_tail_matches_pair_count(trials in 2u64..10_000) {
+        let p = 1e-9;
+        let u = uncorrectable_probability(trials, p, 1);
+        let pairs = trials as f64 * (trials - 1) as f64 / 2.0 * p * p;
+        prop_assert!((u / pairs - 1.0).abs() < 0.01, "u {u}, pairs {pairs}");
+    }
+
+    /// Aggregator totals equal the sum of recorded probabilities.
+    #[test]
+    fn aggregator_is_a_sum(ps in proptest::collection::vec(0.0f64..1.0, 1..100)) {
+        let mut agg = FailureAggregator::new();
+        for &p in &ps {
+            agg.record(p);
+        }
+        let expected: f64 = ps.iter().sum();
+        prop_assert!((agg.expected_failures() - expected).abs() < 1e-9);
+        prop_assert_eq!(agg.events(), ps.len() as u64);
+    }
+
+    /// Histogram: total counts and failure mass are preserved under
+    /// arbitrary record sequences, and merging two histograms equals
+    /// recording their union.
+    #[test]
+    fn histogram_merge_is_union(
+        a in proptest::collection::vec((1u64..100_000, 0.0f64..0.01), 0..50),
+        b in proptest::collection::vec((1u64..100_000, 0.0f64..0.01), 0..50),
+    ) {
+        let mut ha = LogHistogram::new();
+        for &(n, p) in &a {
+            ha.record(n, p);
+        }
+        let mut hb = LogHistogram::new();
+        for &(n, p) in &b {
+            hb.record(n, p);
+        }
+        let mut merged = ha.clone();
+        merged.merge(&hb);
+        let mut direct = LogHistogram::new();
+        for &(n, p) in a.iter().chain(b.iter()) {
+            direct.record(n, p);
+        }
+        prop_assert_eq!(merged.total_count(), direct.total_count());
+        prop_assert!(
+            (merged.total_failure_probability() - direct.total_failure_probability()).abs()
+                < 1e-12
+        );
+        prop_assert_eq!(merged.max_n(), direct.max_n());
+    }
+}

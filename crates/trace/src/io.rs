@@ -1,0 +1,243 @@
+//! Binary trace (de)serialization.
+//!
+//! Traces here are normally regenerated from seeds, but interoperating
+//! with external tools (e.g. a real pin/DynamoRIO capture, or handing a
+//! trace to another simulator) needs a file format. The format is a
+//! compact little-endian stream:
+//!
+//! ```text
+//! magic  "RTRC"            (4 bytes)
+//! version u8 = 1
+//! count   u64 LE
+//! count × records:
+//!   kind    u8             (0 = fetch, 1 = load, 2 = store)
+//!   address u64 LE
+//! ```
+//!
+//! Readers and writers take `R: Read` / `W: Write` by value; pass
+//! `&mut reader` / `&mut writer` to keep using them afterwards.
+
+use crate::record::{AccessKind, MemoryAccess};
+use std::error::Error;
+use std::fmt;
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 4] = b"RTRC";
+const VERSION: u8 = 1;
+
+/// Serializes a trace to a writer.
+///
+/// Returns the number of records written. A `&mut W` can be passed as the
+/// writer to keep ownership.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+///
+/// # Examples
+///
+/// ```
+/// use reap_trace::io::{read_trace, write_trace};
+/// use reap_trace::MemoryAccess;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let trace = vec![MemoryAccess::load(0x40), MemoryAccess::store(0x80)];
+/// let mut buf = Vec::new();
+/// write_trace(&mut buf, trace.iter().copied())?;
+/// assert_eq!(read_trace(&buf[..])?, trace);
+/// # Ok(())
+/// # }
+/// ```
+pub fn write_trace<W, I>(mut writer: W, trace: I) -> io::Result<u64>
+where
+    W: Write,
+    I: IntoIterator<Item = MemoryAccess>,
+{
+    // Buffer records so the count can be written up front.
+    let records: Vec<MemoryAccess> = trace.into_iter().collect();
+    writer.write_all(MAGIC)?;
+    writer.write_all(&[VERSION])?;
+    writer.write_all(&(records.len() as u64).to_le_bytes())?;
+    for r in &records {
+        let kind = match r.kind {
+            AccessKind::InstrFetch => 0u8,
+            AccessKind::Load => 1,
+            AccessKind::Store => 2,
+        };
+        writer.write_all(&[kind])?;
+        writer.write_all(&r.address.to_le_bytes())?;
+    }
+    Ok(records.len() as u64)
+}
+
+/// Deserializes a trace from a reader.
+///
+/// A `&mut R` can be passed as the reader to keep ownership.
+///
+/// # Errors
+///
+/// Returns [`ReadTraceError`] on I/O failure, bad magic, unsupported
+/// version, an unknown record kind, or truncation.
+pub fn read_trace<R: Read>(mut reader: R) -> Result<Vec<MemoryAccess>, ReadTraceError> {
+    let mut magic = [0u8; 4];
+    reader.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(ReadTraceError::BadMagic { found: magic });
+    }
+    let mut version = [0u8; 1];
+    reader.read_exact(&mut version)?;
+    if version[0] != VERSION {
+        return Err(ReadTraceError::UnsupportedVersion { found: version[0] });
+    }
+    let mut count_bytes = [0u8; 8];
+    reader.read_exact(&mut count_bytes)?;
+    let count = u64::from_le_bytes(count_bytes);
+    let mut out = Vec::with_capacity(count.min(1 << 20) as usize);
+    for _ in 0..count {
+        let mut kind = [0u8; 1];
+        reader.read_exact(&mut kind)?;
+        let mut addr = [0u8; 8];
+        reader.read_exact(&mut addr)?;
+        let kind = match kind[0] {
+            0 => AccessKind::InstrFetch,
+            1 => AccessKind::Load,
+            2 => AccessKind::Store,
+            other => return Err(ReadTraceError::UnknownKind { found: other }),
+        };
+        out.push(MemoryAccess {
+            address: u64::from_le_bytes(addr),
+            kind,
+        });
+    }
+    Ok(out)
+}
+
+/// Error reading a serialized trace.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ReadTraceError {
+    /// Underlying I/O failure (including truncation).
+    Io(io::Error),
+    /// The stream does not start with the `RTRC` magic.
+    BadMagic {
+        /// The bytes found instead.
+        found: [u8; 4],
+    },
+    /// The format version is newer than this reader.
+    UnsupportedVersion {
+        /// The version byte found.
+        found: u8,
+    },
+    /// A record carries an unknown access-kind tag.
+    UnknownKind {
+        /// The tag found.
+        found: u8,
+    },
+}
+
+impl fmt::Display for ReadTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReadTraceError::Io(e) => write!(f, "trace i/o failed: {e}"),
+            ReadTraceError::BadMagic { found } => {
+                write!(f, "not a trace file (magic {found:02x?})")
+            }
+            ReadTraceError::UnsupportedVersion { found } => {
+                write!(f, "unsupported trace version {found}")
+            }
+            ReadTraceError::UnknownKind { found } => {
+                write!(f, "unknown access kind tag {found}")
+            }
+        }
+    }
+}
+
+impl Error for ReadTraceError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ReadTraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ReadTraceError {
+    fn from(e: io::Error) -> Self {
+        ReadTraceError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::SpecWorkload;
+
+    #[test]
+    fn round_trip_generated_trace() {
+        let trace: Vec<MemoryAccess> = SpecWorkload::Gcc.stream(3).take(5_000).collect();
+        let mut buf = Vec::new();
+        let n = write_trace(&mut buf, trace.iter().copied()).unwrap();
+        assert_eq!(n, 5_000);
+        assert_eq!(read_trace(&buf[..]).unwrap(), trace);
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, std::iter::empty()).unwrap();
+        assert!(read_trace(&buf[..]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let err = read_trace(&b"NOPE\x01\x00\x00\x00\x00\x00\x00\x00\x00"[..]).unwrap_err();
+        assert!(matches!(err, ReadTraceError::BadMagic { .. }));
+        assert!(err.to_string().contains("not a trace file"));
+    }
+
+    #[test]
+    fn unsupported_version_is_rejected() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, std::iter::empty()).unwrap();
+        buf[4] = 9;
+        assert!(matches!(
+            read_trace(&buf[..]).unwrap_err(),
+            ReadTraceError::UnsupportedVersion { found: 9 }
+        ));
+    }
+
+    #[test]
+    fn unknown_kind_is_rejected() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, [MemoryAccess::load(0)]).unwrap();
+        buf[13] = 7; // the kind byte of the first record
+        assert!(matches!(
+            read_trace(&buf[..]).unwrap_err(),
+            ReadTraceError::UnknownKind { found: 7 }
+        ));
+    }
+
+    #[test]
+    fn truncation_is_an_io_error() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, [MemoryAccess::load(0xAABB)]).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(matches!(
+            read_trace(&buf[..]).unwrap_err(),
+            ReadTraceError::Io(_)
+        ));
+    }
+
+    #[test]
+    fn readers_and_writers_can_be_mut_refs() {
+        let mut buf = Vec::new();
+        {
+            let w = &mut buf;
+            write_trace(w, [MemoryAccess::fetch(4)]).unwrap();
+        }
+        let mut slice = &buf[..];
+        let got = read_trace(&mut slice).unwrap();
+        assert_eq!(got, vec![MemoryAccess::fetch(4)]);
+        assert!(slice.is_empty(), "reader consumed exactly one trace");
+    }
+}

@@ -1,0 +1,262 @@
+//! Composition of primitive generators into full workloads.
+//!
+//! [`Mixture`] interleaves several component streams by weighted random
+//! choice per access; [`Phased`] runs a schedule of mixtures to model
+//! program phases.
+
+use crate::record::MemoryAccess;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A component stream with its selection weight.
+type Component = (f64, Box<dyn Iterator<Item = MemoryAccess> + Send>);
+
+/// A weighted interleaving of component streams.
+///
+/// Every call to `next` picks one component with probability proportional
+/// to its weight and forwards that component's next access. This models a
+/// program whose instruction mix interleaves several data structures.
+///
+/// # Examples
+///
+/// ```
+/// use reap_trace::generators::{KindModel, StridedStream, ZipfHotSet};
+/// use reap_trace::Mixture;
+///
+/// let data = KindModel::Data { read_fraction: 0.8 };
+/// let mut workload = Mixture::builder(7)
+///     .component(3.0, ZipfHotSet::new(0, 1024, 1.2, data, 1))
+///     .component(1.0, StridedStream::new(0x100_0000, 4096, 1, data, 2))
+///     .build();
+/// assert!(workload.next().is_some());
+/// ```
+pub struct Mixture {
+    components: Vec<Component>,
+    cumulative: Vec<f64>,
+    rng: StdRng,
+}
+
+impl std::fmt::Debug for Mixture {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mixture")
+            .field("components", &self.components.len())
+            .finish()
+    }
+}
+
+impl Mixture {
+    /// Starts building a mixture whose per-access choices use `seed`.
+    pub fn builder(seed: u64) -> MixtureBuilder {
+        MixtureBuilder {
+            components: Vec::new(),
+            seed,
+        }
+    }
+}
+
+/// Builder for [`Mixture`].
+pub struct MixtureBuilder {
+    components: Vec<Component>,
+    seed: u64,
+}
+
+impl std::fmt::Debug for MixtureBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MixtureBuilder")
+            .field("components", &self.components.len())
+            .finish()
+    }
+}
+
+impl MixtureBuilder {
+    /// Adds a component stream with the given positive weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight` is not finite and positive.
+    pub fn component(
+        mut self,
+        weight: f64,
+        stream: impl Iterator<Item = MemoryAccess> + Send + 'static,
+    ) -> Self {
+        assert!(
+            weight.is_finite() && weight > 0.0,
+            "component weight must be positive"
+        );
+        self.components.push((weight, Box::new(stream)));
+        self
+    }
+
+    /// Finalizes the mixture.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no component was added.
+    pub fn build(self) -> Mixture {
+        assert!(
+            !self.components.is_empty(),
+            "mixture needs at least one component"
+        );
+        let total: f64 = self.components.iter().map(|(w, _)| w).sum();
+        let mut acc = 0.0;
+        let cumulative = self
+            .components
+            .iter()
+            .map(|(w, _)| {
+                acc += w / total;
+                acc
+            })
+            .collect();
+        Mixture {
+            components: self.components,
+            cumulative,
+            rng: StdRng::seed_from_u64(self.seed),
+        }
+    }
+}
+
+impl Iterator for Mixture {
+    type Item = MemoryAccess;
+
+    fn next(&mut self) -> Option<MemoryAccess> {
+        let u: f64 = self.rng.gen();
+        let idx = self
+            .cumulative
+            .partition_point(|&c| c < u)
+            .min(self.components.len() - 1);
+        self.components[idx].1.next()
+    }
+}
+
+/// A cyclic schedule of phases, each a stream run for a fixed number of
+/// accesses — models alternating program phases (e.g. build vs. traverse).
+///
+/// # Examples
+///
+/// ```
+/// use reap_trace::generators::{KindModel, StridedStream, UniformRandom};
+/// use reap_trace::Phased;
+///
+/// let data = KindModel::Data { read_fraction: 0.9 };
+/// let mut phased = Phased::new(vec![
+///     (1_000, Box::new(StridedStream::new(0, 128, 1, data, 1))),
+///     (500, Box::new(UniformRandom::new(0x100_0000, 4096, data, 2))),
+/// ]);
+/// let first_phase: Vec<_> = phased.by_ref().take(1_000).collect();
+/// assert!(first_phase.iter().all(|a| a.address < 128 * 64));
+/// ```
+pub struct Phased {
+    phases: Vec<(usize, Box<dyn Iterator<Item = MemoryAccess> + Send>)>,
+    current: usize,
+    emitted_in_phase: usize,
+}
+
+impl std::fmt::Debug for Phased {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Phased")
+            .field("phases", &self.phases.len())
+            .field("current", &self.current)
+            .finish()
+    }
+}
+
+impl Phased {
+    /// Creates a cyclic phase schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phases` is empty or any phase length is zero.
+    pub fn new(phases: Vec<(usize, Box<dyn Iterator<Item = MemoryAccess> + Send>)>) -> Self {
+        assert!(!phases.is_empty(), "schedule needs at least one phase");
+        assert!(
+            phases.iter().all(|(n, _)| *n > 0),
+            "phase lengths must be positive"
+        );
+        Self {
+            phases,
+            current: 0,
+            emitted_in_phase: 0,
+        }
+    }
+}
+
+impl Iterator for Phased {
+    type Item = MemoryAccess;
+
+    fn next(&mut self) -> Option<MemoryAccess> {
+        if self.emitted_in_phase >= self.phases[self.current].0 {
+            self.emitted_in_phase = 0;
+            self.current = (self.current + 1) % self.phases.len();
+        }
+        self.emitted_in_phase += 1;
+        self.phases[self.current].1.next()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{KindModel, StridedStream, UniformRandom};
+
+    const DATA: KindModel = KindModel::Data { read_fraction: 1.0 };
+
+    #[test]
+    fn mixture_respects_weights() {
+        let m = Mixture::builder(1)
+            .component(9.0, StridedStream::new(0, 16, 1, DATA, 1))
+            .component(1.0, StridedStream::new(0x100_0000, 16, 1, DATA, 2))
+            .build();
+        let n = 100_000;
+        let low = m.take(n).filter(|a| a.address < 0x100_0000).count();
+        let frac = low as f64 / n as f64;
+        assert!((frac - 0.9).abs() < 0.01, "frac = {frac}");
+    }
+
+    #[test]
+    fn mixture_is_deterministic() {
+        let build = || {
+            Mixture::builder(3)
+                .component(1.0, StridedStream::new(0, 16, 1, DATA, 1))
+                .component(1.0, UniformRandom::new(0x100_0000, 64, DATA, 2))
+                .build()
+        };
+        let a: Vec<_> = build().take(200).collect();
+        let b: Vec<_> = build().take(200).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one component")]
+    fn empty_mixture_rejected() {
+        let _ = Mixture::builder(0).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "weight must be positive")]
+    fn non_positive_weight_rejected() {
+        let _ = Mixture::builder(0).component(0.0, StridedStream::new(0, 4, 1, DATA, 1));
+    }
+
+    #[test]
+    fn phased_switches_then_cycles() {
+        let mut p = Phased::new(vec![
+            (3, Box::new(StridedStream::new(0, 4, 1, DATA, 1))),
+            (2, Box::new(StridedStream::new(0x100_0000, 4, 1, DATA, 2))),
+        ]);
+        let regions: Vec<bool> = p
+            .by_ref()
+            .take(10)
+            .map(|a| a.address < 0x100_0000)
+            .collect();
+        assert_eq!(
+            regions,
+            vec![true, true, true, false, false, true, true, true, false, false]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one phase")]
+    fn empty_schedule_rejected() {
+        let _ = Phased::new(vec![]);
+    }
+}

@@ -1,0 +1,139 @@
+//! The memory-access record.
+
+use std::fmt;
+
+/// What a memory access does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// Instruction fetch (routed to the L1 instruction cache).
+    InstrFetch,
+    /// Data load (routed to the L1 data cache).
+    Load,
+    /// Data store (routed to the L1 data cache).
+    Store,
+}
+
+impl AccessKind {
+    /// Whether this access reads memory (fetches and loads).
+    pub fn is_read(self) -> bool {
+        !matches!(self, AccessKind::Store)
+    }
+
+    /// Whether this access targets the data side of the hierarchy.
+    pub fn is_data(self) -> bool {
+        !matches!(self, AccessKind::InstrFetch)
+    }
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessKind::InstrFetch => f.write_str("IF"),
+            AccessKind::Load => f.write_str("LD"),
+            AccessKind::Store => f.write_str("ST"),
+        }
+    }
+}
+
+/// One memory access: a byte address and the access kind.
+///
+/// # Examples
+///
+/// ```
+/// use reap_trace::{AccessKind, MemoryAccess};
+///
+/// let a = MemoryAccess::load(0x1000);
+/// assert!(a.kind.is_read());
+/// assert_eq!(a.line_address(64), 0x40);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemoryAccess {
+    /// Byte address of the access.
+    pub address: u64,
+    /// Kind of access.
+    pub kind: AccessKind,
+}
+
+impl MemoryAccess {
+    /// Constructs a data load.
+    pub fn load(address: u64) -> Self {
+        Self {
+            address,
+            kind: AccessKind::Load,
+        }
+    }
+
+    /// Constructs a data store.
+    pub fn store(address: u64) -> Self {
+        Self {
+            address,
+            kind: AccessKind::Store,
+        }
+    }
+
+    /// Constructs an instruction fetch.
+    pub fn fetch(address: u64) -> Self {
+        Self {
+            address,
+            kind: AccessKind::InstrFetch,
+        }
+    }
+
+    /// The cache-line index of this address for a given block size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_bytes` is not a power of two.
+    pub fn line_address(&self, block_bytes: u64) -> u64 {
+        assert!(
+            block_bytes.is_power_of_two(),
+            "block size must be a power of two"
+        );
+        self.address / block_bytes
+    }
+}
+
+impl fmt::Display for MemoryAccess {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {:#012x}", self.kind, self.address)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_kind() {
+        assert_eq!(MemoryAccess::load(1).kind, AccessKind::Load);
+        assert_eq!(MemoryAccess::store(1).kind, AccessKind::Store);
+        assert_eq!(MemoryAccess::fetch(1).kind, AccessKind::InstrFetch);
+    }
+
+    #[test]
+    fn kind_predicates() {
+        assert!(AccessKind::Load.is_read());
+        assert!(AccessKind::InstrFetch.is_read());
+        assert!(!AccessKind::Store.is_read());
+        assert!(AccessKind::Store.is_data());
+        assert!(!AccessKind::InstrFetch.is_data());
+    }
+
+    #[test]
+    fn line_address_strips_offset() {
+        let a = MemoryAccess::load(0x1234);
+        assert_eq!(a.line_address(64), 0x1234 / 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn line_address_rejects_odd_block() {
+        let _ = MemoryAccess::load(0).line_address(48);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(MemoryAccess::store(0x40).to_string(), "ST 0x0000000040");
+        assert_eq!(AccessKind::InstrFetch.to_string(), "IF");
+    }
+}

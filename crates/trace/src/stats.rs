@@ -1,0 +1,178 @@
+//! Trace characterization: footprint, mix, and reuse-interval statistics.
+
+use crate::record::{AccessKind, MemoryAccess};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Aggregate statistics of a (finite prefix of a) trace.
+///
+/// The *reuse interval* of an access is the number of intervening accesses
+/// since the previous touch of the same cache line — the quantity that
+/// becomes the concealed-read count once the trace is filtered through the
+/// cache hierarchy.
+///
+/// # Examples
+///
+/// ```
+/// use reap_trace::{SpecWorkload, TraceStats};
+///
+/// let stats = TraceStats::collect(SpecWorkload::Namd.stream(1).take(50_000), 64);
+/// assert!(stats.accesses == 50_000);
+/// assert!(stats.data_read_fraction() > 0.5);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceStats {
+    /// Total accesses observed.
+    pub accesses: usize,
+    /// Instruction fetches.
+    pub fetches: usize,
+    /// Data loads.
+    pub loads: usize,
+    /// Data stores.
+    pub stores: usize,
+    /// Distinct cache lines touched.
+    pub footprint_lines: usize,
+    /// Mean reuse interval over all re-touches.
+    pub mean_reuse_interval: f64,
+    /// Maximum observed reuse interval.
+    pub max_reuse_interval: usize,
+}
+
+impl TraceStats {
+    /// Consumes a finite access stream and computes its statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_bytes` is not a power of two.
+    pub fn collect<I: IntoIterator<Item = MemoryAccess>>(trace: I, block_bytes: u64) -> Self {
+        assert!(
+            block_bytes.is_power_of_two(),
+            "block size must be a power of two"
+        );
+        let mut last_touch: HashMap<u64, usize> = HashMap::new();
+        let mut accesses = 0usize;
+        let mut fetches = 0usize;
+        let mut loads = 0usize;
+        let mut stores = 0usize;
+        let mut reuse_sum = 0u128;
+        let mut reuse_count = 0usize;
+        let mut max_reuse = 0usize;
+        for a in trace {
+            match a.kind {
+                AccessKind::InstrFetch => fetches += 1,
+                AccessKind::Load => loads += 1,
+                AccessKind::Store => stores += 1,
+            }
+            let line = a.address / block_bytes;
+            if let Some(prev) = last_touch.insert(line, accesses) {
+                let interval = accesses - prev;
+                reuse_sum += interval as u128;
+                reuse_count += 1;
+                max_reuse = max_reuse.max(interval);
+            }
+            accesses += 1;
+        }
+        Self {
+            accesses,
+            fetches,
+            loads,
+            stores,
+            footprint_lines: last_touch.len(),
+            mean_reuse_interval: if reuse_count == 0 {
+                0.0
+            } else {
+                reuse_sum as f64 / reuse_count as f64
+            },
+            max_reuse_interval: max_reuse,
+        }
+    }
+
+    /// Fraction of data accesses that are loads.
+    pub fn data_read_fraction(&self) -> f64 {
+        let data = self.loads + self.stores;
+        if data == 0 {
+            return 0.0;
+        }
+        self.loads as f64 / data as f64
+    }
+
+    /// Fraction of all accesses that are instruction fetches.
+    pub fn fetch_fraction(&self) -> f64 {
+        if self.accesses == 0 {
+            return 0.0;
+        }
+        self.fetches as f64 / self.accesses as f64
+    }
+}
+
+impl fmt::Display for TraceStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} accesses ({} IF / {} LD / {} ST), footprint {} lines, \
+             mean reuse {:.1}, max reuse {}",
+            self.accesses,
+            self.fetches,
+            self.loads,
+            self.stores,
+            self.footprint_lines,
+            self.mean_reuse_interval,
+            self.max_reuse_interval
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::MemoryAccess;
+
+    #[test]
+    fn counts_kinds_and_footprint() {
+        let trace = vec![
+            MemoryAccess::fetch(0),
+            MemoryAccess::load(64),
+            MemoryAccess::store(64),
+            MemoryAccess::load(128),
+        ];
+        let s = TraceStats::collect(trace, 64);
+        assert_eq!(s.accesses, 4);
+        assert_eq!(s.fetches, 1);
+        assert_eq!(s.loads, 2);
+        assert_eq!(s.stores, 1);
+        assert_eq!(s.footprint_lines, 3);
+        assert!((s.data_read_fraction() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((s.fetch_fraction() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reuse_intervals_measured_per_line() {
+        // Line 0 touched at positions 0 and 3: interval 3.
+        let trace = vec![
+            MemoryAccess::load(0),
+            MemoryAccess::load(64),
+            MemoryAccess::load(128),
+            MemoryAccess::load(32), // same line as address 0
+        ];
+        let s = TraceStats::collect(trace, 64);
+        assert_eq!(s.max_reuse_interval, 3);
+        assert!((s.mean_reuse_interval - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trace_is_well_defined() {
+        let s = TraceStats::collect(Vec::new(), 64);
+        assert_eq!(s.accesses, 0);
+        assert_eq!(s.data_read_fraction(), 0.0);
+        assert_eq!(s.fetch_fraction(), 0.0);
+        assert_eq!(s.mean_reuse_interval, 0.0);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = TraceStats::collect(vec![MemoryAccess::load(0)], 64);
+        let text = s.to_string();
+        assert!(text.contains("1 accesses"));
+        assert!(text.contains("footprint 1 lines"));
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based tests for the trace generators.
+
+use proptest::prelude::*;
+use reap_trace::generators::{
+    KindModel, PointerChase, StridedStream, UniformRandom, ZipfHotSet, LINE_BYTES,
+};
+use reap_trace::{Mixture, SpecWorkload, TraceStats};
+
+proptest! {
+    /// Every generator keeps its addresses inside `[base, base + lines*64)`.
+    #[test]
+    fn generators_respect_their_region(
+        base_block in 0u64..1_000_000,
+        lines in 1usize..2_000,
+        seed in any::<u64>(),
+    ) {
+        let base = base_block * LINE_BYTES;
+        let hi = base + lines as u64 * LINE_BYTES;
+        let data = KindModel::Data { read_fraction: 0.5 };
+        let streams: Vec<Box<dyn Iterator<Item = reap_trace::MemoryAccess>>> = vec![
+            Box::new(StridedStream::new(base, lines, 1, data, seed)),
+            Box::new(UniformRandom::new(base, lines, data, seed)),
+            Box::new(PointerChase::new(base, lines, data, seed)),
+            Box::new(ZipfHotSet::new(base, lines, 1.1, data, seed)),
+        ];
+        for s in streams {
+            for a in s.take(200) {
+                prop_assert!(a.address >= base && a.address < hi);
+                prop_assert_eq!(a.address % LINE_BYTES, 0, "line-granular addresses");
+            }
+        }
+    }
+
+    /// A pointer chase is a single cycle: within `lines` steps every line
+    /// is visited exactly once, for any footprint and seed.
+    #[test]
+    fn pointer_chase_is_a_permutation_cycle(
+        lines in 2usize..500,
+        seed in any::<u64>(),
+    ) {
+        let data = KindModel::Data { read_fraction: 1.0 };
+        let visited: std::collections::HashSet<u64> = PointerChase::new(0, lines, data, seed)
+            .take(lines)
+            .map(|a| a.address / LINE_BYTES)
+            .collect();
+        prop_assert_eq!(visited.len(), lines);
+    }
+
+    /// The empirical read fraction converges to the configured one.
+    #[test]
+    fn read_fraction_converges(frac_pct in 5u32..95, seed in any::<u64>()) {
+        let frac = f64::from(frac_pct) / 100.0;
+        let s = UniformRandom::new(0, 64, KindModel::Data { read_fraction: frac }, seed);
+        let n = 20_000;
+        let reads = s.take(n).filter(|a| a.kind.is_read()).count();
+        let got = reads as f64 / n as f64;
+        prop_assert!((got - frac).abs() < 0.02, "configured {frac}, got {got}");
+    }
+
+    /// Mixture weights are honoured for any two-component split.
+    #[test]
+    fn mixture_weight_fractions(w1 in 1.0f64..10.0, w2 in 1.0f64..10.0, seed in any::<u64>()) {
+        let data = KindModel::Data { read_fraction: 1.0 };
+        let m = Mixture::builder(seed)
+            .component(w1, StridedStream::new(0, 16, 1, data, 1))
+            .component(w2, StridedStream::new(0x1000_0000, 16, 1, data, 2))
+            .build();
+        let n = 30_000;
+        let first = m.take(n).filter(|a| a.address < 0x1000_0000).count() as f64 / n as f64;
+        let expected = w1 / (w1 + w2);
+        prop_assert!((first - expected).abs() < 0.03, "expected {expected}, got {first}");
+    }
+
+    /// Workload streams are pure functions of the seed.
+    #[test]
+    fn spec_streams_deterministic(seed in any::<u64>(), which in 0usize..21) {
+        let w = SpecWorkload::ALL[which];
+        let a: Vec<_> = w.stream(seed).take(300).collect();
+        let b: Vec<_> = w.stream(seed).take(300).collect();
+        prop_assert_eq!(a, b);
+    }
+
+    /// TraceStats footprint is bounded by the number of accesses and the
+    /// reuse intervals never exceed the trace length.
+    #[test]
+    fn stats_invariants(which in 0usize..21, seed in any::<u64>()) {
+        let w = SpecWorkload::ALL[which];
+        let n = 5_000;
+        let stats = TraceStats::collect(w.stream(seed).take(n), 64);
+        prop_assert_eq!(stats.accesses, n);
+        prop_assert!(stats.footprint_lines <= n);
+        prop_assert!(stats.max_reuse_interval < n);
+        prop_assert_eq!(stats.fetches + stats.loads + stats.stores, n);
+        prop_assert!((0.0..=1.0).contains(&stats.data_read_fraction()));
+    }
+}

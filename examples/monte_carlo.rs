@@ -1,0 +1,52 @@
+//! Bit-level Monte-Carlo demo: store real codewords in a simulated MTJ
+//! array, disturb them read by read, decode with a real SEC-DED decoder,
+//! and watch accumulation destroy the conventional check-on-demand
+//! discipline while per-read checking (REAP) survives.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example monte_carlo
+//! ```
+
+use reap::ecc::HsiaoSecDed;
+use reap::reliability::montecarlo::CheckPolicy;
+use reap::reliability::{AccumulationModel, MonteCarloLine};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Amplified disturbance probability so failures are observable in
+    // thousands (rather than 1e12) trials.
+    let p_rd = 1e-3;
+    let code = HsiaoSecDed::new(64)?;
+    let mc = MonteCarloLine::new(&code, p_rd, 2024);
+    let model = AccumulationModel::sec(p_rd);
+    let trials = 20_000;
+
+    println!("Hsiao (72,64), P_rd = {p_rd:.0e} (amplified), {trials} trials per point");
+    println!();
+    println!(
+        "{:<8} {:>16} {:>16} {:>16} {:>12}",
+        "reads", "conv (MC)", "conv (model)", "REAP (MC)", "MC gain"
+    );
+    for reads in [5u64, 20, 50, 100] {
+        let conv = mc.run(reads, trials, CheckPolicy::AtEnd).failure_rate();
+        let reap = mc.run(reads, trials, CheckPolicy::EveryRead).failure_rate();
+        let predicted = model.fail_conventional(36, reads); // ~36 ones in 72 bits
+        println!(
+            "{:<8} {:>16.4e} {:>16.4e} {:>16.4e} {:>11.1}x",
+            reads,
+            conv,
+            predicted,
+            reap,
+            conv / reap.max(1.0 / trials as f64)
+        );
+    }
+
+    println!();
+    println!(
+        "The conventional column grows ~quadratically with the read count \
+         (two accumulated flips defeat SEC); the REAP column stays ~linear \
+         and tiny — scrubbing after every read resets the clock."
+    );
+    Ok(())
+}

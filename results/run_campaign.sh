@@ -1,0 +1,25 @@
+#!/bin/bash
+# Final-scale campaign driving every figure regenerator; outputs land in results/.
+cd /root/repo
+BIN=target/release
+echo "start: $(date)" > results/campaign.log
+REAP_ACCESSES=50000000 $BIN/fig5 > results/fig5.txt 2>/dev/null
+echo "fig5 done: $(date)" >> results/campaign.log
+REAP_ACCESSES=50000000 $BIN/fig3 > results/fig3.txt 2>/dev/null
+echo "fig3 done: $(date)" >> results/campaign.log
+REAP_ACCESSES=10000000 $BIN/fig6 > results/fig6.txt 2>/dev/null
+echo "fig6 done: $(date)" >> results/campaign.log
+$BIN/table1 > results/table1.txt 2>/dev/null
+$BIN/fig1_disturbance > results/fig1_disturbance.txt 2>/dev/null
+$BIN/numeric_example > results/numeric_example.txt 2>/dev/null
+$BIN/overheads > results/overheads.txt 2>/dev/null
+REAP_ACCESSES=2000000 $BIN/ablation_ecc > results/ablation_ecc.txt 2>/dev/null
+REAP_ACCESSES=8000000 $BIN/ablation_assoc > results/ablation_assoc.txt 2>/dev/null
+REAP_ACCESSES=8000000 $BIN/ablation_schemes > results/ablation_schemes.txt 2>/dev/null
+REAP_ACCESSES=4000000 $BIN/ablation_replacement > results/ablation_replacement.txt 2>/dev/null
+REAP_ACCESSES=2000000 $BIN/ablation_variation > results/ablation_variation.txt 2>/dev/null
+REAP_ACCESSES=2000000 $BIN/ablation_temperature > results/ablation_temperature.txt 2>/dev/null
+REAP_ACCESSES=4000000 $BIN/extension_scrub > results/extension_scrub.txt 2>/dev/null
+REAP_ACCESSES=4000000 $BIN/extension_writeback > results/extension_writeback.txt 2>/dev/null
+$BIN/montecarlo_check > results/montecarlo_check.txt 2>/dev/null
+echo "all done: $(date)" >> results/campaign.log

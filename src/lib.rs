@@ -1,0 +1,47 @@
+//! # reap — REAP-cache: eliminating read-disturbance accumulation in STT-MRAM caches
+//!
+//! Facade crate re-exporting every layer of the reproduction of
+//! *"Enhancing Reliability of STT-MRAM Caches by Eliminating Read Disturbance
+//! Accumulation"* (DATE 2019):
+//!
+//! * [`mtj`] — STT-MRAM device physics (read disturbance, retention, write
+//!   errors, process variation).
+//! * [`ecc`] — memory ECC codecs (Hamming SEC, Hsiao SEC-DED, BCH DEC/TEC).
+//! * [`nvarray`] — circuit-level energy/area/latency estimation for SRAM and
+//!   STT-MRAM cache arrays.
+//! * [`trace`] — deterministic synthetic workload generators and SPEC
+//!   CPU2006-like profiles.
+//! * [`cache`] — trace-driven set-associative cache simulator with
+//!   concealed-read bookkeeping.
+//! * [`reliability`] — binomial accumulation models (Eqs. (2)–(6)), MTTF
+//!   aggregation, Monte-Carlo fault injection.
+//! * [`core`] — the REAP-cache scheme, baselines, read-path timing model and
+//!   experiment runner.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use reap::core::{Experiment, ProtectionScheme};
+//! use reap::trace::SpecWorkload;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let report = Experiment::paper_hierarchy()
+//!     .workload(SpecWorkload::Perlbench)
+//!     .accesses(200_000)
+//!     .seed(42)
+//!     .run()?;
+//! let mttf_gain = report.mttf_improvement(ProtectionScheme::Reap);
+//! assert!(mttf_gain > 1.0, "REAP always improves MTTF: {mttf_gain}");
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use reap_cache as cache;
+pub use reap_core as core;
+pub use reap_ecc as ecc;
+pub use reap_mtj as mtj;
+pub use reap_nvarray as nvarray;
+pub use reap_reliability as reliability;
+pub use reap_trace as trace;

@@ -1,0 +1,118 @@
+//! Cross-crate integration tests: the full pipeline from synthetic traces
+//! through the hierarchy, reliability model and overhead models.
+
+use reap::core::{EccStrength, Experiment, ProtectionScheme};
+use reap::trace::SpecWorkload;
+
+fn quick(workload: SpecWorkload, seed: u64) -> reap::core::Report {
+    Experiment::paper_hierarchy()
+        .workload(workload)
+        .budgets(5_000, 80_000)
+        .seed(seed)
+        .run()
+        .expect("paper configuration is valid")
+}
+
+#[test]
+fn reap_improves_mttf_on_every_workload() {
+    for w in SpecWorkload::ALL {
+        let report = quick(w, 2);
+        let gain = report.mttf_improvement(ProtectionScheme::Reap);
+        assert!(gain >= 1.0, "{w}: gain {gain} < 1");
+    }
+}
+
+#[test]
+fn energy_overhead_is_small_on_every_workload() {
+    for w in SpecWorkload::ALL {
+        let report = quick(w, 3);
+        let overhead = report.energy_overhead(ProtectionScheme::Reap);
+        assert!(
+            (0.0..0.15).contains(&overhead),
+            "{w}: REAP energy overhead {overhead} out of range"
+        );
+    }
+}
+
+#[test]
+fn access_time_never_degrades_under_reap() {
+    let report = quick(SpecWorkload::Gcc, 4);
+    assert!(
+        report.access_time(ProtectionScheme::Reap)
+            <= report.access_time(ProtectionScheme::Conventional) + 1e-15
+    );
+}
+
+#[test]
+fn scheme_ordering_invariants() {
+    // conventional >= reap >= serial in expected failures, for any
+    // workload — Eq. (3) >= Eq. (6) >= single-read, event by event.
+    for w in [SpecWorkload::Namd, SpecWorkload::Mcf, SpecWorkload::Lbm] {
+        let r = quick(w, 5);
+        let conv = r.expected_failures(ProtectionScheme::Conventional);
+        let reap = r.expected_failures(ProtectionScheme::Reap);
+        let serial = r.expected_failures(ProtectionScheme::SerialTagFirst);
+        assert!(conv >= reap, "{w}: conv {conv} < reap {reap}");
+        assert!(reap >= serial, "{w}: reap {reap} < serial {serial}");
+    }
+}
+
+#[test]
+fn hot_workloads_accumulate_more_than_streaming_ones() {
+    let hot = quick(SpecWorkload::Namd, 6);
+    let streaming = quick(SpecWorkload::Lbm, 6);
+    assert!(
+        hot.mttf_improvement(ProtectionScheme::Reap)
+            > streaming.mttf_improvement(ProtectionScheme::Reap),
+        "hot-set reuse must out-accumulate streaming"
+    );
+}
+
+#[test]
+fn stronger_ecc_shrinks_failure_mass_across_the_stack() {
+    let base = Experiment::paper_hierarchy()
+        .workload(SpecWorkload::DealII)
+        .budgets(5_000, 80_000)
+        .seed(7);
+    let sec = base.clone().ecc(EccStrength::Sec).run().unwrap();
+    let dec = base.clone().ecc(EccStrength::Dec).run().unwrap();
+    let tec = base.ecc(EccStrength::Tec).run().unwrap();
+    let f = |r: &reap::core::Report| r.expected_failures(ProtectionScheme::Conventional);
+    assert!(f(&dec) < f(&sec));
+    assert!(f(&tec) < f(&dec));
+}
+
+#[test]
+fn histogram_totals_are_consistent_with_l2_stats() {
+    let r = quick(SpecWorkload::Perlbench, 8);
+    // Every demand-read check event lands in the histogram.
+    assert_eq!(r.histogram().total_count(), r.l2_stats().demand_checks);
+    // Conventional failure mass equals the histogram's failure mass.
+    let diff = (r.histogram().total_failure_probability()
+        - r.expected_failures(ProtectionScheme::Conventional))
+    .abs();
+    assert!(diff < 1e-15);
+}
+
+#[test]
+fn concealed_reads_match_parallel_access_arithmetic() {
+    let r = quick(SpecWorkload::Gobmk, 9);
+    let s = r.l2_stats();
+    // Physical line reads = demand hits + concealed reads (the demand line
+    // itself is read once per hit; misses read only the valid siblings).
+    assert_eq!(s.line_reads, s.read_hits + s.concealed_reads);
+    // With 8 ways: at most 7 concealed reads per hit, 8 per miss.
+    assert!(s.concealed_reads <= 8 * s.reads);
+}
+
+#[test]
+fn duration_scales_mttf_but_not_the_improvement() {
+    let r = quick(SpecWorkload::Hmmer, 10);
+    let gain = r.mttf_improvement(ProtectionScheme::Reap);
+    let mttf_conv = r.mttf(ProtectionScheme::Conventional);
+    let mttf_reap = r.mttf(ProtectionScheme::Reap);
+    assert!(
+        (mttf_reap.as_seconds() / mttf_conv.as_seconds() / gain - 1.0).abs() < 1e-9,
+        "normalized MTTF must equal the failure-mass ratio"
+    );
+}
