@@ -5,32 +5,44 @@
 //! limit at far lower cost because its checks ride on reads that happen
 //! anyway.
 //!
+//! Runs two-phase: the scrub period is *behavioural* — it changes which
+//! exposure events occur — so each period gets its own capture pass, but
+//! every capture then replays across all three ECC strengths
+//! analysis-side. The trace is driven once per period instead of once per
+//! `(period, ECC)` point.
+//!
 //! Accounting note: every configuration (including the no-scrub baseline)
 //! receives one *terminal* scrub so that disturbance still latent in
 //! resident lines at window end is counted everywhere — otherwise the
 //! no-scrub baseline would silently truncate its own accumulated risk.
 
 use reap_bench::{access_budget, print_csv, DEFAULT_SEED};
-use reap_cache::{Hierarchy, HierarchyConfig, Replacement};
-use reap_core::{ReliabilityObserver, SimulationConfig};
+use reap_cache::{sample_ones, Hierarchy, HierarchyConfig, Replacement};
+use reap_core::{
+    CaptureObserver, EccStrength, ExposureCapture, HierarchySnapshot, SimulationConfig,
+};
 use reap_mtj::read_disturbance_probability;
-use reap_reliability::AccumulationModel;
+use reap_reliability::{AccumulationModel, ReplayAggregator};
 use reap_trace::SpecWorkload;
+use std::time::Instant;
 
-/// Runs the paper hierarchy with a scrub every `period` accesses
-/// (`None` = unscrubbed) and returns (expected failures, scrub checks,
-/// REAP expected failures).
-fn run_with_scrub(
+/// Phase 1 for one scrub period: drives the paper hierarchy once with a
+/// [`CaptureObserver`], scrubbing the L2 every `period` accesses (`None` =
+/// unscrubbed), and returns the analysis-independent capture plus the
+/// number of scrub checks performed.
+fn capture_with_scrub(
     workload: SpecWorkload,
     accesses: u64,
     period: Option<u64>,
-    p_rd: f64,
-) -> (f64, u64, f64) {
-    let mut hierarchy = Hierarchy::new(HierarchyConfig::paper(), Replacement::Lru);
-    let stored_bits = hierarchy.l2().stored_line_bits() as u32;
-    let mut observer = ReliabilityObserver::new(AccumulationModel::sec(p_rd), stored_bits);
+) -> (ExposureCapture, u64) {
+    let config = HierarchyConfig::paper();
+    let line_bits = config.l2.line_bits();
+    let mut hierarchy = Hierarchy::new(config.clone(), Replacement::Lru);
+    let ones_seed = hierarchy.l2().ones_seed();
+    let mut observer = CaptureObserver::new();
     let mut stream = workload.stream(DEFAULT_SEED);
-    for a in stream.by_ref().take(accesses as usize / 10) {
+    let warmup = accesses / 10;
+    for a in stream.by_ref().take(warmup as usize) {
         hierarchy.access(a, &mut ());
     }
     hierarchy.l2_mut().reset_stats();
@@ -47,21 +59,72 @@ fn run_with_scrub(
     }
     // Terminal scrub: surface latent accumulation in every configuration.
     hierarchy.l2_mut().scrub(&mut observer);
+    let scrub_checks = hierarchy.l2().stats().scrub_checks;
+    let capture = ExposureCapture::from_parts(
+        observer.into_records(),
+        HierarchySnapshot::of(&hierarchy),
+        line_bits,
+        ones_seed,
+        config,
+        Replacement::Lru,
+        warmup,
+        accesses,
+    );
+    (capture, scrub_checks)
+}
+
+/// Phase 2: scores a capture at one ECC strength, resampling each event's
+/// line weight at that strength's stored width. Returns conventional and
+/// REAP expected failures.
+fn replay_at(capture: &ExposureCapture, ecc: EccStrength, p_rd: f64) -> (f64, f64) {
+    let check_bits = ecc
+        .build_code(capture.line_bits())
+        .expect("code fits a 64 B line")
+        .check_bits();
+    let stored_bits = capture.line_bits() + check_bits;
+    let mut agg = ReplayAggregator::new(AccumulationModel::new(p_rd, ecc.t()), stored_bits as u32);
+    let seed = capture.ones_seed();
+    for record in capture.events() {
+        let ones = sample_ones(
+            seed,
+            record.key.tag,
+            record.key.set,
+            record.key.version,
+            stored_bits,
+        );
+        agg.record(record.kind, ones, record.unchecked_reads);
+    }
     (
-        observer.conventional().expected_failures(),
-        hierarchy.l2().stats().scrub_checks,
-        observer.reap().expected_failures(),
+        agg.conventional().expected_failures(),
+        agg.reap().expected_failures(),
     )
+}
+
+/// Replays one capture at every ECC strength, returning the per-strength
+/// `(conventional, REAP)` failures and the wall-clock spent replaying.
+fn replay_all(capture: &ExposureCapture, p_rd: f64) -> ([(f64, f64); 3], f64) {
+    let start = Instant::now();
+    let mut out = [(0.0, 0.0); 3];
+    for (i, ecc) in EccStrength::ALL.into_iter().enumerate() {
+        out[i] = replay_at(capture, ecc, p_rd);
+    }
+    (out, start.elapsed().as_secs_f64())
 }
 
 fn main() {
     let accesses = access_budget().min(4_000_000);
     let workload = SpecWorkload::DealII;
     let p_rd = read_disturbance_probability(&SimulationConfig::default().mtj);
+    let periods = [1_000_000u64, 300_000, 100_000, 30_000, 10_000];
 
     println!("Extension — periodic scrubbing vs REAP ({workload}, {accesses} accesses)");
     println!();
-    let (no_scrub, _, reap) = run_with_scrub(workload, accesses, None, p_rd);
+    let start = Instant::now();
+    let (baseline, _) = capture_with_scrub(workload, accesses, None);
+    let mut capture_time = start.elapsed().as_secs_f64();
+    let (base_fails, t) = replay_all(&baseline, p_rd);
+    let mut replay_time = t;
+    let (no_scrub, reap) = base_fails[0];
     println!("no scrub (conventional): E[fail] = {no_scrub:.3e}");
     println!(
         "REAP                   : E[fail] = {reap:.3e}  (gain {:.1}x)",
@@ -70,12 +133,18 @@ fn main() {
     println!();
     println!(
         "{:>12} {:>16} {:>12} {:>14} {:>16}",
-        "scrub period", "E[fail]", "gain", "scrub checks", "extra reads/acc"
+        "scrub period", "E[fail] SEC", "gain", "scrub checks", "extra reads/acc"
     );
 
     let mut rows = Vec::new();
-    for period in [1_000_000u64, 300_000, 100_000, 30_000, 10_000] {
-        let (fail, scrubs, _) = run_with_scrub(workload, accesses, Some(period), p_rd);
+    let mut cross = vec![("none".to_string(), base_fails)];
+    for period in periods {
+        let start = Instant::now();
+        let (capture, scrubs) = capture_with_scrub(workload, accesses, Some(period));
+        capture_time += start.elapsed().as_secs_f64();
+        let (fails, t) = replay_all(&capture, p_rd);
+        replay_time += t;
+        let (fail, _) = fails[0];
         let extra = scrubs as f64 / accesses as f64;
         println!(
             "{:>12} {:>16.3e} {:>11.1}x {:>14} {:>16.3}",
@@ -86,10 +155,41 @@ fn main() {
             extra
         );
         rows.push(format!(
-            "{period},{fail:.6e},{:.3},{scrubs},{extra:.4}",
-            no_scrub / fail
+            "{period},{fail:.6e},{:.3},{scrubs},{extra:.4},{:.6e},{:.6e}",
+            no_scrub / fail,
+            fails[1].0,
+            fails[2].0
         ));
+        cross.push((period.to_string(), fails));
     }
+
+    println!();
+    println!(
+        "Scrub period × ECC strength (conventional E[fail]; one capture per row, three replays):"
+    );
+    println!(
+        "{:>12} {:>16} {:>16} {:>16}",
+        "scrub period", "SEC", "DEC", "TEC"
+    );
+    for (label, fails) in &cross {
+        println!(
+            "{:>12} {:>16.3e} {:>16.3e} {:>16.3e}",
+            label, fails[0].0, fails[1].0, fails[2].0
+        );
+    }
+
+    println!();
+    let captures = 1 + periods.len();
+    let points = captures * EccStrength::ALL.len();
+    let one_pass = capture_time / captures as f64;
+    println!(
+        "Two-phase cost: {:.2} s capturing {captures} periods + {:.2} s replaying {points} \
+         (period, ECC) points (vs ≈{:.2} s for {points} from-scratch runs — {:.1}x speedup)",
+        capture_time,
+        replay_time,
+        one_pass * points as f64,
+        (one_pass * points as f64) / (capture_time + replay_time)
+    );
     println!();
     println!(
         "Reading: scrubbing approaches REAP's reliability only when the sweep \
@@ -98,7 +198,7 @@ fn main() {
          guarantee from decoders on reads that happen anyway."
     );
     print_csv(
-        "scrub_period,expected_failures,gain_vs_no_scrub,scrub_checks,extra_reads_per_access",
+        "scrub_period,expected_failures,gain_vs_no_scrub,scrub_checks,extra_reads_per_access,fail_dec,fail_tec",
         &rows,
     );
 }

@@ -1,8 +1,8 @@
 //! The single-level set-associative cache engine.
 
 use crate::config::{AccessMode, CacheConfig};
-use crate::observer::AccessObserver;
-use crate::replacement::{Replacement, ReplacementPolicy};
+use crate::observer::{AccessObserver, LineKey};
+use crate::replacement::{PolicyState, Replacement, ReplacementPolicy};
 use crate::stats::CacheStats;
 
 /// Metadata of one cache line.
@@ -76,7 +76,9 @@ pub struct AccessResult {
 #[derive(Debug)]
 pub struct Cache {
     config: CacheConfig,
-    policy: Box<dyn ReplacementPolicy>,
+    /// Enum-dispatched: the policy hooks run once or more per access, and
+    /// static dispatch lets them inline into the access loop.
+    policy: PolicyState,
     lines: Vec<Line>,
     stats: CacheStats,
     ones_seed: u64,
@@ -95,7 +97,7 @@ impl Cache {
     pub fn with_ones_seed(config: CacheConfig, replacement: Replacement, ones_seed: u64) -> Self {
         let sets = config.num_sets();
         let ways = config.associativity();
-        let policy = replacement.build(sets, ways);
+        let policy = replacement.build_state(sets, ways);
         let lines = vec![Line::default(); sets * ways];
         Self {
             config,
@@ -117,6 +119,13 @@ impl Cache {
     /// The configuration this cache was built with.
     pub fn config(&self) -> &CacheConfig {
         &self.config
+    }
+
+    /// The seed the content-weight hash ([`sample_ones`]) derives line
+    /// weights from. Replay needs it to resample a captured
+    /// [`LineKey`] at a different stored width.
+    pub fn ones_seed(&self) -> u64 {
+        self.ones_seed
     }
 
     /// Counters accumulated so far.
@@ -177,7 +186,12 @@ impl Cache {
                 line.unchecked = 0;
                 self.stats.read_hits += 1;
                 self.stats.demand_checks += 1;
-                observer.demand_read(line.ones, n);
+                let key = LineKey {
+                    tag,
+                    set: set as u64,
+                    version: line.version,
+                };
+                observer.demand_read_keyed(key, line.ones, n);
                 self.policy.on_access(set, w);
                 AccessResult {
                     hit: true,
@@ -260,7 +274,12 @@ impl Cache {
                 if victim.dirty {
                     self.stats.dirty_evictions += 1;
                 }
-                observer.eviction(victim.dirty, victim.ones, victim.unchecked);
+                let key = LineKey {
+                    tag: victim.tag,
+                    set: set as u64,
+                    version: victim.version,
+                };
+                observer.eviction_keyed(key, victim.dirty, victim.ones, victim.unchecked);
                 (w, Some(info))
             }
         };
@@ -292,15 +311,21 @@ impl Cache {
     /// [`AccessObserver::scrub_check`], and the rewrite heals the line.
     /// Returns the number of lines scrubbed.
     pub fn scrub<O: AccessObserver>(&mut self, observer: &mut O) -> u64 {
+        let ways = self.config.associativity();
         let mut scrubbed = 0;
-        for line in &mut self.lines {
+        for (idx, line) in self.lines.iter_mut().enumerate() {
             if !line.valid {
                 continue;
             }
             self.stats.line_reads += 1;
             self.stats.scrub_checks += 1;
             observer.line_read(line.ones);
-            observer.scrub_check(line.dirty, line.ones, line.unchecked + 1);
+            let key = LineKey {
+                tag: line.tag,
+                set: (idx / ways) as u64,
+                version: line.version,
+            };
+            observer.scrub_check_keyed(key, line.dirty, line.ones, line.unchecked + 1);
             line.unchecked = 0;
             scrubbed += 1;
         }
@@ -326,7 +351,13 @@ impl Cache {
 
 /// Deterministic content weight: the popcount of `bits` hashed bits —
 /// exactly Binomial(bits, 1/2) distributed, like random data.
-fn sample_ones(seed: u64, tag: u64, set: u64, version: u64, bits: usize) -> u32 {
+///
+/// Public so replay can re-derive the weight a captured
+/// [`LineKey`] had at capture time — or would have at a *different*
+/// stored width — without re-simulating the cache: the `(seed, tag, set,
+/// version)` inputs fully determine the hash stream, and `bits` only
+/// selects how much of it is popcounted.
+pub fn sample_ones(seed: u64, tag: u64, set: u64, version: u64, bits: usize) -> u32 {
     let mut state = seed
         ^ tag.wrapping_mul(0x9E37_79B9_7F4A_7C15)
         ^ set.rotate_left(32)

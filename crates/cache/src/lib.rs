@@ -49,9 +49,9 @@ pub mod replacement;
 pub mod stats;
 pub mod timing;
 
-pub use cache::{Cache, EvictionInfo};
+pub use cache::{sample_ones, Cache, EvictionInfo};
 pub use config::{AccessMode, CacheConfig, CacheConfigBuilder, ConfigError};
 pub use hierarchy::{Hierarchy, HierarchyConfig, Level};
-pub use observer::AccessObserver;
-pub use replacement::{Replacement, ReplacementPolicy};
+pub use observer::{AccessObserver, LineKey};
+pub use replacement::{PolicyState, Replacement, ReplacementPolicy};
 pub use stats::CacheStats;

@@ -1,5 +1,25 @@
 //! The event hook between the cache simulator and the reliability layer.
 
+/// Identity of one line's *content* at event time: the `(tag, set,
+/// version)` triple that seeds the deterministic content-weight hash
+/// ([`crate::sample_ones`]).
+///
+/// The version is bumped on every rewrite of the slot, so the key pins
+/// down exactly which sampled content a read, scrub or eviction touched.
+/// Because cache behaviour never consumes the sampled weight, the key is
+/// **analysis-independent**: a capture of keys taken at one ECC/MTJ
+/// configuration can be re-evaluated at any other by resampling the
+/// weight at that configuration's stored width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LineKey {
+    /// The line's address tag.
+    pub tag: u64,
+    /// The set index holding the line.
+    pub set: u64,
+    /// The slot's rewrite counter at event time.
+    pub version: u64,
+}
+
 /// Receives the per-line events the reliability analysis consumes.
 ///
 /// The cache calls these hooks inline during simulation; implementations
@@ -61,6 +81,35 @@ pub trait AccessObserver {
     fn scrub_check(&mut self, dirty: bool, line_ones: u32, unchecked_reads: u64) {
         let _ = (dirty, line_ones, unchecked_reads);
     }
+
+    /// Keyed variant of [`demand_read`](Self::demand_read) carrying the
+    /// line's content-version [`LineKey`]. The cache always calls this
+    /// variant; the default forwards to the unkeyed hook, so observers
+    /// that don't need the key implement only `demand_read`.
+    fn demand_read_keyed(&mut self, key: LineKey, line_ones: u32, unchecked_reads: u64) {
+        let _ = key;
+        self.demand_read(line_ones, unchecked_reads);
+    }
+
+    /// Keyed variant of [`eviction`](Self::eviction); same forwarding
+    /// contract as [`demand_read_keyed`](Self::demand_read_keyed).
+    fn eviction_keyed(&mut self, key: LineKey, dirty: bool, line_ones: u32, unchecked_reads: u64) {
+        let _ = key;
+        self.eviction(dirty, line_ones, unchecked_reads);
+    }
+
+    /// Keyed variant of [`scrub_check`](Self::scrub_check); same
+    /// forwarding contract as [`demand_read_keyed`](Self::demand_read_keyed).
+    fn scrub_check_keyed(
+        &mut self,
+        key: LineKey,
+        dirty: bool,
+        line_ones: u32,
+        unchecked_reads: u64,
+    ) {
+        let _ = key;
+        self.scrub_check(dirty, line_ones, unchecked_reads);
+    }
 }
 
 impl AccessObserver for () {}
@@ -84,6 +133,24 @@ impl<T: AccessObserver + ?Sized> AccessObserver for &mut T {
 
     fn scrub_check(&mut self, dirty: bool, line_ones: u32, unchecked_reads: u64) {
         (**self).scrub_check(dirty, line_ones, unchecked_reads);
+    }
+
+    fn demand_read_keyed(&mut self, key: LineKey, line_ones: u32, unchecked_reads: u64) {
+        (**self).demand_read_keyed(key, line_ones, unchecked_reads);
+    }
+
+    fn eviction_keyed(&mut self, key: LineKey, dirty: bool, line_ones: u32, unchecked_reads: u64) {
+        (**self).eviction_keyed(key, dirty, line_ones, unchecked_reads);
+    }
+
+    fn scrub_check_keyed(
+        &mut self,
+        key: LineKey,
+        dirty: bool,
+        line_ones: u32,
+        unchecked_reads: u64,
+    ) {
+        (**self).scrub_check_keyed(key, dirty, line_ones, unchecked_reads);
     }
 }
 

@@ -29,21 +29,39 @@ pub enum Replacement {
 }
 
 impl Replacement {
-    /// Instantiates the policy state for `sets × ways`.
+    /// Instantiates the policy state for `sets × ways` as a trait object.
+    ///
+    /// Kept for callers that want dynamic dispatch over heterogeneous
+    /// policies; the cache's hot path uses
+    /// [`build_state`](Replacement::build_state) instead.
     ///
     /// # Panics
     ///
     /// Panics if `sets == 0` or `ways == 0`.
     pub fn build(self, sets: usize, ways: usize) -> Box<dyn ReplacementPolicy> {
+        Box::new(self.build_state(sets, ways))
+    }
+
+    /// Instantiates the policy state for `sets × ways` with static (enum)
+    /// dispatch — no per-call vtable indirection, and the policy methods
+    /// inline into the cache's access loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets == 0` or `ways == 0`.
+    pub fn build_state(self, sets: usize, ways: usize) -> PolicyState {
         assert!(sets > 0 && ways > 0, "geometry must be non-empty");
-        match self {
-            Replacement::Lru => Box::new(Lru::new(sets, ways)),
-            Replacement::TreePlru => Box::new(TreePlru::new(sets, ways)),
-            Replacement::Fifo => Box::new(Fifo::new(sets, ways)),
-            Replacement::Random(seed) => Box::new(RandomVictim::new(sets, ways, seed)),
-            Replacement::Srrip => Box::new(Srrip::new(sets, ways)),
-            Replacement::LeastErrorRate => Box::new(LeastErrorRate::new(sets, ways)),
-        }
+        let inner = match self {
+            Replacement::Lru => PolicyInner::Lru(Lru::new(sets, ways)),
+            Replacement::TreePlru => PolicyInner::TreePlru(TreePlru::new(sets, ways)),
+            Replacement::Fifo => PolicyInner::Fifo(Fifo::new(sets, ways)),
+            Replacement::Random(seed) => PolicyInner::Random(RandomVictim::new(sets, ways, seed)),
+            Replacement::Srrip => PolicyInner::Srrip(Srrip::new(sets, ways)),
+            Replacement::LeastErrorRate => {
+                PolicyInner::LeastErrorRate(LeastErrorRate::new(sets, ways))
+            }
+        };
+        PolicyState { inner }
     }
 }
 
@@ -77,6 +95,73 @@ pub trait ReplacementPolicy: fmt::Debug + Send {
 
     /// Picks the victim way in a full `set`.
     fn victim(&mut self, set: usize) -> usize;
+}
+
+/// Instantiated replacement-policy state with enum (static) dispatch.
+///
+/// Built by [`Replacement::build_state`]; implements
+/// [`ReplacementPolicy`] by matching on the concrete policy, which lets
+/// the compiler inline the per-access bookkeeping the cache calls once or
+/// more per simulated access.
+#[derive(Debug)]
+pub struct PolicyState {
+    inner: PolicyInner,
+}
+
+#[derive(Debug)]
+enum PolicyInner {
+    Lru(Lru),
+    TreePlru(TreePlru),
+    Fifo(Fifo),
+    Random(RandomVictim),
+    Srrip(Srrip),
+    LeastErrorRate(LeastErrorRate),
+}
+
+impl ReplacementPolicy for PolicyState {
+    fn on_access(&mut self, set: usize, way: usize) {
+        match &mut self.inner {
+            PolicyInner::Lru(p) => p.on_access(set, way),
+            PolicyInner::TreePlru(p) => p.on_access(set, way),
+            PolicyInner::Fifo(p) => p.on_access(set, way),
+            PolicyInner::Random(p) => p.on_access(set, way),
+            PolicyInner::Srrip(p) => p.on_access(set, way),
+            PolicyInner::LeastErrorRate(p) => p.on_access(set, way),
+        }
+    }
+
+    fn on_fill(&mut self, set: usize, way: usize) {
+        match &mut self.inner {
+            PolicyInner::Lru(p) => p.on_fill(set, way),
+            PolicyInner::TreePlru(p) => p.on_fill(set, way),
+            PolicyInner::Fifo(p) => p.on_fill(set, way),
+            PolicyInner::Random(p) => p.on_fill(set, way),
+            PolicyInner::Srrip(p) => p.on_fill(set, way),
+            PolicyInner::LeastErrorRate(p) => p.on_fill(set, way),
+        }
+    }
+
+    fn on_concealed_read(&mut self, set: usize, way: usize) {
+        match &mut self.inner {
+            PolicyInner::Lru(p) => p.on_concealed_read(set, way),
+            PolicyInner::TreePlru(p) => p.on_concealed_read(set, way),
+            PolicyInner::Fifo(p) => p.on_concealed_read(set, way),
+            PolicyInner::Random(p) => p.on_concealed_read(set, way),
+            PolicyInner::Srrip(p) => p.on_concealed_read(set, way),
+            PolicyInner::LeastErrorRate(p) => p.on_concealed_read(set, way),
+        }
+    }
+
+    fn victim(&mut self, set: usize) -> usize {
+        match &mut self.inner {
+            PolicyInner::Lru(p) => p.victim(set),
+            PolicyInner::TreePlru(p) => p.victim(set),
+            PolicyInner::Fifo(p) => p.victim(set),
+            PolicyInner::Random(p) => p.victim(set),
+            PolicyInner::Srrip(p) => p.victim(set),
+            PolicyInner::LeastErrorRate(p) => p.victim(set),
+        }
+    }
 }
 
 /// True LRU via per-set monotone timestamps.

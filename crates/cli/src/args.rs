@@ -69,6 +69,9 @@ pub struct SweepArgs {
     pub accesses: u64,
     /// Trace seed.
     pub seed: u64,
+    /// Also sweep ECC strengths, replaying one exposure capture per
+    /// workload instead of re-running the trace per strength.
+    pub ecc_sweep: bool,
 }
 
 impl Default for SweepArgs {
@@ -76,6 +79,7 @@ impl Default for SweepArgs {
         Self {
             accesses: 400_000,
             seed: 2019,
+            ecc_sweep: false,
         }
     }
 }
@@ -327,6 +331,7 @@ fn parse_sweep(mut c: Cursor) -> Result<Command, ParseCliError> {
         match flag.as_str() {
             "--accesses" | "-n" => a.accesses = parse_num(&flag, c.value_for(&flag)?, "count")?,
             "--seed" | "-s" => a.seed = parse_num(&flag, c.value_for(&flag)?, "seed")?,
+            "--ecc-sweep" => a.ecc_sweep = true,
             _ => return Err(ParseCliError::UnknownFlag { flag }),
         }
     }
@@ -432,6 +437,15 @@ mod tests {
             panic!()
         };
         assert_eq!(a, SweepArgs::default());
+    }
+
+    #[test]
+    fn sweep_ecc_flag() {
+        let Command::Sweep(a) = p("sweep -n 50000 --ecc-sweep").unwrap() else {
+            panic!()
+        };
+        assert_eq!(a.accesses, 50_000);
+        assert!(a.ecc_sweep);
     }
 
     #[test]

@@ -23,6 +23,8 @@ COMMANDS:
                  --l2-ways K
     sweep        all 21 workloads: MTTF gain and energy overhead
                  --accesses/-n N  --seed/-s S
+                 --ecc-sweep  also sweep sec/dec/tec per workload,
+                 replaying one exposure capture instead of re-simulating
     trace        generate a binary trace file
                  --workload/-w NAME (required)  --count/-n N  --seed/-s S
                  --out/-o FILE (required)
@@ -107,6 +109,9 @@ fn run<W: Write>(args: RunArgs, mut out: W) -> io::Result<i32> {
 }
 
 fn sweep<W: Write>(args: SweepArgs, mut out: W) -> io::Result<i32> {
+    if args.ecc_sweep {
+        return ecc_sweep(args, out);
+    }
     writeln!(
         out,
         "{:<12} {:>12} {:>12} {:>10} {:>10}",
@@ -128,6 +133,37 @@ fn sweep<W: Write>(args: SweepArgs, mut out: W) -> io::Result<i32> {
             100.0 * report.l2_stats().hit_rate(),
             report.histogram().max_n(),
         )?;
+    }
+    Ok(0)
+}
+
+/// The `--ecc-sweep` variant of `reap sweep`: captures each workload's
+/// exposure trace once and replays it at every ECC strength — the results
+/// are bit-identical to per-strength runs at a third of the trace cost.
+fn ecc_sweep<W: Write>(args: SweepArgs, mut out: W) -> io::Result<i32> {
+    writeln!(
+        out,
+        "{:<12} {:>5} {:>12} {:>16} {:>10}",
+        "workload", "ECC", "REAP gain", "E[fail] conv", "max N"
+    )?;
+    for w in SpecWorkload::ALL {
+        let experiment = Experiment::paper_hierarchy()
+            .workload(w)
+            .accesses(args.accesses)
+            .seed(args.seed);
+        let points = reap_core::sweep::replay_ecc_sweep(&experiment)
+            .map_err(|e| io::Error::other(e.to_string()))?;
+        for (ecc, report) in points {
+            writeln!(
+                out,
+                "{:<12} {:>5} {:>11.1}x {:>16.3e} {:>10}",
+                w.name(),
+                ecc.to_string(),
+                report.mttf_improvement(ProtectionScheme::Reap),
+                report.expected_failures(ProtectionScheme::Conventional),
+                report.histogram().max_n(),
+            )?;
+        }
     }
     Ok(0)
 }
@@ -228,6 +264,16 @@ mod tests {
         for w in SpecWorkload::ALL {
             assert!(text.contains(w.name()), "missing {w}");
         }
+    }
+
+    #[test]
+    fn ecc_sweep_covers_every_strength() {
+        let (code, text) = exec("sweep -n 2000 --ecc-sweep");
+        assert_eq!(code, 0, "output: {text}");
+        for s in ["SEC", "DEC", "TEC"] {
+            assert!(text.contains(s), "missing strength {s}: {text}");
+        }
+        assert!(text.contains("perlbench"));
     }
 
     #[test]

@@ -24,7 +24,10 @@ fn no_args_exits_two_with_hint() {
 
 #[test]
 fn unknown_flag_reports_on_stderr() {
-    let out = reap().args(["run", "--frobnicate"]).output().expect("binary runs");
+    let out = reap()
+        .args(["run", "--frobnicate"])
+        .output()
+        .expect("binary runs");
     assert_eq!(out.status.code(), Some(2));
     assert!(String::from_utf8_lossy(&out.stderr).contains("--frobnicate"));
 }
@@ -47,7 +50,10 @@ fn disturbance_query_round_trips() {
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("P_rd per read"), "{text}");
-    assert!(text.contains("1.5230e-8") || text.contains("1.523e-8"), "{text}");
+    assert!(
+        text.contains("1.5230e-8") || text.contains("1.523e-8"),
+        "{text}"
+    );
 }
 
 #[test]
@@ -61,9 +67,17 @@ fn run_and_trace_pipeline() {
         .arg(&trace_path)
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stdout));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
 
-    let info = reap().arg("trace-info").arg(&trace_path).output().expect("binary runs");
+    let info = reap()
+        .arg("trace-info")
+        .arg(&trace_path)
+        .output()
+        .expect("binary runs");
     assert!(info.status.success());
     assert!(String::from_utf8_lossy(&info.stdout).contains("5000 accesses"));
 

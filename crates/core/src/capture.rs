@@ -1,0 +1,287 @@
+//! Phase 1 of the two-phase simulation: the exposure capture.
+//!
+//! Driving a trace through the cache hierarchy is by far the expensive
+//! part of a run, yet everything the reliability laws need from it is a
+//! short stream of *exposure events*: for each demand check, dirty scrub
+//! or dirty eviction, the accumulated read count `N` and the content
+//! version key of the line involved. None of that depends on the ECC
+//! strength or the MTJ operating point — those only enter when an event
+//! is *scored*. The capture phase therefore records the stream once
+//! ([`ExposureCapture`]), and any number of analysis points replay it in
+//! O(events) instead of O(trace) each
+//! ([`crate::Simulator::replay`]), bit-identical to a direct
+//! single-pass run at the same configuration.
+//!
+//! # Examples
+//!
+//! ```
+//! use reap_core::{EccStrength, Experiment, ProtectionScheme};
+//! use reap_trace::SpecWorkload;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let experiment = Experiment::paper_hierarchy()
+//!     .workload(SpecWorkload::DealII)
+//!     .accesses(30_000);
+//! // One pass over the trace…
+//! let capture = experiment.capture()?;
+//! // …replayed at every ECC strength.
+//! for ecc in EccStrength::ALL {
+//!     let report = experiment.clone().ecc(ecc).replay(&capture)?;
+//!     assert!(report.mttf_improvement(ProtectionScheme::Reap) >= 1.0);
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+use reap_cache::{AccessObserver, CacheStats, Hierarchy, HierarchyConfig, LineKey, Replacement};
+use reap_reliability::ExposureKind;
+
+/// One scored exposure event: what happened, to which content version,
+/// and how many unchecked reads had accumulated.
+///
+/// The line's `1`-weight is deliberately *not* stored — it depends on the
+/// stored line width (data + check bits) and is resampled at replay time
+/// from the [`LineKey`] at the analysis point's width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExposureRecord {
+    /// The event class (demand check, dirty scrub, dirty eviction).
+    pub kind: ExposureKind,
+    /// The content-version identity of the line involved.
+    pub key: LineKey,
+    /// Accumulated unchecked reads, `N` of Eqs. (3)/(6).
+    pub unchecked_reads: u64,
+}
+
+/// Final hierarchy counters at the end of the measurement window.
+#[derive(Debug, Clone, Copy)]
+pub struct HierarchySnapshot {
+    /// L1 instruction-cache counters.
+    pub l1i: CacheStats,
+    /// L1 data-cache counters.
+    pub l1d: CacheStats,
+    /// L2 counters (measurement window only).
+    pub l2: CacheStats,
+    /// Reads that reached main memory.
+    pub memory_reads: u64,
+    /// Writes that reached main memory.
+    pub memory_writes: u64,
+}
+
+impl HierarchySnapshot {
+    /// Snapshots the counters of a driven hierarchy.
+    pub fn of(hierarchy: &Hierarchy) -> Self {
+        Self {
+            l1i: *hierarchy.l1i().stats(),
+            l1d: *hierarchy.l1d().stats(),
+            l2: *hierarchy.l2().stats(),
+            memory_reads: hierarchy.memory_reads(),
+            memory_writes: hierarchy.memory_writes(),
+        }
+    }
+}
+
+/// The analysis-independent artefact of one capture pass: everything a
+/// replay needs to evaluate any `(EccStrength, MtjParams)` point without
+/// touching the trace again.
+///
+/// A capture is only valid for analysis points that share the
+/// *behavioural* configuration it was taken under — hierarchy geometry,
+/// replacement policy and access budgets — because those change which
+/// events occur at all. [`crate::Simulator::replay`] enforces this.
+/// ECC strength, MTJ parameters, technology node and access rate are
+/// analysis-side and free to vary.
+#[derive(Debug, Clone)]
+pub struct ExposureCapture {
+    events: Vec<ExposureRecord>,
+    snapshot: HierarchySnapshot,
+    /// Data bits per L2 line (check bits are an analysis-side choice).
+    line_bits: usize,
+    /// Seed of the content-weight hash used by the captured cache.
+    ones_seed: u64,
+    // Behavioural fingerprint, checked at replay time.
+    hierarchy: HierarchyConfig,
+    replacement: Replacement,
+    warmup_accesses: u64,
+    measure_accesses: u64,
+}
+
+impl ExposureCapture {
+    /// Assembles a capture from its parts. Used by
+    /// [`crate::Simulator::capture`] and by harnesses (e.g. scrub-period
+    /// studies) that drive a [`Hierarchy`] manually with a
+    /// [`CaptureObserver`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parts(
+        events: Vec<ExposureRecord>,
+        snapshot: HierarchySnapshot,
+        line_bits: usize,
+        ones_seed: u64,
+        hierarchy: HierarchyConfig,
+        replacement: Replacement,
+        warmup_accesses: u64,
+        measure_accesses: u64,
+    ) -> Self {
+        Self {
+            events,
+            snapshot,
+            line_bits,
+            ones_seed,
+            hierarchy,
+            replacement,
+            warmup_accesses,
+            measure_accesses,
+        }
+    }
+
+    /// The recorded exposure events, in simulation order.
+    pub fn events(&self) -> &[ExposureRecord] {
+        &self.events
+    }
+
+    /// Final hierarchy counters of the capture run.
+    pub fn snapshot(&self) -> &HierarchySnapshot {
+        &self.snapshot
+    }
+
+    /// Data bits per L2 line.
+    pub fn line_bits(&self) -> usize {
+        self.line_bits
+    }
+
+    /// The content-weight hash seed the captured cache used.
+    pub fn ones_seed(&self) -> u64 {
+        self.ones_seed
+    }
+
+    /// The hierarchy geometry the capture was taken under.
+    pub fn hierarchy(&self) -> &HierarchyConfig {
+        &self.hierarchy
+    }
+
+    /// The replacement policy the capture was taken under.
+    pub fn replacement(&self) -> Replacement {
+        self.replacement
+    }
+
+    /// Warm-up accesses driven before the measurement window.
+    pub fn warmup_accesses(&self) -> u64 {
+        self.warmup_accesses
+    }
+
+    /// Accesses measured (and recorded) after warm-up.
+    pub fn measure_accesses(&self) -> u64 {
+        self.measure_accesses
+    }
+}
+
+/// The phase-1 observer: filters cache events down to the three
+/// [`ExposureKind`] classes and records them with their [`LineKey`]s.
+///
+/// The filtering mirrors what the scoring laws ignore — clean scrubs and
+/// clean or unexposed evictions contribute exactly `0.0` to every sum —
+/// so a replay of the recorded stream is bit-identical to a live
+/// observer that saw every event.
+#[derive(Debug, Default)]
+pub struct CaptureObserver {
+    records: Vec<ExposureRecord>,
+}
+
+impl CaptureObserver {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The events recorded so far, in simulation order.
+    pub fn records(&self) -> &[ExposureRecord] {
+        &self.records
+    }
+
+    /// Consumes the recorder, yielding the event stream.
+    pub fn into_records(self) -> Vec<ExposureRecord> {
+        self.records
+    }
+}
+
+impl AccessObserver for CaptureObserver {
+    fn demand_read_keyed(&mut self, key: LineKey, _line_ones: u32, unchecked_reads: u64) {
+        self.records.push(ExposureRecord {
+            kind: ExposureKind::Demand,
+            key,
+            unchecked_reads,
+        });
+    }
+
+    fn eviction_keyed(&mut self, key: LineKey, dirty: bool, _line_ones: u32, unchecked_reads: u64) {
+        if dirty && unchecked_reads > 0 {
+            self.records.push(ExposureRecord {
+                kind: ExposureKind::DirtyEviction,
+                key,
+                unchecked_reads,
+            });
+        }
+    }
+
+    fn scrub_check_keyed(
+        &mut self,
+        key: LineKey,
+        dirty: bool,
+        _line_ones: u32,
+        unchecked_reads: u64,
+    ) {
+        if dirty {
+            self.records.push(ExposureRecord {
+                kind: ExposureKind::DirtyScrub,
+                key,
+                unchecked_reads,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(version: u64) -> LineKey {
+        LineKey {
+            tag: 7,
+            set: 3,
+            version,
+        }
+    }
+
+    #[test]
+    fn demand_events_always_recorded() {
+        let mut obs = CaptureObserver::new();
+        obs.demand_read_keyed(key(1), 288, 5);
+        assert_eq!(obs.records().len(), 1);
+        assert_eq!(obs.records()[0].kind, ExposureKind::Demand);
+        assert_eq!(obs.records()[0].unchecked_reads, 5);
+    }
+
+    #[test]
+    fn clean_scrubs_and_evictions_filtered() {
+        let mut obs = CaptureObserver::new();
+        obs.scrub_check_keyed(key(1), false, 288, 5);
+        obs.eviction_keyed(key(1), false, 288, 5);
+        obs.eviction_keyed(key(1), true, 288, 0);
+        assert!(obs.records().is_empty());
+        obs.scrub_check_keyed(key(2), true, 288, 5);
+        obs.eviction_keyed(key(3), true, 288, 5);
+        assert_eq!(obs.records().len(), 2);
+        assert_eq!(obs.records()[0].kind, ExposureKind::DirtyScrub);
+        assert_eq!(obs.records()[1].kind, ExposureKind::DirtyEviction);
+    }
+
+    #[test]
+    fn unkeyed_hooks_record_nothing() {
+        // The capture relies on keyed delivery; the unkeyed defaults are
+        // no-ops so a non-keyed caller fails loudly in tests rather than
+        // silently capturing keyless events.
+        let mut obs = CaptureObserver::new();
+        obs.line_read(288);
+        obs.line_write(288);
+        assert!(obs.records().is_empty());
+    }
+}

@@ -1,5 +1,6 @@
 //! High-level experiment builder — the one-call entry point.
 
+use crate::capture::ExposureCapture;
 use crate::report::Report;
 use crate::simulator::{EccStrength, SimulationConfig, SimulationError, Simulator};
 use reap_cache::{HierarchyConfig, Replacement};
@@ -114,6 +115,39 @@ impl Experiment {
         let report = Simulator::new(self.config)?.run(stream)?;
         Ok(report)
     }
+
+    /// Phase 1: drives the configured workload through the hierarchy once
+    /// and records the analysis-independent exposure stream.
+    ///
+    /// The capture can then be [`replay`](Self::replay)ed by any
+    /// experiment sharing this one's workload, seed and behavioural
+    /// configuration — typically variants differing only in ECC strength
+    /// or MTJ parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExperimentError`] when the configuration cannot be
+    /// instantiated (bad geometry, unsupported node, zero budget).
+    pub fn capture(&self) -> Result<ExposureCapture, ExperimentError> {
+        let stream = self.workload.stream(self.seed);
+        let capture = Simulator::new(self.config.clone())?.capture(stream)?;
+        Ok(capture)
+    }
+
+    /// Phase 2: evaluates a captured exposure stream at this experiment's
+    /// analysis point without re-driving the trace.
+    ///
+    /// Bit-identical to [`run`](Self::run) of the same experiment, at
+    /// O(events) cost instead of O(trace).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExperimentError`] when the configuration cannot be
+    /// instantiated or the capture's behavioural configuration differs.
+    pub fn replay(self, capture: &ExposureCapture) -> Result<Report, ExperimentError> {
+        let report = Simulator::new(self.config)?.replay(capture)?;
+        Ok(report)
+    }
 }
 
 /// Error raised by [`Experiment::run`].
@@ -178,6 +212,26 @@ mod tests {
             .unwrap_err();
         assert!(err.to_string().contains("experiment failed"));
         assert!(std::error::Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn capture_then_replay_matches_run() {
+        let experiment = Experiment::paper_hierarchy()
+            .workload(SpecWorkload::Hmmer)
+            .budgets(1_000, 20_000)
+            .seed(5);
+        let capture = experiment.capture().unwrap();
+        let replayed = experiment.clone().replay(&capture).unwrap();
+        let direct = experiment.run().unwrap();
+        assert_eq!(
+            replayed
+                .expected_failures(ProtectionScheme::Conventional)
+                .to_bits(),
+            direct
+                .expected_failures(ProtectionScheme::Conventional)
+                .to_bits()
+        );
+        assert_eq!(replayed.l2_stats(), direct.l2_stats());
     }
 
     #[test]

@@ -15,6 +15,10 @@
 //!   converts cache events into Eq. (3)/(6) failure probabilities, one
 //!   simulation pass scoring *all* schemes simultaneously (their cache
 //!   behaviour is identical; only checking differs);
+//! * [`capture`] — the two-phase simulation split: one trace pass records
+//!   an analysis-independent exposure stream ([`ExposureCapture`]) that
+//!   replays at any ECC/MTJ analysis point in O(events), bit-identical to
+//!   a single-pass run;
 //! * [`simulator`] / [`experiment`] — end-to-end runs producing
 //!   [`report::Report`]s with MTTF, energy and performance comparisons.
 //!
@@ -39,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod capture;
 pub mod energy;
 pub mod experiment;
 pub mod observer;
@@ -48,6 +53,7 @@ pub mod scheme;
 pub mod simulator;
 pub mod sweep;
 
+pub use capture::{CaptureObserver, ExposureCapture, ExposureRecord, HierarchySnapshot};
 pub use energy::{EnergyBreakdown, EnergyModel};
 pub use experiment::{Experiment, ExperimentError};
 pub use observer::ReliabilityObserver;

@@ -2,7 +2,9 @@
 //! probabilities for every scheme in one pass.
 
 use reap_cache::AccessObserver;
-use reap_reliability::{AccumulationModel, FailureAggregator, LogHistogram};
+use reap_reliability::{
+    AccumulationModel, ExposureKind, FailureAggregator, LogHistogram, ReplayAggregator,
+};
 
 /// Accumulates Eq. (3)/(6) failure probabilities from cache events.
 ///
@@ -18,13 +20,16 @@ use reap_reliability::{AccumulationModel, FailureAggregator, LogHistogram};
 ///   reads was individually checked and corrected, and the sequence fails
 ///   iff any *single* read was individually uncorrectable;
 /// * **serial / restore** — `P_unc(n, p, t)`: with no concealed reads
-///   (serial) or a restore after every read (refs. 14/15 of the paper), each demand read
+///   (serial) or a restore after every read (refs. 14/15 of the paper), each demand read
 ///   faces exactly one read's disturbance. (Restore additionally risks
 ///   write errors on each restore pulse — tracked separately by the
 ///   energy model and `reap_mtj::write`.)
 ///
-/// Per-read probabilities are looked up from a table over the line weight
-/// `n` (0 ..= stored bits), making the per-event cost O(1).
+/// The scoring itself lives in [`ReplayAggregator`] — this type is the
+/// live, single-pass adapter that classifies cache events into
+/// [`ExposureKind`] records and feeds them through the exact same sums
+/// the two-phase replay uses, so both paths are bit-identical by
+/// construction.
 ///
 /// # Examples
 ///
@@ -39,17 +44,7 @@ use reap_reliability::{AccumulationModel, FailureAggregator, LogHistogram};
 /// ```
 #[derive(Debug, Clone)]
 pub struct ReliabilityObserver {
-    model: AccumulationModel,
-    /// `fail_single(n)` for n in 0..=max_ones.
-    single_read_table: Vec<f64>,
-    conventional: FailureAggregator,
-    reap: FailureAggregator,
-    serial: FailureAggregator,
-    histogram: LogHistogram,
-    /// Failure probability that left the cache unchecked in dirty victims
-    /// (consumed by the write-back path) — the paper ignores this; we
-    /// track it as an extension metric.
-    writeback_exposure: f64,
+    aggregator: ReplayAggregator,
 }
 
 impl ReliabilityObserver {
@@ -60,79 +55,60 @@ impl ReliabilityObserver {
     ///
     /// Panics if `max_ones == 0`.
     pub fn new(model: AccumulationModel, max_ones: u32) -> Self {
-        assert!(max_ones > 0, "line width must be positive");
-        let single_read_table = (0..=max_ones).map(|n| model.fail_single(n)).collect();
         Self {
-            model,
-            single_read_table,
-            conventional: FailureAggregator::new(),
-            reap: FailureAggregator::new(),
-            serial: FailureAggregator::new(),
-            histogram: LogHistogram::new(),
-            writeback_exposure: 0.0,
+            aggregator: ReplayAggregator::new(model, max_ones),
         }
     }
 
     /// The accumulation model in force.
     pub fn model(&self) -> &AccumulationModel {
-        &self.model
+        self.aggregator.model()
     }
 
     /// Expected failures under the conventional scheme.
     pub fn conventional(&self) -> &FailureAggregator {
-        &self.conventional
+        self.aggregator.conventional()
     }
 
     /// Expected failures under REAP.
     pub fn reap(&self) -> &FailureAggregator {
-        &self.reap
+        self.aggregator.reap()
     }
 
     /// Expected failures under the serial tag-first scheme and the
     /// disruptive-restore baseline (one read's disturbance per demand).
     pub fn serial(&self) -> &FailureAggregator {
-        &self.serial
+        self.aggregator.serial()
     }
 
     /// The concealed-read histogram with per-bin conventional failure
     /// contribution (Fig. 3 data).
     pub fn histogram(&self) -> &LogHistogram {
-        &self.histogram
+        self.aggregator.histogram()
     }
 
     /// Unchecked failure probability carried out by dirty evictions.
     pub fn writeback_exposure(&self) -> f64 {
-        self.writeback_exposure
+        self.aggregator.writeback_exposure()
     }
 
-    fn single(&self, n_ones: u32) -> f64 {
-        *self
-            .single_read_table
-            .get(n_ones as usize)
-            .unwrap_or_else(|| self.single_read_table.last().expect("non-empty table"))
+    /// Consumes the observer, yielding the underlying aggregator — the
+    /// same type a replay produces, so report assembly has one input.
+    pub fn into_aggregator(self) -> ReplayAggregator {
+        self.aggregator
     }
 }
 
 impl AccessObserver for ReliabilityObserver {
     fn demand_read(&mut self, line_ones: u32, unchecked_reads: u64) {
-        let p_conv = self.model.fail_conventional(line_ones, unchecked_reads);
-        self.conventional.record(p_conv);
-        // Eq. (6): 1 - (1 - u)^N from the table entry, without recomputing
-        // the binomial tail.
-        let u = self.single(line_ones);
-        let p_reap = if u == 0.0 {
-            0.0
-        } else {
-            -(unchecked_reads as f64 * (-u).ln_1p()).exp_m1()
-        };
-        self.reap.record(p_reap);
-        self.serial.record(u);
-        self.histogram.record(unchecked_reads, p_conv);
+        self.aggregator
+            .record(ExposureKind::Demand, line_ones, unchecked_reads);
     }
 
     fn eviction(&mut self, dirty: bool, line_ones: u32, unchecked_reads: u64) {
         if dirty && unchecked_reads > 0 {
-            self.writeback_exposure += self.model.fail_conventional(line_ones, unchecked_reads);
+            self.aggregator
+                .record(ExposureKind::DirtyEviction, line_ones, unchecked_reads);
         }
     }
 
@@ -140,8 +116,8 @@ impl AccessObserver for ReliabilityObserver {
         // A scrub failure on a clean line is recoverable (invalidate and
         // refetch); only a dirty line's data is lost.
         if dirty {
-            self.conventional
-                .record(self.model.fail_conventional(line_ones, unchecked_reads));
+            self.aggregator
+                .record(ExposureKind::DirtyScrub, line_ones, unchecked_reads);
         }
     }
 }
@@ -156,10 +132,17 @@ mod tests {
 
     #[test]
     fn table_matches_direct_model() {
-        let obs = observer();
+        let mut obs = observer();
         for n in [0u32, 1, 100, 288, 576] {
-            assert_eq!(obs.single(n), obs.model().fail_single(n), "n = {n}");
+            obs.demand_read(n, 1);
         }
+        // With N = 1 every scheme sees fail_single(n): the table must
+        // match a direct model evaluation.
+        let direct: f64 = [0u32, 1, 100, 288, 576]
+            .iter()
+            .map(|&n| obs.model().fail_single(n))
+            .sum();
+        assert_eq!(obs.serial().expected_failures(), direct);
     }
 
     #[test]
@@ -219,9 +202,22 @@ mod tests {
     }
 
     #[test]
-    fn out_of_range_ones_clamp_to_widest_entry() {
-        let obs = observer();
-        assert_eq!(obs.single(10_000), obs.single(576));
+    fn clean_scrubs_are_not_scored() {
+        let mut obs = observer();
+        obs.scrub_check(false, 288, 40);
+        assert_eq!(obs.conventional().events(), 0);
+        obs.scrub_check(true, 288, 40);
+        assert_eq!(obs.conventional().events(), 1);
+    }
+
+    #[test]
+    fn into_aggregator_preserves_sums() {
+        let mut obs = observer();
+        obs.demand_read(288, 12);
+        obs.scrub_check(true, 280, 3);
+        let conv = obs.conventional().expected_failures();
+        let agg = obs.into_aggregator();
+        assert_eq!(agg.conventional().expected_failures(), conv);
     }
 
     #[test]

@@ -1,11 +1,11 @@
 //! The result of one simulation: reliability, energy, performance.
 
+use crate::capture::HierarchySnapshot;
 use crate::energy::{EnergyBreakdown, EnergyModel};
-use crate::observer::ReliabilityObserver;
 use crate::readpath::ReadPathModel;
 use crate::scheme::ProtectionScheme;
-use reap_cache::{CacheStats, Hierarchy};
-use reap_reliability::{LogHistogram, Mttf};
+use reap_cache::CacheStats;
+use reap_reliability::{LogHistogram, Mttf, ReplayAggregator};
 use std::fmt;
 
 /// Aggregated results of one simulation run, queryable per
@@ -49,27 +49,28 @@ pub struct Report {
 }
 
 impl Report {
-    /// Assembles a report from the simulation artefacts (called by
-    /// [`crate::Simulator::run`]).
+    /// Assembles a report from a hierarchy snapshot and the scored
+    /// failure sums — the common tail of both a single-pass run and a
+    /// capture/replay evaluation (called by [`crate::Simulator`]).
     pub(crate) fn assemble(
-        hierarchy: &Hierarchy,
-        observer: ReliabilityObserver,
+        snapshot: &HierarchySnapshot,
+        aggregator: &ReplayAggregator,
         energy_model: EnergyModel,
         readpath_model: ReadPathModel,
         duration_seconds: f64,
         p_rd: f64,
     ) -> Self {
         Self {
-            l1i_stats: *hierarchy.l1i().stats(),
-            l1d_stats: *hierarchy.l1d().stats(),
-            l2_stats: *hierarchy.l2().stats(),
-            memory_reads: hierarchy.memory_reads(),
-            memory_writes: hierarchy.memory_writes(),
-            fail_conventional: observer.conventional().expected_failures(),
-            fail_reap: observer.reap().expected_failures(),
-            fail_serial: observer.serial().expected_failures(),
-            writeback_exposure: observer.writeback_exposure(),
-            histogram: observer.histogram().clone(),
+            l1i_stats: snapshot.l1i,
+            l1d_stats: snapshot.l1d,
+            l2_stats: snapshot.l2,
+            memory_reads: snapshot.memory_reads,
+            memory_writes: snapshot.memory_writes,
+            fail_conventional: aggregator.conventional().expected_failures(),
+            fail_reap: aggregator.reap().expected_failures(),
+            fail_serial: aggregator.serial().expected_failures(),
+            writeback_exposure: aggregator.writeback_exposure(),
+            histogram: aggregator.histogram().clone(),
             energy_model,
             readpath_model,
             duration_seconds,

@@ -1,14 +1,15 @@
 //! End-to-end simulation: trace → hierarchy → reliability + energy.
 
+use crate::capture::{CaptureObserver, ExposureCapture, HierarchySnapshot};
 use crate::energy::EnergyModel;
 use crate::observer::ReliabilityObserver;
 use crate::readpath::ReadPathModel;
 use crate::report::Report;
-use reap_cache::{Hierarchy, HierarchyConfig, Replacement};
+use reap_cache::{sample_ones, Hierarchy, HierarchyConfig, Replacement};
 use reap_ecc::{Bch, CodeError, DecoderCost, EccCode, HammingSec};
 use reap_mtj::{read_disturbance_probability, MtjParams};
 use reap_nvarray::{estimate, ArraySpec, MemTech, SpecError, TechnologyNode};
-use reap_reliability::AccumulationModel;
+use reap_reliability::{AccumulationModel, ReplayAggregator};
 use reap_trace::MemoryAccess;
 use std::fmt;
 
@@ -113,6 +114,9 @@ pub enum SimulationError {
     Array(SpecError),
     /// A parameter was out of range.
     BadParameter(&'static str),
+    /// A replay was attempted against a capture whose behavioural
+    /// configuration (hierarchy, replacement, budgets) does not match.
+    CaptureMismatch(&'static str),
 }
 
 impl fmt::Display for SimulationError {
@@ -121,6 +125,9 @@ impl fmt::Display for SimulationError {
             SimulationError::Code(e) => write!(f, "ecc construction failed: {e}"),
             SimulationError::Array(e) => write!(f, "array model rejected the setup: {e}"),
             SimulationError::BadParameter(what) => write!(f, "invalid parameter: {what}"),
+            SimulationError::CaptureMismatch(what) => {
+                write!(f, "capture incompatible with this configuration: {what}")
+            }
         }
     }
 }
@@ -130,7 +137,7 @@ impl std::error::Error for SimulationError {
         match self {
             SimulationError::Code(e) => Some(e),
             SimulationError::Array(e) => Some(e),
-            SimulationError::BadParameter(_) => None,
+            SimulationError::BadParameter(_) | SimulationError::CaptureMismatch(_) => None,
         }
     }
 }
@@ -230,11 +237,152 @@ impl Simulator {
     /// The trace must supply at least `warmup + measure` accesses;
     /// infinite generator streams always do.
     ///
+    /// Implemented as [`capture`](Self::capture) followed by
+    /// [`replay`](Self::replay) — bit-identical to the historical
+    /// single-pass evaluation (kept as
+    /// [`run_single_pass`](Self::run_single_pass) and cross-checked by
+    /// property tests), while making the expensive trace pass reusable
+    /// across analysis points.
+    ///
     /// # Errors
     ///
     /// Returns [`SimulationError::BadParameter`] if the trace ends before
     /// the configured access budget.
     pub fn run<I>(&self, trace: I) -> Result<Report, SimulationError>
+    where
+        I: IntoIterator<Item = MemoryAccess>,
+    {
+        let capture = self.capture(trace)?;
+        self.replay(&capture)
+    }
+
+    /// Phase 1: drives `trace` through the hierarchy once, recording the
+    /// analysis-independent exposure stream.
+    ///
+    /// The resulting [`ExposureCapture`] can be replayed at any ECC
+    /// strength, MTJ operating point, technology node or access rate —
+    /// only the *behavioural* configuration (hierarchy geometry,
+    /// replacement policy, access budgets) is pinned by the capture.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimulationError::BadParameter`] if the trace ends before
+    /// the configured access budget.
+    pub fn capture<I>(&self, trace: I) -> Result<ExposureCapture, SimulationError>
+    where
+        I: IntoIterator<Item = MemoryAccess>,
+    {
+        let mut hierarchy = Hierarchy::new(self.config.hierarchy.clone(), self.config.replacement);
+        // Check bits widen the sampled content weights, but the capture
+        // ignores weights entirely (replay resamples them at the analysis
+        // point's width), so the capture is ECC-independent even though
+        // the driving cache carries this simulator's check bits.
+        hierarchy.l2_mut().set_check_bits(self.check_bits);
+        let line_bits = self.config.hierarchy.l2.line_bits();
+        let ones_seed = hierarchy.l2().ones_seed();
+        let mut observer = CaptureObserver::new();
+
+        let mut iter = trace.into_iter();
+        for _ in 0..self.config.warmup_accesses {
+            let Some(a) = iter.next() else {
+                return Err(SimulationError::BadParameter(
+                    "trace shorter than warm-up budget",
+                ));
+            };
+            hierarchy.access(a, &mut ());
+        }
+        hierarchy.l2_mut().reset_stats();
+        for _ in 0..self.config.measure_accesses {
+            let Some(a) = iter.next() else {
+                return Err(SimulationError::BadParameter(
+                    "trace shorter than access budget",
+                ));
+            };
+            hierarchy.access(a, &mut observer);
+        }
+
+        Ok(ExposureCapture::from_parts(
+            observer.into_records(),
+            HierarchySnapshot::of(&hierarchy),
+            line_bits,
+            ones_seed,
+            self.config.hierarchy.clone(),
+            self.config.replacement,
+            self.config.warmup_accesses,
+            self.config.measure_accesses,
+        ))
+    }
+
+    /// Phase 2: evaluates a captured exposure stream at this simulator's
+    /// analysis point (ECC strength, MTJ parameters, technology node,
+    /// access rate) and produces the report.
+    ///
+    /// Each recorded event's line weight is resampled from its content
+    /// version key at *this* configuration's stored width, and the events
+    /// are scored in capture order — making the result bit-identical to a
+    /// direct [`run_single_pass`](Self::run_single_pass) of the same
+    /// trace at this configuration. Cost is O(events), independent of the
+    /// trace length.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimulationError::CaptureMismatch`] if the capture was
+    /// taken under a different behavioural configuration.
+    pub fn replay(&self, capture: &ExposureCapture) -> Result<Report, SimulationError> {
+        if *capture.hierarchy() != self.config.hierarchy {
+            return Err(SimulationError::CaptureMismatch(
+                "hierarchy geometry differs",
+            ));
+        }
+        if capture.replacement() != self.config.replacement {
+            return Err(SimulationError::CaptureMismatch(
+                "replacement policy differs",
+            ));
+        }
+        if capture.warmup_accesses() != self.config.warmup_accesses
+            || capture.measure_accesses() != self.config.measure_accesses
+        {
+            return Err(SimulationError::CaptureMismatch("access budgets differ"));
+        }
+
+        let stored_bits = capture.line_bits() + self.check_bits;
+        let model = AccumulationModel::new(self.p_rd, self.config.ecc.t());
+        let mut aggregator = ReplayAggregator::new(model, stored_bits as u32);
+        let seed = capture.ones_seed();
+        for record in capture.events() {
+            let ones = sample_ones(
+                seed,
+                record.key.tag,
+                record.key.set,
+                record.key.version,
+                stored_bits,
+            );
+            aggregator.record(record.kind, ones, record.unchecked_reads);
+        }
+
+        let duration_seconds = self.config.measure_accesses as f64 / self.config.access_rate_hz;
+        Ok(Report::assemble(
+            capture.snapshot(),
+            &aggregator,
+            self.energy_model,
+            self.readpath_model,
+            duration_seconds,
+            self.p_rd,
+        ))
+    }
+
+    /// The historical one-pass evaluation: drives the trace with a live
+    /// [`ReliabilityObserver`] scoring events as they happen.
+    ///
+    /// Kept as the reference implementation the capture/replay split is
+    /// property-tested against; [`run`](Self::run) produces bit-identical
+    /// reports at a fraction of the cost for multi-point sweeps.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimulationError::BadParameter`] if the trace ends before
+    /// the configured access budget.
+    pub fn run_single_pass<I>(&self, trace: I) -> Result<Report, SimulationError>
     where
         I: IntoIterator<Item = MemoryAccess>,
     {
@@ -264,9 +412,10 @@ impl Simulator {
         }
 
         let duration_seconds = self.config.measure_accesses as f64 / self.config.access_rate_hz;
+        let snapshot = HierarchySnapshot::of(&hierarchy);
         Ok(Report::assemble(
-            &hierarchy,
-            observer,
+            &snapshot,
+            &observer.into_aggregator(),
             self.energy_model,
             self.readpath_model,
             duration_seconds,
@@ -348,6 +497,72 @@ mod tests {
             "p = {}",
             sim.p_rd()
         );
+    }
+
+    fn failure_bits(r: &Report) -> [u64; 4] {
+        [
+            r.expected_failures(ProtectionScheme::Conventional)
+                .to_bits(),
+            r.expected_failures(ProtectionScheme::Reap).to_bits(),
+            r.expected_failures(ProtectionScheme::SerialTagFirst)
+                .to_bits(),
+            r.writeback_exposure().to_bits(),
+        ]
+    }
+
+    #[test]
+    fn run_matches_single_pass_bit_for_bit() {
+        let sim = Simulator::new(quick_config()).unwrap();
+        let two_phase = sim.run(SpecWorkload::Gcc.stream(5)).unwrap();
+        let single = sim.run_single_pass(SpecWorkload::Gcc.stream(5)).unwrap();
+        assert_eq!(failure_bits(&two_phase), failure_bits(&single));
+        assert_eq!(two_phase.l2_stats(), single.l2_stats());
+        assert_eq!(
+            two_phase.histogram().total_count(),
+            single.histogram().total_count()
+        );
+    }
+
+    #[test]
+    fn one_capture_replays_across_ecc_strengths() {
+        let capture = Simulator::new(quick_config())
+            .unwrap()
+            .capture(SpecWorkload::Namd.stream(3))
+            .unwrap();
+        for ecc in EccStrength::ALL {
+            let config = SimulationConfig {
+                ecc,
+                ..quick_config()
+            };
+            let sim = Simulator::new(config).unwrap();
+            let replayed = sim.replay(&capture).unwrap();
+            let direct = sim.run_single_pass(SpecWorkload::Namd.stream(3)).unwrap();
+            assert_eq!(
+                failure_bits(&replayed),
+                failure_bits(&direct),
+                "replay at {ecc} must match a direct run"
+            );
+        }
+    }
+
+    #[test]
+    fn replay_rejects_behavioural_mismatch() {
+        let capture = Simulator::new(quick_config())
+            .unwrap()
+            .capture(SpecWorkload::Namd.stream(3))
+            .unwrap();
+        let other = SimulationConfig {
+            replacement: Replacement::Fifo,
+            ..quick_config()
+        };
+        let err = Simulator::new(other).unwrap().replay(&capture).unwrap_err();
+        assert!(matches!(err, SimulationError::CaptureMismatch(_)));
+        let other = SimulationConfig {
+            measure_accesses: 10_000,
+            ..quick_config()
+        };
+        let err = Simulator::new(other).unwrap().replay(&capture).unwrap_err();
+        assert!(matches!(err, SimulationError::CaptureMismatch(_)));
     }
 
     #[test]

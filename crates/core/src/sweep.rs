@@ -7,8 +7,9 @@
 
 use crate::experiment::{Experiment, ExperimentError};
 use crate::report::Report;
+use crate::simulator::EccStrength;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::mpsc;
 
 /// Runs `experiments` on up to `parallelism` threads, returning results in
 /// the same order as the input.
@@ -47,37 +48,78 @@ pub fn run_parallel(
     if total == 0 {
         return Vec::new();
     }
-    let jobs: Vec<Mutex<Option<Experiment>>> =
-        experiments.into_iter().map(|e| Mutex::new(Some(e))).collect();
-    let results: Vec<Mutex<Option<Result<Report, ExperimentError>>>> =
-        (0..total).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
     let workers = parallelism.min(total);
+    let (sender, receiver) = mpsc::channel();
 
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| loop {
+            let sender = sender.clone();
+            let experiments = &experiments;
+            let next = &next;
+            scope.spawn(move || loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= total {
                     break;
                 }
-                let experiment = jobs[i]
-                    .lock()
-                    .expect("job mutex poisoned")
-                    .take()
-                    .expect("each job is claimed exactly once");
-                let result = experiment.run();
-                *results[i].lock().expect("result mutex poisoned") = Some(result);
+                let result = experiments[i].clone().run();
+                sender
+                    .send((i, result))
+                    .expect("receiver outlives the scope");
             });
         }
     });
+    drop(sender);
 
+    let mut results: Vec<Option<Result<Report, ExperimentError>>> =
+        (0..total).map(|_| None).collect();
+    for (i, result) in receiver {
+        results[i] = Some(result);
+    }
     results
         .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("result mutex poisoned")
-                .expect("every job ran to completion")
+        .map(|slot| slot.expect("every job ran to completion"))
+        .collect()
+}
+
+/// One capture, every ECC strength: runs the trace pass of `experiment`
+/// once and replays the captured exposure stream at each strength in
+/// [`EccStrength::ALL`], returning reports in that order.
+///
+/// Bit-identical to running each point from scratch, at roughly
+/// one-third of the trace-driving cost for the three strengths (and the
+/// savings grow linearly with the number of points).
+///
+/// # Errors
+///
+/// Returns [`ExperimentError`] when the configuration cannot be
+/// instantiated.
+///
+/// # Examples
+///
+/// ```
+/// use reap_core::sweep::replay_ecc_sweep;
+/// use reap_core::{Experiment, ProtectionScheme};
+/// use reap_trace::SpecWorkload;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let experiment = Experiment::paper_hierarchy()
+///     .workload(SpecWorkload::Hmmer)
+///     .accesses(20_000);
+/// let reports = replay_ecc_sweep(&experiment)?;
+/// assert_eq!(reports.len(), 3);
+/// # Ok(())
+/// # }
+/// ```
+pub fn replay_ecc_sweep(
+    experiment: &Experiment,
+) -> Result<Vec<(EccStrength, Report)>, ExperimentError> {
+    let capture = experiment.capture()?;
+    EccStrength::ALL
+        .into_iter()
+        .map(|ecc| {
+            let report = experiment.clone().ecc(ecc).replay(&capture)?;
+            Ok((ecc, report))
         })
         .collect()
 }
@@ -100,9 +142,17 @@ pub fn sweep_workloads(
     let workloads = reap_trace::SpecWorkload::ALL;
     let batch = workloads
         .into_iter()
-        .map(|w| Experiment::paper_hierarchy().workload(w).accesses(accesses).seed(seed))
+        .map(|w| {
+            Experiment::paper_hierarchy()
+                .workload(w)
+                .accesses(accesses)
+                .seed(seed)
+        })
         .collect();
-    workloads.into_iter().zip(run_parallel(batch, parallelism)).collect()
+    workloads
+        .into_iter()
+        .zip(run_parallel(batch, parallelism))
+        .collect()
 }
 
 #[cfg(test)]
@@ -114,12 +164,18 @@ mod tests {
     #[test]
     fn parallel_matches_serial_bit_for_bit() {
         let make = |w: SpecWorkload| {
-            Experiment::paper_hierarchy().workload(w).budgets(1_000, 15_000).seed(4)
+            Experiment::paper_hierarchy()
+                .workload(w)
+                .budgets(1_000, 15_000)
+                .seed(4)
         };
         let serial: Vec<f64> = [SpecWorkload::Gcc, SpecWorkload::Lbm, SpecWorkload::Namd]
             .into_iter()
             .map(|w| {
-                make(w).run().unwrap().expected_failures(ProtectionScheme::Conventional)
+                make(w)
+                    .run()
+                    .unwrap()
+                    .expected_failures(ProtectionScheme::Conventional)
             })
             .collect();
         let parallel = run_parallel(
@@ -131,7 +187,11 @@ mod tests {
         );
         for (s, p) in serial.iter().zip(parallel) {
             let p = p.unwrap().expected_failures(ProtectionScheme::Conventional);
-            assert_eq!(s.to_bits(), p.to_bits(), "scheduling must not affect results");
+            assert_eq!(
+                s.to_bits(),
+                p.to_bits(),
+                "scheduling must not affect results"
+            );
         }
     }
 
@@ -139,7 +199,12 @@ mod tests {
     fn results_keep_input_order() {
         let batch: Vec<Experiment> = [SpecWorkload::Mcf, SpecWorkload::Namd]
             .into_iter()
-            .map(|w| Experiment::paper_hierarchy().workload(w).budgets(1_000, 20_000).seed(1))
+            .map(|w| {
+                Experiment::paper_hierarchy()
+                    .workload(w)
+                    .budgets(1_000, 20_000)
+                    .seed(1)
+            })
             .collect();
         let out = run_parallel(batch, 2);
         let gain = |r: &Result<Report, ExperimentError>| {
@@ -156,6 +221,26 @@ mod tests {
         let out = run_parallel(vec![ok, bad], 2);
         assert!(out[0].is_ok());
         assert!(out[1].is_err());
+    }
+
+    #[test]
+    fn ecc_sweep_matches_direct_runs_bit_for_bit() {
+        let experiment = Experiment::paper_hierarchy()
+            .workload(SpecWorkload::Namd)
+            .budgets(1_000, 15_000)
+            .seed(7);
+        let swept = replay_ecc_sweep(&experiment).unwrap();
+        assert_eq!(swept.len(), EccStrength::ALL.len());
+        for (ecc, report) in swept {
+            let direct = experiment.clone().ecc(ecc).run().unwrap();
+            for scheme in ProtectionScheme::ALL {
+                assert_eq!(
+                    report.expected_failures(scheme).to_bits(),
+                    direct.expected_failures(scheme).to_bits(),
+                    "replayed {ecc} must match a from-scratch run"
+                );
+            }
+        }
     }
 
     #[test]

@@ -2,10 +2,11 @@
 //! for arbitrary event streams, not just the built-in workloads.
 
 use proptest::prelude::*;
-use reap_cache::AccessObserver;
+use reap_cache::{AccessObserver, Replacement};
 use reap_core::analysis::NumericExample;
-use reap_core::ReliabilityObserver;
+use reap_core::{EccStrength, Experiment, ProtectionScheme, ReliabilityObserver, Simulator};
 use reap_reliability::AccumulationModel;
+use reap_trace::SpecWorkload;
 
 proptest! {
     /// For any sequence of demand events, the expected-failure ordering
@@ -43,6 +44,65 @@ proptest! {
             - obs.conventional().expected_failures())
         .abs();
         prop_assert!(diff <= 1e-12 * obs.conventional().expected_failures().max(1e-300));
+    }
+
+    /// The tentpole equivalence: replaying a capture at any analysis
+    /// point is bit-identical to the historical single-pass run at that
+    /// point — failure sums, writeback exposure, every histogram bin and
+    /// all cache counters — for arbitrary workloads, seeds, replacement
+    /// policies, and regardless of which ECC strength the capture itself
+    /// was taken under.
+    #[test]
+    fn replay_is_bit_identical_to_single_pass(
+        workload_index in 0usize..21,
+        seed in any::<u64>(),
+        capture_ecc in 0usize..3,
+        replacement in prop_oneof![
+            Just(Replacement::Lru),
+            Just(Replacement::TreePlru),
+            Just(Replacement::Fifo),
+            Just(Replacement::Srrip),
+        ],
+    ) {
+        let workload = SpecWorkload::ALL[workload_index];
+        let base = Experiment::paper_hierarchy()
+            .workload(workload)
+            .replacement(replacement)
+            .budgets(500, 4_000)
+            .seed(seed);
+        // One capture, taken at an arbitrary ECC strength…
+        let capture = base
+            .clone()
+            .ecc(EccStrength::ALL[capture_ecc])
+            .capture()
+            .expect("capture");
+        // …replayed at every strength against the reference single pass.
+        for ecc in EccStrength::ALL {
+            let point = base.clone().ecc(ecc);
+            let direct = Simulator::new(point.config().clone())
+                .expect("simulator")
+                .run_single_pass(workload.stream(seed))
+                .expect("single pass");
+            let replayed = point.replay(&capture).expect("replay");
+            for scheme in ProtectionScheme::ALL {
+                prop_assert_eq!(
+                    replayed.expected_failures(scheme).to_bits(),
+                    direct.expected_failures(scheme).to_bits(),
+                    "{} failures diverged at {} (capture taken at {})",
+                    scheme, ecc, EccStrength::ALL[capture_ecc]
+                );
+            }
+            prop_assert_eq!(
+                replayed.writeback_exposure().to_bits(),
+                direct.writeback_exposure().to_bits()
+            );
+            prop_assert_eq!(replayed.histogram(), direct.histogram());
+            prop_assert_eq!(replayed.l2_stats(), direct.l2_stats());
+            prop_assert_eq!(replayed.l1i_stats(), direct.l1i_stats());
+            prop_assert_eq!(replayed.l1d_stats(), direct.l1d_stats());
+            prop_assert_eq!(replayed.memory_reads(), direct.memory_reads());
+            prop_assert_eq!(replayed.memory_writes(), direct.memory_writes());
+        }
     }
 
     /// The closed-form numeric example scales correctly in each parameter.

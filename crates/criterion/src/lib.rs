@@ -1,0 +1,294 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates-registry access, so this local
+//! crate supplies the slice of the criterion 0.5 API the workspace's
+//! benches use: [`Criterion::benchmark_group`], [`BenchmarkGroup`]
+//! (`throughput`, `sample_size`, `bench_with_input`, `bench_function`,
+//! `finish`), [`Bencher::iter`], [`BenchmarkId::from_parameter`],
+//! [`Throughput`], and the [`criterion_group!`]/[`criterion_main!`]
+//! macros.
+//!
+//! Statistics are intentionally simple: each benchmark runs a short
+//! warm-up, then `sample_size` timed samples, and reports the median
+//! per-iteration time (plus derived throughput). That is stable enough
+//! for the before/after comparisons this repository makes; there is no
+//! HTML report, outlier analysis, or regression baseline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark, used to derive elem/s or MB/s.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The benchmark processes this many logical elements per iteration.
+    Elements(u64),
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for one parameterised benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from the parameter value alone (`group/param`).
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+
+    /// Builds an id from a function name and a parameter.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+/// Hands the measurement closure to the timing loop.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+    sample_size: usize,
+}
+
+impl Bencher {
+    fn new(sample_size: usize) -> Self {
+        Bencher {
+            samples: Vec::new(),
+            iters_per_sample: 1,
+            sample_size,
+        }
+    }
+
+    /// Times `routine`, first calibrating how many iterations fit in a
+    /// sample, then recording `sample_size` samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: find an iteration count that takes ≥ ~1 ms so that
+        // timer resolution noise stays well under 1 %.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(1) || iters >= 1 << 20 {
+                break;
+            }
+            iters *= 4;
+        }
+        self.iters_per_sample = iters;
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    /// Median nanoseconds per single iteration.
+    fn median_ns_per_iter(&self) -> f64 {
+        if self.samples.is_empty() {
+            return f64::NAN;
+        }
+        let mut ns: Vec<f64> = self
+            .samples
+            .iter()
+            .map(|d| d.as_nanos() as f64 / self.iters_per_sample as f64)
+            .collect();
+        ns.sort_by(|a, b| a.total_cmp(b));
+        let mid = ns.len() / 2;
+        if ns.len() % 2 == 1 {
+            ns[mid]
+        } else {
+            (ns[mid - 1] + ns[mid]) / 2.0
+        }
+    }
+}
+
+fn human_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn report(full_id: &str, ns: f64, throughput: Option<Throughput>) {
+    let mut line = format!("{full_id:<44} time: [{}]", human_time(ns));
+    if let Some(t) = throughput {
+        let per_second = match t {
+            Throughput::Elements(n) => format!("{:.3} Kelem/s", n as f64 / ns * 1e9 / 1e3),
+            Throughput::Bytes(n) => format!("{:.3} MiB/s", n as f64 / ns * 1e9 / (1024.0 * 1024.0)),
+        };
+        line.push_str(&format!(" thrpt: [{per_second}]"));
+    }
+    println!("{line}");
+}
+
+/// A set of related benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmarks `routine` against `input` under `id`.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher::new(self.sample_size);
+        routine(&mut bencher, input);
+        report(
+            &format!("{}/{}", self.name, id.id),
+            bencher.median_ns_per_iter(),
+            self.throughput,
+        );
+        self
+    }
+
+    /// Benchmarks `routine` under a plain string id.
+    pub fn bench_function<F>(&mut self, id: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new(self.sample_size);
+        routine(&mut bencher);
+        report(
+            &format!("{}/{}", self.name, id),
+            bencher.median_ns_per_iter(),
+            self.throughput,
+        );
+        self
+    }
+
+    /// Ends the group (separator line, mirroring upstream's summary).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver handed to every `criterion_group!` target.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup {
+            name: name.to_string(),
+            throughput: None,
+            sample_size,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks a single function with default settings.
+    pub fn bench_function<F>(&mut self, id: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new(self.default_sample_size);
+        routine(&mut bencher);
+        report(id, bencher.median_ns_per_iter(), None);
+        self
+    }
+}
+
+/// Declares a benchmark group function callable from [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(criterion: &mut $crate::Criterion) {
+            $($target(criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $($group(&mut criterion);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_produces_finite_positive_medians() {
+        let mut b = Bencher::new(5);
+        b.iter(|| std::hint::black_box(3u64).wrapping_mul(7));
+        let ns = b.median_ns_per_iter();
+        assert!(ns.is_finite() && ns > 0.0, "median = {ns}");
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("demo");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(10));
+        group.bench_with_input(BenchmarkId::from_parameter(4), &4u64, |b, &x| {
+            b.iter(|| x.wrapping_mul(3))
+        });
+        group.bench_function("plain", |b| b.iter(|| 1u8 + 1));
+        group.finish();
+        c.bench_function("top_level", |b| b.iter(|| ()));
+    }
+
+    #[test]
+    fn human_time_scales() {
+        assert!(human_time(12.0).ends_with("ns"));
+        assert!(human_time(12_000.0).ends_with("µs"));
+        assert!(human_time(12_000_000.0).ends_with("ms"));
+        assert!(human_time(12_000_000_000.0).ends_with(" s"));
+    }
+}

@@ -7,9 +7,13 @@ use reap_nvarray::{estimate, ArraySpec, MemTech, TechnologyNode};
 fn spec_strategy() -> impl Strategy<Value = ArraySpec> {
     (10usize..=22, 0usize..=4, 5usize..=9, 0usize..=64).prop_map(
         |(cap_pow, ways_pow, block_pow, check)| {
-            ArraySpec::new(1 << cap_pow.max(ways_pow + block_pow + 1), 1 << block_pow, 1 << ways_pow)
-                .expect("power-of-two geometry always divides")
-                .with_check_bits(check)
+            ArraySpec::new(
+                1 << cap_pow.max(ways_pow + block_pow + 1),
+                1 << block_pow,
+                1 << ways_pow,
+            )
+            .expect("power-of-two geometry always divides")
+            .with_check_bits(check)
         },
     )
 }

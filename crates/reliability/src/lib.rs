@@ -10,7 +10,10 @@
 //! * [`histogram`] — the log-binned concealed-read histograms of Fig. 3,
 //!   tracking both event frequency and failure contribution per bin;
 //! * [`montecarlo`] — bit-level fault injection against real ECC codecs
-//!   (from [`reap_ecc`]) that validates the analytical model end to end.
+//!   (from [`reap_ecc`]) that validates the analytical model end to end;
+//! * [`replay`] — the scoring engine of the two-phase capture/replay
+//!   simulation: evaluates a captured exposure stream under any ECC/MTJ
+//!   analysis point, bit-identical to a live single-pass observer.
 //!
 //! # Examples
 //!
@@ -38,8 +41,10 @@ pub mod histogram;
 pub mod model;
 pub mod montecarlo;
 pub mod mttf;
+pub mod replay;
 
 pub use histogram::LogHistogram;
 pub use model::{uncorrectable_probability, AccumulationModel};
 pub use montecarlo::{McLineResult, MonteCarloLine};
 pub use mttf::{FailureAggregator, Mttf};
+pub use replay::{ExposureKind, ReplayAggregator};

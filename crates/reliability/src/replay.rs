@@ -1,0 +1,238 @@
+//! Analysis-point evaluation of a captured exposure stream.
+//!
+//! The two-phase simulation splits a run into *capture* (drive the trace
+//! through the cache once, recording each exposure event's accumulated
+//! read count `N` and content-version key) and *replay* (evaluate the
+//! recorded stream under any ECC strength / MTJ operating point). This
+//! module is the replay half's scoring engine: [`ReplayAggregator`]
+//! consumes `(kind, line weight, N)` records in capture order and
+//! accumulates the same Eq. (3)/(6) failure sums a live
+//! `ReliabilityObserver` would, bit for bit — the live observer *is* a
+//! thin wrapper over this type, so there is exactly one copy of the math.
+
+use crate::histogram::LogHistogram;
+use crate::model::AccumulationModel;
+use crate::mttf::FailureAggregator;
+
+/// The three exposure-event classes that reach the reliability laws.
+///
+/// The capture phase filters cache events down to these: demand checks
+/// are always scored; scrub checks matter only for dirty lines (a clean
+/// line failing a scrub is invalidated and refetched); evictions matter
+/// only for dirty lines with accumulated unchecked reads (the write-back
+/// path consumes the possibly-corrupt content). Events outside these
+/// classes contribute exactly `0.0` to every sum, so dropping them at
+/// capture time preserves bit-identical results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExposureKind {
+    /// A demand read hit: the conventional scheme's one ECC check, scored
+    /// under all three laws and binned into the histogram.
+    Demand,
+    /// A scrub sweep checked a dirty line; scored under the conventional
+    /// law only (REAP never accumulates, serial never conceals).
+    DirtyScrub,
+    /// A dirty line with unchecked reads left the cache; its accumulated
+    /// failure probability is charged to the write-back exposure metric.
+    DirtyEviction,
+}
+
+/// Accumulates Eq. (3)/(6) failure probabilities from exposure records.
+///
+/// One instance scores all schemes simultaneously:
+///
+/// * **conventional** — `P_unc(N·n, p, t)` (Eq. (3)): the `N` reads since
+///   the last check accumulate into one big binomial experiment;
+/// * **REAP** — `1 − (1 − P_unc(n, p, t))^N` (Eq. (6)): each of the `N`
+///   reads was individually checked and corrected;
+/// * **serial / restore** — `P_unc(n, p, t)`: each demand read faces
+///   exactly one read's disturbance.
+///
+/// Per-read probabilities are looked up from a table over the line weight
+/// `n` (0 ..= stored bits), making the per-record cost O(1).
+///
+/// # Examples
+///
+/// ```
+/// use reap_reliability::{AccumulationModel, ExposureKind, ReplayAggregator};
+///
+/// let mut agg = ReplayAggregator::new(AccumulationModel::sec(1e-8), 576);
+/// agg.record(ExposureKind::Demand, 288, 100);
+/// assert!(agg.conventional().expected_failures() > agg.reap().expected_failures());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReplayAggregator {
+    model: AccumulationModel,
+    /// `fail_single(n)` for n in 0..=max_ones.
+    single_read_table: Vec<f64>,
+    conventional: FailureAggregator,
+    reap: FailureAggregator,
+    serial: FailureAggregator,
+    histogram: LogHistogram,
+    /// Failure probability that left the cache unchecked in dirty victims
+    /// (consumed by the write-back path) — the paper ignores this; we
+    /// track it as an extension metric.
+    writeback_exposure: f64,
+}
+
+impl ReplayAggregator {
+    /// Creates an aggregator for lines of at most `max_ones` stored `1`s
+    /// (i.e. the stored line width in bits).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_ones == 0`.
+    pub fn new(model: AccumulationModel, max_ones: u32) -> Self {
+        assert!(max_ones > 0, "line width must be positive");
+        let single_read_table = (0..=max_ones).map(|n| model.fail_single(n)).collect();
+        Self {
+            model,
+            single_read_table,
+            conventional: FailureAggregator::new(),
+            reap: FailureAggregator::new(),
+            serial: FailureAggregator::new(),
+            histogram: LogHistogram::new(),
+            writeback_exposure: 0.0,
+        }
+    }
+
+    /// Scores one exposure record. Records must be fed in capture order:
+    /// the running sums are floating-point, so ordering is part of the
+    /// bit-identity contract with a single-pass run.
+    pub fn record(&mut self, kind: ExposureKind, line_ones: u32, unchecked_reads: u64) {
+        match kind {
+            ExposureKind::Demand => {
+                let p_conv = self.model.fail_conventional(line_ones, unchecked_reads);
+                self.conventional.record(p_conv);
+                // Eq. (6): 1 - (1 - u)^N from the table entry, without
+                // recomputing the binomial tail.
+                let u = self.single(line_ones);
+                let p_reap = if u == 0.0 {
+                    0.0
+                } else {
+                    -(unchecked_reads as f64 * (-u).ln_1p()).exp_m1()
+                };
+                self.reap.record(p_reap);
+                self.serial.record(u);
+                self.histogram.record(unchecked_reads, p_conv);
+            }
+            ExposureKind::DirtyScrub => {
+                self.conventional
+                    .record(self.model.fail_conventional(line_ones, unchecked_reads));
+            }
+            ExposureKind::DirtyEviction => {
+                self.writeback_exposure += self.model.fail_conventional(line_ones, unchecked_reads);
+            }
+        }
+    }
+
+    /// The accumulation model in force.
+    pub fn model(&self) -> &AccumulationModel {
+        &self.model
+    }
+
+    /// Expected failures under the conventional scheme.
+    pub fn conventional(&self) -> &FailureAggregator {
+        &self.conventional
+    }
+
+    /// Expected failures under REAP.
+    pub fn reap(&self) -> &FailureAggregator {
+        &self.reap
+    }
+
+    /// Expected failures under the serial tag-first scheme and the
+    /// disruptive-restore baseline (one read's disturbance per demand).
+    pub fn serial(&self) -> &FailureAggregator {
+        &self.serial
+    }
+
+    /// The concealed-read histogram with per-bin conventional failure
+    /// contribution (Fig. 3 data).
+    pub fn histogram(&self) -> &LogHistogram {
+        &self.histogram
+    }
+
+    /// Unchecked failure probability carried out by dirty evictions.
+    pub fn writeback_exposure(&self) -> f64 {
+        self.writeback_exposure
+    }
+
+    fn single(&self, n_ones: u32) -> f64 {
+        *self
+            .single_read_table
+            .get(n_ones as usize)
+            .unwrap_or_else(|| self.single_read_table.last().expect("non-empty table"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn aggregator() -> ReplayAggregator {
+        ReplayAggregator::new(AccumulationModel::sec(1e-6), 576)
+    }
+
+    #[test]
+    fn table_matches_direct_model() {
+        let agg = aggregator();
+        for n in [0u32, 1, 100, 288, 576] {
+            assert_eq!(agg.single(n), agg.model().fail_single(n), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn demand_scores_all_three_schemes() {
+        let mut agg = aggregator();
+        agg.record(ExposureKind::Demand, 288, 1000);
+        let conv = agg.conventional().expected_failures();
+        let reap = agg.reap().expected_failures();
+        let gain = conv / reap;
+        assert!(gain > 500.0 && gain <= 1000.5, "gain = {gain}");
+        assert_eq!(agg.serial().events(), 1);
+        assert_eq!(agg.histogram().total_count(), 1);
+    }
+
+    #[test]
+    fn reap_matches_eq_six_closed_form() {
+        let mut agg = aggregator();
+        agg.record(ExposureKind::Demand, 300, 77);
+        let expected = agg.model().fail_reap(300, 77);
+        assert!(
+            (agg.reap().expected_failures() / expected - 1.0).abs() < 1e-12,
+            "aggregator must reproduce Eq. (6)"
+        );
+    }
+
+    #[test]
+    fn dirty_scrub_feeds_conventional_only() {
+        let mut agg = aggregator();
+        agg.record(ExposureKind::DirtyScrub, 288, 40);
+        assert_eq!(
+            agg.conventional().expected_failures(),
+            agg.model().fail_conventional(288, 40)
+        );
+        assert_eq!(agg.reap().events(), 0);
+        assert_eq!(agg.histogram().total_count(), 0);
+    }
+
+    #[test]
+    fn dirty_eviction_feeds_writeback_exposure_only() {
+        let mut agg = aggregator();
+        agg.record(ExposureKind::DirtyEviction, 288, 500);
+        assert!(agg.writeback_exposure() > 0.0);
+        assert_eq!(agg.conventional().events(), 0);
+    }
+
+    #[test]
+    fn out_of_range_ones_clamp_to_widest_entry() {
+        let agg = aggregator();
+        assert_eq!(agg.single(10_000), agg.single(576));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_width_rejected() {
+        let _ = ReplayAggregator::new(AccumulationModel::sec(1e-8), 0);
+    }
+}

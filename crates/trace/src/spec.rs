@@ -98,33 +98,69 @@ impl SpecWorkload {
                 read_fraction: 0.78,
                 instr_weight: 2.0,
                 code_lines: 3000,
-                hot: Some(HotSet { lines: 8000, exponent: 1.1, weight: 4.0 }),
-                stream: Some(Stream { lines: 4000, stride: 1, weight: 2.0 }),
+                hot: Some(HotSet {
+                    lines: 8000,
+                    exponent: 1.1,
+                    weight: 4.0,
+                }),
+                stream: Some(Stream {
+                    lines: 4000,
+                    stride: 1,
+                    weight: 2.0,
+                }),
                 chase: None,
                 stencil: None,
-                warm: Some(Warm { lines: 2500, weight: 0.015 }),
+                warm: Some(Warm {
+                    lines: 2500,
+                    weight: 0.015,
+                }),
             },
             Bzip2 => WorkloadParams {
                 name: "bzip2",
                 read_fraction: 0.72,
                 instr_weight: 1.0,
                 code_lines: 600,
-                hot: Some(HotSet { lines: 6000, exponent: 1.05, weight: 3.0 }),
-                stream: Some(Stream { lines: 7000, stride: 1, weight: 3.0 }),
+                hot: Some(HotSet {
+                    lines: 6000,
+                    exponent: 1.05,
+                    weight: 3.0,
+                }),
+                stream: Some(Stream {
+                    lines: 7000,
+                    stride: 1,
+                    weight: 3.0,
+                }),
                 chase: None,
                 stencil: None,
-                warm: Some(Warm { lines: 2000, weight: 0.012 }),
+                warm: Some(Warm {
+                    lines: 2000,
+                    weight: 0.012,
+                }),
             },
             Gcc => WorkloadParams {
                 name: "gcc",
                 read_fraction: 0.75,
                 instr_weight: 2.0,
                 code_lines: 4000,
-                hot: Some(HotSet { lines: 7000, exponent: 1.1, weight: 4.0 }),
-                stream: Some(Stream { lines: 3000, stride: 1, weight: 1.5 }),
-                chase: Some(Chase { lines: 5000, weight: 1.0 }),
+                hot: Some(HotSet {
+                    lines: 7000,
+                    exponent: 1.1,
+                    weight: 4.0,
+                }),
+                stream: Some(Stream {
+                    lines: 3000,
+                    stride: 1,
+                    weight: 1.5,
+                }),
+                chase: Some(Chase {
+                    lines: 5000,
+                    weight: 1.0,
+                }),
                 stencil: None,
-                warm: Some(Warm { lines: 2000, weight: 0.006 }),
+                warm: Some(Warm {
+                    lines: 2000,
+                    weight: 0.006,
+                }),
             },
             // Giant pointer chase, virtually no L2 reuse: the Fig. 5 floor.
             Mcf => WorkloadParams {
@@ -132,9 +168,16 @@ impl SpecWorkload {
                 read_fraction: 0.7,
                 instr_weight: 0.8,
                 code_lines: 400,
-                hot: Some(HotSet { lines: 2000, exponent: 1.05, weight: 1.0 }),
+                hot: Some(HotSet {
+                    lines: 2000,
+                    exponent: 1.05,
+                    weight: 1.0,
+                }),
                 stream: None,
-                chase: Some(Chase { lines: 300000, weight: 10.0 }),
+                chase: Some(Chase {
+                    lines: 300000,
+                    weight: 10.0,
+                }),
                 stencil: None,
                 warm: None,
             },
@@ -143,11 +186,22 @@ impl SpecWorkload {
                 read_fraction: 0.62,
                 instr_weight: 0.8,
                 code_lines: 900,
-                hot: Some(HotSet { lines: 3500, exponent: 0.6, weight: 2.0 }),
-                stream: Some(Stream { lines: 150000, stride: 1, weight: 4.0 }),
+                hot: Some(HotSet {
+                    lines: 3500,
+                    exponent: 0.6,
+                    weight: 2.0,
+                }),
+                stream: Some(Stream {
+                    lines: 150000,
+                    stride: 1,
+                    weight: 4.0,
+                }),
                 chase: None,
                 stencil: None,
-                warm: Some(Warm { lines: 1000, weight: 0.004 }),
+                warm: Some(Warm {
+                    lines: 1000,
+                    weight: 0.004,
+                }),
             },
             // Cyclic stream larger than L1 but resident in L2: every pass hits
             // the L2, hammering every set; the warm lines in those sets then
@@ -159,21 +213,38 @@ impl SpecWorkload {
                 instr_weight: 1.0,
                 code_lines: 700,
                 hot: None,
-                stream: Some(Stream { lines: 11000, stride: 1, weight: 9.0 }),
+                stream: Some(Stream {
+                    lines: 11000,
+                    stride: 1,
+                    weight: 9.0,
+                }),
                 chase: None,
                 stencil: None,
-                warm: Some(Warm { lines: 3000, weight: 0.003 }),
+                warm: Some(Warm {
+                    lines: 3000,
+                    weight: 0.003,
+                }),
             },
             Gobmk => WorkloadParams {
                 name: "gobmk",
                 read_fraction: 0.74,
                 instr_weight: 2.0,
                 code_lines: 2500,
-                hot: Some(HotSet { lines: 7000, exponent: 1.1, weight: 4.0 }),
+                hot: Some(HotSet {
+                    lines: 7000,
+                    exponent: 1.1,
+                    weight: 4.0,
+                }),
                 stream: None,
-                chase: Some(Chase { lines: 6000, weight: 1.0 }),
+                chase: Some(Chase {
+                    lines: 6000,
+                    weight: 1.0,
+                }),
                 stencil: None,
-                warm: Some(Warm { lines: 2000, weight: 0.008 }),
+                warm: Some(Warm {
+                    lines: 2000,
+                    weight: 0.008,
+                }),
             },
             DealII => WorkloadParams {
                 name: "dealII",
@@ -181,32 +252,61 @@ impl SpecWorkload {
                 instr_weight: 1.2,
                 code_lines: 1500,
                 hot: None,
-                stream: Some(Stream { lines: 12000, stride: 1, weight: 9.0 }),
+                stream: Some(Stream {
+                    lines: 12000,
+                    stride: 1,
+                    weight: 9.0,
+                }),
                 chase: None,
                 stencil: None,
-                warm: Some(Warm { lines: 2500, weight: 0.003 }),
+                warm: Some(Warm {
+                    lines: 2500,
+                    weight: 0.003,
+                }),
             },
             Soplex => WorkloadParams {
                 name: "soplex",
                 read_fraction: 0.76,
                 instr_weight: 1.0,
                 code_lines: 1200,
-                hot: Some(HotSet { lines: 6000, exponent: 1.15, weight: 3.0 }),
-                stream: Some(Stream { lines: 6000, stride: 1, weight: 2.0 }),
+                hot: Some(HotSet {
+                    lines: 6000,
+                    exponent: 1.15,
+                    weight: 3.0,
+                }),
+                stream: Some(Stream {
+                    lines: 6000,
+                    stride: 1,
+                    weight: 2.0,
+                }),
                 chase: None,
                 stencil: None,
-                warm: Some(Warm { lines: 2000, weight: 0.012 }),
+                warm: Some(Warm {
+                    lines: 2000,
+                    weight: 0.012,
+                }),
             },
             Povray => WorkloadParams {
                 name: "povray",
                 read_fraction: 0.84,
                 instr_weight: 1.5,
                 code_lines: 1800,
-                hot: Some(HotSet { lines: 3000, exponent: 1.3, weight: 1.0 }),
-                stream: Some(Stream { lines: 8000, stride: 1, weight: 7.0 }),
+                hot: Some(HotSet {
+                    lines: 3000,
+                    exponent: 1.3,
+                    weight: 1.0,
+                }),
+                stream: Some(Stream {
+                    lines: 8000,
+                    stride: 1,
+                    weight: 7.0,
+                }),
                 chase: None,
                 stencil: None,
-                warm: Some(Warm { lines: 2200, weight: 0.006 }),
+                warm: Some(Warm {
+                    lines: 2200,
+                    weight: 0.006,
+                }),
             },
             Calculix => WorkloadParams {
                 name: "calculix",
@@ -214,54 +314,114 @@ impl SpecWorkload {
                 instr_weight: 1.0,
                 code_lines: 900,
                 hot: None,
-                stream: Some(Stream { lines: 9000, stride: 1, weight: 7.0 }),
+                stream: Some(Stream {
+                    lines: 9000,
+                    stride: 1,
+                    weight: 7.0,
+                }),
                 chase: None,
-                stencil: Some(Stencil { rows: 60, cols: 50, writes: true, weight: 1.0 }),
-                warm: Some(Warm { lines: 2400, weight: 0.004 }),
+                stencil: Some(Stencil {
+                    rows: 60,
+                    cols: 50,
+                    writes: true,
+                    weight: 1.0,
+                }),
+                warm: Some(Warm {
+                    lines: 2400,
+                    weight: 0.004,
+                }),
             },
             Hmmer => WorkloadParams {
                 name: "hmmer",
                 read_fraction: 0.77,
                 instr_weight: 0.9,
                 code_lines: 500,
-                hot: Some(HotSet { lines: 4000, exponent: 1.25, weight: 5.0 }),
-                stream: Some(Stream { lines: 8000, stride: 1, weight: 2.0 }),
+                hot: Some(HotSet {
+                    lines: 4000,
+                    exponent: 1.25,
+                    weight: 5.0,
+                }),
+                stream: Some(Stream {
+                    lines: 8000,
+                    stride: 1,
+                    weight: 2.0,
+                }),
                 chase: None,
                 stencil: None,
-                warm: Some(Warm { lines: 2200, weight: 0.012 }),
+                warm: Some(Warm {
+                    lines: 2200,
+                    weight: 0.012,
+                }),
             },
             Sjeng => WorkloadParams {
                 name: "sjeng",
                 read_fraction: 0.73,
                 instr_weight: 1.5,
                 code_lines: 1000,
-                hot: Some(HotSet { lines: 7000, exponent: 1.15, weight: 4.0 }),
+                hot: Some(HotSet {
+                    lines: 7000,
+                    exponent: 1.15,
+                    weight: 4.0,
+                }),
                 stream: None,
-                chase: Some(Chase { lines: 5000, weight: 1.0 }),
+                chase: Some(Chase {
+                    lines: 5000,
+                    weight: 1.0,
+                }),
                 stencil: None,
-                warm: Some(Warm { lines: 2000, weight: 0.007 }),
+                warm: Some(Warm {
+                    lines: 2000,
+                    weight: 0.007,
+                }),
             },
             GemsFdtd => WorkloadParams {
                 name: "GemsFDTD",
                 read_fraction: 0.68,
                 instr_weight: 0.7,
                 code_lines: 1000,
-                hot: Some(HotSet { lines: 3000, exponent: 0.5, weight: 1.5 }),
-                stream: Some(Stream { lines: 100000, stride: 1, weight: 5.0 }),
+                hot: Some(HotSet {
+                    lines: 3000,
+                    exponent: 0.5,
+                    weight: 1.5,
+                }),
+                stream: Some(Stream {
+                    lines: 100000,
+                    stride: 1,
+                    weight: 5.0,
+                }),
                 chase: None,
-                stencil: Some(Stencil { rows: 400, cols: 200, writes: true, weight: 3.0 }),
-                warm: Some(Warm { lines: 1200, weight: 0.004 }),
+                stencil: Some(Stencil {
+                    rows: 400,
+                    cols: 200,
+                    writes: true,
+                    weight: 3.0,
+                }),
+                warm: Some(Warm {
+                    lines: 1200,
+                    weight: 0.004,
+                }),
             },
             Libquantum => WorkloadParams {
                 name: "libquantum",
                 read_fraction: 0.65,
                 instr_weight: 0.5,
                 code_lines: 1200,
-                hot: Some(HotSet { lines: 2500, exponent: 0.5, weight: 1.2 }),
-                stream: Some(Stream { lines: 200000, stride: 1, weight: 8.0 }),
+                hot: Some(HotSet {
+                    lines: 2500,
+                    exponent: 0.5,
+                    weight: 1.2,
+                }),
+                stream: Some(Stream {
+                    lines: 200000,
+                    stride: 1,
+                    weight: 8.0,
+                }),
                 chase: None,
                 stencil: None,
-                warm: Some(Warm { lines: 800, weight: 0.003 }),
+                warm: Some(Warm {
+                    lines: 800,
+                    weight: 0.003,
+                }),
             },
             // Cyclic stream larger than L1 but resident in L2: every pass hits
             // the L2, hammering every set; the warm lines in those sets then
@@ -273,54 +433,107 @@ impl SpecWorkload {
                 instr_weight: 1.2,
                 code_lines: 1200,
                 hot: None,
-                stream: Some(Stream { lines: 10500, stride: 1, weight: 9.0 }),
+                stream: Some(Stream {
+                    lines: 10500,
+                    stride: 1,
+                    weight: 9.0,
+                }),
                 chase: None,
                 stencil: None,
-                warm: Some(Warm { lines: 3500, weight: 0.0025 }),
+                warm: Some(Warm {
+                    lines: 3500,
+                    weight: 0.0025,
+                }),
             },
             Lbm => WorkloadParams {
                 name: "lbm",
                 read_fraction: 0.55,
                 instr_weight: 0.4,
                 code_lines: 800,
-                hot: Some(HotSet { lines: 2500, exponent: 0.5, weight: 1.2 }),
-                stream: Some(Stream { lines: 300000, stride: 1, weight: 8.0 }),
+                hot: Some(HotSet {
+                    lines: 2500,
+                    exponent: 0.5,
+                    weight: 1.2,
+                }),
+                stream: Some(Stream {
+                    lines: 300000,
+                    stride: 1,
+                    weight: 8.0,
+                }),
                 chase: None,
-                stencil: Some(Stencil { rows: 300, cols: 150, writes: true, weight: 2.0 }),
-                warm: Some(Warm { lines: 700, weight: 0.003 }),
+                stencil: Some(Stencil {
+                    rows: 300,
+                    cols: 150,
+                    writes: true,
+                    weight: 2.0,
+                }),
+                warm: Some(Warm {
+                    lines: 700,
+                    weight: 0.003,
+                }),
             },
             Omnetpp => WorkloadParams {
                 name: "omnetpp",
                 read_fraction: 0.72,
                 instr_weight: 1.2,
                 code_lines: 2000,
-                hot: Some(HotSet { lines: 5000, exponent: 0.7, weight: 2.5 }),
+                hot: Some(HotSet {
+                    lines: 5000,
+                    exponent: 0.7,
+                    weight: 2.5,
+                }),
                 stream: None,
-                chase: Some(Chase { lines: 100000, weight: 4.0 }),
+                chase: Some(Chase {
+                    lines: 100000,
+                    weight: 4.0,
+                }),
                 stencil: None,
-                warm: Some(Warm { lines: 1200, weight: 0.004 }),
+                warm: Some(Warm {
+                    lines: 1200,
+                    weight: 0.004,
+                }),
             },
             Astar => WorkloadParams {
                 name: "astar",
                 read_fraction: 0.74,
                 instr_weight: 1.0,
                 code_lines: 700,
-                hot: Some(HotSet { lines: 4500, exponent: 0.7, weight: 2.5 }),
+                hot: Some(HotSet {
+                    lines: 4500,
+                    exponent: 0.7,
+                    weight: 2.5,
+                }),
                 stream: None,
-                chase: Some(Chase { lines: 60000, weight: 3.0 }),
+                chase: Some(Chase {
+                    lines: 60000,
+                    weight: 3.0,
+                }),
                 stencil: None,
-                warm: Some(Warm { lines: 1200, weight: 0.004 }),
+                warm: Some(Warm {
+                    lines: 1200,
+                    weight: 0.004,
+                }),
             },
             Xalancbmk => WorkloadParams {
                 name: "xalancbmk",
                 read_fraction: 0.58,
                 instr_weight: 1.5,
                 code_lines: 3500,
-                hot: Some(HotSet { lines: 5000, exponent: 0.7, weight: 2.5 }),
+                hot: Some(HotSet {
+                    lines: 5000,
+                    exponent: 0.7,
+                    weight: 2.5,
+                }),
                 stream: None,
-                chase: Some(Chase { lines: 50000, weight: 2.5 }),
+                chase: Some(Chase {
+                    lines: 50000,
+                    weight: 2.5,
+                }),
                 stencil: None,
-                warm: Some(Warm { lines: 1200, weight: 0.004 }),
+                warm: Some(Warm {
+                    lines: 1200,
+                    weight: 0.004,
+                }),
             },
             // Read-only stencil (the BSSN kernel reads ~30 neighbours per
             // output point): overwhelmingly read traffic at the L2, making
@@ -330,11 +543,23 @@ impl SpecWorkload {
                 read_fraction: 0.92,
                 instr_weight: 0.6,
                 code_lines: 300,
-                hot: Some(HotSet { lines: 3000, exponent: 1.2, weight: 1.0 }),
+                hot: Some(HotSet {
+                    lines: 3000,
+                    exponent: 1.2,
+                    weight: 1.0,
+                }),
                 stream: None,
                 chase: None,
-                stencil: Some(Stencil { rows: 150, cols: 60, writes: false, weight: 8.0 }),
-                warm: Some(Warm { lines: 1800, weight: 0.004 }),
+                stencil: Some(Stencil {
+                    rows: 150,
+                    cols: 60,
+                    writes: false,
+                    weight: 8.0,
+                }),
+                warm: Some(Warm {
+                    lines: 1800,
+                    weight: 0.004,
+                }),
             },
         }
     }
