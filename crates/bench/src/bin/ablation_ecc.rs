@@ -8,12 +8,12 @@
 //! replay-equivalence property tests enforce this), at roughly a third of
 //! the trace-driving cost.
 
-use reap_bench::{access_budget, print_csv};
+use reap_bench::{access_budget, enable_telemetry, print_csv, print_two_phase_summary};
 use reap_core::{EccStrength, Experiment, ProtectionScheme};
 use reap_trace::SpecWorkload;
-use std::time::Instant;
 
 fn main() {
+    enable_telemetry();
     let accesses = access_budget().min(2_000_000);
     let workloads = [
         SpecWorkload::Namd,
@@ -27,24 +27,18 @@ fn main() {
         "workload", "ECC", "check", "E[fail] conv", "E[fail] REAP", "REAP gain"
     );
     let mut rows = Vec::new();
-    let mut capture_time = 0.0f64;
-    let mut replay_time = 0.0f64;
     for w in workloads {
         let base = Experiment::paper_hierarchy()
             .workload(w)
             .accesses(accesses)
             .seed(2019);
-        let start = Instant::now();
         let capture = base.capture().expect("valid configuration");
-        capture_time += start.elapsed().as_secs_f64();
         for ecc in EccStrength::ALL {
-            let start = Instant::now();
             let report = base
                 .clone()
                 .ecc(ecc)
                 .replay(&capture)
                 .expect("capture shares the behavioural configuration");
-            replay_time += start.elapsed().as_secs_f64();
             let conv = report.expected_failures(ProtectionScheme::Conventional);
             let reap = report.expected_failures(ProtectionScheme::Reap);
             let gain = report.mttf_improvement(ProtectionScheme::Reap);
@@ -70,16 +64,7 @@ fn main() {
         }
     }
     println!();
-    let points = workloads.len() * EccStrength::ALL.len();
-    let one_pass = capture_time / workloads.len() as f64;
-    println!(
-        "Two-phase cost: {:.2} s capturing + {:.2} s replaying {points} points \
-         (vs ≈{:.2} s for {points} from-scratch runs — {:.1}x speedup)",
-        capture_time,
-        replay_time,
-        one_pass * points as f64,
-        (one_pass * points as f64) / (capture_time + replay_time)
-    );
+    print_two_phase_summary();
     println!();
     println!(
         "Reading: stronger codes reduce absolute failure mass dramatically, but \

@@ -10,14 +10,16 @@
 //! temperature point — bit-identical to per-point runs, paying the trace
 //! cost once instead of five times.
 
-use reap_bench::{access_budget, print_csv, DEFAULT_SEED};
+use reap_bench::{
+    access_budget, enable_telemetry, print_csv, print_two_phase_summary, DEFAULT_SEED,
+};
 use reap_core::{Experiment, ProtectionScheme};
 use reap_mtj::temperature::at_temperature;
 use reap_mtj::{read_disturbance_probability, MtjParams};
 use reap_trace::SpecWorkload;
-use std::time::Instant;
 
 fn main() {
+    enable_telemetry();
     let accesses = access_budget().min(2_000_000);
     let nominal = MtjParams::default();
     let temperatures = [300.0, 320.0, 340.0, 360.0, 380.0];
@@ -31,21 +33,16 @@ fn main() {
         .workload(SpecWorkload::H264ref)
         .accesses(accesses)
         .seed(DEFAULT_SEED);
-    let start = Instant::now();
     let capture = base.capture().expect("valid configuration");
-    let capture_time = start.elapsed().as_secs_f64();
-    let mut replay_time = 0.0f64;
     let mut rows = Vec::new();
     for t in temperatures {
         let card = at_temperature(&nominal, t).expect("within operating range");
         let p_rd = read_disturbance_probability(&card);
-        let start = Instant::now();
         let report = base
             .clone()
             .mtj(card)
             .replay(&capture)
             .expect("capture shares the behavioural configuration");
-        replay_time += start.elapsed().as_secs_f64();
         let conv = report.expected_failures(ProtectionScheme::Conventional);
         let gain = report.mttf_improvement(ProtectionScheme::Reap);
         let mttf = report.mttf(ProtectionScheme::Conventional);
@@ -65,15 +62,7 @@ fn main() {
         ));
     }
     println!();
-    let points = temperatures.len();
-    println!(
-        "Two-phase cost: {:.2} s capturing + {:.2} s replaying {points} points \
-         (vs ≈{:.2} s for {points} from-scratch runs — {:.1}x speedup)",
-        capture_time,
-        replay_time,
-        capture_time * points as f64,
-        (capture_time * points as f64) / (capture_time + replay_time)
-    );
+    print_two_phase_summary();
     println!();
     println!(
         "Reading: 80 K of heating costs several orders of magnitude of MTTF \

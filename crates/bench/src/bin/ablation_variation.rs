@@ -10,13 +10,15 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use reap_bench::{access_budget, print_csv, DEFAULT_SEED};
+use reap_bench::{
+    access_budget, enable_telemetry, print_csv, print_two_phase_summary, DEFAULT_SEED,
+};
 use reap_core::{Experiment, ProtectionScheme};
 use reap_mtj::{read_disturbance_probability, MtjParams, VariationModel};
 use reap_trace::SpecWorkload;
-use std::time::Instant;
 
 fn main() {
+    enable_telemetry();
     let accesses = access_budget().min(2_000_000);
     let nominal = MtjParams::default();
     let sigmas = [0.0, 0.02, 0.05, 0.08];
@@ -35,10 +37,7 @@ fn main() {
         .workload(SpecWorkload::Calculix)
         .accesses(accesses)
         .seed(DEFAULT_SEED);
-    let start = Instant::now();
     let capture = base.capture().expect("valid configuration");
-    let capture_time = start.elapsed().as_secs_f64();
-    let mut replay_time = 0.0f64;
     let mut rows = Vec::new();
     for sigma in sigmas {
         let model = VariationModel::new(sigma, 0.0, 0.0);
@@ -53,13 +52,11 @@ fn main() {
             Some(i) => nominal.with_read_current(i).expect("valid current"),
             None => nominal,
         };
-        let start = Instant::now();
         let report = base
             .clone()
             .mtj(card)
             .replay(&capture)
             .expect("capture shares the behavioural configuration");
-        replay_time += start.elapsed().as_secs_f64();
         let conv = report.expected_failures(ProtectionScheme::Conventional);
         let gain = report.mttf_improvement(ProtectionScheme::Reap);
         println!(
@@ -71,15 +68,7 @@ fn main() {
         ));
     }
     println!();
-    let points = sigmas.len();
-    println!(
-        "Two-phase cost: {:.2} s capturing + {:.2} s replaying {points} points \
-         (vs ≈{:.2} s for {points} from-scratch runs — {:.1}x speedup)",
-        capture_time,
-        replay_time,
-        capture_time * points as f64,
-        (capture_time * points as f64) / (capture_time + replay_time)
-    );
+    print_two_phase_summary();
     println!();
     println!(
         "Reading: a few percent of Δ variation multiplies the effective \

@@ -16,7 +16,7 @@
 //! resident lines at window end is counted everywhere — otherwise the
 //! no-scrub baseline would silently truncate its own accumulated risk.
 
-use reap_bench::{access_budget, print_csv, DEFAULT_SEED};
+use reap_bench::{access_budget, enable_telemetry, print_csv, TwoPhaseSummary, DEFAULT_SEED};
 use reap_cache::{sample_ones, Hierarchy, HierarchyConfig, Replacement};
 use reap_core::{
     CaptureObserver, EccStrength, ExposureCapture, HierarchySnapshot, SimulationConfig,
@@ -24,7 +24,6 @@ use reap_core::{
 use reap_mtj::read_disturbance_probability;
 use reap_reliability::{AccumulationModel, ReplayAggregator};
 use reap_trace::SpecWorkload;
-use std::time::Instant;
 
 /// Phase 1 for one scrub period: drives the paper hierarchy once with a
 /// [`CaptureObserver`], scrubbing the L2 every `period` accesses (`None` =
@@ -35,6 +34,9 @@ fn capture_with_scrub(
     accesses: u64,
     period: Option<u64>,
 ) -> (ExposureCapture, u64) {
+    // The hand-rolled trace pass records itself under the same phase name
+    // Simulator::capture uses, so the shared two-phase summary covers it.
+    let mut span = reap_obs::span("capture");
     let config = HierarchyConfig::paper();
     let line_bits = config.l2.line_bits();
     let mut hierarchy = Hierarchy::new(config.clone(), Replacement::Lru);
@@ -70,6 +72,7 @@ fn capture_with_scrub(
         warmup,
         accesses,
     );
+    span.add_events(warmup + accesses);
     (capture, scrub_checks)
 }
 
@@ -77,6 +80,8 @@ fn capture_with_scrub(
 /// line weight at that strength's stored width. Returns conventional and
 /// REAP expected failures.
 fn replay_at(capture: &ExposureCapture, ecc: EccStrength, p_rd: f64) -> (f64, f64) {
+    let mut span = reap_obs::span("replay");
+    span.add_events(capture.events().len() as u64);
     let check_bits = ecc
         .build_code(capture.line_bits())
         .expect("code fits a 64 B line")
@@ -101,17 +106,17 @@ fn replay_at(capture: &ExposureCapture, ecc: EccStrength, p_rd: f64) -> (f64, f6
 }
 
 /// Replays one capture at every ECC strength, returning the per-strength
-/// `(conventional, REAP)` failures and the wall-clock spent replaying.
-fn replay_all(capture: &ExposureCapture, p_rd: f64) -> ([(f64, f64); 3], f64) {
-    let start = Instant::now();
+/// `(conventional, REAP)` failures.
+fn replay_all(capture: &ExposureCapture, p_rd: f64) -> [(f64, f64); 3] {
     let mut out = [(0.0, 0.0); 3];
     for (i, ecc) in EccStrength::ALL.into_iter().enumerate() {
         out[i] = replay_at(capture, ecc, p_rd);
     }
-    (out, start.elapsed().as_secs_f64())
+    out
 }
 
 fn main() {
+    enable_telemetry();
     let accesses = access_budget().min(4_000_000);
     let workload = SpecWorkload::DealII;
     let p_rd = read_disturbance_probability(&SimulationConfig::default().mtj);
@@ -119,11 +124,8 @@ fn main() {
 
     println!("Extension — periodic scrubbing vs REAP ({workload}, {accesses} accesses)");
     println!();
-    let start = Instant::now();
     let (baseline, _) = capture_with_scrub(workload, accesses, None);
-    let mut capture_time = start.elapsed().as_secs_f64();
-    let (base_fails, t) = replay_all(&baseline, p_rd);
-    let mut replay_time = t;
+    let base_fails = replay_all(&baseline, p_rd);
     let (no_scrub, reap) = base_fails[0];
     println!("no scrub (conventional): E[fail] = {no_scrub:.3e}");
     println!(
@@ -139,11 +141,8 @@ fn main() {
     let mut rows = Vec::new();
     let mut cross = vec![("none".to_string(), base_fails)];
     for period in periods {
-        let start = Instant::now();
         let (capture, scrubs) = capture_with_scrub(workload, accesses, Some(period));
-        capture_time += start.elapsed().as_secs_f64();
-        let (fails, t) = replay_all(&capture, p_rd);
-        replay_time += t;
+        let fails = replay_all(&capture, p_rd);
         let (fail, _) = fails[0];
         let extra = scrubs as f64 / accesses as f64;
         println!(
@@ -179,16 +178,17 @@ fn main() {
     }
 
     println!();
-    let captures = 1 + periods.len();
-    let points = captures * EccStrength::ALL.len();
-    let one_pass = capture_time / captures as f64;
+    let s = TwoPhaseSummary::from_global();
     println!(
-        "Two-phase cost: {:.2} s capturing {captures} periods + {:.2} s replaying {points} \
-         (period, ECC) points (vs ≈{:.2} s for {points} from-scratch runs — {:.1}x speedup)",
-        capture_time,
-        replay_time,
-        one_pass * points as f64,
-        (one_pass * points as f64) / (capture_time + replay_time)
+        "Two-phase cost: {:.2} s capturing {} periods + {:.2} s replaying {} \
+         (period, ECC) points (vs ≈{:.2} s for {} from-scratch runs — {:.1}x speedup)",
+        s.capture_s,
+        s.captures,
+        s.replay_s,
+        s.replays,
+        s.estimated_single_pass_s(),
+        s.replays,
+        s.speedup()
     );
     println!();
     println!(

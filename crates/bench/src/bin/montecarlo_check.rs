@@ -2,11 +2,12 @@
 //! analytical model, at amplified disturbance probability, using real
 //! codecs (Hsiao SEC-DED and BCH) and real MTJ-array disturbance.
 
-use reap_bench::print_csv;
+use reap_bench::{enable_telemetry, print_csv};
 use reap_ecc::{Bch, EccCode, HsiaoSecDed};
 use reap_reliability::{montecarlo::CheckPolicy, AccumulationModel, MonteCarloLine};
 
 fn main() {
+    enable_telemetry();
     let trials = 30_000;
     println!("Monte-Carlo validation of the accumulation model ({trials} trials/point)");
     println!();
@@ -53,5 +54,12 @@ fn main() {
     print_csv(
         "code,p_rd,reads,mc_conventional,ci_lo,ci_hi,model_conventional,mc_reap",
         &rows,
+    );
+    // Measured split: montecarlo spans plus the real codec encode/decode
+    // counters the trials exercised.
+    println!();
+    print!(
+        "{}",
+        reap_obs::export::render_table(&reap_obs::global().snapshot())
     );
 }

@@ -107,6 +107,80 @@ pub fn sweep_all_workloads(accesses: u64) -> Vec<(SpecWorkload, Report)> {
         .collect()
 }
 
+/// Arms the global telemetry for a regenerator run, so capture/replay
+/// phase timings accumulate in [`reap_obs::global`] as the experiment
+/// runs. Resets the registry first so the totals cover this process only.
+pub fn enable_telemetry() {
+    reap_obs::global().reset();
+    reap_obs::set_enabled(true);
+}
+
+/// The capture/replay wall-clock split of a two-phase experiment, read
+/// back from the global telemetry (see [`enable_telemetry`]).
+///
+/// The `capture` and `replay` spans are recorded by
+/// `Simulator::capture`/`replay` themselves (or by an experiment's own
+/// `reap_obs::span("capture")` blocks for hand-rolled capture passes), so
+/// regenerators no longer stopwatch the phases by hand.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TwoPhaseSummary {
+    /// Total seconds spent in capture passes.
+    pub capture_s: f64,
+    /// Total seconds spent replaying analysis points.
+    pub replay_s: f64,
+    /// Number of capture passes.
+    pub captures: u64,
+    /// Number of replayed analysis points.
+    pub replays: u64,
+}
+
+impl TwoPhaseSummary {
+    /// Reads the phase totals out of the global registry.
+    pub fn from_global() -> Self {
+        let registry = reap_obs::global();
+        Self {
+            capture_s: registry.span_seconds("capture"),
+            replay_s: registry.span_seconds("replay"),
+            captures: registry.span_count("capture"),
+            replays: registry.span_count("replay"),
+        }
+    }
+
+    /// Estimated cost of running every replayed point from scratch: the
+    /// mean capture cost times the number of points.
+    pub fn estimated_single_pass_s(&self) -> f64 {
+        if self.captures == 0 {
+            return 0.0;
+        }
+        self.capture_s / self.captures as f64 * self.replays as f64
+    }
+
+    /// Speedup of the two-phase run over the estimated from-scratch cost.
+    pub fn speedup(&self) -> f64 {
+        let actual = self.capture_s + self.replay_s;
+        if actual <= 0.0 {
+            return 1.0;
+        }
+        self.estimated_single_pass_s() / actual
+    }
+}
+
+/// Prints the "Two-phase cost" line the capture/replay regenerators share,
+/// from the globally accumulated phase spans.
+pub fn print_two_phase_summary() {
+    let s = TwoPhaseSummary::from_global();
+    println!(
+        "Two-phase cost: {:.2} s capturing + {:.2} s replaying {} points \
+         (vs ≈{:.2} s for {} from-scratch runs — {:.1}x speedup)",
+        s.capture_s,
+        s.replay_s,
+        s.replays,
+        s.estimated_single_pass_s(),
+        s.replays,
+        s.speedup()
+    );
+}
+
 /// The Fig. 5 metric for a report.
 pub fn mttf_gain(report: &Report) -> f64 {
     report.mttf_improvement(ProtectionScheme::Reap)

@@ -169,6 +169,22 @@ impl Hierarchy {
         self.memory_writes
     }
 
+    /// Publishes per-level stats into `registry` as `cache.l1i.*`,
+    /// `cache.l1d.*`, `cache.l2.*` plus `cache.memory.reads`/`.writes`,
+    /// accumulating onto prior emissions (see [`CacheStats::emit`]). Call
+    /// once per completed simulation pass.
+    pub fn emit_metrics(&self, registry: &reap_obs::Registry) {
+        self.l1i.stats().emit(registry, "l1i");
+        self.l1d.stats().emit(registry, "l1d");
+        self.l2.stats().emit(registry, "l2");
+        registry
+            .counter("cache.memory.reads")
+            .add(self.memory_reads);
+        registry
+            .counter("cache.memory.writes")
+            .add(self.memory_writes);
+    }
+
     /// Drives one access through the hierarchy. L2 events are delivered to
     /// `observer`.
     pub fn access<O: AccessObserver>(&mut self, access: MemoryAccess, observer: &mut O) {

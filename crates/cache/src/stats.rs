@@ -12,7 +12,7 @@ use std::ops::AddAssign;
 ///
 /// let s = CacheStats::default();
 /// assert_eq!(s.accesses(), 0);
-/// assert!(s.hit_rate().is_nan());
+/// assert_eq!(s.hit_rate(), 0.0);
 /// ```
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
@@ -56,13 +56,19 @@ impl CacheStats {
         self.accesses() - self.hits()
     }
 
-    /// Hit rate over all accesses (NaN when no accesses were made).
+    /// Hit rate over all accesses (0.0 when no accesses were made).
     pub fn hit_rate(&self) -> f64 {
+        if self.accesses() == 0 {
+            return 0.0;
+        }
         self.hits() as f64 / self.accesses() as f64
     }
 
-    /// Miss rate over all accesses (NaN when no accesses were made).
+    /// Miss rate over all accesses (0.0 when no accesses were made).
     pub fn miss_rate(&self) -> f64 {
+        if self.accesses() == 0 {
+            return 0.0;
+        }
         1.0 - self.hit_rate()
     }
 
@@ -72,6 +78,43 @@ impl CacheStats {
             return 0.0;
         }
         self.concealed_reads as f64 / self.accesses() as f64
+    }
+
+    /// Publishes these counters into `registry` under `cache.{prefix}.*`,
+    /// *accumulating* onto whatever is already there — a sweep over many
+    /// workloads sums to deterministic totals no matter which parallel
+    /// worker emits last. Call once per completed simulation pass.
+    ///
+    /// The `cache.{prefix}.hit_rate` gauge is recomputed from the
+    /// registry's accumulated hit/access counters, so it stays the
+    /// aggregate rate (not the last emitter's) under that summation.
+    pub fn emit(&self, registry: &reap_obs::Registry, prefix: &str) {
+        let add = |name: &str, v: u64| {
+            let c = registry.counter(&format!("cache.{prefix}.{name}"));
+            c.add(v);
+            c.get()
+        };
+        let reads = add("reads", self.reads);
+        let writes = add("writes", self.writes);
+        let read_hits = add("read_hits", self.read_hits);
+        let write_hits = add("write_hits", self.write_hits);
+        add("misses", self.misses());
+        add("fills", self.fills);
+        add("evictions", self.evictions);
+        add("dirty_evictions", self.dirty_evictions);
+        add("concealed_reads", self.concealed_reads);
+        add("line_reads", self.line_reads);
+        add("demand_checks", self.demand_checks);
+        add("scrub_checks", self.scrub_checks);
+        let accesses = reads + writes;
+        let rate = if accesses == 0 {
+            0.0
+        } else {
+            (read_hits + write_hits) as f64 / accesses as f64
+        };
+        registry
+            .gauge(&format!("cache.{prefix}.hit_rate"))
+            .set(rate);
     }
 }
 
@@ -155,6 +198,48 @@ mod tests {
         };
         assert!((s.concealed_per_access() - 7.0).abs() < 1e-12);
         assert_eq!(CacheStats::default().concealed_per_access(), 0.0);
+    }
+
+    #[test]
+    fn zero_access_rates_are_zero_not_nan() {
+        let s = CacheStats::default();
+        assert_eq!(s.hit_rate(), 0.0);
+        assert_eq!(s.miss_rate(), 0.0);
+        let text = s.to_string();
+        assert!(text.contains("0.0% hits"), "got: {text}");
+        assert!(!text.contains("NaN"), "got: {text}");
+    }
+
+    #[test]
+    fn emit_publishes_counters_and_hit_rate() {
+        let r = reap_obs::Registry::new();
+        let s = CacheStats {
+            reads: 80,
+            writes: 20,
+            read_hits: 60,
+            write_hits: 10,
+            fills: 30,
+            ..CacheStats::default()
+        };
+        s.emit(&r, "l2");
+        s.emit(&r, "l2"); // accumulates: two passes sum, rate stays aggregate
+        let snap = r.snapshot();
+        let get = |name: &str| {
+            snap.counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+                .unwrap()
+        };
+        assert_eq!(get("cache.l2.reads"), 160);
+        assert_eq!(get("cache.l2.misses"), 60);
+        assert_eq!(get("cache.l2.fills"), 60);
+        let (_, hr) = snap
+            .gauges
+            .iter()
+            .find(|(n, _)| n == "cache.l2.hit_rate")
+            .unwrap();
+        assert!((hr - 0.7).abs() < 1e-12);
     }
 
     #[test]

@@ -25,8 +25,33 @@ pub enum Command {
     Disturbance(DisturbanceArgs),
     /// `reap list` — list workload profiles.
     List,
+    /// `reap obs check` — validate a metrics JSON-lines file.
+    ObsCheck {
+        /// Path of the JSON-lines file to validate.
+        path: PathBuf,
+    },
     /// `reap help` / `--help`.
     Help,
+}
+
+/// Telemetry flags shared by `reap run` and `reap sweep`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ObsArgs {
+    /// Write a metrics snapshot as JSON-lines to this path.
+    pub metrics_out: Option<PathBuf>,
+    /// Write a Chrome `trace_event` JSON file to this path.
+    pub trace_out: Option<PathBuf>,
+    /// Show rate-limited progress lines on stderr.
+    pub progress: bool,
+    /// Print the human-readable metrics table on stderr at the end.
+    pub verbose: bool,
+}
+
+impl ObsArgs {
+    /// Whether any form of metrics collection was requested.
+    pub fn wants_metrics(&self) -> bool {
+        self.metrics_out.is_some() || self.trace_out.is_some() || self.verbose
+    }
 }
 
 /// Arguments of `reap run`.
@@ -46,6 +71,8 @@ pub struct RunArgs {
     pub replacement: Replacement,
     /// L2 associativity override.
     pub l2_ways: Option<usize>,
+    /// Telemetry outputs.
+    pub obs: ObsArgs,
 }
 
 impl Default for RunArgs {
@@ -58,6 +85,7 @@ impl Default for RunArgs {
             ecc: EccStrength::Sec,
             replacement: Replacement::Lru,
             l2_ways: None,
+            obs: ObsArgs::default(),
         }
     }
 }
@@ -72,6 +100,10 @@ pub struct SweepArgs {
     /// Also sweep ECC strengths, replaying one exposure capture per
     /// workload instead of re-running the trace per strength.
     pub ecc_sweep: bool,
+    /// Worker threads (defaults to the available parallelism).
+    pub jobs: Option<usize>,
+    /// Telemetry outputs.
+    pub obs: ObsArgs,
 }
 
 impl Default for SweepArgs {
@@ -80,6 +112,8 @@ impl Default for SweepArgs {
             accesses: 400_000,
             seed: 2019,
             ecc_sweep: false,
+            jobs: None,
+            obs: ObsArgs::default(),
         }
     }
 }
@@ -254,11 +288,42 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Command, ParseCl
             })
         }
         "disturbance" => parse_disturbance(cursor),
+        "obs" => parse_obs(cursor),
         "list" => Ok(Command::List),
         "help" | "--help" | "-h" => Ok(Command::Help),
         other => Err(ParseCliError::UnknownCommand {
             found: other.to_owned(),
         }),
+    }
+}
+
+/// Consumes a telemetry flag shared by `run` and `sweep`. Returns `true`
+/// when `flag` was one of them.
+fn parse_obs_flag(obs: &mut ObsArgs, flag: &str, c: &mut Cursor) -> Result<bool, ParseCliError> {
+    match flag {
+        "--metrics-out" => obs.metrics_out = Some(PathBuf::from(c.value_for(flag)?)),
+        "--trace-out" => obs.trace_out = Some(PathBuf::from(c.value_for(flag)?)),
+        "--progress" => obs.progress = true,
+        "--verbose" | "-v" => obs.verbose = true,
+        _ => return Ok(false),
+    }
+    Ok(true)
+}
+
+fn parse_obs(mut c: Cursor) -> Result<Command, ParseCliError> {
+    match c.take().as_deref() {
+        Some("check") => {
+            let path = c
+                .take()
+                .ok_or(ParseCliError::MissingRequired { name: "path" })?;
+            Ok(Command::ObsCheck {
+                path: PathBuf::from(path),
+            })
+        }
+        Some(other) => Err(ParseCliError::UnknownCommand {
+            found: format!("obs {other}"),
+        }),
+        None => Err(ParseCliError::MissingRequired { name: "check" }),
     }
 }
 
@@ -316,6 +381,7 @@ fn parse_run(mut c: Cursor) -> Result<Command, ParseCliError> {
                 };
             }
             "--l2-ways" => a.l2_ways = Some(parse_num(&flag, c.value_for(&flag)?, "way count")?),
+            _ if parse_obs_flag(&mut a.obs, &flag, &mut c)? => {}
             _ => return Err(ParseCliError::UnknownFlag { flag }),
         }
     }
@@ -332,6 +398,8 @@ fn parse_sweep(mut c: Cursor) -> Result<Command, ParseCliError> {
             "--accesses" | "-n" => a.accesses = parse_num(&flag, c.value_for(&flag)?, "count")?,
             "--seed" | "-s" => a.seed = parse_num(&flag, c.value_for(&flag)?, "seed")?,
             "--ecc-sweep" => a.ecc_sweep = true,
+            "--jobs" | "-j" => a.jobs = Some(parse_num(&flag, c.value_for(&flag)?, "count")?),
+            _ if parse_obs_flag(&mut a.obs, &flag, &mut c)? => {}
             _ => return Err(ParseCliError::UnknownFlag { flag }),
         }
     }
@@ -446,6 +514,60 @@ mod tests {
         };
         assert_eq!(a.accesses, 50_000);
         assert!(a.ecc_sweep);
+    }
+
+    #[test]
+    fn run_accepts_telemetry_flags() {
+        let Command::Run(a) = p("run -w namd --metrics-out m.jsonl --trace-out t.json -v").unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(a.obs.metrics_out, Some(PathBuf::from("m.jsonl")));
+        assert_eq!(a.obs.trace_out, Some(PathBuf::from("t.json")));
+        assert!(a.obs.verbose);
+        assert!(!a.obs.progress);
+        assert!(a.obs.wants_metrics());
+    }
+
+    #[test]
+    fn sweep_accepts_telemetry_and_jobs() {
+        let Command::Sweep(a) =
+            p("sweep --ecc-sweep -j 4 --metrics-out out.jsonl --progress").unwrap()
+        else {
+            panic!()
+        };
+        assert!(a.ecc_sweep);
+        assert_eq!(a.jobs, Some(4));
+        assert_eq!(a.obs.metrics_out, Some(PathBuf::from("out.jsonl")));
+        assert!(a.obs.progress);
+    }
+
+    #[test]
+    fn obs_check_takes_a_path() {
+        assert_eq!(
+            p("obs check run.jsonl").unwrap(),
+            Command::ObsCheck {
+                path: PathBuf::from("run.jsonl")
+            }
+        );
+        assert_eq!(
+            p("obs check"),
+            Err(ParseCliError::MissingRequired { name: "path" })
+        );
+        assert!(matches!(
+            p("obs frobnicate"),
+            Err(ParseCliError::UnknownCommand { .. })
+        ));
+    }
+
+    #[test]
+    fn telemetry_flags_still_need_values() {
+        assert_eq!(
+            p("run -w namd --metrics-out"),
+            Err(ParseCliError::MissingValue {
+                flag: "--metrics-out".to_owned()
+            })
+        );
     }
 
     #[test]

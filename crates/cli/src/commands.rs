@@ -1,6 +1,6 @@
 //! Command execution.
 
-use crate::args::{Command, DisturbanceArgs, RunArgs, SweepArgs, TraceArgs};
+use crate::args::{Command, DisturbanceArgs, ObsArgs, RunArgs, SweepArgs, TraceArgs};
 use reap_cache::HierarchyConfig;
 use reap_core::{Experiment, ProtectionScheme};
 use reap_mtj::temperature::at_temperature;
@@ -8,6 +8,7 @@ use reap_mtj::{read_disturbance_probability, MtjParams, MtjParamsBuilder};
 use reap_trace::{SpecWorkload, TraceStats};
 use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Write};
+use std::path::Path;
 
 const HELP: &str = "\
 reap — REAP-cache: STT-MRAM read-disturbance accumulation toolkit
@@ -22,7 +23,7 @@ COMMANDS:
                  --replacement/-r lru|plru|fifo|random|srrip|ler
                  --l2-ways K
     sweep        all 21 workloads: MTTF gain and energy overhead
-                 --accesses/-n N  --seed/-s S
+                 --accesses/-n N  --seed/-s S  --jobs/-j K
                  --ecc-sweep  also sweep sec/dec/tec per workload,
                  replaying one exposure capture instead of re-simulating
     trace        generate a binary trace file
@@ -31,8 +32,17 @@ COMMANDS:
     trace-info   characterize a binary trace file: reap trace-info FILE
     disturbance  query the device model (Eq. (1))
                  --delta X  --read-current-ua I  --temperature-k T
+    obs check    validate a metrics JSON-lines file: reap obs check FILE
     list         list the workload profiles
     help         show this message
+
+TELEMETRY (run and sweep):
+    --metrics-out FILE   write counters, gauges, histograms and phase
+                         spans as JSON-lines (schema reap-obs/1)
+    --trace-out FILE     write a Chrome trace_event JSON file
+                         (load in chrome://tracing or Perfetto)
+    --progress           rate-limited progress lines on stderr
+    --verbose/-v         print the metrics table on stderr at the end
 ";
 
 /// Executes a parsed command (see [`crate::execute`]).
@@ -68,10 +78,74 @@ pub fn execute<W: Write>(command: Command, mut out: W) -> io::Result<i32> {
         Command::Trace(args) => trace(args, out),
         Command::TraceInfo { path } => trace_info(&path, out),
         Command::Disturbance(args) => disturbance(args, out),
+        Command::ObsCheck { path } => obs_check(&path, out),
+    }
+}
+
+/// Arms the global telemetry according to the command's flags. Resets the
+/// global registry so the exported snapshot covers exactly this command.
+fn start_obs(obs: &ObsArgs) {
+    if obs.wants_metrics() {
+        reap_obs::global().reset();
+        reap_obs::set_enabled(true);
+    }
+    reap_obs::set_progress_enabled(obs.progress);
+}
+
+/// Writes the requested exporters from the global registry. The verbose
+/// table goes to stderr so stdout stays machine-readable.
+fn finish_obs(obs: &ObsArgs) -> io::Result<()> {
+    if !obs.wants_metrics() {
+        return Ok(());
+    }
+    let snapshot = reap_obs::global().snapshot();
+    if let Some(path) = &obs.metrics_out {
+        let mut file = BufWriter::new(File::create(path)?);
+        reap_obs::export::write_jsonl(&snapshot, &mut file)?;
+    }
+    if let Some(path) = &obs.trace_out {
+        let mut file = BufWriter::new(File::create(path)?);
+        reap_obs::export::write_chrome_trace(&snapshot, &mut file)?;
+    }
+    if obs.verbose {
+        eprint!("{}", reap_obs::export::render_table(&snapshot));
+    }
+    Ok(())
+}
+
+/// The `reap obs check` command: validates that a JSON-lines metrics file
+/// parses, carries the expected schema, and is internally consistent.
+fn obs_check<W: Write>(path: &Path, mut out: W) -> io::Result<i32> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            writeln!(out, "error: cannot read {}: {e}", path.display())?;
+            return Ok(2);
+        }
+    };
+    match reap_obs::export::check_jsonl(&text) {
+        Ok(summary) => {
+            writeln!(
+                out,
+                "{}: valid {} ({} counters, {} gauges, {} histograms, {} spans)",
+                path.display(),
+                reap_obs::export::JSONL_SCHEMA,
+                summary.counters,
+                summary.gauges,
+                summary.hists,
+                summary.spans,
+            )?;
+            Ok(0)
+        }
+        Err((line, message)) => {
+            writeln!(out, "error: {}: line {line}: {message}", path.display())?;
+            Ok(2)
+        }
     }
 }
 
 fn run<W: Write>(args: RunArgs, mut out: W) -> io::Result<i32> {
+    start_obs(&args.obs);
     let mut experiment = Experiment::paper_hierarchy()
         .workload(args.workload)
         .accesses(args.accesses)
@@ -90,7 +164,7 @@ fn run<W: Write>(args: RunArgs, mut out: W) -> io::Result<i32> {
             }
         }
     }
-    match experiment.run() {
+    let code = match experiment.run() {
         Ok(report) => {
             write!(out, "{report}")?;
             writeln!(
@@ -99,31 +173,34 @@ fn run<W: Write>(args: RunArgs, mut out: W) -> io::Result<i32> {
                 report.histogram().max_n(),
                 report.mean_concealed_reads()
             )?;
-            Ok(0)
+            0
         }
         Err(e) => {
             writeln!(out, "error: {e}")?;
-            Ok(2)
+            2
         }
-    }
+    };
+    finish_obs(&args.obs)?;
+    Ok(code)
 }
 
 fn sweep<W: Write>(args: SweepArgs, mut out: W) -> io::Result<i32> {
+    start_obs(&args.obs);
+    let jobs = args.jobs.unwrap_or_else(|| {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    });
     if args.ecc_sweep {
-        return ecc_sweep(args, out);
+        let code = ecc_sweep(&args, jobs, &mut out)?;
+        finish_obs(&args.obs)?;
+        return Ok(code);
     }
     writeln!(
         out,
         "{:<12} {:>12} {:>12} {:>10} {:>10}",
         "workload", "REAP gain", "energy", "L2 hit%", "max N"
     )?;
-    for w in SpecWorkload::ALL {
-        let report = Experiment::paper_hierarchy()
-            .workload(w)
-            .accesses(args.accesses)
-            .seed(args.seed)
-            .run()
-            .map_err(|e| io::Error::other(e.to_string()))?;
+    for (w, report) in reap_core::sweep::sweep_workloads(args.accesses, args.seed, jobs) {
+        let report = report.map_err(|e| io::Error::other(e.to_string()))?;
         writeln!(
             out,
             "{:<12} {:>11.1}x {:>+11.2}% {:>9.1}% {:>10}",
@@ -134,25 +211,22 @@ fn sweep<W: Write>(args: SweepArgs, mut out: W) -> io::Result<i32> {
             report.histogram().max_n(),
         )?;
     }
+    finish_obs(&args.obs)?;
     Ok(0)
 }
 
 /// The `--ecc-sweep` variant of `reap sweep`: captures each workload's
 /// exposure trace once and replays it at every ECC strength — the results
 /// are bit-identical to per-strength runs at a third of the trace cost.
-fn ecc_sweep<W: Write>(args: SweepArgs, mut out: W) -> io::Result<i32> {
+/// Workloads are fanned out over `jobs` pool workers.
+fn ecc_sweep<W: Write>(args: &SweepArgs, jobs: usize, mut out: W) -> io::Result<i32> {
     writeln!(
         out,
         "{:<12} {:>5} {:>12} {:>16} {:>10}",
         "workload", "ECC", "REAP gain", "E[fail] conv", "max N"
     )?;
-    for w in SpecWorkload::ALL {
-        let experiment = Experiment::paper_hierarchy()
-            .workload(w)
-            .accesses(args.accesses)
-            .seed(args.seed);
-        let points = reap_core::sweep::replay_ecc_sweep(&experiment)
-            .map_err(|e| io::Error::other(e.to_string()))?;
+    for (w, points) in reap_core::sweep::replay_ecc_sweep_all(args.accesses, args.seed, jobs) {
+        let points = points.map_err(|e| io::Error::other(e.to_string()))?;
         for (ecc, report) in points {
             writeln!(
                 out,
@@ -311,6 +385,52 @@ mod tests {
         let (code, text) = exec("trace-info /definitely/not/here.rtrc");
         assert_eq!(code, 2);
         assert!(text.contains("cannot open"));
+    }
+
+    #[test]
+    fn obs_check_accepts_a_real_export_and_rejects_garbage() {
+        let dir = std::env::temp_dir().join(format!("reap-obs-check-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let good = dir.join("good.jsonl");
+        let registry = reap_obs::Registry::new();
+        registry.counter("ecc.decode").add(7);
+        let mut buf = Vec::new();
+        reap_obs::export::write_jsonl(&registry.snapshot(), &mut buf).unwrap();
+        std::fs::write(&good, buf).unwrap();
+        let (code, text) = exec(&format!("obs check {}", good.display()));
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("valid reap-obs/1"), "{text}");
+        assert!(text.contains("1 counters"), "{text}");
+
+        let bad = dir.join("bad.jsonl");
+        std::fs::write(&bad, "not json at all\n").unwrap();
+        let (code, text) = exec(&format!("obs check {}", bad.display()));
+        assert_eq!(code, 2);
+        assert!(text.contains("line 1"), "{text}");
+
+        let (code, text) = exec("obs check /definitely/not/here.jsonl");
+        assert_eq!(code, 2);
+        assert!(text.contains("cannot read"), "{text}");
+
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn run_with_metrics_out_writes_a_checkable_file() {
+        let dir = std::env::temp_dir().join(format!("reap-run-metrics-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.jsonl");
+        let (code, _) = exec(&format!(
+            "run -w hmmer -n 20000 --metrics-out {}",
+            path.display()
+        ));
+        assert_eq!(code, 0);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let summary = reap_obs::export::check_jsonl(&text).expect("valid export");
+        assert!(summary.spans >= 1, "capture/replay spans expected");
+        assert!(text.contains("\"cache.l2.reads\""), "{text}");
+        std::fs::remove_dir_all(dir).ok();
     }
 
     #[test]

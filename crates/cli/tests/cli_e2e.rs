@@ -57,6 +57,124 @@ fn disturbance_query_round_trips() {
 }
 
 #[test]
+fn ecc_sweep_metrics_out_is_schema_stable_jsonl() {
+    let dir = std::env::temp_dir().join(format!("reap-e2e-metrics-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let metrics = dir.join("sweep.jsonl");
+
+    let out = reap()
+        .args([
+            "sweep",
+            "-n",
+            "5000",
+            "--ecc-sweep",
+            "-j",
+            "2",
+            "--metrics-out",
+        ])
+        .arg(&metrics)
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+
+    let text = std::fs::read_to_string(&metrics).expect("metrics file written");
+    // Every line parses as JSON; the first is the schema-carrying meta line.
+    let first = text.lines().next().expect("non-empty");
+    assert!(first.contains("\"schema\":\"reap-obs/1\""), "{first}");
+    for (i, line) in text.lines().enumerate() {
+        reap_obs::json::parse(line).unwrap_or_else(|e| panic!("line {}: {e}: {line}", i + 1));
+    }
+    // Expected keys: phase spans, per-worker utilization, per-level cache
+    // counters and ECC decode counts.
+    for key in [
+        "\"path\":\"capture\"",
+        "\"path\":\"replay\"",
+        "\"name\":\"ecc_sweep\"",
+        "ecc_sweep.worker.0.busy_s",
+        "ecc_sweep.worker.0.utilization",
+        "ecc_sweep.worker.0.jobs",
+        "\"cache.l1d.reads\"",
+        "\"cache.l2.reads\"",
+        "\"cache.l2.hit_rate\"",
+        "\"cache.memory.reads\"",
+        "\"sim.capture.exposure_events\"",
+        "\"ecc.decode\"",
+    ] {
+        assert!(text.contains(key), "missing {key} in:\n{text}");
+    }
+
+    // The CLI's own validator agrees.
+    let check = reap()
+        .args(["obs", "check"])
+        .arg(&metrics)
+        .output()
+        .expect("binary runs");
+    assert!(
+        check.status.success(),
+        "{}",
+        String::from_utf8_lossy(&check.stdout)
+    );
+    assert!(String::from_utf8_lossy(&check.stdout).contains("valid reap-obs/1"));
+
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn parallel_sweep_metrics_are_deterministic_across_runs() {
+    let dir = std::env::temp_dir().join(format!("reap-e2e-determinism-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // Two identical parallel sweeps must export identical metrics once the
+    // run-variant parts are dropped: timing-valued keys (TIMING_KEYS) and
+    // the per-worker scheduling metrics (which worker wins which job is a
+    // race by design).
+    let mut exports = Vec::new();
+    for n in 0..2 {
+        let path = dir.join(format!("m{n}.jsonl"));
+        let out = reap()
+            .args([
+                "sweep",
+                "-n",
+                "5000",
+                "--ecc-sweep",
+                "-j",
+                "2",
+                "--metrics-out",
+            ])
+            .arg(&path)
+            .output()
+            .expect("binary runs");
+        assert!(out.status.success());
+        let stable: Vec<String> = std::fs::read_to_string(&path)
+            .expect("metrics written")
+            .lines()
+            .filter(|l| !l.contains(".worker."))
+            .map(|l| {
+                let reap_obs::json::Value::Obj(fields) =
+                    reap_obs::json::parse(l).expect("line parses")
+                else {
+                    panic!("line is not an object: {l}");
+                };
+                fields
+                    .iter()
+                    .filter(|(k, _)| !reap_obs::export::TIMING_KEYS.contains(&k.as_str()))
+                    .map(|(k, v)| format!("{k}={v:?}"))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            })
+            .collect();
+        exports.push(stable);
+    }
+    assert_eq!(exports[0], exports[1]);
+
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
 fn run_and_trace_pipeline() {
     let dir = std::env::temp_dir().join(format!("reap-e2e-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();

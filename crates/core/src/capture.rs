@@ -78,6 +78,24 @@ impl HierarchySnapshot {
             memory_writes: hierarchy.memory_writes(),
         }
     }
+
+    /// Publishes the per-level counters into `registry` under
+    /// `cache.l1i.*`, `cache.l1d.*`, `cache.l2.*` and `cache.memory.*`,
+    /// accumulating onto prior emissions so a multi-workload sweep sums to
+    /// deterministic totals. Call once per capture (replays of the same
+    /// capture must not re-emit, or the trace pass would be counted once
+    /// per sweep point).
+    pub fn emit_metrics(&self, registry: &reap_obs::Registry) {
+        self.l1i.emit(registry, "l1i");
+        self.l1d.emit(registry, "l1d");
+        self.l2.emit(registry, "l2");
+        registry
+            .counter("cache.memory.reads")
+            .add(self.memory_reads);
+        registry
+            .counter("cache.memory.writes")
+            .add(self.memory_writes);
+    }
 }
 
 /// The analysis-independent artefact of one capture pass: everything a

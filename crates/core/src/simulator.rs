@@ -202,6 +202,15 @@ impl Simulator {
         }
         let line_bits = config.hierarchy.l2.line_bits();
         let code = config.ecc.build_code(line_bits)?;
+        // End-to-end self-check of the constructed codec: a clean codeword
+        // must decode to itself. Costs one encode + one decode per
+        // simulator construction, and makes every simulation's telemetry
+        // carry real `ecc.encode`/`ecc.decode` counts.
+        let zeros = vec![0u8; line_bits.div_ceil(8)];
+        let decoded = code.decode(code.encode(&zeros).as_bytes());
+        if !matches!(decoded.outcome, reap_ecc::DecodeOutcome::Clean) || decoded.data != zeros {
+            return Err(SimulationError::BadParameter("ecc codec failed self-check"));
+        }
         let check_bits = code.check_bits();
         let node = TechnologyNode::nm(config.tech_nm)?;
         let spec = ArraySpec::new(
@@ -272,6 +281,10 @@ impl Simulator {
     where
         I: IntoIterator<Item = MemoryAccess>,
     {
+        let mut span = reap_obs::span("capture");
+        let total_accesses = self.config.warmup_accesses + self.config.measure_accesses;
+        let progress = reap_obs::progress_enabled()
+            .then(|| reap_obs::Progress::new("capture", Some(total_accesses)));
         let mut hierarchy = Hierarchy::new(self.config.hierarchy.clone(), self.config.replacement);
         // Check bits widen the sampled content weights, but the capture
         // ignores weights entirely (replay resamples them at the analysis
@@ -290,6 +303,9 @@ impl Simulator {
                 ));
             };
             hierarchy.access(a, &mut ());
+            if let Some(p) = &progress {
+                p.tick(1);
+            }
         }
         hierarchy.l2_mut().reset_stats();
         for _ in 0..self.config.measure_accesses {
@@ -299,11 +315,27 @@ impl Simulator {
                 ));
             };
             hierarchy.access(a, &mut observer);
+            if let Some(p) = &progress {
+                p.tick(1);
+            }
+        }
+        if let Some(p) = &progress {
+            p.finish();
         }
 
+        let records = observer.into_records();
+        let snapshot = HierarchySnapshot::of(&hierarchy);
+        span.add_events(total_accesses);
+        if span.is_recording() {
+            let registry = reap_obs::global();
+            registry
+                .counter("sim.capture.exposure_events")
+                .add(records.len() as u64);
+            snapshot.emit_metrics(registry);
+        }
         Ok(ExposureCapture::from_parts(
-            observer.into_records(),
-            HierarchySnapshot::of(&hierarchy),
+            records,
+            snapshot,
             line_bits,
             ones_seed,
             self.config.hierarchy.clone(),
@@ -345,6 +377,11 @@ impl Simulator {
             return Err(SimulationError::CaptureMismatch("access budgets differ"));
         }
 
+        // No snapshot emit here: the capture already published its cache
+        // counters once; re-emitting per replayed point would count the
+        // trace pass once per sweep point.
+        let mut span = reap_obs::span("replay");
+        span.add_events(capture.events().len() as u64);
         let stored_bits = capture.line_bits() + self.check_bits;
         let model = AccumulationModel::new(self.p_rd, self.config.ecc.t());
         let mut aggregator = ReplayAggregator::new(model, stored_bits as u32);
@@ -386,6 +423,7 @@ impl Simulator {
     where
         I: IntoIterator<Item = MemoryAccess>,
     {
+        let mut span = reap_obs::span("single_pass");
         let mut hierarchy = Hierarchy::new(self.config.hierarchy.clone(), self.config.replacement);
         hierarchy.l2_mut().set_check_bits(self.check_bits);
         let stored_bits = hierarchy.l2().stored_line_bits() as u32;
@@ -413,6 +451,10 @@ impl Simulator {
 
         let duration_seconds = self.config.measure_accesses as f64 / self.config.access_rate_hz;
         let snapshot = HierarchySnapshot::of(&hierarchy);
+        span.add_events(self.config.warmup_accesses + self.config.measure_accesses);
+        if span.is_recording() {
+            snapshot.emit_metrics(reap_obs::global());
+        }
         Ok(Report::assemble(
             &snapshot,
             &observer.into_aggregator(),

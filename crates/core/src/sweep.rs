@@ -9,7 +9,103 @@ use crate::experiment::{Experiment, ExperimentError};
 use crate::report::Report;
 use crate::simulator::EccStrength;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
+use std::sync::{mpsc, Mutex};
+use std::time::Instant;
+
+/// Runs `f` over `jobs` on up to `parallelism` threads, returning results
+/// in input order.
+///
+/// This is the shared pool behind [`run_parallel`] and
+/// [`replay_ecc_sweep_all`]. When telemetry is enabled
+/// ([`reap_obs::set_enabled`]), the batch is wrapped in a `pool_name` span
+/// whose event count is the job count, and each worker publishes its
+/// utilization as `{pool_name}.worker.{w}.busy_s` / `.idle_s` /
+/// `.utilization` gauges plus a `.jobs` counter. With telemetry disabled
+/// (the default) the pool takes no timestamps at all.
+///
+/// Determinism is unaffected: each job's result depends only on its own
+/// input, never on scheduling.
+///
+/// # Panics
+///
+/// Panics if `parallelism == 0` or a worker thread panics.
+pub fn pool_map<T, R, F>(jobs: Vec<T>, parallelism: usize, pool_name: &str, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    assert!(parallelism > 0, "need at least one worker");
+    let total = jobs.len();
+    if total == 0 {
+        return Vec::new();
+    }
+    let mut span = reap_obs::span(pool_name);
+    span.add_events(total as u64);
+    let telemetry = span.is_recording();
+    // Jobs are claimed by index and moved out exactly once; the mutexes
+    // are uncontended (each guards a distinct slot).
+    let slots: Vec<Mutex<Option<T>>> = jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+    let next = AtomicUsize::new(0);
+    let workers = parallelism.min(total);
+    let (sender, receiver) = mpsc::channel();
+
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let sender = sender.clone();
+            let slots = &slots;
+            let next = &next;
+            let f = &f;
+            let pool = pool_name;
+            scope.spawn(move || {
+                let started = telemetry.then(Instant::now);
+                let mut busy = std::time::Duration::ZERO;
+                let mut jobs_done = 0u64;
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= total {
+                        break;
+                    }
+                    let job = slots[i].lock().expect("slot poisoned").take();
+                    let job = job.expect("each slot is claimed once");
+                    let t0 = telemetry.then(Instant::now);
+                    let result = f(job);
+                    if let Some(t0) = t0 {
+                        busy += t0.elapsed();
+                    }
+                    jobs_done += 1;
+                    sender
+                        .send((i, result))
+                        .expect("receiver outlives the scope");
+                }
+                if let Some(started) = started {
+                    let wall = started.elapsed().as_secs_f64();
+                    let busy = busy.as_secs_f64();
+                    let registry = reap_obs::global();
+                    let prefix = format!("{pool}.worker.{w}");
+                    registry.gauge(&format!("{prefix}.busy_s")).set(busy);
+                    registry
+                        .gauge(&format!("{prefix}.idle_s"))
+                        .set((wall - busy).max(0.0));
+                    registry
+                        .gauge(&format!("{prefix}.utilization"))
+                        .set(if wall > 0.0 { busy / wall } else { 0.0 });
+                    registry.counter(&format!("{prefix}.jobs")).store(jobs_done);
+                }
+            });
+        }
+    });
+    drop(sender);
+
+    let mut results: Vec<Option<R>> = (0..total).map(|_| None).collect();
+    for (i, result) in receiver {
+        results[i] = Some(result);
+    }
+    results
+        .into_iter()
+        .map(|slot| slot.expect("every job ran to completion"))
+        .collect()
+}
 
 /// Runs `experiments` on up to `parallelism` threads, returning results in
 /// the same order as the input.
@@ -43,43 +139,7 @@ pub fn run_parallel(
     experiments: Vec<Experiment>,
     parallelism: usize,
 ) -> Vec<Result<Report, ExperimentError>> {
-    assert!(parallelism > 0, "need at least one worker");
-    let total = experiments.len();
-    if total == 0 {
-        return Vec::new();
-    }
-    let next = AtomicUsize::new(0);
-    let workers = parallelism.min(total);
-    let (sender, receiver) = mpsc::channel();
-
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            let sender = sender.clone();
-            let experiments = &experiments;
-            let next = &next;
-            scope.spawn(move || loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= total {
-                    break;
-                }
-                let result = experiments[i].clone().run();
-                sender
-                    .send((i, result))
-                    .expect("receiver outlives the scope");
-            });
-        }
-    });
-    drop(sender);
-
-    let mut results: Vec<Option<Result<Report, ExperimentError>>> =
-        (0..total).map(|_| None).collect();
-    for (i, result) in receiver {
-        results[i] = Some(result);
-    }
-    results
-        .into_iter()
-        .map(|slot| slot.expect("every job ran to completion"))
-        .collect()
+    pool_map(experiments, parallelism, "run_parallel", |e| e.run())
 }
 
 /// One capture, every ECC strength: runs the trace pass of `experiment`
@@ -121,6 +181,48 @@ pub fn replay_ecc_sweep(
             let report = experiment.clone().ecc(ecc).replay(&capture)?;
             Ok((ecc, report))
         })
+        .collect()
+}
+
+/// One workload's ECC sweep outcome: a report per strength, or the
+/// configuration error that stopped the sweep.
+pub type EccSweepResult = Result<Vec<(EccStrength, Report)>, ExperimentError>;
+
+/// The full ECC sweep: all 21 workload profiles, each captured once and
+/// replayed at every strength in [`EccStrength::ALL`], fanned out over
+/// `parallelism` workers (pool name `ecc_sweep` in the telemetry).
+///
+/// # Examples
+///
+/// ```no_run
+/// use reap_core::sweep::replay_ecc_sweep_all;
+///
+/// let reports = replay_ecc_sweep_all(1_000_000, 2019, 8);
+/// assert_eq!(reports.len(), 21);
+/// for (_, per_workload) in reports {
+///     assert_eq!(per_workload.expect("valid config").len(), 3);
+/// }
+/// ```
+pub fn replay_ecc_sweep_all(
+    accesses: u64,
+    seed: u64,
+    parallelism: usize,
+) -> Vec<(reap_trace::SpecWorkload, EccSweepResult)> {
+    let workloads = reap_trace::SpecWorkload::ALL;
+    let batch: Vec<Experiment> = workloads
+        .into_iter()
+        .map(|w| {
+            Experiment::paper_hierarchy()
+                .workload(w)
+                .accesses(accesses)
+                .seed(seed)
+        })
+        .collect();
+    workloads
+        .into_iter()
+        .zip(pool_map(batch, parallelism, "ecc_sweep", |e| {
+            replay_ecc_sweep(&e)
+        }))
         .collect()
 }
 
@@ -246,6 +348,14 @@ mod tests {
     #[test]
     fn empty_batch_is_fine() {
         assert!(run_parallel(Vec::new(), 4).is_empty());
+    }
+
+    #[test]
+    fn pool_map_moves_non_clone_jobs_and_keeps_order() {
+        struct Job(usize); // deliberately not Clone
+        let jobs: Vec<Job> = (0..32).map(Job).collect();
+        let out = pool_map(jobs, 4, "test_pool", |j| j.0 * 2);
+        assert_eq!(out, (0..32).map(|i| i * 2).collect::<Vec<_>>());
     }
 
     #[test]

@@ -289,6 +289,7 @@ impl EccCode for Bch {
     }
 
     fn encode(&self, data: &[u8]) -> Codeword {
+        crate::telemetry::note_encode();
         check_data_buffer(data, self.data_bits);
         let r = self.check_bits;
         // CRC-style long division: remainder of d(x) * x^r by g(x).
@@ -317,6 +318,14 @@ impl EccCode for Bch {
     }
 
     fn decode(&self, received: &[u8]) -> Decoded {
+        let decoded = self.decode_inner(received);
+        crate::telemetry::note_decode(decoded.outcome);
+        decoded
+    }
+}
+
+impl Bch {
+    fn decode_inner(&self, received: &[u8]) -> Decoded {
         check_code_buffer(received, self.code_bits());
         let s = self.syndromes(received);
         if s.iter().all(|&x| x == 0) {

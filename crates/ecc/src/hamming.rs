@@ -92,6 +92,7 @@ impl EccCode for HammingSec {
     }
 
     fn encode(&self, data: &[u8]) -> Codeword {
+        crate::telemetry::note_encode();
         check_data_buffer(data, self.data_bits);
         let n = self.code_bits();
         let mut cw = Codeword::zeroed(n);
@@ -141,6 +142,7 @@ impl EccCode for HammingSec {
                 crate::bits::set_bit(&mut data, i, true);
             }
         }
+        crate::telemetry::note_decode(outcome);
         Decoded { data, outcome }
     }
 }

@@ -139,6 +139,7 @@ impl EccCode for HsiaoSecDed {
     }
 
     fn encode(&self, data: &[u8]) -> Codeword {
+        crate::telemetry::note_encode();
         check_data_buffer(data, self.data_bits);
         let mut cw = Codeword::zeroed(self.code_bits());
         let mut check = 0u32;
@@ -157,6 +158,14 @@ impl EccCode for HsiaoSecDed {
     }
 
     fn decode(&self, received: &[u8]) -> Decoded {
+        let decoded = self.decode_inner(received);
+        crate::telemetry::note_decode(decoded.outcome);
+        decoded
+    }
+}
+
+impl HsiaoSecDed {
+    fn decode_inner(&self, received: &[u8]) -> Decoded {
         check_code_buffer(received, self.code_bits());
         let s = self.syndrome(received);
         if s == 0 {

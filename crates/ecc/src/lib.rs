@@ -48,6 +48,7 @@ pub mod hamming;
 pub mod hsiao;
 pub mod interleave;
 pub mod parity;
+pub mod telemetry;
 
 pub use bch::Bch;
 pub use bits::Codeword;

@@ -68,6 +68,7 @@ impl EccCode for Parity {
     }
 
     fn encode(&self, data: &[u8]) -> Codeword {
+        crate::telemetry::note_encode();
         check_data_buffer(data, self.data_bits);
         let mut cw = Codeword::zeroed(self.data_bits + 1);
         for i in 0..self.data_bits {
@@ -90,14 +91,13 @@ impl EccCode for Parity {
                 crate::bits::set_bit(&mut data, i, true);
             }
         }
-        Decoded {
-            data,
-            outcome: if parity_ok {
-                DecodeOutcome::Clean
-            } else {
-                DecodeOutcome::Detected
-            },
-        }
+        let outcome = if parity_ok {
+            DecodeOutcome::Clean
+        } else {
+            DecodeOutcome::Detected
+        };
+        crate::telemetry::note_decode(outcome);
+        Decoded { data, outcome }
     }
 }
 

@@ -1,0 +1,55 @@
+//! Codec operation counters.
+//!
+//! Every concrete codec reports encode/decode traffic and decode outcomes
+//! through these [`StaticCounter`]s. While telemetry is disabled
+//! (`reap_obs::set_enabled(false)`, the default) each call site costs one
+//! relaxed atomic load, so the codecs carry the instrumentation
+//! unconditionally — including in the Monte-Carlo and benchmark hot
+//! loops. [`Interleaved`](crate::Interleaved) delegates to its inner
+//! codes, so interleaved traffic is counted once per *sub-word*
+//! operation, at the leaf codec that actually ran.
+//!
+//! Exported metric names:
+//!
+//! | name | meaning |
+//! |------|---------|
+//! | `ecc.encode` | codewords encoded |
+//! | `ecc.decode` | words decoded |
+//! | `ecc.decode.clean` | decodes with a zero syndrome |
+//! | `ecc.decode.corrected` | decodes that corrected ≥ 1 bit |
+//! | `ecc.corrected_bits` | total bits corrected |
+//! | `ecc.decode.detected` | decodes flagging an uncorrectable error |
+
+use crate::code::DecodeOutcome;
+use reap_obs::StaticCounter;
+
+/// Codewords encoded across all codecs.
+pub static ENCODES: StaticCounter = StaticCounter::new("ecc.encode");
+/// Words decoded across all codecs.
+pub static DECODES: StaticCounter = StaticCounter::new("ecc.decode");
+/// Decodes that observed a zero syndrome.
+pub static DECODES_CLEAN: StaticCounter = StaticCounter::new("ecc.decode.clean");
+/// Decodes that corrected at least one bit.
+pub static DECODES_CORRECTED: StaticCounter = StaticCounter::new("ecc.decode.corrected");
+/// Total bits corrected.
+pub static CORRECTED_BITS: StaticCounter = StaticCounter::new("ecc.corrected_bits");
+/// Decodes that flagged an uncorrectable error.
+pub static DECODES_DETECTED: StaticCounter = StaticCounter::new("ecc.decode.detected");
+
+/// Records one encode.
+pub(crate) fn note_encode() {
+    ENCODES.inc();
+}
+
+/// Records one decode and its outcome.
+pub(crate) fn note_decode(outcome: DecodeOutcome) {
+    DECODES.inc();
+    match outcome {
+        DecodeOutcome::Clean => DECODES_CLEAN.inc(),
+        DecodeOutcome::Corrected(bits) => {
+            DECODES_CORRECTED.inc();
+            CORRECTED_BITS.add(bits as u64);
+        }
+        DecodeOutcome::Detected => DECODES_DETECTED.inc(),
+    }
+}

@@ -85,12 +85,26 @@ impl MtjArray {
 
     /// Writes raw bytes into the array (deterministic; writing heals any
     /// accumulated disturbance). Extra bits beyond `bytes` are cleared.
+    /// A zero-padded partial final byte is accepted, so a codeword whose
+    /// width is not a multiple of 8 (e.g. a 78-bit BCH word in 10 bytes)
+    /// round-trips through an array of exactly its width.
     ///
     /// # Panics
     ///
-    /// Panics if `bytes` holds more bits than the array.
+    /// Panics if `bytes` holds more bytes than the array's rounded-up
+    /// byte width, or if any *set* bit falls at or past [`Self::len`].
     pub fn write_bytes(&mut self, bytes: &[u8]) {
-        assert!(bytes.len() * 8 <= self.bits, "payload wider than array");
+        assert!(
+            bytes.len() <= self.bits.div_ceil(8),
+            "payload wider than array"
+        );
+        let rem = self.bits % 8;
+        if rem != 0 && bytes.len() == self.bits.div_ceil(8) {
+            assert!(
+                bytes[bytes.len() - 1] >> rem == 0,
+                "payload sets bits past the array width"
+            );
+        }
         self.words.fill(0);
         for (i, &b) in bytes.iter().enumerate() {
             self.words[i / 8] |= u64::from(b) << ((i % 8) * 8);
@@ -201,6 +215,34 @@ mod tests {
         let mut a = MtjArray::with_probability(64, 0.0);
         a.write_bytes(&[0b1010_1010; 8]);
         assert_eq!(a.count_ones(), 32);
+    }
+
+    #[test]
+    fn non_byte_aligned_width_accepts_zero_padded_payload() {
+        // A 78-bit codeword serialises to 10 bytes with two zero tail
+        // bits; the array must round-trip it (BCH t=2 over 64-bit data).
+        let mut a = MtjArray::with_probability(78, 0.0);
+        let mut payload = [0xFFu8; 10];
+        payload[9] = 0b0011_1111; // bits 72..78 set, 78..80 clear
+        a.write_bytes(&payload);
+        assert_eq!(a.count_ones(), 78);
+        assert_eq!(a.snapshot(), payload);
+    }
+
+    #[test]
+    #[should_panic(expected = "past the array width")]
+    fn set_bits_past_the_width_are_rejected() {
+        let mut a = MtjArray::with_probability(78, 0.0);
+        let mut payload = [0u8; 10];
+        payload[9] = 0b0100_0000; // bit 78 — outside the array
+        a.write_bytes(&payload);
+    }
+
+    #[test]
+    #[should_panic(expected = "payload wider than array")]
+    fn too_many_bytes_are_rejected() {
+        let mut a = MtjArray::with_probability(78, 0.0);
+        a.write_bytes(&[0u8; 11]);
     }
 
     #[test]

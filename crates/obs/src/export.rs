@@ -1,0 +1,410 @@
+//! Exporters: human-readable tables, JSON-lines, Chrome `trace_event`.
+//!
+//! All three render a [`Snapshot`], so one consistent capture of the
+//! registry can be shown to a human, diffed in CI and opened in a trace
+//! viewer at the same time.
+//!
+//! # JSON-lines schema (`reap-obs/1`)
+//!
+//! One object per line; the first line is a `meta` record announcing the
+//! schema and the number of records of each type:
+//!
+//! ```text
+//! {"type":"meta","schema":"reap-obs/1","counters":2,"gauges":1,"hists":0,"spans":3}
+//! {"type":"counter","name":"ecc.decode","value":1234}
+//! {"type":"gauge","name":"run_parallel.worker.0.utilization","value":0.93}
+//! {"type":"hist","name":"mc.reads","count":5,"sum":120,"max":64,"buckets":[[16,3],[64,2]]}
+//! {"type":"span","path":"capture","name":"capture","thread":0,"start_us":12,"dur_us":51000,
+//!  "wall_s":0.051,"events":400000,"rate_per_s":7843137.2}
+//! ```
+//!
+//! Metric records are sorted by name and spans by path, so two identical
+//! runs produce identical documents apart from the wall-clock fields
+//! listed in [`TIMING_KEYS`] — strip those to diff runs in CI.
+
+use crate::json;
+use crate::registry::Snapshot;
+use std::fmt::Write as _;
+use std::io::{self, Write};
+
+/// Schema identifier stamped on the first JSON-lines record.
+pub const JSONL_SCHEMA: &str = "reap-obs/1";
+
+/// Keys whose values differ between otherwise identical runs: wall-clock
+/// measurements, plus the recording thread id (a parallel pool does not
+/// assign spans to the same worker every run). Diff tooling should drop
+/// these.
+pub const TIMING_KEYS: &[&str] = &["start_us", "dur_us", "wall_s", "rate_per_s", "thread"];
+
+/// Writes the snapshot as JSON-lines (see the module docs for the schema).
+///
+/// # Errors
+///
+/// Propagates I/O errors from `out`.
+pub fn write_jsonl<W: Write>(snapshot: &Snapshot, mut out: W) -> io::Result<()> {
+    writeln!(
+        out,
+        "{{\"type\":\"meta\",\"schema\":\"{}\",\"counters\":{},\"gauges\":{},\"hists\":{},\"spans\":{}}}",
+        JSONL_SCHEMA,
+        snapshot.counters.len(),
+        snapshot.gauges.len(),
+        snapshot.hists.len(),
+        snapshot.spans.len(),
+    )?;
+    for (name, value) in &snapshot.counters {
+        writeln!(
+            out,
+            "{{\"type\":\"counter\",\"name\":\"{}\",\"value\":{value}}}",
+            json::escape(name)
+        )?;
+    }
+    for (name, value) in &snapshot.gauges {
+        writeln!(
+            out,
+            "{{\"type\":\"gauge\",\"name\":\"{}\",\"value\":{}}}",
+            json::escape(name),
+            json::number(*value)
+        )?;
+    }
+    for (name, hist) in &snapshot.hists {
+        let buckets: Vec<String> = hist
+            .buckets
+            .iter()
+            .map(|(lo, count)| format!("[{lo},{count}]"))
+            .collect();
+        writeln!(
+            out,
+            "{{\"type\":\"hist\",\"name\":\"{}\",\"count\":{},\"sum\":{},\"max\":{},\"buckets\":[{}]}}",
+            json::escape(name),
+            hist.count,
+            hist.sum,
+            hist.max,
+            buckets.join(",")
+        )?;
+    }
+    for span in &snapshot.spans {
+        let rate = span
+            .rate_per_s()
+            .map_or_else(|| "null".to_owned(), json::number);
+        writeln!(
+            out,
+            "{{\"type\":\"span\",\"path\":\"{}\",\"name\":\"{}\",\"thread\":{},\"start_us\":{},\"dur_us\":{},\"wall_s\":{},\"events\":{},\"rate_per_s\":{}}}",
+            json::escape(&span.path),
+            json::escape(&span.name),
+            span.thread,
+            span.start_us,
+            span.dur_us,
+            json::number(span.wall_seconds()),
+            span.events,
+            rate,
+        )?;
+    }
+    Ok(())
+}
+
+/// Writes the snapshot's spans as Chrome `trace_event` JSON (the format
+/// `chrome://tracing`, Perfetto and Speedscope open), one complete-event
+/// (`"ph":"X"`) per span.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `out`.
+pub fn write_chrome_trace<W: Write>(snapshot: &Snapshot, mut out: W) -> io::Result<()> {
+    writeln!(out, "[")?;
+    for (i, span) in snapshot.spans.iter().enumerate() {
+        let comma = if i + 1 == snapshot.spans.len() {
+            ""
+        } else {
+            ","
+        };
+        writeln!(
+            out,
+            "{{\"name\":\"{}\",\"cat\":\"reap\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{},\"args\":{{\"path\":\"{}\",\"events\":{}}}}}{comma}",
+            json::escape(&span.name),
+            span.start_us,
+            span.dur_us,
+            span.thread,
+            json::escape(&span.path),
+            span.events,
+        )?;
+    }
+    writeln!(out, "]")?;
+    Ok(())
+}
+
+/// Renders the snapshot as human-readable aligned tables (spans first,
+/// then counters, gauges and histograms). Empty sections are omitted.
+pub fn render_table(snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+    if !snapshot.spans.is_empty() {
+        let _ = writeln!(
+            out,
+            "{:<40} {:>10} {:>12} {:>14}",
+            "span", "wall s", "events", "events/s"
+        );
+        for span in &snapshot.spans {
+            let depth = span.path.matches('/').count();
+            let label = format!("{}{}", "  ".repeat(depth), span.name);
+            let rate = span
+                .rate_per_s()
+                .map_or_else(|| "-".to_owned(), |r| format!("{r:.1}"));
+            let events = if span.events > 0 {
+                span.events.to_string()
+            } else {
+                "-".to_owned()
+            };
+            let _ = writeln!(
+                out,
+                "{label:<40} {:>10.3} {events:>12} {rate:>14}",
+                span.wall_seconds()
+            );
+        }
+    }
+    if !snapshot.counters.is_empty() {
+        let _ = writeln!(out, "{:<40} {:>12}", "counter", "value");
+        for (name, value) in &snapshot.counters {
+            let _ = writeln!(out, "{name:<40} {value:>12}");
+        }
+    }
+    if !snapshot.gauges.is_empty() {
+        let _ = writeln!(out, "{:<40} {:>12}", "gauge", "value");
+        for (name, value) in &snapshot.gauges {
+            let _ = writeln!(out, "{name:<40} {value:>12.4}");
+        }
+    }
+    if !snapshot.hists.is_empty() {
+        let _ = writeln!(
+            out,
+            "{:<40} {:>10} {:>12} {:>10}",
+            "histogram", "count", "sum", "max"
+        );
+        for (name, hist) in &snapshot.hists {
+            let _ = writeln!(
+                out,
+                "{name:<40} {:>10} {:>12} {:>10}",
+                hist.count, hist.sum, hist.max
+            );
+        }
+    }
+    out
+}
+
+/// Per-type record counts of a validated JSON-lines document.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JsonlSummary {
+    /// `counter` records seen.
+    pub counters: u64,
+    /// `gauge` records seen.
+    pub gauges: u64,
+    /// `hist` records seen.
+    pub hists: u64,
+    /// `span` records seen.
+    pub spans: u64,
+}
+
+impl JsonlSummary {
+    /// Total records excluding the `meta` line.
+    pub fn total(&self) -> u64 {
+        self.counters + self.gauges + self.hists + self.spans
+    }
+}
+
+/// Validates a JSON-lines document produced by [`write_jsonl`]: every
+/// line parses, the first line is a `meta` record with the expected
+/// schema, every record type is known, metric records carry names, and
+/// the meta counts match the body.
+///
+/// # Errors
+///
+/// Returns a `(line_number, message)` pair (1-based) for the first
+/// violation.
+pub fn check_jsonl(text: &str) -> Result<JsonlSummary, (usize, String)> {
+    let mut summary = JsonlSummary::default();
+    let mut meta: Option<[u64; 4]> = None;
+    for (i, line) in text.lines().enumerate() {
+        let line_no = i + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let value = json::parse(line).map_err(|e| (line_no, format!("invalid JSON: {e}")))?;
+        let kind = value
+            .get("type")
+            .and_then(json::Value::as_str)
+            .ok_or_else(|| (line_no, "record has no \"type\" field".to_owned()))?;
+        if meta.is_none() {
+            if kind != "meta" {
+                return Err((line_no, "first record must be \"meta\"".to_owned()));
+            }
+            let schema = value.get("schema").and_then(json::Value::as_str);
+            if schema != Some(JSONL_SCHEMA) {
+                return Err((
+                    line_no,
+                    format!("unknown schema {schema:?}, expected \"{JSONL_SCHEMA}\""),
+                ));
+            }
+            let count = |key: &str| {
+                value
+                    .get(key)
+                    .and_then(json::Value::as_f64)
+                    .map(|v| v as u64)
+                    .ok_or_else(|| (line_no, format!("meta record missing \"{key}\"")))
+            };
+            meta = Some([
+                count("counters")?,
+                count("gauges")?,
+                count("hists")?,
+                count("spans")?,
+            ]);
+            continue;
+        }
+        match kind {
+            "counter" | "gauge" | "hist" => {
+                if value.get("name").and_then(json::Value::as_str).is_none() {
+                    return Err((line_no, format!("{kind} record has no \"name\"")));
+                }
+                if kind == "hist" {
+                    summary.hists += 1;
+                } else if kind == "counter" {
+                    if value.get("value").and_then(json::Value::as_f64).is_none() {
+                        return Err((line_no, "counter record has no numeric \"value\"".into()));
+                    }
+                    summary.counters += 1;
+                } else {
+                    summary.gauges += 1;
+                }
+            }
+            "span" => {
+                for key in ["path", "name"] {
+                    if value.get(key).and_then(json::Value::as_str).is_none() {
+                        return Err((line_no, format!("span record has no \"{key}\"")));
+                    }
+                }
+                summary.spans += 1;
+            }
+            "meta" => return Err((line_no, "duplicate meta record".to_owned())),
+            other => return Err((line_no, format!("unknown record type \"{other}\""))),
+        }
+    }
+    let Some(meta) = meta else {
+        return Err((0, "empty document (no meta record)".to_owned()));
+    };
+    let body = [
+        summary.counters,
+        summary.gauges,
+        summary.hists,
+        summary.spans,
+    ];
+    if meta != body {
+        return Err((
+            0,
+            format!("meta counts {meta:?} do not match body counts {body:?}"),
+        ));
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    fn sample() -> Registry {
+        let r = Registry::new();
+        r.counter("ecc.decode").add(7);
+        r.gauge("util").set(0.5);
+        r.histogram("n").record(9);
+        {
+            let mut s = r.span("capture");
+            s.add_events(100);
+        }
+        r
+    }
+
+    #[test]
+    fn jsonl_round_trips_through_check() {
+        let mut buf = Vec::new();
+        write_jsonl(&sample().snapshot(), &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let summary = check_jsonl(&text).unwrap();
+        assert_eq!(
+            summary,
+            JsonlSummary {
+                counters: 1,
+                gauges: 1,
+                hists: 1,
+                spans: 1
+            }
+        );
+        assert_eq!(summary.total(), 4);
+    }
+
+    #[test]
+    fn every_jsonl_line_is_valid_json() {
+        let mut buf = Vec::new();
+        write_jsonl(&sample().snapshot(), &mut buf).unwrap();
+        for line in String::from_utf8(buf).unwrap().lines() {
+            crate::json::parse(line).expect("valid line");
+        }
+    }
+
+    #[test]
+    fn check_rejects_corruption() {
+        let mut buf = Vec::new();
+        write_jsonl(&sample().snapshot(), &mut buf).unwrap();
+        let good = String::from_utf8(buf).unwrap();
+
+        let (line, msg) = check_jsonl(&good.replace("\"counter\"", "\"frob\"")).unwrap_err();
+        assert!(line > 1, "{msg}");
+        assert!(msg.contains("frob") || msg.contains("counts"), "{msg}");
+
+        let truncated: String = good.lines().take(2).collect::<Vec<_>>().join("\n");
+        let (_, msg) = check_jsonl(&truncated).unwrap_err();
+        assert!(msg.contains("do not match"), "{msg}");
+
+        assert!(check_jsonl("").is_err());
+        assert!(check_jsonl("not json\n").is_err());
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_array() {
+        let mut buf = Vec::new();
+        write_chrome_trace(&sample().snapshot(), &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let parsed = crate::json::parse(&text).unwrap();
+        let crate::json::Value::Arr(events) = parsed else {
+            panic!("not an array");
+        };
+        assert_eq!(events.len(), 1);
+        assert_eq!(
+            events[0].get("ph").and_then(crate::json::Value::as_str),
+            Some("X")
+        );
+    }
+
+    #[test]
+    fn empty_snapshot_exports_cleanly() {
+        let r = Registry::new();
+        let mut buf = Vec::new();
+        write_jsonl(&r.snapshot(), &mut buf).unwrap();
+        let summary = check_jsonl(&String::from_utf8(buf).unwrap()).unwrap();
+        assert_eq!(summary.total(), 0);
+        let mut buf = Vec::new();
+        write_chrome_trace(&r.snapshot(), &mut buf).unwrap();
+        crate::json::parse(&String::from_utf8(buf).unwrap()).unwrap();
+        assert!(render_table(&r.snapshot()).is_empty());
+    }
+
+    #[test]
+    fn table_indents_children_and_lists_metrics() {
+        let r = sample();
+        {
+            let _outer = r.span("replay");
+            let _inner = r.span("point");
+        }
+        let table = render_table(&r.snapshot());
+        assert!(table.contains("capture"));
+        assert!(table.contains("  point"), "{table}");
+        assert!(table.contains("ecc.decode"));
+        assert!(table.contains("util"));
+    }
+}

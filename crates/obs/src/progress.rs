@@ -1,0 +1,191 @@
+//! Rate-limited progress reporting for long-running phases.
+//!
+//! A [`Progress`] is ticked from the hot loop (any thread); it keeps an
+//! atomic completion count and prints a status line to stderr at most
+//! once per refresh interval, so reporting never becomes the bottleneck
+//! of the loop it observes.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Default minimum interval between printed status lines.
+pub const DEFAULT_REFRESH_MS: u64 = 200;
+
+/// A rate-limited progress reporter.
+///
+/// # Examples
+///
+/// ```
+/// use reap_obs::Progress;
+///
+/// let progress = Progress::new("capture", Some(1_000_000));
+/// progress.tick(250_000);
+/// let line = progress.line();
+/// assert!(line.starts_with("capture:"));
+/// assert!(line.contains("250000/1000000"));
+/// assert!(line.contains("25.0%"));
+/// ```
+#[derive(Debug)]
+pub struct Progress {
+    label: String,
+    total: Option<u64>,
+    done: AtomicU64,
+    start: Instant,
+    last_print_us: AtomicU64,
+    interval_us: u64,
+}
+
+impl Progress {
+    /// Creates a reporter; `total` enables percentage and ETA output.
+    pub fn new(label: impl Into<String>, total: Option<u64>) -> Self {
+        Self {
+            label: label.into(),
+            total,
+            done: AtomicU64::new(0),
+            start: Instant::now(),
+            last_print_us: AtomicU64::new(0),
+            interval_us: DEFAULT_REFRESH_MS * 1000,
+        }
+    }
+
+    /// Overrides the refresh interval (milliseconds).
+    pub fn refresh_ms(mut self, ms: u64) -> Self {
+        self.interval_us = ms * 1000;
+        self
+    }
+
+    /// Units completed so far.
+    pub fn done(&self) -> u64 {
+        self.done.load(Ordering::Relaxed)
+    }
+
+    /// Records `n` completed units; prints a status line to stderr if the
+    /// refresh interval elapsed since the last print. Safe and cheap to
+    /// call from many threads — losers of the print race skip printing.
+    pub fn tick(&self, n: u64) {
+        self.done.fetch_add(n, Ordering::Relaxed);
+        let elapsed_us = self.start.elapsed().as_micros() as u64;
+        let last = self.last_print_us.load(Ordering::Relaxed);
+        if elapsed_us.saturating_sub(last) < self.interval_us {
+            return;
+        }
+        if self
+            .last_print_us
+            .compare_exchange(last, elapsed_us, Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok()
+        {
+            eprint!("\r{}\x1b[K", self.line());
+        }
+    }
+
+    /// Prints the final status line (with a newline) to stderr.
+    pub fn finish(&self) {
+        eprintln!("\r{}\x1b[K", self.line());
+    }
+
+    /// The current status line: label, completion, throughput and — when
+    /// a total is known — percentage and ETA.
+    pub fn line(&self) -> String {
+        let done = self.done();
+        let elapsed = self.start.elapsed().as_secs_f64();
+        let rate = if elapsed > 0.0 {
+            done as f64 / elapsed
+        } else {
+            0.0
+        };
+        match self.total {
+            Some(total) if total > 0 => {
+                let pct = 100.0 * done as f64 / total as f64;
+                let eta = if rate > 0.0 && done < total {
+                    format!(", ETA {}", fmt_seconds((total - done) as f64 / rate))
+                } else {
+                    String::new()
+                };
+                format!(
+                    "{}: {done}/{total} ({pct:.1}%) {}/s{eta}",
+                    self.label,
+                    fmt_rate(rate)
+                )
+            }
+            _ => format!("{}: {done} {}/s", self.label, fmt_rate(rate)),
+        }
+    }
+}
+
+fn fmt_rate(rate: f64) -> String {
+    if rate >= 1e6 {
+        format!("{:.2}M", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.1}k", rate / 1e3)
+    } else {
+        format!("{rate:.0}")
+    }
+}
+
+fn fmt_seconds(s: f64) -> String {
+    if s >= 3600.0 {
+        format!("{:.0}h{:02.0}m", (s / 3600.0).floor(), (s % 3600.0) / 60.0)
+    } else if s >= 60.0 {
+        format!("{:.0}m{:02.0}s", (s / 60.0).floor(), s % 60.0)
+    } else {
+        format!("{s:.0}s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_reports_fraction_and_rate() {
+        let p = Progress::new("replay", Some(200));
+        p.tick(0); // may print; harmless in tests
+        p.tick(50);
+        assert_eq!(p.done(), 50);
+        let line = p.line();
+        assert!(line.contains("50/200"), "{line}");
+        assert!(line.contains("25.0%"), "{line}");
+        assert!(line.contains("/s"), "{line}");
+    }
+
+    #[test]
+    fn line_without_total_is_open_ended() {
+        let p = Progress::new("montecarlo", None);
+        p.tick(1234);
+        let line = p.line();
+        assert!(line.contains("1234"), "{line}");
+        assert!(!line.contains('%'), "{line}");
+    }
+
+    #[test]
+    fn completion_drops_the_eta() {
+        let p = Progress::new("x", Some(10));
+        p.tick(10);
+        assert!(!p.line().contains("ETA"));
+    }
+
+    #[test]
+    fn rate_formatting_scales() {
+        assert_eq!(fmt_rate(12.0), "12");
+        assert_eq!(fmt_rate(4_500.0), "4.5k");
+        assert_eq!(fmt_rate(2_500_000.0), "2.50M");
+        assert_eq!(fmt_seconds(5.0), "5s");
+        assert_eq!(fmt_seconds(125.0), "2m05s");
+        assert_eq!(fmt_seconds(3725.0), "1h02m");
+    }
+
+    #[test]
+    fn ticks_from_many_threads_accumulate() {
+        let p = Progress::new("mt", Some(4000));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..1000 {
+                        p.tick(1);
+                    }
+                });
+            }
+        });
+        assert_eq!(p.done(), 4000);
+    }
+}

@@ -1,0 +1,469 @@
+//! The thread-safe metrics registry: named counters, gauges and
+//! log-bucketed histograms, plus the sink for finished [`span`] records.
+//!
+//! Handles returned by [`Registry::counter`]/[`Registry::gauge`]/
+//! [`Registry::histogram`] are cheap `Arc`-backed cells — look a metric up
+//! once outside a hot loop and update it lock-free from any number of
+//! threads. For instrumentation points that cannot afford even one lazy
+//! lookup, [`StaticCounter`] provides a `const`-constructible counter that
+//! registers itself with the global registry on first use and costs a
+//! single relaxed atomic load while telemetry is disabled.
+//!
+//! [`span`]: crate::span()
+
+use crate::span::SpanRecord;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Number of power-of-two buckets a [`Histogram`] carries — enough for the
+/// full `u64` range.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// A monotonically increasing named metric.
+///
+/// Cloning is cheap; all clones update the same cell.
+///
+/// # Examples
+///
+/// ```
+/// use reap_obs::Registry;
+///
+/// let registry = Registry::new();
+/// let decodes = registry.counter("ecc.decode");
+/// decodes.add(3);
+/// decodes.inc();
+/// assert_eq!(registry.counter("ecc.decode").get(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds `n` to the counter.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Overwrites the counter with an absolute value — used when a
+    /// subsystem exports already-accumulated totals (e.g. cache stats at
+    /// the end of a run) rather than streaming increments.
+    pub fn store(&self, value: u64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A named metric holding the latest `f64` observation.
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Records `value`, replacing the previous observation.
+    pub fn set(&self, value: f64) {
+        self.0.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Latest observation (0.0 if never set).
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Debug)]
+pub(crate) struct HistCell {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl HistCell {
+    fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A log-bucketed histogram over `u64` observations.
+///
+/// Bucket `i` covers `[2^i, 2^(i+1))` — the same power-of-two scheme as
+/// `reap_reliability::LogHistogram`, so accumulation-count distributions
+/// recorded here line up bin-for-bin with the paper's Fig. 3 pipeline.
+/// Observations of `0` are clamped into bucket 0.
+///
+/// # Examples
+///
+/// ```
+/// use reap_obs::Registry;
+///
+/// let registry = Registry::new();
+/// let h = registry.histogram("accumulation.n");
+/// h.record(1);
+/// h.record(1000);
+/// let snap = registry.snapshot();
+/// assert_eq!(snap.hists[0].1.count, 2);
+/// assert_eq!(snap.hists[0].1.max, 1000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistCell>);
+
+impl Histogram {
+    /// Records one observation.
+    pub fn record(&self, value: u64) {
+        let bucket = 63 - value.max(1).leading_zeros() as usize;
+        self.0.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(value, Ordering::Relaxed);
+        self.0.max.fetch_max(value, Ordering::Relaxed);
+    }
+}
+
+/// Point-in-time copy of one histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observations.
+    pub sum: u64,
+    /// Largest observation.
+    pub max: u64,
+    /// Non-empty buckets as `(lower_edge, count)`, lower edges ascending
+    /// powers of two.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+/// A `const`-constructible counter for hot instrumentation points.
+///
+/// Lives in a `static`, costs one relaxed load while telemetry is
+/// disabled, and registers itself with the [global registry](crate::global)
+/// the first time it is incremented while telemetry is enabled — no
+/// life-before-main tricks required.
+///
+/// # Examples
+///
+/// ```
+/// use reap_obs::StaticCounter;
+///
+/// static DECODES: StaticCounter = StaticCounter::new("ecc.decode");
+///
+/// reap_obs::set_enabled(true);
+/// DECODES.add(1);
+/// assert!(DECODES.get() >= 1);
+/// # reap_obs::set_enabled(false);
+/// ```
+#[derive(Debug)]
+pub struct StaticCounter {
+    name: &'static str,
+    value: AtomicU64,
+    registered: AtomicBool,
+}
+
+impl StaticCounter {
+    /// Creates the counter; usable in `static` items.
+    pub const fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            value: AtomicU64::new(0),
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// The metric name this counter exports under.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Adds `n` if telemetry is enabled; a single relaxed load otherwise.
+    pub fn add(&'static self, n: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.value.fetch_add(n, Ordering::Relaxed);
+        if !self.registered.load(Ordering::Relaxed) && !self.registered.swap(true, Ordering::SeqCst)
+        {
+            crate::global().register_static(self);
+        }
+    }
+
+    /// Adds one (subject to the enable gate).
+    pub fn inc(&'static self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: BTreeMap<String, Arc<AtomicU64>>,
+    statics: Vec<&'static StaticCounter>,
+    gauges: BTreeMap<String, Arc<AtomicU64>>,
+    hists: BTreeMap<String, Arc<HistCell>>,
+    spans: Vec<SpanRecord>,
+}
+
+/// A thread-safe collection of named metrics and finished span records.
+///
+/// Most code uses the process-wide instance via [`crate::global`]; tests
+/// and embedded uses can carry private instances.
+#[derive(Debug)]
+pub struct Registry {
+    epoch: Instant,
+    inner: Mutex<Inner>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Registry {
+    /// Creates an empty registry; its epoch (the zero point of span
+    /// timestamps) is the creation instant.
+    pub fn new() -> Self {
+        Self {
+            epoch: Instant::now(),
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// The instant span timestamps are measured from.
+    pub fn epoch(&self) -> Instant {
+        self.epoch
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Returns (creating on first use) the counter named `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut inner = self.lock();
+        let cell = inner
+            .counters
+            .entry(name.to_owned())
+            .or_insert_with(|| Arc::new(AtomicU64::new(0)));
+        Counter(Arc::clone(cell))
+    }
+
+    /// Returns (creating on first use) the gauge named `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut inner = self.lock();
+        let cell = inner
+            .gauges
+            .entry(name.to_owned())
+            .or_insert_with(|| Arc::new(AtomicU64::new(0f64.to_bits())));
+        Gauge(Arc::clone(cell))
+    }
+
+    /// Returns (creating on first use) the histogram named `name`.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut inner = self.lock();
+        let cell = inner
+            .hists
+            .entry(name.to_owned())
+            .or_insert_with(|| Arc::new(HistCell::new()));
+        Histogram(Arc::clone(cell))
+    }
+
+    pub(crate) fn register_static(&self, counter: &'static StaticCounter) {
+        self.lock().statics.push(counter);
+    }
+
+    pub(crate) fn record_span(&self, record: SpanRecord) {
+        self.lock().spans.push(record);
+    }
+
+    /// Total wall-clock seconds across all finished spans named `name`.
+    pub fn span_seconds(&self, name: &str) -> f64 {
+        self.lock()
+            .spans
+            .iter()
+            .filter(|s| s.name == name)
+            .map(|s| s.dur_us as f64 / 1e6)
+            .sum()
+    }
+
+    /// Number of finished spans named `name`.
+    pub fn span_count(&self, name: &str) -> u64 {
+        self.lock().spans.iter().filter(|s| s.name == name).count() as u64
+    }
+
+    /// Takes a consistent snapshot of every metric and span.
+    ///
+    /// Counters (static ones merged in), gauges and histograms come out
+    /// sorted by name; spans sorted by `(path, events)`, ties kept in
+    /// completion order. The event count breaks ties deterministically
+    /// even when a parallel pool finishes spans in a different order
+    /// between runs, so two identical runs snapshot into identical
+    /// structures apart from the run-variant fields
+    /// ([`crate::export::TIMING_KEYS`] and the recording thread id).
+    pub fn snapshot(&self) -> Snapshot {
+        let inner = self.lock();
+        let mut counters: BTreeMap<String, u64> = inner
+            .counters
+            .iter()
+            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .collect();
+        for s in &inner.statics {
+            *counters.entry(s.name.to_owned()).or_insert(0) += s.get();
+        }
+        let gauges = inner
+            .gauges
+            .iter()
+            .map(|(k, v)| (k.clone(), f64::from_bits(v.load(Ordering::Relaxed))))
+            .collect();
+        let hists = inner
+            .hists
+            .iter()
+            .map(|(k, v)| {
+                let buckets: Vec<(u64, u64)> = v
+                    .buckets
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, c)| {
+                        let c = c.load(Ordering::Relaxed);
+                        (c > 0).then_some((1u64 << i, c))
+                    })
+                    .collect();
+                (
+                    k.clone(),
+                    HistSnapshot {
+                        count: v.count.load(Ordering::Relaxed),
+                        sum: v.sum.load(Ordering::Relaxed),
+                        max: v.max.load(Ordering::Relaxed),
+                        buckets,
+                    },
+                )
+            })
+            .collect();
+        let mut spans = inner.spans.clone();
+        spans.sort_by(|a, b| a.path.cmp(&b.path).then(a.events.cmp(&b.events)));
+        Snapshot {
+            counters: counters.into_iter().collect(),
+            gauges,
+            hists,
+            spans,
+        }
+    }
+
+    /// Drops every metric value and span record (names and handles stay
+    /// valid). Static counters are reset too.
+    pub fn reset(&self) {
+        let mut inner = self.lock();
+        for v in inner.counters.values() {
+            v.store(0, Ordering::Relaxed);
+        }
+        for s in &inner.statics {
+            s.value.store(0, Ordering::Relaxed);
+        }
+        for v in inner.gauges.values() {
+            v.store(0f64.to_bits(), Ordering::Relaxed);
+        }
+        for h in inner.hists.values() {
+            for b in &h.buckets {
+                b.store(0, Ordering::Relaxed);
+            }
+            h.count.store(0, Ordering::Relaxed);
+            h.sum.store(0, Ordering::Relaxed);
+            h.max.store(0, Ordering::Relaxed);
+        }
+        inner.spans.clear();
+    }
+}
+
+/// Point-in-time copy of a [`Registry`], ready for export.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// `(name, value)` sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, latest)` sorted by name.
+    pub gauges: Vec<(String, f64)>,
+    /// `(name, histogram)` sorted by name.
+    pub hists: Vec<(String, HistSnapshot)>,
+    /// Finished spans sorted by path (completion order within a path).
+    pub spans: Vec<SpanRecord>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_share_cells() {
+        let r = Registry::new();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        a.add(2);
+        b.inc();
+        assert_eq!(a.get(), 3);
+        a.store(10);
+        assert_eq!(b.get(), 10);
+    }
+
+    #[test]
+    fn gauges_hold_latest_value() {
+        let r = Registry::new();
+        let g = r.gauge("util");
+        assert_eq!(g.get(), 0.0);
+        g.set(0.75);
+        assert_eq!(r.gauge("util").get(), 0.75);
+    }
+
+    #[test]
+    fn histogram_buckets_are_powers_of_two() {
+        let r = Registry::new();
+        let h = r.histogram("n");
+        h.record(1);
+        h.record(3);
+        h.record(3);
+        h.record(1000);
+        h.record(0); // clamped into bucket 0
+        let snap = r.snapshot();
+        let (_, hist) = &snap.hists[0];
+        assert_eq!(hist.count, 5);
+        assert_eq!(hist.max, 1000);
+        assert_eq!(hist.buckets, vec![(1, 2), (2, 2), (512, 1)]);
+    }
+
+    #[test]
+    fn snapshot_sorts_by_name() {
+        let r = Registry::new();
+        r.counter("zeta").inc();
+        r.counter("alpha").inc();
+        let snap = r.snapshot();
+        let names: Vec<&str> = snap.counters.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["alpha", "zeta"]);
+    }
+
+    #[test]
+    fn reset_zeroes_values_but_keeps_handles() {
+        let r = Registry::new();
+        let c = r.counter("c");
+        c.add(5);
+        r.histogram("h").record(9);
+        r.reset();
+        assert_eq!(c.get(), 0);
+        assert_eq!(r.snapshot().hists[0].1.count, 0);
+        c.inc();
+        assert_eq!(r.counter("c").get(), 1);
+    }
+}

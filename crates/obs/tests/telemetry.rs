@@ -1,0 +1,164 @@
+//! Cross-module behaviour of the telemetry substrate: export determinism,
+//! registry thread-safety under `run_parallel`-like load, and the global
+//! enable gate.
+
+use reap_obs::export::{check_jsonl, write_jsonl, TIMING_KEYS};
+use reap_obs::json::{parse, Value};
+use reap_obs::{Registry, StaticCounter};
+
+/// Drives one scripted "simulation" into a registry: a capture span with
+/// nested per-point replays, counters, a gauge and a histogram.
+fn scripted_run(registry: &Registry) {
+    {
+        let mut capture = registry.span("capture");
+        capture.add_events(40_000);
+        registry.counter("sim.capture.exposure_events").add(1_234);
+    }
+    {
+        let _replay = registry.span("replay");
+        for point in ["sec", "dec", "tec"] {
+            let mut child = registry.span(point);
+            child.add_events(1_234);
+            registry.counter("ecc.decode").add(512);
+        }
+    }
+    registry
+        .gauge("run_parallel.worker.0.utilization")
+        .set(0.875);
+    for n in [1u64, 3, 3, 900, 40_000] {
+        registry.histogram("accumulation.n").record(n);
+    }
+}
+
+/// A JSON-lines document reduced to its deterministic content: each line
+/// parsed and stripped of wall-clock fields.
+fn deterministic_view(jsonl: &str) -> Vec<Vec<(String, Value)>> {
+    jsonl
+        .lines()
+        .map(|line| {
+            let Value::Obj(fields) = parse(line).expect("exporter emits valid JSON") else {
+                panic!("line is not an object: {line}");
+            };
+            fields
+                .into_iter()
+                .filter(|(k, _)| !TIMING_KEYS.contains(&k.as_str()))
+                .collect()
+        })
+        .collect()
+}
+
+fn export(registry: &Registry) -> String {
+    let mut buf = Vec::new();
+    write_jsonl(&registry.snapshot(), &mut buf).unwrap();
+    String::from_utf8(buf).unwrap()
+}
+
+#[test]
+fn identical_runs_export_identical_jsonl_modulo_timestamps() {
+    let a = Registry::new();
+    let b = Registry::new();
+    scripted_run(&a);
+    scripted_run(&b);
+    let ja = export(&a);
+    let jb = export(&b);
+    assert_eq!(
+        deterministic_view(&ja),
+        deterministic_view(&jb),
+        "same work must export the same document apart from timing"
+    );
+    // And the timing fields are the *only* tolerated difference: the raw
+    // documents agree line-for-line in shape and ordering.
+    assert_eq!(ja.lines().count(), jb.lines().count());
+    check_jsonl(&ja).unwrap();
+    check_jsonl(&jb).unwrap();
+}
+
+#[test]
+fn repeated_snapshots_of_an_idle_registry_are_identical() {
+    let r = Registry::new();
+    scripted_run(&r);
+    assert_eq!(
+        deterministic_view(&export(&r)),
+        deterministic_view(&export(&r))
+    );
+}
+
+#[test]
+fn registry_survives_worker_pool_hammering() {
+    // The shape run_parallel produces: many threads incrementing shared
+    // counters, recording histograms and opening spans concurrently.
+    const THREADS: usize = 16;
+    const OPS: u64 = 10_000;
+    let registry = Registry::new();
+    std::thread::scope(|scope| {
+        for worker in 0..THREADS {
+            let registry = &registry;
+            scope.spawn(move || {
+                let jobs = registry.counter("pool.jobs");
+                let hist = registry.histogram("pool.latency_us");
+                for i in 0..OPS {
+                    jobs.inc();
+                    registry.counter("pool.shared").add(2);
+                    hist.record(i % 1024 + 1);
+                    if i % 1_000 == 0 {
+                        let mut span = registry.span("job");
+                        span.add_events(1);
+                    }
+                }
+                registry
+                    .gauge(&format!("pool.worker.{worker}.busy_s"))
+                    .set(worker as f64);
+            });
+        }
+    });
+    let snap = registry.snapshot();
+    let counter = |name: &str| {
+        snap.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap()
+    };
+    assert_eq!(counter("pool.jobs"), THREADS as u64 * OPS);
+    assert_eq!(counter("pool.shared"), THREADS as u64 * OPS * 2);
+    let hist = &snap.hists[0].1;
+    assert_eq!(hist.count, THREADS as u64 * OPS);
+    assert_eq!(registry.span_count("job"), (THREADS * 10) as u64);
+    assert_eq!(snap.gauges.len(), THREADS);
+    check_jsonl(&export(&registry)).unwrap();
+}
+
+static GATED: StaticCounter = StaticCounter::new("test.gated");
+
+#[test]
+fn global_gate_controls_spans_and_static_counters() {
+    // Single test for all global-flag behaviour, so parallel tests in
+    // this binary never observe a half-toggled flag.
+    assert!(!reap_obs::enabled(), "telemetry must default to off");
+    GATED.add(5);
+    assert_eq!(GATED.get(), 0, "disabled static counters drop updates");
+    let inert = reap_obs::span("ignored");
+    assert!(!inert.is_recording());
+    drop(inert);
+
+    reap_obs::set_enabled(true);
+    GATED.add(5);
+    let mut live = reap_obs::span("gated_phase");
+    assert!(live.is_recording());
+    live.add_events(1);
+    drop(live);
+    reap_obs::set_enabled(false);
+
+    assert_eq!(GATED.get(), 5);
+    let snap = reap_obs::global().snapshot();
+    assert!(snap
+        .counters
+        .iter()
+        .any(|(n, v)| n == "test.gated" && *v == 5));
+    assert_eq!(reap_obs::global().span_count("gated_phase"), 1);
+
+    assert!(!reap_obs::progress_enabled());
+    reap_obs::set_progress_enabled(true);
+    assert!(reap_obs::progress_enabled());
+    reap_obs::set_progress_enabled(false);
+}

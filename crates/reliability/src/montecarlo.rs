@@ -125,6 +125,9 @@ impl<'a> MonteCarloLine<'a> {
     pub fn run(&self, n_reads: u64, trials: u64, policy: CheckPolicy) -> McLineResult {
         assert!(n_reads > 0, "need at least one read");
         assert!(trials > 0, "need at least one trial");
+        let mut span = reap_obs::span("montecarlo");
+        let progress = reap_obs::progress_enabled()
+            .then(|| reap_obs::Progress::new(format!("mc {}", self.code.name()), Some(trials)));
         let mut rng = StdRng::seed_from_u64(self.seed);
         let data_bytes = self.code.data_bits().div_ceil(8);
         let mut result = McLineResult {
@@ -179,6 +182,21 @@ impl<'a> MonteCarloLine<'a> {
             } else {
                 result.correct += 1;
             }
+            if let Some(p) = &progress {
+                p.tick(1);
+            }
+        }
+        if let Some(p) = &progress {
+            p.finish();
+        }
+        span.add_events(trials);
+        if span.is_recording() {
+            let r = reap_obs::global();
+            r.counter("mc.trials").add(result.trials);
+            r.counter("mc.correct").add(result.correct);
+            r.counter("mc.detected").add(result.detected);
+            r.counter("mc.silent_corruption")
+                .add(result.silent_corruption);
         }
         result
     }

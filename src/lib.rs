@@ -17,6 +17,8 @@
 //!   aggregation, Monte-Carlo fault injection.
 //! * [`core`] — the REAP-cache scheme, baselines, read-path timing model and
 //!   experiment runner.
+//! * [`obs`] — structured metrics, phase spans and progress telemetry
+//!   (counters, gauges, histograms, JSONL/Chrome-trace exporters).
 //!
 //! # Quickstart
 //!
@@ -43,5 +45,6 @@ pub use reap_core as core;
 pub use reap_ecc as ecc;
 pub use reap_mtj as mtj;
 pub use reap_nvarray as nvarray;
+pub use reap_obs as obs;
 pub use reap_reliability as reliability;
 pub use reap_trace as trace;
