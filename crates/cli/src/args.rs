@@ -102,6 +102,18 @@ pub struct SweepArgs {
     pub ecc_sweep: bool,
     /// Worker threads (defaults to the available parallelism).
     pub jobs: Option<usize>,
+    /// Stream completed jobs to this checkpoint file.
+    pub checkpoint: Option<PathBuf>,
+    /// Skip jobs already present in the checkpoint.
+    pub resume: bool,
+    /// Retries per job after the first attempt.
+    pub max_retries: u32,
+    /// Per-attempt deadline in milliseconds (`None` = no deadline).
+    pub job_deadline_ms: Option<u64>,
+    /// Base of the linear retry backoff, in milliseconds.
+    pub retry_backoff_ms: u64,
+    /// Deterministic fault-injection plan (testing/CI only).
+    pub inject: Option<reap_fault::FaultPlan>,
     /// Telemetry outputs.
     pub obs: ObsArgs,
 }
@@ -113,6 +125,12 @@ impl Default for SweepArgs {
             seed: 2019,
             ecc_sweep: false,
             jobs: None,
+            checkpoint: None,
+            resume: false,
+            max_retries: 2,
+            job_deadline_ms: None,
+            retry_backoff_ms: 0,
+            inject: None,
             obs: ObsArgs::default(),
         }
     }
@@ -399,9 +417,35 @@ fn parse_sweep(mut c: Cursor) -> Result<Command, ParseCliError> {
             "--seed" | "-s" => a.seed = parse_num(&flag, c.value_for(&flag)?, "seed")?,
             "--ecc-sweep" => a.ecc_sweep = true,
             "--jobs" | "-j" => a.jobs = Some(parse_num(&flag, c.value_for(&flag)?, "count")?),
+            "--checkpoint" => a.checkpoint = Some(PathBuf::from(c.value_for(&flag)?)),
+            "--resume" => a.resume = true,
+            "--max-retries" => {
+                a.max_retries = parse_num(&flag, c.value_for(&flag)?, "retry count")?;
+            }
+            "--job-deadline-ms" => {
+                a.job_deadline_ms = Some(parse_num(&flag, c.value_for(&flag)?, "milliseconds")?);
+            }
+            "--retry-backoff-ms" => {
+                a.retry_backoff_ms = parse_num(&flag, c.value_for(&flag)?, "milliseconds")?;
+            }
+            "--inject" => {
+                let v = c.value_for(&flag)?;
+                a.inject = Some(v.parse().map_err(|e: reap_fault::FaultSpecError| {
+                    ParseCliError::BadValue {
+                        flag,
+                        value: format!("{v} ({e})"),
+                        expected: "fault spec like seed=7,panic=0.2,interrupt=5",
+                    }
+                })?);
+            }
             _ if parse_obs_flag(&mut a.obs, &flag, &mut c)? => {}
             _ => return Err(ParseCliError::UnknownFlag { flag }),
         }
+    }
+    if a.resume && a.checkpoint.is_none() {
+        return Err(ParseCliError::MissingRequired {
+            name: "--checkpoint (required by --resume)",
+        });
     }
     Ok(Command::Sweep(a))
 }
@@ -540,6 +584,44 @@ mod tests {
         assert_eq!(a.jobs, Some(4));
         assert_eq!(a.obs.metrics_out, Some(PathBuf::from("out.jsonl")));
         assert!(a.obs.progress);
+    }
+
+    #[test]
+    fn sweep_fault_tolerance_flags() {
+        let Command::Sweep(a) = p("sweep --checkpoint ck.jsonl --resume --max-retries 5 \
+             --job-deadline-ms 30000 --retry-backoff-ms 250")
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(a.checkpoint, Some(PathBuf::from("ck.jsonl")));
+        assert!(a.resume);
+        assert_eq!(a.max_retries, 5);
+        assert_eq!(a.job_deadline_ms, Some(30_000));
+        assert_eq!(a.retry_backoff_ms, 250);
+        assert_eq!(a.inject, None);
+    }
+
+    #[test]
+    fn sweep_resume_requires_checkpoint() {
+        assert!(matches!(
+            p("sweep --resume"),
+            Err(ParseCliError::MissingRequired { .. })
+        ));
+    }
+
+    #[test]
+    fn sweep_inject_parses_a_fault_spec() {
+        let Command::Sweep(a) = p("sweep --inject seed=7,panic=0.25,interrupt=5").unwrap() else {
+            panic!()
+        };
+        let plan = a.inject.unwrap();
+        assert_eq!(plan.seed, 7);
+        assert_eq!(plan.panic_rate, 0.25);
+        assert_eq!(plan.interrupt_after, Some(5));
+
+        let err = p("sweep --inject panic=2.5").unwrap_err();
+        assert!(matches!(err, ParseCliError::BadValue { .. }));
+        assert!(err.to_string().contains("fault spec"), "{err}");
     }
 
     #[test]

@@ -2,13 +2,16 @@
 
 use crate::args::{Command, DisturbanceArgs, ObsArgs, RunArgs, SweepArgs, TraceArgs};
 use reap_cache::HierarchyConfig;
-use reap_core::{Experiment, ProtectionScheme};
+use reap_core::campaign::{run_sweep_campaign, CampaignConfig, CampaignError, SweepMode};
+use reap_core::Experiment;
 use reap_mtj::temperature::at_temperature;
 use reap_mtj::{read_disturbance_probability, MtjParams, MtjParamsBuilder};
 use reap_trace::{SpecWorkload, TraceStats};
+use std::error::Error;
 use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Write};
 use std::path::Path;
+use std::time::Duration;
 
 const HELP: &str = "\
 reap — REAP-cache: STT-MRAM read-disturbance accumulation toolkit
@@ -26,6 +29,13 @@ COMMANDS:
                  --accesses/-n N  --seed/-s S  --jobs/-j K
                  --ecc-sweep  also sweep sec/dec/tec per workload,
                  replaying one exposure capture instead of re-simulating
+                 --checkpoint FILE   stream completed jobs to FILE
+                 --resume            skip jobs already in the checkpoint
+                 --max-retries K     retries per failed job (default 2)
+                 --job-deadline-ms T per-attempt deadline
+                 --retry-backoff-ms T linear backoff base between retries
+                 --inject SPEC       deterministic fault injection, e.g.
+                                     seed=7,panic=0.2,delay=0.1,delay-ms=40,interrupt=5
     trace        generate a binary trace file
                  --workload/-w NAME (required)  --count/-n N  --seed/-s S
                  --out/-o FILE (required)
@@ -35,6 +45,10 @@ COMMANDS:
     obs check    validate a metrics JSON-lines file: reap obs check FILE
     list         list the workload profiles
     help         show this message
+
+EXIT CODES:
+    0  success        1  some jobs failed permanently
+    2  usage/config   3  interrupted (checkpoint is resumable)
 
 TELEMETRY (run and sweep):
     --metrics-out FILE   write counters, gauges, histograms and phase
@@ -135,6 +149,16 @@ fn obs_check<W: Write>(path: &Path, mut out: W) -> io::Result<i32> {
                 summary.hists,
                 summary.spans,
             )?;
+            if let Some(tail) = summary.truncated {
+                writeln!(
+                    out,
+                    "warning: {}: line {} is a truncated partial write; \
+                     truncate the file to byte {} to repair",
+                    path.display(),
+                    tail.line,
+                    tail.byte_offset,
+                )?;
+            }
             Ok(0)
         }
         Err((line, message)) => {
@@ -184,62 +208,122 @@ fn run<W: Write>(args: RunArgs, mut out: W) -> io::Result<i32> {
     Ok(code)
 }
 
+/// Renders an error and its `source()` chain as one line.
+fn cause_chain(e: &dyn Error) -> String {
+    let mut text = e.to_string();
+    let mut cause = e.source();
+    while let Some(c) = cause {
+        text.push_str(": ");
+        text.push_str(&c.to_string());
+        cause = c.source();
+    }
+    text
+}
+
 fn sweep<W: Write>(args: SweepArgs, mut out: W) -> io::Result<i32> {
     start_obs(&args.obs);
     let jobs = args.jobs.unwrap_or_else(|| {
         std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
     });
-    if args.ecc_sweep {
-        let code = ecc_sweep(&args, jobs, &mut out)?;
-        finish_obs(&args.obs)?;
-        return Ok(code);
-    }
-    writeln!(
-        out,
-        "{:<12} {:>12} {:>12} {:>10} {:>10}",
-        "workload", "REAP gain", "energy", "L2 hit%", "max N"
-    )?;
-    for (w, report) in reap_core::sweep::sweep_workloads(args.accesses, args.seed, jobs) {
-        let report = report.map_err(|e| io::Error::other(e.to_string()))?;
-        writeln!(
-            out,
-            "{:<12} {:>11.1}x {:>+11.2}% {:>9.1}% {:>10}",
-            w.name(),
-            report.mttf_improvement(ProtectionScheme::Reap),
-            100.0 * report.energy_overhead(ProtectionScheme::Reap),
-            100.0 * report.l2_stats().hit_rate(),
-            report.histogram().max_n(),
-        )?;
-    }
-    finish_obs(&args.obs)?;
-    Ok(0)
-}
+    let mode = if args.ecc_sweep {
+        SweepMode::EccSweep
+    } else {
+        SweepMode::Standard
+    };
+    let mut config = CampaignConfig::new(args.accesses, args.seed, mode, jobs);
+    config.supervisor.max_retries = args.max_retries;
+    config.supervisor.backoff = Duration::from_millis(args.retry_backoff_ms);
+    config.supervisor.deadline = args.job_deadline_ms.map(Duration::from_millis);
+    config.supervisor.fault_plan = args.inject;
+    config.checkpoint = args.checkpoint.clone();
+    config.resume = args.resume;
 
-/// The `--ecc-sweep` variant of `reap sweep`: captures each workload's
-/// exposure trace once and replays it at every ECC strength — the results
-/// are bit-identical to per-strength runs at a third of the trace cost.
-/// Workloads are fanned out over `jobs` pool workers.
-fn ecc_sweep<W: Write>(args: &SweepArgs, jobs: usize, mut out: W) -> io::Result<i32> {
-    writeln!(
-        out,
-        "{:<12} {:>5} {:>12} {:>16} {:>10}",
-        "workload", "ECC", "REAP gain", "E[fail] conv", "max N"
-    )?;
-    for (w, points) in reap_core::sweep::replay_ecc_sweep_all(args.accesses, args.seed, jobs) {
-        let points = points.map_err(|e| io::Error::other(e.to_string()))?;
-        for (ecc, report) in points {
+    let outcome = match run_sweep_campaign(&config) {
+        Ok(o) => o,
+        Err(e @ CampaignError::Interrupted { .. }) => {
+            eprintln!("reap: {}", cause_chain(&e));
+            finish_obs(&args.obs)?;
+            return Ok(3);
+        }
+        Err(e) => {
+            writeln!(out, "error: {}", cause_chain(&e))?;
+            finish_obs(&args.obs)?;
+            return Ok(2);
+        }
+    };
+    if let Some(warning) = &outcome.checkpoint_warning {
+        eprintln!("warning: {warning}");
+    }
+
+    // The tables print from checkpointable rows in canonical workload
+    // order, so a resumed run's stdout is byte-identical to a clean one.
+    match mode {
+        SweepMode::Standard => {
             writeln!(
                 out,
-                "{:<12} {:>5} {:>11.1}x {:>16.3e} {:>10}",
-                w.name(),
-                ecc.to_string(),
-                report.mttf_improvement(ProtectionScheme::Reap),
-                report.expected_failures(ProtectionScheme::Conventional),
-                report.histogram().max_n(),
+                "{:<12} {:>12} {:>12} {:>10} {:>10}",
+                "workload", "REAP gain", "energy", "L2 hit%", "max N"
             )?;
+            for o in &outcome.outcomes {
+                match &o.result {
+                    Ok(rows) => {
+                        let r = &rows[0];
+                        writeln!(
+                            out,
+                            "{:<12} {:>11.1}x {:>+11.2}% {:>9.1}% {:>10}",
+                            o.workload.name(),
+                            r.mttf_gain,
+                            100.0 * r.energy_overhead,
+                            100.0 * r.l2_hit_rate,
+                            r.max_n,
+                        )?;
+                    }
+                    Err(e) => failed_row(&mut out, o.workload, e)?,
+                }
+            }
+        }
+        SweepMode::EccSweep => {
+            writeln!(
+                out,
+                "{:<12} {:>5} {:>12} {:>16} {:>10}",
+                "workload", "ECC", "REAP gain", "E[fail] conv", "max N"
+            )?;
+            for o in &outcome.outcomes {
+                match &o.result {
+                    Ok(rows) => {
+                        for r in rows {
+                            writeln!(
+                                out,
+                                "{:<12} {:>5} {:>11.1}x {:>16.3e} {:>10}",
+                                o.workload.name(),
+                                r.ecc.map_or_else(|| "-".to_owned(), |e| e.to_string()),
+                                r.mttf_gain,
+                                r.efail_conv,
+                                r.max_n,
+                            )?;
+                        }
+                    }
+                    Err(e) => failed_row(&mut out, o.workload, e)?,
+                }
+            }
         }
     }
-    Ok(0)
+
+    let total = outcome.outcomes.len();
+    eprintln!(
+        "sweep: {}/{total} workloads ok ({} resumed, {} recovered), {} failed",
+        total - outcome.failed,
+        outcome.resumed,
+        outcome.recovered,
+        outcome.failed,
+    );
+    finish_obs(&args.obs)?;
+    Ok(if outcome.failed > 0 { 1 } else { 0 })
+}
+
+/// Prints a failed workload's table row: isolated, attributed, non-fatal.
+fn failed_row<W: Write>(out: &mut W, workload: SpecWorkload, e: &dyn Error) -> io::Result<()> {
+    writeln!(out, "{:<12} FAILED: {}", workload.name(), cause_chain(e))
 }
 
 fn trace<W: Write>(args: TraceArgs, mut out: W) -> io::Result<i32> {

@@ -175,6 +175,160 @@ fn parallel_sweep_metrics_are_deterministic_across_runs() {
 }
 
 #[test]
+fn resume_without_checkpoint_is_a_usage_error() {
+    let out = reap().args(["sweep", "--resume"]).output().expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--checkpoint"), "{err}");
+    assert!(!err.contains("panicked"), "no backtraces: {err}");
+}
+
+#[test]
+fn bad_inject_spec_is_a_usage_error() {
+    let out = reap()
+        .args(["sweep", "--inject", "panic=nine"])
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("fault spec"), "{err}");
+}
+
+#[test]
+fn malformed_checkpoint_fails_with_cause_chain_not_backtrace() {
+    let dir = std::env::temp_dir().join(format!("reap-e2e-badck-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let ck = dir.join("bad.jsonl");
+    std::fs::write(&ck, "this is not a checkpoint\nat all\n").unwrap();
+
+    let out = reap()
+        .args(["sweep", "-n", "2000", "--resume", "--checkpoint"])
+        .arg(&ck)
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("error:"), "{text}");
+    assert!(text.contains("bad.jsonl"), "cause names the file: {text}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(!err.contains("panicked"), "no backtraces: {err}");
+
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn checkpoint_from_other_config_is_refused_on_resume() {
+    let dir = std::env::temp_dir().join(format!("reap-e2e-fpck-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let ck = dir.join("ck.jsonl");
+
+    let first = reap()
+        .args(["sweep", "-n", "2000", "--seed", "1", "--checkpoint"])
+        .arg(&ck)
+        .output()
+        .expect("runs");
+    assert!(first.status.success());
+
+    let second = reap()
+        .args([
+            "sweep",
+            "-n",
+            "2000",
+            "--seed",
+            "2",
+            "--resume",
+            "--checkpoint",
+        ])
+        .arg(&ck)
+        .output()
+        .expect("runs");
+    assert_eq!(second.status.code(), Some(2));
+    let text = String::from_utf8_lossy(&second.stdout);
+    assert!(text.contains("different campaign"), "{text}");
+
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn interrupted_sweep_resumes_to_identical_stdout() {
+    let dir = std::env::temp_dir().join(format!("reap-e2e-resume-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let ck = dir.join("ck.jsonl");
+    let base = ["sweep", "-n", "2000", "--seed", "5", "-j", "2"];
+
+    let clean = reap().args(base).output().expect("runs");
+    assert!(clean.status.success());
+
+    // Phase 1: simulated kill after 4 completed jobs.
+    let killed = reap()
+        .args(base)
+        .args(["--inject", "interrupt=4", "--checkpoint"])
+        .arg(&ck)
+        .output()
+        .expect("runs");
+    assert_eq!(killed.status.code(), Some(3), "interrupt exit code");
+    let err = String::from_utf8_lossy(&killed.stderr);
+    assert!(err.contains("resume with --resume"), "{err}");
+
+    // Phase 2: resume fills in the rest; stdout must match the clean run
+    // byte for byte.
+    let resumed = reap()
+        .args(base)
+        .args(["--resume", "--checkpoint"])
+        .arg(&ck)
+        .output()
+        .expect("runs");
+    assert!(resumed.status.success());
+    assert_eq!(
+        String::from_utf8_lossy(&clean.stdout),
+        String::from_utf8_lossy(&resumed.stdout),
+        "resumed stdout differs from clean run"
+    );
+    let err = String::from_utf8_lossy(&resumed.stderr);
+    assert!(err.contains("resumed"), "{err}");
+
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn injected_panics_recover_without_changing_results() {
+    let base = ["sweep", "-n", "2000", "--seed", "5", "-j", "2"];
+    let clean = reap().args(base).output().expect("runs");
+    assert!(clean.status.success());
+
+    let faulty = reap()
+        .args(base)
+        .args(["--inject", "seed=13,panic=0.3", "--max-retries", "8"])
+        .output()
+        .expect("runs");
+    assert!(
+        faulty.status.success(),
+        "{}",
+        String::from_utf8_lossy(&faulty.stderr)
+    );
+    assert_eq!(
+        String::from_utf8_lossy(&clean.stdout),
+        String::from_utf8_lossy(&faulty.stdout),
+        "surviving jobs must produce identical rows"
+    );
+
+    // Without retries the same fault plan must isolate failures instead:
+    // non-zero exit, FAILED rows, but the process neither panics nor
+    // aborts the whole table.
+    let strict = reap()
+        .args(base)
+        .args(["--inject", "seed=13,panic=0.3", "--max-retries", "0"])
+        .output()
+        .expect("runs");
+    assert_eq!(strict.status.code(), Some(1));
+    let text = String::from_utf8_lossy(&strict.stdout);
+    assert!(text.contains("FAILED"), "{text}");
+    assert!(text.contains("injected panic"), "{text}");
+    let err = String::from_utf8_lossy(&strict.stderr);
+    assert!(err.contains("failed"), "{err}");
+}
+
+#[test]
 fn run_and_trace_pipeline() {
     let dir = std::env::temp_dir().join(format!("reap-e2e-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();

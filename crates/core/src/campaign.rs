@@ -1,0 +1,541 @@
+//! Fault-tolerant sweep campaigns: supervision + checkpoint/resume.
+//!
+//! [`run_sweep_campaign`] is the resilient successor of
+//! [`crate::sweep::sweep_workloads`] / [`crate::sweep::replay_ecc_sweep_all`]:
+//! the same 21-workload batches, but each job runs under the supervised
+//! pool ([`crate::supervise`]) so a panic or hang in one configuration is
+//! retried, then reported — never fatal to the batch — and completed jobs
+//! stream into a [`crate::checkpoint`] file so a killed campaign resumes
+//! where it stopped. A resumed campaign's rows are **bit-identical** to
+//! an uninterrupted run's: each job depends only on its own
+//! configuration and seed, and checkpointed floats round-trip exactly.
+//!
+//! The [`reap_fault::FaultPlan`] armed through
+//! [`SupervisorConfig::fault_plan`] drives all of this machinery in
+//! tests and the CI smoke job: injected panics exercise retry and
+//! isolation, injected delays exercise deadlines, and
+//! `interrupt_after` simulates a mid-run `SIGKILL` at a deterministic
+//! point (the checkpoint stays valid because every result line is
+//! flushed before the next job is counted).
+
+use crate::checkpoint::{self, CheckpointMeta, CheckpointWriter, SweepRow};
+use crate::experiment::{Experiment, ExperimentError};
+use crate::simulator::EccStrength;
+use crate::supervise::{pool_map_supervised, JobError, SupervisorConfig};
+use reap_trace::SpecWorkload;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use std::ops::ControlFlow;
+use std::path::PathBuf;
+
+pub use crate::checkpoint::CheckpointError;
+
+/// Which sweep the campaign runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepMode {
+    /// One run per workload at the configured ECC (Fig. 5/6 table).
+    Standard,
+    /// One capture per workload, replayed at every [`EccStrength`].
+    EccSweep,
+}
+
+impl SweepMode {
+    /// The tag stored in checkpoint meta records.
+    pub fn tag(self) -> &'static str {
+        match self {
+            SweepMode::Standard => "standard",
+            SweepMode::EccSweep => "ecc-sweep",
+        }
+    }
+}
+
+/// Full configuration of one campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Measured accesses per workload.
+    pub accesses: u64,
+    /// Trace seed.
+    pub seed: u64,
+    /// Sweep shape.
+    pub mode: SweepMode,
+    /// Pool width.
+    pub parallelism: usize,
+    /// Supervision policy (retries, backoff, deadline, fault plan).
+    pub supervisor: SupervisorConfig,
+    /// Checkpoint file; `None` disables checkpointing.
+    pub checkpoint: Option<PathBuf>,
+    /// Skip jobs already present in the checkpoint instead of truncating
+    /// it.
+    pub resume: bool,
+}
+
+impl CampaignConfig {
+    /// A plain campaign with no checkpoint and default supervision.
+    pub fn new(accesses: u64, seed: u64, mode: SweepMode, parallelism: usize) -> Self {
+        Self {
+            accesses,
+            seed,
+            mode,
+            parallelism,
+            supervisor: SupervisorConfig::default(),
+            checkpoint: None,
+            resume: false,
+        }
+    }
+}
+
+/// Why one workload produced no rows.
+#[derive(Debug)]
+pub enum JobFailure {
+    /// The supervised pool gave up (panics, timeouts, cancellation).
+    Supervision(JobError),
+    /// The experiment itself rejected its configuration.
+    Experiment(ExperimentError),
+}
+
+impl fmt::Display for JobFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JobFailure::Supervision(e) => write!(f, "{e}"),
+            JobFailure::Experiment(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl Error for JobFailure {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            JobFailure::Supervision(e) => Some(e),
+            JobFailure::Experiment(e) => Some(e),
+        }
+    }
+}
+
+/// One workload's final state in the campaign report.
+#[derive(Debug)]
+pub struct WorkloadOutcome {
+    /// The workload.
+    pub workload: SpecWorkload,
+    /// Its rows, or why they are missing.
+    pub result: Result<Vec<SweepRow>, JobFailure>,
+    /// Attempts spent this run (0 when served from the checkpoint).
+    pub attempts: u32,
+    /// Whether the rows were loaded from the checkpoint.
+    pub from_checkpoint: bool,
+}
+
+/// The campaign's aggregate result.
+#[derive(Debug)]
+pub struct CampaignOutcome {
+    /// One outcome per workload, in canonical workload order.
+    pub outcomes: Vec<WorkloadOutcome>,
+    /// Jobs skipped because the checkpoint already had them.
+    pub resumed: usize,
+    /// Jobs that needed more than one attempt but succeeded.
+    pub recovered: usize,
+    /// Jobs that failed permanently (isolated, reported, not fatal).
+    pub failed: usize,
+    /// Human-readable checkpoint repair note (truncated tail dropped).
+    pub checkpoint_warning: Option<String>,
+}
+
+/// Campaign-level failure: nothing useful was produced.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CampaignError {
+    /// The checkpoint could not be created, read or trusted.
+    Checkpoint(CheckpointError),
+    /// The armed fault plan's `interrupt_after` fired — the simulated
+    /// `SIGKILL`. Completed jobs are safe in the checkpoint.
+    Interrupted {
+        /// Jobs completed during this run before the interrupt.
+        completed: usize,
+        /// Jobs the run still had pending (including in-flight).
+        remaining: usize,
+    },
+}
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CampaignError::Checkpoint(e) => write!(f, "{e}"),
+            CampaignError::Interrupted {
+                completed,
+                remaining,
+            } => write!(
+                f,
+                "campaign interrupted after {completed} jobs ({remaining} pending); \
+                 resume with --resume"
+            ),
+        }
+    }
+}
+
+impl Error for CampaignError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CampaignError::Checkpoint(e) => Some(e),
+            CampaignError::Interrupted { .. } => None,
+        }
+    }
+}
+
+impl From<CheckpointError> for CampaignError {
+    fn from(e: CheckpointError) -> Self {
+        CampaignError::Checkpoint(e)
+    }
+}
+
+/// Computes one workload's rows — the campaign's job body.
+fn run_job(
+    workload: SpecWorkload,
+    accesses: u64,
+    seed: u64,
+    mode: SweepMode,
+) -> Result<Vec<SweepRow>, ExperimentError> {
+    let experiment = Experiment::paper_hierarchy()
+        .workload(workload)
+        .accesses(accesses)
+        .seed(seed);
+    match mode {
+        SweepMode::Standard => {
+            let report = experiment.run()?;
+            Ok(vec![SweepRow::from_report(None, &report)])
+        }
+        SweepMode::EccSweep => {
+            let capture = experiment.capture()?;
+            EccStrength::ALL
+                .into_iter()
+                .map(|ecc| {
+                    let report = experiment.clone().ecc(ecc).replay(&capture)?;
+                    Ok(SweepRow::from_report(Some(ecc), &report))
+                })
+                .collect()
+        }
+    }
+}
+
+/// Runs the full 21-workload campaign under supervision, streaming
+/// completed jobs into the checkpoint (when configured) and skipping
+/// jobs the checkpoint already holds (when resuming).
+///
+/// Individual job failures are *not* errors: they come back as
+/// [`WorkloadOutcome`]s with `result: Err(..)` so the caller reports them
+/// alongside the surviving rows. The `Err` cases are campaign-fatal
+/// only: an unusable checkpoint, or the armed fault plan's simulated
+/// kill.
+///
+/// # Errors
+///
+/// Returns [`CampaignError::Checkpoint`] when the checkpoint file cannot
+/// be created, parsed, or belongs to a different configuration, and
+/// [`CampaignError::Interrupted`] when fault injection stops the run.
+pub fn run_sweep_campaign(config: &CampaignConfig) -> Result<CampaignOutcome, CampaignError> {
+    let workloads = SpecWorkload::ALL;
+    let keys: Vec<String> = workloads.iter().map(|w| w.name().to_owned()).collect();
+    let meta = CheckpointMeta::new(config.mode.tag(), config.accesses, config.seed, &keys);
+
+    // Load and repair the checkpoint when resuming.
+    let mut completed: HashMap<String, Vec<SweepRow>> = HashMap::new();
+    let mut checkpoint_warning = None;
+    let mut writer = None;
+    if let Some(path) = &config.checkpoint {
+        if config.resume && path.exists() {
+            let loaded = checkpoint::load(path)?;
+            if loaded.meta.fingerprint != meta.fingerprint {
+                return Err(CheckpointError::FingerprintMismatch {
+                    expected: meta.fingerprint,
+                    found: loaded.meta.fingerprint,
+                }
+                .into());
+            }
+            if let Some(offset) = loaded.truncated_tail {
+                // Drop the half-written line so appended records start on
+                // a fresh line.
+                reap_fault::truncate_file(path, offset as u64).map_err(|source| {
+                    CheckpointError::Io {
+                        path: path.clone(),
+                        source,
+                    }
+                })?;
+                checkpoint_warning = Some(format!(
+                    "checkpoint {} had a truncated trailing line at byte {offset} \
+                     (crash-interrupted write); dropped it",
+                    path.display()
+                ));
+            }
+            completed = loaded.completed.into_iter().collect();
+            writer = Some(CheckpointWriter::append_to(path)?);
+        } else {
+            writer = Some(CheckpointWriter::create(path, &meta)?);
+        }
+    }
+
+    let pending: Vec<SpecWorkload> = workloads
+        .into_iter()
+        .filter(|w| !completed.contains_key(w.name()))
+        .collect();
+    let resumed = completed.len();
+    let total_pending = pending.len();
+
+    // Fan the pending jobs out under supervision. Results stream back on
+    // this thread: checkpoint them and honour the simulated kill.
+    let interrupt_after = config.supervisor.fault_plan.and_then(|p| p.interrupt_after);
+    let (accesses, seed, mode) = (config.accesses, config.seed, config.mode);
+    let pending_for_pool = pending.clone();
+    let mut done_this_run = 0usize;
+    let mut interrupted = false;
+    // Pool names match the unsupervised sweep paths so existing telemetry
+    // expectations (worker gauges, phase spans) carry over.
+    let pool_name = match config.mode {
+        SweepMode::Standard => "run_parallel",
+        SweepMode::EccSweep => "ecc_sweep",
+    };
+    let outcomes = pool_map_supervised(
+        pending_for_pool,
+        config.parallelism.max(1),
+        pool_name,
+        &config.supervisor,
+        move |w| run_job(w, accesses, seed, mode),
+        |i, outcome| {
+            if let Ok(Ok(rows)) = &outcome.result {
+                if let Some(writer) = writer.as_mut() {
+                    // A checkpoint write failure must not kill the
+                    // campaign mid-flight; the rows are still in memory
+                    // and will be reported. Surface it on stderr.
+                    if let Err(e) = writer.record(pending[i].name(), rows) {
+                        eprintln!("warning: {e}");
+                    }
+                }
+                done_this_run += 1;
+                if interrupt_after.is_some_and(|n| done_this_run as u64 >= n) {
+                    interrupted = true;
+                    return ControlFlow::Break(());
+                }
+            }
+            ControlFlow::Continue(())
+        },
+    );
+
+    let completed_now = outcomes
+        .iter()
+        .filter(|o| matches!(&o.result, Ok(Ok(_))))
+        .count();
+    if interrupt_after.is_some_and(|n| completed_now as u64 >= n) {
+        return Err(CampaignError::Interrupted {
+            completed: completed_now,
+            remaining: total_pending - completed_now,
+        });
+    }
+
+    // Stitch checkpointed and freshly computed results back into
+    // canonical workload order.
+    let mut fresh = outcomes.into_iter();
+    let mut report = CampaignOutcome {
+        outcomes: Vec::with_capacity(workloads.len()),
+        resumed,
+        recovered: 0,
+        failed: 0,
+        checkpoint_warning,
+    };
+    for w in workloads {
+        let outcome = if let Some(rows) = completed.remove(w.name()) {
+            WorkloadOutcome {
+                workload: w,
+                result: Ok(rows),
+                attempts: 0,
+                from_checkpoint: true,
+            }
+        } else {
+            let o = fresh.next().expect("one pool outcome per pending job");
+            let result = match o.result {
+                Ok(Ok(rows)) => Ok(rows),
+                Ok(Err(e)) => Err(JobFailure::Experiment(e)),
+                Err(e) => Err(JobFailure::Supervision(e)),
+            };
+            WorkloadOutcome {
+                workload: w,
+                result,
+                attempts: o.attempts,
+                from_checkpoint: false,
+            }
+        };
+        if outcome.result.is_ok() && outcome.attempts > 1 {
+            report.recovered += 1;
+        }
+        if outcome.result.is_err() {
+            report.failed += 1;
+        }
+        report.outcomes.push(outcome);
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reap_fault::FaultPlan;
+    use std::path::Path;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("reap-campaign-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn quick(mode: SweepMode) -> CampaignConfig {
+        CampaignConfig::new(3_000, 11, mode, 4)
+    }
+
+    fn rows_bits(outcome: &CampaignOutcome) -> Vec<(SpecWorkload, Vec<u64>)> {
+        outcome
+            .outcomes
+            .iter()
+            .map(|o| {
+                (
+                    o.workload,
+                    o.result
+                        .as_ref()
+                        .expect("job succeeded")
+                        .iter()
+                        .flat_map(|r| {
+                            [
+                                r.mttf_gain.to_bits(),
+                                r.energy_overhead.to_bits(),
+                                r.l2_hit_rate.to_bits(),
+                                r.efail_conv.to_bits(),
+                                r.max_n,
+                            ]
+                        })
+                        .collect(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn clean_campaign_covers_every_workload() {
+        let outcome = run_sweep_campaign(&quick(SweepMode::Standard)).unwrap();
+        assert_eq!(outcome.outcomes.len(), SpecWorkload::ALL.len());
+        assert_eq!(outcome.failed, 0);
+        assert_eq!(outcome.resumed, 0);
+        for o in &outcome.outcomes {
+            assert_eq!(o.result.as_ref().unwrap().len(), 1);
+        }
+    }
+
+    #[test]
+    fn interrupt_then_resume_is_bit_identical_to_clean_run() {
+        let path = tmp("resume.jsonl");
+        let clean = run_sweep_campaign(&quick(SweepMode::EccSweep)).unwrap();
+
+        // Phase 1: simulated kill after 4 completed jobs.
+        let mut cfg = quick(SweepMode::EccSweep);
+        cfg.checkpoint = Some(path.clone());
+        cfg.supervisor.fault_plan = Some(FaultPlan {
+            interrupt_after: Some(4),
+            ..FaultPlan::default()
+        });
+        let err = run_sweep_campaign(&cfg).unwrap_err();
+        let CampaignError::Interrupted { completed, .. } = err else {
+            panic!("expected interrupt: {err}");
+        };
+        assert!(completed >= 4);
+
+        // Phase 2: resume without injection.
+        let mut cfg = quick(SweepMode::EccSweep);
+        cfg.checkpoint = Some(path.clone());
+        cfg.resume = true;
+        let resumed = run_sweep_campaign(&cfg).unwrap();
+        assert!(resumed.resumed >= 4, "resumed {} jobs", resumed.resumed);
+        assert_eq!(resumed.failed, 0);
+        assert_eq!(rows_bits(&clean), rows_bits(&resumed));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn resume_with_foreign_checkpoint_is_refused() {
+        let path = tmp("foreign.jsonl");
+        let mut cfg = quick(SweepMode::Standard);
+        cfg.checkpoint = Some(path.clone());
+        run_sweep_campaign(&cfg).unwrap();
+
+        // Same file, different seed: must be rejected, not mixed in.
+        let mut cfg = quick(SweepMode::Standard);
+        cfg.seed = 999;
+        cfg.checkpoint = Some(path.clone());
+        cfg.resume = true;
+        let err = run_sweep_campaign(&cfg).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                CampaignError::Checkpoint(CheckpointError::FingerprintMismatch { .. })
+            ),
+            "{err}"
+        );
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn resume_repairs_a_crash_truncated_checkpoint() {
+        let path = tmp("repair.jsonl");
+        let mut cfg = quick(SweepMode::Standard);
+        cfg.checkpoint = Some(path.clone());
+        run_sweep_campaign(&cfg).unwrap();
+        // Cut the last line in half: the classic kill-mid-write state.
+        let len = std::fs::metadata(&path).unwrap().len();
+        reap_fault::truncate_file(Path::new(&path), len - 7).unwrap();
+
+        let mut cfg = quick(SweepMode::Standard);
+        cfg.checkpoint = Some(path.clone());
+        cfg.resume = true;
+        let outcome = run_sweep_campaign(&cfg).unwrap();
+        assert!(outcome.checkpoint_warning.is_some());
+        assert_eq!(outcome.failed, 0);
+        // The repaired file must now be fully loadable and complete.
+        let reloaded = checkpoint::load(Path::new(&path)).unwrap();
+        assert_eq!(reloaded.completed.len(), SpecWorkload::ALL.len());
+        assert!(reloaded.truncated_tail.is_none());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn injected_panics_recover_and_match_clean_rows() {
+        let clean = run_sweep_campaign(&quick(SweepMode::Standard)).unwrap();
+        let mut cfg = quick(SweepMode::Standard);
+        cfg.supervisor.max_retries = 8;
+        cfg.supervisor.fault_plan = Some(FaultPlan {
+            seed: 13,
+            panic_rate: 0.3,
+            ..FaultPlan::default()
+        });
+        let faulty = run_sweep_campaign(&cfg).unwrap();
+        assert_eq!(faulty.failed, 0, "retries absorb a 30% panic rate");
+        assert!(faulty.recovered > 0, "some job must have retried");
+        assert_eq!(rows_bits(&clean), rows_bits(&faulty));
+    }
+
+    #[test]
+    fn exhausted_retries_isolate_the_failure() {
+        let mut cfg = quick(SweepMode::Standard);
+        cfg.supervisor.max_retries = 0;
+        cfg.supervisor.fault_plan = Some(FaultPlan {
+            seed: 1,
+            panic_rate: 0.2,
+            ..FaultPlan::default()
+        });
+        let outcome = run_sweep_campaign(&cfg).unwrap();
+        assert!(outcome.failed > 0, "some job must fail at 20% / no retries");
+        let ok = outcome.outcomes.iter().filter(|o| o.result.is_ok()).count();
+        assert!(ok > 0, "and most must survive");
+        for o in &outcome.outcomes {
+            if let Err(e) = &o.result {
+                assert!(
+                    e.to_string().contains("injected panic"),
+                    "failure is attributed: {e}"
+                );
+            }
+        }
+    }
+}

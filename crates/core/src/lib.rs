@@ -43,7 +43,9 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod campaign;
 pub mod capture;
+pub mod checkpoint;
 pub mod energy;
 pub mod experiment;
 pub mod observer;
@@ -51,9 +53,12 @@ pub mod readpath;
 pub mod report;
 pub mod scheme;
 pub mod simulator;
+pub mod supervise;
 pub mod sweep;
 
+pub use campaign::{CampaignConfig, CampaignError, CampaignOutcome, SweepMode, WorkloadOutcome};
 pub use capture::{CaptureObserver, ExposureCapture, ExposureRecord, HierarchySnapshot};
+pub use checkpoint::{CheckpointError, SweepRow};
 pub use energy::{EnergyBreakdown, EnergyModel};
 pub use experiment::{Experiment, ExperimentError};
 pub use observer::ReliabilityObserver;
@@ -61,3 +66,4 @@ pub use readpath::ReadPathModel;
 pub use report::Report;
 pub use scheme::ProtectionScheme;
 pub use simulator::{EccStrength, SimulationConfig, Simulator};
+pub use supervise::{pool_map_supervised, JobError, JobOutcome, SupervisorConfig};

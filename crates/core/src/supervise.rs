@@ -1,0 +1,662 @@
+//! Supervised parallel execution: panic isolation, retries, deadlines.
+//!
+//! [`crate::sweep::pool_map`] is the fast path for trusted jobs — a worker
+//! panic aborts the whole batch. Campaigns that run for hours over many
+//! configurations need the opposite contract: one poisoned configuration
+//! must degrade gracefully. [`pool_map_supervised`] provides it:
+//!
+//! * every job attempt runs under `catch_unwind`, so a panic becomes a
+//!   [`JobError::Panicked`] for that job only — and the default panic
+//!   hook is silenced for supervised attempts, so a retried fault does
+//!   not dump a backtrace per attempt;
+//! * failed attempts are retried up to [`SupervisorConfig::max_retries`]
+//!   times with a deterministic linear backoff (no jitter — reruns
+//!   reproduce);
+//! * an optional per-job [`SupervisorConfig::deadline`] times out stuck
+//!   work (the attempt thread is abandoned, not killed — see
+//!   [`pool_map_supervised`] for the leak caveat);
+//! * a [`reap_fault::FaultPlan`] can be armed to inject panics and delays
+//!   *inside* the supervision boundary, proving the recovery paths;
+//! * the batch returns `Vec<JobOutcome<R>>` in input order, and an
+//!   `on_result` callback observes completions as they happen (checkpoint
+//!   writers hook in here) and can cancel the remainder of the batch.
+//!
+//! Failure, retry and timeout counts publish through `reap-obs` as
+//! `{pool}.supervised.{ok,failed,retries,panics,timeouts}` counters when
+//! telemetry is enabled.
+
+use std::cell::Cell;
+use std::ops::ControlFlow;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex, Once};
+use std::time::Duration;
+
+use reap_fault::FaultPlan;
+
+thread_local! {
+    /// True while this thread is inside a supervised attempt.
+    static IN_SUPERVISED_ATTEMPT: Cell<bool> = const { Cell::new(false) };
+}
+
+static QUIET_HOOK: Once = Once::new();
+
+/// Installs (once, process-wide) a panic hook that stays silent for panics
+/// raised inside supervised attempts. Those panics are caught by
+/// `catch_unwind` and reported as [`JobError::Panicked`] with the payload
+/// message, so the default hook's backtrace dump would only add noise for
+/// every retried attempt. Panics on any other thread keep the previous
+/// hook's behaviour.
+fn silence_supervised_panics() {
+    QUIET_HOOK.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !IN_SUPERVISED_ATTEMPT.with(Cell::get) {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Marks the current thread as inside a supervised attempt for the guard's
+/// lifetime; the flag is restored even when the attempt unwinds.
+struct AttemptMarker {
+    prev: bool,
+}
+
+impl AttemptMarker {
+    fn enter() -> Self {
+        Self {
+            prev: IN_SUPERVISED_ATTEMPT.with(|c| c.replace(true)),
+        }
+    }
+}
+
+impl Drop for AttemptMarker {
+    fn drop(&mut self) {
+        let prev = self.prev;
+        IN_SUPERVISED_ATTEMPT.with(|c| c.set(prev));
+    }
+}
+
+/// Supervision policy for one batch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SupervisorConfig {
+    /// Retries after the first attempt (0 = fail fast). A job therefore
+    /// runs at most `max_retries + 1` times.
+    pub max_retries: u32,
+    /// Base of the deterministic linear backoff: attempt `k` sleeps
+    /// `backoff * k` before retrying.
+    pub backoff: Duration,
+    /// Per-attempt wall-clock deadline. `None` disables timeouts (and the
+    /// per-attempt thread they require).
+    pub deadline: Option<Duration>,
+    /// Armed fault-injection plan, consulted inside the unwind boundary
+    /// before each attempt.
+    pub fault_plan: Option<FaultPlan>,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        Self {
+            max_retries: 2,
+            backoff: Duration::ZERO,
+            deadline: None,
+            fault_plan: None,
+        }
+    }
+}
+
+/// Why a job ultimately failed (after all retries).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum JobError {
+    /// Every attempt panicked; carries the last panic message.
+    Panicked {
+        /// The last panic payload, rendered as text.
+        message: String,
+    },
+    /// Every attempt exceeded the configured deadline.
+    TimedOut {
+        /// The deadline that was exceeded.
+        deadline: Duration,
+    },
+    /// The batch was cancelled before this job ran to completion.
+    Cancelled,
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::Panicked { message } => write!(f, "worker panicked: {message}"),
+            JobError::TimedOut { deadline } => {
+                write!(f, "job exceeded its {deadline:?} deadline")
+            }
+            JobError::Cancelled => write!(f, "batch cancelled before the job completed"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// The supervised result of one job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobOutcome<R> {
+    /// The job's value, or why it could not be produced.
+    pub result: Result<R, JobError>,
+    /// Attempts actually made (1 for a clean first run, 0 if cancelled
+    /// before being claimed).
+    pub attempts: u32,
+}
+
+impl<R> JobOutcome<R> {
+    fn cancelled() -> Self {
+        Self {
+            result: Err(JobError::Cancelled),
+            attempts: 0,
+        }
+    }
+
+    /// Whether the job needed more than one attempt but still delivered.
+    pub fn recovered(&self) -> bool {
+        self.result.is_ok() && self.attempts > 1
+    }
+}
+
+/// Counters accumulated by the workers of one supervised batch.
+#[derive(Debug, Default)]
+struct BatchStats {
+    panics: AtomicUsize,
+    timeouts: AtomicUsize,
+    retries: AtomicUsize,
+}
+
+/// One attempt's failure, before retry policy is applied.
+enum AttemptFailure {
+    Panicked(String),
+    TimedOut,
+}
+
+/// Runs `f` over `jobs` on up to `parallelism` threads with panic
+/// isolation, retries and deadlines per [`SupervisorConfig`], returning
+/// an outcome per job in input order.
+///
+/// `on_result` runs on the calling thread as each outcome arrives
+/// (arrival order is scheduling-dependent; the returned `Vec` is not).
+/// Returning [`ControlFlow::Break`] cancels the batch: workers stop
+/// claiming jobs, and unclaimed jobs report [`JobError::Cancelled`].
+///
+/// Retrying re-runs the job with a fresh clone of its input, so `T:
+/// Clone`; the deadline path runs attempts on dedicated threads, so the
+/// usual `'static` bounds apply.
+///
+/// A timed-out attempt's thread is *abandoned*, not killed (Rust offers
+/// no safe thread kill): it keeps running detached until its job
+/// finishes, and its result is discarded. Deadlines therefore bound the
+/// *campaign's* latency, not the OS-level resources of a wedged job.
+///
+/// # Panics
+///
+/// Panics if `parallelism == 0` — the one contract violation that is a
+/// caller bug rather than a data-dependent condition.
+pub fn pool_map_supervised<T, R, F, C>(
+    jobs: Vec<T>,
+    parallelism: usize,
+    pool_name: &str,
+    config: &SupervisorConfig,
+    f: F,
+    mut on_result: C,
+) -> Vec<JobOutcome<R>>
+where
+    T: Clone + Send + 'static,
+    R: Send + 'static,
+    F: Fn(T) -> R + Send + Sync + 'static,
+    C: FnMut(usize, &JobOutcome<R>) -> ControlFlow<()>,
+{
+    assert!(parallelism > 0, "need at least one worker");
+    silence_supervised_panics();
+    let total = jobs.len();
+    if total == 0 {
+        return Vec::new();
+    }
+    let mut span = reap_obs::span(pool_name);
+    span.add_events(total as u64);
+    let stats = BatchStats::default();
+    let f = Arc::new(f);
+    let slots: Vec<Mutex<Option<T>>> = jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+    let next = AtomicUsize::new(0);
+    let cancelled = AtomicBool::new(false);
+    let workers = parallelism.min(total);
+    let (sender, receiver) = mpsc::channel::<(usize, JobOutcome<R>)>();
+
+    let telemetry = span.is_recording();
+    let mut results: Vec<Option<JobOutcome<R>>> = (0..total).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let sender = sender.clone();
+            let slots = &slots;
+            let next = &next;
+            let cancelled = &cancelled;
+            let stats = &stats;
+            let f = &f;
+            let pool = pool_name;
+            scope.spawn(move || {
+                let started = telemetry.then(std::time::Instant::now);
+                let mut busy = Duration::ZERO;
+                let mut jobs_done = 0u64;
+                loop {
+                    if cancelled.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= total {
+                        break;
+                    }
+                    let job = slots[i]
+                        .lock()
+                        .expect("slot poisoned")
+                        .take()
+                        .expect("each slot is claimed once");
+                    let t0 = telemetry.then(std::time::Instant::now);
+                    let outcome = supervise_job(job, i, config, f, cancelled, stats);
+                    if let Some(t0) = t0 {
+                        busy += t0.elapsed();
+                    }
+                    jobs_done += 1;
+                    if sender.send((i, outcome)).is_err() {
+                        break;
+                    }
+                }
+                // Same per-worker utilization gauges as the unsupervised
+                // pool, so dashboards work across both.
+                if let Some(started) = started {
+                    let wall = started.elapsed().as_secs_f64();
+                    let busy = busy.as_secs_f64();
+                    let registry = reap_obs::global();
+                    let prefix = format!("{pool}.worker.{w}");
+                    registry.gauge(&format!("{prefix}.busy_s")).set(busy);
+                    registry
+                        .gauge(&format!("{prefix}.idle_s"))
+                        .set((wall - busy).max(0.0));
+                    registry
+                        .gauge(&format!("{prefix}.utilization"))
+                        .set(if wall > 0.0 { busy / wall } else { 0.0 });
+                    registry.counter(&format!("{prefix}.jobs")).store(jobs_done);
+                }
+            });
+        }
+        drop(sender);
+        // Collect on the calling thread so `on_result` can observe (and
+        // cancel) while workers are still running.
+        for (i, outcome) in receiver {
+            if let ControlFlow::Break(()) = on_result(i, &outcome) {
+                cancelled.store(true, Ordering::Relaxed);
+            }
+            results[i] = Some(outcome);
+        }
+    });
+
+    if span.is_recording() {
+        let registry = reap_obs::global();
+        let ok = results
+            .iter()
+            .filter(|r| matches!(r, Some(o) if o.result.is_ok()))
+            .count();
+        let failed = results
+            .iter()
+            .filter(|r| matches!(r, Some(o) if o.result.is_err()))
+            .count();
+        let prefix = format!("{pool_name}.supervised");
+        registry.counter(&format!("{prefix}.ok")).add(ok as u64);
+        registry
+            .counter(&format!("{prefix}.failed"))
+            .add(failed as u64);
+        registry
+            .counter(&format!("{prefix}.retries"))
+            .add(stats.retries.load(Ordering::Relaxed) as u64);
+        registry
+            .counter(&format!("{prefix}.panics"))
+            .add(stats.panics.load(Ordering::Relaxed) as u64);
+        registry
+            .counter(&format!("{prefix}.timeouts"))
+            .add(stats.timeouts.load(Ordering::Relaxed) as u64);
+    }
+
+    results
+        .into_iter()
+        .map(|slot| slot.unwrap_or_else(JobOutcome::cancelled))
+        .collect()
+}
+
+/// Runs one job to a final outcome: attempt, catch, retry, back off.
+fn supervise_job<T, R, F>(
+    job: T,
+    index: usize,
+    config: &SupervisorConfig,
+    f: &Arc<F>,
+    cancelled: &AtomicBool,
+    stats: &BatchStats,
+) -> JobOutcome<R>
+where
+    T: Clone + Send + 'static,
+    R: Send + 'static,
+    F: Fn(T) -> R + Send + Sync + 'static,
+{
+    let max_attempts = config.max_retries + 1;
+    let mut last_failure = None;
+    for attempt in 1..=max_attempts {
+        match run_attempt(job.clone(), index as u64, attempt, config, f) {
+            Ok(value) => {
+                return JobOutcome {
+                    result: Ok(value),
+                    attempts: attempt,
+                }
+            }
+            Err(failure) => {
+                match &failure {
+                    AttemptFailure::Panicked(_) => stats.panics.fetch_add(1, Ordering::Relaxed),
+                    AttemptFailure::TimedOut => stats.timeouts.fetch_add(1, Ordering::Relaxed),
+                };
+                last_failure = Some(failure);
+            }
+        }
+        if attempt < max_attempts {
+            if cancelled.load(Ordering::Relaxed) {
+                return JobOutcome {
+                    result: Err(JobError::Cancelled),
+                    attempts: attempt,
+                };
+            }
+            stats.retries.fetch_add(1, Ordering::Relaxed);
+            // Deterministic linear backoff: attempt k waits k * base.
+            let backoff = config.backoff * attempt;
+            if !backoff.is_zero() {
+                std::thread::sleep(backoff);
+            }
+        }
+    }
+    let error = match last_failure.expect("at least one attempt ran") {
+        AttemptFailure::Panicked(message) => JobError::Panicked { message },
+        AttemptFailure::TimedOut => JobError::TimedOut {
+            deadline: config.deadline.unwrap_or_default(),
+        },
+    };
+    JobOutcome {
+        result: Err(error),
+        attempts: max_attempts,
+    }
+}
+
+/// Runs one attempt under `catch_unwind`, on a watchdog thread when a
+/// deadline is configured.
+fn run_attempt<T, R, F>(
+    job: T,
+    index: u64,
+    attempt: u32,
+    config: &SupervisorConfig,
+    f: &Arc<F>,
+) -> Result<R, AttemptFailure>
+where
+    T: Clone + Send + 'static,
+    R: Send + 'static,
+    F: Fn(T) -> R + Send + Sync + 'static,
+{
+    let plan = config.fault_plan;
+    let body = {
+        let f = Arc::clone(f);
+        move || {
+            let _quiet = AttemptMarker::enter();
+            if let Some(plan) = &plan {
+                plan.apply(index, attempt);
+            }
+            f(job)
+        }
+    };
+    match config.deadline {
+        None => catch_unwind(AssertUnwindSafe(body))
+            .map_err(|p| AttemptFailure::Panicked(panic_message(p))),
+        Some(deadline) => {
+            let (tx, rx) = mpsc::sync_channel(1);
+            std::thread::spawn(move || {
+                let result = catch_unwind(AssertUnwindSafe(body));
+                // The watchdog may have given up on us; ignore send errors.
+                let _ = tx.send(result);
+            });
+            match rx.recv_timeout(deadline) {
+                Ok(Ok(value)) => Ok(value),
+                Ok(Err(p)) => Err(AttemptFailure::Panicked(panic_message(p))),
+                Err(mpsc::RecvTimeoutError::Timeout | mpsc::RecvTimeoutError::Disconnected) => {
+                    Err(AttemptFailure::TimedOut)
+                }
+            }
+        }
+    }
+}
+
+/// Renders a panic payload as text (panics carry `&str` or `String`
+/// almost always; anything else gets a placeholder).
+///
+/// Takes the box by value: `&Box<dyn Any>` would coerce into a trait
+/// object *around the box*, making every downcast miss.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A quiet supervisor: no retries, no deadline, no injection.
+    fn strict() -> SupervisorConfig {
+        SupervisorConfig {
+            max_retries: 0,
+            ..SupervisorConfig::default()
+        }
+    }
+
+    fn keep_going<R>(_: usize, _: &JobOutcome<R>) -> ControlFlow<()> {
+        ControlFlow::Continue(())
+    }
+
+    #[test]
+    fn clean_batch_matches_pool_map() {
+        let jobs: Vec<u64> = (0..50).collect();
+        let out = pool_map_supervised(jobs, 4, "t", &strict(), |j| j * 3, keep_going);
+        for (i, o) in out.iter().enumerate() {
+            assert_eq!(o.result, Ok(i as u64 * 3));
+            assert_eq!(o.attempts, 1);
+        }
+    }
+
+    #[test]
+    fn one_panicking_job_does_not_poison_the_batch() {
+        let jobs: Vec<u64> = (0..16).collect();
+        let out = pool_map_supervised(
+            jobs,
+            4,
+            "t",
+            &strict(),
+            |j| {
+                assert!(j != 7, "job 7 is poisoned");
+                j + 1
+            },
+            keep_going,
+        );
+        for (i, o) in out.iter().enumerate() {
+            if i == 7 {
+                let Err(JobError::Panicked { message }) = &o.result else {
+                    panic!("job 7 must fail: {o:?}");
+                };
+                assert!(message.contains("poisoned"), "{message}");
+            } else {
+                assert_eq!(o.result, Ok(i as u64 + 1), "job {i} must survive");
+            }
+        }
+    }
+
+    #[test]
+    fn injected_panics_are_retried_to_success() {
+        let plan: FaultPlan = "seed=3,panic=0.4".parse().unwrap();
+        let config = SupervisorConfig {
+            max_retries: 10,
+            fault_plan: Some(plan),
+            ..SupervisorConfig::default()
+        };
+        let jobs: Vec<u64> = (0..32).collect();
+        let out = pool_map_supervised(jobs, 4, "t", &config, |j| j * j, keep_going);
+        let mut recovered = 0;
+        for (i, o) in out.iter().enumerate() {
+            assert_eq!(o.result, Ok((i * i) as u64), "job {i}: {o:?}");
+            if o.recovered() {
+                recovered += 1;
+            }
+        }
+        assert!(recovered > 0, "at 40% panic rate some job must retry");
+    }
+
+    #[test]
+    fn retries_exhaust_into_a_reported_failure() {
+        let plan = FaultPlan {
+            panic_rate: 1.0,
+            ..FaultPlan::default()
+        };
+        let config = SupervisorConfig {
+            max_retries: 2,
+            fault_plan: Some(plan),
+            ..SupervisorConfig::default()
+        };
+        let out = pool_map_supervised(vec![0u64], 1, "t", &config, |j| j, keep_going);
+        assert_eq!(out[0].attempts, 3);
+        let Err(JobError::Panicked { message }) = &out[0].result else {
+            panic!("must fail: {:?}", out[0]);
+        };
+        assert!(message.contains("reap-fault: injected panic"), "{message}");
+    }
+
+    #[test]
+    fn deadline_times_out_stuck_work() {
+        let config = SupervisorConfig {
+            max_retries: 0,
+            deadline: Some(Duration::from_millis(30)),
+            ..SupervisorConfig::default()
+        };
+        let out = pool_map_supervised(
+            vec![0u64, 1],
+            2,
+            "t",
+            &config,
+            |j| {
+                if j == 0 {
+                    std::thread::sleep(Duration::from_secs(5));
+                }
+                j
+            },
+            keep_going,
+        );
+        assert_eq!(
+            out[0].result,
+            Err(JobError::TimedOut {
+                deadline: Duration::from_millis(30)
+            })
+        );
+        assert_eq!(out[1].result, Ok(1), "fast job unaffected");
+    }
+
+    #[test]
+    fn injected_delay_plus_deadline_recovers_on_retry() {
+        // Delay rate below 1: a delayed (timed-out) attempt retries and
+        // eventually draws a clean attempt.
+        let plan = FaultPlan {
+            seed: 5,
+            delay_rate: 0.5,
+            delay: Duration::from_millis(200),
+            ..FaultPlan::default()
+        };
+        let config = SupervisorConfig {
+            max_retries: 12,
+            deadline: Some(Duration::from_millis(40)),
+            fault_plan: Some(plan),
+            ..SupervisorConfig::default()
+        };
+        let jobs: Vec<u64> = (0..8).collect();
+        let out = pool_map_supervised(jobs, 4, "t", &config, |j| j + 100, keep_going);
+        for (i, o) in out.iter().enumerate() {
+            assert_eq!(o.result, Ok(i as u64 + 100), "job {i}: {o:?}");
+        }
+    }
+
+    #[test]
+    fn cancellation_stops_the_batch() {
+        let jobs: Vec<u64> = (0..64).collect();
+        let mut seen = 0;
+        let out = pool_map_supervised(
+            jobs,
+            1, // single worker: deterministic claim order
+            "t",
+            &strict(),
+            |j| {
+                // Slow enough that the collector's Break lands while the
+                // worker is still mid-batch.
+                std::thread::sleep(Duration::from_millis(3));
+                j
+            },
+            |_, _| {
+                seen += 1;
+                if seen >= 5 {
+                    ControlFlow::Break(())
+                } else {
+                    ControlFlow::Continue(())
+                }
+            },
+        );
+        let done = out.iter().filter(|o| o.result.is_ok()).count();
+        let cancelled = out
+            .iter()
+            .filter(|o| o.result == Err(JobError::Cancelled))
+            .count();
+        assert!((5..64).contains(&done), "done = {done}");
+        assert_eq!(done + cancelled, 64);
+    }
+
+    #[test]
+    fn telemetry_counts_failures_and_retries() {
+        reap_obs::global().reset();
+        reap_obs::set_enabled(true);
+        let plan = FaultPlan {
+            panic_rate: 1.0,
+            ..FaultPlan::default()
+        };
+        let config = SupervisorConfig {
+            max_retries: 1,
+            fault_plan: Some(plan),
+            ..SupervisorConfig::default()
+        };
+        let _ = pool_map_supervised(vec![0u64, 1], 2, "sup_test", &config, |j| j, keep_going);
+        let snapshot = reap_obs::global().snapshot();
+        reap_obs::set_enabled(false);
+        let get = |name: &str| {
+            snapshot
+                .counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+                .unwrap_or(0)
+        };
+        assert_eq!(get("sup_test.supervised.failed"), 2);
+        assert_eq!(get("sup_test.supervised.panics"), 4);
+        assert_eq!(get("sup_test.supervised.retries"), 2);
+        assert_eq!(get("sup_test.supervised.ok"), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_parallelism_rejected() {
+        let _ = pool_map_supervised(Vec::<u64>::new(), 0, "t", &strict(), |j| j, keep_going);
+    }
+}

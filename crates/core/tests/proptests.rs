@@ -4,9 +4,58 @@
 use proptest::prelude::*;
 use reap_cache::{AccessObserver, Replacement};
 use reap_core::analysis::NumericExample;
+use reap_core::campaign::{run_sweep_campaign, CampaignConfig, CampaignError, SweepMode};
+use reap_core::checkpoint::{self, CheckpointMeta, CheckpointWriter, SweepRow};
+use reap_core::supervise::{pool_map_supervised, SupervisorConfig};
 use reap_core::{EccStrength, Experiment, ProtectionScheme, ReliabilityObserver, Simulator};
+use reap_fault::FaultPlan;
 use reap_reliability::AccumulationModel;
 use reap_trace::SpecWorkload;
+use std::ops::ControlFlow;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A fresh scratch path per proptest case (cases run in one process).
+fn scratch(tag: &str) -> PathBuf {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!("reap-core-prop-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir.join(format!(
+        "{tag}-{}.jsonl",
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// Deterministic job body for pool properties: any change to a surviving
+/// job's output is detectable.
+fn mix(seed: u64, j: u64) -> u64 {
+    let mut z = seed ^ j.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z ^ (z >> 31)
+}
+
+/// Flattens a campaign's rows to raw bits for exact comparison.
+fn campaign_bits(outcome: &reap_core::CampaignOutcome) -> Vec<u64> {
+    outcome
+        .outcomes
+        .iter()
+        .flat_map(|o| {
+            o.result
+                .as_ref()
+                .expect("job succeeded")
+                .iter()
+                .flat_map(|r| {
+                    [
+                        r.mttf_gain.to_bits(),
+                        r.energy_overhead.to_bits(),
+                        r.l2_hit_rate.to_bits(),
+                        r.efail_conv.to_bits(),
+                        r.max_n,
+                    ]
+                })
+        })
+        .collect()
+}
 
 proptest! {
     /// For any sequence of demand events, the expected-failure ordering
@@ -103,6 +152,179 @@ proptest! {
             prop_assert_eq!(replayed.memory_reads(), direct.memory_reads());
             prop_assert_eq!(replayed.memory_writes(), direct.memory_writes());
         }
+    }
+
+    /// Checkpoint rows survive a write/load cycle bit-exactly for
+    /// arbitrary payloads — including NaNs, infinities and subnormals,
+    /// which a decimal float round-trip would mangle.
+    #[test]
+    fn checkpoint_round_trips_arbitrary_rows_bit_exactly(
+        bits in proptest::collection::vec(any::<u64>(), 4..40),
+    ) {
+        let rows: Vec<SweepRow> = bits
+            .chunks_exact(4)
+            .map(|c| SweepRow {
+                ecc: match c[0] % 4 {
+                    0 => None,
+                    1 => Some(EccStrength::Sec),
+                    2 => Some(EccStrength::Dec),
+                    _ => Some(EccStrength::Tec),
+                },
+                mttf_gain: f64::from_bits(c[1]),
+                energy_overhead: f64::from_bits(c[2]),
+                l2_hit_rate: f64::from_bits(c[3]),
+                efail_conv: f64::from_bits(c[1] ^ c[2]),
+                max_n: c[3],
+            })
+            .collect();
+        let path = scratch("roundtrip");
+        let meta = CheckpointMeta::new("standard", 1, 2, &["prop".to_owned()]);
+        let mut writer = CheckpointWriter::create(&path, &meta).expect("create");
+        writer.record("prop", &rows).expect("record");
+        drop(writer);
+
+        let loaded = checkpoint::load(&path).expect("load");
+        prop_assert_eq!(loaded.meta.fingerprint, meta.fingerprint);
+        prop_assert!(loaded.truncated_tail.is_none());
+        prop_assert_eq!(loaded.completed.len(), 1);
+        let (key, got) = &loaded.completed[0];
+        prop_assert_eq!(key.as_str(), "prop");
+        prop_assert_eq!(got.len(), rows.len());
+        for (a, b) in got.iter().zip(&rows) {
+            prop_assert_eq!(a.ecc, b.ecc);
+            prop_assert_eq!(a.mttf_gain.to_bits(), b.mttf_gain.to_bits());
+            prop_assert_eq!(a.energy_overhead.to_bits(), b.energy_overhead.to_bits());
+            prop_assert_eq!(a.l2_hit_rate.to_bits(), b.l2_hit_rate.to_bits());
+            prop_assert_eq!(a.efail_conv.to_bits(), b.efail_conv.to_bits());
+            prop_assert_eq!(a.max_n, b.max_n);
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    /// Chopping an arbitrary number of bytes off the checkpoint tail (a
+    /// kill mid-write) never corrupts what load returns: the surviving
+    /// records are an exact prefix of what was written.
+    #[test]
+    fn killed_checkpoint_loads_an_exact_prefix(
+        seeds in proptest::collection::vec(any::<u64>(), 1..6),
+        chop in 1u64..80,
+    ) {
+        let keys: Vec<String> = (0..seeds.len()).map(|i| format!("k{i}")).collect();
+        let path = scratch("chop");
+        let meta = CheckpointMeta::new("standard", 7, 8, &keys);
+        let mut writer = CheckpointWriter::create(&path, &meta).expect("create");
+        let mut written = Vec::new();
+        for (key, &s) in keys.iter().zip(&seeds) {
+            let row = SweepRow {
+                ecc: None,
+                mttf_gain: f64::from_bits(mix(s, 0)),
+                energy_overhead: f64::from_bits(mix(s, 1)),
+                l2_hit_rate: f64::from_bits(mix(s, 2)),
+                efail_conv: f64::from_bits(mix(s, 3)),
+                max_n: mix(s, 4),
+            };
+            writer.record(key, std::slice::from_ref(&row)).expect("record");
+            written.push((key.clone(), row));
+        }
+        drop(writer);
+
+        // Never cut into the meta line itself — that is unrecoverable by
+        // design (there is nothing to resume from).
+        let len = std::fs::metadata(&path).expect("meta").len();
+        let text = std::fs::read_to_string(&path).expect("read");
+        let meta_end = text.find('\n').expect("meta line") as u64 + 1;
+        let keep = len.saturating_sub(chop).max(meta_end);
+        reap_fault::truncate_file(&path, keep).expect("truncate");
+
+        let loaded = checkpoint::load(&path).expect("a chopped tail still loads");
+        prop_assert!(loaded.completed.len() <= written.len());
+        for ((got_key, got_rows), (want_key, want_row)) in
+            loaded.completed.iter().zip(&written)
+        {
+            prop_assert_eq!(got_key, want_key, "records load in written order");
+            prop_assert_eq!(got_rows.len(), 1);
+            prop_assert_eq!(got_rows[0].mttf_gain.to_bits(), want_row.mttf_gain.to_bits());
+            prop_assert_eq!(got_rows[0].max_n, want_row.max_n);
+        }
+        if keep < len {
+            prop_assert!(
+                loaded.truncated_tail.is_some() || loaded.completed.len() < written.len()
+                    || keep == len - 1,
+                "a real cut is either a partial line or lost whole lines"
+            );
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    /// Injected panics, delays and retries never change a surviving job's
+    /// result: supervision is invisible to jobs that complete.
+    #[test]
+    fn injected_faults_never_corrupt_surviving_results(
+        seed in any::<u64>(),
+        panic_rate in 0.0f64..0.6,
+        delay_rate in 0.0f64..0.3,
+        retries in 0u32..5,
+    ) {
+        let plan = FaultPlan {
+            seed,
+            panic_rate,
+            delay_rate,
+            delay: std::time::Duration::from_millis(1),
+            ..FaultPlan::default()
+        };
+        let config = SupervisorConfig {
+            max_retries: retries,
+            fault_plan: Some(plan),
+            ..SupervisorConfig::default()
+        };
+        let jobs: Vec<u64> = (0..24).collect();
+        let job_seed = seed;
+        let out = pool_map_supervised(
+            jobs,
+            4,
+            "prop_pool",
+            &config,
+            move |j| mix(job_seed, j),
+            |_, _| ControlFlow::Continue(()),
+        );
+        prop_assert_eq!(out.len(), 24);
+        for (i, o) in out.iter().enumerate() {
+            if let Ok(v) = &o.result {
+                prop_assert_eq!(*v, mix(seed, i as u64), "job {} corrupted", i);
+            }
+            prop_assert!(o.attempts <= retries + 1);
+        }
+    }
+
+    /// The tentpole recovery guarantee, across arbitrary seeds and kill
+    /// points: checkpoint → kill → resume produces rows bit-identical to
+    /// the campaign that was never interrupted.
+    #[test]
+    fn campaign_kill_resume_is_bit_identical_across_seeds(
+        seed in any::<u64>(),
+        kill_after in 1u64..8,
+    ) {
+        let base = CampaignConfig::new(1_000, seed, SweepMode::Standard, 4);
+        let clean = run_sweep_campaign(&base).expect("clean campaign");
+
+        let path = scratch("resume");
+        let mut cfg = base.clone();
+        cfg.checkpoint = Some(path.clone());
+        cfg.supervisor.fault_plan = Some(FaultPlan {
+            interrupt_after: Some(kill_after),
+            ..FaultPlan::default()
+        });
+        let err = run_sweep_campaign(&cfg).expect_err("must interrupt");
+        prop_assert!(matches!(err, CampaignError::Interrupted { .. }));
+
+        let mut cfg = base.clone();
+        cfg.checkpoint = Some(path.clone());
+        cfg.resume = true;
+        let resumed = run_sweep_campaign(&cfg).expect("resumed campaign");
+        prop_assert!(resumed.resumed >= kill_after as usize);
+        prop_assert_eq!(resumed.failed, 0);
+        prop_assert_eq!(campaign_bits(&clean), campaign_bits(&resumed));
+        std::fs::remove_file(path).ok();
     }
 
     /// The closed-form numeric example scales correctly in each parameter.

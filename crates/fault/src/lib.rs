@@ -1,0 +1,358 @@
+//! Deterministic software fault injection for the campaign runtime.
+//!
+//! The paper stress-tests MTJ cells by injecting bit faults and checking
+//! that the protection scheme recovers; this crate applies the same
+//! philosophy to our own software. A [`FaultPlan`] is a *seeded,
+//! deterministic* schedule of worker panics, job delays and mid-run
+//! interrupts: given the same seed and the same (job, attempt) pair it
+//! always makes the same decision, so a failing fault-injection test
+//! reproduces exactly.
+//!
+//! The plan is consulted by the supervised pool in `reap-core` just
+//! before each job attempt runs; the file-corruption helpers
+//! ([`truncate_file`], [`chop_tail`]) simulate crash-interrupted
+//! checkpoint and trace writes for recovery tests.
+//!
+//! # Examples
+//!
+//! ```
+//! use reap_fault::{FaultAction, FaultPlan};
+//!
+//! let plan: FaultPlan = "seed=7,panic=0.5".parse()?;
+//! // Deterministic: the same (job, attempt) always gets the same action.
+//! assert_eq!(plan.decide(3, 1), plan.decide(3, 1));
+//! // Over many jobs roughly half the first attempts panic.
+//! let panics = (0..1000)
+//!     .filter(|&j| plan.decide(j, 1) == FaultAction::Panic)
+//!     .count();
+//! assert!((350..650).contains(&panics), "got {panics}");
+//! # Ok::<(), reap_fault::FaultSpecError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::error::Error;
+use std::fmt;
+use std::fs::OpenOptions;
+use std::io;
+use std::path::Path;
+use std::str::FromStr;
+use std::time::Duration;
+
+/// What the plan wants to happen to one job attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Run the attempt normally.
+    None,
+    /// Panic inside the worker (tests `catch_unwind` + retry paths).
+    Panic,
+    /// Sleep before running the job (tests deadline/timeout paths).
+    Delay(Duration),
+}
+
+/// A seeded, deterministic fault-injection schedule.
+///
+/// Rates are per *attempt*, so a job that panics on attempt 1 may well
+/// succeed on attempt 2 — exactly the transient-fault shape the retry
+/// machinery exists for. Decisions depend only on `(seed, job, attempt)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Seed mixed into every decision.
+    pub seed: u64,
+    /// Probability that an attempt panics, in `[0, 1]`.
+    pub panic_rate: f64,
+    /// Probability that an attempt is delayed, in `[0, 1]`.
+    pub delay_rate: f64,
+    /// Length of an injected delay.
+    pub delay: Duration,
+    /// Simulated kill: the campaign stops (checkpoint intact) after this
+    /// many jobs have completed. `None` disables the interrupt.
+    pub interrupt_after: Option<u64>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            panic_rate: 0.0,
+            delay_rate: 0.0,
+            delay: Duration::from_millis(50),
+            interrupt_after: None,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (useful as a base to modify).
+    pub fn quiet() -> Self {
+        Self::default()
+    }
+
+    /// Decides the fate of attempt `attempt` (1-based) of job `job`.
+    ///
+    /// Pure: depends only on the plan's seed and rates.
+    pub fn decide(&self, job: u64, attempt: u32) -> FaultAction {
+        if unit(self.seed, job, attempt, 0x9e37) < self.panic_rate {
+            return FaultAction::Panic;
+        }
+        if unit(self.seed, job, attempt, 0x85eb) < self.delay_rate {
+            return FaultAction::Delay(self.delay);
+        }
+        FaultAction::None
+    }
+
+    /// Consults [`decide`](Self::decide) and executes the action in the
+    /// calling thread: sleeps on a delay, panics (with a recognizable
+    /// `reap-fault:` message) on a panic.
+    ///
+    /// Call this *inside* the supervised unwind boundary, before the real
+    /// job body.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the plan schedules a panic for this attempt — that is
+    /// the point.
+    pub fn apply(&self, job: u64, attempt: u32) {
+        match self.decide(job, attempt) {
+            FaultAction::None => {}
+            FaultAction::Delay(d) => std::thread::sleep(d),
+            FaultAction::Panic => {
+                panic!("reap-fault: injected panic (job {job}, attempt {attempt})")
+            }
+        }
+    }
+
+    /// Whether the plan can ever inject anything.
+    pub fn is_quiet(&self) -> bool {
+        self.panic_rate == 0.0 && self.delay_rate == 0.0 && self.interrupt_after.is_none()
+    }
+}
+
+/// Maps `(seed, job, attempt, salt)` to a uniform value in `[0, 1)`.
+fn unit(seed: u64, job: u64, attempt: u32, salt: u64) -> f64 {
+    let mut x = seed ^ splitmix64(job.wrapping_add(salt));
+    x = splitmix64(x.wrapping_add(u64::from(attempt)));
+    // 53 high bits -> [0, 1).
+    (x >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// The SplitMix64 finalizer — a strong 64-bit mixer.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Error parsing a fault-plan spec string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultSpecError {
+    /// The offending `key=value` fragment.
+    pub fragment: String,
+    /// What went wrong with it.
+    pub reason: String,
+}
+
+impl fmt::Display for FaultSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "bad fault spec fragment `{}`: {}",
+            self.fragment, self.reason
+        )
+    }
+}
+
+impl Error for FaultSpecError {}
+
+impl FromStr for FaultPlan {
+    type Err = FaultSpecError;
+
+    /// Parses a comma-separated `key=value` spec, e.g.
+    /// `seed=7,panic=0.25,delay=0.1,delay-ms=40,interrupt=5`.
+    ///
+    /// Keys: `seed` (u64), `panic` / `delay` (rates in `[0,1]`),
+    /// `delay-ms` (u64 milliseconds), `interrupt` (job count).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut plan = FaultPlan::default();
+        for fragment in s.split(',').filter(|f| !f.trim().is_empty()) {
+            let err = |reason: &str| FaultSpecError {
+                fragment: fragment.trim().to_owned(),
+                reason: reason.to_owned(),
+            };
+            let (key, value) = fragment
+                .trim()
+                .split_once('=')
+                .ok_or_else(|| err("expected key=value"))?;
+            match key.trim() {
+                "seed" => {
+                    plan.seed = value
+                        .trim()
+                        .parse()
+                        .map_err(|_| err("seed must be a u64"))?;
+                }
+                "panic" => plan.panic_rate = parse_rate(value).map_err(|r| err(&r))?,
+                "delay" => plan.delay_rate = parse_rate(value).map_err(|r| err(&r))?,
+                "delay-ms" => {
+                    let ms: u64 = value
+                        .trim()
+                        .parse()
+                        .map_err(|_| err("delay-ms must be a u64"))?;
+                    plan.delay = Duration::from_millis(ms);
+                }
+                "interrupt" => {
+                    plan.interrupt_after = Some(
+                        value
+                            .trim()
+                            .parse()
+                            .map_err(|_| err("interrupt must be a job count"))?,
+                    );
+                }
+                _ => return Err(err("unknown key (seed/panic/delay/delay-ms/interrupt)")),
+            }
+        }
+        Ok(plan)
+    }
+}
+
+fn parse_rate(value: &str) -> Result<f64, String> {
+    let rate: f64 = value
+        .trim()
+        .parse()
+        .map_err(|_| "rate must be a number".to_owned())?;
+    if !(0.0..=1.0).contains(&rate) {
+        return Err(format!("rate {rate} outside [0, 1]"));
+    }
+    Ok(rate)
+}
+
+/// Truncates the file at `path` to `keep_bytes`, simulating a
+/// crash-interrupted write. Returns the number of bytes removed.
+///
+/// # Errors
+///
+/// Propagates I/O errors; truncating past the end of the file is an
+/// `InvalidInput` error rather than silent extension.
+pub fn truncate_file(path: &Path, keep_bytes: u64) -> io::Result<u64> {
+    let file = OpenOptions::new().write(true).open(path)?;
+    let len = file.metadata()?.len();
+    if keep_bytes > len {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("cannot keep {keep_bytes} bytes of a {len}-byte file"),
+        ));
+    }
+    file.set_len(keep_bytes)?;
+    Ok(len - keep_bytes)
+}
+
+/// Removes the last `n_bytes` of the file at `path` — the common
+/// "the process died mid-line" corruption. Returns the new length.
+///
+/// # Errors
+///
+/// Propagates I/O errors; chopping more bytes than the file has is an
+/// `InvalidInput` error.
+pub fn chop_tail(path: &Path, n_bytes: u64) -> io::Result<u64> {
+    let len = std::fs::metadata(path)?.len();
+    let keep = len.checked_sub(n_bytes).ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("cannot chop {n_bytes} bytes off a {len}-byte file"),
+        )
+    })?;
+    truncate_file(path, keep)?;
+    Ok(keep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_deterministic() {
+        let plan: FaultPlan = "seed=42,panic=0.3,delay=0.3".parse().unwrap();
+        for job in 0..64 {
+            for attempt in 1..4 {
+                assert_eq!(plan.decide(job, attempt), plan.decide(job, attempt));
+            }
+        }
+    }
+
+    #[test]
+    fn rates_are_respected_statistically() {
+        let plan: FaultPlan = "seed=1,panic=0.2".parse().unwrap();
+        let panics = (0..10_000)
+            .filter(|&j| plan.decide(j, 1) == FaultAction::Panic)
+            .count();
+        assert!((1_700..2_300).contains(&panics), "got {panics}");
+    }
+
+    #[test]
+    fn attempts_are_independent_draws() {
+        let plan: FaultPlan = "seed=9,panic=0.5".parse().unwrap();
+        // Some job must panic on attempt 1 and pass on attempt 2: that is
+        // what makes retries worthwhile.
+        let recovered = (0..100).any(|j| {
+            plan.decide(j, 1) == FaultAction::Panic && plan.decide(j, 2) == FaultAction::None
+        });
+        assert!(recovered);
+    }
+
+    #[test]
+    fn quiet_plan_never_injects() {
+        let plan = FaultPlan::quiet();
+        assert!(plan.is_quiet());
+        for job in 0..1000 {
+            assert_eq!(plan.decide(job, 1), FaultAction::None);
+        }
+    }
+
+    #[test]
+    fn spec_round_trip_and_errors() {
+        let plan: FaultPlan = "seed=7, panic=0.25, delay=0.1, delay-ms=40, interrupt=5"
+            .parse()
+            .unwrap();
+        assert_eq!(plan.seed, 7);
+        assert_eq!(plan.panic_rate, 0.25);
+        assert_eq!(plan.delay_rate, 0.1);
+        assert_eq!(plan.delay, Duration::from_millis(40));
+        assert_eq!(plan.interrupt_after, Some(5));
+
+        assert!("".parse::<FaultPlan>().unwrap().is_quiet());
+        let err = "panic=2.0".parse::<FaultPlan>().unwrap_err();
+        assert!(err.to_string().contains("outside"), "{err}");
+        let err = "frob=1".parse::<FaultPlan>().unwrap_err();
+        assert!(err.to_string().contains("unknown key"), "{err}");
+        let err = "panic".parse::<FaultPlan>().unwrap_err();
+        assert!(err.to_string().contains("key=value"), "{err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "reap-fault: injected panic")]
+    fn apply_panics_on_schedule() {
+        let plan = FaultPlan {
+            panic_rate: 1.0,
+            ..FaultPlan::default()
+        };
+        plan.apply(0, 1);
+    }
+
+    #[test]
+    fn truncation_helpers_cut_files() {
+        let dir = std::env::temp_dir().join(format!("reap-fault-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.bin");
+        std::fs::write(&path, b"0123456789").unwrap();
+
+        assert_eq!(truncate_file(&path, 7).unwrap(), 3);
+        assert_eq!(std::fs::read(&path).unwrap(), b"0123456");
+        assert_eq!(chop_tail(&path, 2).unwrap(), 5);
+        assert_eq!(std::fs::read(&path).unwrap(), b"01234");
+
+        assert!(truncate_file(&path, 99).is_err());
+        assert!(chop_tail(&path, 99).is_err());
+        std::fs::remove_dir_all(dir).ok();
+    }
+}

@@ -189,6 +189,18 @@ pub fn render_table(snapshot: &Snapshot) -> String {
     out
 }
 
+/// A half-written trailing line detected by [`check_jsonl`] — the
+/// signature of a writer killed mid-line. The document up to this point
+/// is still trusted; tooling should repair the file by truncating it to
+/// `byte_offset`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TruncatedTail {
+    /// 1-based line number of the partial line.
+    pub line: usize,
+    /// Byte offset where the partial line starts.
+    pub byte_offset: usize,
+}
+
 /// Per-type record counts of a validated JSON-lines document.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct JsonlSummary {
@@ -200,6 +212,8 @@ pub struct JsonlSummary {
     pub hists: u64,
     /// `span` records seen.
     pub spans: u64,
+    /// A crash-truncated trailing line, tolerated as a warning.
+    pub truncated: Option<TruncatedTail>,
 }
 
 impl JsonlSummary {
@@ -214,6 +228,13 @@ impl JsonlSummary {
 /// schema, every record type is known, metric records carry names, and
 /// the meta counts match the body.
 ///
+/// One corruption is tolerated rather than rejected: an *unterminated*
+/// final line that fails to parse. Appending writers flush line by line,
+/// so a process killed mid-write leaves exactly this state; the summary
+/// reports it in [`JsonlSummary::truncated`] (with the byte offset to
+/// truncate the file back to) and the meta counts are allowed to exceed
+/// the body counts. A mid-file violation is still an error.
+///
 /// # Errors
 ///
 /// Returns a `(line_number, message)` pair (1-based) for the first
@@ -221,12 +242,23 @@ impl JsonlSummary {
 pub fn check_jsonl(text: &str) -> Result<JsonlSummary, (usize, String)> {
     let mut summary = JsonlSummary::default();
     let mut meta: Option<[u64; 4]> = None;
+    let last_line_unterminated = !text.is_empty() && !text.ends_with('\n');
+    let line_count = text.lines().count();
     for (i, line) in text.lines().enumerate() {
         let line_no = i + 1;
         if line.trim().is_empty() {
             continue;
         }
-        let value = json::parse(line).map_err(|e| (line_no, format!("invalid JSON: {e}")))?;
+        let parsed = json::parse(line);
+        if parsed.is_err() && last_line_unterminated && line_no == line_count {
+            // A killed writer's half line: warn, keep everything before.
+            summary.truncated = Some(TruncatedTail {
+                line: line_no,
+                byte_offset: text.len() - line.len(),
+            });
+            break;
+        }
+        let value = parsed.map_err(|e| (line_no, format!("invalid JSON: {e}")))?;
         let kind = value
             .get("type")
             .and_then(json::Value::as_str)
@@ -295,10 +327,16 @@ pub fn check_jsonl(text: &str) -> Result<JsonlSummary, (usize, String)> {
         summary.spans,
     ];
     if meta != body {
-        return Err((
-            0,
-            format!("meta counts {meta:?} do not match body counts {body:?}"),
-        ));
+        // With a truncated tail the body may legitimately fall short of
+        // the announced counts (the lost records were after the cut).
+        let explained_by_truncation =
+            summary.truncated.is_some() && body.iter().zip(meta).all(|(b, m)| *b <= m);
+        if !explained_by_truncation {
+            return Err((
+                0,
+                format!("meta counts {meta:?} do not match body counts {body:?}"),
+            ));
+        }
     }
     Ok(summary)
 }
@@ -332,10 +370,35 @@ mod tests {
                 counters: 1,
                 gauges: 1,
                 hists: 1,
-                spans: 1
+                spans: 1,
+                truncated: None,
             }
         );
         assert_eq!(summary.total(), 4);
+    }
+
+    #[test]
+    fn killed_writer_tail_is_a_warning_not_an_error() {
+        let mut buf = Vec::new();
+        write_jsonl(&sample().snapshot(), &mut buf).unwrap();
+        let good = String::from_utf8(buf).unwrap();
+        // Kill the writer mid-way through the final record.
+        let cut = good.len() - 9;
+        let damaged = &good[..cut];
+        let summary = check_jsonl(damaged).unwrap();
+        let tail = summary.truncated.expect("tail detected");
+        assert_eq!(tail.line, damaged.lines().count());
+        assert!(
+            damaged[tail.byte_offset..].starts_with("{\"type\":\"span\""),
+            "offset points at the partial line"
+        );
+        assert_eq!(summary.spans, 0, "the partial record is not counted");
+
+        // The same damage mid-file (i.e. followed by a newline) is real
+        // corruption and must still fail.
+        let mut mid = damaged.to_owned();
+        mid.push('\n');
+        assert!(check_jsonl(&mid).is_err());
     }
 
     #[test]

@@ -76,33 +76,45 @@ where
 ///
 /// # Errors
 ///
-/// Returns [`ReadTraceError`] on I/O failure, bad magic, unsupported
-/// version, an unknown record kind, or truncation.
-pub fn read_trace<R: Read>(mut reader: R) -> Result<Vec<MemoryAccess>, ReadTraceError> {
+/// Returns [`TraceError`] on I/O failure, bad magic, unsupported
+/// version, an unknown record kind, or truncation. Every error names the
+/// byte offset where decoding stopped, and record-level errors name the
+/// record index, so a corrupt capture is diagnosable without a hex
+/// editor.
+pub fn read_trace<R: Read>(mut reader: R) -> Result<Vec<MemoryAccess>, TraceError> {
+    let mut offset = 0u64;
     let mut magic = [0u8; 4];
-    reader.read_exact(&mut magic)?;
+    fill(&mut reader, &mut magic, &mut offset, Section::Header)?;
     if &magic != MAGIC {
-        return Err(ReadTraceError::BadMagic { found: magic });
+        return Err(TraceError::BadMagic { found: magic });
     }
     let mut version = [0u8; 1];
-    reader.read_exact(&mut version)?;
+    fill(&mut reader, &mut version, &mut offset, Section::Header)?;
     if version[0] != VERSION {
-        return Err(ReadTraceError::UnsupportedVersion { found: version[0] });
+        return Err(TraceError::UnsupportedVersion { found: version[0] });
     }
     let mut count_bytes = [0u8; 8];
-    reader.read_exact(&mut count_bytes)?;
+    fill(&mut reader, &mut count_bytes, &mut offset, Section::Header)?;
     let count = u64::from_le_bytes(count_bytes);
     let mut out = Vec::with_capacity(count.min(1 << 20) as usize);
-    for _ in 0..count {
+    for record in 0..count {
+        let section = Section::Record { index: record };
+        let record_offset = offset;
         let mut kind = [0u8; 1];
-        reader.read_exact(&mut kind)?;
+        fill(&mut reader, &mut kind, &mut offset, section)?;
         let mut addr = [0u8; 8];
-        reader.read_exact(&mut addr)?;
+        fill(&mut reader, &mut addr, &mut offset, section)?;
         let kind = match kind[0] {
             0 => AccessKind::InstrFetch,
             1 => AccessKind::Load,
             2 => AccessKind::Store,
-            other => return Err(ReadTraceError::UnknownKind { found: other }),
+            other => {
+                return Err(TraceError::UnknownKind {
+                    found: other,
+                    record,
+                    offset: record_offset,
+                })
+            }
         };
         out.push(MemoryAccess {
             address: u64::from_le_bytes(addr),
@@ -112,12 +124,59 @@ pub fn read_trace<R: Read>(mut reader: R) -> Result<Vec<MemoryAccess>, ReadTrace
     Ok(out)
 }
 
+/// Where in the stream a read was positioned, for error context.
+#[derive(Debug, Clone, Copy)]
+enum Section {
+    Header,
+    Record { index: u64 },
+}
+
+/// `read_exact` with position bookkeeping: maps short reads to
+/// [`TraceError::Truncated`] and other failures to [`TraceError::Io`],
+/// both stamped with the current offset.
+fn fill<R: Read>(
+    reader: &mut R,
+    buf: &mut [u8],
+    offset: &mut u64,
+    section: Section,
+) -> Result<(), TraceError> {
+    let at = *offset;
+    let record = match section {
+        Section::Header => None,
+        Section::Record { index } => Some(index),
+    };
+    match reader.read_exact(buf) {
+        Ok(()) => {
+            *offset += buf.len() as u64;
+            Ok(())
+        }
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => {
+            Err(TraceError::Truncated { offset: at, record })
+        }
+        Err(source) => Err(TraceError::Io { offset: at, source }),
+    }
+}
+
 /// Error reading a serialized trace.
+///
+/// Formerly `ReadTraceError`; the old name remains as an alias.
 #[derive(Debug)]
 #[non_exhaustive]
-pub enum ReadTraceError {
-    /// Underlying I/O failure (including truncation).
-    Io(io::Error),
+pub enum TraceError {
+    /// Underlying I/O failure (other than a short read).
+    Io {
+        /// Byte offset the failed read started at.
+        offset: u64,
+        /// The underlying error.
+        source: io::Error,
+    },
+    /// The stream ended mid-header or mid-record.
+    Truncated {
+        /// Byte offset the unsatisfied read started at.
+        offset: u64,
+        /// The record being decoded, if past the header.
+        record: Option<u64>,
+    },
     /// The stream does not start with the `RTRC` magic.
     BadMagic {
         /// The bytes found instead.
@@ -132,38 +191,54 @@ pub enum ReadTraceError {
     UnknownKind {
         /// The tag found.
         found: u8,
+        /// The record carrying it.
+        record: u64,
+        /// Byte offset of that record.
+        offset: u64,
     },
 }
 
-impl fmt::Display for ReadTraceError {
+/// Backwards-compatible alias for [`TraceError`].
+pub type ReadTraceError = TraceError;
+
+impl fmt::Display for TraceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ReadTraceError::Io(e) => write!(f, "trace i/o failed: {e}"),
-            ReadTraceError::BadMagic { found } => {
+            TraceError::Io { offset, source } => {
+                write!(f, "trace i/o failed at byte {offset}: {source}")
+            }
+            TraceError::Truncated {
+                offset,
+                record: Some(record),
+            } => write!(f, "trace truncated at byte {offset} (record {record})"),
+            TraceError::Truncated {
+                offset,
+                record: None,
+            } => write!(f, "trace truncated at byte {offset} (in header)"),
+            TraceError::BadMagic { found } => {
                 write!(f, "not a trace file (magic {found:02x?})")
             }
-            ReadTraceError::UnsupportedVersion { found } => {
+            TraceError::UnsupportedVersion { found } => {
                 write!(f, "unsupported trace version {found}")
             }
-            ReadTraceError::UnknownKind { found } => {
-                write!(f, "unknown access kind tag {found}")
-            }
+            TraceError::UnknownKind {
+                found,
+                record,
+                offset,
+            } => write!(
+                f,
+                "unknown access kind tag {found} in record {record} at byte {offset}"
+            ),
         }
     }
 }
 
-impl Error for ReadTraceError {
+impl Error for TraceError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
-            ReadTraceError::Io(e) => Some(e),
+            TraceError::Io { source, .. } => Some(source),
             _ => None,
         }
-    }
-}
-
-impl From<io::Error> for ReadTraceError {
-    fn from(e: io::Error) -> Self {
-        ReadTraceError::Io(e)
     }
 }
 
@@ -207,25 +282,46 @@ mod tests {
     }
 
     #[test]
-    fn unknown_kind_is_rejected() {
+    fn unknown_kind_names_the_record_and_offset() {
         let mut buf = Vec::new();
-        write_trace(&mut buf, [MemoryAccess::load(0)]).unwrap();
-        buf[13] = 7; // the kind byte of the first record
+        write_trace(&mut buf, [MemoryAccess::load(0), MemoryAccess::load(4)]).unwrap();
+        buf[22] = 7; // the kind byte of the second record
+        let err = read_trace(&buf[..]).unwrap_err();
         assert!(matches!(
-            read_trace(&buf[..]).unwrap_err(),
-            ReadTraceError::UnknownKind { found: 7 }
+            err,
+            TraceError::UnknownKind {
+                found: 7,
+                record: 1,
+                offset: 22
+            }
         ));
+        assert!(err.to_string().contains("record 1 at byte 22"), "{err}");
     }
 
     #[test]
-    fn truncation_is_an_io_error() {
+    fn truncation_names_the_record_and_offset() {
         let mut buf = Vec::new();
         write_trace(&mut buf, [MemoryAccess::load(0xAABB)]).unwrap();
         buf.truncate(buf.len() - 3);
-        assert!(matches!(
-            read_trace(&buf[..]).unwrap_err(),
-            ReadTraceError::Io(_)
-        ));
+        let err = read_trace(&buf[..]).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                TraceError::Truncated {
+                    record: Some(0),
+                    offset: 14
+                }
+            ),
+            "{err:?}"
+        );
+        assert!(err.to_string().contains("byte 14 (record 0)"), "{err}");
+    }
+
+    #[test]
+    fn truncated_header_is_distinguished() {
+        let err = read_trace(&b"RTRC\x01\x00\x00"[..]).unwrap_err();
+        assert!(matches!(err, TraceError::Truncated { record: None, .. }));
+        assert!(err.to_string().contains("in header"), "{err}");
     }
 
     #[test]

@@ -40,6 +40,7 @@ pub mod spec;
 pub mod stats;
 
 pub use generators::{LoopNest, PointerChase, StridedStream, UniformRandom, ZipfHotSet};
+pub use io::TraceError;
 pub use mixture::{Mixture, MixtureBuilder, Phased};
 pub use record::{AccessKind, MemoryAccess};
 pub use spec::{SpecWorkload, WorkloadParams};

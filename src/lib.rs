@@ -19,6 +19,9 @@
 //!   experiment runner.
 //! * [`obs`] — structured metrics, phase spans and progress telemetry
 //!   (counters, gauges, histograms, JSONL/Chrome-trace exporters).
+//! * [`fault`] — deterministic software fault injection (seeded worker
+//!   panics, job delays, mid-run interrupts, file truncation) used to
+//!   prove the campaign runtime's recovery paths.
 //!
 //! # Quickstart
 //!
@@ -43,6 +46,7 @@
 pub use reap_cache as cache;
 pub use reap_core as core;
 pub use reap_ecc as ecc;
+pub use reap_fault as fault;
 pub use reap_mtj as mtj;
 pub use reap_nvarray as nvarray;
 pub use reap_obs as obs;
