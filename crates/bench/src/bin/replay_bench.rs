@@ -1,0 +1,135 @@
+//! Performance benchmark for the batched multi-point replay kernel.
+//!
+//! Captures every SPEC workload profile once, then scores an 8-point
+//! analysis sweep (ECC strengths cycled across distinct MTJ read
+//! currents, so the points mix stored widths *and* `P_rd` values) two
+//! ways over the same captures:
+//!
+//! 1. **per-point** — one [`Simulator::replay`] walk of the exposure
+//!    stream per analysis point (the historical hot path), and
+//! 2. **batched** — one [`Simulator::replay_batch`] walk scoring all
+//!    points at once.
+//!
+//! The reports must agree bit-for-bit (the bench fails otherwise — it
+//! doubles as an end-to-end identity check at realistic scale), and the
+//! batched pass must not be slower: the process exits non-zero if the
+//! measured speedup drops below 1. Results land in `BENCH_replay.json`
+//! (override the path with the first argument).
+//!
+//! `--smoke` (or `REAP_BENCH_SMOKE=1`) shrinks the access budget for CI.
+
+use reap_bench::access_budget;
+use reap_core::{EccStrength, Experiment, ProtectionScheme, Simulator};
+use reap_mtj::MtjParams;
+use reap_trace::SpecWorkload;
+use std::time::Instant;
+
+/// Read currents (A) cycled across the 8 analysis points. All below the
+/// default card's critical current; each gives a distinct `P_rd`.
+const READ_CURRENTS: [f64; 8] = [70e-6, 65e-6, 60e-6, 55e-6, 50e-6, 45e-6, 40e-6, 35e-6];
+
+fn failure_bits(r: &reap_core::Report) -> [u64; 4] {
+    [
+        r.expected_failures(ProtectionScheme::Conventional)
+            .to_bits(),
+        r.expected_failures(ProtectionScheme::Reap).to_bits(),
+        r.expected_failures(ProtectionScheme::SerialTagFirst)
+            .to_bits(),
+        r.writeback_exposure().to_bits(),
+    ]
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut out_path = String::from("BENCH_replay.json");
+    let mut smoke = std::env::var("REAP_BENCH_SMOKE").is_ok_and(|v| v != "0");
+    for a in args.by_ref() {
+        if a == "--smoke" {
+            smoke = true;
+        } else {
+            out_path = a;
+        }
+    }
+    let accesses = if smoke { 20_000 } else { access_budget() };
+    let workloads = SpecWorkload::ALL;
+    println!(
+        "replay kernel benchmark — {} workloads x {} points, {accesses} accesses each{}",
+        workloads.len(),
+        READ_CURRENTS.len(),
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    // Analysis points are built once, outside both timed regions: the
+    // benchmark measures replay cost, not code construction.
+    let points: Vec<Simulator> = READ_CURRENTS
+        .iter()
+        .enumerate()
+        .map(|(i, &i_read)| {
+            let e = Experiment::paper_hierarchy()
+                .accesses(accesses)
+                .seed(reap_bench::DEFAULT_SEED)
+                .ecc(EccStrength::ALL[i % EccStrength::ALL.len()])
+                .mtj(
+                    MtjParams::default()
+                        .with_read_current(i_read)
+                        .expect("read current below critical"),
+                );
+            Simulator::new(e.config().clone()).expect("paper configuration is valid")
+        })
+        .collect();
+
+    let mut per_point_s = 0.0f64;
+    let mut batched_s = 0.0f64;
+    let mut events = 0u64;
+    for w in workloads {
+        let capture = Experiment::paper_hierarchy()
+            .workload(w)
+            .accesses(accesses)
+            .seed(reap_bench::DEFAULT_SEED)
+            .capture()
+            .expect("capture");
+        events += capture.events().len() as u64;
+
+        let t0 = Instant::now();
+        let independent: Vec<_> = points
+            .iter()
+            .map(|sim| sim.replay(&capture).expect("replay"))
+            .collect();
+        per_point_s += t0.elapsed().as_secs_f64();
+
+        let t1 = Instant::now();
+        let batched = Simulator::replay_batch(&points, &capture).expect("batch");
+        batched_s += t1.elapsed().as_secs_f64();
+
+        for (i, (a, b)) in independent.iter().zip(&batched).enumerate() {
+            assert_eq!(
+                failure_bits(a),
+                failure_bits(b),
+                "batched kernel diverged from per-point replay ({} point {i})",
+                w.name()
+            );
+        }
+    }
+
+    let speedup = per_point_s / batched_s;
+    println!(
+        "per-point: {per_point_s:.3} s   batched: {batched_s:.3} s   speedup: {speedup:.2}x \
+         ({events} exposure events, bit-identical)"
+    );
+
+    let json = format!(
+        "{{\n  \"accesses\": {accesses},\n  \"workloads\": {},\n  \"points\": {},\n  \
+         \"exposure_events\": {events},\n  \"per_point_s\": {per_point_s:.6},\n  \
+         \"batched_s\": {batched_s:.6},\n  \"speedup\": {speedup:.3},\n  \
+         \"bit_identical\": true,\n  \"smoke\": {smoke}\n}}\n",
+        workloads.len(),
+        READ_CURRENTS.len(),
+    );
+    std::fs::write(&out_path, json).expect("write benchmark results");
+    println!("wrote {out_path}");
+
+    if speedup < 1.0 {
+        eprintln!("FAIL: batched replay slower than per-point ({speedup:.2}x)");
+        std::process::exit(1);
+    }
+}

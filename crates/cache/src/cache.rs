@@ -249,6 +249,28 @@ impl Cache {
         }
     }
 
+    /// Installs a full-line write-back from an upper level into the line
+    /// containing `address`.
+    ///
+    /// Bookkeeping is identical to [`Cache::write`] — same counters,
+    /// observer events and allocate-on-miss — but the call marks the
+    /// write as carrying a *complete* line: on a miss the allocation
+    /// needs no backing-store fetch, which the hierarchy uses to avoid
+    /// charging a memory read (demand stores, by contrast, must fetch
+    /// the rest of the line before merging). Misses are additionally
+    /// counted in [`CacheStats::writeback_installs`].
+    pub fn install_writeback<O: AccessObserver>(
+        &mut self,
+        address: u64,
+        observer: &mut O,
+    ) -> AccessResult {
+        let result = self.write(address, observer);
+        if !result.hit {
+            self.stats.writeback_installs += 1;
+        }
+        result
+    }
+
     /// Installs `tag` into `set`, evicting a victim if the set is full.
     fn fill<O: AccessObserver>(
         &mut self,

@@ -201,7 +201,7 @@ impl Hierarchy {
                 if !r.hit {
                     self.l2_read(access.address, observer);
                     if let Some(ev) = r.evicted.filter(|e| e.dirty) {
-                        self.l2_write(ev.address, observer);
+                        self.l2_writeback(ev.address, observer);
                     }
                 }
             }
@@ -211,7 +211,7 @@ impl Hierarchy {
                     // Write-allocate: fetch the line from L2 first.
                     self.l2_read(access.address, observer);
                     if let Some(ev) = r.evicted.filter(|e| e.dirty) {
-                        self.l2_write(ev.address, observer);
+                        self.l2_writeback(ev.address, observer);
                     }
                 }
             }
@@ -243,11 +243,11 @@ impl Hierarchy {
         }
     }
 
-    fn l2_write<O: AccessObserver>(&mut self, address: u64, observer: &mut O) {
-        let r = self.l2.write(address, observer);
-        if !r.hit {
-            self.memory_reads += 1; // write-allocate fetch
-        }
+    fn l2_writeback<O: AccessObserver>(&mut self, address: u64, observer: &mut O) {
+        // The dirty L1 victim carries the complete line, so a miss
+        // allocates without fetching from memory — unlike a demand-store
+        // write-allocate, no `memory_reads` is charged.
+        let r = self.l2.install_writeback(address, observer);
         if let Some(ev) = r.evicted.filter(|e| e.dirty) {
             let _ = ev;
             self.memory_writes += 1;
@@ -313,6 +313,44 @@ mod tests {
             h.l2().stats().writes >= 1,
             "dirty victim must write back to L2"
         );
+    }
+
+    #[test]
+    fn writeback_miss_does_not_charge_memory_read() {
+        // Small 1-way L2 so we can evict a line from L2 while its (dirty)
+        // copy stays resident in L1D, then force the dirty L1 victim's
+        // write-back to *miss* in L2.
+        let config = HierarchyConfig {
+            l2: CacheConfig::builder()
+                .name("L2")
+                .size_bytes(4 * 1024) // 64 sets, 1-way: set stride 4096
+                .associativity(1)
+                .block_bytes(64)
+                .build()
+                .unwrap(),
+            ..HierarchyConfig::paper()
+        };
+        let mut h = Hierarchy::new(config, Replacement::Lru);
+        // Store to line 0: L1D write-allocate fetches through L2 (memory
+        // read 1); line 0 is dirty in L1D, clean in L2.
+        h.access(MemoryAccess::store(0), &mut ());
+        // Conflict line 0 out of L2 set 0 (clean eviction, memory read 2).
+        h.access(MemoryAccess::load(4096), &mut ());
+        // Four loads that land in L1D set 0 (stride 8192) *and* L2 set 0:
+        // memory reads 3..=6. The last one evicts the dirty line 0 from
+        // L1D, whose write-back misses in L2.
+        for i in 1..=4u64 {
+            h.access(MemoryAccess::load(i * 8192), &mut ());
+        }
+        assert_eq!(h.l2().stats().writes, 1, "exactly one write-back");
+        assert_eq!(h.l2().stats().write_hits, 0, "the write-back missed");
+        assert_eq!(h.l2().stats().writeback_installs, 1);
+        assert_eq!(
+            h.memory_reads(),
+            6,
+            "a full-line write-back miss allocates without a fetch"
+        );
+        assert_eq!(h.memory_writes(), 0, "the displaced L2 line was clean");
     }
 
     #[test]

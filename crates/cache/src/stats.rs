@@ -38,6 +38,9 @@ pub struct CacheStats {
     pub demand_checks: u64,
     /// Lines checked by explicit scrub sweeps.
     pub scrub_checks: u64,
+    /// Full-line write-back installs that missed and allocated without a
+    /// backing-store fetch (see `Cache::install_writeback`).
+    pub writeback_installs: u64,
 }
 
 impl CacheStats {
@@ -106,6 +109,7 @@ impl CacheStats {
         add("line_reads", self.line_reads);
         add("demand_checks", self.demand_checks);
         add("scrub_checks", self.scrub_checks);
+        add("writeback_installs", self.writeback_installs);
         let accesses = reads + writes;
         let rate = if accesses == 0 {
             0.0
@@ -131,6 +135,7 @@ impl AddAssign for CacheStats {
         self.line_reads += rhs.line_reads;
         self.demand_checks += rhs.demand_checks;
         self.scrub_checks += rhs.scrub_checks;
+        self.writeback_installs += rhs.writeback_installs;
     }
 }
 

@@ -92,7 +92,8 @@ fn ecc_sweep_metrics_out_is_schema_stable_jsonl() {
     // counters and ECC decode counts.
     for key in [
         "\"path\":\"capture\"",
-        "\"path\":\"replay\"",
+        "\"path\":\"replay_batch\"",
+        "\"sim.replay_batch.points\"",
         "\"name\":\"ecc_sweep\"",
         "ecc_sweep.worker.0.busy_s",
         "ecc_sweep.worker.0.utilization",
@@ -172,6 +173,44 @@ fn parallel_sweep_metrics_are_deterministic_across_runs() {
     assert_eq!(exports[0], exports[1]);
 
     std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn ecc_sweep_stdout_is_byte_identical_across_runs_and_parallelism() {
+    // The ECC sweep now scores all three strengths through the batched
+    // multi-point replay kernel. Its stdout must stay byte-for-byte
+    // deterministic: identical across repeated runs and across worker
+    // counts, exactly as the per-point replay path behaved.
+    let args = |j: &str| {
+        [
+            "sweep",
+            "-n",
+            "5000",
+            "--seed",
+            "11",
+            "--ecc-sweep",
+            "-j",
+            j,
+        ]
+        .map(String::from)
+    };
+    let first = reap().args(args("1")).output().expect("runs");
+    assert!(first.status.success());
+    let again = reap().args(args("1")).output().expect("runs");
+    let wide = reap().args(args("4")).output().expect("runs");
+    assert!(again.status.success() && wide.status.success());
+    assert_eq!(
+        first.stdout, again.stdout,
+        "repeated ecc-sweep runs must be byte-identical"
+    );
+    assert_eq!(
+        first.stdout, wide.stdout,
+        "worker count must not change ecc-sweep output"
+    );
+    let text = String::from_utf8_lossy(&first.stdout);
+    for strength in ["SEC", "DEC", "TEC"] {
+        assert!(text.contains(strength), "missing {strength} rows:\n{text}");
+    }
 }
 
 #[test]

@@ -20,7 +20,6 @@
 
 use crate::checkpoint::{self, CheckpointMeta, CheckpointWriter, SweepRow};
 use crate::experiment::{Experiment, ExperimentError};
-use crate::simulator::EccStrength;
 use crate::supervise::{pool_map_supervised, JobError, SupervisorConfig};
 use reap_trace::SpecWorkload;
 use std::collections::HashMap;
@@ -204,14 +203,12 @@ fn run_job(
             Ok(vec![SweepRow::from_report(None, &report)])
         }
         SweepMode::EccSweep => {
-            let capture = experiment.capture()?;
-            EccStrength::ALL
+            // One capture, then the batched multi-point kernel scores all
+            // strengths in a single pass over the exposure stream.
+            Ok(crate::sweep::replay_ecc_sweep(&experiment)?
                 .into_iter()
-                .map(|ecc| {
-                    let report = experiment.clone().ecc(ecc).replay(&capture)?;
-                    Ok(SweepRow::from_report(Some(ecc), &report))
-                })
-                .collect()
+                .map(|(ecc, report)| SweepRow::from_report(Some(ecc), &report))
+                .collect())
         }
     }
 }

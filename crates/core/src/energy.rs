@@ -187,6 +187,7 @@ mod tests {
             line_reads: 690_000,
             demand_checks: 90_000,
             scrub_checks: 0,
+            writeback_installs: 0,
         }
     }
 

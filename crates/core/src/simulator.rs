@@ -9,7 +9,7 @@ use reap_cache::{sample_ones, Hierarchy, HierarchyConfig, Replacement};
 use reap_ecc::{Bch, CodeError, DecoderCost, EccCode, HammingSec};
 use reap_mtj::{read_disturbance_probability, MtjParams};
 use reap_nvarray::{estimate, ArraySpec, MemTech, SpecError, TechnologyNode};
-use reap_reliability::{AccumulationModel, ReplayAggregator};
+use reap_reliability::{AccumulationModel, MultiReplayAggregator, ReplayAggregator};
 use reap_trace::MemoryAccess;
 use std::fmt;
 
@@ -361,21 +361,7 @@ impl Simulator {
     /// Returns [`SimulationError::CaptureMismatch`] if the capture was
     /// taken under a different behavioural configuration.
     pub fn replay(&self, capture: &ExposureCapture) -> Result<Report, SimulationError> {
-        if *capture.hierarchy() != self.config.hierarchy {
-            return Err(SimulationError::CaptureMismatch(
-                "hierarchy geometry differs",
-            ));
-        }
-        if capture.replacement() != self.config.replacement {
-            return Err(SimulationError::CaptureMismatch(
-                "replacement policy differs",
-            ));
-        }
-        if capture.warmup_accesses() != self.config.warmup_accesses
-            || capture.measure_accesses() != self.config.measure_accesses
-        {
-            return Err(SimulationError::CaptureMismatch("access budgets differ"));
-        }
+        self.check_capture(capture)?;
 
         // No snapshot emit here: the capture already published its cache
         // counters once; re-emitting per replayed point would count the
@@ -406,6 +392,125 @@ impl Simulator {
             duration_seconds,
             self.p_rd,
         ))
+    }
+
+    /// Verifies that `capture` was taken under this simulator's
+    /// *behavioural* configuration (hierarchy, replacement, budgets) —
+    /// the analysis point (ECC, MTJ, node, rate) is free to differ.
+    fn check_capture(&self, capture: &ExposureCapture) -> Result<(), SimulationError> {
+        if *capture.hierarchy() != self.config.hierarchy {
+            return Err(SimulationError::CaptureMismatch(
+                "hierarchy geometry differs",
+            ));
+        }
+        if capture.replacement() != self.config.replacement {
+            return Err(SimulationError::CaptureMismatch(
+                "replacement policy differs",
+            ));
+        }
+        if capture.warmup_accesses() != self.config.warmup_accesses
+            || capture.measure_accesses() != self.config.measure_accesses
+        {
+            return Err(SimulationError::CaptureMismatch("access budgets differ"));
+        }
+        Ok(())
+    }
+
+    /// Batched phase 2: evaluates one captured exposure stream at *every*
+    /// analysis point in `points` in a **single pass** over the events,
+    /// returning one report per point in input order.
+    ///
+    /// Equivalent to calling [`replay`](Self::replay) on each point —
+    /// bit-identical, property-tested — but the stream is walked once:
+    /// per record, the line weight is resampled once per *distinct*
+    /// stored width among the points (ECC strengths share a width when
+    /// their check-bit counts match) and scored against all points by a
+    /// [`MultiReplayAggregator`], whose stacked lookup tables and
+    /// small-`N` memo keep the per-point cost to a few table reads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimulationError::CaptureMismatch`] if any point's
+    /// behavioural configuration differs from the capture's.
+    pub fn replay_batch(
+        points: &[Simulator],
+        capture: &ExposureCapture,
+    ) -> Result<Vec<Report>, SimulationError> {
+        for sim in points {
+            sim.check_capture(capture)?;
+        }
+        if points.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut span = reap_obs::span("replay_batch");
+        span.add_events(capture.events().len() as u64);
+        if span.is_recording() {
+            reap_obs::global()
+                .counter("sim.replay_batch.points")
+                .add(points.len() as u64);
+        }
+
+        let stored_bits: Vec<usize> = points
+            .iter()
+            .map(|sim| capture.line_bits() + sim.check_bits)
+            .collect();
+        // Resample each record's weight once per *distinct* width, then
+        // scatter to the per-point slots the kernel expects.
+        let mut widths = stored_bits.clone();
+        widths.sort_unstable();
+        widths.dedup();
+        let width_index: Vec<usize> = stored_bits
+            .iter()
+            .map(|w| widths.binary_search(w).expect("width present"))
+            .collect();
+
+        let mut multi = MultiReplayAggregator::new(
+            points
+                .iter()
+                .zip(&stored_bits)
+                .map(|(sim, &bits)| {
+                    (
+                        AccumulationModel::new(sim.p_rd, sim.config.ecc.t()),
+                        bits as u32,
+                    )
+                })
+                .collect(),
+        );
+        let seed = capture.ones_seed();
+        let mut ones_by_width = vec![0u32; widths.len()];
+        let mut ones_by_point = vec![0u32; points.len()];
+        for record in capture.events() {
+            for (slot, &bits) in ones_by_width.iter_mut().zip(&widths) {
+                *slot = sample_ones(
+                    seed,
+                    record.key.tag,
+                    record.key.set,
+                    record.key.version,
+                    bits,
+                );
+            }
+            for (slot, &w) in ones_by_point.iter_mut().zip(&width_index) {
+                *slot = ones_by_width[w];
+            }
+            multi.record(record.kind, &ones_by_point, record.unchecked_reads);
+        }
+
+        Ok(points
+            .iter()
+            .zip(multi.finish())
+            .map(|(sim, aggregator)| {
+                let duration_seconds =
+                    sim.config.measure_accesses as f64 / sim.config.access_rate_hz;
+                Report::assemble(
+                    capture.snapshot(),
+                    &aggregator,
+                    sim.energy_model,
+                    sim.readpath_model,
+                    duration_seconds,
+                    sim.p_rd,
+                )
+            })
+            .collect())
     }
 
     /// The historical one-pass evaluation: drives the trace with a live
@@ -604,6 +709,66 @@ mod tests {
             ..quick_config()
         };
         let err = Simulator::new(other).unwrap().replay(&capture).unwrap_err();
+        assert!(matches!(err, SimulationError::CaptureMismatch(_)));
+    }
+
+    #[test]
+    fn replay_batch_matches_per_point_replay_bit_for_bit() {
+        let capture = Simulator::new(quick_config())
+            .unwrap()
+            .capture(SpecWorkload::Namd.stream(3))
+            .unwrap();
+        // Heterogeneous points: every ECC width crossed with two MTJ
+        // operating points, so the batch mixes distinct stored widths
+        // *and* distinct P_rd values at the same width.
+        let mut points = Vec::new();
+        for ecc in EccStrength::ALL {
+            for i_read in [70e-6, 55e-6] {
+                let config = SimulationConfig {
+                    ecc,
+                    mtj: MtjParams::default().with_read_current(i_read).unwrap(),
+                    ..quick_config()
+                };
+                points.push(Simulator::new(config).unwrap());
+            }
+        }
+        let batched = Simulator::replay_batch(&points, &capture).unwrap();
+        assert_eq!(batched.len(), points.len());
+        for (sim, got) in points.iter().zip(&batched) {
+            let want = sim.replay(&capture).unwrap();
+            assert_eq!(
+                failure_bits(got),
+                failure_bits(&want),
+                "batched point (ecc {}, P_rd {}) diverged from its own replay",
+                sim.config.ecc,
+                sim.p_rd()
+            );
+            assert_eq!(got.histogram(), want.histogram());
+        }
+    }
+
+    #[test]
+    fn replay_batch_of_nothing_is_empty() {
+        let capture = Simulator::new(quick_config())
+            .unwrap()
+            .capture(SpecWorkload::Gcc.stream(1))
+            .unwrap();
+        assert!(Simulator::replay_batch(&[], &capture).unwrap().is_empty());
+    }
+
+    #[test]
+    fn replay_batch_rejects_any_mismatched_point() {
+        let capture = Simulator::new(quick_config())
+            .unwrap()
+            .capture(SpecWorkload::Gcc.stream(1))
+            .unwrap();
+        let good = Simulator::new(quick_config()).unwrap();
+        let bad = Simulator::new(SimulationConfig {
+            replacement: Replacement::Fifo,
+            ..quick_config()
+        })
+        .unwrap();
+        let err = Simulator::replay_batch(&[good, bad], &capture).unwrap_err();
         assert!(matches!(err, SimulationError::CaptureMismatch(_)));
     }
 

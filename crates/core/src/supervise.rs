@@ -281,7 +281,10 @@ where
                     registry
                         .gauge(&format!("{prefix}.utilization"))
                         .set(if wall > 0.0 { busy / wall } else { 0.0 });
-                    registry.counter(&format!("{prefix}.jobs")).store(jobs_done);
+                    // `add`, not `store`: repeated pools with the same
+                    // name in one process accumulate like every other
+                    // emitted counter.
+                    registry.counter(&format!("{prefix}.jobs")).add(jobs_done);
                 }
             });
         }

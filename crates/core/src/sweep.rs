@@ -7,7 +7,7 @@
 
 use crate::experiment::{Experiment, ExperimentError};
 use crate::report::Report;
-use crate::simulator::EccStrength;
+use crate::simulator::{EccStrength, Simulator};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Mutex};
 use std::time::Instant;
@@ -90,7 +90,10 @@ where
                     registry
                         .gauge(&format!("{prefix}.utilization"))
                         .set(if wall > 0.0 { busy / wall } else { 0.0 });
-                    registry.counter(&format!("{prefix}.jobs")).store(jobs_done);
+                    // `add`, not `store`: repeated pools with the same
+                    // name in one process accumulate like every other
+                    // emitted counter.
+                    registry.counter(&format!("{prefix}.jobs")).add(jobs_done);
                 }
             });
         }
@@ -143,12 +146,12 @@ pub fn run_parallel(
 }
 
 /// One capture, every ECC strength: runs the trace pass of `experiment`
-/// once and replays the captured exposure stream at each strength in
-/// [`EccStrength::ALL`], returning reports in that order.
+/// once and scores the captured exposure stream at each strength in
+/// [`EccStrength::ALL`] through the batched multi-point kernel
+/// ([`Simulator::replay_batch`]), returning reports in that order.
 ///
-/// Bit-identical to running each point from scratch, at roughly
-/// one-third of the trace-driving cost for the three strengths (and the
-/// savings grow linearly with the number of points).
+/// Bit-identical to running each point from scratch; the trace is driven
+/// once and the exposure stream is walked once for all strengths.
 ///
 /// # Errors
 ///
@@ -175,13 +178,16 @@ pub fn replay_ecc_sweep(
     experiment: &Experiment,
 ) -> Result<Vec<(EccStrength, Report)>, ExperimentError> {
     let capture = experiment.capture()?;
-    EccStrength::ALL
+    let points = EccStrength::ALL
         .into_iter()
         .map(|ecc| {
-            let report = experiment.clone().ecc(ecc).replay(&capture)?;
-            Ok((ecc, report))
+            let mut config = experiment.config().clone();
+            config.ecc = ecc;
+            Simulator::new(config)
         })
-        .collect()
+        .collect::<Result<Vec<_>, _>>()?;
+    let reports = Simulator::replay_batch(&points, &capture)?;
+    Ok(EccStrength::ALL.into_iter().zip(reports).collect())
 }
 
 /// One workload's ECC sweep outcome: a report per strength, or the

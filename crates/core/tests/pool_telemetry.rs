@@ -1,0 +1,70 @@
+//! Telemetry accumulation semantics of the worker pools.
+//!
+//! These tests own the process-global telemetry registry, so they live in
+//! their own integration-test binary (one process) rather than in the
+//! library's unit-test binary, where they would race other telemetry
+//! tests for the global state.
+
+use reap_core::supervise::{pool_map_supervised, JobOutcome, SupervisorConfig};
+use reap_core::sweep::pool_map;
+use std::ops::ControlFlow;
+
+fn keep_going<R>(_: usize, _: &JobOutcome<R>) -> ControlFlow<()> {
+    ControlFlow::Continue(())
+}
+
+/// Two batches through the same pool name must *accumulate* the per-worker
+/// `.jobs` counter, like every other emitted counter. A `store` there (the
+/// old behaviour) silently overwrites the first batch's count, so repeated
+/// sweeps in one process under-report work.
+#[test]
+fn worker_jobs_counter_accumulates_across_batches() {
+    reap_obs::global().reset();
+    reap_obs::set_enabled(true);
+
+    // Single worker so worker 0 owns every job deterministically.
+    let first: Vec<u64> = (0..3).collect();
+    let second: Vec<u64> = (0..5).collect();
+    let _ = pool_map(first, 1, "jobs_accum", |j| j);
+    let _ = pool_map(second, 1, "jobs_accum", |j| j);
+
+    // Same contract for the supervised pool.
+    let config = SupervisorConfig::default();
+    let _ = pool_map_supervised(
+        (0..2).collect::<Vec<u64>>(),
+        1,
+        "jobs_accum_sup",
+        &config,
+        |j| j,
+        keep_going,
+    );
+    let _ = pool_map_supervised(
+        (0..4).collect::<Vec<u64>>(),
+        1,
+        "jobs_accum_sup",
+        &config,
+        |j| j,
+        keep_going,
+    );
+
+    let snapshot = reap_obs::global().snapshot();
+    reap_obs::set_enabled(false);
+    let get = |name: &str| {
+        snapshot
+            .counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    };
+    assert_eq!(
+        get("jobs_accum.worker.0.jobs"),
+        8,
+        "second pool_map batch must add to the counter, not overwrite it"
+    );
+    assert_eq!(
+        get("jobs_accum_sup.worker.0.jobs"),
+        6,
+        "second supervised batch must add to the counter, not overwrite it"
+    );
+}

@@ -154,6 +154,66 @@ proptest! {
         }
     }
 
+    /// The batched multi-point kernel is a pure optimisation: scoring a
+    /// capture at N analysis points in one pass over the exposure stream
+    /// ([`Simulator::replay_batch`]) is bit-identical to N independent
+    /// replays — failure sums per scheme, writeback exposure and every
+    /// histogram bin — for arbitrary workloads, seeds, replacement
+    /// policies and MTJ operating points, with the points deliberately
+    /// mixing distinct stored widths (ECC strengths) and distinct `P_rd`
+    /// values at equal width (read currents).
+    #[test]
+    fn batched_replay_is_bit_identical_to_independent_replays(
+        workload_index in 0usize..21,
+        seed in any::<u64>(),
+        read_current_ua in 45.0f64..75.0,
+        replacement in prop_oneof![
+            Just(Replacement::Lru),
+            Just(Replacement::TreePlru),
+            Just(Replacement::Fifo),
+            Just(Replacement::Srrip),
+        ],
+    ) {
+        let workload = SpecWorkload::ALL[workload_index];
+        let base = Experiment::paper_hierarchy()
+            .workload(workload)
+            .replacement(replacement)
+            .budgets(500, 4_000)
+            .seed(seed);
+        let capture = base.clone().capture().expect("capture");
+        // Six heterogeneous points: every ECC width at two MTJ cards.
+        let cards = [
+            reap_mtj::MtjParams::default(),
+            reap_mtj::MtjParams::default()
+                .with_read_current(read_current_ua * 1e-6)
+                .expect("valid read current"),
+        ];
+        let mut points = Vec::new();
+        for ecc in EccStrength::ALL {
+            for card in &cards {
+                let e = base.clone().ecc(ecc).mtj(*card);
+                points.push(Simulator::new(e.config().clone()).expect("simulator"));
+            }
+        }
+        let batched = Simulator::replay_batch(&points, &capture).expect("batch");
+        prop_assert_eq!(batched.len(), points.len());
+        for (sim, got) in points.iter().zip(&batched) {
+            let want = sim.replay(&capture).expect("independent replay");
+            for scheme in ProtectionScheme::ALL {
+                prop_assert_eq!(
+                    got.expected_failures(scheme).to_bits(),
+                    want.expected_failures(scheme).to_bits(),
+                    "{} failures diverged in the batch", scheme
+                );
+            }
+            prop_assert_eq!(
+                got.writeback_exposure().to_bits(),
+                want.writeback_exposure().to_bits()
+            );
+            prop_assert_eq!(got.histogram(), want.histogram());
+        }
+    }
+
     /// Checkpoint rows survive a write/load cycle bit-exactly for
     /// arbitrary payloads — including NaNs, infinities and subnormals,
     /// which a decimal float round-trip would mangle.

@@ -97,7 +97,9 @@ impl LogHistogram {
         self.max_n
     }
 
-    /// Iterates non-empty-range bins low to high.
+    /// Iterates every allocated bin low to high, empty or not. The last
+    /// bin (index 63, covering `N ≥ 2^63`) has no representable exclusive
+    /// upper edge, so its `hi` saturates to `u64::MAX`.
     pub fn bins(&self) -> impl Iterator<Item = Bin> + '_ {
         self.counts
             .iter()
@@ -105,7 +107,7 @@ impl LogHistogram {
             .enumerate()
             .map(|(i, (&count, &fail))| Bin {
                 lo: 1u64 << i,
-                hi: 1u64 << (i + 1),
+                hi: 1u64.checked_shl(i as u32 + 1).unwrap_or(u64::MAX),
                 count,
                 failure_probability: fail,
             })
@@ -231,5 +233,32 @@ mod tests {
     #[should_panic(expected = "N >= 1")]
     fn rejects_n_zero() {
         LogHistogram::new().record(0, 0.0);
+    }
+
+    #[test]
+    fn top_bin_saturates_instead_of_overflowing() {
+        let mut h = LogHistogram::new();
+        h.record(u64::MAX, 0.0);
+        let bins: Vec<Bin> = h.bins().collect();
+        assert_eq!(bins.len(), 64);
+        let top = bins[63];
+        assert_eq!(top.lo, 1u64 << 63);
+        assert_eq!(top.hi, u64::MAX);
+        assert_eq!(top.count, 1);
+        assert_eq!(h.max_n(), u64::MAX);
+        // Display walks every bin; it must not panic on bin 63.
+        let text = h.to_string();
+        assert!(text.contains(&(1u64 << 63).to_string()));
+    }
+
+    #[test]
+    fn bins_yields_empty_bins_too() {
+        let mut h = LogHistogram::new();
+        h.record(1, 0.0);
+        h.record(8, 0.0);
+        let bins: Vec<Bin> = h.bins().collect();
+        assert_eq!(bins.len(), 4);
+        assert_eq!(bins[1].count, 0);
+        assert_eq!(bins[2].count, 0);
     }
 }

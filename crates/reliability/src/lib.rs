@@ -13,7 +13,10 @@
 //!   (from [`reap_ecc`]) that validates the analytical model end to end;
 //! * [`replay`] — the scoring engine of the two-phase capture/replay
 //!   simulation: evaluates a captured exposure stream under any ECC/MTJ
-//!   analysis point, bit-identical to a live single-pass observer.
+//!   analysis point, bit-identical to a live single-pass observer;
+//! * [`multi`] — the batched sweep kernel: scores *all* analysis points
+//!   in one pass over the stream, bit-identical to independent per-point
+//!   replays.
 //!
 //! # Examples
 //!
@@ -41,10 +44,12 @@ pub mod histogram;
 pub mod model;
 pub mod montecarlo;
 pub mod mttf;
+pub mod multi;
 pub mod replay;
 
 pub use histogram::LogHistogram;
 pub use model::{uncorrectable_probability, AccumulationModel};
 pub use montecarlo::{McLineResult, MonteCarloLine};
 pub use mttf::{FailureAggregator, Mttf};
+pub use multi::MultiReplayAggregator;
 pub use replay::{ExposureKind, ReplayAggregator};

@@ -1,0 +1,369 @@
+//! Batched multi-point replay: score every sweep point in one pass.
+//!
+//! An ECC sweep (`replay_ecc_sweep`, `reap sweep --ecc-sweep`) evaluates
+//! the same captured exposure stream under several analysis points — one
+//! per `EccStrength` × MTJ operating point. Walking the stream once per
+//! point repeats all the per-record bookkeeping (and the stream itself
+//! falls out of cache between walks). [`MultiReplayAggregator`] instead
+//! carries the state of *all* points and scores each record against every
+//! point before moving to the next record, so the stream is traversed
+//! exactly once.
+//!
+//! Two data-layout tricks make the inner loop cheap:
+//!
+//! * the per-point `single_read_table`s are stacked into one row-major
+//!   `points × stride` matrix (`stride = global max_ones + 1`), each row
+//!   pre-clamped to its own point's width, so per-record lookups walk a
+//!   single contiguous allocation; a parallel matrix caches
+//!   `ln(1 − u)` so the Eq. (6) REAP term needs one `exp_m1` per point
+//!   instead of `ln_1p` + `exp_m1`;
+//! * the conventional tail `fail_conventional(ones, N)` is memoized in a
+//!   dense `(point, ones, N)` table for `N ≤ 64` — the `N` distribution
+//!   is heavily concentrated at small values (most demand reads conceal
+//!   nothing), so the binomial tail series runs once per distinct key
+//!   instead of once per record.
+//!
+//! # Bit-identity contract
+//!
+//! The batched kernel is **bit-identical** to running `points.len()`
+//! independent [`ReplayAggregator`]s over the stream in capture order:
+//! each point's floating-point sums see the same values in the same
+//! order (records outer, points inner preserves per-point record order),
+//! the stacked rows reproduce the per-point clamp semantics exactly, and
+//! every memoized value is the output of the same pure function on the
+//! same inputs. `crates/core/tests/proptests.rs` pins this contract.
+
+use crate::histogram::LogHistogram;
+use crate::model::AccumulationModel;
+use crate::mttf::FailureAggregator;
+use crate::replay::{ExposureKind, ReplayAggregator};
+
+/// Largest `N` covered by the dense `fail_conventional` memo. Beyond
+/// this the tail is computed directly (still bit-identical — the memo
+/// only caches, never approximates).
+const MEMO_MAX_READS: u64 = 64;
+
+/// Per-point accumulation state, mirroring one [`ReplayAggregator`].
+#[derive(Debug, Clone)]
+struct PointState {
+    model: AccumulationModel,
+    max_ones: u32,
+    conventional: FailureAggregator,
+    reap: FailureAggregator,
+    serial: FailureAggregator,
+    histogram: LogHistogram,
+    writeback_exposure: f64,
+}
+
+/// Scores a captured exposure stream against many analysis points in a
+/// single pass, bit-identical to independent per-point replays.
+///
+/// # Examples
+///
+/// ```
+/// use reap_reliability::{
+///     AccumulationModel, ExposureKind, MultiReplayAggregator, ReplayAggregator,
+/// };
+///
+/// let points = vec![
+///     (AccumulationModel::new(1e-8, 1), 522),
+///     (AccumulationModel::new(1e-8, 2), 532),
+/// ];
+/// let mut multi = MultiReplayAggregator::new(points.clone());
+/// let mut solo: Vec<_> = points
+///     .iter()
+///     .map(|&(m, w)| ReplayAggregator::new(m, w))
+///     .collect();
+/// multi.record(ExposureKind::Demand, &[260, 265], 40);
+/// solo[0].record(ExposureKind::Demand, 260, 40);
+/// solo[1].record(ExposureKind::Demand, 265, 40);
+/// for (got, want) in multi.finish().iter().zip(&solo) {
+///     assert_eq!(
+///         got.conventional().expected_failures(),
+///         want.conventional().expected_failures(),
+///     );
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct MultiReplayAggregator {
+    points: Vec<PointState>,
+    /// Row length of the stacked tables: global `max_ones + 1`.
+    stride: usize,
+    /// Row-major `points × stride`: `single[p][n] =
+    /// fail_single(min(n, max_ones_p))`, reproducing each point's own
+    /// clamp-to-last-entry lookup semantics.
+    single: Vec<f64>,
+    /// `ln(1 − single[p][n])` for the Eq. (6) closed form.
+    ln1m_single: Vec<f64>,
+    /// Dense `(point, ones, N)` memo of `fail_conventional(ones, N)` for
+    /// `N ∈ [0, MEMO_MAX_READS]`, NaN meaning "not yet computed".
+    conv_memo: Vec<f64>,
+}
+
+impl MultiReplayAggregator {
+    /// Creates a batched aggregator for the given `(model, max_ones)`
+    /// analysis points. `max_ones` is the stored line width in bits for
+    /// that point (data + check bits), exactly as passed to
+    /// [`ReplayAggregator::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is empty or any `max_ones == 0`.
+    pub fn new(points: Vec<(AccumulationModel, u32)>) -> Self {
+        assert!(!points.is_empty(), "need at least one analysis point");
+        let stride = points
+            .iter()
+            .map(|&(_, w)| {
+                assert!(w > 0, "line width must be positive");
+                w as usize + 1
+            })
+            .max()
+            .expect("non-empty");
+        let mut single = Vec::with_capacity(points.len() * stride);
+        let mut ln1m_single = Vec::with_capacity(points.len() * stride);
+        for &(model, max_ones) in &points {
+            for n in 0..stride {
+                let u = model.fail_single((n as u32).min(max_ones));
+                single.push(u);
+                ln1m_single.push((-u).ln_1p());
+            }
+        }
+        let conv_memo = vec![f64::NAN; points.len() * stride * (MEMO_MAX_READS as usize + 1)];
+        let points = points
+            .into_iter()
+            .map(|(model, max_ones)| PointState {
+                model,
+                max_ones,
+                conventional: FailureAggregator::new(),
+                reap: FailureAggregator::new(),
+                serial: FailureAggregator::new(),
+                histogram: LogHistogram::new(),
+                writeback_exposure: 0.0,
+            })
+            .collect();
+        Self {
+            points,
+            stride,
+            single,
+            ln1m_single,
+            conv_memo,
+        }
+    }
+
+    /// Number of analysis points being scored.
+    pub fn num_points(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Scores one exposure record against every point. `line_ones[p]` is
+    /// the stored-`1` count of the line *as sampled for point `p`'s
+    /// stored width* — widths differ across ECC strengths, so the caller
+    /// samples once per distinct width and scatters.
+    ///
+    /// Records must be fed in capture order (the bit-identity contract).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_ones.len() != self.num_points()`.
+    pub fn record(&mut self, kind: ExposureKind, line_ones: &[u32], unchecked_reads: u64) {
+        assert_eq!(
+            line_ones.len(),
+            self.points.len(),
+            "one ones-count per analysis point"
+        );
+        match kind {
+            ExposureKind::Demand => {
+                for (p, &ones) in line_ones.iter().enumerate() {
+                    let p_conv = self.conventional_tail(p, ones, unchecked_reads);
+                    let row = p * self.stride;
+                    let idx = row + (ones as usize).min(self.stride - 1);
+                    let u = self.single[idx];
+                    // Eq. (6): 1 - (1 - u)^N via the precomputed ln(1-u).
+                    let p_reap = if u == 0.0 {
+                        0.0
+                    } else {
+                        -(unchecked_reads as f64 * self.ln1m_single[idx]).exp_m1()
+                    };
+                    let point = &mut self.points[p];
+                    point.conventional.record(p_conv);
+                    point.reap.record(p_reap);
+                    point.serial.record(u);
+                    point.histogram.record(unchecked_reads, p_conv);
+                }
+            }
+            ExposureKind::DirtyScrub => {
+                for (p, &ones) in line_ones.iter().enumerate() {
+                    let p_conv = self.conventional_tail(p, ones, unchecked_reads);
+                    self.points[p].conventional.record(p_conv);
+                }
+            }
+            ExposureKind::DirtyEviction => {
+                for (p, &ones) in line_ones.iter().enumerate() {
+                    let p_conv = self.conventional_tail(p, ones, unchecked_reads);
+                    self.points[p].writeback_exposure += p_conv;
+                }
+            }
+        }
+    }
+
+    /// Tears the batch apart into one [`ReplayAggregator`] per point, in
+    /// construction order, each indistinguishable from an independent
+    /// replay of the stream.
+    pub fn finish(self) -> Vec<ReplayAggregator> {
+        self.points
+            .into_iter()
+            .map(|p| {
+                ReplayAggregator::from_parts(
+                    p.model,
+                    p.max_ones,
+                    p.conventional,
+                    p.reap,
+                    p.serial,
+                    p.histogram,
+                    p.writeback_exposure,
+                )
+            })
+            .collect()
+    }
+
+    /// `fail_conventional(ones, n_reads)` for point `p`, memoized over
+    /// the dense small-`N` region. The memo stores exact outputs of the
+    /// pure model function, so hits and misses are bit-identical.
+    fn conventional_tail(&mut self, p: usize, ones: u32, n_reads: u64) -> f64 {
+        if n_reads <= MEMO_MAX_READS && (ones as usize) < self.stride {
+            let idx = (p * self.stride + ones as usize) * (MEMO_MAX_READS as usize + 1)
+                + n_reads as usize;
+            let cached = self.conv_memo[idx];
+            if !cached.is_nan() {
+                return cached;
+            }
+            let value = self.points[p].model.fail_conventional(ones, n_reads);
+            self.conv_memo[idx] = value;
+            value
+        } else {
+            self.points[p].model.fail_conventional(ones, n_reads)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn points() -> Vec<(AccumulationModel, u32)> {
+        vec![
+            (AccumulationModel::new(1e-6, 1), 522),
+            (AccumulationModel::new(1e-6, 2), 532),
+            (AccumulationModel::new(1e-5, 3), 542),
+        ]
+    }
+
+    /// Feeds the same records to the batch and to independent per-point
+    /// aggregators, asserting bit-equality of every observable.
+    fn assert_matches_solo(records: &[(ExposureKind, Vec<u32>, u64)]) {
+        let pts = points();
+        let mut multi = MultiReplayAggregator::new(pts.clone());
+        let mut solo: Vec<ReplayAggregator> = pts
+            .iter()
+            .map(|&(m, w)| ReplayAggregator::new(m, w))
+            .collect();
+        for (kind, ones, n) in records {
+            multi.record(*kind, ones, *n);
+            for (p, agg) in solo.iter_mut().enumerate() {
+                agg.record(*kind, ones[p], *n);
+            }
+        }
+        for (got, want) in multi.finish().iter().zip(&solo) {
+            assert_eq!(
+                got.conventional().expected_failures().to_bits(),
+                want.conventional().expected_failures().to_bits()
+            );
+            assert_eq!(got.conventional().events(), want.conventional().events());
+            assert_eq!(
+                got.reap().expected_failures().to_bits(),
+                want.reap().expected_failures().to_bits()
+            );
+            assert_eq!(
+                got.serial().expected_failures().to_bits(),
+                want.serial().expected_failures().to_bits()
+            );
+            assert_eq!(
+                got.writeback_exposure().to_bits(),
+                want.writeback_exposure().to_bits()
+            );
+            assert_eq!(got.histogram(), want.histogram());
+        }
+    }
+
+    #[test]
+    fn matches_independent_aggregators_bitwise() {
+        let mut records = Vec::new();
+        let mut state = 0x9e37u64;
+        for i in 0..500u64 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let kind = match state % 5 {
+                0 => ExposureKind::DirtyScrub,
+                1 => ExposureKind::DirtyEviction,
+                _ => ExposureKind::Demand,
+            };
+            let ones = vec![
+                (state >> 16) as u32 % 523,
+                (state >> 24) as u32 % 533,
+                (state >> 32) as u32 % 543,
+            ];
+            // Mix of memoized small N and direct-computed large N.
+            let n = 1 + (state >> 40) % if i % 7 == 0 { 100_000 } else { 8 };
+            records.push((kind, ones, n));
+        }
+        assert_matches_solo(&records);
+    }
+
+    #[test]
+    fn memo_hits_and_misses_agree() {
+        // Repeat the exact same key so the second call is a memo hit.
+        let records = vec![
+            (ExposureKind::Demand, vec![260, 260, 260], 3),
+            (ExposureKind::Demand, vec![260, 260, 260], 3),
+            (ExposureKind::Demand, vec![260, 260, 260], MEMO_MAX_READS),
+            (
+                ExposureKind::Demand,
+                vec![260, 260, 260],
+                MEMO_MAX_READS + 1,
+            ),
+        ];
+        assert_matches_solo(&records);
+    }
+
+    #[test]
+    fn out_of_range_ones_clamp_like_each_point() {
+        // 10_000 exceeds every width; each point clamps to its own max.
+        let records = vec![(ExposureKind::Demand, vec![10_000, 10_000, 10_000], 5)];
+        assert_matches_solo(&records);
+    }
+
+    #[test]
+    fn finish_preserves_point_order() {
+        let pts = points();
+        let multi = MultiReplayAggregator::new(pts.clone());
+        let finished = multi.finish();
+        assert_eq!(finished.len(), pts.len());
+        for (agg, (model, _)) in finished.iter().zip(&pts) {
+            assert_eq!(agg.model(), model);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn rejects_empty_point_set() {
+        let _ = MultiReplayAggregator::new(Vec::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "one ones-count per analysis point")]
+    fn rejects_mismatched_ones_slice() {
+        let mut multi = MultiReplayAggregator::new(points());
+        multi.record(ExposureKind::Demand, &[1], 1);
+    }
+}

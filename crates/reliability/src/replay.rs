@@ -95,6 +95,37 @@ impl ReplayAggregator {
         }
     }
 
+    /// Reassembles an aggregator from externally accumulated state — the
+    /// hand-off point for the batched multi-point kernel
+    /// (`MultiReplayAggregator::finish`), which accumulates per-point
+    /// state itself and then presents each point as an ordinary
+    /// `ReplayAggregator` to downstream report assembly.
+    ///
+    /// The lookup table is rebuilt from `(model, max_ones)` exactly as
+    /// [`ReplayAggregator::new`] would, so the result is indistinguishable
+    /// from an aggregator that recorded the same stream directly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_ones == 0`.
+    pub fn from_parts(
+        model: AccumulationModel,
+        max_ones: u32,
+        conventional: FailureAggregator,
+        reap: FailureAggregator,
+        serial: FailureAggregator,
+        histogram: LogHistogram,
+        writeback_exposure: f64,
+    ) -> Self {
+        let mut agg = Self::new(model, max_ones);
+        agg.conventional = conventional;
+        agg.reap = reap;
+        agg.serial = serial;
+        agg.histogram = histogram;
+        agg.writeback_exposure = writeback_exposure;
+        agg
+    }
+
     /// Scores one exposure record. Records must be fed in capture order:
     /// the running sums are floating-point, so ordering is part of the
     /// bit-identity contract with a single-pass run.
