@@ -1,0 +1,129 @@
+//! Performance benchmark for the persistent capture store.
+//!
+//! Runs the full per-workload ECC sweep twice against one on-disk
+//! [`CaptureStore`]:
+//!
+//! 1. **cold** — the store directory starts empty, so every workload pays
+//!    its trace pass and persists the capture, and
+//! 2. **warm** — the same sweep again, now served entirely from disk: the
+//!    trace pass is skipped and only the replay kernel runs.
+//!
+//! The two sweeps must agree bit-for-bit (the bench fails otherwise — a
+//! capture that survives the disk round-trip differently is a correctness
+//! bug, not a performance result), every warm workload must register a
+//! `capture_store.hit`, and the warm pass must clear the speedup floor:
+//! 2x at full budget, 1x in smoke mode (tiny captures leave little trace
+//! cost to amortise). Results land in `BENCH_capture.json` (override the
+//! path with the first argument).
+//!
+//! `--smoke` (or `REAP_BENCH_SMOKE=1`) shrinks the access budget for CI.
+
+use reap_bench::access_budget;
+use reap_core::capture_store::{CapturePolicy, CaptureStore};
+use reap_core::sweep::replay_ecc_sweep_with;
+use reap_core::{EccStrength, Experiment, ProtectionScheme, Report};
+use reap_trace::SpecWorkload;
+use std::time::Instant;
+
+fn failure_bits(r: &Report) -> [u64; 4] {
+    [
+        r.expected_failures(ProtectionScheme::Conventional)
+            .to_bits(),
+        r.expected_failures(ProtectionScheme::Reap).to_bits(),
+        r.expected_failures(ProtectionScheme::SerialTagFirst)
+            .to_bits(),
+        r.writeback_exposure().to_bits(),
+    ]
+}
+
+/// One store-backed ECC sweep over every workload, timed.
+fn sweep_all(accesses: u64, store: &CaptureStore) -> (f64, Vec<Vec<(EccStrength, Report)>>) {
+    let t0 = Instant::now();
+    let results = SpecWorkload::ALL
+        .iter()
+        .map(|&w| {
+            let experiment = Experiment::paper_hierarchy()
+                .workload(w)
+                .accesses(accesses)
+                .seed(reap_bench::DEFAULT_SEED);
+            replay_ecc_sweep_with(&experiment, Some(store)).expect("sweep")
+        })
+        .collect();
+    (t0.elapsed().as_secs_f64(), results)
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut out_path = String::from("BENCH_capture.json");
+    let mut smoke = std::env::var("REAP_BENCH_SMOKE").is_ok_and(|v| v != "0");
+    for a in args.by_ref() {
+        if a == "--smoke" {
+            smoke = true;
+        } else {
+            out_path = a;
+        }
+    }
+    let accesses = if smoke { 20_000 } else { access_budget() };
+    let workloads = SpecWorkload::ALL;
+    let points = EccStrength::ALL.len();
+    println!(
+        "capture store benchmark — {} workloads x {points} ECC points, {accesses} accesses each{}",
+        workloads.len(),
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    // A scratch store that is guaranteed empty, so the first sweep is a
+    // true cold run even when the bench is re-invoked.
+    let dir = std::env::temp_dir().join(format!("reap-capture-bench-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let store = CaptureStore::new(&dir, CapturePolicy::ReadWrite);
+
+    // Count the store traffic, so the bench can prove the warm pass was
+    // actually served from disk rather than quietly recapturing.
+    reap_bench::enable_telemetry();
+
+    let (cold_s, cold) = sweep_all(accesses, &store);
+    let (warm_s, warm) = sweep_all(accesses, &store);
+
+    for (&w, (a, b)) in workloads.iter().zip(cold.iter().zip(&warm)) {
+        assert_eq!(a.len(), b.len());
+        for ((ecc_a, ra), (ecc_b, rb)) in a.iter().zip(b) {
+            assert_eq!(ecc_a, ecc_b);
+            assert_eq!(
+                failure_bits(ra),
+                failure_bits(rb),
+                "warm sweep diverged from cold ({} at {ecc_a:?})",
+                w.name()
+            );
+        }
+    }
+
+    let hits = reap_obs::global().counter("capture_store.hit").get();
+    assert_eq!(
+        hits,
+        workloads.len() as u64,
+        "every warm workload must be served from the store"
+    );
+
+    let speedup = cold_s / warm_s;
+    println!(
+        "cold: {cold_s:.3} s   warm: {warm_s:.3} s   speedup: {speedup:.2}x \
+         ({hits} store hits, bit-identical)"
+    );
+
+    let json = format!(
+        "{{\n  \"accesses\": {accesses},\n  \"workloads\": {},\n  \"points\": {points},\n  \
+         \"cold_s\": {cold_s:.6},\n  \"warm_s\": {warm_s:.6},\n  \"speedup\": {speedup:.3},\n  \
+         \"hits\": {hits},\n  \"bit_identical\": true,\n  \"smoke\": {smoke}\n}}\n",
+        workloads.len(),
+    );
+    std::fs::write(&out_path, json).expect("write benchmark results");
+    println!("wrote {out_path}");
+    std::fs::remove_dir_all(&dir).ok();
+
+    let floor = if smoke { 1.0 } else { 2.0 };
+    if speedup < floor {
+        eprintln!("FAIL: warm sweep below the {floor:.0}x speedup floor ({speedup:.2}x)");
+        std::process::exit(1);
+    }
+}

@@ -1,7 +1,7 @@
 //! Command-line argument parsing.
 
 use reap_cache::Replacement;
-use reap_core::EccStrength;
+use reap_core::{CapturePolicy, CaptureStore, EccStrength};
 use reap_trace::SpecWorkload;
 use std::error::Error;
 use std::fmt;
@@ -54,6 +54,27 @@ impl ObsArgs {
     }
 }
 
+/// Capture-store flags shared by `reap run` and `reap sweep`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CaptureArgs {
+    /// Directory of the persistent exposure-capture store.
+    pub dir: Option<PathBuf>,
+    /// Store policy; defaults to `readwrite` when a directory is given.
+    pub policy: Option<CapturePolicy>,
+}
+
+impl CaptureArgs {
+    /// Builds the configured [`CaptureStore`], or `None` when no
+    /// `--capture-dir` was given.
+    pub fn to_store(&self) -> Option<CaptureStore> {
+        let dir = self.dir.as_ref()?;
+        Some(CaptureStore::new(
+            dir.clone(),
+            self.policy.unwrap_or(CapturePolicy::ReadWrite),
+        ))
+    }
+}
+
 /// Arguments of `reap run`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunArgs {
@@ -73,6 +94,8 @@ pub struct RunArgs {
     pub l2_ways: Option<usize>,
     /// Telemetry outputs.
     pub obs: ObsArgs,
+    /// Persistent capture store.
+    pub capture: CaptureArgs,
 }
 
 impl Default for RunArgs {
@@ -86,6 +109,7 @@ impl Default for RunArgs {
             replacement: Replacement::Lru,
             l2_ways: None,
             obs: ObsArgs::default(),
+            capture: CaptureArgs::default(),
         }
     }
 }
@@ -116,6 +140,8 @@ pub struct SweepArgs {
     pub inject: Option<reap_fault::FaultPlan>,
     /// Telemetry outputs.
     pub obs: ObsArgs,
+    /// Persistent capture store.
+    pub capture: CaptureArgs,
 }
 
 impl Default for SweepArgs {
@@ -132,6 +158,7 @@ impl Default for SweepArgs {
             retry_backoff_ms: 0,
             inject: None,
             obs: ObsArgs::default(),
+            capture: CaptureArgs::default(),
         }
     }
 }
@@ -328,6 +355,46 @@ fn parse_obs_flag(obs: &mut ObsArgs, flag: &str, c: &mut Cursor) -> Result<bool,
     Ok(true)
 }
 
+/// Consumes a capture-store flag shared by `run` and `sweep`. Returns
+/// `true` when `flag` was one of them.
+fn parse_capture_flag(
+    capture: &mut CaptureArgs,
+    flag: &str,
+    c: &mut Cursor,
+) -> Result<bool, ParseCliError> {
+    match flag {
+        "--capture-dir" => capture.dir = Some(PathBuf::from(c.value_for(flag)?)),
+        "--capture-policy" => {
+            let v = c.value_for(flag)?;
+            capture.policy = Some(match v.to_ascii_lowercase().as_str() {
+                "off" => CapturePolicy::Off,
+                "read" => CapturePolicy::Read,
+                "readwrite" => CapturePolicy::ReadWrite,
+                _ => {
+                    return Err(ParseCliError::BadValue {
+                        flag: flag.to_owned(),
+                        value: v,
+                        expected: "one of off/read/readwrite",
+                    })
+                }
+            });
+        }
+        _ => return Ok(false),
+    }
+    Ok(true)
+}
+
+/// A policy without a directory configures nothing — reject it instead
+/// of silently ignoring the flag.
+fn check_capture(capture: &CaptureArgs) -> Result<(), ParseCliError> {
+    if capture.policy.is_some() && capture.dir.is_none() {
+        return Err(ParseCliError::MissingRequired {
+            name: "--capture-dir (required by --capture-policy)",
+        });
+    }
+    Ok(())
+}
+
 fn parse_obs(mut c: Cursor) -> Result<Command, ParseCliError> {
     match c.take().as_deref() {
         Some("check") => {
@@ -400,12 +467,14 @@ fn parse_run(mut c: Cursor) -> Result<Command, ParseCliError> {
             }
             "--l2-ways" => a.l2_ways = Some(parse_num(&flag, c.value_for(&flag)?, "way count")?),
             _ if parse_obs_flag(&mut a.obs, &flag, &mut c)? => {}
+            _ if parse_capture_flag(&mut a.capture, &flag, &mut c)? => {}
             _ => return Err(ParseCliError::UnknownFlag { flag }),
         }
     }
     if !got_workload {
         return Err(ParseCliError::MissingRequired { name: "--workload" });
     }
+    check_capture(&a.capture)?;
     Ok(Command::Run(a))
 }
 
@@ -439,6 +508,7 @@ fn parse_sweep(mut c: Cursor) -> Result<Command, ParseCliError> {
                 })?);
             }
             _ if parse_obs_flag(&mut a.obs, &flag, &mut c)? => {}
+            _ if parse_capture_flag(&mut a.capture, &flag, &mut c)? => {}
             _ => return Err(ParseCliError::UnknownFlag { flag }),
         }
     }
@@ -447,6 +517,7 @@ fn parse_sweep(mut c: Cursor) -> Result<Command, ParseCliError> {
             name: "--checkpoint (required by --resume)",
         });
     }
+    check_capture(&a.capture)?;
     Ok(Command::Sweep(a))
 }
 
@@ -622,6 +693,49 @@ mod tests {
         let err = p("sweep --inject panic=2.5").unwrap_err();
         assert!(matches!(err, ParseCliError::BadValue { .. }));
         assert!(err.to_string().contains("fault spec"), "{err}");
+    }
+
+    #[test]
+    fn capture_flags_parse_on_run_and_sweep() {
+        let Command::Sweep(a) = p("sweep --ecc-sweep --capture-dir caps").unwrap() else {
+            panic!()
+        };
+        assert_eq!(a.capture.dir, Some(PathBuf::from("caps")));
+        assert_eq!(a.capture.policy, None);
+        let store = a.capture.to_store().unwrap();
+        assert_eq!(store.policy(), CapturePolicy::ReadWrite);
+
+        let Command::Run(a) = p("run -w namd --capture-dir caps --capture-policy read").unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(a.capture.policy, Some(CapturePolicy::Read));
+        assert_eq!(a.capture.to_store().unwrap().policy(), CapturePolicy::Read);
+
+        // No flags → no store.
+        let Command::Run(a) = p("run -w namd").unwrap() else {
+            panic!()
+        };
+        assert_eq!(a.capture.to_store(), None);
+    }
+
+    #[test]
+    fn capture_policy_requires_a_dir_and_a_known_value() {
+        assert_eq!(
+            p("sweep --capture-policy readwrite"),
+            Err(ParseCliError::MissingRequired {
+                name: "--capture-dir (required by --capture-policy)"
+            })
+        );
+        assert_eq!(
+            p("run -w namd --capture-policy off"),
+            Err(ParseCliError::MissingRequired {
+                name: "--capture-dir (required by --capture-policy)"
+            })
+        );
+        let err = p("sweep --capture-dir caps --capture-policy sometimes").unwrap_err();
+        assert!(matches!(err, ParseCliError::BadValue { .. }));
+        assert!(err.to_string().contains("off/read/readwrite"), "{err}");
     }
 
     #[test]

@@ -24,12 +24,16 @@ COMMANDS:
                  --workload/-w NAME (required)  --accesses/-n N  --warmup N
                  --seed/-s S  --ecc sec|dec|tec
                  --replacement/-r lru|plru|fifo|random|srrip|ler
-                 --l2-ways K
+                 --l2-ways K  --capture-dir DIR
+                 --capture-policy off|read|readwrite (default readwrite)
     sweep        all 21 workloads: MTTF gain and energy overhead
                  --accesses/-n N  --seed/-s S  --jobs/-j K
                  --ecc-sweep  also sweep sec/dec/tec per workload,
                  replaying one exposure capture instead of re-simulating
                  --checkpoint FILE   stream completed jobs to FILE
+                 --capture-dir DIR   persistent exposure-capture store:
+                                     warm runs skip the trace pass
+                 --capture-policy off|read|readwrite (default readwrite)
                  --resume            skip jobs already in the checkpoint
                  --max-retries K     retries per failed job (default 2)
                  --job-deadline-ms T per-attempt deadline
@@ -188,7 +192,8 @@ fn run<W: Write>(args: RunArgs, mut out: W) -> io::Result<i32> {
             }
         }
     }
-    let code = match experiment.run() {
+    let store = args.capture.to_store();
+    let code = match experiment.run_with(store.as_ref()) {
         Ok(report) => {
             write!(out, "{report}")?;
             writeln!(
@@ -237,6 +242,7 @@ fn sweep<W: Write>(args: SweepArgs, mut out: W) -> io::Result<i32> {
     config.supervisor.fault_plan = args.inject;
     config.checkpoint = args.checkpoint.clone();
     config.resume = args.resume;
+    config.capture_store = args.capture.to_store();
 
     let outcome = match run_sweep_campaign(&config) {
         Ok(o) => o,
@@ -514,6 +520,27 @@ mod tests {
         let summary = reap_obs::export::check_jsonl(&text).expect("valid export");
         assert!(summary.spans >= 1, "capture/replay spans expected");
         assert!(text.contains("\"cache.l2.reads\""), "{text}");
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn run_with_capture_store_is_identical_warm_and_cold() {
+        let dir = std::env::temp_dir().join(format!("reap-run-capture-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let (bare_code, bare) = exec("run -w hmmer -n 20000 --seed 5");
+        let line = format!(
+            "run -w hmmer -n 20000 --seed 5 --capture-dir {}",
+            dir.display()
+        );
+        let (cold_code, cold) = exec(&line);
+        let (warm_code, warm) = exec(&line);
+        assert_eq!((bare_code, cold_code, warm_code), (0, 0, 0));
+        assert_eq!(bare, cold, "store must not change the report");
+        assert_eq!(cold, warm, "warm run must be byte-identical");
+        assert!(
+            std::fs::read_dir(&dir).unwrap().count() > 0,
+            "cold run must have persisted an entry"
+        );
         std::fs::remove_dir_all(dir).ok();
     }
 

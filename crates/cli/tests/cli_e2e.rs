@@ -214,6 +214,111 @@ fn ecc_sweep_stdout_is_byte_identical_across_runs_and_parallelism() {
 }
 
 #[test]
+fn warm_capture_store_sweep_is_byte_identical_and_reports_hits() {
+    let dir = std::env::temp_dir().join(format!("reap-e2e-capstore-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    let store = dir.join("captures");
+    let run = |metrics: &std::path::Path| {
+        let out = reap()
+            .args([
+                "sweep",
+                "-n",
+                "5000",
+                "--seed",
+                "7",
+                "--ecc-sweep",
+                "-j",
+                "2",
+                "--capture-dir",
+            ])
+            .arg(&store)
+            .arg("--metrics-out")
+            .arg(metrics)
+            .output()
+            .expect("binary runs");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stdout)
+        );
+        out.stdout
+    };
+
+    let cold_metrics = dir.join("cold.jsonl");
+    let warm_metrics = dir.join("warm.jsonl");
+    let cold = run(&cold_metrics);
+    let warm = run(&warm_metrics);
+    assert_eq!(
+        cold, warm,
+        "warm sweep stdout must be byte-identical to the cold run"
+    );
+
+    // The cold run misses and persists one entry per workload; the warm
+    // run serves all 21 from disk without a single trace pass.
+    let cold_text = std::fs::read_to_string(&cold_metrics).unwrap();
+    assert!(
+        cold_text.contains("\"name\":\"capture_store.miss\",\"value\":21"),
+        "{cold_text}"
+    );
+    assert!(
+        cold_text.contains("\"name\":\"capture_store.write\",\"value\":21"),
+        "{cold_text}"
+    );
+    let warm_text = std::fs::read_to_string(&warm_metrics).unwrap();
+    assert!(
+        warm_text.contains("\"name\":\"capture_store.hit\",\"value\":21"),
+        "{warm_text}"
+    );
+    assert!(
+        !warm_text.contains("\"name\":\"capture_store.miss\""),
+        "warm run must not miss: {warm_text}"
+    );
+    assert!(
+        warm_text.contains("\"path\":\"capture_store\""),
+        "span expected: {warm_text}"
+    );
+    // Telemetry honesty: a served capture ran no trace pass, so the warm
+    // export must not claim capture-phase simulation counters.
+    assert!(
+        !warm_text.contains("\"sim.capture.exposure_events\""),
+        "{warm_text}"
+    );
+
+    // A corrupted entry costs a recapture, never a wrong table: flip one
+    // byte in every stored entry and sweep again.
+    for entry in std::fs::read_dir(&store).unwrap() {
+        let path = entry.unwrap().path();
+        let len = std::fs::metadata(&path).unwrap().len();
+        reap_fault::flip_byte(&path, len / 2, 0x40).unwrap();
+    }
+    let healed_metrics = dir.join("healed.jsonl");
+    let healed = run(&healed_metrics);
+    assert_eq!(
+        cold, healed,
+        "corrupt store entries must fall back to identical recaptures"
+    );
+    let healed_text = std::fs::read_to_string(&healed_metrics).unwrap();
+    assert!(
+        healed_text.contains("\"name\":\"capture_store.invalid\",\"value\":21"),
+        "{healed_text}"
+    );
+
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn capture_policy_without_dir_is_a_usage_error() {
+    let out = reap()
+        .args(["sweep", "--capture-policy", "readwrite"])
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--capture-dir"), "{err}");
+}
+
+#[test]
 fn resume_without_checkpoint_is_a_usage_error() {
     let out = reap().args(["sweep", "--resume"]).output().expect("runs");
     assert_eq!(out.status.code(), Some(2));

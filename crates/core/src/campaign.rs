@@ -18,6 +18,7 @@
 //! point (the checkpoint stays valid because every result line is
 //! flushed before the next job is counted).
 
+use crate::capture_store::CaptureStore;
 use crate::checkpoint::{self, CheckpointMeta, CheckpointWriter, SweepRow};
 use crate::experiment::{Experiment, ExperimentError};
 use crate::supervise::{pool_map_supervised, JobError, SupervisorConfig};
@@ -67,6 +68,8 @@ pub struct CampaignConfig {
     /// Skip jobs already present in the checkpoint instead of truncating
     /// it.
     pub resume: bool,
+    /// Persistent exposure-capture cache; `None` recaptures every run.
+    pub capture_store: Option<CaptureStore>,
 }
 
 impl CampaignConfig {
@@ -80,6 +83,7 @@ impl CampaignConfig {
             supervisor: SupervisorConfig::default(),
             checkpoint: None,
             resume: false,
+            capture_store: None,
         }
     }
 }
@@ -192,6 +196,7 @@ fn run_job(
     accesses: u64,
     seed: u64,
     mode: SweepMode,
+    store: Option<&CaptureStore>,
 ) -> Result<Vec<SweepRow>, ExperimentError> {
     let experiment = Experiment::paper_hierarchy()
         .workload(workload)
@@ -199,13 +204,14 @@ fn run_job(
         .seed(seed);
     match mode {
         SweepMode::Standard => {
-            let report = experiment.run()?;
+            let report = experiment.run_with(store)?;
             Ok(vec![SweepRow::from_report(None, &report)])
         }
         SweepMode::EccSweep => {
-            // One capture, then the batched multi-point kernel scores all
-            // strengths in a single pass over the exposure stream.
-            Ok(crate::sweep::replay_ecc_sweep(&experiment)?
+            // One capture (possibly served from the store), then the
+            // batched multi-point kernel scores all strengths in a single
+            // pass over the exposure stream.
+            Ok(crate::sweep::replay_ecc_sweep_with(&experiment, store)?
                 .into_iter()
                 .map(|(ecc, report)| SweepRow::from_report(Some(ecc), &report))
                 .collect())
@@ -280,6 +286,9 @@ pub fn run_sweep_campaign(config: &CampaignConfig) -> Result<CampaignOutcome, Ca
     // this thread: checkpoint them and honour the simulated kill.
     let interrupt_after = config.supervisor.fault_plan.and_then(|p| p.interrupt_after);
     let (accesses, seed, mode) = (config.accesses, config.seed, config.mode);
+    // Each workload addresses its own store entry (the fingerprint covers
+    // the workload), so concurrent workers never contend on one file.
+    let store = config.capture_store.clone();
     let pending_for_pool = pending.clone();
     let mut done_this_run = 0usize;
     let mut interrupted = false;
@@ -294,7 +303,7 @@ pub fn run_sweep_campaign(config: &CampaignConfig) -> Result<CampaignOutcome, Ca
         config.parallelism.max(1),
         pool_name,
         &config.supervisor,
-        move |w| run_job(w, accesses, seed, mode),
+        move |w| run_job(w, accesses, seed, mode, store.as_ref()),
         |i, outcome| {
             if let Ok(Ok(rows)) = &outcome.result {
                 if let Some(writer) = writer.as_mut() {

@@ -53,7 +53,7 @@ pub struct ExposureRecord {
 }
 
 /// Final hierarchy counters at the end of the measurement window.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HierarchySnapshot {
     /// L1 instruction-cache counters.
     pub l1i: CacheStats,

@@ -1,0 +1,1001 @@
+//! Persistent, content-addressed storage of exposure captures.
+//!
+//! PR 4 made multi-point replay cheap, which leaves the capture pass —
+//! one full trace drive per workload — as the dominant cost of a sweep,
+//! paid again by every process. But an [`ExposureCapture`] is a pure
+//! function of the *behavioural* configuration (workload, seed,
+//! hierarchy geometry, replacement policy, access budgets) and contains
+//! only integers, so it serializes bit-exactly. This module caches
+//! captures on disk and replays warm sweeps without touching the trace.
+//!
+//! The on-disk format is `reap-capture/1`, a compact little-endian
+//! stream following the `reap-trace` conventions (every decode error
+//! names the byte offset where it stopped):
+//!
+//! ```text
+//! magic       "RCAP"          (4 bytes)
+//! version     u8 = 1
+//! fingerprint u64 LE          (the entry's CaptureKey fingerprint)
+//! line_bits   u64 LE
+//! ones_seed   u64 LE
+//! snapshot    38 × u64 LE     (l1i, l1d, l2 CacheStats in field order,
+//!                              then memory_reads, memory_writes)
+//! count       u64 LE
+//! count × records:
+//!   kind      u8              (0 demand, 1 dirty-scrub, 2 dirty-eviction)
+//!   tag       u64 LE
+//!   set       u64 LE
+//!   version   u64 LE
+//!   unchecked u64 LE
+//! checksum    u64 LE          (FNV-1a over every preceding byte)
+//! ```
+//!
+//! A [`CaptureStore`] addresses entries by a fingerprint over everything
+//! the capture depends on — and *nothing* it does not: ECC strength, MTJ
+//! parameters, technology node and access rate are analysis-side, so one
+//! stored capture serves every analysis point of a sweep. Entries are
+//! written to a temp file and atomically renamed into place; a reader
+//! can never observe a half-written entry. **Any** read failure — bad
+//! magic, foreign fingerprint, truncation, bit corruption caught by the
+//! checksum — falls back to recapturing from the trace: a corrupt store
+//! costs time, never correctness.
+//!
+//! # Examples
+//!
+//! ```
+//! use reap_core::capture_store::{CapturePolicy, CaptureStore};
+//! use reap_core::Experiment;
+//! use reap_trace::SpecWorkload;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let dir = std::env::temp_dir().join(format!("rcap-doc-{}", std::process::id()));
+//! let store = CaptureStore::new(&dir, CapturePolicy::ReadWrite);
+//! let experiment = Experiment::paper_hierarchy()
+//!     .workload(SpecWorkload::Hmmer)
+//!     .accesses(20_000);
+//! let cold = experiment.capture_with(Some(&store))?; // trace pass + store write
+//! let warm = experiment.capture_with(Some(&store))?; // served from disk
+//! assert_eq!(cold.events(), warm.events());
+//! # std::fs::remove_dir_all(dir).ok();
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::capture::{ExposureCapture, ExposureRecord, HierarchySnapshot};
+use crate::checkpoint::fnv;
+use crate::simulator::{SimulationConfig, SimulationError, Simulator};
+use reap_cache::{AccessMode, CacheConfig, CacheStats, HierarchyConfig, LineKey, Replacement};
+use reap_reliability::ExposureKind;
+use reap_trace::SpecWorkload;
+use std::error::Error;
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+/// Schema identifier of the on-disk capture format.
+pub const CAPTURE_SCHEMA: &str = "reap-capture/1";
+
+const MAGIC: &[u8; 4] = b"RCAP";
+const VERSION: u8 = 1;
+/// FNV-1a 64-bit offset basis — the seed of both the fingerprint chain
+/// and the streamed checksum.
+const FNV_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// How a [`CaptureStore`] participates in a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CapturePolicy {
+    /// The store is bypassed entirely (no reads, no writes).
+    #[default]
+    Off,
+    /// Serve hits from the store but never write new entries.
+    Read,
+    /// Serve hits and persist fresh captures (the useful default for
+    /// sweeps).
+    ReadWrite,
+}
+
+impl fmt::Display for CapturePolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CapturePolicy::Off => f.write_str("off"),
+            CapturePolicy::Read => f.write_str("read"),
+            CapturePolicy::ReadWrite => f.write_str("readwrite"),
+        }
+    }
+}
+
+/// Everything an [`ExposureCapture`]'s content depends on — the store's
+/// addressing key.
+///
+/// Deliberately *excludes* ECC strength, MTJ parameters, technology node
+/// and access rate: those only enter at replay time, so captures taken
+/// for one analysis point are valid (and shared) for all of them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CaptureKey {
+    workload: SpecWorkload,
+    seed: u64,
+    hierarchy: HierarchyConfig,
+    replacement: Replacement,
+    warmup_accesses: u64,
+    measure_accesses: u64,
+}
+
+impl CaptureKey {
+    /// Builds the key for `workload` at `seed` under `config`'s
+    /// behavioural parameters.
+    pub fn new(workload: SpecWorkload, seed: u64, config: &SimulationConfig) -> Self {
+        Self {
+            workload,
+            seed,
+            hierarchy: config.hierarchy.clone(),
+            replacement: config.replacement,
+            warmup_accesses: config.warmup_accesses,
+            measure_accesses: config.measure_accesses,
+        }
+    }
+
+    /// The 64-bit content address: an FNV-1a chain (the checkpoint
+    /// fingerprint hash) over the schema tag, workload, seed, every
+    /// geometric field of all three cache levels, the replacement policy
+    /// and the access budgets.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = fnv(FNV_BASIS, CAPTURE_SCHEMA.as_bytes());
+        h = fnv(h, self.workload.name().as_bytes());
+        h = fnv(h, &self.seed.to_le_bytes());
+        for level in [&self.hierarchy.l1i, &self.hierarchy.l1d, &self.hierarchy.l2] {
+            h = hash_level(h, level);
+        }
+        let (tag, seed) = match self.replacement {
+            Replacement::Lru => (0u8, 0u64),
+            Replacement::TreePlru => (1, 0),
+            Replacement::Fifo => (2, 0),
+            Replacement::Random(s) => (3, s),
+            Replacement::Srrip => (4, 0),
+            Replacement::LeastErrorRate => (5, 0),
+        };
+        h = fnv(h, &[tag]);
+        h = fnv(h, &seed.to_le_bytes());
+        h = fnv(h, &self.warmup_accesses.to_le_bytes());
+        h = fnv(h, &self.measure_accesses.to_le_bytes());
+        h
+    }
+}
+
+fn hash_level(mut h: u64, level: &CacheConfig) -> u64 {
+    h = fnv(h, level.name().as_bytes());
+    h = fnv(h, &(level.size_bytes() as u64).to_le_bytes());
+    h = fnv(h, &(level.associativity() as u64).to_le_bytes());
+    h = fnv(h, &(level.block_bytes() as u64).to_le_bytes());
+    let mode = match level.access_mode() {
+        AccessMode::Parallel => 0u8,
+        AccessMode::Serial => 1,
+    };
+    fnv(h, &[mode])
+}
+
+/// Error decoding (or writing) a serialized capture.
+///
+/// Every decode variant names the byte offset where reading stopped, so
+/// a damaged entry is diagnosable without a hex editor. Callers going
+/// through [`CaptureStore::load`] never see these — the store maps them
+/// all to a miss — but tests and tools can use
+/// [`read_capture`]/[`write_capture`] directly.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CaptureStoreError {
+    /// Underlying I/O failure (other than a short read).
+    Io {
+        /// Byte offset the failed operation started at.
+        offset: u64,
+        /// The underlying error.
+        source: io::Error,
+    },
+    /// The stream ended mid-header, mid-record or mid-trailer.
+    Truncated {
+        /// Byte offset the unsatisfied read started at.
+        offset: u64,
+        /// The record being decoded, if past the header.
+        record: Option<u64>,
+    },
+    /// The stream does not start with the `RCAP` magic.
+    BadMagic {
+        /// The bytes found instead.
+        found: [u8; 4],
+    },
+    /// The format version is newer than this reader.
+    UnsupportedVersion {
+        /// The version byte found.
+        found: u8,
+    },
+    /// The entry belongs to a different configuration.
+    FingerprintMismatch {
+        /// The fingerprint the caller expected.
+        expected: u64,
+        /// The fingerprint stamped in the file.
+        found: u64,
+    },
+    /// A record carries an unknown exposure-kind tag.
+    UnknownKind {
+        /// The tag found.
+        found: u8,
+        /// The record carrying it.
+        record: u64,
+        /// Byte offset of that record.
+        offset: u64,
+    },
+    /// The checksum trailer does not match the bytes read — silent bit
+    /// corruption somewhere in the body.
+    ChecksumMismatch {
+        /// The checksum computed over the body.
+        expected: u64,
+        /// The trailer found in the file.
+        found: u64,
+        /// Byte offset of the trailer.
+        offset: u64,
+    },
+    /// Bytes follow the checksum trailer.
+    TrailingBytes {
+        /// Byte offset of the first unexpected byte.
+        offset: u64,
+    },
+}
+
+impl fmt::Display for CaptureStoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CaptureStoreError::Io { offset, source } => {
+                write!(f, "capture i/o failed at byte {offset}: {source}")
+            }
+            CaptureStoreError::Truncated {
+                offset,
+                record: Some(record),
+            } => write!(f, "capture truncated at byte {offset} (record {record})"),
+            CaptureStoreError::Truncated {
+                offset,
+                record: None,
+            } => write!(f, "capture truncated at byte {offset}"),
+            CaptureStoreError::BadMagic { found } => {
+                write!(f, "not a capture file (magic {found:02x?})")
+            }
+            CaptureStoreError::UnsupportedVersion { found } => {
+                write!(f, "unsupported capture version {found}")
+            }
+            CaptureStoreError::FingerprintMismatch { expected, found } => write!(
+                f,
+                "capture fingerprint {found:016x} does not match expected {expected:016x}"
+            ),
+            CaptureStoreError::UnknownKind {
+                found,
+                record,
+                offset,
+            } => write!(
+                f,
+                "unknown exposure kind tag {found} in record {record} at byte {offset}"
+            ),
+            CaptureStoreError::ChecksumMismatch {
+                expected,
+                found,
+                offset,
+            } => write!(
+                f,
+                "capture checksum mismatch at byte {offset}: computed {expected:016x}, \
+                 stored {found:016x}"
+            ),
+            CaptureStoreError::TrailingBytes { offset } => {
+                write!(
+                    f,
+                    "capture has trailing bytes after the checksum at byte {offset}"
+                )
+            }
+        }
+    }
+}
+
+impl Error for CaptureStoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CaptureStoreError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// A writer adapter that streams the FNV-1a checksum over everything
+/// written through it (captures run to tens of megabytes; buffering the
+/// whole body to hash it would double the peak memory).
+struct HashWriter<W: Write> {
+    inner: W,
+    hash: u64,
+}
+
+impl<W: Write> HashWriter<W> {
+    fn new(inner: W) -> Self {
+        Self {
+            inner,
+            hash: FNV_BASIS,
+        }
+    }
+}
+
+impl<W: Write> Write for HashWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        for &b in &buf[..n] {
+            self.hash ^= u64::from(b);
+            self.hash = self.hash.wrapping_mul(FNV_PRIME);
+        }
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// The mirror-image reader adapter: hashes every byte it yields.
+struct HashReader<R: Read> {
+    inner: R,
+    hash: u64,
+}
+
+impl<R: Read> HashReader<R> {
+    fn new(inner: R) -> Self {
+        Self {
+            inner,
+            hash: FNV_BASIS,
+        }
+    }
+}
+
+impl<R: Read> Read for HashReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        for &b in &buf[..n] {
+            self.hash ^= u64::from(b);
+            self.hash = self.hash.wrapping_mul(FNV_PRIME);
+        }
+        Ok(n)
+    }
+}
+
+/// Where in the stream a read was positioned, for error context.
+#[derive(Debug, Clone, Copy)]
+enum Section {
+    Header,
+    Record { index: u64 },
+}
+
+/// `read_exact` with position bookkeeping, mapping short reads to
+/// [`CaptureStoreError::Truncated`] stamped with the current offset.
+fn fill<R: Read>(
+    reader: &mut R,
+    buf: &mut [u8],
+    offset: &mut u64,
+    section: Section,
+) -> Result<(), CaptureStoreError> {
+    let at = *offset;
+    let record = match section {
+        Section::Header => None,
+        Section::Record { index } => Some(index),
+    };
+    match reader.read_exact(buf) {
+        Ok(()) => {
+            *offset += buf.len() as u64;
+            Ok(())
+        }
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => {
+            Err(CaptureStoreError::Truncated { offset: at, record })
+        }
+        Err(source) => Err(CaptureStoreError::Io { offset: at, source }),
+    }
+}
+
+fn read_u64<R: Read>(
+    reader: &mut R,
+    offset: &mut u64,
+    section: Section,
+) -> Result<u64, CaptureStoreError> {
+    let mut buf = [0u8; 8];
+    fill(reader, &mut buf, offset, section)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+/// The 38 `u64`s of a [`HierarchySnapshot`], in serialization order.
+fn snapshot_words(s: &HierarchySnapshot) -> [u64; 38] {
+    let mut words = [0u64; 38];
+    let mut i = 0;
+    for stats in [&s.l1i, &s.l1d, &s.l2] {
+        for w in stats_words(stats) {
+            words[i] = w;
+            i += 1;
+        }
+    }
+    words[36] = s.memory_reads;
+    words[37] = s.memory_writes;
+    words
+}
+
+fn stats_words(s: &CacheStats) -> [u64; 12] {
+    [
+        s.reads,
+        s.writes,
+        s.read_hits,
+        s.write_hits,
+        s.fills,
+        s.evictions,
+        s.dirty_evictions,
+        s.concealed_reads,
+        s.line_reads,
+        s.demand_checks,
+        s.scrub_checks,
+        s.writeback_installs,
+    ]
+}
+
+fn stats_from_words(w: &[u64; 12]) -> CacheStats {
+    CacheStats {
+        reads: w[0],
+        writes: w[1],
+        read_hits: w[2],
+        write_hits: w[3],
+        fills: w[4],
+        evictions: w[5],
+        dirty_evictions: w[6],
+        concealed_reads: w[7],
+        line_reads: w[8],
+        demand_checks: w[9],
+        scrub_checks: w[10],
+        writeback_installs: w[11],
+    }
+}
+
+/// The serializable core of a capture: what `reap-capture/1` stores. The
+/// behavioural configuration is *not* serialized — it is implied by the
+/// fingerprint and re-supplied from the caller's [`CaptureKey`] when the
+/// full [`ExposureCapture`] is reassembled.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CapturePayload {
+    /// The recorded exposure events, in simulation order.
+    pub events: Vec<ExposureRecord>,
+    /// Final hierarchy counters of the capture run.
+    pub snapshot: HierarchySnapshot,
+    /// Data bits per L2 line.
+    pub line_bits: usize,
+    /// The content-weight hash seed the captured cache used.
+    pub ones_seed: u64,
+}
+
+/// Serializes `capture` (stamped with `fingerprint`) as `reap-capture/1`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer, stamped with the byte offset.
+pub fn write_capture<W: Write>(
+    writer: W,
+    fingerprint: u64,
+    capture: &ExposureCapture,
+) -> Result<(), CaptureStoreError> {
+    let mut w = HashWriter::new(writer);
+    let mut offset = 0u64;
+    let put = |w: &mut HashWriter<W>, offset: &mut u64, bytes: &[u8]| {
+        w.write_all(bytes).map_err(|source| CaptureStoreError::Io {
+            offset: *offset,
+            source,
+        })?;
+        *offset += bytes.len() as u64;
+        Ok::<(), CaptureStoreError>(())
+    };
+    put(&mut w, &mut offset, MAGIC)?;
+    put(&mut w, &mut offset, &[VERSION])?;
+    put(&mut w, &mut offset, &fingerprint.to_le_bytes())?;
+    put(
+        &mut w,
+        &mut offset,
+        &(capture.line_bits() as u64).to_le_bytes(),
+    )?;
+    put(&mut w, &mut offset, &capture.ones_seed().to_le_bytes())?;
+    for word in snapshot_words(capture.snapshot()) {
+        put(&mut w, &mut offset, &word.to_le_bytes())?;
+    }
+    put(
+        &mut w,
+        &mut offset,
+        &(capture.events().len() as u64).to_le_bytes(),
+    )?;
+    for record in capture.events() {
+        let kind = match record.kind {
+            ExposureKind::Demand => 0u8,
+            ExposureKind::DirtyScrub => 1,
+            ExposureKind::DirtyEviction => 2,
+        };
+        put(&mut w, &mut offset, &[kind])?;
+        put(&mut w, &mut offset, &record.key.tag.to_le_bytes())?;
+        put(&mut w, &mut offset, &record.key.set.to_le_bytes())?;
+        put(&mut w, &mut offset, &record.key.version.to_le_bytes())?;
+        put(&mut w, &mut offset, &record.unchecked_reads.to_le_bytes())?;
+    }
+    // The trailer is written to the inner writer so it is not folded into
+    // its own hash.
+    let checksum = w.hash;
+    w.inner
+        .write_all(&checksum.to_le_bytes())
+        .map_err(|source| CaptureStoreError::Io { offset, source })?;
+    w.inner
+        .flush()
+        .map_err(|source| CaptureStoreError::Io { offset, source })?;
+    Ok(())
+}
+
+/// Deserializes a `reap-capture/1` stream, verifying the magic, version,
+/// `expected_fingerprint`, checksum trailer and the absence of trailing
+/// bytes.
+///
+/// # Errors
+///
+/// Returns [`CaptureStoreError`] naming the byte offset on any defect.
+pub fn read_capture<R: Read>(
+    reader: R,
+    expected_fingerprint: u64,
+) -> Result<CapturePayload, CaptureStoreError> {
+    let mut r = HashReader::new(reader);
+    let mut offset = 0u64;
+    let mut magic = [0u8; 4];
+    fill(&mut r, &mut magic, &mut offset, Section::Header)?;
+    if &magic != MAGIC {
+        return Err(CaptureStoreError::BadMagic { found: magic });
+    }
+    let mut version = [0u8; 1];
+    fill(&mut r, &mut version, &mut offset, Section::Header)?;
+    if version[0] != VERSION {
+        return Err(CaptureStoreError::UnsupportedVersion { found: version[0] });
+    }
+    let fingerprint = read_u64(&mut r, &mut offset, Section::Header)?;
+    if fingerprint != expected_fingerprint {
+        return Err(CaptureStoreError::FingerprintMismatch {
+            expected: expected_fingerprint,
+            found: fingerprint,
+        });
+    }
+    let line_bits = read_u64(&mut r, &mut offset, Section::Header)?;
+    let ones_seed = read_u64(&mut r, &mut offset, Section::Header)?;
+    let mut words = [0u64; 38];
+    for w in &mut words {
+        *w = read_u64(&mut r, &mut offset, Section::Header)?;
+    }
+    let snapshot = HierarchySnapshot {
+        l1i: stats_from_words(words[0..12].try_into().expect("12 words")),
+        l1d: stats_from_words(words[12..24].try_into().expect("12 words")),
+        l2: stats_from_words(words[24..36].try_into().expect("12 words")),
+        memory_reads: words[36],
+        memory_writes: words[37],
+    };
+    let count = read_u64(&mut r, &mut offset, Section::Header)?;
+    // A truncated count field cannot make us balloon: reserve at most a
+    // sane chunk up front and let push() grow the rest.
+    let mut events = Vec::with_capacity(count.min(1 << 20) as usize);
+    for record in 0..count {
+        let section = Section::Record { index: record };
+        let record_offset = offset;
+        let mut kind = [0u8; 1];
+        fill(&mut r, &mut kind, &mut offset, section)?;
+        let kind = match kind[0] {
+            0 => ExposureKind::Demand,
+            1 => ExposureKind::DirtyScrub,
+            2 => ExposureKind::DirtyEviction,
+            other => {
+                return Err(CaptureStoreError::UnknownKind {
+                    found: other,
+                    record,
+                    offset: record_offset,
+                })
+            }
+        };
+        let tag = read_u64(&mut r, &mut offset, section)?;
+        let set = read_u64(&mut r, &mut offset, section)?;
+        let version = read_u64(&mut r, &mut offset, section)?;
+        let unchecked_reads = read_u64(&mut r, &mut offset, section)?;
+        events.push(ExposureRecord {
+            kind,
+            key: LineKey { tag, set, version },
+            unchecked_reads,
+        });
+    }
+    // The trailer is read from the inner reader so the comparison hash
+    // covers exactly the body.
+    let expected = r.hash;
+    let trailer_offset = offset;
+    let mut trailer = [0u8; 8];
+    match r.inner.read_exact(&mut trailer) {
+        Ok(()) => offset += 8,
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => {
+            return Err(CaptureStoreError::Truncated {
+                offset: trailer_offset,
+                record: None,
+            })
+        }
+        Err(source) => {
+            return Err(CaptureStoreError::Io {
+                offset: trailer_offset,
+                source,
+            })
+        }
+    }
+    let found = u64::from_le_bytes(trailer);
+    if found != expected {
+        return Err(CaptureStoreError::ChecksumMismatch {
+            expected,
+            found,
+            offset: trailer_offset,
+        });
+    }
+    // Read-ahead one byte: a valid entry ends exactly at the trailer.
+    let mut probe = [0u8; 1];
+    match r.inner.read_exact(&mut probe) {
+        Ok(()) => return Err(CaptureStoreError::TrailingBytes { offset }),
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => {}
+        Err(source) => return Err(CaptureStoreError::Io { offset, source }),
+    }
+    Ok(CapturePayload {
+        events,
+        snapshot,
+        line_bits: line_bits as usize,
+        ones_seed,
+    })
+}
+
+/// A directory of fingerprint-addressed capture entries.
+///
+/// Cloneable and `Sync`: campaign workers share one store and hit
+/// disjoint entries (each workload has its own fingerprint).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CaptureStore {
+    dir: PathBuf,
+    policy: CapturePolicy,
+}
+
+impl CaptureStore {
+    /// A store rooted at `dir` (created lazily on the first write).
+    pub fn new(dir: impl Into<PathBuf>, policy: CapturePolicy) -> Self {
+        Self {
+            dir: dir.into(),
+            policy,
+        }
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The store's read/write policy.
+    pub fn policy(&self) -> CapturePolicy {
+        self.policy
+    }
+
+    /// The on-disk path of `key`'s entry.
+    pub fn entry_path(&self, key: &CaptureKey) -> PathBuf {
+        self.dir.join(format!("{:016x}.rcap", key.fingerprint()))
+    }
+
+    /// Attempts to serve `key` from disk. Never fails outward: a missing
+    /// entry counts a `capture_store.miss`, an unreadable or corrupt one
+    /// counts a `capture_store.invalid`, and both return `None` so the
+    /// caller recaptures.
+    pub fn load(&self, key: &CaptureKey) -> Option<ExposureCapture> {
+        if self.policy == CapturePolicy::Off {
+            return None;
+        }
+        let path = self.entry_path(key);
+        let file = match File::open(&path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                bump("capture_store.miss");
+                return None;
+            }
+            Err(e) => {
+                bump("capture_store.invalid");
+                eprintln!(
+                    "warning: capture store entry {} unreadable ({e}); recapturing",
+                    path.display()
+                );
+                return None;
+            }
+        };
+        match read_capture(BufReader::new(file), key.fingerprint()) {
+            Ok(payload) => {
+                bump("capture_store.hit");
+                Some(ExposureCapture::from_parts(
+                    payload.events,
+                    payload.snapshot,
+                    payload.line_bits,
+                    payload.ones_seed,
+                    key.hierarchy.clone(),
+                    key.replacement,
+                    key.warmup_accesses,
+                    key.measure_accesses,
+                ))
+            }
+            Err(e) => {
+                bump("capture_store.invalid");
+                eprintln!(
+                    "warning: capture store entry {} is invalid ({e}); recapturing",
+                    path.display()
+                );
+                None
+            }
+        }
+    }
+
+    /// Persists `capture` under `key`, via a temp file and an atomic
+    /// rename — concurrent readers either see the complete entry or none.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CaptureStoreError::Io`] when the directory, temp file or
+    /// rename fails. Callers on the hot path treat this as a warning (the
+    /// capture is still in memory), not a failure.
+    pub fn store(
+        &self,
+        key: &CaptureKey,
+        capture: &ExposureCapture,
+    ) -> Result<PathBuf, CaptureStoreError> {
+        let io_err = |source| CaptureStoreError::Io { offset: 0, source };
+        std::fs::create_dir_all(&self.dir).map_err(io_err)?;
+        let path = self.entry_path(key);
+        let tmp = self.dir.join(format!(
+            "{:016x}.rcap.tmp.{}",
+            key.fingerprint(),
+            std::process::id()
+        ));
+        let result = (|| {
+            let file = File::create(&tmp).map_err(io_err)?;
+            write_capture(BufWriter::new(file), key.fingerprint(), capture)?;
+            std::fs::rename(&tmp, &path).map_err(io_err)?;
+            Ok(())
+        })();
+        if let Err(e) = result {
+            std::fs::remove_file(&tmp).ok();
+            return Err(e);
+        }
+        bump("capture_store.write");
+        Ok(path)
+    }
+
+    /// The store-aware capture entry point: serve `sim`'s capture of
+    /// `workload` at `seed` from disk when possible, otherwise run the
+    /// trace pass (and persist it under a `ReadWrite` policy).
+    ///
+    /// Bit-identical to [`Simulator::capture`] in every case — the format
+    /// round-trips captures exactly, and any read defect falls back to
+    /// the trace pass. The whole attempt runs inside a `capture_store`
+    /// span; a hit deliberately does *not* emit the `sim.capture.*` or
+    /// `cache.*` counters, which count actual trace passes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimulationError`] from a recapture; store write
+    /// failures are reported on stderr, never fatal.
+    pub fn load_or_capture(
+        &self,
+        sim: &Simulator,
+        workload: SpecWorkload,
+        seed: u64,
+    ) -> Result<ExposureCapture, SimulationError> {
+        let key = CaptureKey::new(workload, seed, sim.config());
+        let mut span = reap_obs::span("capture_store");
+        if let Some(capture) = self.load(&key) {
+            span.add_events(capture.events().len() as u64);
+            return Ok(capture);
+        }
+        let capture = sim.capture(workload.stream(seed))?;
+        span.add_events(capture.events().len() as u64);
+        if self.policy == CapturePolicy::ReadWrite {
+            if let Err(e) = self.store(&key, &capture) {
+                eprintln!("warning: capture store write failed: {e}");
+            }
+        }
+        Ok(capture)
+    }
+}
+
+/// Increments a global counter when telemetry is enabled (the same
+/// gating the simulator spans use).
+fn bump(name: &str) {
+    if reap_obs::enabled() {
+        reap_obs::global().counter(name).add(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::Experiment;
+
+    fn scratch(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("reap-capstore-unit-{tag}-{}", std::process::id()))
+    }
+
+    fn small_capture() -> (ExposureCapture, CaptureKey) {
+        let experiment = Experiment::paper_hierarchy()
+            .workload(SpecWorkload::Hmmer)
+            .budgets(500, 8_000)
+            .seed(3);
+        let capture = experiment.capture().unwrap();
+        let key = CaptureKey::new(SpecWorkload::Hmmer, 3, experiment.config());
+        (capture, key)
+    }
+
+    fn encode(capture: &ExposureCapture, fingerprint: u64) -> Vec<u8> {
+        let mut buf = Vec::new();
+        write_capture(&mut buf, fingerprint, capture).unwrap();
+        buf
+    }
+
+    #[test]
+    fn round_trip_preserves_every_field() {
+        let (capture, key) = small_capture();
+        let buf = encode(&capture, key.fingerprint());
+        let payload = read_capture(&buf[..], key.fingerprint()).unwrap();
+        assert_eq!(payload.events, capture.events());
+        assert_eq!(payload.line_bits, capture.line_bits());
+        assert_eq!(payload.ones_seed, capture.ones_seed());
+        assert_eq!(
+            snapshot_words(&payload.snapshot),
+            snapshot_words(capture.snapshot())
+        );
+    }
+
+    #[test]
+    fn fingerprint_separates_behavioural_configs_only() {
+        let base = Experiment::paper_hierarchy().budgets(500, 8_000).seed(3);
+        let key = |e: &Experiment, w, s| CaptureKey::new(w, s, e.config()).fingerprint();
+        let a = key(&base, SpecWorkload::Hmmer, 3);
+        // Workload, seed, budgets and policy all separate entries…
+        assert_ne!(a, key(&base, SpecWorkload::Gcc, 3));
+        assert_ne!(a, key(&base, SpecWorkload::Hmmer, 4));
+        assert_ne!(
+            a,
+            key(&base.clone().budgets(500, 9_000), SpecWorkload::Hmmer, 3)
+        );
+        assert_ne!(
+            a,
+            key(
+                &base.clone().replacement(Replacement::Fifo),
+                SpecWorkload::Hmmer,
+                3
+            )
+        );
+        // …while analysis-side settings share one capture.
+        assert_eq!(
+            a,
+            key(
+                &base.clone().ecc(crate::simulator::EccStrength::Tec),
+                SpecWorkload::Hmmer,
+                3
+            )
+        );
+    }
+
+    #[test]
+    fn bad_magic_version_and_fingerprint_are_typed() {
+        let (capture, key) = small_capture();
+        let fp = key.fingerprint();
+        let mut buf = encode(&capture, fp);
+        buf[0] = b'X';
+        assert!(matches!(
+            read_capture(&buf[..], fp).unwrap_err(),
+            CaptureStoreError::BadMagic { .. }
+        ));
+        let mut buf = encode(&capture, fp);
+        buf[4] = 9;
+        assert!(matches!(
+            read_capture(&buf[..], fp).unwrap_err(),
+            CaptureStoreError::UnsupportedVersion { found: 9 }
+        ));
+        let buf = encode(&capture, fp);
+        let err = read_capture(&buf[..], fp ^ 1).unwrap_err();
+        assert!(matches!(err, CaptureStoreError::FingerprintMismatch { .. }));
+        assert!(err.to_string().contains("fingerprint"), "{err}");
+    }
+
+    #[test]
+    fn truncation_names_the_offset() {
+        let (capture, key) = small_capture();
+        let fp = key.fingerprint();
+        let buf = encode(&capture, fp);
+        let cut = &buf[..buf.len() - 3];
+        let err = read_capture(cut, fp).unwrap_err();
+        assert!(matches!(err, CaptureStoreError::Truncated { .. }), "{err}");
+        assert!(err.to_string().contains("byte"), "{err}");
+    }
+
+    #[test]
+    fn bit_corruption_fails_the_checksum() {
+        let (capture, key) = small_capture();
+        let fp = key.fingerprint();
+        let mut buf = encode(&capture, fp);
+        // Flip one bit deep in the record body: only the trailer catches it.
+        let mid = buf.len() / 2;
+        buf[mid] ^= 0x10;
+        let err = read_capture(&buf[..], fp).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                CaptureStoreError::ChecksumMismatch { .. } | CaptureStoreError::UnknownKind { .. }
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let (capture, key) = small_capture();
+        let fp = key.fingerprint();
+        let mut buf = encode(&capture, fp);
+        buf.push(0);
+        let err = read_capture(&buf[..], fp).unwrap_err();
+        assert!(
+            matches!(err, CaptureStoreError::TrailingBytes { .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn store_load_round_trip_and_miss() {
+        let dir = scratch("roundtrip");
+        std::fs::remove_dir_all(&dir).ok();
+        let store = CaptureStore::new(&dir, CapturePolicy::ReadWrite);
+        let (capture, key) = small_capture();
+        assert!(store.load(&key).is_none(), "cold store must miss");
+        store.store(&key, &capture).unwrap();
+        let loaded = store.load(&key).expect("entry just written");
+        assert_eq!(loaded.events(), capture.events());
+        assert_eq!(loaded.line_bits(), capture.line_bits());
+        assert_eq!(loaded.ones_seed(), capture.ones_seed());
+        assert_eq!(loaded.warmup_accesses(), capture.warmup_accesses());
+        assert_eq!(loaded.measure_accesses(), capture.measure_accesses());
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn off_policy_bypasses_even_existing_entries() {
+        let dir = scratch("off");
+        std::fs::remove_dir_all(&dir).ok();
+        let (capture, key) = small_capture();
+        CaptureStore::new(&dir, CapturePolicy::ReadWrite)
+            .store(&key, &capture)
+            .unwrap();
+        assert!(CaptureStore::new(&dir, CapturePolicy::Off)
+            .load(&key)
+            .is_none());
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn no_temp_files_survive_a_store() {
+        let dir = scratch("tmpfiles");
+        std::fs::remove_dir_all(&dir).ok();
+        let store = CaptureStore::new(&dir, CapturePolicy::ReadWrite);
+        let (capture, key) = small_capture();
+        store.store(&key, &capture).unwrap();
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .filter(|n| n.contains(".tmp."))
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "temp files left behind: {leftovers:?}"
+        );
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn policy_displays_cli_names() {
+        assert_eq!(CapturePolicy::Off.to_string(), "off");
+        assert_eq!(CapturePolicy::Read.to_string(), "read");
+        assert_eq!(CapturePolicy::ReadWrite.to_string(), "readwrite");
+    }
+}

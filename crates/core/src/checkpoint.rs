@@ -108,8 +108,9 @@ impl CheckpointMeta {
     }
 }
 
-/// 64-bit FNV-1a over `bytes`, chained from `state`.
-fn fnv(state: u64, bytes: &[u8]) -> u64 {
+/// 64-bit FNV-1a over `bytes`, chained from `state`. Shared with the
+/// capture store's content fingerprint.
+pub(crate) fn fnv(state: u64, bytes: &[u8]) -> u64 {
     let mut h = state;
     for &b in bytes {
         h ^= u64::from(b);

@@ -45,6 +45,7 @@
 pub mod analysis;
 pub mod campaign;
 pub mod capture;
+pub mod capture_store;
 pub mod checkpoint;
 pub mod energy;
 pub mod experiment;
@@ -58,6 +59,7 @@ pub mod sweep;
 
 pub use campaign::{CampaignConfig, CampaignError, CampaignOutcome, SweepMode, WorkloadOutcome};
 pub use capture::{CaptureObserver, ExposureCapture, ExposureRecord, HierarchySnapshot};
+pub use capture_store::{CaptureKey, CapturePolicy, CaptureStore, CaptureStoreError};
 pub use checkpoint::{CheckpointError, SweepRow};
 pub use energy::{EnergyBreakdown, EnergyModel};
 pub use experiment::{Experiment, ExperimentError};

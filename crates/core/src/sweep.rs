@@ -5,6 +5,7 @@
 //! experiments. [`run_parallel`] fans a batch out over a bounded pool of
 //! OS threads and returns results in input order.
 
+use crate::capture_store::CaptureStore;
 use crate::experiment::{Experiment, ExperimentError};
 use crate::report::Report;
 use crate::simulator::{EccStrength, Simulator};
@@ -177,7 +178,23 @@ pub fn run_parallel(
 pub fn replay_ecc_sweep(
     experiment: &Experiment,
 ) -> Result<Vec<(EccStrength, Report)>, ExperimentError> {
-    let capture = experiment.capture()?;
+    replay_ecc_sweep_with(experiment, None)
+}
+
+/// [`replay_ecc_sweep`] with an optional [`CaptureStore`]: a store hit
+/// skips the trace pass entirely, and the replay stays bit-identical
+/// (the format round-trips captures exactly).
+///
+/// # Errors
+///
+/// Returns [`ExperimentError`] when the configuration cannot be
+/// instantiated. Store defects are never errors: they fall back to
+/// recapture.
+pub fn replay_ecc_sweep_with(
+    experiment: &Experiment,
+    store: Option<&CaptureStore>,
+) -> Result<Vec<(EccStrength, Report)>, ExperimentError> {
+    let capture = experiment.capture_with(store)?;
     let points = EccStrength::ALL
         .into_iter()
         .map(|ecc| {

@@ -1,0 +1,199 @@
+//! Capture-store integration properties: round-trips are bit-identical,
+//! and a corrupted store can cost a recapture but never a wrong result.
+//!
+//! Runs in its own test binary because it enables the global telemetry
+//! registry to observe the `capture_store.*` counters; counter
+//! assertions are delta-based (`>=`) since tests in this binary share
+//! the registry across threads.
+
+use proptest::prelude::*;
+use reap_cache::Replacement;
+use reap_core::capture_store::{CaptureKey, CapturePolicy, CaptureStore};
+use reap_core::sweep::replay_ecc_sweep_with;
+use reap_core::{Experiment, ProtectionScheme, Simulator};
+use reap_trace::SpecWorkload;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A fresh store directory per test case (cases run in one process).
+fn scratch(tag: &str) -> PathBuf {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    std::env::temp_dir().join(format!(
+        "reap-capstore-{tag}-{}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+fn counter(name: &str) -> u64 {
+    reap_obs::global().counter(name).get()
+}
+
+/// The full per-scheme failure signature of a report, as raw bits.
+fn report_bits(r: &reap_core::Report) -> [u64; 4] {
+    [
+        r.expected_failures(ProtectionScheme::Conventional)
+            .to_bits(),
+        r.expected_failures(ProtectionScheme::Reap).to_bits(),
+        r.expected_failures(ProtectionScheme::SerialTagFirst)
+            .to_bits(),
+        r.writeback_exposure().to_bits(),
+    ]
+}
+
+proptest! {
+    /// A store round-trip preserves the capture exactly — the loaded
+    /// entry's events, metadata and every replayed report are
+    /// bit-identical to the in-memory original, for arbitrary workloads,
+    /// seeds and replacement policies.
+    #[test]
+    fn store_round_trip_is_bit_identical(
+        workload_index in 0usize..21,
+        seed in any::<u64>(),
+        replacement in prop_oneof![
+            Just(Replacement::Lru),
+            Just(Replacement::TreePlru),
+            Just(Replacement::Fifo),
+            Just(Replacement::Srrip),
+        ],
+    ) {
+        let workload = SpecWorkload::ALL[workload_index];
+        let experiment = Experiment::paper_hierarchy()
+            .workload(workload)
+            .replacement(replacement)
+            .budgets(500, 4_000)
+            .seed(seed);
+        let dir = scratch("roundtrip");
+        let store = CaptureStore::new(&dir, CapturePolicy::ReadWrite);
+
+        let original = experiment.capture().expect("capture");
+        let key = CaptureKey::new(workload, seed, experiment.config());
+        store.store(&key, &original).expect("store");
+        let loaded = store.load(&key).expect("entry just written");
+
+        prop_assert_eq!(loaded.events(), original.events());
+        prop_assert_eq!(loaded.snapshot(), original.snapshot());
+        prop_assert_eq!(loaded.line_bits(), original.line_bits());
+        prop_assert_eq!(loaded.ones_seed(), original.ones_seed());
+
+        let from_memory = experiment.clone().replay(&original).expect("replay");
+        let from_disk = experiment.clone().replay(&loaded).expect("replay");
+        prop_assert_eq!(report_bits(&from_memory), report_bits(&from_disk));
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    /// Any corruption of a store entry — truncation, a chopped tail, or
+    /// a silent byte flip anywhere in the file — makes the load fall
+    /// back to recapture, bumps `capture_store.invalid`, and leaves the
+    /// final reports bit-identical to an uncorrupted run. Never a wrong
+    /// report.
+    #[test]
+    fn corruption_always_falls_back_to_an_identical_recapture(
+        workload_index in 0usize..21,
+        seed in any::<u64>(),
+        corruption in 0usize..3,
+        damage in any::<u64>(),
+    ) {
+        reap_obs::set_enabled(true);
+        let workload = SpecWorkload::ALL[workload_index];
+        let experiment = Experiment::paper_hierarchy()
+            .workload(workload)
+            .budgets(500, 4_000)
+            .seed(seed);
+        let dir = scratch("corrupt");
+        let store = CaptureStore::new(&dir, CapturePolicy::ReadWrite);
+
+        // Reference sweep and a populated store entry.
+        let clean = replay_ecc_sweep_with(&experiment, Some(&store)).expect("cold sweep");
+        let key = CaptureKey::new(workload, seed, experiment.config());
+        let path = store.entry_path(&key);
+        let len = std::fs::metadata(&path).expect("entry exists").len();
+
+        // Damage the entry with one of the reap-fault corruption tools,
+        // at a position derived from the arbitrary `damage` value.
+        match corruption {
+            0 => {
+                reap_fault::truncate_file(&path, damage % len).expect("truncate");
+            }
+            1 => {
+                reap_fault::chop_tail(&path, 1 + damage % len).expect("chop");
+            }
+            _ => {
+                let mask = 1u8 << (damage % 8);
+                reap_fault::flip_byte(&path, damage % len, mask).expect("flip");
+            }
+        }
+
+        // The damaged entry must never load.
+        let invalid_before = counter("capture_store.invalid");
+        prop_assert!(store.load(&key).is_none(), "corrupt entry must not load");
+        prop_assert!(
+            counter("capture_store.invalid") > invalid_before,
+            "fallback must be counted"
+        );
+
+        // And the store-backed sweep must silently recapture to the same
+        // bits as the clean run.
+        let recovered = replay_ecc_sweep_with(&experiment, Some(&store)).expect("warm sweep");
+        prop_assert_eq!(clean.len(), recovered.len());
+        for ((ecc_a, a), (ecc_b, b)) in clean.iter().zip(&recovered) {
+            prop_assert_eq!(ecc_a, ecc_b);
+            prop_assert_eq!(report_bits(a), report_bits(b));
+        }
+        std::fs::remove_dir_all(dir).ok();
+    }
+}
+
+#[test]
+fn load_or_capture_hits_after_a_cold_miss_and_counts_both() {
+    reap_obs::set_enabled(true);
+    let dir = scratch("counters");
+    let store = CaptureStore::new(&dir, CapturePolicy::ReadWrite);
+    let experiment = Experiment::paper_hierarchy()
+        .workload(SpecWorkload::Libquantum)
+        .budgets(500, 6_000)
+        .seed(11);
+    let sim = Simulator::new(experiment.config().clone()).unwrap();
+
+    let (miss0, hit0, write0) = (
+        counter("capture_store.miss"),
+        counter("capture_store.hit"),
+        counter("capture_store.write"),
+    );
+    let cold = store
+        .load_or_capture(&sim, SpecWorkload::Libquantum, 11)
+        .unwrap();
+    assert!(counter("capture_store.miss") > miss0, "cold run misses");
+    assert!(counter("capture_store.write") > write0, "cold run persists");
+
+    let warm = store
+        .load_or_capture(&sim, SpecWorkload::Libquantum, 11)
+        .unwrap();
+    assert!(counter("capture_store.hit") > hit0, "warm run hits");
+    assert_eq!(warm.events(), cold.events());
+    assert_eq!(warm.snapshot(), cold.snapshot());
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn read_policy_never_writes_but_serves_existing_entries() {
+    let dir = scratch("readonly");
+    let experiment = Experiment::paper_hierarchy()
+        .workload(SpecWorkload::Mcf)
+        .budgets(500, 6_000)
+        .seed(4);
+    let key = CaptureKey::new(SpecWorkload::Mcf, 4, experiment.config());
+
+    // A read-only store never populates the directory…
+    let reader = CaptureStore::new(&dir, CapturePolicy::Read);
+    let capture = experiment.capture_with(Some(&reader)).unwrap();
+    assert!(reader.load(&key).is_none(), "nothing was persisted");
+
+    // …but serves entries someone else wrote.
+    CaptureStore::new(&dir, CapturePolicy::ReadWrite)
+        .store(&key, &capture)
+        .unwrap();
+    let loaded = reader.load(&key).expect("entry now exists");
+    assert_eq!(loaded.events(), capture.events());
+    std::fs::remove_dir_all(dir).ok();
+}

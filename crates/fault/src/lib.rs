@@ -266,6 +266,39 @@ pub fn chop_tail(path: &Path, n_bytes: u64) -> io::Result<u64> {
     Ok(keep)
 }
 
+/// XORs `mask` into the byte at `offset` of the file at `path` — silent
+/// in-place bit corruption, the failure mode checksums exist to catch.
+/// Returns the corrupted byte's new value.
+///
+/// # Errors
+///
+/// Propagates I/O errors; a zero mask (no corruption) or an offset past
+/// the end of the file is an `InvalidInput` error.
+pub fn flip_byte(path: &Path, offset: u64, mask: u8) -> io::Result<u8> {
+    use std::io::{Read, Seek, SeekFrom, Write};
+    if mask == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "mask 0 flips nothing",
+        ));
+    }
+    let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+    let len = file.metadata()?.len();
+    if offset >= len {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("offset {offset} is past the end of a {len}-byte file"),
+        ));
+    }
+    let mut byte = [0u8; 1];
+    file.seek(SeekFrom::Start(offset))?;
+    file.read_exact(&mut byte)?;
+    byte[0] ^= mask;
+    file.seek(SeekFrom::Start(offset))?;
+    file.write_all(&byte)?;
+    Ok(byte[0])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -353,6 +386,25 @@ mod tests {
 
         assert!(truncate_file(&path, 99).is_err());
         assert!(chop_tail(&path, 99).is_err());
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn flip_byte_corrupts_exactly_one_byte_in_place() {
+        let dir = std::env::temp_dir().join(format!("reap-fault-flip-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("f.bin");
+        std::fs::write(&path, b"0123456789").unwrap();
+
+        let flipped = flip_byte(&path, 3, 0x01).unwrap();
+        assert_eq!(flipped, b'3' ^ 0x01);
+        assert_eq!(std::fs::read(&path).unwrap(), b"0122456789");
+        // Flipping the same bit back restores the original file.
+        flip_byte(&path, 3, 0x01).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"0123456789");
+
+        assert!(flip_byte(&path, 3, 0).is_err(), "zero mask flips nothing");
+        assert!(flip_byte(&path, 10, 0xFF).is_err(), "offset past the end");
         std::fs::remove_dir_all(dir).ok();
     }
 }

@@ -44,7 +44,13 @@ pub struct McLineResult {
 
 impl McLineResult {
     /// Observed failure rate: anything that is not a correct delivery.
+    ///
+    /// An empty campaign (`trials == 0`) has observed no failures, so the
+    /// rate is 0.0 — not the NaN the raw division would produce.
     pub fn failure_rate(&self) -> f64 {
+        if self.trials == 0 {
+            return 0.0;
+        }
         (self.detected + self.silent_corruption) as f64 / self.trials as f64
     }
 
@@ -61,6 +67,12 @@ impl McLineResult {
     /// assert!(lo < 0.01 && 0.01 < hi);
     /// ```
     pub fn failure_rate_ci95(&self) -> (f64, f64) {
+        // Zero trials carry zero information: the interval is the whole
+        // [0, 1] range rather than the NaNs of a zero-denominator Wilson
+        // score.
+        if self.trials == 0 {
+            return (0.0, 1.0);
+        }
         let n = self.trials as f64;
         let p = self.failure_rate();
         let z = 1.959_963_984_540_054; // Φ⁻¹(0.975)
@@ -207,6 +219,13 @@ mod tests {
     use super::*;
     use crate::model::AccumulationModel;
     use reap_ecc::HsiaoSecDed;
+
+    #[test]
+    fn zero_trials_yield_finite_rate_and_vacuous_interval() {
+        let empty = McLineResult::default();
+        assert_eq!(empty.failure_rate(), 0.0);
+        assert_eq!(empty.failure_rate_ci95(), (0.0, 1.0));
+    }
 
     #[test]
     fn zero_probability_never_fails() {

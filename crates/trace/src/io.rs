@@ -121,7 +121,15 @@ pub fn read_trace<R: Read>(mut reader: R) -> Result<Vec<MemoryAccess>, TraceErro
             kind,
         });
     }
-    Ok(out)
+    // Read-ahead one byte: a valid stream ends exactly after the declared
+    // record count. Anything further is a corrupt count field or a
+    // concatenation accident, not data to silently ignore.
+    let mut probe = [0u8; 1];
+    match reader.read_exact(&mut probe) {
+        Ok(()) => Err(TraceError::TrailingBytes { offset }),
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => Ok(out),
+        Err(source) => Err(TraceError::Io { offset, source }),
+    }
 }
 
 /// Where in the stream a read was positioned, for error context.
@@ -196,6 +204,11 @@ pub enum TraceError {
         /// Byte offset of that record.
         offset: u64,
     },
+    /// Bytes follow the last declared record.
+    TrailingBytes {
+        /// Byte offset of the first unexpected byte.
+        offset: u64,
+    },
 }
 
 /// Backwards-compatible alias for [`TraceError`].
@@ -228,6 +241,10 @@ impl fmt::Display for TraceError {
             } => write!(
                 f,
                 "unknown access kind tag {found} in record {record} at byte {offset}"
+            ),
+            TraceError::TrailingBytes { offset } => write!(
+                f,
+                "trace has trailing bytes after the last declared record at byte {offset}"
             ),
         }
     }
@@ -322,6 +339,20 @@ mod tests {
         let err = read_trace(&b"RTRC\x01\x00\x00"[..]).unwrap_err();
         assert!(matches!(err, TraceError::Truncated { record: None, .. }));
         assert!(err.to_string().contains("in header"), "{err}");
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected_with_its_offset() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, [MemoryAccess::load(0xAABB)]).unwrap();
+        let end = buf.len() as u64;
+        buf.extend_from_slice(b"junk");
+        let err = read_trace(&buf[..]).unwrap_err();
+        assert!(
+            matches!(err, TraceError::TrailingBytes { offset } if offset == end),
+            "{err:?}"
+        );
+        assert!(err.to_string().contains("trailing bytes"), "{err}");
     }
 
     #[test]
