@@ -1,25 +1,30 @@
 //! Performance benchmark for the persistent capture store.
 //!
-//! Runs the full per-workload ECC sweep twice against one on-disk
-//! [`CaptureStore`]:
+//! Runs the full per-workload ECC sweep twice per on-disk format
+//! (`reap-capture/1` and `/2`) against a fresh [`CaptureStore`] each:
 //!
 //! 1. **cold** — the store directory starts empty, so every workload pays
 //!    its trace pass and persists the capture, and
 //! 2. **warm** — the same sweep again, now served entirely from disk: the
-//!    trace pass is skipped and only the replay kernel runs.
+//!    trace pass is skipped and only the replay kernel runs (for v2,
+//!    streamed frame-by-frame without materializing the event vector).
 //!
-//! The two sweeps must agree bit-for-bit (the bench fails otherwise — a
-//! capture that survives the disk round-trip differently is a correctness
-//! bug, not a performance result), every warm workload must register a
-//! `capture_store.hit`, and the warm pass must clear the speedup floor:
-//! 2x at full budget, 1x in smoke mode (tiny captures leave little trace
-//! cost to amortise). Results land in `BENCH_capture.json` (override the
-//! path with the first argument).
+//! Correctness gates: cold and warm must agree bit-for-bit within a
+//! format, the v1 and v2 cold sweeps must agree bit-for-bit with each
+//! other (the encoding must never leak into results), and every warm
+//! workload must register a `capture_store.hit`. Performance gates: each
+//! warm pass must clear the speedup floor (2x at full budget, 1x in
+//! smoke mode — tiny captures leave little trace cost to amortise) and
+//! the v2 store directory must be at least 2x smaller than v1 (1.2x in
+//! smoke mode, where fixed headers dominate). The bench also reports the
+//! peak RSS of each warm pass — the bounded-memory streaming claim in
+//! numbers. Results land in `BENCH_capture.json` (override the path with
+//! the first argument).
 //!
 //! `--smoke` (or `REAP_BENCH_SMOKE=1`) shrinks the access budget for CI.
 
-use reap_bench::access_budget;
-use reap_core::capture_store::{CapturePolicy, CaptureStore};
+use reap_bench::{access_budget, peak_rss_bytes, reset_peak_rss};
+use reap_core::capture_store::{CaptureFormat, CapturePolicy, CaptureStore};
 use reap_core::sweep::replay_ecc_sweep_with;
 use reap_core::{EccStrength, Experiment, ProtectionScheme, Report};
 use reap_trace::SpecWorkload;
@@ -52,6 +57,113 @@ fn sweep_all(accesses: u64, store: &CaptureStore) -> (f64, Vec<Vec<(EccStrength,
     (t0.elapsed().as_secs_f64(), results)
 }
 
+/// Total bytes of `.rcap` entries under a store directory.
+fn store_bytes(dir: &std::path::Path) -> u64 {
+    std::fs::read_dir(dir)
+        .map(|entries| {
+            entries
+                .filter_map(|e| e.ok()?.metadata().ok())
+                .filter(|m| m.is_file())
+                .map(|m| m.len())
+                .sum()
+        })
+        .unwrap_or(0)
+}
+
+/// Everything one format's cold/warm pair produces.
+struct FormatRun {
+    cold_s: f64,
+    warm_s: f64,
+    hits: u64,
+    bytes: u64,
+    bytes_written: u64,
+    bytes_read: u64,
+    warm_peak_rss: Option<u64>,
+    results: Vec<Vec<(EccStrength, Report)>>,
+}
+
+/// Runs the cold+warm sweep pair for one on-disk format in a fresh store
+/// directory, verifying warm ≡ cold bit-for-bit and full store service.
+fn run_format(accesses: u64, format: CaptureFormat) -> FormatRun {
+    let dir = std::env::temp_dir().join(format!(
+        "reap-capture-bench-{}-{format}",
+        std::process::id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    let store = CaptureStore::new(&dir, CapturePolicy::ReadWrite).with_format(format);
+
+    // Count the store traffic, so the bench can prove the warm pass was
+    // actually served from disk rather than quietly recapturing. Reset
+    // per format so the counters below cover exactly this pair.
+    reap_bench::enable_telemetry();
+
+    let (cold_s, cold) = sweep_all(accesses, &store);
+    let bytes = store_bytes(&dir);
+
+    // Scope the peak-RSS watermark to the warm pass: this is the memory
+    // cost of replaying from disk, the number the streaming path bounds.
+    let rss_scoped = reset_peak_rss();
+    let (warm_s, warm) = sweep_all(accesses, &store);
+    let warm_peak_rss = if rss_scoped { peak_rss_bytes() } else { None };
+
+    for (&w, (a, b)) in SpecWorkload::ALL.iter().zip(cold.iter().zip(&warm)) {
+        assert_eq!(a.len(), b.len());
+        for ((ecc_a, ra), (ecc_b, rb)) in a.iter().zip(b) {
+            assert_eq!(ecc_a, ecc_b);
+            assert_eq!(
+                failure_bits(ra),
+                failure_bits(rb),
+                "warm sweep diverged from cold ({format}, {} at {ecc_a:?})",
+                w.name()
+            );
+        }
+    }
+
+    let registry = reap_obs::global();
+    let hits = registry.counter("capture_store.hit").get();
+    assert_eq!(
+        hits,
+        SpecWorkload::ALL.len() as u64,
+        "every warm workload must be served from the store ({format})"
+    );
+    let bytes_written = registry.counter("capture_store.bytes_written").get();
+    let bytes_read = registry.counter("capture_store.bytes_read").get();
+    assert!(
+        bytes_written >= bytes && bytes_read >= bytes,
+        "store I/O counters must cover the on-disk entries ({format}: \
+         wrote {bytes_written}, read {bytes_read}, on disk {bytes})"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+    FormatRun {
+        cold_s,
+        warm_s,
+        hits,
+        bytes,
+        bytes_written,
+        bytes_read,
+        warm_peak_rss,
+        results: cold,
+    }
+}
+
+fn format_json(run: &FormatRun) -> String {
+    let speedup = run.cold_s / run.warm_s;
+    format!(
+        "{{\n    \"cold_s\": {:.6},\n    \"warm_s\": {:.6},\n    \"speedup\": {speedup:.3},\n    \
+         \"hits\": {},\n    \"store_bytes\": {},\n    \"bytes_written\": {},\n    \
+         \"bytes_read\": {},\n    \"warm_peak_rss_bytes\": {}\n  }}",
+        run.cold_s,
+        run.warm_s,
+        run.hits,
+        run.bytes,
+        run.bytes_written,
+        run.bytes_read,
+        run.warm_peak_rss
+            .map_or("null".to_string(), |b| b.to_string()),
+    )
+}
+
 fn main() {
     let mut args = std::env::args().skip(1);
     let mut out_path = String::from("BENCH_capture.json");
@@ -67,63 +179,78 @@ fn main() {
     let workloads = SpecWorkload::ALL;
     let points = EccStrength::ALL.len();
     println!(
-        "capture store benchmark — {} workloads x {points} ECC points, {accesses} accesses each{}",
+        "capture store benchmark — {} workloads x {points} ECC points, {accesses} accesses each, \
+         formats v1+v2{}",
         workloads.len(),
         if smoke { " (smoke)" } else { "" }
     );
 
-    // A scratch store that is guaranteed empty, so the first sweep is a
-    // true cold run even when the bench is re-invoked.
-    let dir = std::env::temp_dir().join(format!("reap-capture-bench-{}", std::process::id()));
-    std::fs::remove_dir_all(&dir).ok();
-    let store = CaptureStore::new(&dir, CapturePolicy::ReadWrite);
+    let v1 = run_format(accesses, CaptureFormat::V1);
+    let v2 = run_format(accesses, CaptureFormat::V2);
 
-    // Count the store traffic, so the bench can prove the warm pass was
-    // actually served from disk rather than quietly recapturing.
-    reap_bench::enable_telemetry();
-
-    let (cold_s, cold) = sweep_all(accesses, &store);
-    let (warm_s, warm) = sweep_all(accesses, &store);
-
-    for (&w, (a, b)) in workloads.iter().zip(cold.iter().zip(&warm)) {
+    // The serialization format must never leak into results: the v1 and
+    // v2 cold sweeps saw identical captures, so they must agree exactly.
+    for (&w, (a, b)) in workloads.iter().zip(v1.results.iter().zip(&v2.results)) {
         assert_eq!(a.len(), b.len());
         for ((ecc_a, ra), (ecc_b, rb)) in a.iter().zip(b) {
             assert_eq!(ecc_a, ecc_b);
             assert_eq!(
                 failure_bits(ra),
                 failure_bits(rb),
-                "warm sweep diverged from cold ({} at {ecc_a:?})",
+                "v2 sweep diverged from v1 ({} at {ecc_a:?})",
                 w.name()
             );
         }
     }
 
-    let hits = reap_obs::global().counter("capture_store.hit").get();
-    assert_eq!(
-        hits,
-        workloads.len() as u64,
-        "every warm workload must be served from the store"
-    );
-
-    let speedup = cold_s / warm_s;
-    println!(
-        "cold: {cold_s:.3} s   warm: {warm_s:.3} s   speedup: {speedup:.2}x \
-         ({hits} store hits, bit-identical)"
-    );
+    let speedup_v1 = v1.cold_s / v1.warm_s;
+    let speedup_v2 = v2.cold_s / v2.warm_s;
+    let compression_ratio = v1.bytes as f64 / v2.bytes.max(1) as f64;
+    for (label, run, speedup) in [("v1", &v1, speedup_v1), ("v2", &v2, speedup_v2)] {
+        println!(
+            "{label}: cold {:.3} s   warm {:.3} s   speedup {speedup:.2}x   \
+             {} B on disk   warm peak RSS {}",
+            run.cold_s,
+            run.warm_s,
+            run.bytes,
+            run.warm_peak_rss.map_or("n/a".to_string(), |b| format!(
+                "{:.1} MiB",
+                b as f64 / (1 << 20) as f64
+            )),
+        );
+    }
+    println!("compression: v2 entries {compression_ratio:.2}x smaller than v1 (bit-identical)");
 
     let json = format!(
         "{{\n  \"accesses\": {accesses},\n  \"workloads\": {},\n  \"points\": {points},\n  \
-         \"cold_s\": {cold_s:.6},\n  \"warm_s\": {warm_s:.6},\n  \"speedup\": {speedup:.3},\n  \
-         \"hits\": {hits},\n  \"bit_identical\": true,\n  \"smoke\": {smoke}\n}}\n",
+         \"v1\": {},\n  \"v2\": {},\n  \"compression_ratio\": {compression_ratio:.3},\n  \
+         \"bit_identical\": true,\n  \"smoke\": {smoke}\n}}\n",
         workloads.len(),
+        format_json(&v1),
+        format_json(&v2),
     );
     std::fs::write(&out_path, json).expect("write benchmark results");
     println!("wrote {out_path}");
-    std::fs::remove_dir_all(&dir).ok();
 
     let floor = if smoke { 1.0 } else { 2.0 };
-    if speedup < floor {
-        eprintln!("FAIL: warm sweep below the {floor:.0}x speedup floor ({speedup:.2}x)");
+    let mut failed = false;
+    for (label, speedup) in [("v1", speedup_v1), ("v2", speedup_v2)] {
+        if speedup < floor {
+            eprintln!(
+                "FAIL: {label} warm sweep below the {floor:.0}x speedup floor ({speedup:.2}x)"
+            );
+            failed = true;
+        }
+    }
+    let size_floor = if smoke { 1.2 } else { 2.0 };
+    if compression_ratio < size_floor {
+        eprintln!(
+            "FAIL: v2 store only {compression_ratio:.2}x smaller than v1 \
+             (floor {size_floor:.1}x)"
+        );
+        failed = true;
+    }
+    if failed {
         std::process::exit(1);
     }
 }

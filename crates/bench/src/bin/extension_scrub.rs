@@ -19,7 +19,8 @@
 use reap_bench::{access_budget, enable_telemetry, print_csv, TwoPhaseSummary, DEFAULT_SEED};
 use reap_cache::{sample_ones, Hierarchy, HierarchyConfig, Replacement};
 use reap_core::{
-    CaptureObserver, EccStrength, ExposureCapture, HierarchySnapshot, SimulationConfig,
+    CaptureObserver, EccStrength, ExposureCapture, ExposureStream, HierarchySnapshot,
+    SimulationConfig,
 };
 use reap_mtj::read_disturbance_probability;
 use reap_reliability::{AccumulationModel, ReplayAggregator};
@@ -81,7 +82,7 @@ fn capture_with_scrub(
 /// REAP expected failures.
 fn replay_at(capture: &ExposureCapture, ecc: EccStrength, p_rd: f64) -> (f64, f64) {
     let mut span = reap_obs::span("replay");
-    span.add_events(capture.events().len() as u64);
+    span.add_events(capture.event_count());
     let check_bits = ecc
         .build_code(capture.line_bits())
         .expect("code fits a 64 B line")
@@ -89,7 +90,8 @@ fn replay_at(capture: &ExposureCapture, ecc: EccStrength, p_rd: f64) -> (f64, f6
     let stored_bits = capture.line_bits() + check_bits;
     let mut agg = ReplayAggregator::new(AccumulationModel::new(p_rd, ecc.t()), stored_bits as u32);
     let seed = capture.ones_seed();
-    for record in capture.events() {
+    let mut events = capture.iter().expect("local capture streams");
+    while let Some(record) = events.next_record().expect("local capture streams") {
         let ones = sample_ones(
             seed,
             record.key.tag,

@@ -13,12 +13,16 @@
 //! The reports must agree bit-for-bit (the bench fails otherwise — it
 //! doubles as an end-to-end identity check at realistic scale), and the
 //! batched pass must not be slower: the process exits non-zero if the
-//! measured speedup drops below 1. Results land in `BENCH_replay.json`
-//! (override the path with the first argument).
+//! measured speedup drops below 1. Each capture is additionally encoded
+//! to a byte sink in both on-disk formats, so the bench reports
+//! bytes-per-event for `reap-capture/1` and `/2` and the v1→v2
+//! compression ratio alongside the kernel speedup. Results land in
+//! `BENCH_replay.json` (override the path with the first argument).
 //!
 //! `--smoke` (or `REAP_BENCH_SMOKE=1`) shrinks the access budget for CI.
 
 use reap_bench::access_budget;
+use reap_core::capture_store::{write_capture, write_capture_v2};
 use reap_core::{EccStrength, Experiment, ProtectionScheme, Simulator};
 use reap_mtj::MtjParams;
 use reap_trace::SpecWorkload;
@@ -81,6 +85,8 @@ fn main() {
     let mut per_point_s = 0.0f64;
     let mut batched_s = 0.0f64;
     let mut events = 0u64;
+    let mut bytes_v1 = 0u64;
+    let mut bytes_v2 = 0u64;
     for w in workloads {
         let capture = Experiment::paper_hierarchy()
             .workload(w)
@@ -88,7 +94,12 @@ fn main() {
             .seed(reap_bench::DEFAULT_SEED)
             .capture()
             .expect("capture");
-        events += capture.events().len() as u64;
+        events += capture.event_count();
+        // Encode into a sink in both on-disk formats: the byte counts
+        // quantify what the store would pay per format, without disk I/O
+        // noise in the replay timings below.
+        bytes_v1 += write_capture(std::io::sink(), 0, &capture).expect("v1 encode");
+        bytes_v2 += write_capture_v2(std::io::sink(), 0, &capture).expect("v2 encode");
 
         let t0 = Instant::now();
         let independent: Vec<_> = points
@@ -112,15 +123,26 @@ fn main() {
     }
 
     let speedup = per_point_s / batched_s;
+    let bytes_per_event_v1 = bytes_v1 as f64 / events.max(1) as f64;
+    let bytes_per_event_v2 = bytes_v2 as f64 / events.max(1) as f64;
+    let compression_ratio = bytes_v1 as f64 / bytes_v2.max(1) as f64;
     println!(
         "per-point: {per_point_s:.3} s   batched: {batched_s:.3} s   speedup: {speedup:.2}x \
          ({events} exposure events, bit-identical)"
+    );
+    println!(
+        "encoding: {bytes_per_event_v1:.2} B/event v1   {bytes_per_event_v2:.2} B/event v2   \
+         compression: {compression_ratio:.2}x"
     );
 
     let json = format!(
         "{{\n  \"accesses\": {accesses},\n  \"workloads\": {},\n  \"points\": {},\n  \
          \"exposure_events\": {events},\n  \"per_point_s\": {per_point_s:.6},\n  \
          \"batched_s\": {batched_s:.6},\n  \"speedup\": {speedup:.3},\n  \
+         \"bytes_v1\": {bytes_v1},\n  \"bytes_v2\": {bytes_v2},\n  \
+         \"bytes_per_event_v1\": {bytes_per_event_v1:.3},\n  \
+         \"bytes_per_event_v2\": {bytes_per_event_v2:.3},\n  \
+         \"compression_ratio\": {compression_ratio:.3},\n  \
          \"bit_identical\": true,\n  \"smoke\": {smoke}\n}}\n",
         workloads.len(),
         READ_CURRENTS.len(),

@@ -1,7 +1,7 @@
 //! Command-line argument parsing.
 
 use reap_cache::Replacement;
-use reap_core::{CapturePolicy, CaptureStore, EccStrength};
+use reap_core::{CaptureFormat, CapturePolicy, CaptureStore, EccStrength};
 use reap_trace::SpecWorkload;
 use std::error::Error;
 use std::fmt;
@@ -61,6 +61,9 @@ pub struct CaptureArgs {
     pub dir: Option<PathBuf>,
     /// Store policy; defaults to `readwrite` when a directory is given.
     pub policy: Option<CapturePolicy>,
+    /// On-disk format for new entries; defaults to `v2` (reads accept
+    /// both formats regardless).
+    pub format: Option<CaptureFormat>,
 }
 
 impl CaptureArgs {
@@ -68,10 +71,10 @@ impl CaptureArgs {
     /// `--capture-dir` was given.
     pub fn to_store(&self) -> Option<CaptureStore> {
         let dir = self.dir.as_ref()?;
-        Some(CaptureStore::new(
-            dir.clone(),
-            self.policy.unwrap_or(CapturePolicy::ReadWrite),
-        ))
+        Some(
+            CaptureStore::new(dir.clone(), self.policy.unwrap_or(CapturePolicy::ReadWrite))
+                .with_format(self.format.unwrap_or_default()),
+        )
     }
 }
 
@@ -147,7 +150,10 @@ pub struct SweepArgs {
 impl Default for SweepArgs {
     fn default() -> Self {
         Self {
-            accesses: 400_000,
+            // ~10× the original default: captures are stored compressed
+            // and replayed streaming, so campaign-scale budgets are the
+            // sensible out-of-the-box setting.
+            accesses: 4_000_000,
             seed: 2019,
             ecc_sweep: false,
             jobs: None,
@@ -379,17 +385,36 @@ fn parse_capture_flag(
                 }
             });
         }
+        "--capture-format" => {
+            let v = c.value_for(flag)?;
+            capture.format = Some(match v.to_ascii_lowercase().as_str() {
+                "v1" => CaptureFormat::V1,
+                "v2" => CaptureFormat::V2,
+                _ => {
+                    return Err(ParseCliError::BadValue {
+                        flag: flag.to_owned(),
+                        value: v,
+                        expected: "one of v1/v2",
+                    })
+                }
+            });
+        }
         _ => return Ok(false),
     }
     Ok(true)
 }
 
-/// A policy without a directory configures nothing — reject it instead
-/// of silently ignoring the flag.
+/// A policy or format without a directory configures nothing — reject
+/// it instead of silently ignoring the flag.
 fn check_capture(capture: &CaptureArgs) -> Result<(), ParseCliError> {
     if capture.policy.is_some() && capture.dir.is_none() {
         return Err(ParseCliError::MissingRequired {
             name: "--capture-dir (required by --capture-policy)",
+        });
+    }
+    if capture.format.is_some() && capture.dir.is_none() {
+        return Err(ParseCliError::MissingRequired {
+            name: "--capture-dir (required by --capture-format)",
         });
     }
     Ok(())
@@ -736,6 +761,42 @@ mod tests {
         let err = p("sweep --capture-dir caps --capture-policy sometimes").unwrap_err();
         assert!(matches!(err, ParseCliError::BadValue { .. }));
         assert!(err.to_string().contains("off/read/readwrite"), "{err}");
+    }
+
+    #[test]
+    fn capture_format_parses_defaults_and_rejects_unknown_values() {
+        // Explicit v1 on either command.
+        let Command::Sweep(a) =
+            p("sweep --ecc-sweep --capture-dir caps --capture-format v1").unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(a.capture.format, Some(CaptureFormat::V1));
+        assert_eq!(a.capture.to_store().unwrap().format(), CaptureFormat::V1);
+
+        let Command::Run(a) = p("run -w namd --capture-dir caps --capture-format V2").unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(a.capture.format, Some(CaptureFormat::V2));
+
+        // No flag → v2 by default.
+        let Command::Run(a) = p("run -w namd --capture-dir caps").unwrap() else {
+            panic!()
+        };
+        assert_eq!(a.capture.format, None);
+        assert_eq!(a.capture.to_store().unwrap().format(), CaptureFormat::V2);
+
+        // A format without a directory configures nothing.
+        assert_eq!(
+            p("sweep --capture-format v2"),
+            Err(ParseCliError::MissingRequired {
+                name: "--capture-dir (required by --capture-format)"
+            })
+        );
+        let err = p("sweep --capture-dir caps --capture-format v3").unwrap_err();
+        assert!(matches!(err, ParseCliError::BadValue { .. }));
+        assert!(err.to_string().contains("v1/v2"), "{err}");
     }
 
     #[test]

@@ -26,6 +26,7 @@ COMMANDS:
                  --replacement/-r lru|plru|fifo|random|srrip|ler
                  --l2-ways K  --capture-dir DIR
                  --capture-policy off|read|readwrite (default readwrite)
+                 --capture-format v1|v2 (default v2; reads accept both)
     sweep        all 21 workloads: MTTF gain and energy overhead
                  --accesses/-n N  --seed/-s S  --jobs/-j K
                  --ecc-sweep  also sweep sec/dec/tec per workload,
@@ -34,6 +35,7 @@ COMMANDS:
                  --capture-dir DIR   persistent exposure-capture store:
                                      warm runs skip the trace pass
                  --capture-policy off|read|readwrite (default readwrite)
+                 --capture-format v1|v2 (default v2; reads accept both)
                  --resume            skip jobs already in the checkpoint
                  --max-retries K     retries per failed job (default 2)
                  --job-deadline-ms T per-attempt deadline
@@ -541,6 +543,34 @@ mod tests {
             std::fs::read_dir(&dir).unwrap().count() > 0,
             "cold run must have persisted an entry"
         );
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn capture_formats_produce_identical_reports_and_interoperate() {
+        let dir = std::env::temp_dir().join(format!("reap-run-capfmt-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let line = |fmt: &str| {
+            format!(
+                "run -w hmmer -n 20000 --seed 5 --capture-dir {} --capture-format {fmt}",
+                dir.display()
+            )
+        };
+
+        // Cold v1 write, then a warm read through a v2-configured store:
+        // the v1 entry is served as-is, byte-identical output.
+        let (cold_code, cold_v1) = exec(&line("v1"));
+        let (warm_code, warm_v2_reads_v1) = exec(&line("v2"));
+        assert_eq!((cold_code, warm_code), (0, 0));
+        assert_eq!(cold_v1, warm_v2_reads_v1, "v2 store must serve v1 entries");
+
+        // Fresh store in v2, warm read through a v1-configured store.
+        std::fs::remove_dir_all(&dir).ok();
+        let (cold_code, cold_v2) = exec(&line("v2"));
+        let (warm_code, warm_v1_reads_v2) = exec(&line("v1"));
+        assert_eq!((cold_code, warm_code), (0, 0));
+        assert_eq!(cold_v2, warm_v1_reads_v2, "v1 store must serve v2 entries");
+        assert_eq!(cold_v1, cold_v2, "format must never change the report");
         std::fs::remove_dir_all(dir).ok();
     }
 

@@ -35,6 +35,8 @@
 
 use reap_cache::{AccessObserver, CacheStats, Hierarchy, HierarchyConfig, LineKey, Replacement};
 use reap_reliability::ExposureKind;
+use std::fmt;
+use std::sync::{Arc, OnceLock};
 
 /// One scored exposure event: what happened, to which content version,
 /// and how many unchecked reads had accumulated.
@@ -50,6 +52,131 @@ pub struct ExposureRecord {
     pub key: LineKey,
     /// Accumulated unchecked reads, `N` of Eqs. (3)/(6).
     pub unchecked_reads: u64,
+}
+
+/// A defect surfaced while pulling records from a streamed capture —
+/// typically the backing store entry vanished or was corrupted between
+/// validation and replay. Carries the rendered cause (offsets included)
+/// so callers can log it and fall back to a fresh capture.
+#[derive(Debug, Clone)]
+pub struct StreamDefect {
+    detail: String,
+}
+
+impl StreamDefect {
+    /// Wraps a rendered cause.
+    pub fn new(detail: impl Into<String>) -> Self {
+        Self {
+            detail: detail.into(),
+        }
+    }
+
+    /// The rendered cause.
+    pub fn detail(&self) -> &str {
+        &self.detail
+    }
+}
+
+impl fmt::Display for StreamDefect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "capture stream defect: {}", self.detail)
+    }
+}
+
+impl std::error::Error for StreamDefect {}
+
+/// A bounded-memory source of [`ExposureRecord`]s with a known length.
+///
+/// This is the replay input surface: [`crate::Simulator::replay`] and
+/// [`crate::Simulator::replay_batch`] pull records one at a time, so a
+/// disk-backed stream (e.g. a `reap-capture/2` store entry) replays in
+/// O(1) memory instead of materializing an owned `Vec`. Records must be
+/// yielded in capture order — the scoring sums are floating-point and
+/// ordering is part of the bit-identity contract.
+pub trait ExposureStream {
+    /// Total records the stream will yield (known up front).
+    fn len(&self) -> u64;
+
+    /// Whether the stream yields no records at all.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Pulls the next record, `Ok(None)` at end of stream. A defect
+    /// (I/O error, checksum mismatch, malformed frame) ends the stream;
+    /// callers are expected to fall back to a fresh capture.
+    fn next_record(&mut self) -> Result<Option<ExposureRecord>, StreamDefect>;
+}
+
+/// A factory that opens a fresh [`ExposureStream`] over the same records.
+///
+/// A capture can be replayed many times (once per analysis point batch),
+/// so a streamed capture holds a re-openable source, not a single
+/// exhausted iterator.
+pub type StreamOpener =
+    dyn Fn() -> Result<Box<dyn ExposureStream + Send>, StreamDefect> + Send + Sync;
+
+/// Where a capture's events live: owned in memory (fresh captures,
+/// `reap-capture/1` loads) or behind a re-openable stream
+/// (`reap-capture/2` loads, decoded frame-by-frame at replay time).
+enum EventSource {
+    Memory(Vec<ExposureRecord>),
+    Streamed { count: u64, open: Arc<StreamOpener> },
+}
+
+impl fmt::Debug for EventSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Memory(events) => f
+                .debug_tuple("Memory")
+                .field(&format_args!("{} events", events.len()))
+                .finish(),
+            Self::Streamed { count, .. } => f
+                .debug_struct("Streamed")
+                .field("count", count)
+                .finish_non_exhaustive(),
+        }
+    }
+}
+
+impl Clone for EventSource {
+    fn clone(&self) -> Self {
+        match self {
+            Self::Memory(events) => Self::Memory(events.clone()),
+            Self::Streamed { count, open } => Self::Streamed {
+                count: *count,
+                open: Arc::clone(open),
+            },
+        }
+    }
+}
+
+/// A borrowed pass over a capture's events, in capture order.
+///
+/// Implements [`ExposureStream`]: for in-memory captures it walks the
+/// owned slice; for streamed captures it decodes the backing source
+/// frame-by-frame without materializing.
+pub struct ExposureEvents<'a> {
+    total: u64,
+    inner: EventsInner<'a>,
+}
+
+enum EventsInner<'a> {
+    Slice(std::slice::Iter<'a, ExposureRecord>),
+    Stream(Box<dyn ExposureStream + Send>),
+}
+
+impl ExposureStream for ExposureEvents<'_> {
+    fn len(&self) -> u64 {
+        self.total
+    }
+
+    fn next_record(&mut self) -> Result<Option<ExposureRecord>, StreamDefect> {
+        match &mut self.inner {
+            EventsInner::Slice(iter) => Ok(iter.next().copied()),
+            EventsInner::Stream(stream) => stream.next_record(),
+        }
+    }
 }
 
 /// Final hierarchy counters at the end of the measurement window.
@@ -110,7 +237,11 @@ impl HierarchySnapshot {
 /// analysis-side and free to vary.
 #[derive(Debug, Clone)]
 pub struct ExposureCapture {
-    events: Vec<ExposureRecord>,
+    source: EventSource,
+    /// Lazily collected copy of a streamed source, filled the first time
+    /// [`ExposureCapture::events`] is called on one. `OnceLock` keeps the
+    /// slice-returning accessor available behind a `&self` receiver.
+    materialized: OnceLock<Vec<ExposureRecord>>,
     snapshot: HierarchySnapshot,
     /// Data bits per L2 line (check bits are an analysis-side choice).
     line_bits: usize,
@@ -140,7 +271,8 @@ impl ExposureCapture {
         measure_accesses: u64,
     ) -> Self {
         Self {
-            events,
+            source: EventSource::Memory(events),
+            materialized: OnceLock::new(),
             snapshot,
             line_bits,
             ones_seed,
@@ -151,9 +283,104 @@ impl ExposureCapture {
         }
     }
 
-    /// The recorded exposure events, in simulation order.
+    /// Assembles a capture whose `count` events live behind a
+    /// re-openable stream instead of an owned `Vec` — the bounded-memory
+    /// path used by `reap-capture/2` store entries. The opener is called
+    /// once per replay pass; it must yield exactly `count` records in
+    /// capture order each time.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_streamed_parts(
+        count: u64,
+        open: Arc<StreamOpener>,
+        snapshot: HierarchySnapshot,
+        line_bits: usize,
+        ones_seed: u64,
+        hierarchy: HierarchyConfig,
+        replacement: Replacement,
+        warmup_accesses: u64,
+        measure_accesses: u64,
+    ) -> Self {
+        Self {
+            source: EventSource::Streamed { count, open },
+            materialized: OnceLock::new(),
+            snapshot,
+            line_bits,
+            ones_seed,
+            hierarchy,
+            replacement,
+            warmup_accesses,
+            measure_accesses,
+        }
+    }
+
+    /// The recorded exposure events, in simulation order, as a slice.
+    ///
+    /// For a streamed capture this materializes the full stream on first
+    /// call (and caches it), trading the bounded-memory property for
+    /// random access — fine for tests and external consumers; internal
+    /// replay paths use [`ExposureCapture::iter`] instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a streamed source fails mid-collection (e.g. the store
+    /// entry was deleted after validation). Fallible callers should use
+    /// [`ExposureCapture::iter`].
     pub fn events(&self) -> &[ExposureRecord] {
-        &self.events
+        match &self.source {
+            EventSource::Memory(events) => events,
+            EventSource::Streamed { .. } => self.materialized.get_or_init(|| {
+                self.collect_stream()
+                    .expect("streamed capture must materialize")
+            }),
+        }
+    }
+
+    /// Total recorded events, without touching the event data. O(1) for
+    /// both in-memory and streamed captures.
+    pub fn event_count(&self) -> u64 {
+        match &self.source {
+            EventSource::Memory(events) => events.len() as u64,
+            EventSource::Streamed { count, .. } => *count,
+        }
+    }
+
+    /// Opens a bounded-memory pass over the events, in capture order.
+    ///
+    /// In-memory captures iterate the owned slice; streamed captures
+    /// re-open the backing source and decode as the caller pulls. Fails
+    /// only if a streamed source cannot be re-opened.
+    pub fn iter(&self) -> Result<ExposureEvents<'_>, StreamDefect> {
+        let inner = match &self.source {
+            EventSource::Memory(events) => EventsInner::Slice(events.iter()),
+            EventSource::Streamed { open, .. } => match self.materialized.get() {
+                Some(events) => EventsInner::Slice(events.iter()),
+                None => EventsInner::Stream(open()?),
+            },
+        };
+        Ok(ExposureEvents {
+            total: self.event_count(),
+            inner,
+        })
+    }
+
+    fn collect_stream(&self) -> Result<Vec<ExposureRecord>, StreamDefect> {
+        match &self.source {
+            EventSource::Memory(events) => Ok(events.clone()),
+            EventSource::Streamed { count, open } => {
+                let mut stream = open()?;
+                let mut events = Vec::with_capacity((*count).min(1 << 24) as usize);
+                while let Some(record) = stream.next_record()? {
+                    events.push(record);
+                }
+                if events.len() as u64 != *count {
+                    return Err(StreamDefect::new(format!(
+                        "stream yielded {} records, expected {count}",
+                        events.len()
+                    )));
+                }
+                Ok(events)
+            }
+        }
     }
 
     /// Final hierarchy counters of the capture run.
@@ -290,6 +517,138 @@ mod tests {
         assert_eq!(obs.records().len(), 2);
         assert_eq!(obs.records()[0].kind, ExposureKind::DirtyScrub);
         assert_eq!(obs.records()[1].kind, ExposureKind::DirtyEviction);
+    }
+
+    fn sample_records() -> Vec<ExposureRecord> {
+        (0..10)
+            .map(|i| ExposureRecord {
+                kind: ExposureKind::Demand,
+                key: key(i),
+                unchecked_reads: i * 3,
+            })
+            .collect()
+    }
+
+    /// A Vec-backed [`ExposureStream`] for exercising the streamed path
+    /// without a disk store.
+    struct VecStream {
+        records: Vec<ExposureRecord>,
+        pos: usize,
+    }
+
+    impl ExposureStream for VecStream {
+        fn len(&self) -> u64 {
+            self.records.len() as u64
+        }
+
+        fn next_record(&mut self) -> Result<Option<ExposureRecord>, StreamDefect> {
+            let record = self.records.get(self.pos).copied();
+            self.pos += 1;
+            Ok(record)
+        }
+    }
+
+    fn streamed_capture(records: Vec<ExposureRecord>) -> ExposureCapture {
+        let count = records.len() as u64;
+        let open: Arc<StreamOpener> = Arc::new(move || {
+            Ok(Box::new(VecStream {
+                records: records.clone(),
+                pos: 0,
+            }) as Box<dyn ExposureStream + Send>)
+        });
+        ExposureCapture::from_streamed_parts(
+            count,
+            open,
+            HierarchySnapshot {
+                l1i: CacheStats::default(),
+                l1d: CacheStats::default(),
+                l2: CacheStats::default(),
+                memory_reads: 0,
+                memory_writes: 0,
+            },
+            512,
+            7,
+            HierarchyConfig::paper(),
+            Replacement::Lru,
+            0,
+            0,
+        )
+    }
+
+    fn drain(capture: &ExposureCapture) -> Vec<ExposureRecord> {
+        let mut stream = capture.iter().expect("open");
+        let mut out = Vec::new();
+        while let Some(record) = stream.next_record().expect("pull") {
+            out.push(record);
+        }
+        out
+    }
+
+    #[test]
+    fn streamed_capture_iterates_without_materializing() {
+        let records = sample_records();
+        let capture = streamed_capture(records.clone());
+        assert_eq!(capture.event_count(), records.len() as u64);
+        // Two independent passes over the same source.
+        assert_eq!(drain(&capture), records);
+        assert_eq!(drain(&capture), records);
+    }
+
+    #[test]
+    fn streamed_capture_materializes_on_events() {
+        let records = sample_records();
+        let capture = streamed_capture(records.clone());
+        assert_eq!(capture.events(), records.as_slice());
+        // After materialization, iter() serves the cached slice.
+        assert_eq!(drain(&capture), records);
+    }
+
+    #[test]
+    fn memory_capture_iter_matches_events() {
+        let records = sample_records();
+        let capture = ExposureCapture::from_parts(
+            records.clone(),
+            HierarchySnapshot {
+                l1i: CacheStats::default(),
+                l1d: CacheStats::default(),
+                l2: CacheStats::default(),
+                memory_reads: 0,
+                memory_writes: 0,
+            },
+            512,
+            7,
+            HierarchyConfig::paper(),
+            Replacement::Lru,
+            0,
+            0,
+        );
+        assert_eq!(capture.event_count(), records.len() as u64);
+        assert_eq!(drain(&capture), records);
+        assert_eq!(capture.events(), records.as_slice());
+    }
+
+    #[test]
+    fn opener_defects_surface_through_iter() {
+        let open: Arc<StreamOpener> = Arc::new(|| Err(StreamDefect::new("entry vanished")));
+        let capture = ExposureCapture::from_streamed_parts(
+            3,
+            open,
+            HierarchySnapshot {
+                l1i: CacheStats::default(),
+                l1d: CacheStats::default(),
+                l2: CacheStats::default(),
+                memory_reads: 0,
+                memory_writes: 0,
+            },
+            512,
+            7,
+            HierarchyConfig::paper(),
+            Replacement::Lru,
+            0,
+            0,
+        );
+        let defect = capture.iter().err().expect("opener must fail");
+        assert!(defect.to_string().contains("entry vanished"));
     }
 
     #[test]

@@ -8,9 +8,10 @@
 //! only integers, so it serializes bit-exactly. This module caches
 //! captures on disk and replays warm sweeps without touching the trace.
 //!
-//! The on-disk format is `reap-capture/1`, a compact little-endian
-//! stream following the `reap-trace` conventions (every decode error
-//! names the byte offset where it stopped):
+//! Two on-disk formats are supported, both compact little-endian
+//! streams following the `reap-trace` conventions (every decode error
+//! names the byte offset where it stopped). `reap-capture/1` is the
+//! original fixed-width layout:
 //!
 //! ```text
 //! magic       "RCAP"          (4 bytes)
@@ -28,6 +29,33 @@
 //!   version   u64 LE
 //!   unchecked u64 LE
 //! checksum    u64 LE          (FNV-1a over every preceding byte)
+//! ```
+//!
+//! `reap-capture/2` (the write default) keeps the v1 header fields but
+//! delta/varint-codes the records into independently checksummed frames,
+//! so entries are several times smaller and decode frame-by-frame
+//! straight into the replay iterator without materializing:
+//!
+//! ```text
+//! magic            "RCAP"     (4 bytes)
+//! version          u8 = 2
+//! fingerprint      u64 LE
+//! line_bits        u64 LE
+//! ones_seed        u64 LE
+//! snapshot         38 × u64 LE
+//! count            u64 LE
+//! frame_len        u32 LE     (records per full frame; 4096)
+//! header_checksum  u64 LE     (FNV-1a over the 345 header bytes)
+//! frames, until count records have been coded:
+//!   records        u32 LE     (records in this frame; only the last
+//!                              frame may be short)
+//!   payload_len    u32 LE
+//!   payload        payload_len bytes:
+//!     per record: kind u8, then zigzag(delta) LEB128 varints of
+//!     tag, set, version, unchecked_reads vs the previous record
+//!     (delta state resets to zeros at each frame start)
+//!   checksum       u64 LE     (FNV-1a over the 8 frame-header bytes
+//!                              and the payload)
 //! ```
 //!
 //! A [`CaptureStore`] addresses entries by a fingerprint over everything
@@ -61,7 +89,9 @@
 //! # }
 //! ```
 
-use crate::capture::{ExposureCapture, ExposureRecord, HierarchySnapshot};
+use crate::capture::{
+    ExposureCapture, ExposureRecord, ExposureStream, HierarchySnapshot, StreamDefect, StreamOpener,
+};
 use crate::checkpoint::fnv;
 use crate::simulator::{SimulationConfig, SimulationError, Simulator};
 use reap_cache::{AccessMode, CacheConfig, CacheStats, HierarchyConfig, LineKey, Replacement};
@@ -70,18 +100,75 @@ use reap_trace::SpecWorkload;
 use std::error::Error;
 use std::fmt;
 use std::fs::File;
-use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::io::{self, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
-/// Schema identifier of the on-disk capture format.
+/// Schema identifier of the original fixed-width capture format. Also
+/// the seed of the *fingerprint* chain for every format — the
+/// fingerprint addresses capture content, not its encoding, so a v1 and
+/// a v2 entry of the same configuration share one store slot.
 pub const CAPTURE_SCHEMA: &str = "reap-capture/1";
+
+/// Schema identifier of the delta/varint frame format.
+pub const CAPTURE_SCHEMA_V2: &str = "reap-capture/2";
 
 const MAGIC: &[u8; 4] = b"RCAP";
 const VERSION: u8 = 1;
+const VERSION_V2: u8 = 2;
+/// Records per full v2 frame. Bounds replay memory to one decoded frame
+/// (~160 KB of records) and bounds the blast radius of corruption to a
+/// single frame's checksum.
+const FRAME_RECORDS: u32 = 4096;
+/// Worst-case encoded size of one v2 record: a kind byte plus four
+/// 10-byte LEB128 varints. Used to bound declared payload lengths.
+const MAX_RECORD_BYTES: u32 = 1 + 4 * 10;
+/// v2 fixed header bytes (magic through frame_len, before the header
+/// checksum).
+const V2_HEADER_BYTES: usize = 4 + 1 + 8 + 8 + 8 + 38 * 8 + 8 + 4;
+/// v1 file overhead: 341 header bytes plus the 8-byte trailer.
+const V1_FILE_OVERHEAD: u64 = 349;
+/// v1 fixed record width.
+const V1_RECORD_BYTES: u64 = 33;
 /// FNV-1a 64-bit offset basis — the seed of both the fingerprint chain
 /// and the streamed checksum.
 const FNV_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Plain streaming FNV-1a over `bytes`, chained from `hash`. This is
+/// the checksum primitive of both formats (matching
+/// `HashWriter`/`HashReader`); it deliberately does *not* mix in a
+/// length marker the way the checkpoint fingerprint `fnv` does, so a
+/// checksum computed over split buffers equals one computed over their
+/// concatenation.
+fn fnv1a(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// The on-disk encoding a store writes new entries in. Readers accept
+/// both formats regardless of this setting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CaptureFormat {
+    /// Fixed-width records (`reap-capture/1`).
+    V1,
+    /// Delta/varint frames (`reap-capture/2`) — smaller on disk and
+    /// streamable at replay; the default.
+    #[default]
+    V2,
+}
+
+impl fmt::Display for CaptureFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CaptureFormat::V1 => f.write_str("v1"),
+            CaptureFormat::V2 => f.write_str("v2"),
+        }
+    }
+}
 
 /// How a [`CaptureStore`] participates in a run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -240,6 +327,15 @@ pub enum CaptureStoreError {
         /// Byte offset of the first unexpected byte.
         offset: u64,
     },
+    /// A v2 structural invariant is violated — a varint that does not
+    /// terminate or overflows 64 bits, a frame whose declared sizes are
+    /// out of range, or payload bytes left unconsumed.
+    Malformed {
+        /// Byte offset of the frame (or field) at fault.
+        offset: u64,
+        /// What invariant was violated.
+        detail: &'static str,
+    },
 }
 
 impl fmt::Display for CaptureStoreError {
@@ -288,6 +384,9 @@ impl fmt::Display for CaptureStoreError {
                     f,
                     "capture has trailing bytes after the checksum at byte {offset}"
                 )
+            }
+            CaptureStoreError::Malformed { offset, detail } => {
+                write!(f, "capture malformed at byte {offset}: {detail}")
             }
         }
     }
@@ -451,7 +550,7 @@ fn stats_from_words(w: &[u64; 12]) -> CacheStats {
     }
 }
 
-/// The serializable core of a capture: what `reap-capture/1` stores. The
+/// The serializable core of a capture: what both on-disk formats store. The
 /// behavioural configuration is *not* serialized — it is implied by the
 /// fingerprint and re-supplied from the caller's [`CaptureKey`] when the
 /// full [`ExposureCapture`] is reassembled.
@@ -467,7 +566,25 @@ pub struct CapturePayload {
     pub ones_seed: u64,
 }
 
-/// Serializes `capture` (stamped with `fingerprint`) as `reap-capture/1`.
+fn kind_tag(kind: ExposureKind) -> u8 {
+    match kind {
+        ExposureKind::Demand => 0,
+        ExposureKind::DirtyScrub => 1,
+        ExposureKind::DirtyEviction => 2,
+    }
+}
+
+/// Maps a stream-defect from the capture being encoded (possible when
+/// re-encoding a streamed capture) onto the store's error type.
+fn defect_to_io(defect: StreamDefect) -> CaptureStoreError {
+    CaptureStoreError::Io {
+        offset: 0,
+        source: io::Error::other(defect.to_string()),
+    }
+}
+
+/// Serializes `capture` (stamped with `fingerprint`) as `reap-capture/1`,
+/// returning the total bytes written.
 ///
 /// # Errors
 ///
@@ -476,7 +593,7 @@ pub fn write_capture<W: Write>(
     writer: W,
     fingerprint: u64,
     capture: &ExposureCapture,
-) -> Result<(), CaptureStoreError> {
+) -> Result<u64, CaptureStoreError> {
     let mut w = HashWriter::new(writer);
     let mut offset = 0u64;
     let put = |w: &mut HashWriter<W>, offset: &mut u64, bytes: &[u8]| {
@@ -499,18 +616,10 @@ pub fn write_capture<W: Write>(
     for word in snapshot_words(capture.snapshot()) {
         put(&mut w, &mut offset, &word.to_le_bytes())?;
     }
-    put(
-        &mut w,
-        &mut offset,
-        &(capture.events().len() as u64).to_le_bytes(),
-    )?;
-    for record in capture.events() {
-        let kind = match record.kind {
-            ExposureKind::Demand => 0u8,
-            ExposureKind::DirtyScrub => 1,
-            ExposureKind::DirtyEviction => 2,
-        };
-        put(&mut w, &mut offset, &[kind])?;
+    put(&mut w, &mut offset, &capture.event_count().to_le_bytes())?;
+    let mut events = capture.iter().map_err(defect_to_io)?;
+    while let Some(record) = events.next_record().map_err(defect_to_io)? {
+        put(&mut w, &mut offset, &[kind_tag(record.kind)])?;
         put(&mut w, &mut offset, &record.key.tag.to_le_bytes())?;
         put(&mut w, &mut offset, &record.key.set.to_le_bytes())?;
         put(&mut w, &mut offset, &record.key.version.to_le_bytes())?;
@@ -525,7 +634,422 @@ pub fn write_capture<W: Write>(
     w.inner
         .flush()
         .map_err(|source| CaptureStoreError::Io { offset, source })?;
-    Ok(())
+    Ok(offset + 8)
+}
+
+/// Zigzag-codes the wrapping delta from `prev` to `cur`, mapping small
+/// forward or backward steps onto small unsigned values for the varint.
+fn zigzag_delta(cur: u64, prev: u64) -> u64 {
+    let d = cur.wrapping_sub(prev) as i64;
+    ((d << 1) ^ (d >> 63)) as u64
+}
+
+/// Inverse of [`zigzag_delta`]: recovers `cur` from `prev` and the coded
+/// value. Exact for every `u64` pair (wrapping arithmetic throughout).
+fn unzigzag_delta(prev: u64, coded: u64) -> u64 {
+    let d = ((coded >> 1) as i64) ^ -((coded & 1) as i64);
+    prev.wrapping_add(d as u64)
+}
+
+/// Appends `v` as an LEB128 varint (7 payload bits per byte, high bit =
+/// continuation), 1–10 bytes.
+fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Decodes one LEB128 varint from `payload` at `*pos`, advancing it.
+/// `None` on truncation, a non-terminating encoding, or 64-bit overflow.
+fn get_varint(payload: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = *payload.get(*pos)?;
+        *pos += 1;
+        let low = u64::from(byte & 0x7f);
+        if shift > 63 || (shift == 63 && low > 1) {
+            return None;
+        }
+        v |= low << shift;
+        if byte & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Serializes `capture` (stamped with `fingerprint`) as `reap-capture/2`,
+/// returning the total bytes written. Records are pulled through
+/// [`ExposureCapture::iter`], so encoding a streamed capture is itself
+/// bounded-memory.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer (and stream defects from a
+/// streamed source, wrapped as I/O), stamped with the byte offset.
+pub fn write_capture_v2<W: Write>(
+    writer: W,
+    fingerprint: u64,
+    capture: &ExposureCapture,
+) -> Result<u64, CaptureStoreError> {
+    let mut w = writer;
+    let mut offset = 0u64;
+    let put = |w: &mut W, offset: &mut u64, bytes: &[u8]| {
+        w.write_all(bytes).map_err(|source| CaptureStoreError::Io {
+            offset: *offset,
+            source,
+        })?;
+        *offset += bytes.len() as u64;
+        Ok::<(), CaptureStoreError>(())
+    };
+
+    let mut header = Vec::with_capacity(V2_HEADER_BYTES);
+    header.extend_from_slice(MAGIC);
+    header.push(VERSION_V2);
+    header.extend_from_slice(&fingerprint.to_le_bytes());
+    header.extend_from_slice(&(capture.line_bits() as u64).to_le_bytes());
+    header.extend_from_slice(&capture.ones_seed().to_le_bytes());
+    for word in snapshot_words(capture.snapshot()) {
+        header.extend_from_slice(&word.to_le_bytes());
+    }
+    header.extend_from_slice(&capture.event_count().to_le_bytes());
+    header.extend_from_slice(&FRAME_RECORDS.to_le_bytes());
+    debug_assert_eq!(header.len(), V2_HEADER_BYTES);
+    put(&mut w, &mut offset, &header)?;
+    put(
+        &mut w,
+        &mut offset,
+        &fnv1a(FNV_BASIS, &header).to_le_bytes(),
+    )?;
+
+    let mut events = capture.iter().map_err(defect_to_io)?;
+    let mut payload = Vec::with_capacity((FRAME_RECORDS * 8) as usize);
+    loop {
+        payload.clear();
+        // Delta state restarts at zeros so each frame decodes on its own.
+        let mut prev = [0u64; 4];
+        let mut records = 0u32;
+        while records < FRAME_RECORDS {
+            let Some(record) = events.next_record().map_err(defect_to_io)? else {
+                break;
+            };
+            payload.push(kind_tag(record.kind));
+            let cur = [
+                record.key.tag,
+                record.key.set,
+                record.key.version,
+                record.unchecked_reads,
+            ];
+            for (p, c) in prev.iter_mut().zip(cur) {
+                put_varint(&mut payload, zigzag_delta(c, *p));
+                *p = c;
+            }
+            records += 1;
+        }
+        if records == 0 {
+            break;
+        }
+        let mut frame_head = [0u8; 8];
+        frame_head[..4].copy_from_slice(&records.to_le_bytes());
+        frame_head[4..].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+        let checksum = fnv1a(fnv1a(FNV_BASIS, &frame_head), &payload);
+        put(&mut w, &mut offset, &frame_head)?;
+        put(&mut w, &mut offset, &payload)?;
+        put(&mut w, &mut offset, &checksum.to_le_bytes())?;
+    }
+    w.flush()
+        .map_err(|source| CaptureStoreError::Io { offset, source })?;
+    Ok(offset)
+}
+
+/// The fixed header of a v2 entry, after verification.
+#[derive(Debug, Clone, Copy)]
+struct V2Header {
+    line_bits: u64,
+    ones_seed: u64,
+    snapshot: HierarchySnapshot,
+    count: u64,
+    frame_len: u32,
+}
+
+/// Frame-at-a-time decoder of a `reap-capture/2` stream. Holds at most
+/// one decoded frame (≤ `frame_len` records), so both the load-time
+/// validation sweep and the replay iterator run in bounded memory.
+struct V2Decoder<R: Read> {
+    reader: R,
+    offset: u64,
+    header: V2Header,
+    yielded: u64,
+    frame: Vec<ExposureRecord>,
+    frame_pos: usize,
+    /// Whether the end-of-stream trailing-bytes probe has run.
+    probed: bool,
+}
+
+impl<R: Read> V2Decoder<R> {
+    /// Parses and verifies the header (magic, version, fingerprint,
+    /// header checksum, frame-length sanity), leaving the reader at the
+    /// first frame.
+    fn open(mut reader: R, expected_fingerprint: u64) -> Result<Self, CaptureStoreError> {
+        let mut offset = 0u64;
+        let mut fixed = [0u8; V2_HEADER_BYTES];
+        fill(&mut reader, &mut fixed, &mut offset, Section::Header)?;
+        if &fixed[..4] != MAGIC {
+            return Err(CaptureStoreError::BadMagic {
+                found: fixed[..4].try_into().expect("4 bytes"),
+            });
+        }
+        if fixed[4] != VERSION_V2 {
+            return Err(CaptureStoreError::UnsupportedVersion { found: fixed[4] });
+        }
+        let u64_at = |at: usize| u64::from_le_bytes(fixed[at..at + 8].try_into().expect("8 bytes"));
+        let fingerprint = u64_at(5);
+        if fingerprint != expected_fingerprint {
+            return Err(CaptureStoreError::FingerprintMismatch {
+                expected: expected_fingerprint,
+                found: fingerprint,
+            });
+        }
+        let line_bits = u64_at(13);
+        let ones_seed = u64_at(21);
+        let mut words = [0u64; 38];
+        for (i, w) in words.iter_mut().enumerate() {
+            *w = u64_at(29 + 8 * i);
+        }
+        let snapshot = HierarchySnapshot {
+            l1i: stats_from_words(words[0..12].try_into().expect("12 words")),
+            l1d: stats_from_words(words[12..24].try_into().expect("12 words")),
+            l2: stats_from_words(words[24..36].try_into().expect("12 words")),
+            memory_reads: words[36],
+            memory_writes: words[37],
+        };
+        let count = u64_at(333);
+        let frame_len = u32::from_le_bytes(fixed[341..345].try_into().expect("4 bytes"));
+        let expected = fnv1a(FNV_BASIS, &fixed);
+        let found = read_u64(&mut reader, &mut offset, Section::Header)?;
+        if found != expected {
+            return Err(CaptureStoreError::ChecksumMismatch {
+                expected,
+                found,
+                offset: V2_HEADER_BYTES as u64,
+            });
+        }
+        if frame_len == 0 || frame_len > (1 << 20) {
+            return Err(CaptureStoreError::Malformed {
+                offset: 341,
+                detail: "frame length out of range",
+            });
+        }
+        Ok(Self {
+            reader,
+            offset,
+            header: V2Header {
+                line_bits,
+                ones_seed,
+                snapshot,
+                count,
+                frame_len,
+            },
+            yielded: 0,
+            frame: Vec::new(),
+            frame_pos: 0,
+            probed: false,
+        })
+    }
+
+    /// Yields the next record, reading and verifying the next frame when
+    /// the buffered one is exhausted. After the final record, probes that
+    /// the stream ends exactly (once).
+    fn next_record(&mut self) -> Result<Option<ExposureRecord>, CaptureStoreError> {
+        loop {
+            if self.frame_pos < self.frame.len() {
+                let record = self.frame[self.frame_pos];
+                self.frame_pos += 1;
+                self.yielded += 1;
+                return Ok(Some(record));
+            }
+            if self.yielded == self.header.count {
+                if !self.probed {
+                    self.probed = true;
+                    let mut probe = [0u8; 1];
+                    match self.reader.read_exact(&mut probe) {
+                        Ok(()) => {
+                            return Err(CaptureStoreError::TrailingBytes {
+                                offset: self.offset,
+                            })
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => {}
+                        Err(source) => {
+                            return Err(CaptureStoreError::Io {
+                                offset: self.offset,
+                                source,
+                            })
+                        }
+                    }
+                }
+                return Ok(None);
+            }
+            self.read_frame()?;
+        }
+    }
+
+    fn read_frame(&mut self) -> Result<(), CaptureStoreError> {
+        let frame_offset = self.offset;
+        let section = Section::Record {
+            index: self.yielded,
+        };
+        let mut head = [0u8; 8];
+        fill(&mut self.reader, &mut head, &mut self.offset, section)?;
+        let records = u32::from_le_bytes(head[..4].try_into().expect("4 bytes"));
+        let payload_len = u32::from_le_bytes(head[4..8].try_into().expect("4 bytes"));
+        if records == 0 || records > self.header.frame_len {
+            return Err(CaptureStoreError::Malformed {
+                offset: frame_offset,
+                detail: "frame record count out of range",
+            });
+        }
+        if u64::from(records) > self.header.count - self.yielded {
+            return Err(CaptureStoreError::Malformed {
+                offset: frame_offset,
+                detail: "frames exceed the declared record count",
+            });
+        }
+        if payload_len > records * MAX_RECORD_BYTES || payload_len < 5 * records {
+            return Err(CaptureStoreError::Malformed {
+                offset: frame_offset,
+                detail: "frame payload length out of range",
+            });
+        }
+        let mut payload = vec![0u8; payload_len as usize];
+        fill(&mut self.reader, &mut payload, &mut self.offset, section)?;
+        let checksum_offset = self.offset;
+        let found = read_u64(&mut self.reader, &mut self.offset, section)?;
+        let expected = fnv1a(fnv1a(FNV_BASIS, &head), &payload);
+        if found != expected {
+            return Err(CaptureStoreError::ChecksumMismatch {
+                expected,
+                found,
+                offset: checksum_offset,
+            });
+        }
+
+        self.frame.clear();
+        self.frame_pos = 0;
+        let mut pos = 0usize;
+        let mut prev = [0u64; 4];
+        for i in 0..u64::from(records) {
+            let Some(&tag_byte) = payload.get(pos) else {
+                return Err(CaptureStoreError::Malformed {
+                    offset: frame_offset,
+                    detail: "record truncated within frame payload",
+                });
+            };
+            pos += 1;
+            let kind = match tag_byte {
+                0 => ExposureKind::Demand,
+                1 => ExposureKind::DirtyScrub,
+                2 => ExposureKind::DirtyEviction,
+                other => {
+                    return Err(CaptureStoreError::UnknownKind {
+                        found: other,
+                        record: self.yielded + i,
+                        offset: frame_offset,
+                    })
+                }
+            };
+            let mut cur = [0u64; 4];
+            for (p, c) in prev.iter_mut().zip(cur.iter_mut()) {
+                let Some(coded) = get_varint(&payload, &mut pos) else {
+                    return Err(CaptureStoreError::Malformed {
+                        offset: frame_offset,
+                        detail: "bad varint in frame payload",
+                    });
+                };
+                *c = unzigzag_delta(*p, coded);
+                *p = *c;
+            }
+            self.frame.push(ExposureRecord {
+                kind,
+                key: LineKey {
+                    tag: cur[0],
+                    set: cur[1],
+                    version: cur[2],
+                },
+                unchecked_reads: cur[3],
+            });
+        }
+        if pos != payload.len() {
+            return Err(CaptureStoreError::Malformed {
+                offset: frame_offset,
+                detail: "unconsumed bytes in frame payload",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Deserializes a `reap-capture/2` stream into a materialized payload,
+/// verifying the header, every frame checksum and the absence of
+/// trailing bytes. The streaming equivalent used by the store is
+/// [`CaptureStore::load`], which hands frames straight to the replay
+/// iterator.
+///
+/// # Errors
+///
+/// Returns [`CaptureStoreError`] naming the byte offset on any defect.
+pub fn read_capture_v2<R: Read>(
+    reader: R,
+    expected_fingerprint: u64,
+) -> Result<CapturePayload, CaptureStoreError> {
+    let mut decoder = V2Decoder::open(reader, expected_fingerprint)?;
+    let mut events = Vec::with_capacity(decoder.header.count.min(1 << 20) as usize);
+    while let Some(record) = decoder.next_record()? {
+        events.push(record);
+    }
+    Ok(CapturePayload {
+        events,
+        snapshot: decoder.header.snapshot,
+        line_bits: decoder.header.line_bits as usize,
+        ones_seed: decoder.header.ones_seed,
+    })
+}
+
+/// Full-file validation sweep of a v2 entry in O(frame) memory: header,
+/// every frame checksum, every structural invariant, exact end of file.
+/// Returns the verified header so the caller can build a streamed
+/// capture without re-parsing.
+fn validate_v2<R: Read>(
+    reader: R,
+    expected_fingerprint: u64,
+) -> Result<V2Header, CaptureStoreError> {
+    let mut decoder = V2Decoder::open(reader, expected_fingerprint)?;
+    while decoder.next_record()?.is_some() {}
+    Ok(decoder.header)
+}
+
+/// [`ExposureStream`] adapter over a [`V2Decoder`]: the replay-time
+/// face of a v2 store entry.
+struct V2CaptureStream {
+    decoder: V2Decoder<BufReader<File>>,
+}
+
+impl ExposureStream for V2CaptureStream {
+    fn len(&self) -> u64 {
+        self.decoder.header.count
+    }
+
+    fn next_record(&mut self) -> Result<Option<ExposureRecord>, StreamDefect> {
+        self.decoder
+            .next_record()
+            .map_err(|e| StreamDefect::new(e.to_string()))
+    }
 }
 
 /// Deserializes a `reap-capture/1` stream, verifying the magic, version,
@@ -653,15 +1177,26 @@ pub fn read_capture<R: Read>(
 pub struct CaptureStore {
     dir: PathBuf,
     policy: CapturePolicy,
+    format: CaptureFormat,
 }
 
 impl CaptureStore {
-    /// A store rooted at `dir` (created lazily on the first write).
+    /// A store rooted at `dir` (created lazily on the first write),
+    /// writing new entries in the default format
+    /// ([`CaptureFormat::V2`]).
     pub fn new(dir: impl Into<PathBuf>, policy: CapturePolicy) -> Self {
         Self {
             dir: dir.into(),
             policy,
+            format: CaptureFormat::default(),
         }
+    }
+
+    /// Selects the on-disk format for *new* entries. Reads accept both
+    /// formats regardless.
+    pub fn with_format(mut self, format: CaptureFormat) -> Self {
+        self.format = format;
+        self
     }
 
     /// The store's root directory.
@@ -674,6 +1209,11 @@ impl CaptureStore {
         self.policy
     }
 
+    /// The format new entries are written in.
+    pub fn format(&self) -> CaptureFormat {
+        self.format
+    }
+
     /// The on-disk path of `key`'s entry.
     pub fn entry_path(&self, key: &CaptureKey) -> PathBuf {
         self.dir.join(format!("{:016x}.rcap", key.fingerprint()))
@@ -683,6 +1223,12 @@ impl CaptureStore {
     /// entry counts a `capture_store.miss`, an unreadable or corrupt one
     /// counts a `capture_store.invalid`, and both return `None` so the
     /// caller recaptures.
+    ///
+    /// Both formats are fully validated before a hit is reported. A v1
+    /// entry materializes its events (its layout offers no frame
+    /// boundaries to stream by); a v2 entry is returned as a *streamed*
+    /// capture that re-opens the file and decodes frame-by-frame at
+    /// replay time, so replay memory stays O(1) in events.
     pub fn load(&self, key: &CaptureKey) -> Option<ExposureCapture> {
         if self.policy == CapturePolicy::Off {
             return None;
@@ -703,19 +1249,12 @@ impl CaptureStore {
                 return None;
             }
         };
-        match read_capture(BufReader::new(file), key.fingerprint()) {
-            Ok(payload) => {
+        match self.load_entry(&path, file, key) {
+            Ok(capture) => {
                 bump("capture_store.hit");
-                Some(ExposureCapture::from_parts(
-                    payload.events,
-                    payload.snapshot,
-                    payload.line_bits,
-                    payload.ones_seed,
-                    key.hierarchy.clone(),
-                    key.replacement,
-                    key.warmup_accesses,
-                    key.measure_accesses,
-                ))
+                let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+                emit_entry_io("capture_store.bytes_read", bytes, capture.event_count());
+                Some(capture)
             }
             Err(e) => {
                 bump("capture_store.invalid");
@@ -725,6 +1264,64 @@ impl CaptureStore {
                 );
                 None
             }
+        }
+    }
+
+    /// Version-dispatched entry decode: peeks the version byte, then
+    /// hands the rewound file to the matching reader. Unreadable
+    /// prefixes defer to the v1 reader for its typed defect.
+    fn load_entry(
+        &self,
+        path: &Path,
+        mut file: File,
+        key: &CaptureKey,
+    ) -> Result<ExposureCapture, CaptureStoreError> {
+        let mut prefix = [0u8; 5];
+        let version = match file
+            .read_exact(&mut prefix)
+            .and_then(|()| file.seek(SeekFrom::Start(0)))
+        {
+            Ok(_) => prefix[4],
+            Err(_) => VERSION,
+        };
+        if version == VERSION_V2 {
+            let header = validate_v2(BufReader::new(file), key.fingerprint())?;
+            let reopen_path = path.to_path_buf();
+            let fingerprint = key.fingerprint();
+            let open: Arc<StreamOpener> = Arc::new(move || {
+                let file = File::open(&reopen_path).map_err(|e| {
+                    StreamDefect::new(format!(
+                        "cannot reopen capture entry {}: {e}",
+                        reopen_path.display()
+                    ))
+                })?;
+                let decoder = V2Decoder::open(BufReader::new(file), fingerprint)
+                    .map_err(|e| StreamDefect::new(e.to_string()))?;
+                Ok(Box::new(V2CaptureStream { decoder }) as Box<dyn ExposureStream + Send>)
+            });
+            Ok(ExposureCapture::from_streamed_parts(
+                header.count,
+                open,
+                header.snapshot,
+                header.line_bits as usize,
+                header.ones_seed,
+                key.hierarchy.clone(),
+                key.replacement,
+                key.warmup_accesses,
+                key.measure_accesses,
+            ))
+        } else {
+            let payload = read_capture(BufReader::new(file), key.fingerprint())?;
+            Ok(ExposureCapture::from_parts(
+                payload.events,
+                payload.snapshot,
+                payload.line_bits,
+                payload.ones_seed,
+                key.hierarchy.clone(),
+                key.replacement,
+                key.warmup_accesses,
+                key.measure_accesses,
+            ))
         }
     }
 
@@ -751,15 +1348,26 @@ impl CaptureStore {
         ));
         let result = (|| {
             let file = File::create(&tmp).map_err(io_err)?;
-            write_capture(BufWriter::new(file), key.fingerprint(), capture)?;
+            let bytes = match self.format {
+                CaptureFormat::V1 => {
+                    write_capture(BufWriter::new(file), key.fingerprint(), capture)?
+                }
+                CaptureFormat::V2 => {
+                    write_capture_v2(BufWriter::new(file), key.fingerprint(), capture)?
+                }
+            };
             std::fs::rename(&tmp, &path).map_err(io_err)?;
-            Ok(())
+            Ok(bytes)
         })();
-        if let Err(e) = result {
-            std::fs::remove_file(&tmp).ok();
-            return Err(e);
-        }
+        let bytes = match result {
+            Err(e) => {
+                std::fs::remove_file(&tmp).ok();
+                return Err(e);
+            }
+            Ok(bytes) => bytes,
+        };
         bump("capture_store.write");
+        emit_entry_io("capture_store.bytes_written", bytes, capture.event_count());
         Ok(path)
     }
 
@@ -786,11 +1394,11 @@ impl CaptureStore {
         let key = CaptureKey::new(workload, seed, sim.config());
         let mut span = reap_obs::span("capture_store");
         if let Some(capture) = self.load(&key) {
-            span.add_events(capture.events().len() as u64);
+            span.add_events(capture.event_count());
             return Ok(capture);
         }
         let capture = sim.capture(workload.stream(seed))?;
-        span.add_events(capture.events().len() as u64);
+        span.add_events(capture.event_count());
         if self.policy == CapturePolicy::ReadWrite {
             if let Err(e) = self.store(&key, &capture) {
                 eprintln!("warning: capture store write failed: {e}");
@@ -806,6 +1414,29 @@ fn bump(name: &str) {
     if reap_obs::enabled() {
         reap_obs::global().counter(name).add(1);
     }
+}
+
+/// The size a capture of `events` records occupies in `reap-capture/1`
+/// (fixed 33-byte records plus file overhead) — the baseline of the
+/// `capture_store.compression_ratio` gauge.
+pub fn v1_equivalent_bytes(events: u64) -> u64 {
+    V1_FILE_OVERHEAD + V1_RECORD_BYTES * events
+}
+
+/// Accounts one entry's worth of store I/O: adds `bytes` to the named
+/// counter and refreshes the `capture_store.compression_ratio` gauge
+/// (v1-equivalent size over actual size, so v1 entries read ~1.0 and v2
+/// entries read the on-disk shrink factor). Emitted on every hit and
+/// every write so BENCH numbers are cross-checkable from telemetry.
+fn emit_entry_io(counter: &str, bytes: u64, events: u64) {
+    if !reap_obs::enabled() || bytes == 0 {
+        return;
+    }
+    let registry = reap_obs::global();
+    registry.counter(counter).add(bytes);
+    registry
+        .gauge("capture_store.compression_ratio")
+        .set(v1_equivalent_bytes(events) as f64 / bytes as f64);
 }
 
 #[cfg(test)]
@@ -997,5 +1628,289 @@ mod tests {
         assert_eq!(CapturePolicy::Off.to_string(), "off");
         assert_eq!(CapturePolicy::Read.to_string(), "read");
         assert_eq!(CapturePolicy::ReadWrite.to_string(), "readwrite");
+    }
+
+    fn encode_v2(capture: &ExposureCapture, fingerprint: u64) -> Vec<u8> {
+        let mut buf = Vec::new();
+        write_capture_v2(&mut buf, fingerprint, capture).unwrap();
+        buf
+    }
+
+    #[test]
+    fn format_displays_cli_names() {
+        assert_eq!(CaptureFormat::V1.to_string(), "v1");
+        assert_eq!(CaptureFormat::V2.to_string(), "v2");
+        assert_eq!(CaptureFormat::default(), CaptureFormat::V2);
+    }
+
+    #[test]
+    fn varint_and_zigzag_round_trip_edge_values() {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            16_383,
+            16_384,
+            u64::from(u32::MAX),
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            assert!(buf.len() <= 10);
+            let mut pos = 0;
+            assert_eq!(get_varint(&buf, &mut pos), Some(v), "v = {v}");
+            assert_eq!(pos, buf.len());
+        }
+        for (cur, prev) in [
+            (0u64, 0u64),
+            (5, 3),
+            (3, 5),
+            (u64::MAX, 0),
+            (0, u64::MAX),
+            (1 << 63, 0),
+            (42, u64::MAX - 7),
+        ] {
+            assert_eq!(
+                unzigzag_delta(prev, zigzag_delta(cur, prev)),
+                cur,
+                "cur = {cur}, prev = {prev}"
+            );
+        }
+    }
+
+    #[test]
+    fn unterminated_varint_is_rejected() {
+        // Ten continuation bytes and an eleventh payload byte: overflow.
+        let buf = [0xff; 11];
+        let mut pos = 0;
+        assert_eq!(get_varint(&buf, &mut pos), None);
+        // Truncation mid-varint.
+        let buf = [0x80, 0x80];
+        let mut pos = 0;
+        assert_eq!(get_varint(&buf, &mut pos), None);
+    }
+
+    #[test]
+    fn v2_round_trip_preserves_every_field() {
+        let (capture, key) = small_capture();
+        let buf = encode_v2(&capture, key.fingerprint());
+        let payload = read_capture_v2(&buf[..], key.fingerprint()).unwrap();
+        assert_eq!(payload.events, capture.events());
+        assert_eq!(payload.line_bits, capture.line_bits());
+        assert_eq!(payload.ones_seed, capture.ones_seed());
+        assert_eq!(
+            snapshot_words(&payload.snapshot),
+            snapshot_words(capture.snapshot())
+        );
+    }
+
+    #[test]
+    fn v2_entries_are_smaller_than_v1() {
+        let (capture, key) = small_capture();
+        let v1 = encode(&capture, key.fingerprint());
+        let v2 = encode_v2(&capture, key.fingerprint());
+        assert!(
+            2 * v2.len() <= v1.len(),
+            "v2 ({}) must be at least 2x smaller than v1 ({})",
+            v2.len(),
+            v1.len()
+        );
+    }
+
+    #[test]
+    fn v2_header_defects_are_typed() {
+        let (capture, key) = small_capture();
+        let fp = key.fingerprint();
+        let mut buf = encode_v2(&capture, fp);
+        buf[0] = b'X';
+        assert!(matches!(
+            read_capture_v2(&buf[..], fp).unwrap_err(),
+            CaptureStoreError::BadMagic { .. }
+        ));
+        let mut buf = encode_v2(&capture, fp);
+        buf[4] = 9;
+        assert!(matches!(
+            read_capture_v2(&buf[..], fp).unwrap_err(),
+            CaptureStoreError::UnsupportedVersion { found: 9 }
+        ));
+        let buf = encode_v2(&capture, fp);
+        assert!(matches!(
+            read_capture_v2(&buf[..], fp ^ 1).unwrap_err(),
+            CaptureStoreError::FingerprintMismatch { .. }
+        ));
+        // A flip in an otherwise-unvalidated header field (the snapshot)
+        // is caught by the header checksum.
+        let mut buf = encode_v2(&capture, fp);
+        buf[40] ^= 0x04;
+        assert!(matches!(
+            read_capture_v2(&buf[..], fp).unwrap_err(),
+            CaptureStoreError::ChecksumMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn v2_frame_corruption_truncation_and_trailing_bytes_are_caught() {
+        let (capture, key) = small_capture();
+        let fp = key.fingerprint();
+        let clean = encode_v2(&capture, fp);
+        assert!(
+            clean.len() > V2_HEADER_BYTES + 8,
+            "capture must have frames"
+        );
+
+        // Any single-bit flip in the frame region fails the load.
+        for at in [
+            V2_HEADER_BYTES + 8,  // first frame's record count
+            V2_HEADER_BYTES + 20, // deep in the first frame's payload
+            clean.len() - 1,      // final frame checksum
+        ] {
+            let mut buf = clean.clone();
+            buf[at] ^= 0x20;
+            assert!(
+                read_capture_v2(&buf[..], fp).is_err(),
+                "flip at byte {at} must not decode"
+            );
+        }
+
+        let cut = &clean[..clean.len() - 3];
+        assert!(matches!(
+            read_capture_v2(cut, fp).unwrap_err(),
+            CaptureStoreError::Truncated { .. } | CaptureStoreError::ChecksumMismatch { .. }
+        ));
+
+        let mut extended = clean.clone();
+        extended.push(0);
+        assert!(matches!(
+            read_capture_v2(&extended[..], fp).unwrap_err(),
+            CaptureStoreError::TrailingBytes { .. }
+        ));
+    }
+
+    #[test]
+    fn v2_multi_frame_captures_round_trip() {
+        // Synthesize > FRAME_RECORDS records so the encoder emits several
+        // frames, including a short tail frame.
+        let count = FRAME_RECORDS as u64 * 2 + 17;
+        let events: Vec<ExposureRecord> = (0..count)
+            .map(|i| ExposureRecord {
+                kind: match i % 3 {
+                    0 => ExposureKind::Demand,
+                    1 => ExposureKind::DirtyScrub,
+                    _ => ExposureKind::DirtyEviction,
+                },
+                key: LineKey {
+                    tag: i.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                    set: i % 512,
+                    version: i / 3,
+                },
+                unchecked_reads: (i * 7) % 1000,
+            })
+            .collect();
+        let capture = ExposureCapture::from_parts(
+            events.clone(),
+            *small_capture().0.snapshot(),
+            512,
+            9,
+            HierarchyConfig::paper(),
+            Replacement::Lru,
+            0,
+            0,
+        );
+        let buf = encode_v2(&capture, 77);
+        let payload = read_capture_v2(&buf[..], 77).unwrap();
+        assert_eq!(payload.events, events);
+    }
+
+    #[test]
+    fn store_format_dispatch_writes_the_requested_version() {
+        let dir = scratch("format");
+        std::fs::remove_dir_all(&dir).ok();
+        let (capture, key) = small_capture();
+
+        let v1_store =
+            CaptureStore::new(&dir, CapturePolicy::ReadWrite).with_format(CaptureFormat::V1);
+        let path = v1_store.store(&key, &capture).unwrap();
+        let v1_bytes = std::fs::read(&path).unwrap();
+        assert_eq!(v1_bytes[4], VERSION);
+
+        // A v2-format store reads the v1 entry…
+        let v2_store = CaptureStore::new(&dir, CapturePolicy::ReadWrite);
+        let from_v1 = v2_store.load(&key).expect("v1 entry loads");
+        assert_eq!(from_v1.events(), capture.events());
+
+        // …and overwrites it in v2, which the v1-format store can read back.
+        let path = v2_store.store(&key, &capture).unwrap();
+        let v2_bytes = std::fs::read(&path).unwrap();
+        assert_eq!(v2_bytes[4], VERSION_V2);
+        assert!(2 * v2_bytes.len() <= v1_bytes.len());
+        let from_v2 = v1_store.load(&key).expect("v2 entry loads");
+        assert_eq!(from_v2.events(), capture.events());
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn v2_loads_stream_without_materializing() {
+        use crate::capture::ExposureStream as _;
+        let dir = scratch("streamed");
+        std::fs::remove_dir_all(&dir).ok();
+        let store = CaptureStore::new(&dir, CapturePolicy::ReadWrite);
+        let (capture, key) = small_capture();
+        store.store(&key, &capture).unwrap();
+        let loaded = store.load(&key).expect("entry just written");
+        assert_eq!(loaded.event_count(), capture.event_count());
+
+        // Two independent streaming passes, no events() call anywhere.
+        for _ in 0..2 {
+            let mut stream = loaded.iter().expect("open stream");
+            assert_eq!(stream.len(), capture.event_count());
+            for (i, expected) in capture.events().iter().enumerate() {
+                let got = stream.next_record().expect("pull").expect("record");
+                assert_eq!(&got, expected, "record {i}");
+            }
+            assert!(stream.next_record().expect("end").is_none());
+        }
+
+        // Deleting the entry mid-life surfaces as a stream defect, not a
+        // panic or a wrong result.
+        std::fs::remove_file(store.entry_path(&key)).unwrap();
+        assert!(loaded.iter().is_err(), "vanished entry must defect");
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn store_hits_and_writes_account_bytes_and_ratio() {
+        reap_obs::set_enabled(true);
+        let dir = scratch("telemetry");
+        std::fs::remove_dir_all(&dir).ok();
+        let store = CaptureStore::new(&dir, CapturePolicy::ReadWrite);
+        let (capture, key) = small_capture();
+
+        let written0 = reap_obs::global()
+            .counter("capture_store.bytes_written")
+            .get();
+        let path = store.store(&key, &capture).unwrap();
+        let entry_len = std::fs::metadata(&path).unwrap().len();
+        let written = reap_obs::global()
+            .counter("capture_store.bytes_written")
+            .get();
+        assert!(written >= written0 + entry_len, "write must account bytes");
+
+        let read0 = reap_obs::global().counter("capture_store.bytes_read").get();
+        store.load(&key).expect("hit");
+        let read = reap_obs::global().counter("capture_store.bytes_read").get();
+        assert!(read >= read0 + entry_len, "hit must account bytes");
+
+        let ratio = reap_obs::global()
+            .gauge("capture_store.compression_ratio")
+            .get();
+        let expected = v1_equivalent_bytes(capture.event_count()) as f64 / entry_len as f64;
+        assert!(
+            (ratio - expected).abs() < 1e-9,
+            "gauge {ratio} vs expected {expected}"
+        );
+        assert!(ratio >= 2.0, "v2 must be at least 2x smaller, got {ratio}");
+        std::fs::remove_dir_all(dir).ok();
     }
 }

@@ -132,8 +132,18 @@ impl Experiment {
         };
         let sim = Simulator::new(self.config)?;
         let capture = store.load_or_capture(&sim, self.workload, self.seed)?;
-        let report = sim.replay(&capture)?;
-        Ok(report)
+        match sim.replay(&capture) {
+            // A store-backed capture is validated at load time, but the
+            // entry can still vanish or rot between validation and the
+            // streamed replay — treat that like any other store defect
+            // and recapture rather than fail the run.
+            Err(SimulationError::CaptureStream(defect)) => {
+                eprintln!("warning: streamed capture failed mid-replay ({defect}); recapturing");
+                let fresh = sim.capture(self.workload.stream(self.seed))?;
+                Ok(sim.replay(&fresh)?)
+            }
+            other => Ok(other?),
+        }
     }
 
     /// Phase 1: drives the configured workload through the hierarchy once

@@ -58,8 +58,13 @@ pub mod supervise;
 pub mod sweep;
 
 pub use campaign::{CampaignConfig, CampaignError, CampaignOutcome, SweepMode, WorkloadOutcome};
-pub use capture::{CaptureObserver, ExposureCapture, ExposureRecord, HierarchySnapshot};
-pub use capture_store::{CaptureKey, CapturePolicy, CaptureStore, CaptureStoreError};
+pub use capture::{
+    CaptureObserver, ExposureCapture, ExposureEvents, ExposureRecord, ExposureStream,
+    HierarchySnapshot, StreamDefect, StreamOpener,
+};
+pub use capture_store::{
+    CaptureFormat, CaptureKey, CapturePolicy, CaptureStore, CaptureStoreError,
+};
 pub use checkpoint::{CheckpointError, SweepRow};
 pub use energy::{EnergyBreakdown, EnergyModel};
 pub use experiment::{Experiment, ExperimentError};

@@ -1,6 +1,6 @@
 //! End-to-end simulation: trace → hierarchy → reliability + energy.
 
-use crate::capture::{CaptureObserver, ExposureCapture, HierarchySnapshot};
+use crate::capture::{CaptureObserver, ExposureCapture, ExposureStream, HierarchySnapshot};
 use crate::energy::EnergyModel;
 use crate::observer::ReliabilityObserver;
 use crate::readpath::ReadPathModel;
@@ -117,6 +117,10 @@ pub enum SimulationError {
     /// A replay was attempted against a capture whose behavioural
     /// configuration (hierarchy, replacement, budgets) does not match.
     CaptureMismatch(&'static str),
+    /// A streamed capture failed while being pulled — typically the
+    /// backing store entry vanished or was corrupted after load-time
+    /// validation. Callers should fall back to a fresh capture.
+    CaptureStream(crate::capture::StreamDefect),
 }
 
 impl fmt::Display for SimulationError {
@@ -128,6 +132,7 @@ impl fmt::Display for SimulationError {
             SimulationError::CaptureMismatch(what) => {
                 write!(f, "capture incompatible with this configuration: {what}")
             }
+            SimulationError::CaptureStream(defect) => write!(f, "{defect}"),
         }
     }
 }
@@ -137,6 +142,7 @@ impl std::error::Error for SimulationError {
         match self {
             SimulationError::Code(e) => Some(e),
             SimulationError::Array(e) => Some(e),
+            SimulationError::CaptureStream(e) => Some(e),
             SimulationError::BadParameter(_) | SimulationError::CaptureMismatch(_) => None,
         }
     }
@@ -367,12 +373,19 @@ impl Simulator {
         // counters once; re-emitting per replayed point would count the
         // trace pass once per sweep point.
         let mut span = reap_obs::span("replay");
-        span.add_events(capture.events().len() as u64);
+        span.add_events(capture.event_count());
         let stored_bits = capture.line_bits() + self.check_bits;
         let model = AccumulationModel::new(self.p_rd, self.config.ecc.t());
         let mut aggregator = ReplayAggregator::new(model, stored_bits as u32);
         let seed = capture.ones_seed();
-        for record in capture.events() {
+        // Pull through the stream interface: an in-memory capture walks
+        // its slice, a store-backed one decodes frame-by-frame in O(1)
+        // memory.
+        let mut events = capture.iter().map_err(SimulationError::CaptureStream)?;
+        while let Some(record) = events
+            .next_record()
+            .map_err(SimulationError::CaptureStream)?
+        {
             let ones = sample_ones(
                 seed,
                 record.key.tag,
@@ -443,7 +456,7 @@ impl Simulator {
             return Ok(Vec::new());
         }
         let mut span = reap_obs::span("replay_batch");
-        span.add_events(capture.events().len() as u64);
+        span.add_events(capture.event_count());
         if span.is_recording() {
             reap_obs::global()
                 .counter("sim.replay_batch.points")
@@ -479,7 +492,11 @@ impl Simulator {
         let seed = capture.ones_seed();
         let mut ones_by_width = vec![0u32; widths.len()];
         let mut ones_by_point = vec![0u32; points.len()];
-        for record in capture.events() {
+        let mut events = capture.iter().map_err(SimulationError::CaptureStream)?;
+        while let Some(record) = events
+            .next_record()
+            .map_err(SimulationError::CaptureStream)?
+        {
             for (slot, &bits) in ones_by_width.iter_mut().zip(&widths) {
                 *slot = sample_ones(
                     seed,

@@ -8,7 +8,7 @@
 use crate::capture_store::CaptureStore;
 use crate::experiment::{Experiment, ExperimentError};
 use crate::report::Report;
-use crate::simulator::{EccStrength, Simulator};
+use crate::simulator::{EccStrength, SimulationError, Simulator};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Mutex};
 use std::time::Instant;
@@ -203,7 +203,17 @@ pub fn replay_ecc_sweep_with(
             Simulator::new(config)
         })
         .collect::<Result<Vec<_>, _>>()?;
-    let reports = Simulator::replay_batch(&points, &capture)?;
+    let reports = match Simulator::replay_batch(&points, &capture) {
+        // A store-backed capture streams from disk; if the entry rots
+        // between load-time validation and the replay pass, recapture
+        // from the trace instead of failing the sweep.
+        Err(SimulationError::CaptureStream(defect)) => {
+            eprintln!("warning: streamed capture failed mid-sweep ({defect}); recapturing");
+            let fresh = experiment.capture_with(None)?;
+            Simulator::replay_batch(&points, &fresh)?
+        }
+        other => other?,
+    };
     Ok(EccStrength::ALL.into_iter().zip(reports).collect())
 }
 

@@ -7,13 +7,45 @@
 //! the registry across threads.
 
 use proptest::prelude::*;
-use reap_cache::Replacement;
-use reap_core::capture_store::{CaptureKey, CapturePolicy, CaptureStore};
+use reap_cache::{CacheStats, HierarchyConfig, LineKey, Replacement};
+use reap_core::capture_store::{
+    read_capture_v2, write_capture_v2, CaptureFormat, CaptureKey, CapturePolicy, CaptureStore,
+};
 use reap_core::sweep::replay_ecc_sweep_with;
-use reap_core::{Experiment, ProtectionScheme, Simulator};
+use reap_core::{
+    Experiment, ExposureCapture, ExposureRecord, HierarchySnapshot, ProtectionScheme, Simulator,
+};
+use reap_reliability::ExposureKind;
 use reap_trace::SpecWorkload;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// An arbitrary on-disk format, so store properties hold for both.
+fn any_format() -> impl Strategy<Value = CaptureFormat> {
+    prop_oneof![Just(CaptureFormat::V1), Just(CaptureFormat::V2)]
+}
+
+/// An arbitrary exposure record: any kind, any key, any read count.
+fn any_record() -> impl Strategy<Value = ExposureRecord> {
+    (
+        prop_oneof![
+            Just(ExposureKind::Demand),
+            Just(ExposureKind::DirtyScrub),
+            Just(ExposureKind::DirtyEviction),
+        ],
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+    )
+        .prop_map(
+            |(kind, tag, set, version, unchecked_reads)| ExposureRecord {
+                kind,
+                key: LineKey { tag, set, version },
+                unchecked_reads,
+            },
+        )
+}
 
 /// A fresh store directory per test case (cases run in one process).
 fn scratch(tag: &str) -> PathBuf {
@@ -45,7 +77,7 @@ proptest! {
     /// A store round-trip preserves the capture exactly — the loaded
     /// entry's events, metadata and every replayed report are
     /// bit-identical to the in-memory original, for arbitrary workloads,
-    /// seeds and replacement policies.
+    /// seeds, replacement policies and on-disk formats.
     #[test]
     fn store_round_trip_is_bit_identical(
         workload_index in 0usize..21,
@@ -56,6 +88,7 @@ proptest! {
             Just(Replacement::Fifo),
             Just(Replacement::Srrip),
         ],
+        format in any_format(),
     ) {
         let workload = SpecWorkload::ALL[workload_index];
         let experiment = Experiment::paper_hierarchy()
@@ -64,7 +97,7 @@ proptest! {
             .budgets(500, 4_000)
             .seed(seed);
         let dir = scratch("roundtrip");
-        let store = CaptureStore::new(&dir, CapturePolicy::ReadWrite);
+        let store = CaptureStore::new(&dir, CapturePolicy::ReadWrite).with_format(format);
 
         let original = experiment.capture().expect("capture");
         let key = CaptureKey::new(workload, seed, experiment.config());
@@ -83,16 +116,17 @@ proptest! {
     }
 
     /// Any corruption of a store entry — truncation, a chopped tail, or
-    /// a silent byte flip anywhere in the file — makes the load fall
-    /// back to recapture, bumps `capture_store.invalid`, and leaves the
-    /// final reports bit-identical to an uncorrupted run. Never a wrong
-    /// report.
+    /// a silent byte flip anywhere in the file, in either format — makes
+    /// the load fall back to recapture, bumps `capture_store.invalid`,
+    /// and leaves the final reports bit-identical to an uncorrupted run.
+    /// Never a wrong report.
     #[test]
     fn corruption_always_falls_back_to_an_identical_recapture(
         workload_index in 0usize..21,
         seed in any::<u64>(),
         corruption in 0usize..3,
         damage in any::<u64>(),
+        format in any_format(),
     ) {
         reap_obs::set_enabled(true);
         let workload = SpecWorkload::ALL[workload_index];
@@ -101,7 +135,7 @@ proptest! {
             .budgets(500, 4_000)
             .seed(seed);
         let dir = scratch("corrupt");
-        let store = CaptureStore::new(&dir, CapturePolicy::ReadWrite);
+        let store = CaptureStore::new(&dir, CapturePolicy::ReadWrite).with_format(format);
 
         // Reference sweep and a populated store entry.
         let clean = replay_ecc_sweep_with(&experiment, Some(&store)).expect("cold sweep");
@@ -141,6 +175,75 @@ proptest! {
             prop_assert_eq!(report_bits(a), report_bits(b));
         }
         std::fs::remove_dir_all(dir).ok();
+    }
+}
+
+proptest! {
+    /// The `reap-capture/2` codec round-trips arbitrary record streams
+    /// bit-identically: any sequence of kinds, keys and read counts —
+    /// including adversarial u64 extremes that stress the zigzag/varint
+    /// delta coding and multi-frame captures — encodes and stream-decodes
+    /// back to exactly the input.
+    #[test]
+    fn v2_codec_round_trips_arbitrary_record_streams(
+        events in proptest::collection::vec(any_record(), 0..200),
+        fingerprint in any::<u64>(),
+        line_bits in 1usize..4096,
+        ones_seed in any::<u64>(),
+    ) {
+        let capture = ExposureCapture::from_parts(
+            events.clone(),
+            HierarchySnapshot {
+                l1i: CacheStats::default(),
+                l1d: CacheStats::default(),
+                l2: CacheStats::default(),
+                memory_reads: 0,
+                memory_writes: 0,
+            },
+            line_bits,
+            ones_seed,
+            HierarchyConfig::paper(),
+            Replacement::Lru,
+            0,
+            0,
+        );
+        let mut encoded = Vec::new();
+        let bytes = write_capture_v2(&mut encoded, fingerprint, &capture).expect("encode");
+        prop_assert_eq!(bytes, encoded.len() as u64);
+
+        let payload = read_capture_v2(encoded.as_slice(), fingerprint).expect("decode");
+        prop_assert_eq!(payload.events, events);
+        prop_assert_eq!(payload.line_bits, line_bits);
+        prop_assert_eq!(payload.ones_seed, ones_seed);
+        prop_assert_eq!(payload.snapshot, *capture.snapshot());
+    }
+}
+
+/// Warm sweeps from a v1 store, a v2 store and no store at all agree
+/// bit-for-bit: the on-disk encoding never leaks into results.
+#[test]
+fn warm_sweeps_agree_across_formats_and_with_fresh_capture() {
+    let experiment = Experiment::paper_hierarchy()
+        .workload(SpecWorkload::Soplex)
+        .budgets(500, 6_000)
+        .seed(77);
+    let fresh = replay_ecc_sweep_with(&experiment, None).expect("fresh sweep");
+
+    let mut warm = Vec::new();
+    for format in [CaptureFormat::V1, CaptureFormat::V2] {
+        let dir = scratch("crossfmt");
+        let store = CaptureStore::new(&dir, CapturePolicy::ReadWrite).with_format(format);
+        replay_ecc_sweep_with(&experiment, Some(&store)).expect("cold sweep");
+        warm.push(replay_ecc_sweep_with(&experiment, Some(&store)).expect("warm sweep"));
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    for sweep in &warm {
+        assert_eq!(sweep.len(), fresh.len());
+        for ((ecc_a, a), (ecc_b, b)) in fresh.iter().zip(sweep) {
+            assert_eq!(ecc_a, ecc_b);
+            assert_eq!(report_bits(a), report_bits(b));
+        }
     }
 }
 

@@ -206,6 +206,24 @@ impl MultiReplayAggregator {
         }
     }
 
+    /// Scores a whole stream of `(kind, line_ones, unchecked_reads)`
+    /// records, in iteration order — the streaming-feeder counterpart of
+    /// [`record`](Self::record), for callers that pull records off a
+    /// bounded-memory iterator instead of holding a slice. Exactly
+    /// equivalent to calling `record` per item.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any item's `line_ones.len() != self.num_points()`.
+    pub fn record_all<'a, I>(&mut self, records: I)
+    where
+        I: IntoIterator<Item = (ExposureKind, &'a [u32], u64)>,
+    {
+        for (kind, line_ones, unchecked_reads) in records {
+            self.record(kind, line_ones, unchecked_reads);
+        }
+    }
+
     /// Tears the batch apart into one [`ReplayAggregator`] per point, in
     /// construction order, each indistinguishable from an independent
     /// replay of the stream.
@@ -318,6 +336,31 @@ mod tests {
             records.push((kind, ones, n));
         }
         assert_matches_solo(&records);
+    }
+
+    #[test]
+    fn record_all_matches_per_record_feeding() {
+        let records = [
+            (ExposureKind::Demand, [288u32, 300, 310], 1000u64),
+            (ExposureKind::DirtyScrub, [100, 110, 120], 40),
+            (ExposureKind::DirtyEviction, [288, 300, 310], 500),
+        ];
+        let mut fed = MultiReplayAggregator::new(points());
+        fed.record_all(records.iter().map(|(k, ones, n)| (*k, &ones[..], *n)));
+        let mut reference = MultiReplayAggregator::new(points());
+        for (kind, ones, n) in &records {
+            reference.record(*kind, ones, *n);
+        }
+        for (got, want) in fed.finish().iter().zip(reference.finish().iter()) {
+            assert_eq!(
+                got.conventional().expected_failures().to_bits(),
+                want.conventional().expected_failures().to_bits()
+            );
+            assert_eq!(
+                got.writeback_exposure().to_bits(),
+                want.writeback_exposure().to_bits()
+            );
+        }
     }
 
     #[test]

@@ -156,6 +156,20 @@ impl ReplayAggregator {
         }
     }
 
+    /// Scores a whole stream of `(kind, line_ones, unchecked_reads)`
+    /// records, in iteration order. A convenience for streaming feeders
+    /// (the capture-replay path pulls records off a bounded-memory
+    /// iterator rather than holding a slice); exactly equivalent to
+    /// calling [`record`](Self::record) per item.
+    pub fn record_all<I>(&mut self, records: I)
+    where
+        I: IntoIterator<Item = (ExposureKind, u32, u64)>,
+    {
+        for (kind, line_ones, unchecked_reads) in records {
+            self.record(kind, line_ones, unchecked_reads);
+        }
+    }
+
     /// The accumulation model in force.
     pub fn model(&self) -> &AccumulationModel {
         &self.model
@@ -253,6 +267,34 @@ mod tests {
         agg.record(ExposureKind::DirtyEviction, 288, 500);
         assert!(agg.writeback_exposure() > 0.0);
         assert_eq!(agg.conventional().events(), 0);
+    }
+
+    #[test]
+    fn record_all_matches_per_record_feeding() {
+        let stream = [
+            (ExposureKind::Demand, 288u32, 1000u64),
+            (ExposureKind::DirtyScrub, 300, 40),
+            (ExposureKind::Demand, 100, 3),
+            (ExposureKind::DirtyEviction, 288, 500),
+        ];
+        let mut fed = aggregator();
+        fed.record_all(stream);
+        let mut reference = aggregator();
+        for (kind, ones, n) in stream {
+            reference.record(kind, ones, n);
+        }
+        assert_eq!(
+            fed.conventional().expected_failures().to_bits(),
+            reference.conventional().expected_failures().to_bits()
+        );
+        assert_eq!(
+            fed.reap().expected_failures().to_bits(),
+            reference.reap().expected_failures().to_bits()
+        );
+        assert_eq!(
+            fed.writeback_exposure().to_bits(),
+            reference.writeback_exposure().to_bits()
+        );
     }
 
     #[test]
