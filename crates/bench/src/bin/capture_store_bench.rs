@@ -167,10 +167,13 @@ fn format_json(run: &FormatRun) -> String {
 fn main() {
     let mut args = std::env::args().skip(1);
     let mut out_path = String::from("BENCH_capture.json");
+    let mut metrics_out: Option<String> = None;
     let mut smoke = std::env::var("REAP_BENCH_SMOKE").is_ok_and(|v| v != "0");
-    for a in args.by_ref() {
+    while let Some(a) = args.next() {
         if a == "--smoke" {
             smoke = true;
+        } else if a == "--metrics-out" {
+            metrics_out = Some(args.next().expect("--metrics-out needs a path"));
         } else {
             out_path = a;
         }
@@ -231,6 +234,16 @@ fn main() {
     );
     std::fs::write(&out_path, json).expect("write benchmark results");
     println!("wrote {out_path}");
+
+    // `run_format` resets the registry per format, so the snapshot here
+    // covers the v2 cold/warm pair — the store path we actually ship.
+    if let Some(path) = &metrics_out {
+        let mut buf = Vec::new();
+        reap_obs::export::write_jsonl(&reap_obs::global().snapshot(), &mut buf)
+            .expect("serialize metrics");
+        std::fs::write(path, buf).expect("write metrics");
+        println!("wrote {path}");
+    }
 
     let floor = if smoke { 1.0 } else { 2.0 };
     let mut failed = false;

@@ -46,13 +46,19 @@ fn failure_bits(r: &reap_core::Report) -> [u64; 4] {
 fn main() {
     let mut args = std::env::args().skip(1);
     let mut out_path = String::from("BENCH_replay.json");
+    let mut metrics_out: Option<String> = None;
     let mut smoke = std::env::var("REAP_BENCH_SMOKE").is_ok_and(|v| v != "0");
-    for a in args.by_ref() {
+    while let Some(a) = args.next() {
         if a == "--smoke" {
             smoke = true;
+        } else if a == "--metrics-out" {
+            metrics_out = Some(args.next().expect("--metrics-out needs a path"));
         } else {
             out_path = a;
         }
+    }
+    if metrics_out.is_some() {
+        reap_bench::enable_telemetry();
     }
     let accesses = if smoke { 20_000 } else { access_budget() };
     let workloads = SpecWorkload::ALL;
@@ -149,6 +155,14 @@ fn main() {
     );
     std::fs::write(&out_path, json).expect("write benchmark results");
     println!("wrote {out_path}");
+
+    if let Some(path) = &metrics_out {
+        let mut buf = Vec::new();
+        reap_obs::export::write_jsonl(&reap_obs::global().snapshot(), &mut buf)
+            .expect("serialize metrics");
+        std::fs::write(path, buf).expect("write metrics");
+        println!("wrote {path}");
+    }
 
     if speedup < 1.0 {
         eprintln!("FAIL: batched replay slower than per-point ({speedup:.2}x)");

@@ -2,6 +2,7 @@
 
 use reap_cache::Replacement;
 use reap_core::{CaptureFormat, CapturePolicy, CaptureStore, EccStrength};
+use reap_obs::GateMetric;
 use reap_trace::SpecWorkload;
 use std::error::Error;
 use std::fmt;
@@ -30,6 +31,26 @@ pub enum Command {
         /// Path of the JSON-lines file to validate.
         path: PathBuf,
     },
+    /// `reap obs report` — render a run's metrics as a human table.
+    ObsReport {
+        /// Path of the metrics JSON-lines file.
+        path: PathBuf,
+        /// Drop wall-clock-derived numbers (stable across `-j`).
+        no_timings: bool,
+    },
+    /// `reap obs diff` — compare two runs; exits non-zero on regression.
+    ObsDiff {
+        /// Baseline metrics file.
+        a: PathBuf,
+        /// New metrics file.
+        b: PathBuf,
+        /// Maximum tolerated relative change (0.10 = 10%).
+        threshold: f64,
+        /// Span phases below this many baseline seconds are not gated.
+        min_seconds: f64,
+        /// Explicitly gated counters/gauges (`--metric name[:up|:down]`).
+        metrics: Vec<GateMetric>,
+    },
     /// `reap help` / `--help`.
     Help,
 }
@@ -39,6 +60,9 @@ pub enum Command {
 pub struct ObsArgs {
     /// Write a metrics snapshot as JSON-lines to this path.
     pub metrics_out: Option<PathBuf>,
+    /// Rewrite `metrics_out` atomically every this-many milliseconds
+    /// while the run is live (requires `metrics_out`).
+    pub metrics_interval_ms: Option<u64>,
     /// Write a Chrome `trace_event` JSON file to this path.
     pub trace_out: Option<PathBuf>,
     /// Show rate-limited progress lines on stderr.
@@ -353,12 +377,34 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Command, ParseCl
 fn parse_obs_flag(obs: &mut ObsArgs, flag: &str, c: &mut Cursor) -> Result<bool, ParseCliError> {
     match flag {
         "--metrics-out" => obs.metrics_out = Some(PathBuf::from(c.value_for(flag)?)),
+        "--metrics-interval-ms" => {
+            let ms: u64 = parse_num(flag, c.value_for(flag)?, "milliseconds")?;
+            if ms == 0 {
+                return Err(ParseCliError::BadValue {
+                    flag: flag.to_owned(),
+                    value: "0".to_owned(),
+                    expected: "non-zero interval in milliseconds",
+                });
+            }
+            obs.metrics_interval_ms = Some(ms);
+        }
         "--trace-out" => obs.trace_out = Some(PathBuf::from(c.value_for(flag)?)),
         "--progress" => obs.progress = true,
         "--verbose" | "-v" => obs.verbose = true,
         _ => return Ok(false),
     }
     Ok(true)
+}
+
+/// A flush interval without a metrics file flushes nothing — reject it
+/// instead of silently ignoring the flag.
+fn check_obs(obs: &ObsArgs) -> Result<(), ParseCliError> {
+    if obs.metrics_interval_ms.is_some() && obs.metrics_out.is_none() {
+        return Err(ParseCliError::MissingRequired {
+            name: "--metrics-out (required by --metrics-interval-ms)",
+        });
+    }
+    Ok(())
 }
 
 /// Consumes a capture-store flag shared by `run` and `sweep`. Returns
@@ -430,11 +476,123 @@ fn parse_obs(mut c: Cursor) -> Result<Command, ParseCliError> {
                 path: PathBuf::from(path),
             })
         }
+        Some("report") => parse_obs_report(c),
+        Some("diff") => parse_obs_diff(c),
         Some(other) => Err(ParseCliError::UnknownCommand {
             found: format!("obs {other}"),
         }),
-        None => Err(ParseCliError::MissingRequired { name: "check" }),
+        None => Err(ParseCliError::MissingRequired {
+            name: "check|report|diff",
+        }),
     }
+}
+
+fn parse_obs_report(mut c: Cursor) -> Result<Command, ParseCliError> {
+    let mut path = None;
+    let mut no_timings = false;
+    while let Some(arg) = c.take() {
+        match arg.as_str() {
+            "--no-timings" => no_timings = true,
+            flag if flag.starts_with('-') => {
+                return Err(ParseCliError::UnknownFlag {
+                    flag: flag.to_owned(),
+                })
+            }
+            _ if path.is_none() => path = Some(PathBuf::from(arg)),
+            _ => {
+                return Err(ParseCliError::UnknownFlag { flag: arg });
+            }
+        }
+    }
+    Ok(Command::ObsReport {
+        path: path.ok_or(ParseCliError::MissingRequired { name: "path" })?,
+        no_timings,
+    })
+}
+
+/// Parses a `--metric` value: `name`, `name:up` (higher is better, the
+/// default) or `name:down` (lower is better).
+fn parse_gate_metric(value: String) -> Result<GateMetric, ParseCliError> {
+    let (name, direction) = match value.rsplit_once(':') {
+        Some((name, dir)) => (name, dir),
+        None => (value.as_str(), "up"),
+    };
+    let higher_is_better = match direction {
+        "up" => true,
+        "down" => false,
+        _ => {
+            return Err(ParseCliError::BadValue {
+                flag: "--metric".to_owned(),
+                value,
+                expected: "metric name, optionally suffixed :up or :down",
+            })
+        }
+    };
+    if name.is_empty() {
+        return Err(ParseCliError::BadValue {
+            flag: "--metric".to_owned(),
+            value,
+            expected: "metric name, optionally suffixed :up or :down",
+        });
+    }
+    Ok(GateMetric {
+        name: name.to_owned(),
+        higher_is_better,
+    })
+}
+
+fn parse_obs_diff(mut c: Cursor) -> Result<Command, ParseCliError> {
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut threshold = 0.10f64;
+    let mut min_seconds = 0.01f64;
+    let mut metrics = Vec::new();
+    while let Some(arg) = c.take() {
+        match arg.as_str() {
+            "--threshold" => {
+                threshold = parse_float(&arg, c.value_for(&arg)?, "relative threshold")?;
+                if threshold < 0.0 || !threshold.is_finite() {
+                    return Err(ParseCliError::BadValue {
+                        flag: arg,
+                        value: threshold.to_string(),
+                        expected: "non-negative relative threshold like 0.10",
+                    });
+                }
+            }
+            "--min-seconds" => {
+                min_seconds = parse_float(&arg, c.value_for(&arg)?, "seconds")?;
+            }
+            "--metric" => metrics.push(parse_gate_metric(c.value_for(&arg)?)?),
+            flag if flag.starts_with('-') => {
+                return Err(ParseCliError::UnknownFlag {
+                    flag: flag.to_owned(),
+                })
+            }
+            _ if paths.len() < 2 => paths.push(PathBuf::from(arg)),
+            _ => return Err(ParseCliError::UnknownFlag { flag: arg }),
+        }
+    }
+    let mut paths = paths.into_iter();
+    let a = paths
+        .next()
+        .ok_or(ParseCliError::MissingRequired { name: "a" })?;
+    let b = paths
+        .next()
+        .ok_or(ParseCliError::MissingRequired { name: "b" })?;
+    Ok(Command::ObsDiff {
+        a,
+        b,
+        threshold,
+        min_seconds,
+        metrics,
+    })
+}
+
+fn parse_float(flag: &str, value: String, expected: &'static str) -> Result<f64, ParseCliError> {
+    value.parse().map_err(|_| ParseCliError::BadValue {
+        flag: flag.to_owned(),
+        value,
+        expected,
+    })
 }
 
 fn parse_workload(flag: &str, value: String) -> Result<SpecWorkload, ParseCliError> {
@@ -499,6 +657,7 @@ fn parse_run(mut c: Cursor) -> Result<Command, ParseCliError> {
     if !got_workload {
         return Err(ParseCliError::MissingRequired { name: "--workload" });
     }
+    check_obs(&a.obs)?;
     check_capture(&a.capture)?;
     Ok(Command::Run(a))
 }
@@ -542,6 +701,7 @@ fn parse_sweep(mut c: Cursor) -> Result<Command, ParseCliError> {
             name: "--checkpoint (required by --resume)",
         });
     }
+    check_obs(&a.obs)?;
     check_capture(&a.capture)?;
     Ok(Command::Sweep(a))
 }
@@ -814,6 +974,115 @@ mod tests {
         assert!(matches!(
             p("obs frobnicate"),
             Err(ParseCliError::UnknownCommand { .. })
+        ));
+    }
+
+    #[test]
+    fn obs_report_takes_a_path_and_stable_mode() {
+        assert_eq!(
+            p("obs report run.jsonl").unwrap(),
+            Command::ObsReport {
+                path: PathBuf::from("run.jsonl"),
+                no_timings: false
+            }
+        );
+        assert_eq!(
+            p("obs report --no-timings run.jsonl").unwrap(),
+            Command::ObsReport {
+                path: PathBuf::from("run.jsonl"),
+                no_timings: true
+            }
+        );
+        assert_eq!(
+            p("obs report"),
+            Err(ParseCliError::MissingRequired { name: "path" })
+        );
+        assert!(matches!(
+            p("obs report a.jsonl b.jsonl"),
+            Err(ParseCliError::UnknownFlag { .. })
+        ));
+    }
+
+    #[test]
+    fn obs_diff_parses_thresholds_and_metrics() {
+        let Command::ObsDiff {
+            a,
+            b,
+            threshold,
+            min_seconds,
+            metrics,
+        } = p(
+            "obs diff base.jsonl new.jsonl --threshold 0.25 --min-seconds 0.5 \
+               --metric speedup --metric miss_rate:down",
+        )
+        .unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(a, PathBuf::from("base.jsonl"));
+        assert_eq!(b, PathBuf::from("new.jsonl"));
+        assert_eq!(threshold, 0.25);
+        assert_eq!(min_seconds, 0.5);
+        assert_eq!(
+            metrics,
+            vec![
+                GateMetric {
+                    name: "speedup".to_owned(),
+                    higher_is_better: true
+                },
+                GateMetric {
+                    name: "miss_rate".to_owned(),
+                    higher_is_better: false
+                },
+            ]
+        );
+
+        // Defaults.
+        let Command::ObsDiff {
+            threshold,
+            min_seconds,
+            metrics,
+            ..
+        } = p("obs diff a b").unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(threshold, 0.10);
+        assert_eq!(min_seconds, 0.01);
+        assert!(metrics.is_empty());
+
+        // Both paths are required; bad values are descriptive.
+        assert_eq!(
+            p("obs diff a"),
+            Err(ParseCliError::MissingRequired { name: "b" })
+        );
+        assert!(matches!(
+            p("obs diff a b --threshold nope"),
+            Err(ParseCliError::BadValue { .. })
+        ));
+        assert!(matches!(
+            p("obs diff a b --metric speedup:sideways"),
+            Err(ParseCliError::BadValue { .. })
+        ));
+    }
+
+    #[test]
+    fn metrics_interval_requires_metrics_out() {
+        let Command::Sweep(a) = p("sweep --metrics-out m.jsonl --metrics-interval-ms 250").unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(a.obs.metrics_interval_ms, Some(250));
+
+        assert_eq!(
+            p("sweep --metrics-interval-ms 250"),
+            Err(ParseCliError::MissingRequired {
+                name: "--metrics-out (required by --metrics-interval-ms)"
+            })
+        );
+        assert!(matches!(
+            p("run -w namd --metrics-out m.jsonl --metrics-interval-ms 0"),
+            Err(ParseCliError::BadValue { .. })
         ));
     }
 

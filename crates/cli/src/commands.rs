@@ -6,6 +6,8 @@ use reap_core::campaign::{run_sweep_campaign, CampaignConfig, CampaignError, Swe
 use reap_core::Experiment;
 use reap_mtj::temperature::at_temperature;
 use reap_mtj::{read_disturbance_probability, MtjParams, MtjParamsBuilder};
+use reap_obs::report::{gate, render_diff, render_report, ReportOptions};
+use reap_obs::{Flusher, GateConfig, GateMetric, Snapshot};
 use reap_trace::{SpecWorkload, TraceStats};
 use std::error::Error;
 use std::fs::File;
@@ -49,16 +51,29 @@ COMMANDS:
     disturbance  query the device model (Eq. (1))
                  --delta X  --read-current-ua I  --temperature-k T
     obs check    validate a metrics JSON-lines file: reap obs check FILE
+    obs report   render a run's metrics as a human table
+                 reap obs report FILE [--no-timings]
+                 (phase breakdown with p50/p95/p99, pool utilization,
+                 capture-store summary; --no-timings is byte-stable
+                 across -j and machine speed)
+    obs diff     compare two runs, exit 1 on regression (CI gate)
+                 reap obs diff A B [--threshold 0.10] [--min-seconds S]
+                 [--metric NAME[:up|:down]]...
+                 (every span phase is gated on total seconds; --metric
+                 gates named counters/gauges, :up = higher is better)
     list         list the workload profiles
     help         show this message
 
 EXIT CODES:
-    0  success        1  some jobs failed permanently
+    0  success        1  some jobs failed permanently / regression found
     2  usage/config   3  interrupted (checkpoint is resumable)
 
 TELEMETRY (run and sweep):
     --metrics-out FILE   write counters, gauges, histograms and phase
-                         spans as JSON-lines (schema reap-obs/1)
+                         spans as JSON-lines (schema reap-obs/2)
+    --metrics-interval-ms T
+                         also rewrite FILE atomically every T ms while
+                         the run is live (requires --metrics-out)
     --trace-out FILE     write a Chrome trace_event JSON file
                          (load in chrome://tracing or Perfetto)
     --progress           rate-limited progress lines on stderr
@@ -99,17 +114,33 @@ pub fn execute<W: Write>(command: Command, mut out: W) -> io::Result<i32> {
         Command::TraceInfo { path } => trace_info(&path, out),
         Command::Disturbance(args) => disturbance(args, out),
         Command::ObsCheck { path } => obs_check(&path, out),
+        Command::ObsReport { path, no_timings } => obs_report(&path, no_timings, out),
+        Command::ObsDiff {
+            a,
+            b,
+            threshold,
+            min_seconds,
+            metrics,
+        } => obs_diff(&a, &b, threshold, min_seconds, metrics, out),
     }
 }
 
 /// Arms the global telemetry according to the command's flags. Resets the
 /// global registry so the exported snapshot covers exactly this command.
-fn start_obs(obs: &ObsArgs) {
+///
+/// Returns the live-metrics [`Flusher`] when `--metrics-interval-ms` was
+/// given; the caller drops it (stopping the thread and flushing once
+/// more) before [`finish_obs`] writes the final file.
+fn start_obs(obs: &ObsArgs) -> Option<Flusher> {
     if obs.wants_metrics() {
         reap_obs::global().reset();
         reap_obs::set_enabled(true);
     }
     reap_obs::set_progress_enabled(obs.progress);
+    match (&obs.metrics_out, obs.metrics_interval_ms) {
+        (Some(path), Some(ms)) => Some(Flusher::start(path.clone(), Duration::from_millis(ms))),
+        _ => None,
+    }
 }
 
 /// Writes the requested exporters from the global registry. The verbose
@@ -120,8 +151,9 @@ fn finish_obs(obs: &ObsArgs) -> io::Result<()> {
     }
     let snapshot = reap_obs::global().snapshot();
     if let Some(path) = &obs.metrics_out {
-        let mut file = BufWriter::new(File::create(path)?);
-        reap_obs::export::write_jsonl(&snapshot, &mut file)?;
+        // Atomic (tmp + rename), matching the live flusher: a concurrent
+        // reader never observes a torn file.
+        reap_obs::flush::write_metrics_atomic(path)?;
     }
     if let Some(path) = &obs.trace_out {
         let mut file = BufWriter::new(File::create(path)?);
@@ -149,7 +181,7 @@ fn obs_check<W: Write>(path: &Path, mut out: W) -> io::Result<i32> {
                 out,
                 "{}: valid {} ({} counters, {} gauges, {} histograms, {} spans)",
                 path.display(),
-                reap_obs::export::JSONL_SCHEMA,
+                summary.version.as_str(),
                 summary.counters,
                 summary.gauges,
                 summary.hists,
@@ -174,8 +206,73 @@ fn obs_check<W: Write>(path: &Path, mut out: W) -> io::Result<i32> {
     }
 }
 
+/// Reads a metrics file (JSONL export or flat JSON baseline) into a
+/// snapshot, reporting failures on `out` with exit code 2.
+fn load_snapshot<W: Write>(path: &Path, out: &mut W) -> io::Result<Result<Snapshot, i32>> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            writeln!(out, "error: cannot read {}: {e}", path.display())?;
+            return Ok(Err(2));
+        }
+    };
+    match Snapshot::from_metrics_str(&text) {
+        Ok(snapshot) => Ok(Ok(snapshot)),
+        Err(message) => {
+            writeln!(out, "error: {}: {message}", path.display())?;
+            Ok(Err(2))
+        }
+    }
+}
+
+/// The `reap obs report` command: renders one run's metrics as the
+/// phase/pool/capture-store tables.
+fn obs_report<W: Write>(path: &Path, no_timings: bool, mut out: W) -> io::Result<i32> {
+    let snapshot = match load_snapshot(path, &mut out)? {
+        Ok(s) => s,
+        Err(code) => return Ok(code),
+    };
+    let options = ReportOptions {
+        timings: !no_timings,
+    };
+    write!(out, "{}", render_report(&snapshot, &options))?;
+    Ok(0)
+}
+
+/// The `reap obs diff` command: compares two runs and applies the
+/// regression gate. Exit 0 = within thresholds, 1 = regression, 2 =
+/// unreadable input.
+fn obs_diff<W: Write>(
+    a: &Path,
+    b: &Path,
+    threshold: f64,
+    min_seconds: f64,
+    metrics: Vec<GateMetric>,
+    mut out: W,
+) -> io::Result<i32> {
+    let snap_a = match load_snapshot(a, &mut out)? {
+        Ok(s) => s,
+        Err(code) => return Ok(code),
+    };
+    let snap_b = match load_snapshot(b, &mut out)? {
+        Ok(s) => s,
+        Err(code) => return Ok(code),
+    };
+    let config = GateConfig {
+        threshold,
+        min_seconds,
+        metrics,
+    };
+    let diff = snap_a.diff(&snap_b);
+    let regressions = gate(&diff, &config);
+    writeln!(out, "a: {}", a.display())?;
+    writeln!(out, "b: {}", b.display())?;
+    write!(out, "{}", render_diff(&diff, &config, &regressions))?;
+    Ok(if regressions.is_empty() { 0 } else { 1 })
+}
+
 fn run<W: Write>(args: RunArgs, mut out: W) -> io::Result<i32> {
-    start_obs(&args.obs);
+    let flusher = start_obs(&args.obs);
     let mut experiment = Experiment::paper_hierarchy()
         .workload(args.workload)
         .accesses(args.accesses)
@@ -211,6 +308,7 @@ fn run<W: Write>(args: RunArgs, mut out: W) -> io::Result<i32> {
             2
         }
     };
+    drop(flusher);
     finish_obs(&args.obs)?;
     Ok(code)
 }
@@ -228,7 +326,7 @@ fn cause_chain(e: &dyn Error) -> String {
 }
 
 fn sweep<W: Write>(args: SweepArgs, mut out: W) -> io::Result<i32> {
-    start_obs(&args.obs);
+    let flusher = start_obs(&args.obs);
     let jobs = args.jobs.unwrap_or_else(|| {
         std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
     });
@@ -250,11 +348,13 @@ fn sweep<W: Write>(args: SweepArgs, mut out: W) -> io::Result<i32> {
         Ok(o) => o,
         Err(e @ CampaignError::Interrupted { .. }) => {
             eprintln!("reap: {}", cause_chain(&e));
+            drop(flusher);
             finish_obs(&args.obs)?;
             return Ok(3);
         }
         Err(e) => {
             writeln!(out, "error: {}", cause_chain(&e))?;
+            drop(flusher);
             finish_obs(&args.obs)?;
             return Ok(2);
         }
@@ -325,6 +425,7 @@ fn sweep<W: Write>(args: SweepArgs, mut out: W) -> io::Result<i32> {
         outcome.recovered,
         outcome.failed,
     );
+    drop(flusher);
     finish_obs(&args.obs)?;
     Ok(if outcome.failed > 0 { 1 } else { 0 })
 }
@@ -492,8 +593,20 @@ mod tests {
         std::fs::write(&good, buf).unwrap();
         let (code, text) = exec(&format!("obs check {}", good.display()));
         assert_eq!(code, 0, "{text}");
-        assert!(text.contains("valid reap-obs/1"), "{text}");
+        assert!(text.contains("valid reap-obs/2"), "{text}");
         assert!(text.contains("1 counters"), "{text}");
+
+        // A v1 document (no process record) still checks, reported as v1.
+        let v1 = dir.join("v1.jsonl");
+        std::fs::write(
+            &v1,
+            "{\"type\":\"meta\",\"schema\":\"reap-obs/1\",\"counters\":0,\
+             \"gauges\":0,\"hists\":0,\"spans\":0}\n",
+        )
+        .unwrap();
+        let (code, text) = exec(&format!("obs check {}", v1.display()));
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("valid reap-obs/1"), "{text}");
 
         let bad = dir.join("bad.jsonl");
         std::fs::write(&bad, "not json at all\n").unwrap();
@@ -571,6 +684,76 @@ mod tests {
         assert_eq!((cold_code, warm_code), (0, 0));
         assert_eq!(cold_v2, warm_v1_reads_v2, "v1 store must serve v2 entries");
         assert_eq!(cold_v1, cold_v2, "format must never change the report");
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn obs_report_renders_phases_from_an_export() {
+        let dir = std::env::temp_dir().join(format!("reap-obs-report-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.jsonl");
+
+        let registry = reap_obs::Registry::new();
+        drop(registry.span("replay"));
+        registry.counter("pool.worker.0.jobs").add(4);
+        registry.gauge("pool.worker.0.busy_s").set(1.5);
+        registry.gauge("pool.worker.0.idle_s").set(0.5);
+        registry.gauge("pool.worker.0.utilization").set(0.75);
+        let mut buf = Vec::new();
+        reap_obs::export::write_jsonl(&registry.snapshot(), &mut buf).unwrap();
+        std::fs::write(&path, buf).unwrap();
+
+        let (code, text) = exec(&format!("obs report {}", path.display()));
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("replay"), "{text}");
+        assert!(text.contains("p95"), "{text}");
+        assert!(text.contains("pool"), "{text}");
+
+        let (code, stable) = exec(&format!("obs report --no-timings {}", path.display()));
+        assert_eq!(code, 0);
+        assert!(!stable.contains("busy"), "{stable}");
+
+        let (code, text) = exec("obs report /definitely/not/here.jsonl");
+        assert_eq!(code, 2);
+        assert!(text.contains("cannot read"), "{text}");
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn obs_diff_gates_on_flat_json_baselines() {
+        let dir = std::env::temp_dir().join(format!("reap-obs-diff-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let a = dir.join("a.json");
+        let b = dir.join("b.json");
+        std::fs::write(&a, "{\"v2\":{\"speedup\":4.0},\"points\":21}\n").unwrap();
+        std::fs::write(&b, "{\"v2\":{\"speedup\":1.5},\"points\":21}\n").unwrap();
+
+        // A 62% drop in a higher-is-better metric fails the gate…
+        let (code, text) = exec(&format!(
+            "obs diff {} {} --threshold 0.5 --metric v2.speedup",
+            a.display(),
+            b.display()
+        ));
+        assert_eq!(code, 1, "{text}");
+        assert!(text.contains("REGRESSION metric v2.speedup"), "{text}");
+
+        // …a file against itself passes it.
+        let (code, text) = exec(&format!(
+            "obs diff {} {} --metric v2.speedup",
+            a.display(),
+            a.display()
+        ));
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("verdict: ok"), "{text}");
+
+        // A gated metric missing from one side is a regression.
+        let (code, text) = exec(&format!(
+            "obs diff {} {} --metric nope",
+            a.display(),
+            b.display()
+        ));
+        assert_eq!(code, 1);
+        assert!(text.contains("missing"), "{text}");
         std::fs::remove_dir_all(dir).ok();
     }
 

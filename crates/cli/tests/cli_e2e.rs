@@ -84,20 +84,25 @@ fn ecc_sweep_metrics_out_is_schema_stable_jsonl() {
     let text = std::fs::read_to_string(&metrics).expect("metrics file written");
     // Every line parses as JSON; the first is the schema-carrying meta line.
     let first = text.lines().next().expect("non-empty");
-    assert!(first.contains("\"schema\":\"reap-obs/1\""), "{first}");
+    assert!(first.contains("\"schema\":\"reap-obs/2\""), "{first}");
     for (i, line) in text.lines().enumerate() {
         reap_obs::json::parse(line).unwrap_or_else(|e| panic!("line {}: {e}: {line}", i + 1));
     }
-    // Expected keys: phase spans, per-worker utilization, per-level cache
-    // counters and ECC decode counts.
+    // Expected keys: phase spans, per-worker utilization, span-latency
+    // histograms, the process self-sample, per-level cache counters and
+    // ECC decode counts.
     for key in [
-        "\"path\":\"capture\"",
-        "\"path\":\"replay_batch\"",
+        "\"path\":\"ecc_sweep.job/capture\"",
+        "\"path\":\"ecc_sweep.job/replay_batch\"",
+        "\"name\":\"campaign\"",
         "\"sim.replay_batch.points\"",
         "\"name\":\"ecc_sweep\"",
         "ecc_sweep.worker.0.busy_s",
         "ecc_sweep.worker.0.utilization",
         "ecc_sweep.worker.0.jobs",
+        "\"name\":\"span.ecc_sweep.job.us\"",
+        "\"name\":\"span.capture.us\"",
+        "\"type\":\"process\"",
         "\"cache.l1d.reads\"",
         "\"cache.l2.reads\"",
         "\"cache.l2.hit_rate\"",
@@ -119,7 +124,7 @@ fn ecc_sweep_metrics_out_is_schema_stable_jsonl() {
         "{}",
         String::from_utf8_lossy(&check.stdout)
     );
-    assert!(String::from_utf8_lossy(&check.stdout).contains("valid reap-obs/1"));
+    assert!(String::from_utf8_lossy(&check.stdout).contains("valid reap-obs/2"));
 
     std::fs::remove_dir_all(dir).ok();
 }
@@ -153,19 +158,31 @@ fn parallel_sweep_metrics_are_deterministic_across_runs() {
         let stable: Vec<String> = std::fs::read_to_string(&path)
             .expect("metrics written")
             .lines()
-            .filter(|l| !l.contains(".worker."))
-            .map(|l| {
+            .filter(|l| !l.contains(".worker.") && !l.contains("\"type\":\"process\""))
+            .filter_map(|l| {
                 let reap_obs::json::Value::Obj(fields) =
                     reap_obs::json::parse(l).expect("line parses")
                 else {
                     panic!("line is not an object: {l}");
                 };
-                fields
-                    .iter()
-                    .filter(|(k, _)| !reap_obs::export::TIMING_KEYS.contains(&k.as_str()))
-                    .map(|(k, v)| format!("{k}={v:?}"))
-                    .collect::<Vec<_>>()
-                    .join(",")
+                // Span-latency histograms carry wall-clock-valued
+                // buckets; drop those records wholesale.
+                let run_variant = fields.iter().any(|(k, v)| {
+                    k == "name"
+                        && v.as_str()
+                            .is_some_and(reap_obs::export::is_run_variant_metric)
+                });
+                if run_variant {
+                    return None;
+                }
+                Some(
+                    fields
+                        .iter()
+                        .filter(|(k, _)| !reap_obs::export::TIMING_KEYS.contains(&k.as_str()))
+                        .map(|(k, v)| format!("{k}={v:?}"))
+                        .collect::<Vec<_>>()
+                        .join(","),
+                )
             })
             .collect();
         exports.push(stable);
@@ -275,7 +292,7 @@ fn warm_capture_store_sweep_is_byte_identical_and_reports_hits() {
         "warm run must not miss: {warm_text}"
     );
     assert!(
-        warm_text.contains("\"path\":\"capture_store\""),
+        warm_text.contains("\"path\":\"ecc_sweep.job/capture_store\""),
         "span expected: {warm_text}"
     );
     // Telemetry honesty: a served capture ran no trace pass, so the warm
@@ -470,6 +487,173 @@ fn injected_panics_recover_without_changing_results() {
     assert!(text.contains("injected panic"), "{text}");
     let err = String::from_utf8_lossy(&strict.stderr);
     assert!(err.contains("failed"), "{err}");
+}
+
+#[test]
+fn obs_report_is_byte_identical_across_parallelism_in_no_timings_mode() {
+    let dir = std::env::temp_dir().join(format!("reap-e2e-report-det-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // The same seeded sweep at -j 1 and -j 4 must render the identical
+    // stable report: worker counts and wall-clock numbers are excluded
+    // by --no-timings, everything else is deterministic.
+    let mut reports = Vec::new();
+    for jobs in ["1", "4"] {
+        let metrics = dir.join(format!("j{jobs}.jsonl"));
+        let out = reap()
+            .args([
+                "sweep",
+                "-n",
+                "5000",
+                "--seed",
+                "11",
+                "--ecc-sweep",
+                "-j",
+                jobs,
+                "--metrics-out",
+            ])
+            .arg(&metrics)
+            .output()
+            .expect("binary runs");
+        assert!(out.status.success());
+        let report = reap()
+            .args(["obs", "report", "--no-timings"])
+            .arg(&metrics)
+            .output()
+            .expect("binary runs");
+        assert!(report.status.success());
+        reports.push(report.stdout);
+    }
+    assert_eq!(
+        String::from_utf8_lossy(&reports[0]),
+        String::from_utf8_lossy(&reports[1]),
+        "--no-timings report must not depend on -j"
+    );
+    let text = String::from_utf8_lossy(&reports[0]);
+    assert!(text.contains("ecc_sweep"), "{text}");
+    assert!(text.contains("jobs"), "{text}");
+
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn obs_diff_catches_a_deliberately_slowed_rerun() {
+    let dir = std::env::temp_dir().join(format!("reap-e2e-diff-gate-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let a = dir.join("a.jsonl");
+    let b = dir.join("b.jsonl");
+
+    let sweep = |metrics: &std::path::Path, inject: Option<&str>| {
+        let mut cmd = reap();
+        cmd.args([
+            "sweep",
+            "-n",
+            "2000",
+            "--seed",
+            "7",
+            "--ecc-sweep",
+            "-j",
+            "2",
+            "--metrics-out",
+        ])
+        .arg(metrics);
+        if let Some(spec) = inject {
+            cmd.args(["--inject", spec]);
+        }
+        let out = cmd.output().expect("binary runs");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stdout)
+        );
+    };
+    sweep(&a, None);
+    // Every job sleeps 200ms: the ecc_sweep phase slows by seconds while
+    // the results stay identical — exactly what a perf regression with
+    // correct output looks like.
+    sweep(&b, Some("seed=1,delay=1,delay-ms=200"));
+
+    let gate = reap()
+        .args(["obs", "diff"])
+        .arg(&a)
+        .arg(&b)
+        .args(["--threshold", "0.10"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(gate.status.code(), Some(1), "slowed rerun must fail gate");
+    let text = String::from_utf8_lossy(&gate.stdout);
+    assert!(text.contains("REGRESSION span"), "{text}");
+    assert!(text.contains("verdict:"), "{text}");
+
+    // A run against itself passes.
+    let clean = reap()
+        .args(["obs", "diff"])
+        .arg(&a)
+        .arg(&a)
+        .args(["--threshold", "0.10"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(clean.status.code(), Some(0));
+    assert!(String::from_utf8_lossy(&clean.stdout).contains("verdict: ok"));
+
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn live_metrics_flusher_keeps_a_valid_snapshot_mid_campaign() {
+    let dir = std::env::temp_dir().join(format!("reap-e2e-flush-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let metrics = dir.join("live.jsonl");
+
+    // 21 jobs × 100ms injected delay on one worker ≈ 2s of campaign:
+    // plenty of 50ms flush ticks to observe mid-run.
+    let mut child = reap()
+        .args([
+            "sweep",
+            "-n",
+            "2000",
+            "--seed",
+            "3",
+            "-j",
+            "1",
+            "--inject",
+            "seed=1,delay=1,delay-ms=100",
+            "--metrics-out",
+        ])
+        .arg(&metrics)
+        .args(["--metrics-interval-ms", "50"])
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("binary spawns");
+
+    // Poll for a complete, schema-valid snapshot while the campaign is
+    // still running.
+    let mut observed_live = false;
+    while child.try_wait().expect("wait works").is_none() {
+        if let Ok(text) = std::fs::read_to_string(&metrics) {
+            if !text.is_empty() {
+                let summary =
+                    reap_obs::export::check_jsonl(&text).expect("mid-run file must be valid");
+                observed_live = true;
+                assert_eq!(summary.version, reap_obs::export::FormatVersion::V2);
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    let status = child.wait().expect("wait works");
+    assert!(status.success());
+    assert!(
+        observed_live,
+        "never observed a live snapshot while the campaign ran"
+    );
+
+    // The final write still lands and is valid.
+    let text = std::fs::read_to_string(&metrics).unwrap();
+    let summary = reap_obs::export::check_jsonl(&text).expect("final file valid");
+    assert!(summary.spans >= 1, "campaign spans expected");
+
+    std::fs::remove_dir_all(dir).ok();
 }
 
 #[test]

@@ -235,6 +235,10 @@ fn run_job(
 /// be created, parsed, or belongs to a different configuration, and
 /// [`CampaignError::Interrupted`] when fault injection stops the run.
 pub fn run_sweep_campaign(config: &CampaignConfig) -> Result<CampaignOutcome, CampaignError> {
+    // Campaign-level phase span: the pool span nests under it, so run
+    // reports show checkpoint/supervision overhead as campaign minus
+    // pool time.
+    let _campaign_span = reap_obs::span("campaign");
     let workloads = SpecWorkload::ALL;
     let keys: Vec<String> = workloads.iter().map(|w| w.name().to_owned()).collect();
     let meta = CheckpointMeta::new(config.mode.tag(), config.accesses, config.seed, &keys);

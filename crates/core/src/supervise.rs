@@ -242,6 +242,7 @@ where
             let pool = pool_name;
             scope.spawn(move || {
                 let started = telemetry.then(std::time::Instant::now);
+                let job_span_name = telemetry.then(|| format!("{pool}.job"));
                 let mut busy = Duration::ZERO;
                 let mut jobs_done = 0u64;
                 loop {
@@ -258,7 +259,11 @@ where
                         .take()
                         .expect("each slot is claimed once");
                     let t0 = telemetry.then(std::time::Instant::now);
+                    // Per-job span: feeds the `span.{pool}.job.us`
+                    // latency histogram (supervised attempts included).
+                    let job_span = job_span_name.as_deref().map(reap_obs::span);
                     let outcome = supervise_job(job, i, config, f, cancelled, stats);
+                    drop(job_span);
                     if let Some(t0) = t0 {
                         busy += t0.elapsed();
                     }
@@ -274,16 +279,23 @@ where
                     let busy = busy.as_secs_f64();
                     let registry = reap_obs::global();
                     let prefix = format!("{pool}.worker.{w}");
-                    registry.gauge(&format!("{prefix}.busy_s")).set(busy);
-                    registry
-                        .gauge(&format!("{prefix}.idle_s"))
-                        .set((wall - busy).max(0.0));
+                    // `add`, not `set`: repeated pools with the same name
+                    // in one process accumulate seconds across batches,
+                    // with utilization recomputed from the accumulated
+                    // totals. (Same fix the `.jobs` counters got.)
+                    let busy_gauge = registry.gauge(&format!("{prefix}.busy_s"));
+                    let idle_gauge = registry.gauge(&format!("{prefix}.idle_s"));
+                    busy_gauge.add(busy);
+                    idle_gauge.add((wall - busy).max(0.0));
+                    let total_busy = busy_gauge.get();
+                    let total_wall = total_busy + idle_gauge.get();
                     registry
                         .gauge(&format!("{prefix}.utilization"))
-                        .set(if wall > 0.0 { busy / wall } else { 0.0 });
-                    // `add`, not `store`: repeated pools with the same
-                    // name in one process accumulate like every other
-                    // emitted counter.
+                        .set(if total_wall > 0.0 {
+                            total_busy / total_wall
+                        } else {
+                            0.0
+                        });
                     registry.counter(&format!("{prefix}.jobs")).add(jobs_done);
                 }
             });

@@ -60,6 +60,7 @@ where
             let pool = pool_name;
             scope.spawn(move || {
                 let started = telemetry.then(Instant::now);
+                let job_span_name = telemetry.then(|| format!("{pool}.job"));
                 let mut busy = std::time::Duration::ZERO;
                 let mut jobs_done = 0u64;
                 loop {
@@ -70,7 +71,11 @@ where
                     let job = slots[i].lock().expect("slot poisoned").take();
                     let job = job.expect("each slot is claimed once");
                     let t0 = telemetry.then(Instant::now);
+                    // Per-job span: feeds the `span.{pool}.job.us`
+                    // latency histogram behind `reap obs report`.
+                    let _job_span = job_span_name.as_deref().map(reap_obs::span);
                     let result = f(job);
+                    drop(_job_span);
                     if let Some(t0) = t0 {
                         busy += t0.elapsed();
                     }
@@ -84,16 +89,24 @@ where
                     let busy = busy.as_secs_f64();
                     let registry = reap_obs::global();
                     let prefix = format!("{pool}.worker.{w}");
-                    registry.gauge(&format!("{prefix}.busy_s")).set(busy);
-                    registry
-                        .gauge(&format!("{prefix}.idle_s"))
-                        .set((wall - busy).max(0.0));
+                    // `add`, not `set`: repeated pools with the same name
+                    // in one process accumulate seconds across batches,
+                    // and utilization is recomputed from the accumulated
+                    // totals so it reflects the whole run, not the last
+                    // batch. (Same fix the `.jobs` counters got.)
+                    let busy_gauge = registry.gauge(&format!("{prefix}.busy_s"));
+                    let idle_gauge = registry.gauge(&format!("{prefix}.idle_s"));
+                    busy_gauge.add(busy);
+                    idle_gauge.add((wall - busy).max(0.0));
+                    let total_busy = busy_gauge.get();
+                    let total_wall = total_busy + idle_gauge.get();
                     registry
                         .gauge(&format!("{prefix}.utilization"))
-                        .set(if wall > 0.0 { busy / wall } else { 0.0 });
-                    // `add`, not `store`: repeated pools with the same
-                    // name in one process accumulate like every other
-                    // emitted counter.
+                        .set(if total_wall > 0.0 {
+                            total_busy / total_wall
+                        } else {
+                            0.0
+                        });
                     registry.counter(&format!("{prefix}.jobs")).add(jobs_done);
                 }
             });

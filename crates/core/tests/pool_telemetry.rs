@@ -8,6 +8,12 @@
 use reap_core::supervise::{pool_map_supervised, JobOutcome, SupervisorConfig};
 use reap_core::sweep::pool_map;
 use std::ops::ControlFlow;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Serializes the tests in this binary: they all reset/enable the
+/// process-global registry.
+static REGISTRY_LOCK: Mutex<()> = Mutex::new(());
 
 fn keep_going<R>(_: usize, _: &JobOutcome<R>) -> ControlFlow<()> {
     ControlFlow::Continue(())
@@ -19,6 +25,7 @@ fn keep_going<R>(_: usize, _: &JobOutcome<R>) -> ControlFlow<()> {
 /// sweeps in one process under-report work.
 #[test]
 fn worker_jobs_counter_accumulates_across_batches() {
+    let _guard = REGISTRY_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     reap_obs::global().reset();
     reap_obs::set_enabled(true);
 
@@ -67,4 +74,75 @@ fn worker_jobs_counter_accumulates_across_batches() {
         6,
         "second supervised batch must add to the counter, not overwrite it"
     );
+}
+
+/// Two batches through the same pool name must *accumulate* the per-worker
+/// `.busy_s`/`.idle_s` gauges and recompute `.utilization` from the
+/// accumulated totals. A `set` there (the old behaviour) silently threw
+/// away the first batch's seconds, so repeated sweeps in one process
+/// under-reported busy time and showed only the last batch's utilization.
+#[test]
+fn worker_seconds_gauges_accumulate_across_batches() {
+    let _guard = REGISTRY_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    reap_obs::global().reset();
+    reap_obs::set_enabled(true);
+
+    let gauge = |name: &str| {
+        reap_obs::global()
+            .snapshot()
+            .gauges
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0.0)
+    };
+    let nap = |_j: u64| std::thread::sleep(Duration::from_millis(10));
+
+    // Single worker so worker 0 owns every job deterministically; sleeps
+    // make the per-batch busy time a guaranteed lower bound.
+    let _ = pool_map((0..3).collect::<Vec<u64>>(), 1, "secs_accum", nap);
+    let busy_after_first = gauge("secs_accum.worker.0.busy_s");
+    assert!(busy_after_first >= 0.029, "3×10ms jobs: {busy_after_first}");
+
+    let _ = pool_map((0..2).collect::<Vec<u64>>(), 1, "secs_accum", nap);
+    let busy_after_second = gauge("secs_accum.worker.0.busy_s");
+    assert!(
+        busy_after_second >= busy_after_first + 0.019,
+        "second batch (2×10ms) must add to busy_s, not overwrite it: \
+         {busy_after_first} -> {busy_after_second}"
+    );
+
+    // Utilization reflects the accumulated totals, not the last batch.
+    let idle = gauge("secs_accum.worker.0.idle_s");
+    let utilization = gauge("secs_accum.worker.0.utilization");
+    assert!(idle >= 0.0);
+    let expected = busy_after_second / (busy_after_second + idle);
+    assert!(
+        (utilization - expected).abs() < 1e-9,
+        "utilization {utilization} must equal accumulated busy/(busy+idle) {expected}"
+    );
+    assert!(utilization > 0.0 && utilization <= 1.0);
+
+    // Same contract for the supervised pool.
+    let config = SupervisorConfig::default();
+    let run = |jobs: u64| {
+        let _ = pool_map_supervised(
+            (0..jobs).collect::<Vec<u64>>(),
+            1,
+            "secs_accum_sup",
+            &config,
+            |_j| std::thread::sleep(Duration::from_millis(10)),
+            keep_going,
+        );
+    };
+    run(3);
+    let sup_first = gauge("secs_accum_sup.worker.0.busy_s");
+    run(2);
+    let sup_second = gauge("secs_accum_sup.worker.0.busy_s");
+    assert!(
+        sup_second >= sup_first + 0.019,
+        "supervised second batch must add to busy_s: {sup_first} -> {sup_second}"
+    );
+
+    reap_obs::set_enabled(false);
 }

@@ -4,13 +4,15 @@
 //! registry can be shown to a human, diffed in CI and opened in a trace
 //! viewer at the same time.
 //!
-//! # JSON-lines schema (`reap-obs/1`)
+//! # JSON-lines schema (`reap-obs/2`)
 //!
 //! One object per line; the first line is a `meta` record announcing the
-//! schema and the number of records of each type:
+//! schema and the number of records of each type, followed by one
+//! `process` self-metrics record, then the metric and span records:
 //!
 //! ```text
-//! {"type":"meta","schema":"reap-obs/1","counters":2,"gauges":1,"hists":0,"spans":3}
+//! {"type":"meta","schema":"reap-obs/2","counters":2,"gauges":1,"hists":1,"spans":3}
+//! {"type":"process","wall_s":0.21,"cpu_s":0.35,"peak_rss_bytes":14680064,"rss_bytes":9437184}
 //! {"type":"counter","name":"ecc.decode","value":1234}
 //! {"type":"gauge","name":"run_parallel.worker.0.utilization","value":0.93}
 //! {"type":"hist","name":"mc.reads","count":5,"sum":120,"max":64,"buckets":[[16,3],[64,2]]}
@@ -18,9 +20,16 @@
 //!  "wall_s":0.051,"events":400000,"rate_per_s":7843137.2}
 //! ```
 //!
+//! `reap-obs/2` differs from `/1` in two ways: the `process` record, and
+//! the automatic `span.{name}.us` latency histograms recorded for every
+//! finished span. Readers ([`check_jsonl`],
+//! [`crate::Snapshot::from_jsonl`]) accept both versions.
+//!
 //! Metric records are sorted by name and spans by path, so two identical
 //! runs produce identical documents apart from the wall-clock fields
-//! listed in [`TIMING_KEYS`] — strip those to diff runs in CI.
+//! listed in [`TIMING_KEYS`], the `process` record, and the run-variant
+//! metrics identified by [`is_run_variant_metric`] — strip those to diff
+//! runs in CI.
 
 use crate::json;
 use crate::registry::Snapshot;
@@ -28,13 +37,64 @@ use std::fmt::Write as _;
 use std::io::{self, Write};
 
 /// Schema identifier stamped on the first JSON-lines record.
-pub const JSONL_SCHEMA: &str = "reap-obs/1";
+pub const JSONL_SCHEMA: &str = "reap-obs/2";
 
 /// Keys whose values differ between otherwise identical runs: wall-clock
 /// measurements, plus the recording thread id (a parallel pool does not
 /// assign spans to the same worker every run). Diff tooling should drop
 /// these.
 pub const TIMING_KEYS: &[&str] = &["start_us", "dur_us", "wall_s", "rate_per_s", "thread"];
+
+/// Whether a metric's *value* is wall-clock-derived and therefore varies
+/// between otherwise identical runs: the per-worker
+/// `.busy_s`/`.idle_s`/`.utilization` gauges and the automatic
+/// `span.{name}.us` latency histograms. Together with [`TIMING_KEYS`]
+/// and the `process` record, these are the only run-variant content of
+/// an export; determinism tests and the report's `--no-timings` mode
+/// drop them.
+pub fn is_run_variant_metric(name: &str) -> bool {
+    name.ends_with(".busy_s")
+        || name.ends_with(".idle_s")
+        || name.ends_with(".utilization")
+        || (name.starts_with("span.") && name.ends_with(".us"))
+}
+
+/// A JSON-lines schema version accepted by the readers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FormatVersion {
+    /// `reap-obs/1`: no `process` record, no span-latency histograms.
+    V1,
+    /// `reap-obs/2`: the current schema.
+    #[default]
+    V2,
+}
+
+impl FormatVersion {
+    /// The schema string this version stamps on the meta line.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FormatVersion::V1 => "reap-obs/1",
+            FormatVersion::V2 => "reap-obs/2",
+        }
+    }
+}
+
+/// Validates a meta line's schema string: `reap-obs/1` and `reap-obs/2`
+/// are accepted, anything else is rejected with the offending line
+/// number.
+pub(crate) fn validate_schema(
+    schema: Option<&str>,
+    line_no: usize,
+) -> Result<FormatVersion, (usize, String)> {
+    match schema {
+        Some("reap-obs/1") => Ok(FormatVersion::V1),
+        Some("reap-obs/2") => Ok(FormatVersion::V2),
+        other => Err((
+            line_no,
+            format!("unknown schema {other:?}, expected \"reap-obs/1\" or \"reap-obs/2\""),
+        )),
+    }
+}
 
 /// Writes the snapshot as JSON-lines (see the module docs for the schema).
 ///
@@ -51,6 +111,17 @@ pub fn write_jsonl<W: Write>(snapshot: &Snapshot, mut out: W) -> io::Result<()> 
         snapshot.hists.len(),
         snapshot.spans.len(),
     )?;
+    if let Some(p) = &snapshot.process {
+        let opt_u64 = |v: Option<u64>| v.map_or_else(|| "null".to_owned(), |b| b.to_string());
+        writeln!(
+            out,
+            "{{\"type\":\"process\",\"wall_s\":{},\"cpu_s\":{},\"peak_rss_bytes\":{},\"rss_bytes\":{}}}",
+            json::number(p.wall_s),
+            p.cpu_s.map_or_else(|| "null".to_owned(), json::number),
+            opt_u64(p.peak_rss_bytes),
+            opt_u64(p.rss_bytes),
+        )?;
+    }
     for (name, value) in &snapshot.counters {
         writeln!(
             out,
@@ -204,6 +275,8 @@ pub struct TruncatedTail {
 /// Per-type record counts of a validated JSON-lines document.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct JsonlSummary {
+    /// The schema version the meta line declared.
+    pub version: FormatVersion,
     /// `counter` records seen.
     pub counters: u64,
     /// `gauge` records seen.
@@ -268,12 +341,7 @@ pub fn check_jsonl(text: &str) -> Result<JsonlSummary, (usize, String)> {
                 return Err((line_no, "first record must be \"meta\"".to_owned()));
             }
             let schema = value.get("schema").and_then(json::Value::as_str);
-            if schema != Some(JSONL_SCHEMA) {
-                return Err((
-                    line_no,
-                    format!("unknown schema {schema:?}, expected \"{JSONL_SCHEMA}\""),
-                ));
-            }
+            summary.version = validate_schema(schema, line_no)?;
             let count = |key: &str| {
                 value
                     .get(key)
@@ -312,6 +380,11 @@ pub fn check_jsonl(text: &str) -> Result<JsonlSummary, (usize, String)> {
                     }
                 }
                 summary.spans += 1;
+            }
+            "process" => {
+                if value.get("wall_s").and_then(json::Value::as_f64).is_none() {
+                    return Err((line_no, "process record has no numeric \"wall_s\"".into()));
+                }
             }
             "meta" => return Err((line_no, "duplicate meta record".to_owned())),
             other => return Err((line_no, format!("unknown record type \"{other}\""))),
@@ -367,14 +440,40 @@ mod tests {
         assert_eq!(
             summary,
             JsonlSummary {
+                version: FormatVersion::V2,
                 counters: 1,
                 gauges: 1,
-                hists: 1,
+                // The recorded `n` histogram plus the automatic
+                // `span.capture.us` latency histogram.
+                hists: 2,
                 spans: 1,
                 truncated: None,
             }
         );
-        assert_eq!(summary.total(), 4);
+        assert_eq!(summary.total(), 5);
+        assert!(text.contains("\"span.capture.us\""), "{text}");
+        assert!(text.contains("\"type\":\"process\""), "{text}");
+    }
+
+    #[test]
+    fn check_accepts_both_schema_versions_and_rejects_unknown() {
+        let v1 = "{\"type\":\"meta\",\"schema\":\"reap-obs/1\",\"counters\":0,\"gauges\":0,\
+                  \"hists\":0,\"spans\":0}\n";
+        assert_eq!(check_jsonl(v1).unwrap().version, FormatVersion::V1);
+
+        let mut buf = Vec::new();
+        write_jsonl(&sample().snapshot(), &mut buf).unwrap();
+        let v2 = String::from_utf8(buf).unwrap();
+        assert_eq!(check_jsonl(&v2).unwrap().version, FormatVersion::V2);
+
+        let unknown = v1.replace("reap-obs/1", "reap-obs/3");
+        let (line, msg) = check_jsonl(&unknown).unwrap_err();
+        assert_eq!(line, 1, "version errors name the offending line");
+        assert!(msg.contains("reap-obs/3"), "{msg}");
+        assert!(
+            msg.contains("reap-obs/1") && msg.contains("reap-obs/2"),
+            "{msg}"
+        );
     }
 
     #[test]

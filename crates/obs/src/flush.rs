@@ -1,0 +1,129 @@
+//! Periodic atomic-write flusher for live metrics.
+//!
+//! A [`Flusher`] snapshots the [global](crate::global) registry on a
+//! fixed interval and rewrites a JSONL metrics file atomically (write
+//! to `{path}.tmp`, then rename), so external observers — a watching
+//! shell, a CI poller, later `reap serve` — always read a complete,
+//! schema-valid document while a long campaign is still running.
+//!
+//! Dropping the flusher stops the background thread and performs one
+//! final flush, so the file is current even when the interval never
+//! elapsed.
+
+use crate::export::write_jsonl;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Writes `snapshot` of the global registry to `path` atomically:
+/// the document lands in `{path}.tmp` first and is renamed into place,
+/// so readers never observe a torn file.
+pub fn write_metrics_atomic(path: &Path) -> io::Result<()> {
+    let tmp = {
+        let mut p = path.as_os_str().to_owned();
+        p.push(".tmp");
+        PathBuf::from(p)
+    };
+    let mut buf = Vec::new();
+    write_jsonl(&crate::global().snapshot(), &mut buf)?;
+    std::fs::write(&tmp, &buf)?;
+    std::fs::rename(&tmp, path)
+}
+
+struct Shared {
+    stop: Mutex<bool>,
+    wake: Condvar,
+}
+
+/// Background thread that keeps a metrics file current; see the module
+/// docs. Constructed by [`Flusher::start`], stopped on drop.
+pub struct Flusher {
+    shared: Arc<Shared>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Flusher {
+    /// Spawns the flusher thread writing the global registry's snapshot
+    /// to `path` every `interval`. Flush errors (e.g. the directory
+    /// vanished) are swallowed: live metrics are best-effort and must
+    /// never kill a campaign.
+    pub fn start(path: PathBuf, interval: Duration) -> Self {
+        let shared = Arc::new(Shared {
+            stop: Mutex::new(false),
+            wake: Condvar::new(),
+        });
+        let thread_shared = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name("obs-flush".to_owned())
+            .spawn(move || {
+                let mut stopped = thread_shared.stop.lock().unwrap_or_else(|e| e.into_inner());
+                loop {
+                    let (guard, timeout) = thread_shared
+                        .wake
+                        .wait_timeout(stopped, interval)
+                        .unwrap_or_else(|e| e.into_inner());
+                    stopped = guard;
+                    if *stopped {
+                        let _ = write_metrics_atomic(&path);
+                        return;
+                    }
+                    if timeout.timed_out() {
+                        let _ = write_metrics_atomic(&path);
+                    }
+                }
+            })
+            .expect("spawn obs-flush thread");
+        Self {
+            shared,
+            handle: Some(handle),
+        }
+    }
+}
+
+impl Drop for Flusher {
+    fn drop(&mut self) {
+        *self.shared.stop.lock().unwrap_or_else(|e| e.into_inner()) = true;
+        self.shared.wake.notify_all();
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::export::check_jsonl;
+
+    #[test]
+    fn flusher_keeps_a_valid_snapshot_file_current() {
+        let dir = std::env::temp_dir().join(format!("reap-obs-flush-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("live.jsonl");
+
+        crate::set_enabled(true);
+        crate::global().reset();
+        crate::counter("flush.test").add(7);
+        {
+            let _flusher = Flusher::start(path.clone(), Duration::from_millis(10));
+            let deadline = std::time::Instant::now() + Duration::from_secs(5);
+            loop {
+                if let Ok(text) = std::fs::read_to_string(&path) {
+                    if text.contains("flush.test") {
+                        break;
+                    }
+                }
+                assert!(std::time::Instant::now() < deadline, "flusher never wrote");
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+        // The mid-run file is a complete, valid document.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let summary = check_jsonl(&text).unwrap();
+        assert!(summary.counters >= 1);
+        crate::set_enabled(false);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -4,9 +4,11 @@
 //! structured telemetry: a thread-safe [`Registry`] of named counters,
 //! gauges and log-bucketed histograms; hierarchical phase [`span`]s that
 //! record wall-clock, event counts and derived rates; exporters for
-//! human-readable tables, schema-stable JSON-lines and Chrome
-//! `trace_event` JSON ([`export`]); and a rate-limited [`Progress`]
-//! reporter for long sweeps and Monte-Carlo campaigns.
+//! human-readable tables, schema-stable JSON-lines (`reap-obs/2`) and
+//! Chrome `trace_event` JSON ([`export`]); snapshot comparison and run
+//! reports ([`snapshot`], [`report`]); a periodic atomic-write
+//! live-metrics [`flush`]er; and a rate-limited [`Progress`] reporter
+//! for long sweeps and Monte-Carlo campaigns.
 //!
 //! ## Disabled-by-default fast path
 //!
@@ -50,13 +52,19 @@
 #![warn(missing_docs)]
 
 pub mod export;
+pub mod flush;
 pub mod json;
 pub mod progress;
 pub mod registry;
+pub mod report;
+pub mod snapshot;
 pub mod span;
 
+pub use flush::Flusher;
 pub use progress::Progress;
 pub use registry::{Counter, Gauge, HistSnapshot, Histogram, Registry, Snapshot, StaticCounter};
+pub use report::{GateConfig, GateMetric, Regression, ReportOptions};
+pub use snapshot::{Delta, HistDelta, ProcessSample, SnapshotDiff, SpanAgg, SpanDelta};
 pub use span::{SpanGuard, SpanRecord};
 
 use std::sync::atomic::{AtomicBool, Ordering};

@@ -11,6 +11,7 @@
 //!
 //! [`span`]: crate::span()
 
+use crate::snapshot::ProcessSample;
 use crate::span::SpanRecord;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -73,6 +74,24 @@ impl Gauge {
         self.0.store(value.to_bits(), Ordering::Relaxed);
     }
 
+    /// Adds `delta` to the gauge (lock-free CAS on the bit pattern) — for
+    /// gauges that accumulate quantities across batches, like the
+    /// per-worker `.busy_s`/`.idle_s` seconds of a repeatedly invoked
+    /// pool.
+    pub fn add(&self, delta: f64) {
+        let mut current = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(current) + delta).to_bits();
+            match self
+                .0
+                .compare_exchange_weak(current, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
     /// Latest observation (0.0 if never set).
     pub fn get(&self) -> f64 {
         f64::from_bits(self.0.load(Ordering::Relaxed))
@@ -82,7 +101,6 @@ impl Gauge {
 #[derive(Debug)]
 pub(crate) struct HistCell {
     buckets: [AtomicU64; HISTOGRAM_BUCKETS],
-    count: AtomicU64,
     sum: AtomicU64,
     max: AtomicU64,
 }
@@ -91,10 +109,16 @@ impl HistCell {
     fn new() -> Self {
         Self {
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
-            count: AtomicU64::new(0),
             sum: AtomicU64::new(0),
             max: AtomicU64::new(0),
         }
+    }
+
+    fn record(&self, value: u64) {
+        let bucket = 63 - value.max(1).leading_zeros() as usize;
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
     }
 }
 
@@ -124,18 +148,17 @@ pub struct Histogram(Arc<HistCell>);
 impl Histogram {
     /// Records one observation.
     pub fn record(&self, value: u64) {
-        let bucket = 63 - value.max(1).leading_zeros() as usize;
-        self.0.buckets[bucket].fetch_add(1, Ordering::Relaxed);
-        self.0.count.fetch_add(1, Ordering::Relaxed);
-        self.0.sum.fetch_add(value, Ordering::Relaxed);
-        self.0.max.fetch_max(value, Ordering::Relaxed);
+        self.0.record(value);
     }
 }
 
 /// Point-in-time copy of one histogram.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HistSnapshot {
-    /// Total observations.
+    /// Total observations. Always equals the sum of the bucket counts:
+    /// the snapshot derives it from the buckets rather than reading a
+    /// separate atomic, so a snapshot taken mid-record can never report
+    /// a count that disagrees with its own bucket sums.
     pub count: u64,
     /// Sum of all observations.
     pub sum: u64,
@@ -144,6 +167,61 @@ pub struct HistSnapshot {
     /// Non-empty buckets as `(lower_edge, count)`, lower edges ascending
     /// powers of two.
     pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistSnapshot {
+    /// Mean observation, `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Estimates the `q`-quantile (`0.0..=1.0`) by locating the bucket
+    /// holding the `ceil(q·count)`-th smallest observation and
+    /// interpolating linearly inside its `[2^i, 2^(i+1))` range. The
+    /// estimate is clamped to the recorded maximum, so it sits within a
+    /// factor of two of the true quantile (the bucket width); see
+    /// DESIGN.md §11 for the error-bound discussion.
+    ///
+    /// Returns `None` for an empty histogram.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use reap_obs::Registry;
+    ///
+    /// let registry = Registry::new();
+    /// let h = registry.histogram("latency");
+    /// for v in [10u64, 10, 10, 10, 1000] {
+    ///     h.record(v);
+    /// }
+    /// let snap = registry.snapshot();
+    /// let p50 = snap.hists[0].1.quantile(0.50).unwrap();
+    /// assert!((8.0..16.0).contains(&p50), "{p50}");
+    /// assert_eq!(snap.hists[0].1.quantile(0.99), Some(1000.0));
+    /// ```
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for &(lo, n) in &self.buckets {
+            if seen + n >= rank {
+                // Bucket 0 (stored lower edge 1) also holds clamped
+                // zeros, so its true range is [0, 2).
+                let (lo_f, hi_f) = if lo == 1 {
+                    (0.0, 2.0)
+                } else {
+                    (lo as f64, lo as f64 * 2.0)
+                };
+                let frac = (rank - seen) as f64 / n as f64;
+                return Some((lo_f + frac * (hi_f - lo_f)).min(self.max as f64));
+            }
+            seen += n;
+        }
+        Some(self.max as f64)
+    }
 }
 
 /// A `const`-constructible counter for hot instrumentation points.
@@ -289,7 +367,16 @@ impl Registry {
     }
 
     pub(crate) fn record_span(&self, record: SpanRecord) {
-        self.lock().spans.push(record);
+        let mut inner = self.lock();
+        // Every finished span also lands in a per-span-name latency
+        // histogram, so phase-level tail latency (p50/p95/p99) survives
+        // aggregation without keeping every span record around.
+        inner
+            .hists
+            .entry(format!("span.{}.us", record.name))
+            .or_insert_with(|| Arc::new(HistCell::new()))
+            .record(record.dur_us);
+        inner.spans.push(record);
     }
 
     /// Total wall-clock seconds across all finished spans named `name`.
@@ -344,10 +431,14 @@ impl Registry {
                         (c > 0).then_some((1u64 << i, c))
                     })
                     .collect();
+                // The count is the bucket sum by construction — there is
+                // no separate count cell to tear against the buckets
+                // under concurrent writers.
+                let count = buckets.iter().map(|(_, c)| c).sum();
                 (
                     k.clone(),
                     HistSnapshot {
-                        count: v.count.load(Ordering::Relaxed),
+                        count,
                         sum: v.sum.load(Ordering::Relaxed),
                         max: v.max.load(Ordering::Relaxed),
                         buckets,
@@ -362,6 +453,7 @@ impl Registry {
             gauges,
             hists,
             spans,
+            process: Some(ProcessSample::capture(self.epoch)),
         }
     }
 
@@ -382,7 +474,6 @@ impl Registry {
             for b in &h.buckets {
                 b.store(0, Ordering::Relaxed);
             }
-            h.count.store(0, Ordering::Relaxed);
             h.sum.store(0, Ordering::Relaxed);
             h.max.store(0, Ordering::Relaxed);
         }
@@ -401,6 +492,9 @@ pub struct Snapshot {
     pub hists: Vec<(String, HistSnapshot)>,
     /// Finished spans sorted by path (completion order within a path).
     pub spans: Vec<SpanRecord>,
+    /// Process self-metrics sampled when the snapshot was taken
+    /// (`None` only for snapshots loaded from `reap-obs/1` documents).
+    pub process: Option<ProcessSample>,
 }
 
 #[cfg(test)]

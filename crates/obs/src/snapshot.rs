@@ -1,0 +1,573 @@
+//! Snapshot introspection: process self-metrics, loading exported
+//! documents back into [`Snapshot`]s, and diffing two snapshots.
+//!
+//! This is the read side of the observability layer. The write side
+//! ([`crate::export`]) turns a [`Snapshot`] into a `reap-obs/2` JSON-lines
+//! document; this module turns such a document (or a flat JSON object
+//! like the committed `BENCH_*.json` baselines) back into a [`Snapshot`],
+//! and [`Snapshot::diff`] compares two of them: signed deltas for
+//! counters and gauges, histogram-shape deltas, per-span-name wall-time
+//! deltas, and added/removed metric detection. [`crate::report`] renders
+//! the results and applies regression thresholds.
+
+use crate::json::{self, Value};
+use crate::registry::{HistSnapshot, Snapshot};
+use crate::span::SpanRecord;
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// Self-metrics of the recording process, sampled at snapshot time.
+///
+/// The RSS fields come from `/proc/self/status` (`VmHWM`/`VmRSS`) and the
+/// CPU time from `/proc/self/stat`; on platforms without procfs they are
+/// `None` and only the wall clock is reported.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ProcessSample {
+    /// Wall-clock seconds since the registry epoch.
+    pub wall_s: f64,
+    /// User + system CPU seconds consumed by the process.
+    pub cpu_s: Option<f64>,
+    /// Peak resident set size in bytes (`VmHWM`).
+    pub peak_rss_bytes: Option<u64>,
+    /// Current resident set size in bytes (`VmRSS`).
+    pub rss_bytes: Option<u64>,
+}
+
+impl ProcessSample {
+    /// Samples the current process, measuring wall time from `epoch`.
+    pub fn capture(epoch: Instant) -> Self {
+        Self {
+            wall_s: epoch.elapsed().as_secs_f64(),
+            cpu_s: proc_cpu_seconds(),
+            peak_rss_bytes: proc_status_bytes("VmHWM:"),
+            rss_bytes: proc_status_bytes("VmRSS:"),
+        }
+    }
+
+    /// CPU-to-wall ratio — parallel efficiency in one number. `None`
+    /// without CPU accounting or for a zero-length run.
+    pub fn cpu_per_wall(&self) -> Option<f64> {
+        let cpu = self.cpu_s?;
+        (self.wall_s > 0.0).then(|| cpu / self.wall_s)
+    }
+}
+
+/// A `Vm…` line of `/proc/self/status`, converted from kB to bytes.
+fn proc_status_bytes(field: &str) -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with(field))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
+/// utime + stime of `/proc/self/stat` in seconds (USER_HZ is 100 on
+/// every Linux ABI this crate targets).
+fn proc_cpu_seconds() -> Option<f64> {
+    let stat = std::fs::read_to_string("/proc/self/stat").ok()?;
+    // The comm field may contain spaces; everything after the closing
+    // paren is whitespace-delimited: state, then utime at index 11 and
+    // stime at index 12.
+    let rest = stat.rsplit_once(')')?.1;
+    let mut fields = rest.split_whitespace();
+    let utime: u64 = fields.nth(11)?.parse().ok()?;
+    let stime: u64 = fields.next()?.parse().ok()?;
+    Some((utime + stime) as f64 / 100.0)
+}
+
+/// One metric present in both snapshots, with its two values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delta {
+    /// Metric name.
+    pub name: String,
+    /// Value in the first (baseline) snapshot.
+    pub a: f64,
+    /// Value in the second snapshot.
+    pub b: f64,
+}
+
+impl Delta {
+    /// Signed absolute change `b - a`.
+    pub fn change(&self) -> f64 {
+        self.b - self.a
+    }
+
+    /// Signed relative change `(b - a) / |a|`; `None` when the baseline
+    /// is zero.
+    pub fn rel(&self) -> Option<f64> {
+        (self.a != 0.0).then(|| (self.b - self.a) / self.a.abs())
+    }
+}
+
+/// One histogram present in both snapshots.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistDelta {
+    /// Histogram name.
+    pub name: String,
+    /// Shape in the first (baseline) snapshot.
+    pub a: HistSnapshot,
+    /// Shape in the second snapshot.
+    pub b: HistSnapshot,
+}
+
+/// One span name's aggregate in a snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SpanAgg {
+    /// Finished spans with this name.
+    pub count: u64,
+    /// Total wall-clock seconds across them.
+    pub total_s: f64,
+    /// Total events attributed to them.
+    pub events: u64,
+}
+
+/// One span name present in both snapshots, with both aggregates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanDelta {
+    /// Span name.
+    pub name: String,
+    /// Aggregate in the first (baseline) snapshot.
+    pub a: SpanAgg,
+    /// Aggregate in the second snapshot.
+    pub b: SpanAgg,
+}
+
+impl SpanDelta {
+    /// Signed relative change of total wall seconds; `None` when the
+    /// baseline total is zero.
+    pub fn rel(&self) -> Option<f64> {
+        (self.a.total_s > 0.0).then(|| (self.b.total_s - self.a.total_s) / self.a.total_s)
+    }
+}
+
+/// The structured comparison of two [`Snapshot`]s.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SnapshotDiff {
+    /// Counters present in both, sorted by name.
+    pub counters: Vec<Delta>,
+    /// Gauges present in both, sorted by name.
+    pub gauges: Vec<Delta>,
+    /// Histograms present in both, sorted by name.
+    pub hists: Vec<HistDelta>,
+    /// Span names present in both, sorted by name.
+    pub spans: Vec<SpanDelta>,
+    /// Metrics only in the second snapshot, as `"kind name"` strings.
+    pub added: Vec<String>,
+    /// Metrics only in the first snapshot, as `"kind name"` strings.
+    pub removed: Vec<String>,
+    /// Process samples of the two snapshots, when recorded.
+    pub process_a: Option<ProcessSample>,
+    /// Second snapshot's process sample.
+    pub process_b: Option<ProcessSample>,
+}
+
+/// Aggregates a snapshot's spans by name.
+pub fn span_aggregates(snapshot: &Snapshot) -> BTreeMap<String, SpanAgg> {
+    let mut totals: BTreeMap<String, SpanAgg> = BTreeMap::new();
+    for span in &snapshot.spans {
+        let agg = totals.entry(span.name.clone()).or_default();
+        agg.count += 1;
+        agg.total_s += span.wall_seconds();
+        agg.events += span.events;
+    }
+    totals
+}
+
+fn join_names<'a, A, B, K, VA, VB>(
+    a: A,
+    b: B,
+    kind: &str,
+    shared: &mut Vec<(String, VA, VB)>,
+    added: &mut Vec<String>,
+    removed: &mut Vec<String>,
+) where
+    A: IntoIterator<Item = (K, VA)>,
+    B: IntoIterator<Item = (K, VB)>,
+    K: Into<String> + 'a,
+{
+    let mut bs: BTreeMap<String, VB> = b.into_iter().map(|(k, v)| (k.into(), v)).collect();
+    for (name, va) in a {
+        let name: String = name.into();
+        match bs.remove(&name) {
+            Some(vb) => shared.push((name, va, vb)),
+            None => removed.push(format!("{kind} {name}")),
+        }
+    }
+    added.extend(bs.into_keys().map(|name| format!("{kind} {name}")));
+}
+
+impl Snapshot {
+    /// Compares `self` (the baseline, "a") against `other` ("b").
+    ///
+    /// Metrics present in both land in the delta lists; metrics present
+    /// in only one side land in `added`/`removed`. Spans are aggregated
+    /// by name before comparison (individual span records carry
+    /// run-variant timing, but a phase's count/total/events triple is
+    /// the stable unit of comparison).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use reap_obs::Registry;
+    ///
+    /// let a = Registry::new();
+    /// a.counter("ecc.decode").add(10);
+    /// let b = Registry::new();
+    /// b.counter("ecc.decode").add(15);
+    /// b.counter("new.metric").inc();
+    /// let diff = a.snapshot().diff(&b.snapshot());
+    /// assert_eq!(diff.counters[0].change(), 5.0);
+    /// assert_eq!(diff.added, vec!["counter new.metric".to_owned()]);
+    /// ```
+    pub fn diff(&self, other: &Snapshot) -> SnapshotDiff {
+        let mut diff = SnapshotDiff {
+            process_a: self.process.clone(),
+            process_b: other.process.clone(),
+            ..SnapshotDiff::default()
+        };
+        let mut counters = Vec::new();
+        join_names(
+            self.counters.iter().map(|(k, v)| (k.clone(), *v)),
+            other.counters.iter().map(|(k, v)| (k.clone(), *v)),
+            "counter",
+            &mut counters,
+            &mut diff.added,
+            &mut diff.removed,
+        );
+        diff.counters = counters
+            .into_iter()
+            .map(|(name, a, b)| Delta {
+                name,
+                a: a as f64,
+                b: b as f64,
+            })
+            .collect();
+        let mut gauges = Vec::new();
+        join_names(
+            self.gauges.iter().map(|(k, v)| (k.clone(), *v)),
+            other.gauges.iter().map(|(k, v)| (k.clone(), *v)),
+            "gauge",
+            &mut gauges,
+            &mut diff.added,
+            &mut diff.removed,
+        );
+        diff.gauges = gauges
+            .into_iter()
+            .map(|(name, a, b)| Delta { name, a, b })
+            .collect();
+        let mut hists = Vec::new();
+        join_names(
+            self.hists.iter().map(|(k, v)| (k.clone(), v.clone())),
+            other.hists.iter().map(|(k, v)| (k.clone(), v.clone())),
+            "hist",
+            &mut hists,
+            &mut diff.added,
+            &mut diff.removed,
+        );
+        diff.hists = hists
+            .into_iter()
+            .map(|(name, a, b)| HistDelta { name, a, b })
+            .collect();
+        let mut spans = Vec::new();
+        join_names(
+            span_aggregates(self),
+            span_aggregates(other),
+            "span",
+            &mut spans,
+            &mut diff.added,
+            &mut diff.removed,
+        );
+        diff.spans = spans
+            .into_iter()
+            .map(|(name, a, b)| SpanDelta { name, a, b })
+            .collect();
+        diff.added.sort();
+        diff.removed.sort();
+        diff
+    }
+
+    /// Loads a snapshot back from a JSON-lines document produced by
+    /// [`crate::export::write_jsonl`] (either `reap-obs/1` or `/2`).
+    ///
+    /// A crash-truncated unterminated final line is tolerated and
+    /// skipped, matching [`crate::export::check_jsonl`].
+    ///
+    /// # Errors
+    ///
+    /// Returns `(line_number, message)` (1-based) for the first
+    /// violation — including an unknown schema version on the meta line.
+    pub fn from_jsonl(text: &str) -> Result<Snapshot, (usize, String)> {
+        let mut snapshot = Snapshot::default();
+        let mut saw_meta = false;
+        let last_line_unterminated = !text.is_empty() && !text.ends_with('\n');
+        let line_count = text.lines().count();
+        for (i, line) in text.lines().enumerate() {
+            let line_no = i + 1;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let parsed = json::parse(line);
+            if parsed.is_err() && last_line_unterminated && line_no == line_count {
+                break;
+            }
+            let value = parsed.map_err(|e| (line_no, format!("invalid JSON: {e}")))?;
+            let kind = value
+                .get("type")
+                .and_then(Value::as_str)
+                .ok_or_else(|| (line_no, "record has no \"type\" field".to_owned()))?;
+            if !saw_meta {
+                if kind != "meta" {
+                    return Err((line_no, "first record must be \"meta\"".to_owned()));
+                }
+                let schema = value.get("schema").and_then(Value::as_str);
+                crate::export::validate_schema(schema, line_no)?;
+                saw_meta = true;
+                continue;
+            }
+            let name = || {
+                value
+                    .get("name")
+                    .and_then(Value::as_str)
+                    .map(str::to_owned)
+                    .ok_or_else(|| (line_no, format!("{kind} record has no \"name\"")))
+            };
+            let num = |key: &str| {
+                value
+                    .get(key)
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| (line_no, format!("{kind} record missing \"{key}\"")))
+            };
+            match kind {
+                "counter" => snapshot.counters.push((name()?, num("value")? as u64)),
+                "gauge" => snapshot.gauges.push((name()?, num("value")?)),
+                "hist" => {
+                    let buckets = match value.get("buckets") {
+                        Some(Value::Arr(items)) => items
+                            .iter()
+                            .map(|pair| match pair {
+                                Value::Arr(lc) if lc.len() == 2 => {
+                                    match (lc[0].as_f64(), lc[1].as_f64()) {
+                                        (Some(lo), Some(c)) => Ok((lo as u64, c as u64)),
+                                        _ => Err((line_no, "bad bucket pair".to_owned())),
+                                    }
+                                }
+                                _ => Err((line_no, "bad bucket pair".to_owned())),
+                            })
+                            .collect::<Result<Vec<_>, _>>()?,
+                        _ => return Err((line_no, "hist record missing \"buckets\"".to_owned())),
+                    };
+                    snapshot.hists.push((
+                        name()?,
+                        HistSnapshot {
+                            count: num("count")? as u64,
+                            sum: num("sum")? as u64,
+                            max: num("max")? as u64,
+                            buckets,
+                        },
+                    ));
+                }
+                "span" => {
+                    let field = |key: &str| {
+                        value
+                            .get(key)
+                            .and_then(Value::as_str)
+                            .map(str::to_owned)
+                            .ok_or_else(|| (line_no, format!("span record has no \"{key}\"")))
+                    };
+                    snapshot.spans.push(SpanRecord {
+                        path: field("path")?,
+                        name: field("name")?,
+                        start_us: num("start_us")? as u64,
+                        dur_us: num("dur_us")? as u64,
+                        events: num("events")? as u64,
+                        thread: num("thread")? as u64,
+                    });
+                }
+                "process" => {
+                    let opt = |key: &str| value.get(key).and_then(Value::as_f64);
+                    snapshot.process = Some(ProcessSample {
+                        wall_s: num("wall_s")?,
+                        cpu_s: opt("cpu_s"),
+                        peak_rss_bytes: opt("peak_rss_bytes").map(|v| v as u64),
+                        rss_bytes: opt("rss_bytes").map(|v| v as u64),
+                    });
+                }
+                "meta" => return Err((line_no, "duplicate meta record".to_owned())),
+                other => return Err((line_no, format!("unknown record type \"{other}\""))),
+            }
+        }
+        if !saw_meta {
+            return Err((0, "empty document (no meta record)".to_owned()));
+        }
+        Ok(snapshot)
+    }
+
+    /// Loads a flat JSON object (like the committed `BENCH_*.json`
+    /// baselines) as a snapshot of gauges: every numeric field becomes a
+    /// gauge, nested objects flattened with dots (`v2.speedup`).
+    /// Booleans and strings are skipped.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the text is not one JSON object.
+    pub fn from_flat_json(text: &str) -> Result<Snapshot, String> {
+        let value = json::parse(text).map_err(|e| format!("invalid JSON: {e}"))?;
+        let Value::Obj(_) = &value else {
+            return Err("expected a JSON object".to_owned());
+        };
+        let mut gauges = Vec::new();
+        flatten_numeric("", &value, &mut gauges);
+        gauges.sort_by(|(a, _), (b, _)| a.cmp(b));
+        Ok(Snapshot {
+            gauges,
+            ..Snapshot::default()
+        })
+    }
+
+    /// Loads a metrics file of either supported shape: a JSON-lines
+    /// export (detected by its `meta` first line) or a flat JSON object.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for unreadable content.
+    pub fn from_metrics_str(text: &str) -> Result<Snapshot, String> {
+        // A whole-text parse succeeding means a single JSON value: a
+        // flat baseline object (or a degenerate one-line JSONL export,
+        // which the meta type identifies).
+        if let Ok(value) = json::parse(text) {
+            if value.get("type").and_then(Value::as_str) != Some("meta") {
+                return Snapshot::from_flat_json(text);
+            }
+        }
+        Snapshot::from_jsonl(text).map_err(|(line, msg)| format!("line {line}: {msg}"))
+    }
+}
+
+fn flatten_numeric(prefix: &str, value: &Value, out: &mut Vec<(String, f64)>) {
+    match value {
+        Value::Obj(fields) => {
+            for (key, v) in fields {
+                let name = if prefix.is_empty() {
+                    key.clone()
+                } else {
+                    format!("{prefix}.{key}")
+                };
+                flatten_numeric(&name, v, out);
+            }
+        }
+        Value::Num(n) if !prefix.is_empty() => out.push((prefix.to_owned(), *n)),
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    fn exported(r: &Registry) -> String {
+        let mut buf = Vec::new();
+        crate::export::write_jsonl(&r.snapshot(), &mut buf).unwrap();
+        String::from_utf8(buf).unwrap()
+    }
+
+    #[test]
+    fn process_sample_reports_linux_self_metrics() {
+        let s = ProcessSample::capture(Instant::now());
+        assert!(s.wall_s >= 0.0);
+        if cfg!(target_os = "linux") {
+            assert!(s.peak_rss_bytes.unwrap() > 0);
+            assert!(s.rss_bytes.unwrap() > 0);
+            assert!(s.cpu_s.unwrap() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn jsonl_round_trips_into_an_equal_snapshot() {
+        let r = Registry::new();
+        r.counter("ecc.decode").add(7);
+        r.gauge("util").set(0.5);
+        r.histogram("n").record(9);
+        {
+            let mut s = r.span("capture");
+            s.add_events(100);
+        }
+        let original = r.snapshot();
+        let loaded = Snapshot::from_jsonl(&exported(&r)).unwrap();
+        assert_eq!(loaded.counters, original.counters);
+        assert_eq!(loaded.gauges, original.gauges);
+        assert_eq!(loaded.hists, original.hists);
+        assert_eq!(loaded.spans, original.spans);
+        assert!(loaded.process.is_some());
+    }
+
+    #[test]
+    fn from_jsonl_rejects_unknown_schema_with_line_number() {
+        let err =
+            Snapshot::from_jsonl("{\"type\":\"meta\",\"schema\":\"reap-obs/99\"}\n").unwrap_err();
+        assert_eq!(err.0, 1);
+        assert!(err.1.contains("reap-obs/99"), "{}", err.1);
+    }
+
+    #[test]
+    fn from_jsonl_accepts_v1_documents() {
+        let text = "{\"type\":\"meta\",\"schema\":\"reap-obs/1\",\"counters\":1,\"gauges\":0,\
+                    \"hists\":0,\"spans\":0}\n{\"type\":\"counter\",\"name\":\"x\",\"value\":3}\n";
+        let snap = Snapshot::from_jsonl(text).unwrap();
+        assert_eq!(snap.counters, vec![("x".to_owned(), 3)]);
+        assert!(snap.process.is_none(), "v1 documents carry no process");
+    }
+
+    #[test]
+    fn diff_reports_deltas_and_membership() {
+        let ra = Registry::new();
+        ra.counter("shared").add(10);
+        ra.counter("gone").add(1);
+        ra.gauge("g").set(2.0);
+        ra.histogram("h").record(4);
+        drop(ra.span("phase"));
+        let rb = Registry::new();
+        rb.counter("shared").add(30);
+        rb.counter("fresh").add(1);
+        rb.gauge("g").set(3.0);
+        rb.histogram("h").record(4);
+        rb.histogram("h").record(4);
+        drop(rb.span("phase"));
+
+        let diff = ra.snapshot().diff(&rb.snapshot());
+        let shared = diff.counters.iter().find(|d| d.name == "shared").unwrap();
+        assert_eq!(shared.change(), 20.0);
+        assert_eq!(shared.rel(), Some(2.0));
+        assert_eq!(diff.added, vec!["counter fresh"]);
+        assert_eq!(diff.removed, vec!["counter gone"]);
+        let g = diff.gauges.iter().find(|d| d.name == "g").unwrap();
+        assert_eq!(g.change(), 1.0);
+        let h = diff.hists.iter().find(|d| d.name == "h").unwrap();
+        assert_eq!(h.b.count - h.a.count, 1);
+        let phase = diff.spans.iter().find(|d| d.name == "phase").unwrap();
+        assert_eq!((phase.a.count, phase.b.count), (1, 1));
+        assert!(diff.process_a.is_some() && diff.process_b.is_some());
+    }
+
+    #[test]
+    fn flat_json_flattens_nested_numbers_into_gauges() {
+        let snap = Snapshot::from_flat_json(
+            "{\"speedup\": 3.5, \"v2\": {\"warm_s\": 0.25}, \"smoke\": true, \"note\": \"x\"}",
+        )
+        .unwrap();
+        assert_eq!(
+            snap.gauges,
+            vec![("speedup".to_owned(), 3.5), ("v2.warm_s".to_owned(), 0.25)]
+        );
+    }
+
+    #[test]
+    fn metrics_str_dispatches_on_shape() {
+        let flat = Snapshot::from_metrics_str("{\"a\": 1}").unwrap();
+        assert_eq!(flat.gauges.len(), 1);
+        let r = Registry::new();
+        r.counter("c").inc();
+        let jsonl = Snapshot::from_metrics_str(&exported(&r)).unwrap();
+        assert_eq!(jsonl.counters.len(), 1);
+        assert!(Snapshot::from_metrics_str("garbage").is_err());
+    }
+}

@@ -1,0 +1,86 @@
+//! Stress test: `Registry::snapshot` must never observe torn histogram
+//! state while writer threads hammer the registry. Own integration
+//! binary (own process, like `pool_telemetry.rs`) so the scheduling
+//! pressure is not diluted by unrelated tests.
+
+use reap_obs::Registry;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+const WRITERS: usize = 8;
+const OPS_PER_WRITER: u64 = 50_000;
+
+#[test]
+fn snapshots_never_observe_torn_histogram_counts() {
+    let registry = Registry::new();
+    let done = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        for w in 0..WRITERS {
+            let registry = &registry;
+            scope.spawn(move || {
+                let hist = registry.histogram("stress.latency_us");
+                let jobs = registry.counter("stress.jobs");
+                for i in 0..OPS_PER_WRITER {
+                    // Values spread across many log2 buckets so a torn
+                    // read has many chances to show up.
+                    hist.record((i * (w as u64 + 1)) % 100_000 + 1);
+                    jobs.inc();
+                }
+            });
+        }
+
+        let registry = &registry;
+        let done = &done;
+        scope.spawn(move || {
+            let mut last_count = 0u64;
+            let mut snapshots = 0u64;
+            while !done.load(Ordering::Relaxed) || snapshots == 0 {
+                let snap = registry.snapshot();
+                if let Some((_, h)) = snap
+                    .hists
+                    .iter()
+                    .find(|(name, _)| name == "stress.latency_us")
+                {
+                    // The exported count is derived from the bucket
+                    // loads themselves, so count == Σ buckets must hold
+                    // structurally in every snapshot.
+                    let bucket_total: u64 = h.buckets.iter().map(|(_, c)| *c).sum();
+                    assert_eq!(
+                        h.count, bucket_total,
+                        "snapshot observed a torn histogram: count {} != bucket sum {}",
+                        h.count, bucket_total
+                    );
+                    assert!(
+                        h.count >= last_count,
+                        "histogram count went backwards: {} -> {}",
+                        last_count,
+                        h.count
+                    );
+                    last_count = h.count;
+                    assert!(h.max <= 100_000, "impossible max {}", h.max);
+                }
+                snapshots += 1;
+            }
+            assert!(snapshots > 0);
+        });
+
+        // Writers finish when their spawned closures return; flag the
+        // reader once the writer handles would join. Scope join order is
+        // implicit, so poll the counter instead.
+        let jobs = registry.counter("stress.jobs");
+        let expected = WRITERS as u64 * OPS_PER_WRITER;
+        while jobs.get() < expected {
+            std::thread::yield_now();
+        }
+        done.store(true, Ordering::Relaxed);
+    });
+
+    let snap = registry.snapshot();
+    let (_, h) = snap
+        .hists
+        .iter()
+        .find(|(name, _)| name == "stress.latency_us")
+        .expect("stress histogram exported");
+    let expected = WRITERS as u64 * OPS_PER_WRITER;
+    assert_eq!(h.count, expected);
+    assert_eq!(h.buckets.iter().map(|(_, c)| *c).sum::<u64>(), expected);
+}

@@ -2,7 +2,7 @@
 //! registry thread-safety under `run_parallel`-like load, and the global
 //! enable gate.
 
-use reap_obs::export::{check_jsonl, write_jsonl, TIMING_KEYS};
+use reap_obs::export::{check_jsonl, is_run_variant_metric, write_jsonl, TIMING_KEYS};
 use reap_obs::json::{parse, Value};
 use reap_obs::{Registry, StaticCounter};
 
@@ -31,18 +31,34 @@ fn scripted_run(registry: &Registry) {
 }
 
 /// A JSON-lines document reduced to its deterministic content: each line
-/// parsed and stripped of wall-clock fields.
+/// parsed and stripped of wall-clock fields; process self-metrics records
+/// and run-variant metrics (span-latency histograms, busy/idle/utilization
+/// gauges) dropped entirely, since their *values* are wall-clock derived.
 fn deterministic_view(jsonl: &str) -> Vec<Vec<(String, Value)>> {
     jsonl
         .lines()
-        .map(|line| {
+        .filter_map(|line| {
             let Value::Obj(fields) = parse(line).expect("exporter emits valid JSON") else {
                 panic!("line is not an object: {line}");
             };
-            fields
-                .into_iter()
-                .filter(|(k, _)| !TIMING_KEYS.contains(&k.as_str()))
-                .collect()
+            let field = |key: &str| {
+                fields
+                    .iter()
+                    .find(|(k, _)| k == key)
+                    .and_then(|(_, v)| v.as_str())
+            };
+            if field("type") == Some("process") {
+                return None;
+            }
+            if field("name").is_some_and(is_run_variant_metric) {
+                return None;
+            }
+            Some(
+                fields
+                    .into_iter()
+                    .filter(|(k, _)| !TIMING_KEYS.contains(&k.as_str()))
+                    .collect(),
+            )
         })
         .collect()
 }
