@@ -1,7 +1,7 @@
 //! Command-line argument parsing.
 
 use reap_cache::Replacement;
-use reap_core::{CaptureFormat, CapturePolicy, CaptureStore, EccStrength};
+use reap_core::{CaptureFormat, CapturePolicy, CaptureStore, EccStrength, RetryBackoff};
 use reap_obs::GateMetric;
 use reap_trace::SpecWorkload;
 use std::error::Error;
@@ -51,8 +51,65 @@ pub enum Command {
         /// Explicitly gated counters/gauges (`--metric name[:up|:down]`).
         metrics: Vec<GateMetric>,
     },
+    /// `reap serve` — long-lived sweep daemon on a Unix socket.
+    Serve(ServeArgs),
+    /// `reap submit` — submit one sweep job to a running daemon.
+    Submit(SubmitArgs),
     /// `reap help` / `--help`.
     Help,
+}
+
+/// Arguments of `reap serve`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeArgs {
+    /// Unix-domain socket path to listen on.
+    pub socket: PathBuf,
+    /// Directory for per-job `reap-checkpoint/1` journals.
+    pub state_dir: PathBuf,
+    /// Worker threads per job (`None` = the daemon default).
+    pub parallelism: Option<usize>,
+    /// Jobs run concurrently (`None` = the daemon default).
+    pub max_active: Option<usize>,
+    /// Jobs admitted beyond the active ones (`None` = the default).
+    pub queue_depth: Option<usize>,
+    /// Hot capture cache capacity in entries; 0 disables the cache.
+    pub cache_entries: Option<usize>,
+    /// Retry-after hint carried by `busy` responses, in milliseconds.
+    pub retry_after_ms: Option<u64>,
+    /// Retries per workload after the first attempt.
+    pub max_retries: u32,
+    /// Per-attempt deadline in milliseconds (`None` = no deadline).
+    pub job_deadline_ms: Option<u64>,
+    /// Wait schedule between retries.
+    pub retry_backoff: RetryBackoff,
+    /// Deterministic fault-injection plan; its `refuse=`/`drop=`/
+    /// `stall-ms=` fields also drive the connection paths.
+    pub inject: Option<reap_fault::FaultPlan>,
+    /// Persistent capture store shared with offline sweeps.
+    pub capture: CaptureArgs,
+}
+
+/// Arguments of `reap submit`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubmitArgs {
+    /// The daemon's socket path.
+    pub socket: PathBuf,
+    /// Measured accesses per workload.
+    pub accesses: u64,
+    /// Trace seed.
+    pub seed: u64,
+    /// Also sweep ECC strengths per workload.
+    pub ecc_sweep: bool,
+    /// Connection attempts before giving up.
+    pub attempts: u32,
+    /// Per-read timeout in milliseconds (the stalled-server guard).
+    pub timeout_ms: u64,
+    /// Pause before reconnecting when the server gave no hint.
+    pub retry_pause_ms: u64,
+    /// Per-workload retry budget override sent to the daemon.
+    pub max_retries: Option<u32>,
+    /// Per-attempt deadline override sent to the daemon, milliseconds.
+    pub job_deadline_ms: Option<u64>,
 }
 
 /// Telemetry flags shared by `reap run` and `reap sweep`.
@@ -161,8 +218,9 @@ pub struct SweepArgs {
     pub max_retries: u32,
     /// Per-attempt deadline in milliseconds (`None` = no deadline).
     pub job_deadline_ms: Option<u64>,
-    /// Base of the linear retry backoff, in milliseconds.
-    pub retry_backoff_ms: u64,
+    /// Wait schedule between retries (`--retry-backoff ms[:exp[:cap]]`,
+    /// or the legacy linear `--retry-backoff-ms`).
+    pub retry_backoff: RetryBackoff,
     /// Deterministic fault-injection plan (testing/CI only).
     pub inject: Option<reap_fault::FaultPlan>,
     /// Telemetry outputs.
@@ -185,7 +243,7 @@ impl Default for SweepArgs {
             resume: false,
             max_retries: 2,
             job_deadline_ms: None,
-            retry_backoff_ms: 0,
+            retry_backoff: RetryBackoff::default(),
             inject: None,
             obs: ObsArgs::default(),
             capture: CaptureArgs::default(),
@@ -362,6 +420,8 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Command, ParseCl
                 path: PathBuf::from(path),
             })
         }
+        "serve" => parse_serve(cursor),
+        "submit" => parse_submit(cursor),
         "disturbance" => parse_disturbance(cursor),
         "obs" => parse_obs(cursor),
         "list" => Ok(Command::List),
@@ -679,7 +739,17 @@ fn parse_sweep(mut c: Cursor) -> Result<Command, ParseCliError> {
                 a.job_deadline_ms = Some(parse_num(&flag, c.value_for(&flag)?, "milliseconds")?);
             }
             "--retry-backoff-ms" => {
-                a.retry_backoff_ms = parse_num(&flag, c.value_for(&flag)?, "milliseconds")?;
+                let ms = parse_num(&flag, c.value_for(&flag)?, "milliseconds")?;
+                a.retry_backoff = RetryBackoff::linear(std::time::Duration::from_millis(ms));
+            }
+            "--retry-backoff" => {
+                let v = c.value_for(&flag)?;
+                a.retry_backoff =
+                    RetryBackoff::parse_spec(&v).map_err(|e| ParseCliError::BadValue {
+                        flag,
+                        value: format!("{v} ({e})"),
+                        expected: "backoff spec like 250, 100:2 or 100:2:5000",
+                    })?;
             }
             "--inject" => {
                 let v = c.value_for(&flag)?;
@@ -704,6 +774,122 @@ fn parse_sweep(mut c: Cursor) -> Result<Command, ParseCliError> {
     check_obs(&a.obs)?;
     check_capture(&a.capture)?;
     Ok(Command::Sweep(a))
+}
+
+fn parse_serve(mut c: Cursor) -> Result<Command, ParseCliError> {
+    let mut socket = None;
+    let mut state_dir = None;
+    let mut a = ServeArgs {
+        socket: PathBuf::new(),
+        state_dir: PathBuf::new(),
+        parallelism: None,
+        max_active: None,
+        queue_depth: None,
+        cache_entries: None,
+        retry_after_ms: None,
+        max_retries: 2,
+        job_deadline_ms: None,
+        retry_backoff: RetryBackoff::default(),
+        inject: None,
+        capture: CaptureArgs::default(),
+    };
+    while let Some(flag) = c.take() {
+        match flag.as_str() {
+            "--socket" => socket = Some(PathBuf::from(c.value_for(&flag)?)),
+            "--state-dir" => state_dir = Some(PathBuf::from(c.value_for(&flag)?)),
+            "--parallelism" | "-j" => {
+                a.parallelism = Some(parse_num(&flag, c.value_for(&flag)?, "count")?);
+            }
+            "--max-active" => {
+                a.max_active = Some(parse_num(&flag, c.value_for(&flag)?, "count")?);
+            }
+            "--queue-depth" => {
+                a.queue_depth = Some(parse_num(&flag, c.value_for(&flag)?, "count")?);
+            }
+            "--cache-entries" => {
+                a.cache_entries = Some(parse_num(&flag, c.value_for(&flag)?, "count")?);
+            }
+            "--retry-after-ms" => {
+                a.retry_after_ms = Some(parse_num(&flag, c.value_for(&flag)?, "milliseconds")?);
+            }
+            "--max-retries" => {
+                a.max_retries = parse_num(&flag, c.value_for(&flag)?, "retry count")?;
+            }
+            "--job-deadline-ms" => {
+                a.job_deadline_ms = Some(parse_num(&flag, c.value_for(&flag)?, "milliseconds")?);
+            }
+            "--retry-backoff-ms" => {
+                let ms = parse_num(&flag, c.value_for(&flag)?, "milliseconds")?;
+                a.retry_backoff = RetryBackoff::linear(std::time::Duration::from_millis(ms));
+            }
+            "--retry-backoff" => {
+                let v = c.value_for(&flag)?;
+                a.retry_backoff =
+                    RetryBackoff::parse_spec(&v).map_err(|e| ParseCliError::BadValue {
+                        flag,
+                        value: format!("{v} ({e})"),
+                        expected: "backoff spec like 250, 100:2 or 100:2:5000",
+                    })?;
+            }
+            "--inject" => {
+                let v = c.value_for(&flag)?;
+                a.inject = Some(v.parse().map_err(|e: reap_fault::FaultSpecError| {
+                    ParseCliError::BadValue {
+                        flag,
+                        value: format!("{v} ({e})"),
+                        expected: "fault spec like seed=7,refuse=0.2,drop=0.1,stall-ms=20",
+                    }
+                })?);
+            }
+            _ if parse_capture_flag(&mut a.capture, &flag, &mut c)? => {}
+            _ => return Err(ParseCliError::UnknownFlag { flag }),
+        }
+    }
+    a.socket = socket.ok_or(ParseCliError::MissingRequired { name: "--socket" })?;
+    a.state_dir = state_dir.ok_or(ParseCliError::MissingRequired {
+        name: "--state-dir",
+    })?;
+    check_capture(&a.capture)?;
+    Ok(Command::Serve(a))
+}
+
+fn parse_submit(mut c: Cursor) -> Result<Command, ParseCliError> {
+    let mut socket = None;
+    let mut a = SubmitArgs {
+        socket: PathBuf::new(),
+        accesses: SweepArgs::default().accesses,
+        seed: SweepArgs::default().seed,
+        ecc_sweep: false,
+        attempts: 10,
+        timeout_ms: 60_000,
+        retry_pause_ms: 100,
+        max_retries: None,
+        job_deadline_ms: None,
+    };
+    while let Some(flag) = c.take() {
+        match flag.as_str() {
+            "--socket" => socket = Some(PathBuf::from(c.value_for(&flag)?)),
+            "--accesses" | "-n" => a.accesses = parse_num(&flag, c.value_for(&flag)?, "count")?,
+            "--seed" | "-s" => a.seed = parse_num(&flag, c.value_for(&flag)?, "seed")?,
+            "--ecc-sweep" => a.ecc_sweep = true,
+            "--attempts" => a.attempts = parse_num(&flag, c.value_for(&flag)?, "count")?,
+            "--timeout-ms" => {
+                a.timeout_ms = parse_num(&flag, c.value_for(&flag)?, "milliseconds")?;
+            }
+            "--retry-pause-ms" => {
+                a.retry_pause_ms = parse_num(&flag, c.value_for(&flag)?, "milliseconds")?;
+            }
+            "--max-retries" => {
+                a.max_retries = Some(parse_num(&flag, c.value_for(&flag)?, "retry count")?);
+            }
+            "--job-deadline-ms" => {
+                a.job_deadline_ms = Some(parse_num(&flag, c.value_for(&flag)?, "milliseconds")?);
+            }
+            _ => return Err(ParseCliError::UnknownFlag { flag }),
+        }
+    }
+    a.socket = socket.ok_or(ParseCliError::MissingRequired { name: "--socket" })?;
+    Ok(Command::Submit(a))
 }
 
 fn parse_trace(mut c: Cursor) -> Result<Command, ParseCliError> {
@@ -853,8 +1039,27 @@ mod tests {
         assert!(a.resume);
         assert_eq!(a.max_retries, 5);
         assert_eq!(a.job_deadline_ms, Some(30_000));
-        assert_eq!(a.retry_backoff_ms, 250);
+        assert_eq!(
+            a.retry_backoff,
+            RetryBackoff::linear(std::time::Duration::from_millis(250))
+        );
         assert_eq!(a.inject, None);
+    }
+
+    #[test]
+    fn sweep_retry_backoff_spec_parses_exponential_forms() {
+        let Command::Sweep(a) = p("sweep --retry-backoff 100:2:5000").unwrap() else {
+            panic!()
+        };
+        assert_eq!(a.retry_backoff.base, std::time::Duration::from_millis(100));
+        assert_eq!(a.retry_backoff.factor, 2.0);
+        assert_eq!(a.retry_backoff.cap, std::time::Duration::from_millis(5000));
+        assert!(a.retry_backoff.jitter);
+
+        assert!(matches!(
+            p("sweep --retry-backoff 100:0.5"),
+            Err(ParseCliError::BadValue { .. })
+        ));
     }
 
     #[test]
@@ -1134,6 +1339,87 @@ mod tests {
         assert_eq!(a.delta, Some(55.0));
         assert_eq!(a.read_current_ua, Some(80.0));
         assert_eq!(a.temperature_k, Some(350.0));
+    }
+
+    #[test]
+    fn serve_parses_tuning_supervision_and_capture_flags() {
+        let Command::Serve(a) = p("serve --socket /tmp/reap.sock --state-dir /tmp/state \
+             --parallelism 8 --max-active 3 --queue-depth 6 --cache-entries 16 \
+             --retry-after-ms 500 --max-retries 4 --job-deadline-ms 30000 \
+             --retry-backoff 100:2:5000 --inject seed=7,refuse=0.2,stall-ms=20 \
+             --capture-dir caps")
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(a.socket, PathBuf::from("/tmp/reap.sock"));
+        assert_eq!(a.state_dir, PathBuf::from("/tmp/state"));
+        assert_eq!(a.parallelism, Some(8));
+        assert_eq!(a.max_active, Some(3));
+        assert_eq!(a.queue_depth, Some(6));
+        assert_eq!(a.cache_entries, Some(16));
+        assert_eq!(a.retry_after_ms, Some(500));
+        assert_eq!(a.max_retries, 4);
+        assert_eq!(a.job_deadline_ms, Some(30_000));
+        assert_eq!(a.retry_backoff.factor, 2.0);
+        let plan = a.inject.unwrap();
+        assert_eq!(plan.refuse_rate, 0.2);
+        assert_eq!(plan.stall(), Some(std::time::Duration::from_millis(20)));
+        assert_eq!(a.capture.dir, Some(PathBuf::from("caps")));
+    }
+
+    #[test]
+    fn serve_requires_socket_and_state_dir() {
+        assert_eq!(
+            p("serve --state-dir /tmp/state"),
+            Err(ParseCliError::MissingRequired { name: "--socket" })
+        );
+        assert_eq!(
+            p("serve --socket /tmp/reap.sock"),
+            Err(ParseCliError::MissingRequired {
+                name: "--state-dir"
+            })
+        );
+        // Tuning knobs default to the daemon's choices when absent.
+        let Command::Serve(a) = p("serve --socket s --state-dir d").unwrap() else {
+            panic!()
+        };
+        assert_eq!(a.parallelism, None);
+        assert_eq!(a.max_active, None);
+        assert_eq!(a.max_retries, 2);
+        assert_eq!(a.inject, None);
+    }
+
+    #[test]
+    fn submit_parses_budget_overrides_and_defaults() {
+        let Command::Submit(a) = p("submit --socket /tmp/reap.sock -n 2000 -s 5 --ecc-sweep \
+             --attempts 20 --timeout-ms 5000 --retry-pause-ms 50 \
+             --max-retries 1 --job-deadline-ms 10000")
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(a.socket, PathBuf::from("/tmp/reap.sock"));
+        assert_eq!(a.accesses, 2000);
+        assert_eq!(a.seed, 5);
+        assert!(a.ecc_sweep);
+        assert_eq!(a.attempts, 20);
+        assert_eq!(a.timeout_ms, 5000);
+        assert_eq!(a.retry_pause_ms, 50);
+        assert_eq!(a.max_retries, Some(1));
+        assert_eq!(a.job_deadline_ms, Some(10_000));
+
+        // Defaults track the offline sweep so the same job is computed.
+        let Command::Submit(a) = p("submit --socket s").unwrap() else {
+            panic!()
+        };
+        assert_eq!(a.accesses, SweepArgs::default().accesses);
+        assert_eq!(a.seed, SweepArgs::default().seed);
+        assert!(!a.ecc_sweep);
+        assert_eq!(a.max_retries, None);
+
+        assert_eq!(
+            p("submit -n 2000"),
+            Err(ParseCliError::MissingRequired { name: "--socket" })
+        );
     }
 
     #[test]

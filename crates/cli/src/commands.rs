@@ -1,13 +1,16 @@
 //! Command execution.
 
-use crate::args::{Command, DisturbanceArgs, ObsArgs, RunArgs, SweepArgs, TraceArgs};
+use crate::args::{
+    Command, DisturbanceArgs, ObsArgs, RunArgs, ServeArgs, SubmitArgs, SweepArgs, TraceArgs,
+};
 use reap_cache::HierarchyConfig;
 use reap_core::campaign::{run_sweep_campaign, CampaignConfig, CampaignError, SweepMode};
-use reap_core::Experiment;
+use reap_core::{Experiment, SweepRow};
 use reap_mtj::temperature::at_temperature;
 use reap_mtj::{read_disturbance_probability, MtjParams, MtjParamsBuilder};
 use reap_obs::report::{gate, render_diff, render_report, ReportOptions};
 use reap_obs::{Flusher, GateConfig, GateMetric, Snapshot};
+use reap_serve::{ClientConfig, JobSpec, ServeConfig, SubmitError};
 use reap_trace::{SpecWorkload, TraceStats};
 use std::error::Error;
 use std::fs::File;
@@ -41,9 +44,28 @@ COMMANDS:
                  --resume            skip jobs already in the checkpoint
                  --max-retries K     retries per failed job (default 2)
                  --job-deadline-ms T per-attempt deadline
-                 --retry-backoff-ms T linear backoff base between retries
+                 --retry-backoff SPEC ms[:factor[:cap-ms]] jittered
+                                     exponential wait between retries
+                                     (--retry-backoff-ms T = linear T)
                  --inject SPEC       deterministic fault injection, e.g.
                                      seed=7,panic=0.2,delay=0.1,delay-ms=40,interrupt=5
+    serve        long-lived sweep daemon on a Unix-domain socket
+                 --socket PATH --state-dir DIR (both required)
+                 --parallelism/-j K  workers per job   --max-active K
+                 --queue-depth K     beyond that, submits answer `busy`
+                 --cache-entries K   hot capture cache (0 disables)
+                 --retry-after-ms T  hint carried by `busy` responses
+                 --max-retries K  --job-deadline-ms T  --retry-backoff SPEC
+                 --inject SPEC       also drives connection faults:
+                                     refuse=R,drop=R,stall-ms=T
+                 --capture-dir DIR [--capture-policy P] [--capture-format F]
+                 SIGTERM/SIGINT drains: in-flight jobs journal to the
+                 state dir and a restarted daemon resumes them
+    submit       submit one sweep job to a running daemon
+                 --socket PATH (required)  --accesses/-n N  --seed/-s S
+                 --ecc-sweep  --attempts K  --timeout-ms T
+                 --retry-pause-ms T  --max-retries K  --job-deadline-ms T
+                 (stdout is byte-identical to the offline `reap sweep`)
     trace        generate a binary trace file
                  --workload/-w NAME (required)  --count/-n N  --seed/-s S
                  --out/-o FILE (required)
@@ -66,7 +88,7 @@ COMMANDS:
 
 EXIT CODES:
     0  success        1  some jobs failed permanently / regression found
-    2  usage/config   3  interrupted (checkpoint is resumable)
+    2  usage/config   3  interrupted or daemon saturated (resumable)
 
 TELEMETRY (run and sweep):
     --metrics-out FILE   write counters, gauges, histograms and phase
@@ -110,6 +132,8 @@ pub fn execute<W: Write>(command: Command, mut out: W) -> io::Result<i32> {
         }
         Command::Run(args) => run(args, out),
         Command::Sweep(args) => sweep(args, out),
+        Command::Serve(args) => serve(args, out),
+        Command::Submit(args) => submit(args, out),
         Command::Trace(args) => trace(args, out),
         Command::TraceInfo { path } => trace_info(&path, out),
         Command::Disturbance(args) => disturbance(args, out),
@@ -145,15 +169,28 @@ fn start_obs(obs: &ObsArgs) -> Option<Flusher> {
 
 /// Writes the requested exporters from the global registry. The verbose
 /// table goes to stderr so stdout stays machine-readable.
-fn finish_obs(obs: &ObsArgs) -> io::Result<()> {
+///
+/// Takes the live flusher (when one ran): its [`Flusher::finish`] is the
+/// one final metrics write, with its error surfaced — writing the file
+/// here as well was a double final flush.
+fn finish_obs(obs: &ObsArgs, flusher: Option<Flusher>) -> io::Result<()> {
+    let flushed = match flusher {
+        Some(flusher) => {
+            flusher.finish()?;
+            true
+        }
+        None => false,
+    };
     if !obs.wants_metrics() {
         return Ok(());
     }
     let snapshot = reap_obs::global().snapshot();
     if let Some(path) = &obs.metrics_out {
-        // Atomic (tmp + rename), matching the live flusher: a concurrent
-        // reader never observes a torn file.
-        reap_obs::flush::write_metrics_atomic(path)?;
+        if !flushed {
+            // Atomic (unique tmp + fsync + rename), matching the live
+            // flusher: a concurrent reader never observes a torn file.
+            reap_obs::flush::write_metrics_atomic(path)?;
+        }
     }
     if let Some(path) = &obs.trace_out {
         let mut file = BufWriter::new(File::create(path)?);
@@ -308,8 +345,7 @@ fn run<W: Write>(args: RunArgs, mut out: W) -> io::Result<i32> {
             2
         }
     };
-    drop(flusher);
-    finish_obs(&args.obs)?;
+    finish_obs(&args.obs, flusher)?;
     Ok(code)
 }
 
@@ -337,7 +373,7 @@ fn sweep<W: Write>(args: SweepArgs, mut out: W) -> io::Result<i32> {
     };
     let mut config = CampaignConfig::new(args.accesses, args.seed, mode, jobs);
     config.supervisor.max_retries = args.max_retries;
-    config.supervisor.backoff = Duration::from_millis(args.retry_backoff_ms);
+    config.supervisor.backoff = args.retry_backoff;
     config.supervisor.deadline = args.job_deadline_ms.map(Duration::from_millis);
     config.supervisor.fault_plan = args.inject;
     config.checkpoint = args.checkpoint.clone();
@@ -348,14 +384,12 @@ fn sweep<W: Write>(args: SweepArgs, mut out: W) -> io::Result<i32> {
         Ok(o) => o,
         Err(e @ CampaignError::Interrupted { .. }) => {
             eprintln!("reap: {}", cause_chain(&e));
-            drop(flusher);
-            finish_obs(&args.obs)?;
+            finish_obs(&args.obs, flusher)?;
             return Ok(3);
         }
         Err(e) => {
             writeln!(out, "error: {}", cause_chain(&e))?;
-            drop(flusher);
-            finish_obs(&args.obs)?;
+            finish_obs(&args.obs, flusher)?;
             return Ok(2);
         }
     };
@@ -365,55 +399,11 @@ fn sweep<W: Write>(args: SweepArgs, mut out: W) -> io::Result<i32> {
 
     // The tables print from checkpointable rows in canonical workload
     // order, so a resumed run's stdout is byte-identical to a clean one.
-    match mode {
-        SweepMode::Standard => {
-            writeln!(
-                out,
-                "{:<12} {:>12} {:>12} {:>10} {:>10}",
-                "workload", "REAP gain", "energy", "L2 hit%", "max N"
-            )?;
-            for o in &outcome.outcomes {
-                match &o.result {
-                    Ok(rows) => {
-                        let r = &rows[0];
-                        writeln!(
-                            out,
-                            "{:<12} {:>11.1}x {:>+11.2}% {:>9.1}% {:>10}",
-                            o.workload.name(),
-                            r.mttf_gain,
-                            100.0 * r.energy_overhead,
-                            100.0 * r.l2_hit_rate,
-                            r.max_n,
-                        )?;
-                    }
-                    Err(e) => failed_row(&mut out, o.workload, e)?,
-                }
-            }
-        }
-        SweepMode::EccSweep => {
-            writeln!(
-                out,
-                "{:<12} {:>5} {:>12} {:>16} {:>10}",
-                "workload", "ECC", "REAP gain", "E[fail] conv", "max N"
-            )?;
-            for o in &outcome.outcomes {
-                match &o.result {
-                    Ok(rows) => {
-                        for r in rows {
-                            writeln!(
-                                out,
-                                "{:<12} {:>5} {:>11.1}x {:>16.3e} {:>10}",
-                                o.workload.name(),
-                                r.ecc.map_or_else(|| "-".to_owned(), |e| e.to_string()),
-                                r.mttf_gain,
-                                r.efail_conv,
-                                r.max_n,
-                            )?;
-                        }
-                    }
-                    Err(e) => failed_row(&mut out, o.workload, e)?,
-                }
-            }
+    sweep_header(&mut out, mode)?;
+    for o in &outcome.outcomes {
+        match &o.result {
+            Ok(rows) => sweep_rows(&mut out, mode, o.workload.name(), rows)?,
+            Err(e) => failed_row(&mut out, o.workload.name(), &cause_chain(e))?,
         }
     }
 
@@ -425,14 +415,164 @@ fn sweep<W: Write>(args: SweepArgs, mut out: W) -> io::Result<i32> {
         outcome.recovered,
         outcome.failed,
     );
-    drop(flusher);
-    finish_obs(&args.obs)?;
+    finish_obs(&args.obs, flusher)?;
     Ok(if outcome.failed > 0 { 1 } else { 0 })
 }
 
 /// Prints a failed workload's table row: isolated, attributed, non-fatal.
-fn failed_row<W: Write>(out: &mut W, workload: SpecWorkload, e: &dyn Error) -> io::Result<()> {
-    writeln!(out, "{:<12} FAILED: {}", workload.name(), cause_chain(e))
+fn failed_row<W: Write>(out: &mut W, name: &str, error: &str) -> io::Result<()> {
+    writeln!(out, "{name:<12} FAILED: {error}")
+}
+
+/// The sweep table header. Shared by `reap sweep` and `reap submit` so a
+/// daemon-served job's stdout is byte-identical to the offline sweep's.
+fn sweep_header<W: Write>(out: &mut W, mode: SweepMode) -> io::Result<()> {
+    match mode {
+        SweepMode::Standard => writeln!(
+            out,
+            "{:<12} {:>12} {:>12} {:>10} {:>10}",
+            "workload", "REAP gain", "energy", "L2 hit%", "max N"
+        ),
+        SweepMode::EccSweep => writeln!(
+            out,
+            "{:<12} {:>5} {:>12} {:>16} {:>10}",
+            "workload", "ECC", "REAP gain", "E[fail] conv", "max N"
+        ),
+    }
+}
+
+/// One workload's sweep table rows (one line per row in ECC mode).
+fn sweep_rows<W: Write>(
+    out: &mut W,
+    mode: SweepMode,
+    name: &str,
+    rows: &[SweepRow],
+) -> io::Result<()> {
+    match mode {
+        SweepMode::Standard => {
+            let r = &rows[0];
+            writeln!(
+                out,
+                "{:<12} {:>11.1}x {:>+11.2}% {:>9.1}% {:>10}",
+                name,
+                r.mttf_gain,
+                100.0 * r.energy_overhead,
+                100.0 * r.l2_hit_rate,
+                r.max_n,
+            )
+        }
+        SweepMode::EccSweep => {
+            for r in rows {
+                writeln!(
+                    out,
+                    "{:<12} {:>5} {:>11.1}x {:>16.3e} {:>10}",
+                    name,
+                    r.ecc.map_or_else(|| "-".to_owned(), |e| e.to_string()),
+                    r.mttf_gain,
+                    r.efail_conv,
+                    r.max_n,
+                )?;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// The `reap serve` command: runs the daemon until a drain (SIGTERM,
+/// SIGINT or a protocol `shutdown`) completes.
+fn serve<W: Write>(args: ServeArgs, mut out: W) -> io::Result<i32> {
+    let mut config = ServeConfig::new(args.socket, args.state_dir);
+    if let Some(v) = args.parallelism {
+        config.parallelism = v;
+    }
+    if let Some(v) = args.max_active {
+        config.max_active = v;
+    }
+    if let Some(v) = args.queue_depth {
+        config.queue_depth = v;
+    }
+    if let Some(v) = args.cache_entries {
+        config.cache_entries = v;
+    }
+    if let Some(v) = args.retry_after_ms {
+        config.retry_after_ms = v;
+    }
+    config.supervisor.max_retries = args.max_retries;
+    config.supervisor.backoff = args.retry_backoff;
+    config.supervisor.deadline = args.job_deadline_ms.map(Duration::from_millis);
+    config.supervisor.fault_plan = args.inject;
+    config.store = args.capture.to_store();
+    // The `metrics` request serves the live global registry; arm it for
+    // the daemon's lifetime (no reset — a daemon process starts fresh).
+    reap_obs::set_enabled(true);
+    eprintln!(
+        "reap serve: starting on {} (journals in {})",
+        config.socket.display(),
+        config.state_dir.display(),
+    );
+    match reap_serve::serve(config) {
+        Ok(()) => {
+            eprintln!("reap serve: drained");
+            Ok(0)
+        }
+        Err(e) => {
+            writeln!(out, "error: {e}")?;
+            Ok(2)
+        }
+    }
+}
+
+/// The `reap submit` command: drives one job on a running daemon to an
+/// outcome and prints the same table the offline sweep would.
+fn submit<W: Write>(args: SubmitArgs, mut out: W) -> io::Result<i32> {
+    let mode = if args.ecc_sweep {
+        SweepMode::EccSweep
+    } else {
+        SweepMode::Standard
+    };
+    let spec = JobSpec {
+        mode,
+        accesses: args.accesses,
+        seed: args.seed,
+        max_retries: args.max_retries,
+        deadline_ms: args.job_deadline_ms,
+    };
+    let mut client = ClientConfig::new(args.socket);
+    client.attempts = args.attempts;
+    client.io_timeout = Duration::from_millis(args.timeout_ms);
+    client.retry_pause = Duration::from_millis(args.retry_pause_ms);
+    let outcome = match reap_serve::submit(&client, &spec) {
+        Ok(o) => o,
+        Err(e @ SubmitError::Exhausted { .. }) => {
+            writeln!(out, "error: {e}")?;
+            return Ok(3);
+        }
+        Err(e) => {
+            writeln!(out, "error: {e}")?;
+            return Ok(2);
+        }
+    };
+    sweep_header(&mut out, mode)?;
+    for (name, rows) in &outcome.rows {
+        sweep_rows(&mut out, mode, name, rows)?;
+    }
+    for (name, error) in &outcome.failed {
+        failed_row(&mut out, name, error)?;
+    }
+    let total = outcome.rows.len() + outcome.failed.len();
+    eprintln!(
+        "submit: job {}: {}/{total} workloads ok ({} rows resumed), {} failed, {} attempts",
+        outcome.job,
+        outcome.rows.len(),
+        outcome.resumed,
+        outcome.failed.len(),
+        outcome.attempts,
+    );
+    if outcome.interrupted {
+        eprintln!("submit: interrupted mid-drain; resubmit to finish (journal is resumable)");
+        return Ok(3);
+    }
+    Ok(if outcome.failed.is_empty() { 0 } else { 1 })
 }
 
 fn trace<W: Write>(args: TraceArgs, mut out: W) -> io::Result<i32> {
@@ -754,6 +894,70 @@ mod tests {
         ));
         assert_eq!(code, 1);
         assert!(text.contains("missing"), "{text}");
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn help_mentions_serve_and_submit() {
+        let (code, text) = exec("help");
+        assert_eq!(code, 0);
+        for needle in ["serve", "submit", "--retry-backoff", "--state-dir"] {
+            assert!(text.contains(needle), "help must mention `{needle}`");
+        }
+    }
+
+    #[test]
+    fn submit_against_a_live_daemon_matches_offline_sweep_byte_for_byte() {
+        let dir = std::env::temp_dir().join(format!("reap-cli-serve-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let socket = dir.join("reap.sock");
+        let state = dir.join("state");
+
+        let serve_cmd = parse(
+            format!(
+                "serve --socket {} --state-dir {} --parallelism 2 --max-active 1",
+                socket.display(),
+                state.display()
+            )
+            .split_whitespace()
+            .map(str::to_owned),
+        )
+        .unwrap();
+        let daemon = std::thread::spawn(move || execute(serve_cmd, std::io::sink()));
+
+        // Wait until the daemon answers a status request.
+        let client = reap_serve::ClientConfig::new(&socket);
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        loop {
+            match reap_serve::request_one(&client, &reap_serve::Request::Status) {
+                Ok(_) => break,
+                Err(_) if std::time::Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(25));
+                }
+                Err(e) => panic!("daemon never came up: {e}"),
+            }
+        }
+
+        let (offline_code, offline) = exec("sweep -n 2000 --seed 7");
+        let (code, served) = exec(&format!(
+            "submit --socket {} -n 2000 --seed 7",
+            socket.display()
+        ));
+        assert_eq!((offline_code, code), (0, 0), "{served}");
+        assert_eq!(offline, served, "daemon rows must match the offline sweep");
+
+        // An unreachable-socket submit is a protocol exit (3), not a hang.
+        let (code, text) = exec(&format!(
+            "submit --socket {} --attempts 2 --retry-pause-ms 10",
+            dir.join("nope.sock").display()
+        ));
+        assert_eq!(code, 3, "{text}");
+        assert!(text.contains("gave up"), "{text}");
+
+        reap_serve::request_one(&client, &reap_serve::Request::Shutdown).unwrap();
+        let code = daemon.join().unwrap().unwrap();
+        assert_eq!(code, 0, "drained daemon exits 0");
         std::fs::remove_dir_all(dir).ok();
     }
 

@@ -253,20 +253,7 @@ impl CheckpointWriter {
     ///
     /// Returns [`CheckpointError::Io`] on write failure.
     pub fn record(&mut self, key: &str, rows: &[SweepRow]) -> Result<(), CheckpointError> {
-        let rows: Vec<String> = rows
-            .iter()
-            .map(|r| {
-                format!(
-                    "{{\"ecc\":\"{}\",\"mttf_gain\":\"{:016x}\",\"energy\":\"{:016x}\",\"l2_hit\":\"{:016x}\",\"efail_conv\":\"{:016x}\",\"max_n\":\"{}\"}}",
-                    ecc_tag(r.ecc),
-                    r.mttf_gain.to_bits(),
-                    r.energy_overhead.to_bits(),
-                    r.l2_hit_rate.to_bits(),
-                    r.efail_conv.to_bits(),
-                    r.max_n,
-                )
-            })
-            .collect();
+        let rows: Vec<String> = rows.iter().map(row_to_json).collect();
         let line = format!(
             "{{\"type\":\"result\",\"key\":\"{}\",\"rows\":[{}]}}",
             json::escape(key),
@@ -283,6 +270,35 @@ impl CheckpointWriter {
         writeln!(self.file, "{line}").map_err(io_err)?;
         self.file.flush().map_err(io_err)
     }
+}
+
+/// Serializes one row as a JSON object with every `f64` as its exact
+/// IEEE-754 bit pattern in hex (and `max_n` as a decimal string), so the
+/// row survives the workspace's f64-backed JSON parser bit-for-bit.
+///
+/// This is the one row codec: checkpoint files and the `reap serve` wire
+/// protocol both speak it, which is what makes a resumed or re-served
+/// row byte-identical to a freshly computed one.
+pub fn row_to_json(r: &SweepRow) -> String {
+    format!(
+        "{{\"ecc\":\"{}\",\"mttf_gain\":\"{:016x}\",\"energy\":\"{:016x}\",\"l2_hit\":\"{:016x}\",\"efail_conv\":\"{:016x}\",\"max_n\":\"{}\"}}",
+        ecc_tag(r.ecc),
+        r.mttf_gain.to_bits(),
+        r.energy_overhead.to_bits(),
+        r.l2_hit_rate.to_bits(),
+        r.efail_conv.to_bits(),
+        r.max_n,
+    )
+}
+
+/// Parses a row object produced by [`row_to_json`].
+///
+/// # Errors
+///
+/// Returns a human-readable message naming the missing or malformed
+/// field.
+pub fn row_from_json(row: &json::Value) -> Result<SweepRow, String> {
+    parse_row(row)
 }
 
 fn ecc_tag(ecc: Option<EccStrength>) -> &'static str {

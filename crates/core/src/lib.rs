@@ -73,4 +73,4 @@ pub use readpath::ReadPathModel;
 pub use report::Report;
 pub use scheme::ProtectionScheme;
 pub use simulator::{EccStrength, SimulationConfig, Simulator};
-pub use supervise::{pool_map_supervised, JobError, JobOutcome, SupervisorConfig};
+pub use supervise::{pool_map_supervised, JobError, JobOutcome, RetryBackoff, SupervisorConfig};

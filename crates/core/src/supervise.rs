@@ -10,8 +10,9 @@
 //!   hook is silenced for supervised attempts, so a retried fault does
 //!   not dump a backtrace per attempt;
 //! * failed attempts are retried up to [`SupervisorConfig::max_retries`]
-//!   times with a deterministic linear backoff (no jitter — reruns
-//!   reproduce);
+//!   times under a [`RetryBackoff`] policy — deterministic linear by
+//!   default, optionally exponential with a cap and a *deterministic*
+//!   per-(seed, job, attempt) jitter draw, so reruns still reproduce;
 //! * an optional per-job [`SupervisorConfig::deadline`] times out stuck
 //!   work (the attempt thread is abandoned, not killed — see
 //!   [`pool_map_supervised`] for the leak caveat);
@@ -79,20 +80,133 @@ impl Drop for AttemptMarker {
     }
 }
 
+/// Retry backoff policy: how long attempt `k` waits before attempt `k+1`.
+///
+/// The default (`factor == 1.0`, no jitter) is the historical
+/// deterministic linear schedule — attempt `k` sleeps `base * k`. A
+/// `factor > 1.0` switches to capped exponential growth
+/// (`base * factor^(k-1)`, clamped to `cap`), and `jitter` multiplies
+/// the wait by a value in `[0.5, 1.5)` drawn deterministically from
+/// `(seed, job, attempt)` via [`reap_fault::uniform`] — spreading
+/// thundering-herd retries without sacrificing reproducibility.
+///
+/// Parsed from the CLI spec `ms[:exp[:cap-ms]]` (e.g. `250`, `100:2`,
+/// `100:2:5000`); the exponential forms enable jitter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryBackoff {
+    /// Wait before the first retry.
+    pub base: Duration,
+    /// Growth factor per attempt; `<= 1.0` selects the linear schedule.
+    pub factor: f64,
+    /// Upper bound on any single wait (applied before jitter).
+    pub cap: Duration,
+    /// Scale each wait by a deterministic per-(seed, job, attempt) draw
+    /// in `[0.5, 1.5)`.
+    pub jitter: bool,
+}
+
+impl Default for RetryBackoff {
+    fn default() -> Self {
+        Self::linear(Duration::ZERO)
+    }
+}
+
+impl RetryBackoff {
+    /// Salt for the jitter draw, disjoint from `FaultPlan`'s salts.
+    const JITTER_SALT: u64 = 0x6a77;
+
+    /// The legacy schedule: attempt `k` sleeps `base * k`, no jitter.
+    pub fn linear(base: Duration) -> Self {
+        Self {
+            base,
+            factor: 1.0,
+            cap: Duration::MAX,
+            jitter: false,
+        }
+    }
+
+    /// The wait after failed attempt `attempt` (1-based) of job `job`.
+    ///
+    /// `seed` keys the jitter draw (callers pass their fault-plan seed, or
+    /// 0); it is ignored when `jitter` is off. Pure: same inputs, same
+    /// wait, on every platform.
+    pub fn delay(&self, seed: u64, job: u64, attempt: u32) -> Duration {
+        if self.base.is_zero() {
+            return Duration::ZERO;
+        }
+        let raw = if self.factor <= 1.0 {
+            // Integer math keeps the historical linear schedule bit-exact.
+            self.base * attempt
+        } else {
+            let secs = self.base.as_secs_f64() * self.factor.powi(attempt as i32 - 1);
+            Duration::try_from_secs_f64(secs).unwrap_or(Duration::MAX)
+        };
+        let capped = raw.min(self.cap);
+        if !self.jitter {
+            return capped;
+        }
+        let scale = 0.5 + reap_fault::uniform(seed, job, attempt, Self::JITTER_SALT);
+        Duration::try_from_secs_f64(capped.as_secs_f64() * scale).unwrap_or(Duration::MAX)
+    }
+
+    /// Parses the CLI spec `ms[:exp[:cap-ms]]`.
+    ///
+    /// `ms` is the base wait in milliseconds; `exp` (a float `>= 1.0`)
+    /// switches to jittered exponential growth; `cap-ms` bounds any
+    /// single wait (default: uncapped).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for malformed specs.
+    pub fn parse_spec(spec: &str) -> Result<Self, String> {
+        let mut parts = spec.split(':');
+        let base_ms: u64 = parts
+            .next()
+            .unwrap_or_default()
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad backoff base in `{spec}`: expected milliseconds"))?;
+        let mut backoff = Self::linear(Duration::from_millis(base_ms));
+        if let Some(factor) = parts.next() {
+            let factor: f64 = factor
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad backoff factor in `{spec}`: expected a number"))?;
+            if !factor.is_finite() || factor < 1.0 {
+                return Err(format!("backoff factor in `{spec}` must be >= 1.0"));
+            }
+            backoff.factor = factor;
+            backoff.jitter = true;
+        }
+        if let Some(cap) = parts.next() {
+            let cap_ms: u64 = cap
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad backoff cap in `{spec}`: expected milliseconds"))?;
+            backoff.cap = Duration::from_millis(cap_ms);
+        }
+        if parts.next().is_some() {
+            return Err(format!(
+                "too many `:` fields in `{spec}`: expected ms[:exp[:cap-ms]]"
+            ));
+        }
+        Ok(backoff)
+    }
+}
+
 /// Supervision policy for one batch.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SupervisorConfig {
     /// Retries after the first attempt (0 = fail fast). A job therefore
     /// runs at most `max_retries + 1` times.
     pub max_retries: u32,
-    /// Base of the deterministic linear backoff: attempt `k` sleeps
-    /// `backoff * k` before retrying.
-    pub backoff: Duration,
+    /// Wait schedule between attempts.
+    pub backoff: RetryBackoff,
     /// Per-attempt wall-clock deadline. `None` disables timeouts (and the
     /// per-attempt thread they require).
     pub deadline: Option<Duration>,
     /// Armed fault-injection plan, consulted inside the unwind boundary
-    /// before each attempt.
+    /// before each attempt. Its seed also keys the backoff jitter draw.
     pub fault_plan: Option<FaultPlan>,
 }
 
@@ -100,7 +214,7 @@ impl Default for SupervisorConfig {
     fn default() -> Self {
         Self {
             max_retries: 2,
-            backoff: Duration::ZERO,
+            backoff: RetryBackoff::default(),
             deadline: None,
             fault_plan: None,
         }
@@ -383,8 +497,10 @@ where
                 };
             }
             stats.retries.fetch_add(1, Ordering::Relaxed);
-            // Deterministic linear backoff: attempt k waits k * base.
-            let backoff = config.backoff * attempt;
+            // Deterministic wait schedule; the fault-plan seed (if any)
+            // keys the jitter draw so reruns reproduce exactly.
+            let seed = config.fault_plan.map_or(0, |p| p.seed);
+            let backoff = config.backoff.delay(seed, index as u64, attempt);
             if !backoff.is_zero() {
                 std::thread::sleep(backoff);
             }
@@ -667,6 +783,63 @@ mod tests {
         assert_eq!(get("sup_test.supervised.panics"), 4);
         assert_eq!(get("sup_test.supervised.retries"), 2);
         assert_eq!(get("sup_test.supervised.ok"), 0);
+    }
+
+    #[test]
+    fn backoff_linear_schedule_is_the_legacy_one() {
+        let b = RetryBackoff::linear(Duration::from_millis(100));
+        assert_eq!(b.delay(0, 3, 1), Duration::from_millis(100));
+        assert_eq!(b.delay(0, 3, 2), Duration::from_millis(200));
+        assert_eq!(b.delay(9, 8, 3), Duration::from_millis(300), "seed ignored");
+        assert_eq!(RetryBackoff::default().delay(0, 0, 7), Duration::ZERO);
+    }
+
+    #[test]
+    fn backoff_exponential_grows_caps_and_jitters_deterministically() {
+        let b = RetryBackoff::parse_spec("100:2:5000").unwrap();
+        assert_eq!(b.base, Duration::from_millis(100));
+        assert_eq!(b.factor, 2.0);
+        assert_eq!(b.cap, Duration::from_millis(5000));
+        assert!(b.jitter);
+
+        // Deterministic: same (seed, job, attempt) -> same wait.
+        for attempt in 1..8 {
+            assert_eq!(b.delay(7, 3, attempt), b.delay(7, 3, attempt));
+        }
+        // Jitter stays within +/-50% of the nominal exponential value.
+        let nominal = |k: u32| 0.1 * 2f64.powi(k as i32 - 1);
+        for attempt in 1..6 {
+            let d = b.delay(7, 3, attempt).as_secs_f64();
+            let n = nominal(attempt).min(5.0);
+            assert!(
+                (0.5 * n..1.5 * n).contains(&d),
+                "attempt {attempt}: {d} vs nominal {n}"
+            );
+        }
+        // The cap bounds the pre-jitter wait: attempt 12 nominal is 204.8s.
+        assert!(b.delay(7, 3, 12) < Duration::from_millis(7500));
+        // Different jobs draw different jitter.
+        assert_ne!(b.delay(7, 3, 2), b.delay(7, 4, 2));
+    }
+
+    #[test]
+    fn backoff_spec_parser_accepts_and_rejects() {
+        let b = RetryBackoff::parse_spec("250").unwrap();
+        assert_eq!(b, RetryBackoff::linear(Duration::from_millis(250)));
+
+        let b = RetryBackoff::parse_spec("100:1.5").unwrap();
+        assert_eq!(b.factor, 1.5);
+        assert!(b.jitter);
+        assert_eq!(b.cap, Duration::MAX);
+
+        assert!(RetryBackoff::parse_spec("abc").is_err());
+        assert!(RetryBackoff::parse_spec("100:0.5").is_err(), "factor < 1");
+        assert!(RetryBackoff::parse_spec("100:nan").is_err());
+        assert!(RetryBackoff::parse_spec("100:2:x").is_err());
+        assert!(
+            RetryBackoff::parse_spec("100:2:50:9").is_err(),
+            "extra field"
+        );
     }
 
     #[test]

@@ -51,6 +51,23 @@ pub enum FaultAction {
     Delay(Duration),
 }
 
+/// What the plan wants to happen to one server connection.
+///
+/// Consulted by `reap serve` once per accepted connection; decisions are
+/// keyed by the connection's accept-order index so a chaos run is
+/// reproducible for a fixed arrival order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnectionFault {
+    /// Serve the connection normally.
+    None,
+    /// Close the connection immediately after accept, before reading the
+    /// request (tests client connect-retry paths).
+    Refuse,
+    /// Serve the request but drop the connection mid-stream, after some
+    /// rows have been written (tests resume-after-partial-stream paths).
+    Drop,
+}
+
 /// A seeded, deterministic fault-injection schedule.
 ///
 /// Rates are per *attempt*, so a job that panics on attempt 1 may well
@@ -69,6 +86,15 @@ pub struct FaultPlan {
     /// Simulated kill: the campaign stops (checkpoint intact) after this
     /// many jobs have completed. `None` disables the interrupt.
     pub interrupt_after: Option<u64>,
+    /// Probability that an accepted connection is refused (closed before
+    /// the request is read), in `[0, 1]`. Server-side only.
+    pub refuse_rate: f64,
+    /// Probability that a served connection is dropped mid-stream, in
+    /// `[0, 1]`. Server-side only.
+    pub drop_rate: f64,
+    /// Injected read stall applied to every accepted connection before
+    /// its request is read. `Duration::ZERO` disables the stall.
+    pub stall: Duration,
 }
 
 impl Default for FaultPlan {
@@ -79,6 +105,9 @@ impl Default for FaultPlan {
             delay_rate: 0.0,
             delay: Duration::from_millis(50),
             interrupt_after: None,
+            refuse_rate: 0.0,
+            drop_rate: 0.0,
+            stall: Duration::ZERO,
         }
     }
 }
@@ -123,10 +152,47 @@ impl FaultPlan {
         }
     }
 
+    /// Decides the fate of connection `conn` (accept-order index).
+    ///
+    /// Pure: depends only on the plan's seed and connection rates. A
+    /// refusal takes precedence over a drop, mirroring real failure
+    /// ordering (a refused connection never reaches the stream stage).
+    pub fn decide_connection(&self, conn: u64) -> ConnectionFault {
+        if unit(self.seed, conn, 0, 0xc2b2) < self.refuse_rate {
+            return ConnectionFault::Refuse;
+        }
+        if unit(self.seed, conn, 0, 0x27d4) < self.drop_rate {
+            return ConnectionFault::Drop;
+        }
+        ConnectionFault::None
+    }
+
+    /// The injected read stall for accepted connections, if any.
+    pub fn stall(&self) -> Option<Duration> {
+        (self.stall > Duration::ZERO).then_some(self.stall)
+    }
+
     /// Whether the plan can ever inject anything.
     pub fn is_quiet(&self) -> bool {
-        self.panic_rate == 0.0 && self.delay_rate == 0.0 && self.interrupt_after.is_none()
+        self.panic_rate == 0.0
+            && self.delay_rate == 0.0
+            && self.interrupt_after.is_none()
+            && self.refuse_rate == 0.0
+            && self.drop_rate == 0.0
+            && self.stall == Duration::ZERO
     }
+}
+
+/// Maps `(seed, stream, draw, salt)` to a uniform value in `[0, 1)`.
+///
+/// This is the deterministic draw behind every [`FaultPlan`] decision,
+/// exported so other crates can make reproducible randomized choices
+/// keyed the same way — e.g. the supervised pool's per-(seed, job,
+/// attempt) retry-backoff jitter, or `reap serve` picking how many rows
+/// to stream before an injected connection drop. Same inputs, same
+/// output, on every platform.
+pub fn uniform(seed: u64, stream: u64, draw: u32, salt: u64) -> f64 {
+    unit(seed, stream, draw, salt)
 }
 
 /// Maps `(seed, job, attempt, salt)` to a uniform value in `[0, 1)`.
@@ -170,10 +236,13 @@ impl FromStr for FaultPlan {
     type Err = FaultSpecError;
 
     /// Parses a comma-separated `key=value` spec, e.g.
-    /// `seed=7,panic=0.25,delay=0.1,delay-ms=40,interrupt=5`.
+    /// `seed=7,panic=0.25,delay=0.1,delay-ms=40,interrupt=5` or the
+    /// server-side `seed=5,refuse=0.4,drop=0.3,stall-ms=20`.
     ///
-    /// Keys: `seed` (u64), `panic` / `delay` (rates in `[0,1]`),
-    /// `delay-ms` (u64 milliseconds), `interrupt` (job count).
+    /// Keys: `seed` (u64), `panic` / `delay` / `refuse` / `drop` (rates
+    /// in `[0,1]`), `delay-ms` / `stall-ms` (u64 milliseconds),
+    /// `interrupt` (job count). The full grammar is documented in
+    /// DESIGN.md ("Fault-spec grammar").
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let mut plan = FaultPlan::default();
         for fragment in s.split(',').filter(|f| !f.trim().is_empty()) {
@@ -209,7 +278,20 @@ impl FromStr for FaultPlan {
                             .map_err(|_| err("interrupt must be a job count"))?,
                     );
                 }
-                _ => return Err(err("unknown key (seed/panic/delay/delay-ms/interrupt)")),
+                "refuse" => plan.refuse_rate = parse_rate(value).map_err(|r| err(&r))?,
+                "drop" => plan.drop_rate = parse_rate(value).map_err(|r| err(&r))?,
+                "stall-ms" => {
+                    let ms: u64 = value
+                        .trim()
+                        .parse()
+                        .map_err(|_| err("stall-ms must be a u64"))?;
+                    plan.stall = Duration::from_millis(ms);
+                }
+                _ => {
+                    return Err(err(
+                        "unknown key (seed/panic/delay/delay-ms/interrupt/refuse/drop/stall-ms)",
+                    ))
+                }
             }
         }
         Ok(plan)
@@ -360,6 +442,66 @@ mod tests {
         assert!(err.to_string().contains("unknown key"), "{err}");
         let err = "panic".parse::<FaultPlan>().unwrap_err();
         assert!(err.to_string().contains("key=value"), "{err}");
+    }
+
+    #[test]
+    fn connection_spec_round_trip_and_errors() {
+        let plan: FaultPlan = "seed=5, refuse=0.4, drop=0.3, stall-ms=20".parse().unwrap();
+        assert_eq!(plan.seed, 5);
+        assert_eq!(plan.refuse_rate, 0.4);
+        assert_eq!(plan.drop_rate, 0.3);
+        assert_eq!(plan.stall, Duration::from_millis(20));
+        assert_eq!(plan.stall(), Some(Duration::from_millis(20)));
+        assert!(!plan.is_quiet());
+
+        // Connection keys leave the job-attempt schedule quiet.
+        assert_eq!(plan.panic_rate, 0.0);
+        assert_eq!(plan.decide(0, 1), FaultAction::None);
+
+        let err = "refuse=1.5".parse::<FaultPlan>().unwrap_err();
+        assert!(err.to_string().contains("outside"), "{err}");
+        let err = "drop=x".parse::<FaultPlan>().unwrap_err();
+        assert!(err.to_string().contains("number"), "{err}");
+        let err = "stall-ms=-3".parse::<FaultPlan>().unwrap_err();
+        assert!(err.to_string().contains("u64"), "{err}");
+    }
+
+    #[test]
+    fn connection_decisions_are_deterministic_and_rate_respecting() {
+        let plan: FaultPlan = "seed=11,refuse=0.25,drop=0.25".parse().unwrap();
+        let mut refused = 0;
+        let mut dropped = 0;
+        for conn in 0..10_000u64 {
+            let fault = plan.decide_connection(conn);
+            assert_eq!(fault, plan.decide_connection(conn));
+            match fault {
+                ConnectionFault::Refuse => refused += 1,
+                ConnectionFault::Drop => dropped += 1,
+                ConnectionFault::None => {}
+            }
+        }
+        assert!((2_100..2_900).contains(&refused), "refused {refused}");
+        // Drop draws are made only for the ~75% that survive refusal.
+        assert!((1_500..2_300).contains(&dropped), "dropped {dropped}");
+
+        let quiet = FaultPlan::quiet();
+        assert_eq!(quiet.stall(), None);
+        for conn in 0..100 {
+            assert_eq!(quiet.decide_connection(conn), ConnectionFault::None);
+        }
+    }
+
+    #[test]
+    fn uniform_is_deterministic_and_in_unit_interval() {
+        for stream in 0..500u64 {
+            for draw in 0..3 {
+                let u = uniform(7, stream, draw, 0x1234);
+                assert_eq!(u, uniform(7, stream, draw, 0x1234));
+                assert!((0.0..1.0).contains(&u));
+            }
+        }
+        // Different salts decorrelate the streams.
+        assert_ne!(uniform(7, 3, 1, 0x1234), uniform(7, 3, 1, 0x4321));
     }
 
     #[test]

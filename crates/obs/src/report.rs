@@ -242,10 +242,49 @@ pub fn render_report(snapshot: &Snapshot, options: &ReportOptions) -> String {
         let _ = writeln!(out);
     }
 
+    if snapshot
+        .counters
+        .iter()
+        .any(|(n, _)| n.starts_with("serve."))
+    {
+        let c = |suffix: &str| counter(&format!("serve.{suffix}")).unwrap_or(0);
+        let _ = writeln!(
+            out,
+            "serve: jobs accepted {}   completed {}   interrupted {}   cancelled {}   busy {}",
+            c("jobs.accepted"),
+            c("jobs.completed"),
+            c("jobs.interrupted"),
+            c("jobs.cancelled"),
+            c("jobs.busy"),
+        );
+        let _ = writeln!(
+            out,
+            "       rows computed {}   resumed {}   cache hit {} miss {} coalesced {} evict {}",
+            c("rows.computed"),
+            c("rows.resumed"),
+            c("cache.hit"),
+            c("cache.miss"),
+            c("cache.coalesced"),
+            c("cache.evict"),
+        );
+        let _ = writeln!(
+            out,
+            "       conns accepted {}   refused {}   stalled {}   dropped {}   disconnected {}",
+            c("conn.accepted"),
+            c("conn.refused"),
+            c("conn.stalled"),
+            c("conn.dropped"),
+            c("conn.disconnected"),
+        );
+        let _ = writeln!(out);
+    }
+
     let other_counters: Vec<_> = snapshot
         .counters
         .iter()
-        .filter(|(n, _)| !n.contains(".worker.") && !n.starts_with("capture_store."))
+        .filter(|(n, _)| {
+            !n.contains(".worker.") && !n.starts_with("capture_store.") && !n.starts_with("serve.")
+        })
         .collect();
     if !other_counters.is_empty() {
         let _ = writeln!(out, "{:<40} {:>12}", "counter", "value");
@@ -590,6 +629,29 @@ mod tests {
         assert!(text.contains("hits 21"), "{text}");
         assert!(text.contains("compression 5.29x"), "{text}");
         assert!(text.contains("process: wall"), "{text}");
+    }
+
+    #[test]
+    fn report_summarizes_serve_counters_outside_the_generic_table() {
+        let r = Registry::new();
+        r.counter("serve.jobs.accepted").add(5);
+        r.counter("serve.jobs.completed").add(4);
+        r.counter("serve.jobs.busy").add(2);
+        r.counter("serve.rows.computed").add(63);
+        r.counter("serve.rows.resumed").add(21);
+        r.counter("serve.cache.hit").add(40);
+        r.counter("serve.cache.coalesced").add(3);
+        r.counter("serve.conn.refused").add(1);
+        r.counter("serve.conn.disconnected").add(2);
+        let text = render_report(&r.snapshot(), &ReportOptions::default());
+        assert!(text.contains("serve: jobs accepted 5"), "{text}");
+        assert!(text.contains("completed 4"), "{text}");
+        assert!(text.contains("busy 2"), "{text}");
+        assert!(text.contains("rows computed 63   resumed 21"), "{text}");
+        assert!(text.contains("cache hit 40"), "{text}");
+        assert!(text.contains("refused 1"), "{text}");
+        // Summarized counters stay out of the generic counter table.
+        assert!(!text.contains("serve.jobs.accepted"), "{text}");
     }
 
     #[test]

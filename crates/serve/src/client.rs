@@ -1,0 +1,323 @@
+//! The submitting client: connect, stream, reassemble, retry.
+//!
+//! [`submit`] drives one job to a final [`SubmitOutcome`] across as many
+//! connection attempts as the [`ClientConfig`] allows. Every failure
+//! mode the daemon (or an injected fault plan) can produce maps to a
+//! retry, not a hang: a `busy` response sleeps for the server's
+//! retry-after hint, a refused or dropped connection pauses briefly and
+//! reconnects, a stalled server trips the read timeout, and an
+//! `interrupted` stream resubmits — the daemon then serves the already
+//! journaled rows back (`resumed: true`) and computes only the
+//! remainder. Rows reassemble by canonical workload index, so the final
+//! outcome is byte-identical no matter how many attempts it took.
+
+use crate::jobs::JobSpec;
+use crate::protocol::{Request, Response};
+use reap_core::SweepRow;
+use std::collections::BTreeMap;
+use std::io::{self, ErrorKind, Read, Write};
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// How a client talks to the daemon.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// The daemon's socket path.
+    pub socket: PathBuf,
+    /// Total connection attempts before giving up (minimum 1).
+    pub attempts: u32,
+    /// Per-read timeout — the guard against a stalled server.
+    pub io_timeout: Duration,
+    /// Pause before reconnecting when the server gave no retry hint
+    /// (refused, dropped, interrupted).
+    pub retry_pause: Duration,
+}
+
+impl ClientConfig {
+    /// Defaults: 10 attempts, 60 s read timeout, 100 ms reconnect pause.
+    pub fn new(socket: impl Into<PathBuf>) -> Self {
+        Self {
+            socket: socket.into(),
+            attempts: 10,
+            io_timeout: Duration::from_secs(60),
+            retry_pause: Duration::from_millis(100),
+        }
+    }
+}
+
+/// Why a submission could not produce an outcome.
+#[derive(Debug)]
+pub enum SubmitError {
+    /// A local I/O failure that retrying cannot fix.
+    Io(io::Error),
+    /// The server spoke something that is not the protocol.
+    Protocol(String),
+    /// The server answered with a terminal `error` record.
+    Server(String),
+    /// Every attempt was shed or lost; carries the last failure seen.
+    Exhausted {
+        /// Attempts made.
+        attempts: u32,
+        /// The last attempt's failure, rendered as text.
+        last: String,
+    },
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Io(e) => write!(f, "i/o error: {e}"),
+            SubmitError::Protocol(m) => write!(f, "protocol error: {m}"),
+            SubmitError::Server(m) => write!(f, "server error: {m}"),
+            SubmitError::Exhausted { attempts, last } => {
+                write!(f, "gave up after {attempts} attempts (last: {last})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// A completed submission, reassembled in canonical workload order.
+#[derive(Debug)]
+pub struct SubmitOutcome {
+    /// The job id the daemon assigned (its checkpoint fingerprint).
+    pub job: String,
+    /// `(workload, rows)` for every workload that produced rows, in
+    /// canonical sweep order regardless of arrival order.
+    pub rows: Vec<(String, Vec<SweepRow>)>,
+    /// `(workload, error)` for workloads that failed after retries.
+    pub failed: Vec<(String, String)>,
+    /// Rows the final attempt served from a journal instead of
+    /// recomputing (the server's count).
+    pub resumed: u64,
+    /// Connection attempts used.
+    pub attempts: u32,
+    /// True when attempts ran out on a resumable interrupt — `rows`
+    /// holds what was streamed; a later submission can finish the job.
+    pub interrupted: bool,
+}
+
+/// How one connection attempt ended, when it did not end the submission.
+enum AttemptEnd {
+    Done {
+        job: String,
+        resumed: u64,
+    },
+    Busy {
+        retry_after_ms: u64,
+    },
+    Interrupted {
+        job: String,
+    },
+    /// Refused connect, dropped stream, or a read timeout.
+    Lost(String),
+}
+
+/// Submits `spec` and drives it to an outcome, retrying per `config`.
+///
+/// # Errors
+///
+/// Returns [`SubmitError`] on protocol violations, terminal server
+/// errors, or when every attempt was shed or lost without a resumable
+/// interrupt to carry partial results.
+pub fn submit(config: &ClientConfig, spec: &JobSpec) -> Result<SubmitOutcome, SubmitError> {
+    let mut rows: BTreeMap<u64, (String, Vec<SweepRow>)> = BTreeMap::new();
+    let mut failed: BTreeMap<u64, (String, String)> = BTreeMap::new();
+    let max_attempts = config.attempts.max(1);
+    let mut attempts = 0u32;
+    let mut last = String::from("no attempt made");
+    let mut interrupted_job = None;
+    while attempts < max_attempts {
+        attempts += 1;
+        match attempt(config, spec, &mut rows, &mut failed)? {
+            AttemptEnd::Done { job, resumed } => {
+                // A workload that failed on an earlier attempt but
+                // produced rows later is not a failure.
+                failed.retain(|index, _| !rows.contains_key(index));
+                return Ok(SubmitOutcome {
+                    job,
+                    rows: rows.into_values().collect(),
+                    failed: failed.into_values().collect(),
+                    resumed,
+                    attempts,
+                    interrupted: false,
+                });
+            }
+            AttemptEnd::Busy { retry_after_ms } => {
+                last = format!("busy (retry after {retry_after_ms} ms)");
+                interrupted_job = None;
+                // Honour the server's hint, bounded so a bad hint cannot
+                // park the client.
+                std::thread::sleep(Duration::from_millis(retry_after_ms.min(2_000)));
+            }
+            AttemptEnd::Interrupted { job } => {
+                last = format!("job {job} interrupted");
+                interrupted_job = Some(job);
+                std::thread::sleep(config.retry_pause);
+            }
+            AttemptEnd::Lost(reason) => {
+                last = reason;
+                interrupted_job = None;
+                std::thread::sleep(config.retry_pause);
+            }
+        }
+    }
+    match interrupted_job {
+        // Ran out of attempts mid-drain: hand back what streamed, flagged.
+        Some(job) => {
+            failed.retain(|index, _| !rows.contains_key(index));
+            Ok(SubmitOutcome {
+                job,
+                rows: rows.into_values().collect(),
+                failed: failed.into_values().collect(),
+                resumed: 0,
+                attempts,
+                interrupted: true,
+            })
+        }
+        None => Err(SubmitError::Exhausted { attempts, last }),
+    }
+}
+
+/// One connection attempt: submit, then consume the stream until a
+/// terminal record (or the connection is lost).
+fn attempt(
+    config: &ClientConfig,
+    spec: &JobSpec,
+    rows: &mut BTreeMap<u64, (String, Vec<SweepRow>)>,
+    failed: &mut BTreeMap<u64, (String, String)>,
+) -> Result<AttemptEnd, SubmitError> {
+    let mut stream = match UnixStream::connect(&config.socket) {
+        Ok(stream) => stream,
+        // Refused / not-yet-bound sockets are retryable, not fatal.
+        Err(e) => return Ok(AttemptEnd::Lost(format!("connect: {e}"))),
+    };
+    stream
+        .set_read_timeout(Some(config.io_timeout))
+        .map_err(SubmitError::Io)?;
+    let mut line = Request::Submit(*spec).to_line();
+    line.push('\n');
+    if stream.write_all(line.as_bytes()).is_err() {
+        return Ok(AttemptEnd::Lost("connection lost while submitting".into()));
+    }
+
+    let mut buf = Vec::new();
+    loop {
+        let line = match read_line(&mut stream, &mut buf) {
+            Ok(Some(line)) => line,
+            Ok(None) => return Ok(AttemptEnd::Lost("connection dropped mid-stream".into())),
+            Err(reason) => return Ok(AttemptEnd::Lost(reason)),
+        };
+        let response = Response::parse(&line).map_err(|e| SubmitError::Protocol(e.to_string()))?;
+        match response {
+            Response::Accepted { .. } => {}
+            Response::Row {
+                index,
+                key,
+                rows: r,
+                ..
+            } => {
+                rows.insert(index, (key, r));
+            }
+            Response::Failed { index, key, error } => {
+                failed.insert(index, (key, error));
+            }
+            Response::Busy { retry_after_ms, .. } => {
+                return Ok(AttemptEnd::Busy { retry_after_ms })
+            }
+            Response::Done { job, resumed, .. } => return Ok(AttemptEnd::Done { job, resumed }),
+            Response::Interrupted { job, .. } => return Ok(AttemptEnd::Interrupted { job }),
+            Response::Cancelled { job } => {
+                return Err(SubmitError::Server(format!("job {job} was cancelled")))
+            }
+            Response::Error { message } => return Err(SubmitError::Server(message)),
+            Response::Status { .. } => {
+                return Err(SubmitError::Protocol(
+                    "unexpected status record in a submit stream".into(),
+                ))
+            }
+        }
+    }
+}
+
+/// Reads one line; `Ok(None)` is EOF, `Err` is a lost-connection reason
+/// (read timeout included — the stalled-server guard).
+fn read_line(stream: &mut UnixStream, buf: &mut Vec<u8>) -> Result<Option<String>, String> {
+    loop {
+        if let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+            let line: Vec<u8> = buf.drain(..=pos).collect();
+            return Ok(Some(
+                String::from_utf8_lossy(&line[..line.len() - 1]).into_owned(),
+            ));
+        }
+        let mut chunk = [0u8; 4096];
+        match stream.read(&mut chunk) {
+            Ok(0) => return Ok(None),
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                return Err("read timed out (stalled server?)".into())
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(format!("read failed: {e}")),
+        }
+    }
+}
+
+/// Sends one non-submit request and returns the first response line.
+///
+/// Used by the CLI for `status`, `cancel` and `shutdown`; `metrics`
+/// streams raw JSONL and is read with [`fetch_raw`] instead.
+///
+/// # Errors
+///
+/// Returns [`SubmitError::Io`] when the daemon is unreachable and
+/// [`SubmitError::Protocol`] when the reply does not parse.
+pub fn request_one(config: &ClientConfig, request: &Request) -> Result<Response, SubmitError> {
+    let mut stream = UnixStream::connect(&config.socket).map_err(SubmitError::Io)?;
+    stream
+        .set_read_timeout(Some(config.io_timeout))
+        .map_err(SubmitError::Io)?;
+    let mut line = request.to_line();
+    line.push('\n');
+    stream.write_all(line.as_bytes()).map_err(SubmitError::Io)?;
+    let mut buf = Vec::new();
+    match read_line(&mut stream, &mut buf) {
+        Ok(Some(line)) => Response::parse(&line).map_err(|e| SubmitError::Protocol(e.to_string())),
+        Ok(None) => Err(SubmitError::Protocol(
+            "server closed without a reply".into(),
+        )),
+        Err(reason) => Err(SubmitError::Protocol(reason)),
+    }
+}
+
+/// Sends one request and returns the raw bytes the server streams until
+/// EOF (the `metrics` reply is `reap-obs/2` JSONL, not protocol records).
+///
+/// # Errors
+///
+/// Returns [`SubmitError::Io`] when the daemon is unreachable or the
+/// read fails.
+pub fn fetch_raw(config: &ClientConfig, request: &Request) -> Result<Vec<u8>, SubmitError> {
+    let mut stream = UnixStream::connect(&config.socket).map_err(SubmitError::Io)?;
+    stream
+        .set_read_timeout(Some(config.io_timeout))
+        .map_err(SubmitError::Io)?;
+    let mut line = request.to_line();
+    line.push('\n');
+    stream.write_all(line.as_bytes()).map_err(SubmitError::Io)?;
+    let mut out = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => return Ok(out),
+            Ok(n) => out.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                return Ok(out)
+            }
+            Err(e) => return Err(SubmitError::Io(e)),
+        }
+    }
+}

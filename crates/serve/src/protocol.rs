@@ -1,0 +1,515 @@
+//! The `reap serve` wire protocol: newline-delimited JSON both ways.
+//!
+//! A client writes one request object per line; the server answers with
+//! a stream of response objects, one per line, ending in a terminal
+//! record (`done`, `interrupted`, `busy`, `cancelled`, or `error`).
+//! Result rows reuse the `reap-checkpoint/1` row codec
+//! ([`reap_core::checkpoint::row_to_json`]): every `f64` travels as its
+//! IEEE-754 bit pattern in hex, so a row is bit-identical no matter
+//! whether it was computed fresh, replayed from a journal, or served
+//! across a restart.
+//!
+//! The full grammar, the job lifecycle state machine and the load-shed
+//! policy are documented in DESIGN.md §12.
+
+use crate::jobs::JobSpec;
+use reap_core::checkpoint::{row_from_json, row_to_json};
+use reap_core::{SweepMode, SweepRow};
+use reap_obs::json;
+use std::fmt;
+
+/// A malformed request or response line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtocolError {
+    /// What was wrong with the line.
+    pub message: String,
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "protocol error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+fn perr(message: impl Into<String>) -> ProtocolError {
+    ProtocolError {
+        message: message.into(),
+    }
+}
+
+/// One client request line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Run a sweep job and stream its rows back.
+    Submit(JobSpec),
+    /// Cancel a running or queued job by id (from any connection).
+    Cancel {
+        /// The job id echoed by the `accepted` response.
+        job: String,
+    },
+    /// Ask for a one-line load summary.
+    Status,
+    /// Ask for the daemon's full telemetry snapshot as `reap-obs/2`
+    /// JSONL (the response is the raw export, then EOF).
+    Metrics,
+    /// Begin a graceful drain, exactly as SIGTERM would.
+    Shutdown,
+}
+
+impl Request {
+    /// Serializes the request as one JSON line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        match self {
+            Request::Submit(spec) => {
+                let mut line = format!(
+                    "{{\"type\":\"submit\",\"mode\":\"{}\",\"accesses\":{},\"seed\":{}",
+                    spec.mode.tag(),
+                    spec.accesses,
+                    spec.seed
+                );
+                if let Some(r) = spec.max_retries {
+                    line.push_str(&format!(",\"max_retries\":{r}"));
+                }
+                if let Some(d) = spec.deadline_ms {
+                    line.push_str(&format!(",\"deadline_ms\":{d}"));
+                }
+                line.push('}');
+                line
+            }
+            Request::Cancel { job } => {
+                format!("{{\"type\":\"cancel\",\"job\":\"{}\"}}", json::escape(job))
+            }
+            Request::Status => "{\"type\":\"status\"}".to_owned(),
+            Request::Metrics => "{\"type\":\"metrics\"}".to_owned(),
+            Request::Shutdown => "{\"type\":\"shutdown\"}".to_owned(),
+        }
+    }
+
+    /// Parses one request line.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError`] naming the malformed or missing field.
+    pub fn parse(line: &str) -> Result<Self, ProtocolError> {
+        let v = json::parse(line).map_err(|e| perr(format!("invalid JSON: {e}")))?;
+        let kind = v
+            .get("type")
+            .and_then(json::Value::as_str)
+            .ok_or_else(|| perr("request has no \"type\""))?;
+        match kind {
+            "submit" => {
+                let mode = match v.get("mode").and_then(json::Value::as_str) {
+                    Some("standard") => SweepMode::Standard,
+                    Some("ecc-sweep") => SweepMode::EccSweep,
+                    Some(other) => return Err(perr(format!("unknown mode \"{other}\""))),
+                    None => return Err(perr("submit has no \"mode\"")),
+                };
+                let num = |key: &str| {
+                    v.get(key)
+                        .and_then(json::Value::as_f64)
+                        .map(|n| n as u64)
+                        .ok_or_else(|| perr(format!("submit has no numeric \"{key}\"")))
+                };
+                Ok(Request::Submit(JobSpec {
+                    mode,
+                    accesses: num("accesses")?,
+                    seed: num("seed")?,
+                    max_retries: v
+                        .get("max_retries")
+                        .and_then(json::Value::as_f64)
+                        .map(|n| n as u32),
+                    deadline_ms: v
+                        .get("deadline_ms")
+                        .and_then(json::Value::as_f64)
+                        .map(|n| n as u64),
+                }))
+            }
+            "cancel" => Ok(Request::Cancel {
+                job: v
+                    .get("job")
+                    .and_then(json::Value::as_str)
+                    .ok_or_else(|| perr("cancel has no \"job\""))?
+                    .to_owned(),
+            }),
+            "status" => Ok(Request::Status),
+            "metrics" => Ok(Request::Metrics),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(perr(format!("unknown request type \"{other}\""))),
+        }
+    }
+}
+
+/// One server response line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The job was admitted; rows will stream on this connection.
+    Accepted {
+        /// Job id (the job's checkpoint fingerprint, 16 hex digits).
+        job: String,
+    },
+    /// The daemon is saturated (or draining); try again later.
+    Busy {
+        /// Suggested client wait before resubmitting, in milliseconds.
+        retry_after_ms: u64,
+        /// Jobs currently running.
+        active: u64,
+        /// Jobs currently queued.
+        queued: u64,
+        /// Whether the rejection is due to a drain in progress.
+        draining: bool,
+    },
+    /// One workload's completed rows.
+    Row {
+        /// Canonical workload index (position in `SpecWorkload::ALL`).
+        index: u64,
+        /// Workload name.
+        key: String,
+        /// Whether the rows came from the job journal (resume) rather
+        /// than being computed by this run.
+        resumed: bool,
+        /// The rows, in checkpoint row encoding.
+        rows: Vec<SweepRow>,
+    },
+    /// One workload failed (after retries); the job continues.
+    Failed {
+        /// Canonical workload index.
+        index: u64,
+        /// Workload name.
+        key: String,
+        /// The failure, rendered as text.
+        error: String,
+    },
+    /// Terminal: every workload either produced rows or failed.
+    Done {
+        /// Job id.
+        job: String,
+        /// Workloads that produced rows.
+        ok: u64,
+        /// Workloads that failed.
+        failed: u64,
+        /// Rows served from the journal instead of recomputed.
+        resumed: u64,
+    },
+    /// Terminal: the job stopped early (drain, cancel, disconnect).
+    Interrupted {
+        /// Job id.
+        job: String,
+        /// Whether a resubmission can resume from a journal.
+        resumable: bool,
+    },
+    /// Terminal (for a `cancel` request): the target was cancelled.
+    Cancelled {
+        /// Job id.
+        job: String,
+    },
+    /// One-line load summary (reply to `status`).
+    Status {
+        /// Jobs currently running.
+        active: u64,
+        /// Jobs currently queued.
+        queued: u64,
+        /// Whether a drain is in progress.
+        draining: bool,
+    },
+    /// Terminal: the request was malformed or the job id unknown.
+    Error {
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl Response {
+    /// Whether this record ends a submit stream.
+    pub fn is_terminal(&self) -> bool {
+        matches!(
+            self,
+            Response::Done { .. }
+                | Response::Interrupted { .. }
+                | Response::Busy { .. }
+                | Response::Cancelled { .. }
+                | Response::Error { .. }
+        )
+    }
+
+    /// Serializes the response as one JSON line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        match self {
+            Response::Accepted { job } => {
+                format!("{{\"type\":\"accepted\",\"job\":\"{}\"}}", json::escape(job))
+            }
+            Response::Busy {
+                retry_after_ms,
+                active,
+                queued,
+                draining,
+            } => format!(
+                "{{\"type\":\"busy\",\"retry_after_ms\":{retry_after_ms},\"active\":{active},\"queued\":{queued},\"draining\":{draining}}}"
+            ),
+            Response::Row {
+                index,
+                key,
+                resumed,
+                rows,
+            } => {
+                let rows: Vec<String> = rows.iter().map(row_to_json).collect();
+                format!(
+                    "{{\"type\":\"row\",\"index\":{index},\"key\":\"{}\",\"resumed\":{resumed},\"rows\":[{}]}}",
+                    json::escape(key),
+                    rows.join(",")
+                )
+            }
+            Response::Failed { index, key, error } => format!(
+                "{{\"type\":\"failed\",\"index\":{index},\"key\":\"{}\",\"error\":\"{}\"}}",
+                json::escape(key),
+                json::escape(error)
+            ),
+            Response::Done {
+                job,
+                ok,
+                failed,
+                resumed,
+            } => format!(
+                "{{\"type\":\"done\",\"job\":\"{}\",\"ok\":{ok},\"failed\":{failed},\"resumed\":{resumed}}}",
+                json::escape(job)
+            ),
+            Response::Interrupted { job, resumable } => format!(
+                "{{\"type\":\"interrupted\",\"job\":\"{}\",\"resumable\":{resumable}}}",
+                json::escape(job)
+            ),
+            Response::Cancelled { job } => format!(
+                "{{\"type\":\"cancelled\",\"job\":\"{}\"}}",
+                json::escape(job)
+            ),
+            Response::Status {
+                active,
+                queued,
+                draining,
+            } => format!(
+                "{{\"type\":\"status\",\"active\":{active},\"queued\":{queued},\"draining\":{draining}}}"
+            ),
+            Response::Error { message } => format!(
+                "{{\"type\":\"error\",\"message\":\"{}\"}}",
+                json::escape(message)
+            ),
+        }
+    }
+
+    /// Parses one response line.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError`] naming the malformed or missing field.
+    pub fn parse(line: &str) -> Result<Self, ProtocolError> {
+        let v = json::parse(line).map_err(|e| perr(format!("invalid JSON: {e}")))?;
+        let kind = v
+            .get("type")
+            .and_then(json::Value::as_str)
+            .ok_or_else(|| perr("response has no \"type\""))?;
+        let num = |key: &str| {
+            v.get(key)
+                .and_then(json::Value::as_f64)
+                .map(|n| n as u64)
+                .ok_or_else(|| perr(format!("\"{kind}\" has no numeric \"{key}\"")))
+        };
+        let text = |key: &str| {
+            v.get(key)
+                .and_then(json::Value::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| perr(format!("\"{kind}\" has no \"{key}\"")))
+        };
+        let flag = |key: &str| match v.get(key) {
+            Some(json::Value::Bool(b)) => Ok(*b),
+            _ => Err(perr(format!("\"{kind}\" has no boolean \"{key}\""))),
+        };
+        match kind {
+            "accepted" => Ok(Response::Accepted { job: text("job")? }),
+            "busy" => Ok(Response::Busy {
+                retry_after_ms: num("retry_after_ms")?,
+                active: num("active")?,
+                queued: num("queued")?,
+                draining: flag("draining")?,
+            }),
+            "row" => {
+                let json::Value::Arr(rows) = v
+                    .get("rows")
+                    .ok_or_else(|| perr("\"row\" has no \"rows\""))?
+                else {
+                    return Err(perr("\"rows\" is not an array"));
+                };
+                Ok(Response::Row {
+                    index: num("index")?,
+                    key: text("key")?,
+                    resumed: flag("resumed")?,
+                    rows: rows
+                        .iter()
+                        .map(|r| row_from_json(r).map_err(perr))
+                        .collect::<Result<Vec<_>, _>>()?,
+                })
+            }
+            "failed" => Ok(Response::Failed {
+                index: num("index")?,
+                key: text("key")?,
+                error: text("error")?,
+            }),
+            "done" => Ok(Response::Done {
+                job: text("job")?,
+                ok: num("ok")?,
+                failed: num("failed")?,
+                resumed: num("resumed")?,
+            }),
+            "interrupted" => Ok(Response::Interrupted {
+                job: text("job")?,
+                resumable: flag("resumable")?,
+            }),
+            "cancelled" => Ok(Response::Cancelled { job: text("job")? }),
+            "status" => Ok(Response::Status {
+                active: num("active")?,
+                queued: num("queued")?,
+                draining: flag("draining")?,
+            }),
+            "error" => Ok(Response::Error {
+                message: text("message")?,
+            }),
+            other => Err(perr(format!("unknown response type \"{other}\""))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reap_core::EccStrength;
+
+    fn spec() -> JobSpec {
+        JobSpec {
+            mode: SweepMode::EccSweep,
+            accesses: 5000,
+            seed: 7,
+            max_retries: Some(3),
+            deadline_ms: Some(30_000),
+        }
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let requests = [
+            Request::Submit(spec()),
+            Request::Submit(JobSpec {
+                max_retries: None,
+                deadline_ms: None,
+                mode: SweepMode::Standard,
+                ..spec()
+            }),
+            Request::Cancel {
+                job: "00ff00ff00ff00ff".into(),
+            },
+            Request::Status,
+            Request::Metrics,
+            Request::Shutdown,
+        ];
+        for request in requests {
+            let line = request.to_line();
+            assert_eq!(Request::parse(&line).unwrap(), request, "{line}");
+        }
+    }
+
+    #[test]
+    fn responses_round_trip_bit_exactly() {
+        let row = SweepRow {
+            ecc: Some(EccStrength::Dec),
+            mttf_gain: 123.456_789,
+            energy_overhead: -0.0,
+            l2_hit_rate: f64::MIN_POSITIVE,
+            efail_conv: 3.2e-17,
+            max_n: u64::from(u32::MAX),
+        };
+        let responses = [
+            Response::Accepted { job: "ab12".into() },
+            Response::Busy {
+                retry_after_ms: 250,
+                active: 2,
+                queued: 4,
+                draining: false,
+            },
+            Response::Row {
+                index: 3,
+                key: "hmmer".into(),
+                resumed: true,
+                rows: vec![row, row],
+            },
+            Response::Failed {
+                index: 9,
+                key: "mcf".into(),
+                error: "worker panicked: \"quoted\"".into(),
+            },
+            Response::Done {
+                job: "ab12".into(),
+                ok: 20,
+                failed: 1,
+                resumed: 7,
+            },
+            Response::Interrupted {
+                job: "ab12".into(),
+                resumable: true,
+            },
+            Response::Cancelled { job: "ab12".into() },
+            Response::Status {
+                active: 1,
+                queued: 0,
+                draining: true,
+            },
+            Response::Error {
+                message: "unknown request".into(),
+            },
+        ];
+        for response in responses {
+            let line = response.to_line();
+            let parsed = Response::parse(&line).unwrap();
+            assert_eq!(parsed, response, "{line}");
+            if let Response::Row { rows, .. } = &parsed {
+                for (got, want) in rows.iter().zip([row, row]) {
+                    assert_eq!(got.mttf_gain.to_bits(), want.mttf_gain.to_bits());
+                    assert_eq!(got.efail_conv.to_bits(), want.efail_conv.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn terminal_classification() {
+        assert!(Response::Done {
+            job: String::new(),
+            ok: 0,
+            failed: 0,
+            resumed: 0
+        }
+        .is_terminal());
+        assert!(Response::Busy {
+            retry_after_ms: 0,
+            active: 0,
+            queued: 0,
+            draining: false
+        }
+        .is_terminal());
+        assert!(!Response::Accepted { job: String::new() }.is_terminal());
+        assert!(!Response::Row {
+            index: 0,
+            key: String::new(),
+            resumed: false,
+            rows: vec![]
+        }
+        .is_terminal());
+    }
+
+    #[test]
+    fn malformed_lines_are_typed_errors() {
+        assert!(Request::parse("not json").is_err());
+        assert!(Request::parse("{\"type\":\"frob\"}").is_err());
+        assert!(Request::parse("{\"type\":\"submit\",\"mode\":\"bogus\"}").is_err());
+        assert!(Request::parse("{\"type\":\"submit\",\"mode\":\"standard\"}").is_err());
+        assert!(Response::parse("{\"type\":\"row\",\"index\":0}").is_err());
+        assert!(Response::parse("{\"no_type\":1}").is_err());
+    }
+}

@@ -1,0 +1,711 @@
+//! The daemon: accept loop, admission control, runner pool, drain.
+//!
+//! One thread owns the non-blocking listener and polls the shutdown
+//! flag between accepts (signal handlers only store to an atomic — see
+//! [`crate::signal`]). Accepted connections each get a thread that reads
+//! exactly one request and answers it; `submit` streams rows until a
+//! terminal record. Jobs flow through a bounded queue into a fixed pool
+//! of runner threads, each of which fans its job's workloads out through
+//! [`reap_core::pool_map_supervised`] — so panic isolation, retries with
+//! (jittered) backoff, deadlines and fault injection all apply inside
+//! the daemon exactly as they do offline.
+//!
+//! Crash safety: every completed workload is appended (and flushed) to
+//! the job's `reap-checkpoint/1` journal before its row is streamed, so
+//! the journal is never behind what a client saw. A drain (SIGTERM,
+//! SIGINT or a `shutdown` request) stops admissions, interrupts jobs at
+//! the next workload boundary, and leaves the journals in place; a
+//! restarted daemon serves journaled rows byte-identically and computes
+//! only the remainder.
+
+use crate::cache::{bump, HotCaptureCache};
+use crate::jobs::{compute_rows, JobSpec};
+use crate::protocol::{Request, Response};
+use crate::signal;
+use reap_core::checkpoint::{self, CheckpointWriter};
+use reap_core::{pool_map_supervised, CaptureStore, JobError, SupervisorConfig};
+use reap_fault::ConnectionFault;
+use reap_trace::SpecWorkload;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::io::{self, ErrorKind, Read, Write};
+use std::net::Shutdown;
+use std::ops::ControlFlow;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// How long the accept loop sleeps when no connection is pending; also
+/// bounds how stale the shutdown-flag check can get.
+const ACCEPT_POLL: Duration = Duration::from_millis(20);
+
+/// Socket read timeout: the granularity at which blocked reads recheck
+/// the shutdown flag and streaming loops poll for client disconnects.
+const READ_POLL: Duration = Duration::from_millis(50);
+
+/// Everything the daemon needs to run. Build one with
+/// [`ServeConfig::new`] and adjust fields before calling [`serve`].
+#[derive(Debug)]
+pub struct ServeConfig {
+    /// The Unix-domain socket path to listen on.
+    pub socket: PathBuf,
+    /// Directory for per-job journals (created if absent).
+    pub state_dir: PathBuf,
+    /// Worker threads per job (the supervised pool's parallelism).
+    pub parallelism: usize,
+    /// Jobs run concurrently (runner threads).
+    pub max_active: usize,
+    /// Jobs admitted beyond the active ones; a full queue answers `busy`.
+    pub queue_depth: usize,
+    /// Hot capture cache capacity (entries; 0 disables the cache).
+    pub cache_entries: usize,
+    /// The wait hint a `busy` response carries, in milliseconds.
+    pub retry_after_ms: u64,
+    /// Supervision policy for job workloads (retries, backoff, deadline,
+    /// fault plan). The fault plan's connection fields drive the
+    /// accept-path injection too.
+    pub supervisor: SupervisorConfig,
+    /// Optional on-disk capture store shared with offline sweeps.
+    pub store: Option<CaptureStore>,
+}
+
+impl ServeConfig {
+    /// A small-footprint default: 2 concurrent jobs of 4 workers each,
+    /// a queue of 4, an 8-entry hot cache, 250 ms retry hints.
+    pub fn new(socket: impl Into<PathBuf>, state_dir: impl Into<PathBuf>) -> Self {
+        Self {
+            socket: socket.into(),
+            state_dir: state_dir.into(),
+            parallelism: 4,
+            max_active: 2,
+            queue_depth: 4,
+            cache_entries: 8,
+            retry_after_ms: 250,
+            supervisor: SupervisorConfig::default(),
+            store: None,
+        }
+    }
+}
+
+/// One admitted job: the runner computes, the connection thread streams.
+struct JobHandle {
+    id: String,
+    spec: JobSpec,
+    cancelled: AtomicBool,
+    /// The submitting connection's response channel. Behind a `Mutex`
+    /// only to make the handle `Sync`; contention is two threads.
+    tx: Mutex<mpsc::Sender<Response>>,
+}
+
+impl JobHandle {
+    fn cancel(&self) {
+        self.cancelled.store(true, Ordering::SeqCst);
+    }
+
+    fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::SeqCst)
+    }
+
+    /// Sends one response to the submitter; a gone receiver (client
+    /// disconnected, stream dropped) cancels the job instead of erroring.
+    fn send(&self, response: Response) {
+        let tx = self.tx.lock().expect("job sender poisoned");
+        if tx.send(response).is_err() {
+            self.cancel();
+        }
+    }
+}
+
+struct ServerState {
+    config: ServeConfig,
+    cache: Arc<HotCaptureCache>,
+    queue: Mutex<VecDeque<Arc<JobHandle>>>,
+    queue_ready: Condvar,
+    /// Queued *and* running jobs, by id — the cancel path and the
+    /// duplicate-submission check look here.
+    jobs: Mutex<HashMap<String, Arc<JobHandle>>>,
+    active: AtomicU64,
+    /// Local drain flag (protocol `shutdown`); ORed with the process
+    /// signal flag so in-process servers (tests) drain independently.
+    draining: AtomicBool,
+}
+
+impl ServerState {
+    fn draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst) || signal::shutdown_requested()
+    }
+
+    fn status(&self) -> Response {
+        Response::Status {
+            active: self.active.load(Ordering::SeqCst),
+            queued: self.queue.lock().expect("queue poisoned").len() as u64,
+            draining: self.draining(),
+        }
+    }
+}
+
+/// Runs the daemon until a shutdown signal or `shutdown` request, then
+/// drains: stops admissions, interrupts in-flight jobs at the next
+/// workload boundary (journals intact), flushes queued jobs with
+/// `interrupted` responses, and removes the socket.
+///
+/// # Errors
+///
+/// Returns an error when the socket cannot be bound (including when
+/// another daemon already serves on it), the state directory cannot be
+/// created, or the listener fails unrecoverably.
+pub fn serve(config: ServeConfig) -> io::Result<()> {
+    std::fs::create_dir_all(&config.state_dir)?;
+    if config.socket.exists() {
+        if UnixStream::connect(&config.socket).is_ok() {
+            return Err(io::Error::new(
+                ErrorKind::AddrInUse,
+                format!("another daemon is serving on {}", config.socket.display()),
+            ));
+        }
+        // Stale socket from a crashed daemon: nobody answers, reclaim it.
+        std::fs::remove_file(&config.socket)?;
+    }
+    let listener = UnixListener::bind(&config.socket)?;
+    listener.set_nonblocking(true)?;
+    signal::install_shutdown_handler();
+
+    let cache = Arc::new(HotCaptureCache::new(config.cache_entries));
+    let state = Arc::new(ServerState {
+        config,
+        cache,
+        queue: Mutex::new(VecDeque::new()),
+        queue_ready: Condvar::new(),
+        jobs: Mutex::new(HashMap::new()),
+        active: AtomicU64::new(0),
+        draining: AtomicBool::new(false),
+    });
+
+    let mut runners = Vec::new();
+    for _ in 0..state.config.max_active.max(1) {
+        let state = Arc::clone(&state);
+        runners.push(std::thread::spawn(move || runner_loop(&state)));
+    }
+
+    let plan = state.config.supervisor.fault_plan;
+    let mut connections: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    let mut conn_serial: u64 = 0;
+    let result = loop {
+        if state.draining() {
+            break Ok(());
+        }
+        match listener.accept() {
+            Ok((stream, _addr)) => {
+                conn_serial += 1;
+                let fault =
+                    plan.map_or(ConnectionFault::None, |p| p.decide_connection(conn_serial));
+                if matches!(fault, ConnectionFault::Refuse) {
+                    bump("serve.conn.refused");
+                    // Closing without a byte looks like a refused/reset
+                    // connection to the client.
+                    drop(stream);
+                    continue;
+                }
+                bump("serve.conn.accepted");
+                let state = Arc::clone(&state);
+                connections.push(std::thread::spawn(move || {
+                    handle_connection(&state, stream, conn_serial, fault);
+                }));
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_POLL),
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => break Err(e),
+        }
+        // Reap finished connection threads so a long-lived daemon does
+        // not accumulate handles.
+        connections = connections
+            .into_iter()
+            .filter_map(|h| {
+                if h.is_finished() {
+                    let _ = h.join();
+                    None
+                } else {
+                    Some(h)
+                }
+            })
+            .collect();
+    };
+
+    // Drain. Admissions have stopped (the local flag gates them); flush
+    // every queued job, then let runners finish their boundary and exit.
+    state.draining.store(true, Ordering::SeqCst);
+    let flushed: Vec<Arc<JobHandle>> = {
+        let mut queue = state.queue.lock().expect("queue poisoned");
+        queue.drain(..).collect()
+    };
+    for handle in flushed {
+        handle.cancel();
+        let resumable = handle.spec.journal_path(&state.config.state_dir).exists();
+        handle.send(Response::Interrupted {
+            job: handle.id.clone(),
+            resumable,
+        });
+        bump("serve.jobs.interrupted");
+        state.jobs.lock().expect("jobs poisoned").remove(&handle.id);
+    }
+    state.queue_ready.notify_all();
+    for runner in runners {
+        let _ = runner.join();
+    }
+    for connection in connections {
+        let _ = connection.join();
+    }
+    let _ = std::fs::remove_file(&state.config.socket);
+    result
+}
+
+/// One runner thread: pop, run, repeat until drain.
+fn runner_loop(state: &Arc<ServerState>) {
+    loop {
+        let handle = {
+            let mut queue = state.queue.lock().expect("queue poisoned");
+            loop {
+                if let Some(handle) = queue.pop_front() {
+                    break Some(handle);
+                }
+                if state.draining() {
+                    break None;
+                }
+                let (guard, _timeout) = state
+                    .queue_ready
+                    .wait_timeout(queue, READ_POLL)
+                    .expect("queue poisoned");
+                queue = guard;
+            }
+        };
+        let Some(handle) = handle else { return };
+        if handle.is_cancelled() {
+            // Cancelled while queued: never started, journal untouched.
+            let resumable = handle.spec.journal_path(&state.config.state_dir).exists();
+            handle.send(Response::Interrupted {
+                job: handle.id.clone(),
+                resumable,
+            });
+            bump("serve.jobs.interrupted");
+        } else {
+            state.active.fetch_add(1, Ordering::SeqCst);
+            run_job(state, &handle);
+            state.active.fetch_sub(1, Ordering::SeqCst);
+        }
+        state.jobs.lock().expect("jobs poisoned").remove(&handle.id);
+    }
+}
+
+/// Runs one job to a terminal response: resume from the journal, fan the
+/// remainder out under supervision, journal-then-stream each workload.
+fn run_job(state: &Arc<ServerState>, handle: &Arc<JobHandle>) {
+    let spec = handle.spec;
+    let meta = spec.meta();
+    let journal = spec.journal_path(&state.config.state_dir);
+
+    // Resume: serve journaled rows first (bit-identical by the row
+    // codec), then append new results to the same journal.
+    let mut done: HashSet<String> = HashSet::new();
+    let mut resumed = 0u64;
+    let writer = if journal.exists() {
+        match checkpoint::load(&journal) {
+            Ok(loaded) if loaded.meta.fingerprint == meta.fingerprint => {
+                if let Some(offset) = loaded.truncated_tail {
+                    // Drop the crash-interrupted half line so appended
+                    // records start on a fresh line.
+                    let _ = reap_fault::truncate_file(&journal, offset as u64);
+                }
+                for (key, rows) in &loaded.completed {
+                    let Some(index) = SpecWorkload::ALL.iter().position(|w| w.name() == key) else {
+                        continue;
+                    };
+                    handle.send(Response::Row {
+                        index: index as u64,
+                        key: key.clone(),
+                        resumed: true,
+                        rows: rows.clone(),
+                    });
+                    done.insert(key.clone());
+                    resumed += 1;
+                    bump("serve.rows.resumed");
+                }
+                CheckpointWriter::append_to(&journal)
+            }
+            // Corrupt or foreign journal under our name: recompute from
+            // scratch rather than serving rows we cannot trust.
+            _ => CheckpointWriter::create(&journal, &meta),
+        }
+    } else {
+        CheckpointWriter::create(&journal, &meta)
+    };
+    let mut writer = match writer {
+        Ok(writer) => writer,
+        Err(e) => {
+            handle.send(Response::Error {
+                message: e.to_string(),
+            });
+            return;
+        }
+    };
+
+    let pending: Vec<(u64, SpecWorkload)> = SpecWorkload::ALL
+        .iter()
+        .enumerate()
+        .filter(|(_, w)| !done.contains(w.name()))
+        .map(|(i, w)| (i as u64, *w))
+        .collect();
+    if pending.is_empty() {
+        handle.send(Response::Done {
+            job: handle.id.clone(),
+            ok: resumed,
+            failed: 0,
+            resumed,
+        });
+        bump("serve.jobs.completed");
+        let _ = std::fs::remove_file(&journal);
+        return;
+    }
+
+    // Per-job budget overrides ride on the daemon's supervision policy.
+    let mut supervisor = state.config.supervisor;
+    if let Some(retries) = spec.max_retries {
+        supervisor.max_retries = retries;
+    }
+    if let Some(deadline_ms) = spec.deadline_ms {
+        supervisor.deadline = Some(Duration::from_millis(deadline_ms));
+    }
+
+    let cache = Arc::clone(&state.cache);
+    let store = state.config.store.clone();
+    let keys: Vec<(u64, &'static str)> = pending.iter().map(|(i, w)| (*i, w.name())).collect();
+
+    let mut ok = resumed;
+    let mut failed = 0u64;
+    let mut interrupted = false;
+    let outcomes = pool_map_supervised(
+        pending,
+        state.config.parallelism.max(1),
+        "serve.pool",
+        &supervisor,
+        move |(_, workload)| {
+            compute_rows(workload, &spec, Some(&cache), store.as_ref()).map_err(|e| e.to_string())
+        },
+        |slot, outcome| {
+            let (index, key) = keys[slot];
+            match &outcome.result {
+                Ok(Ok(rows)) => {
+                    // Journal first, stream second: the journal is never
+                    // behind what the client saw.
+                    if let Err(e) = writer.record(key, rows) {
+                        eprintln!("warning: {e}");
+                    }
+                    handle.send(Response::Row {
+                        index,
+                        key: key.to_owned(),
+                        resumed: false,
+                        rows: rows.clone(),
+                    });
+                    ok += 1;
+                    bump("serve.rows.computed");
+                }
+                Ok(Err(error)) => {
+                    handle.send(Response::Failed {
+                        index,
+                        key: key.to_owned(),
+                        error: error.clone(),
+                    });
+                    failed += 1;
+                }
+                // Unclaimed jobs of an interrupted batch: the terminal
+                // `interrupted` record covers them.
+                Err(JobError::Cancelled) => {}
+                Err(e) => {
+                    handle.send(Response::Failed {
+                        index,
+                        key: key.to_owned(),
+                        error: e.to_string(),
+                    });
+                    failed += 1;
+                }
+            }
+            if handle.is_cancelled() || state.draining() {
+                interrupted = true;
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
+            }
+        },
+    );
+    if outcomes
+        .iter()
+        .any(|o| matches!(o.result, Err(JobError::Cancelled)))
+    {
+        interrupted = true;
+    }
+
+    if interrupted {
+        // Journal kept: a resubmission resumes from it.
+        handle.send(Response::Interrupted {
+            job: handle.id.clone(),
+            resumable: true,
+        });
+        bump("serve.jobs.interrupted");
+    } else {
+        handle.send(Response::Done {
+            job: handle.id.clone(),
+            ok,
+            failed,
+            resumed,
+        });
+        bump("serve.jobs.completed");
+        if failed == 0 {
+            // Clean completion: the journal has served its purpose.
+            let _ = std::fs::remove_file(&journal);
+        }
+        // With failures the journal stays: a resubmission resumes the
+        // successes and retries only the failed workloads.
+    }
+}
+
+/// Splits one `\n`-terminated line off the front of `buf`, if present.
+fn next_line(buf: &mut Vec<u8>) -> Option<String> {
+    let pos = buf.iter().position(|&b| b == b'\n')?;
+    let line: Vec<u8> = buf.drain(..=pos).collect();
+    Some(String::from_utf8_lossy(&line[..line.len() - 1]).into_owned())
+}
+
+fn write_line(stream: &mut UnixStream, response: &Response) -> io::Result<()> {
+    let mut line = response.to_line();
+    line.push('\n');
+    stream.write_all(line.as_bytes())
+}
+
+/// Reads one request line, rechecking the drain flag on every read
+/// timeout. `None`: EOF, I/O failure, or drain.
+fn read_request(stream: &mut UnixStream, buf: &mut Vec<u8>, state: &ServerState) -> Option<String> {
+    loop {
+        if let Some(line) = next_line(buf) {
+            return Some(line);
+        }
+        let mut chunk = [0u8; 1024];
+        match stream.read(&mut chunk) {
+            Ok(0) => return None,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if state.draining() {
+                    return None;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return None,
+        }
+    }
+}
+
+/// What a mid-stream poll of the client socket found.
+enum ClientPoll {
+    Idle,
+    Cancel,
+    Closed,
+}
+
+/// Checks the submitting client for a disconnect or an inline `cancel`
+/// while its job streams.
+fn poll_client(stream: &mut UnixStream, buf: &mut Vec<u8>) -> ClientPoll {
+    let mut chunk = [0u8; 256];
+    match stream.read(&mut chunk) {
+        Ok(0) => return ClientPoll::Closed,
+        Ok(n) => buf.extend_from_slice(&chunk[..n]),
+        Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+            return ClientPoll::Idle
+        }
+        Err(e) if e.kind() == ErrorKind::Interrupted => return ClientPoll::Idle,
+        Err(_) => return ClientPoll::Closed,
+    }
+    while let Some(line) = next_line(buf) {
+        if matches!(Request::parse(&line), Ok(Request::Cancel { .. })) {
+            return ClientPoll::Cancel;
+        }
+    }
+    ClientPoll::Idle
+}
+
+/// Serves one connection: read one request, answer it, hang up.
+fn handle_connection(
+    state: &Arc<ServerState>,
+    mut stream: UnixStream,
+    conn: u64,
+    fault: ConnectionFault,
+) {
+    // A non-blocking listener's accepted sockets are blocking on Linux,
+    // but make it explicit — the timeouts below assume blocking mode.
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(Some(READ_POLL));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
+    if let Some(stall) = state
+        .config
+        .supervisor
+        .fault_plan
+        .as_ref()
+        .and_then(|p| p.stall())
+    {
+        // Injected stalled read: the daemon sits on the request exactly
+        // as long as the plan says, exercising client-side timeouts.
+        bump("serve.conn.stalled");
+        std::thread::sleep(stall);
+    }
+    let mut buf = Vec::new();
+    let Some(line) = read_request(&mut stream, &mut buf, state) else {
+        return;
+    };
+    let request = match Request::parse(&line) {
+        Ok(request) => request,
+        Err(e) => {
+            let _ = write_line(
+                &mut stream,
+                &Response::Error {
+                    message: e.to_string(),
+                },
+            );
+            return;
+        }
+    };
+    match request {
+        Request::Submit(spec) => handle_submit(state, stream, buf, spec, conn, fault),
+        Request::Cancel { job } => {
+            let found = state.jobs.lock().expect("jobs poisoned").get(&job).cloned();
+            let response = match found {
+                Some(handle) => {
+                    handle.cancel();
+                    bump("serve.jobs.cancelled");
+                    Response::Cancelled { job }
+                }
+                None => Response::Error {
+                    message: format!("no such job {job}"),
+                },
+            };
+            let _ = write_line(&mut stream, &response);
+        }
+        Request::Status => {
+            let _ = write_line(&mut stream, &state.status());
+        }
+        Request::Metrics => {
+            let snapshot = reap_obs::global().snapshot();
+            let _ = reap_obs::export::write_jsonl(&snapshot, &mut stream);
+        }
+        Request::Shutdown => {
+            state.draining.store(true, Ordering::SeqCst);
+            state.queue_ready.notify_all();
+            let _ = write_line(&mut stream, &state.status());
+        }
+    }
+}
+
+/// Admits (or sheds) a submit, then forwards the runner's responses to
+/// the client while watching for disconnects and inline cancels.
+fn handle_submit(
+    state: &Arc<ServerState>,
+    mut stream: UnixStream,
+    mut buf: Vec<u8>,
+    spec: JobSpec,
+    conn: u64,
+    fault: ConnectionFault,
+) {
+    let id = spec.id();
+    // Admission under queue -> jobs lock order (drain uses the same).
+    let admitted = {
+        let mut queue = state.queue.lock().expect("queue poisoned");
+        let mut jobs = state.jobs.lock().expect("jobs poisoned");
+        let draining = state.draining();
+        let queued = queue.len() as u64;
+        let active = state.active.load(Ordering::SeqCst);
+        // A duplicate id sheds too: two runners appending one journal
+        // would corrupt it. The retry hint lets the client come back
+        // after the in-flight twin finishes (and then hit its journal
+        // or the hot cache).
+        if draining || queued >= state.config.queue_depth as u64 || jobs.contains_key(&id) {
+            bump("serve.jobs.busy");
+            Err(Response::Busy {
+                retry_after_ms: state.config.retry_after_ms,
+                active,
+                queued,
+                draining,
+            })
+        } else {
+            let (tx, rx) = mpsc::channel();
+            let handle = Arc::new(JobHandle {
+                id: id.clone(),
+                spec,
+                cancelled: AtomicBool::new(false),
+                tx: Mutex::new(tx),
+            });
+            jobs.insert(id.clone(), Arc::clone(&handle));
+            queue.push_back(Arc::clone(&handle));
+            Ok((handle, rx))
+        }
+    };
+    let (handle, rx) = match admitted {
+        Ok(admitted) => admitted,
+        Err(busy) => {
+            let _ = write_line(&mut stream, &busy);
+            return;
+        }
+    };
+    state.queue_ready.notify_one();
+    bump("serve.jobs.accepted");
+    if write_line(&mut stream, &Response::Accepted { job: id }).is_err() {
+        handle.cancel();
+        return;
+    }
+
+    // Injected dropped connection: hang up abruptly after a
+    // deterministic number of rows (1..=4, drawn from the plan seed).
+    let drop_after = matches!(fault, ConnectionFault::Drop).then(|| {
+        let seed = state.config.supervisor.fault_plan.map_or(0, |p| p.seed);
+        1 + (reap_fault::uniform(seed, conn, 1, 0x5e7e) * 4.0) as u64
+    });
+
+    let mut rows_written = 0u64;
+    loop {
+        match rx.recv_timeout(Duration::from_millis(25)) {
+            Ok(response) => {
+                if drop_after.is_some_and(|k| rows_written >= k) {
+                    bump("serve.conn.dropped");
+                    let _ = stream.shutdown(Shutdown::Both);
+                    handle.cancel();
+                    return;
+                }
+                let terminal = response.is_terminal();
+                let is_row = matches!(response, Response::Row { .. });
+                if write_line(&mut stream, &response).is_err() {
+                    handle.cancel();
+                    return;
+                }
+                if is_row {
+                    rows_written += 1;
+                }
+                if terminal {
+                    return;
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => match poll_client(&mut stream, &mut buf) {
+                ClientPoll::Closed => {
+                    bump("serve.conn.disconnected");
+                    handle.cancel();
+                    return;
+                }
+                ClientPoll::Cancel => {
+                    bump("serve.jobs.cancelled");
+                    handle.cancel();
+                    // Keep forwarding: the runner's terminal
+                    // `interrupted` confirms the cancellation.
+                }
+                ClientPoll::Idle => {}
+            },
+            // The runner vanished (it never does without a terminal
+            // record, but do not spin if it somehow did).
+            Err(mpsc::RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Minimal async-signal-safe SIGTERM/SIGINT handling.
+//!
+//! The workspace forbids `unsafe` everywhere else; this module is the
+//! one exception, confined to registering a handler that does the only
+//! thing an async-signal-safe handler may do: store to an atomic flag.
+//! The accept loop polls [`shutdown_requested`] between non-blocking
+//! accepts, so no signal-interruptible blocking call is relied upon
+//! (glibc installs handlers with `SA_RESTART`, which would otherwise
+//! swallow the `EINTR` a blocking `accept` wait depends on).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
+
+/// Whether a shutdown signal has been delivered (or injected via
+/// [`request_shutdown`]) since the last [`reset`].
+pub fn shutdown_requested() -> bool {
+    SHUTDOWN.load(Ordering::SeqCst)
+}
+
+/// Sets the shutdown flag from safe code — the `shutdown` protocol
+/// request and tests share the signal path this way.
+pub fn request_shutdown() {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+/// Clears the shutdown flag (a restarted in-process server must not see
+/// the previous drain's signal).
+pub fn reset() {
+    SHUTDOWN.store(false, Ordering::SeqCst);
+}
+
+#[allow(unsafe_code)]
+mod install {
+    use std::sync::atomic::Ordering;
+
+    // Declared by hand: the build environment vendors no `libc` crate.
+    // `signal(2)` is in every libc the workspace targets.
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        // The only async-signal-safe action: a store to an atomic.
+        super::SHUTDOWN.store(true, Ordering::SeqCst);
+    }
+
+    /// Routes SIGTERM and SIGINT to the shutdown flag.
+    pub fn install_shutdown_handler() {
+        let handler = on_signal as extern "C" fn(i32) as usize;
+        // SAFETY: `signal` replaces the process disposition for the two
+        // shutdown signals with a handler that only stores to an atomic,
+        // which is async-signal-safe. No Rust state is touched.
+        unsafe {
+            signal(super::SIGTERM, handler);
+            signal(super::SIGINT, handler);
+        }
+    }
+}
+
+pub use install::install_shutdown_handler;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_round_trips() {
+        reset();
+        assert!(!shutdown_requested());
+        request_shutdown();
+        assert!(shutdown_requested());
+        reset();
+        assert!(!shutdown_requested());
+    }
+}

@@ -51,4 +51,5 @@ pub use reap_mtj as mtj;
 pub use reap_nvarray as nvarray;
 pub use reap_obs as obs;
 pub use reap_reliability as reliability;
+pub use reap_serve as serve;
 pub use reap_trace as trace;
