@@ -6,8 +6,9 @@
 //! 1. **cold** — the store directory starts empty, so every workload pays
 //!    its trace pass and persists the capture, and
 //! 2. **warm** — the same sweep again, now served entirely from disk: the
-//!    trace pass is skipped and only the replay kernel runs (for v2,
-//!    streamed frame-by-frame without materializing the event vector).
+//!    trace pass is skipped and only the replay kernel runs, streamed
+//!    straight out of the decoder's reusable buffers (frame-by-frame for
+//!    v2, block-by-block for v1) without materializing the event vector.
 //!
 //! Correctness gates: cold and warm must agree bit-for-bit within a
 //! format, the v1 and v2 cold sweeps must agree bit-for-bit with each

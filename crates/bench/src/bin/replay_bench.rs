@@ -6,14 +6,18 @@
 //! ways over the same captures:
 //!
 //! 1. **per-point** — one [`Simulator::replay`] walk of the exposure
-//!    stream per analysis point (the historical hot path), and
-//! 2. **batched** — one [`Simulator::replay_batch`] walk scoring all
-//!    points at once.
+//!    stream per analysis point (the historical hot path),
+//! 2. **scalar batched** — one [`Simulator::replay_batch_scalar`] walk
+//!    driving the pre-vectorization per-record kernel, and
+//! 3. **batched** — one [`Simulator::replay_batch`] walk driving the
+//!    vectorized kernel.
 //!
-//! The reports must agree bit-for-bit (the bench fails otherwise — it
-//! doubles as an end-to-end identity check at realistic scale), and the
-//! batched pass must not be slower: the process exits non-zero if the
-//! measured speedup drops below 1. Each capture is additionally encoded
+//! The reports must agree bit-for-bit across all three (the bench fails
+//! otherwise — it doubles as an end-to-end identity check at realistic
+//! scale), and neither batched pass may regress: the process exits
+//! non-zero if the batched speedup over per-point drops below 1, or if
+//! the vectorized kernel is slower than its scalar ancestor
+//! (`kernel_speedup < 1`). Each capture is additionally encoded
 //! to a byte sink in both on-disk formats, so the bench reports
 //! bytes-per-event for `reap-capture/1` and `/2` and the v1→v2
 //! compression ratio alongside the kernel speedup. Results land in
@@ -89,6 +93,7 @@ fn main() {
         .collect();
 
     let mut per_point_s = 0.0f64;
+    let mut scalar_s = 0.0f64;
     let mut batched_s = 0.0f64;
     let mut events = 0u64;
     let mut bytes_v1 = 0u64;
@@ -115,25 +120,37 @@ fn main() {
         per_point_s += t0.elapsed().as_secs_f64();
 
         let t1 = Instant::now();
-        let batched = Simulator::replay_batch(&points, &capture).expect("batch");
-        batched_s += t1.elapsed().as_secs_f64();
+        let scalar = Simulator::replay_batch_scalar(&points, &capture).expect("scalar batch");
+        scalar_s += t1.elapsed().as_secs_f64();
 
-        for (i, (a, b)) in independent.iter().zip(&batched).enumerate() {
+        let t2 = Instant::now();
+        let batched = Simulator::replay_batch(&points, &capture).expect("batch");
+        batched_s += t2.elapsed().as_secs_f64();
+
+        for (i, ((a, s), b)) in independent.iter().zip(&scalar).zip(&batched).enumerate() {
             assert_eq!(
                 failure_bits(a),
                 failure_bits(b),
                 "batched kernel diverged from per-point replay ({} point {i})",
                 w.name()
             );
+            assert_eq!(
+                failure_bits(s),
+                failure_bits(b),
+                "vectorized kernel diverged from the scalar kernel ({} point {i})",
+                w.name()
+            );
         }
     }
 
     let speedup = per_point_s / batched_s;
+    let kernel_speedup = scalar_s / batched_s;
     let bytes_per_event_v1 = bytes_v1 as f64 / events.max(1) as f64;
     let bytes_per_event_v2 = bytes_v2 as f64 / events.max(1) as f64;
     let compression_ratio = bytes_v1 as f64 / bytes_v2.max(1) as f64;
     println!(
-        "per-point: {per_point_s:.3} s   batched: {batched_s:.3} s   speedup: {speedup:.2}x \
+        "per-point: {per_point_s:.3} s   scalar: {scalar_s:.3} s   batched: {batched_s:.3} s   \
+         speedup: {speedup:.2}x   kernel: {kernel_speedup:.2}x \
          ({events} exposure events, bit-identical)"
     );
     println!(
@@ -144,7 +161,8 @@ fn main() {
     let json = format!(
         "{{\n  \"accesses\": {accesses},\n  \"workloads\": {},\n  \"points\": {},\n  \
          \"exposure_events\": {events},\n  \"per_point_s\": {per_point_s:.6},\n  \
-         \"batched_s\": {batched_s:.6},\n  \"speedup\": {speedup:.3},\n  \
+         \"scalar_s\": {scalar_s:.6},\n  \"batched_s\": {batched_s:.6},\n  \
+         \"speedup\": {speedup:.3},\n  \"kernel_speedup\": {kernel_speedup:.3},\n  \
          \"bytes_v1\": {bytes_v1},\n  \"bytes_v2\": {bytes_v2},\n  \
          \"bytes_per_event_v1\": {bytes_per_event_v1:.3},\n  \
          \"bytes_per_event_v2\": {bytes_per_event_v2:.3},\n  \
@@ -166,6 +184,10 @@ fn main() {
 
     if speedup < 1.0 {
         eprintln!("FAIL: batched replay slower than per-point ({speedup:.2}x)");
+        std::process::exit(1);
+    }
+    if kernel_speedup < 1.0 {
+        eprintln!("FAIL: vectorized kernel slower than scalar ({kernel_speedup:.2}x)");
         std::process::exit(1);
     }
 }

@@ -400,6 +400,148 @@ pub fn sample_ones(seed: u64, tag: u64, set: u64, version: u64, bits: usize) -> 
     ones
 }
 
+/// [`sample_ones`] for several stored widths of the *same* line in one
+/// pass: `out[i] = sample_ones(seed, tag, set, version, widths[i])`,
+/// bit-for-bit. The per-width streams share their prefix (the word at
+/// position `k` is the `k`-th splitmix output regardless of width), so
+/// the hash stream runs once to the largest width instead of once per
+/// width — the batched replay feeder's per-record win.
+///
+/// `widths` must be ascending; `out` must match its length.
+pub fn sample_ones_multi(
+    seed: u64,
+    tag: u64,
+    set: u64,
+    version: u64,
+    widths: &[usize],
+    out: &mut [u32],
+) {
+    debug_assert_eq!(widths.len(), out.len());
+    debug_assert!(widths.windows(2).all(|w| w[0] <= w[1]));
+    let mut state = seed
+        ^ tag.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ set.rotate_left(32)
+        ^ version.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    // Bits fully popcounted into `full`, and the not-yet-consumed word
+    // covering `[covered, covered + 64)` if a partial take produced it.
+    let mut covered = 0usize;
+    let mut full = 0u32;
+    let mut pending: Option<u64> = None;
+    // `sample_ones` feeds each output back in as the next state, so the
+    // stream is `z_{k+1} = splitmix(z_k)`; reproduce that exactly.
+    let mut next_word = move || {
+        let z = splitmix64(&mut state);
+        state = z;
+        z
+    };
+    for (&w, slot) in widths.iter().zip(out.iter_mut()) {
+        while w >= covered + 64 {
+            let word = pending.take().unwrap_or_else(&mut next_word);
+            full += word.count_ones();
+            covered += 64;
+        }
+        let rem = w - covered;
+        *slot = if rem == 0 {
+            full
+        } else {
+            let word = *pending.get_or_insert_with(&mut next_word);
+            full + (word & ((1u64 << rem) - 1)).count_ones()
+        };
+    }
+}
+
+/// [`sample_ones_multi`] for a block of *different* lines in one call:
+/// `out[r * widths.len() + i] = sample_ones(seed, keys[r].0, keys[r].1,
+/// keys[r].2, widths[i])`, bit-for-bit, record-major. One line's hash
+/// stream is a serial feedback chain (`z_{k+1} = splitmix(z_k)`), so a
+/// single walk is latency-bound — every word waits on the one before
+/// it. Different lines' chains are independent, though, and stepping
+/// four of them in lockstep hides that latency behind instruction-level
+/// parallelism: the batched replay feeder's per-*block* win on top of
+/// [`sample_ones_multi`]'s per-record one.
+///
+/// `keys` are `(tag, set, version)` triples; `widths` must be ascending;
+/// `out` must hold `keys.len() * widths.len()` slots.
+pub fn sample_ones_multi_batch(
+    seed: u64,
+    keys: &[(u64, u64, u64)],
+    widths: &[usize],
+    out: &mut [u32],
+) {
+    const R: usize = 4;
+    let nw = widths.len();
+    debug_assert_eq!(keys.len() * nw, out.len());
+    debug_assert!(widths.windows(2).all(|w| w[0] <= w[1]));
+    if nw == 0 {
+        return;
+    }
+    let mut key_rows = keys.chunks_exact(R);
+    let mut out_rows = out.chunks_exact_mut(R * nw);
+    for (krow, orow) in (&mut key_rows).zip(&mut out_rows) {
+        let mut state = [0u64; R];
+        for r in 0..R {
+            let (tag, set, version) = krow[r];
+            state[r] = seed
+                ^ tag.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ set.rotate_left(32)
+                ^ version.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        }
+        // Same cursor as `sample_ones_multi` — bits fully popcounted
+        // into `full`, plus the not-yet-consumed word for `[covered,
+        // covered + 64)` if a partial take produced it — but widened to
+        // four records, so each `z_{k+1} = splitmix(z_k)` feedback step
+        // runs once per chain back to back and the chains overlap in
+        // the pipeline.
+        let mut covered = 0usize;
+        let mut full = [0u32; R];
+        let mut pending = [0u64; R];
+        let mut have_pending = false;
+        for (i, &w) in widths.iter().enumerate() {
+            while w >= covered + 64 {
+                if !have_pending {
+                    for r in 0..R {
+                        let z = splitmix64(&mut state[r]);
+                        state[r] = z;
+                        pending[r] = z;
+                    }
+                }
+                have_pending = false;
+                for r in 0..R {
+                    full[r] += pending[r].count_ones();
+                }
+                covered += 64;
+            }
+            let rem = w - covered;
+            if rem == 0 {
+                for r in 0..R {
+                    orow[r * nw + i] = full[r];
+                }
+            } else {
+                if !have_pending {
+                    for r in 0..R {
+                        let z = splitmix64(&mut state[r]);
+                        state[r] = z;
+                        pending[r] = z;
+                    }
+                    have_pending = true;
+                }
+                let mask = (1u64 << rem) - 1;
+                for r in 0..R {
+                    orow[r * nw + i] = full[r] + (pending[r] & mask).count_ones();
+                }
+            }
+        }
+    }
+    let tail_out = out_rows.into_remainder();
+    for ((tag, set, version), orow) in key_rows
+        .remainder()
+        .iter()
+        .zip(tail_out.chunks_exact_mut(nw))
+    {
+        sample_ones_multi(seed, *tag, *set, *version, widths, orow);
+    }
+}
+
 fn splitmix64(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
     let mut z = *state;

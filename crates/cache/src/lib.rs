@@ -49,7 +49,7 @@ pub mod replacement;
 pub mod stats;
 pub mod timing;
 
-pub use cache::{sample_ones, Cache, EvictionInfo};
+pub use cache::{sample_ones, sample_ones_multi, sample_ones_multi_batch, Cache, EvictionInfo};
 pub use config::{AccessMode, CacheConfig, CacheConfigBuilder, ConfigError};
 pub use hierarchy::{Hierarchy, HierarchyConfig, Level};
 pub use observer::{AccessObserver, LineKey};

@@ -173,3 +173,50 @@ proptest! {
         prop_assert_eq!(c.stats().read_hits, (rounds as u64 - 1) * ways as u64);
     }
 }
+
+proptest! {
+    /// The multi-width sampler is defined as `sample_ones` evaluated at
+    /// each width; the shared-prefix stream walk must be invisible.
+    #[test]
+    fn multi_width_sampling_matches_single_width(
+        seed in any::<u64>(),
+        tag in any::<u64>(),
+        set in any::<u64>(),
+        version in any::<u64>(),
+        raw in proptest::collection::vec(0usize..600, 1..6),
+    ) {
+        let mut widths = raw;
+        widths.sort_unstable();
+        let mut got = vec![0u32; widths.len()];
+        reap_cache::sample_ones_multi(seed, tag, set, version, &widths, &mut got);
+        for (&w, &ones) in widths.iter().zip(&got) {
+            prop_assert_eq!(ones, reap_cache::sample_ones(seed, tag, set, version, w));
+        }
+    }
+
+    /// The block sampler is defined as `sample_ones` evaluated per
+    /// (record, width); the four-chain interleave must be invisible.
+    /// Key counts straddle the 4-record lockstep boundary so both the
+    /// interleaved rows and the per-record tail are exercised.
+    #[test]
+    fn block_sampling_matches_single_width(
+        seed in any::<u64>(),
+        keys in proptest::collection::vec((any::<u64>(), any::<u64>(), any::<u64>()), 1..11),
+        raw in proptest::collection::vec(0usize..600, 1..6),
+    ) {
+        let mut widths = raw;
+        widths.sort_unstable();
+        let nw = widths.len();
+        let mut got = vec![0u32; keys.len() * nw];
+        reap_cache::sample_ones_multi_batch(seed, &keys, &widths, &mut got);
+        for (r, &(tag, set, version)) in keys.iter().enumerate() {
+            for (i, &w) in widths.iter().enumerate() {
+                prop_assert_eq!(
+                    got[r * nw + i],
+                    reap_cache::sample_ones(seed, tag, set, version, w),
+                    "record {} width {}", r, w
+                );
+            }
+        }
+    }
+}

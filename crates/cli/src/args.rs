@@ -87,6 +87,10 @@ pub struct ServeArgs {
     pub inject: Option<reap_fault::FaultPlan>,
     /// Persistent capture store shared with offline sweeps.
     pub capture: CaptureArgs,
+    /// Age in seconds after which an abandoned job journal is swept
+    /// from the state directory; 0 disables the sweep (`None` = the
+    /// daemon default of 7 days). Live jobs' journals are never swept.
+    pub journal_gc_age_secs: Option<u64>,
 }
 
 /// Arguments of `reap submit`.
@@ -208,6 +212,12 @@ pub struct SweepArgs {
     /// Also sweep ECC strengths, replaying one exposure capture per
     /// workload instead of re-running the trace per strength.
     pub ecc_sweep: bool,
+    /// Run the batched replay kernel in fast-math mode: the REAP term's
+    /// `exp_m1` is shortcut for tiny exponents, with relative error
+    /// bounded at 5e-9 per event. Checkpoints are fingerprinted per
+    /// kernel mode, so exact and fast-math runs never resume into each
+    /// other.
+    pub fast_math: bool,
     /// Worker threads (defaults to the available parallelism).
     pub jobs: Option<usize>,
     /// Stream completed jobs to this checkpoint file.
@@ -238,6 +248,7 @@ impl Default for SweepArgs {
             accesses: 4_000_000,
             seed: 2019,
             ecc_sweep: false,
+            fast_math: false,
             jobs: None,
             checkpoint: None,
             resume: false,
@@ -729,6 +740,7 @@ fn parse_sweep(mut c: Cursor) -> Result<Command, ParseCliError> {
             "--accesses" | "-n" => a.accesses = parse_num(&flag, c.value_for(&flag)?, "count")?,
             "--seed" | "-s" => a.seed = parse_num(&flag, c.value_for(&flag)?, "seed")?,
             "--ecc-sweep" => a.ecc_sweep = true,
+            "--fast-math" => a.fast_math = true,
             "--jobs" | "-j" => a.jobs = Some(parse_num(&flag, c.value_for(&flag)?, "count")?),
             "--checkpoint" => a.checkpoint = Some(PathBuf::from(c.value_for(&flag)?)),
             "--resume" => a.resume = true,
@@ -792,11 +804,15 @@ fn parse_serve(mut c: Cursor) -> Result<Command, ParseCliError> {
         retry_backoff: RetryBackoff::default(),
         inject: None,
         capture: CaptureArgs::default(),
+        journal_gc_age_secs: None,
     };
     while let Some(flag) = c.take() {
         match flag.as_str() {
             "--socket" => socket = Some(PathBuf::from(c.value_for(&flag)?)),
             "--state-dir" => state_dir = Some(PathBuf::from(c.value_for(&flag)?)),
+            "--journal-gc-age-secs" => {
+                a.journal_gc_age_secs = Some(parse_num(&flag, c.value_for(&flag)?, "seconds")?);
+            }
             "--parallelism" | "-j" => {
                 a.parallelism = Some(parse_num(&flag, c.value_for(&flag)?, "count")?);
             }
@@ -1000,6 +1016,15 @@ mod tests {
         };
         assert_eq!(a.accesses, 50_000);
         assert!(a.ecc_sweep);
+        assert!(!a.fast_math);
+    }
+
+    #[test]
+    fn sweep_fast_math_flag() {
+        let Command::Sweep(a) = p("sweep --ecc-sweep --fast-math").unwrap() else {
+            panic!()
+        };
+        assert!(a.fast_math);
     }
 
     #[test]
@@ -1347,7 +1372,7 @@ mod tests {
              --parallelism 8 --max-active 3 --queue-depth 6 --cache-entries 16 \
              --retry-after-ms 500 --max-retries 4 --job-deadline-ms 30000 \
              --retry-backoff 100:2:5000 --inject seed=7,refuse=0.2,stall-ms=20 \
-             --capture-dir caps")
+             --capture-dir caps --journal-gc-age-secs 3600")
         .unwrap() else {
             panic!()
         };
@@ -1365,6 +1390,7 @@ mod tests {
         assert_eq!(plan.refuse_rate, 0.2);
         assert_eq!(plan.stall(), Some(std::time::Duration::from_millis(20)));
         assert_eq!(a.capture.dir, Some(PathBuf::from("caps")));
+        assert_eq!(a.journal_gc_age_secs, Some(3600));
     }
 
     #[test]

@@ -36,6 +36,9 @@ COMMANDS:
                  --accesses/-n N  --seed/-s S  --jobs/-j K
                  --ecc-sweep  also sweep sec/dec/tec per workload,
                  replaying one exposure capture instead of re-simulating
+                 --fast-math         shortcut tiny exp_m1 in the replay
+                                     kernel (rel. error <= 5e-9/event;
+                                     checkpoints keyed per kernel mode)
                  --checkpoint FILE   stream completed jobs to FILE
                  --capture-dir DIR   persistent exposure-capture store:
                                      warm runs skip the trace pass
@@ -59,6 +62,9 @@ COMMANDS:
                  --inject SPEC       also drives connection faults:
                                      refuse=R,drop=R,stall-ms=T
                  --capture-dir DIR [--capture-policy P] [--capture-format F]
+                 --journal-gc-age-secs T  sweep abandoned job journals
+                                     older than T (0 disables; default
+                                     7 days; live jobs never swept)
                  SIGTERM/SIGINT drains: in-flight jobs journal to the
                  state dir and a restarted daemon resumes them
     submit       submit one sweep job to a running daemon
@@ -379,6 +385,7 @@ fn sweep<W: Write>(args: SweepArgs, mut out: W) -> io::Result<i32> {
     config.checkpoint = args.checkpoint.clone();
     config.resume = args.resume;
     config.capture_store = args.capture.to_store();
+    config.fast_math = args.fast_math;
 
     let outcome = match run_sweep_campaign(&config) {
         Ok(o) => o,
@@ -502,6 +509,9 @@ fn serve<W: Write>(args: ServeArgs, mut out: W) -> io::Result<i32> {
     config.supervisor.deadline = args.job_deadline_ms.map(Duration::from_millis);
     config.supervisor.fault_plan = args.inject;
     config.store = args.capture.to_store();
+    if let Some(secs) = args.journal_gc_age_secs {
+        config.journal_gc_age = (secs > 0).then(|| Duration::from_secs(secs));
+    }
     // The `metrics` request serves the live global registry; arm it for
     // the daemon's lifetime (no reset — a daemon process starts fresh).
     reap_obs::set_enabled(true);

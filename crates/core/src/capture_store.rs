@@ -128,8 +128,14 @@ const MAX_RECORD_BYTES: u32 = 1 + 4 * 10;
 const V2_HEADER_BYTES: usize = 4 + 1 + 8 + 8 + 8 + 38 * 8 + 8 + 4;
 /// v1 file overhead: 341 header bytes plus the 8-byte trailer.
 const V1_FILE_OVERHEAD: u64 = 349;
+/// v1 header bytes: magic, version, fingerprint, line_bits, ones_seed,
+/// 38 snapshot words, count.
+const V1_HEADER_BYTES: u64 = 4 + 1 + 8 + 8 + 8 + 38 * 8 + 8;
 /// v1 fixed record width.
 const V1_RECORD_BYTES: u64 = 33;
+/// Records per block read by the v1 decoder (~132 KB raw). Bounds
+/// decode memory while amortizing read calls, mirroring the v2 frame.
+const V1_BLOCK_RECORDS: u64 = 4096;
 /// FNV-1a 64-bit offset basis — the seed of both the fingerprint chain
 /// and the streamed checksum.
 const FNV_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
@@ -789,6 +795,8 @@ struct V2Decoder<R: Read> {
     yielded: u64,
     frame: Vec<ExposureRecord>,
     frame_pos: usize,
+    /// Reusable raw-payload buffer: one allocation serves every frame.
+    payload: Vec<u8>,
     /// Whether the end-of-stream trailing-bytes probe has run.
     probed: bool,
 }
@@ -860,6 +868,7 @@ impl<R: Read> V2Decoder<R> {
             yielded: 0,
             frame: Vec::new(),
             frame_pos: 0,
+            payload: Vec::new(),
             probed: false,
         })
     }
@@ -927,11 +936,17 @@ impl<R: Read> V2Decoder<R> {
                 detail: "frame payload length out of range",
             });
         }
-        let mut payload = vec![0u8; payload_len as usize];
-        fill(&mut self.reader, &mut payload, &mut self.offset, section)?;
+        self.payload.clear();
+        self.payload.resize(payload_len as usize, 0);
+        fill(
+            &mut self.reader,
+            &mut self.payload,
+            &mut self.offset,
+            section,
+        )?;
         let checksum_offset = self.offset;
         let found = read_u64(&mut self.reader, &mut self.offset, section)?;
-        let expected = fnv1a(fnv1a(FNV_BASIS, &head), &payload);
+        let expected = fnv1a(fnv1a(FNV_BASIS, &head), &self.payload);
         if found != expected {
             return Err(CaptureStoreError::ChecksumMismatch {
                 expected,
@@ -945,7 +960,7 @@ impl<R: Read> V2Decoder<R> {
         let mut pos = 0usize;
         let mut prev = [0u64; 4];
         for i in 0..u64::from(records) {
-            let Some(&tag_byte) = payload.get(pos) else {
+            let Some(&tag_byte) = self.payload.get(pos) else {
                 return Err(CaptureStoreError::Malformed {
                     offset: frame_offset,
                     detail: "record truncated within frame payload",
@@ -966,7 +981,7 @@ impl<R: Read> V2Decoder<R> {
             };
             let mut cur = [0u64; 4];
             for (p, c) in prev.iter_mut().zip(cur.iter_mut()) {
-                let Some(coded) = get_varint(&payload, &mut pos) else {
+                let Some(coded) = get_varint(&self.payload, &mut pos) else {
                     return Err(CaptureStoreError::Malformed {
                         offset: frame_offset,
                         detail: "bad varint in frame payload",
@@ -985,7 +1000,7 @@ impl<R: Read> V2Decoder<R> {
                 unchecked_reads: cur[3],
             });
         }
-        if pos != payload.len() {
+        if pos != self.payload.len() {
             return Err(CaptureStoreError::Malformed {
                 offset: frame_offset,
                 detail: "unconsumed bytes in frame payload",
@@ -1052,9 +1067,209 @@ impl ExposureStream for V2CaptureStream {
     }
 }
 
-/// Deserializes a `reap-capture/1` stream, verifying the magic, version,
-/// `expected_fingerprint`, checksum trailer and the absence of trailing
-/// bytes.
+/// The verified fixed header of a `reap-capture/1` stream.
+struct V1Header {
+    line_bits: u64,
+    ones_seed: u64,
+    snapshot: HierarchySnapshot,
+    count: u64,
+}
+
+/// Block-at-a-time decoder of a `reap-capture/1` stream: reads up to
+/// [`V1_BLOCK_RECORDS`] fixed-width records into one reusable buffer and
+/// decodes them in place, so both the load-time validation sweep and the
+/// replay iterator run in bounded memory with no per-record reads and no
+/// per-entry `Vec` churn.
+struct V1Decoder<R: Read> {
+    reader: HashReader<R>,
+    offset: u64,
+    header: V1Header,
+    yielded: u64,
+    /// Reusable raw block of whole 33-byte records.
+    block: Vec<u8>,
+    block_pos: usize,
+    /// Whether the trailer check and trailing-bytes probe have run.
+    probed: bool,
+}
+
+impl<R: Read> V1Decoder<R> {
+    /// Parses and verifies the header (magic, version, fingerprint),
+    /// leaving the reader at the first record.
+    fn open(reader: R, expected_fingerprint: u64) -> Result<Self, CaptureStoreError> {
+        let mut r = HashReader::new(reader);
+        let mut offset = 0u64;
+        let mut magic = [0u8; 4];
+        fill(&mut r, &mut magic, &mut offset, Section::Header)?;
+        if &magic != MAGIC {
+            return Err(CaptureStoreError::BadMagic { found: magic });
+        }
+        let mut version = [0u8; 1];
+        fill(&mut r, &mut version, &mut offset, Section::Header)?;
+        if version[0] != VERSION {
+            return Err(CaptureStoreError::UnsupportedVersion { found: version[0] });
+        }
+        let fingerprint = read_u64(&mut r, &mut offset, Section::Header)?;
+        if fingerprint != expected_fingerprint {
+            return Err(CaptureStoreError::FingerprintMismatch {
+                expected: expected_fingerprint,
+                found: fingerprint,
+            });
+        }
+        let line_bits = read_u64(&mut r, &mut offset, Section::Header)?;
+        let ones_seed = read_u64(&mut r, &mut offset, Section::Header)?;
+        let mut words = [0u64; 38];
+        for w in &mut words {
+            *w = read_u64(&mut r, &mut offset, Section::Header)?;
+        }
+        let snapshot = HierarchySnapshot {
+            l1i: stats_from_words(words[0..12].try_into().expect("12 words")),
+            l1d: stats_from_words(words[12..24].try_into().expect("12 words")),
+            l2: stats_from_words(words[24..36].try_into().expect("12 words")),
+            memory_reads: words[36],
+            memory_writes: words[37],
+        };
+        let count = read_u64(&mut r, &mut offset, Section::Header)?;
+        Ok(Self {
+            reader: r,
+            offset,
+            header: V1Header {
+                line_bits,
+                ones_seed,
+                snapshot,
+                count,
+            },
+            yielded: 0,
+            block: Vec::new(),
+            block_pos: 0,
+            probed: false,
+        })
+    }
+
+    /// Yields the next record, refilling the block buffer when the
+    /// buffered one is exhausted. After the final record, verifies the
+    /// checksum trailer and probes for trailing bytes (once).
+    fn next_record(&mut self) -> Result<Option<ExposureRecord>, CaptureStoreError> {
+        if self.yielded == self.header.count {
+            self.finish()?;
+            return Ok(None);
+        }
+        if self.block_pos == self.block.len() {
+            self.refill()?;
+        }
+        let at = &self.block[self.block_pos..self.block_pos + V1_RECORD_BYTES as usize];
+        let kind = match at[0] {
+            0 => ExposureKind::Demand,
+            1 => ExposureKind::DirtyScrub,
+            2 => ExposureKind::DirtyEviction,
+            other => {
+                return Err(CaptureStoreError::UnknownKind {
+                    found: other,
+                    record: self.yielded,
+                    offset: V1_HEADER_BYTES + self.yielded * V1_RECORD_BYTES,
+                })
+            }
+        };
+        let word =
+            |i: usize| u64::from_le_bytes(at[1 + 8 * i..9 + 8 * i].try_into().expect("8 bytes"));
+        let record = ExposureRecord {
+            kind,
+            key: LineKey {
+                tag: word(0),
+                set: word(1),
+                version: word(2),
+            },
+            unchecked_reads: word(3),
+        };
+        self.block_pos += V1_RECORD_BYTES as usize;
+        self.yielded += 1;
+        Ok(Some(record))
+    }
+
+    /// Reads the next block of whole records into the reusable buffer.
+    /// A short read names the exact record and byte it stopped inside.
+    fn refill(&mut self) -> Result<(), CaptureStoreError> {
+        let records = (self.header.count - self.yielded).min(V1_BLOCK_RECORDS);
+        self.block.clear();
+        self.block.resize((records * V1_RECORD_BYTES) as usize, 0);
+        self.block_pos = 0;
+        let mut filled = 0usize;
+        while filled < self.block.len() {
+            match self.reader.read(&mut self.block[filled..]) {
+                Ok(0) => {
+                    return Err(CaptureStoreError::Truncated {
+                        offset: self.offset + filled as u64,
+                        record: Some(self.yielded + filled as u64 / V1_RECORD_BYTES),
+                    })
+                }
+                Ok(n) => filled += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(source) => {
+                    return Err(CaptureStoreError::Io {
+                        offset: self.offset + filled as u64,
+                        source,
+                    })
+                }
+            }
+        }
+        self.offset += self.block.len() as u64;
+        Ok(())
+    }
+
+    /// Verifies the checksum trailer and the exact end of stream. Runs
+    /// once, after the final record has been yielded.
+    fn finish(&mut self) -> Result<(), CaptureStoreError> {
+        if self.probed {
+            return Ok(());
+        }
+        self.probed = true;
+        // The trailer is read from the inner reader so the comparison
+        // hash covers exactly the body.
+        let expected = self.reader.hash;
+        let trailer_offset = self.offset;
+        let mut trailer = [0u8; 8];
+        match self.reader.inner.read_exact(&mut trailer) {
+            Ok(()) => self.offset += 8,
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => {
+                return Err(CaptureStoreError::Truncated {
+                    offset: trailer_offset,
+                    record: None,
+                })
+            }
+            Err(source) => {
+                return Err(CaptureStoreError::Io {
+                    offset: trailer_offset,
+                    source,
+                })
+            }
+        }
+        let found = u64::from_le_bytes(trailer);
+        if found != expected {
+            return Err(CaptureStoreError::ChecksumMismatch {
+                expected,
+                found,
+                offset: trailer_offset,
+            });
+        }
+        // Read-ahead one byte: a valid entry ends exactly at the trailer.
+        let mut probe = [0u8; 1];
+        match self.reader.inner.read_exact(&mut probe) {
+            Ok(()) => Err(CaptureStoreError::TrailingBytes {
+                offset: self.offset,
+            }),
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => Ok(()),
+            Err(source) => Err(CaptureStoreError::Io {
+                offset: self.offset,
+                source,
+            }),
+        }
+    }
+}
+
+/// Deserializes a `reap-capture/1` stream into a materialized payload,
+/// verifying the magic, version, `expected_fingerprint`, checksum
+/// trailer and the absence of trailing bytes. The streaming equivalent
+/// used by the store is [`CaptureStore::load`], which hands blocks
+/// straight to the replay iterator.
 ///
 /// # Errors
 ///
@@ -1063,110 +1278,50 @@ pub fn read_capture<R: Read>(
     reader: R,
     expected_fingerprint: u64,
 ) -> Result<CapturePayload, CaptureStoreError> {
-    let mut r = HashReader::new(reader);
-    let mut offset = 0u64;
-    let mut magic = [0u8; 4];
-    fill(&mut r, &mut magic, &mut offset, Section::Header)?;
-    if &magic != MAGIC {
-        return Err(CaptureStoreError::BadMagic { found: magic });
-    }
-    let mut version = [0u8; 1];
-    fill(&mut r, &mut version, &mut offset, Section::Header)?;
-    if version[0] != VERSION {
-        return Err(CaptureStoreError::UnsupportedVersion { found: version[0] });
-    }
-    let fingerprint = read_u64(&mut r, &mut offset, Section::Header)?;
-    if fingerprint != expected_fingerprint {
-        return Err(CaptureStoreError::FingerprintMismatch {
-            expected: expected_fingerprint,
-            found: fingerprint,
-        });
-    }
-    let line_bits = read_u64(&mut r, &mut offset, Section::Header)?;
-    let ones_seed = read_u64(&mut r, &mut offset, Section::Header)?;
-    let mut words = [0u64; 38];
-    for w in &mut words {
-        *w = read_u64(&mut r, &mut offset, Section::Header)?;
-    }
-    let snapshot = HierarchySnapshot {
-        l1i: stats_from_words(words[0..12].try_into().expect("12 words")),
-        l1d: stats_from_words(words[12..24].try_into().expect("12 words")),
-        l2: stats_from_words(words[24..36].try_into().expect("12 words")),
-        memory_reads: words[36],
-        memory_writes: words[37],
-    };
-    let count = read_u64(&mut r, &mut offset, Section::Header)?;
-    // A truncated count field cannot make us balloon: reserve at most a
+    let mut decoder = V1Decoder::open(reader, expected_fingerprint)?;
+    // A corrupt count field cannot make us balloon: reserve at most a
     // sane chunk up front and let push() grow the rest.
-    let mut events = Vec::with_capacity(count.min(1 << 20) as usize);
-    for record in 0..count {
-        let section = Section::Record { index: record };
-        let record_offset = offset;
-        let mut kind = [0u8; 1];
-        fill(&mut r, &mut kind, &mut offset, section)?;
-        let kind = match kind[0] {
-            0 => ExposureKind::Demand,
-            1 => ExposureKind::DirtyScrub,
-            2 => ExposureKind::DirtyEviction,
-            other => {
-                return Err(CaptureStoreError::UnknownKind {
-                    found: other,
-                    record,
-                    offset: record_offset,
-                })
-            }
-        };
-        let tag = read_u64(&mut r, &mut offset, section)?;
-        let set = read_u64(&mut r, &mut offset, section)?;
-        let version = read_u64(&mut r, &mut offset, section)?;
-        let unchecked_reads = read_u64(&mut r, &mut offset, section)?;
-        events.push(ExposureRecord {
-            kind,
-            key: LineKey { tag, set, version },
-            unchecked_reads,
-        });
-    }
-    // The trailer is read from the inner reader so the comparison hash
-    // covers exactly the body.
-    let expected = r.hash;
-    let trailer_offset = offset;
-    let mut trailer = [0u8; 8];
-    match r.inner.read_exact(&mut trailer) {
-        Ok(()) => offset += 8,
-        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => {
-            return Err(CaptureStoreError::Truncated {
-                offset: trailer_offset,
-                record: None,
-            })
-        }
-        Err(source) => {
-            return Err(CaptureStoreError::Io {
-                offset: trailer_offset,
-                source,
-            })
-        }
-    }
-    let found = u64::from_le_bytes(trailer);
-    if found != expected {
-        return Err(CaptureStoreError::ChecksumMismatch {
-            expected,
-            found,
-            offset: trailer_offset,
-        });
-    }
-    // Read-ahead one byte: a valid entry ends exactly at the trailer.
-    let mut probe = [0u8; 1];
-    match r.inner.read_exact(&mut probe) {
-        Ok(()) => return Err(CaptureStoreError::TrailingBytes { offset }),
-        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => {}
-        Err(source) => return Err(CaptureStoreError::Io { offset, source }),
+    let mut events = Vec::with_capacity(decoder.header.count.min(1 << 20) as usize);
+    while let Some(record) = decoder.next_record()? {
+        events.push(record);
     }
     Ok(CapturePayload {
         events,
-        snapshot,
-        line_bits: line_bits as usize,
-        ones_seed,
+        snapshot: decoder.header.snapshot,
+        line_bits: decoder.header.line_bits as usize,
+        ones_seed: decoder.header.ones_seed,
     })
+}
+
+/// Full-file validation sweep of a v1 entry in O(block) memory: header,
+/// every record tag, the checksum trailer, exact end of file. Returns
+/// the verified header so the caller can build a streamed capture
+/// without re-parsing.
+fn validate_v1<R: Read>(
+    reader: R,
+    expected_fingerprint: u64,
+) -> Result<V1Header, CaptureStoreError> {
+    let mut decoder = V1Decoder::open(reader, expected_fingerprint)?;
+    while decoder.next_record()?.is_some() {}
+    Ok(decoder.header)
+}
+
+/// [`ExposureStream`] adapter over a [`V1Decoder`]: the replay-time
+/// face of a v1 store entry.
+struct V1CaptureStream {
+    decoder: V1Decoder<BufReader<File>>,
+}
+
+impl ExposureStream for V1CaptureStream {
+    fn len(&self) -> u64 {
+        self.decoder.header.count
+    }
+
+    fn next_record(&mut self) -> Result<Option<ExposureRecord>, StreamDefect> {
+        self.decoder
+            .next_record()
+            .map_err(|e| StreamDefect::new(e.to_string()))
+    }
 }
 
 /// A directory of fingerprint-addressed capture entries.
@@ -1224,11 +1379,11 @@ impl CaptureStore {
     /// counts a `capture_store.invalid`, and both return `None` so the
     /// caller recaptures.
     ///
-    /// Both formats are fully validated before a hit is reported. A v1
-    /// entry materializes its events (its layout offers no frame
-    /// boundaries to stream by); a v2 entry is returned as a *streamed*
-    /// capture that re-opens the file and decodes frame-by-frame at
-    /// replay time, so replay memory stays O(1) in events.
+    /// Both formats are fully validated before a hit is reported, then
+    /// returned as *streamed* captures that re-open the file and decode
+    /// block-by-block (v1) or frame-by-frame (v2) into one reusable
+    /// buffer at replay time, so replay memory stays O(1) in events and
+    /// a warm hit allocates no per-entry event `Vec`.
     pub fn load(&self, key: &CaptureKey) -> Option<ExposureCapture> {
         if self.policy == CapturePolicy::Off {
             return None;
@@ -1311,12 +1466,26 @@ impl CaptureStore {
                 key.measure_accesses,
             ))
         } else {
-            let payload = read_capture(BufReader::new(file), key.fingerprint())?;
-            Ok(ExposureCapture::from_parts(
-                payload.events,
-                payload.snapshot,
-                payload.line_bits,
-                payload.ones_seed,
+            let header = validate_v1(BufReader::new(file), key.fingerprint())?;
+            let reopen_path = path.to_path_buf();
+            let fingerprint = key.fingerprint();
+            let open: Arc<StreamOpener> = Arc::new(move || {
+                let file = File::open(&reopen_path).map_err(|e| {
+                    StreamDefect::new(format!(
+                        "cannot reopen capture entry {}: {e}",
+                        reopen_path.display()
+                    ))
+                })?;
+                let decoder = V1Decoder::open(BufReader::new(file), fingerprint)
+                    .map_err(|e| StreamDefect::new(e.to_string()))?;
+                Ok(Box::new(V1CaptureStream { decoder }) as Box<dyn ExposureStream + Send>)
+            });
+            Ok(ExposureCapture::from_streamed_parts(
+                header.count,
+                open,
+                header.snapshot,
+                header.line_bits as usize,
+                header.ones_seed,
                 key.hierarchy.clone(),
                 key.replacement,
                 key.warmup_accesses,
@@ -1874,6 +2043,34 @@ mod tests {
 
         // Deleting the entry mid-life surfaces as a stream defect, not a
         // panic or a wrong result.
+        std::fs::remove_file(store.entry_path(&key)).unwrap();
+        assert!(loaded.iter().is_err(), "vanished entry must defect");
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn v1_loads_stream_without_materializing() {
+        use crate::capture::ExposureStream as _;
+        let dir = scratch("streamed-v1");
+        std::fs::remove_dir_all(&dir).ok();
+        let store =
+            CaptureStore::new(&dir, CapturePolicy::ReadWrite).with_format(CaptureFormat::V1);
+        let (capture, key) = small_capture();
+        store.store(&key, &capture).unwrap();
+        let loaded = store.load(&key).expect("entry just written");
+        assert_eq!(loaded.event_count(), capture.event_count());
+
+        // Two independent streaming passes, no events() call anywhere.
+        for _ in 0..2 {
+            let mut stream = loaded.iter().expect("open stream");
+            assert_eq!(stream.len(), capture.event_count());
+            for (i, expected) in capture.events().iter().enumerate() {
+                let got = stream.next_record().expect("pull").expect("record");
+                assert_eq!(&got, expected, "record {i}");
+            }
+            assert!(stream.next_record().expect("end").is_none());
+        }
+
         std::fs::remove_file(store.entry_path(&key)).unwrap();
         assert!(loaded.iter().is_err(), "vanished entry must defect");
         std::fs::remove_dir_all(dir).ok();

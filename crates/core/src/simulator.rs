@@ -5,11 +5,14 @@ use crate::energy::EnergyModel;
 use crate::observer::ReliabilityObserver;
 use crate::readpath::ReadPathModel;
 use crate::report::Report;
-use reap_cache::{sample_ones, Hierarchy, HierarchyConfig, Replacement};
+use reap_cache::{sample_ones, sample_ones_multi_batch, Hierarchy, HierarchyConfig, Replacement};
 use reap_ecc::{Bch, CodeError, DecoderCost, EccCode, HammingSec};
 use reap_mtj::{read_disturbance_probability, MtjParams};
 use reap_nvarray::{estimate, ArraySpec, MemTech, SpecError, TechnologyNode};
-use reap_reliability::{AccumulationModel, MultiReplayAggregator, ReplayAggregator};
+use reap_reliability::{
+    AccumulationModel, ExposureKind, KernelMode, MultiReplayAggregator, ReplayAggregator,
+    ScalarMultiReplayAggregator,
+};
 use reap_trace::MemoryAccess;
 use std::fmt;
 
@@ -449,6 +452,24 @@ impl Simulator {
         points: &[Simulator],
         capture: &ExposureCapture,
     ) -> Result<Vec<Report>, SimulationError> {
+        Self::replay_batch_mode(points, capture, KernelMode::Exact)
+    }
+
+    /// [`replay_batch`](Self::replay_batch) with an explicit
+    /// [`KernelMode`]. `KernelMode::Exact` keeps the bit-identity
+    /// contract; `KernelMode::FastMath` permits the kernel's documented
+    /// small-argument `exp_m1` shortcut (every scheme sum within `5e-9`
+    /// relative of exact).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimulationError::CaptureMismatch`] if any point's
+    /// behavioural configuration differs from the capture's.
+    pub fn replay_batch_mode(
+        points: &[Simulator],
+        capture: &ExposureCapture,
+        mode: KernelMode,
+    ) -> Result<Vec<Report>, SimulationError> {
         for sim in points {
             sim.check_capture(capture)?;
         }
@@ -463,12 +484,94 @@ impl Simulator {
                 .add(points.len() as u64);
         }
 
+        let mut multi =
+            MultiReplayAggregator::with_mode(Self::batch_kernel_points(points, capture), mode);
+        Self::feed_batch(points, capture, |records, ones| {
+            multi.record_block(records, ones);
+        })?;
+        Ok(Self::assemble_batch(points, capture, multi.finish()))
+    }
+
+    /// [`replay_batch`](Self::replay_batch) driven by the pre-vectorization
+    /// per-record kernel ([`ScalarMultiReplayAggregator`]) over the exact
+    /// same width scatter and record stream.
+    ///
+    /// The scalar kernel is the reference the vectorized one is
+    /// property-tested against; this entry point exists so benchmarks can
+    /// price the two on identical inputs and assert bit-identity end to
+    /// end. Results are bit-identical to [`replay_batch`](Self::replay_batch).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimulationError::CaptureMismatch`] if any point's
+    /// behavioural configuration differs from the capture's.
+    pub fn replay_batch_scalar(
+        points: &[Simulator],
+        capture: &ExposureCapture,
+    ) -> Result<Vec<Report>, SimulationError> {
+        for sim in points {
+            sim.check_capture(capture)?;
+        }
+        if points.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut span = reap_obs::span("replay_batch_scalar");
+        span.add_events(capture.event_count());
+
+        let mut multi =
+            ScalarMultiReplayAggregator::new(Self::batch_kernel_points(points, capture));
+        let npts = points.len();
+        Self::feed_batch(points, capture, |records, ones| {
+            for (r, &(kind, reads)) in records.iter().enumerate() {
+                multi.record(kind, &ones[r * npts..(r + 1) * npts], reads);
+            }
+        })?;
+        Ok(Self::assemble_batch(points, capture, multi.finish()))
+    }
+
+    /// Per-point `(model, stored width)` pairs both batch kernels are
+    /// built from.
+    fn batch_kernel_points(
+        points: &[Simulator],
+        capture: &ExposureCapture,
+    ) -> Vec<(AccumulationModel, u32)> {
+        points
+            .iter()
+            .map(|sim| {
+                (
+                    AccumulationModel::new(sim.p_rd, sim.config.ecc.t()),
+                    (capture.line_bits() + sim.check_bits) as u32,
+                )
+            })
+            .collect()
+    }
+
+    /// Streams the capture once in blocks of [`Self::FEED_BLOCK`]
+    /// records, resampling each record's weight once per *distinct*
+    /// stored width and scattering to the per-point slots the kernels
+    /// expect. Each block is handed to `record` as
+    /// `(records, ones)` — `records[r]` is `(kind, unchecked_reads)`
+    /// and `ones[r * points.len() ..]` its per-point weights, in
+    /// capture order.
+    ///
+    /// Blocking serves both halves of the pipeline: one record's hash
+    /// walk is a serial feedback chain, so `sample_ones_multi_batch`
+    /// steps four records' chains in lockstep to hide the latency, and
+    /// the vectorized kernel register-blocks its running sums across
+    /// each block. The block buffers are reused across the stream — no
+    /// per-record allocation.
+    fn feed_batch<F>(
+        points: &[Simulator],
+        capture: &ExposureCapture,
+        mut record: F,
+    ) -> Result<(), SimulationError>
+    where
+        F: FnMut(&[(ExposureKind, u64)], &[u32]),
+    {
         let stored_bits: Vec<usize> = points
             .iter()
             .map(|sim| capture.line_bits() + sim.check_bits)
             .collect();
-        // Resample each record's weight once per *distinct* width, then
-        // scatter to the per-point slots the kernel expects.
         let mut widths = stored_bits.clone();
         widths.sort_unstable();
         widths.dedup();
@@ -477,44 +580,58 @@ impl Simulator {
             .map(|w| widths.binary_search(w).expect("width present"))
             .collect();
 
-        let mut multi = MultiReplayAggregator::new(
-            points
-                .iter()
-                .zip(&stored_bits)
-                .map(|(sim, &bits)| {
-                    (
-                        AccumulationModel::new(sim.p_rd, sim.config.ecc.t()),
-                        bits as u32,
-                    )
-                })
-                .collect(),
-        );
         let seed = capture.ones_seed();
-        let mut ones_by_width = vec![0u32; widths.len()];
-        let mut ones_by_point = vec![0u32; points.len()];
+        let nw = widths.len();
+        let npts = points.len();
+        let mut keys: Vec<(u64, u64, u64)> = Vec::with_capacity(Self::FEED_BLOCK);
+        let mut kinds: Vec<(ExposureKind, u64)> = Vec::with_capacity(Self::FEED_BLOCK);
+        let mut ones_by_width = vec![0u32; Self::FEED_BLOCK * nw];
+        let mut ones_by_point = vec![0u32; Self::FEED_BLOCK * npts];
         let mut events = capture.iter().map_err(SimulationError::CaptureStream)?;
-        while let Some(record) = events
-            .next_record()
-            .map_err(SimulationError::CaptureStream)?
-        {
-            for (slot, &bits) in ones_by_width.iter_mut().zip(&widths) {
-                *slot = sample_ones(
-                    seed,
-                    record.key.tag,
-                    record.key.set,
-                    record.key.version,
-                    bits,
-                );
+        loop {
+            keys.clear();
+            kinds.clear();
+            while keys.len() < Self::FEED_BLOCK {
+                match events
+                    .next_record()
+                    .map_err(SimulationError::CaptureStream)?
+                {
+                    Some(event) => {
+                        keys.push((event.key.tag, event.key.set, event.key.version));
+                        kinds.push((event.kind, event.unchecked_reads));
+                    }
+                    None => break,
+                }
             }
-            for (slot, &w) in ones_by_point.iter_mut().zip(&width_index) {
-                *slot = ones_by_width[w];
+            if keys.is_empty() {
+                return Ok(());
             }
-            multi.record(record.kind, &ones_by_point, record.unchecked_reads);
+            // One shared-prefix hash walk covers every distinct width,
+            // four records' walks interleaved — bit-identical to a
+            // per-width `sample_ones` (property-tested in reap-cache)
+            // at a fraction of the per-record hashing latency.
+            sample_ones_multi_batch(seed, &keys, &widths, &mut ones_by_width[..keys.len() * nw]);
+            for row in 0..keys.len() {
+                for (i, &w) in width_index.iter().enumerate() {
+                    ones_by_point[row * npts + i] = ones_by_width[row * nw + w];
+                }
+            }
+            record(&kinds, &ones_by_point[..keys.len() * npts]);
         }
+    }
 
-        Ok(points
+    /// Records fed per sampler block by [`feed_batch`](Self::feed_batch).
+    const FEED_BLOCK: usize = 64;
+
+    /// Zips finished aggregators back onto their points as [`Report`]s.
+    fn assemble_batch(
+        points: &[Simulator],
+        capture: &ExposureCapture,
+        aggregators: Vec<ReplayAggregator>,
+    ) -> Vec<Report> {
+        points
             .iter()
-            .zip(multi.finish())
+            .zip(aggregators)
             .map(|(sim, aggregator)| {
                 let duration_seconds =
                     sim.config.measure_accesses as f64 / sim.config.access_rate_hz;
@@ -527,7 +644,7 @@ impl Simulator {
                     sim.p_rd,
                 )
             })
-            .collect())
+            .collect()
     }
 
     /// The historical one-pass evaluation: drives the trace with a live
@@ -757,6 +874,38 @@ mod tests {
                 failure_bits(got),
                 failure_bits(&want),
                 "batched point (ecc {}, P_rd {}) diverged from its own replay",
+                sim.config.ecc,
+                sim.p_rd()
+            );
+            assert_eq!(got.histogram(), want.histogram());
+        }
+    }
+
+    #[test]
+    fn replay_batch_scalar_matches_vectorized_bit_for_bit() {
+        let capture = Simulator::new(quick_config())
+            .unwrap()
+            .capture(SpecWorkload::Namd.stream(3))
+            .unwrap();
+        let mut points = Vec::new();
+        for ecc in EccStrength::ALL {
+            for i_read in [70e-6, 55e-6] {
+                let config = SimulationConfig {
+                    ecc,
+                    mtj: MtjParams::default().with_read_current(i_read).unwrap(),
+                    ..quick_config()
+                };
+                points.push(Simulator::new(config).unwrap());
+            }
+        }
+        let vectorized = Simulator::replay_batch(&points, &capture).unwrap();
+        let scalar = Simulator::replay_batch_scalar(&points, &capture).unwrap();
+        assert_eq!(vectorized.len(), scalar.len());
+        for ((sim, got), want) in points.iter().zip(&vectorized).zip(&scalar) {
+            assert_eq!(
+                failure_bits(got),
+                failure_bits(want),
+                "vectorized point (ecc {}, P_rd {}) diverged from the scalar kernel",
                 sim.config.ecc,
                 sim.p_rd()
             );

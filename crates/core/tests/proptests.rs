@@ -9,7 +9,9 @@ use reap_core::checkpoint::{self, CheckpointMeta, CheckpointWriter, SweepRow};
 use reap_core::supervise::{pool_map_supervised, SupervisorConfig};
 use reap_core::{EccStrength, Experiment, ProtectionScheme, ReliabilityObserver, Simulator};
 use reap_fault::FaultPlan;
-use reap_reliability::AccumulationModel;
+use reap_reliability::{
+    AccumulationModel, ExposureKind, KernelMode, MultiReplayAggregator, ScalarMultiReplayAggregator,
+};
 use reap_trace::SpecWorkload;
 use std::ops::ControlFlow;
 use std::path::PathBuf;
@@ -32,6 +34,66 @@ fn mix(seed: u64, j: u64) -> u64 {
     let mut z = seed ^ j.wrapping_mul(0x9e37_79b9_7f4a_7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z ^ (z >> 31)
+}
+
+/// An adversarial analysis-point set for the kernel properties: up to
+/// two full 4-wide lane chunks plus a remainder, heterogeneous stored
+/// widths and disturb probabilities (optionally including the certain
+/// failure corner `P = 1`), mixed correction strengths.
+fn kernel_points(num_points: usize, seed: u64, certain: bool) -> Vec<(AccumulationModel, u32)> {
+    (0..num_points)
+        .map(|p| {
+            let p_rd = if certain && p == 0 {
+                1.0
+            } else {
+                10f64.powi(-(1 + (mix(seed, p as u64) % 9) as i32))
+            };
+            let t = 1 + (mix(seed ^ 0x7e57, p as u64) % 3) as usize;
+            let width = 64 + (mix(seed ^ 0x91d7, p as u64) % 500) as u32;
+            (AccumulationModel::new(p_rd, t), width)
+        })
+        .collect()
+}
+
+/// Raw `(kind tag, ones seed, read count)` records stressing the memo
+/// boundary, tiny and huge read counts, and every exposure kind.
+fn kernel_record_strategy() -> impl Strategy<Value = Vec<(u8, u64, u64)>> {
+    proptest::collection::vec(
+        (
+            0u8..3,
+            any::<u64>(),
+            prop_oneof![1u64..=3, 60u64..=70, 1u64..1_000_000, Just(u64::MAX),],
+        ),
+        1..250,
+    )
+}
+
+/// Feeds one raw record list to an aggregator via its `record` calls,
+/// scattering per-point ones counts (occasionally out of range, to
+/// exercise the clamp path) from the record's ones seed.
+fn feed_kernel<F: FnMut(ExposureKind, &[u32], u64)>(
+    records: &[(u8, u64, u64)],
+    points: &[(AccumulationModel, u32)],
+    mut record: F,
+) {
+    let mut ones = vec![0u32; points.len()];
+    for &(tag, ones_seed, n) in records {
+        let kind = match tag {
+            0 => ExposureKind::Demand,
+            1 => ExposureKind::DirtyScrub,
+            _ => ExposureKind::DirtyEviction,
+        };
+        // Demand reads count themselves, so N >= 1 by contract.
+        let n = if kind == ExposureKind::Demand {
+            n.max(1)
+        } else {
+            n
+        };
+        for (p, slot) in ones.iter_mut().enumerate() {
+            *slot = (mix(ones_seed, p as u64) % (u64::from(points[p].1) + 2)) as u32;
+        }
+        record(kind, &ones, n);
+    }
 }
 
 /// Flattens a campaign's rows to raw bits for exact comparison.
@@ -211,6 +273,97 @@ proptest! {
                 want.writeback_exposure().to_bits()
             );
             prop_assert_eq!(got.histogram(), want.histogram());
+        }
+    }
+
+    /// The vectorized batched kernel is pinned bit-identical to the
+    /// scalar reference kernel for arbitrary record streams: every
+    /// failure sum, event count and histogram bin agrees to the bit
+    /// across adversarial point counts (full 4-wide chunks plus
+    /// remainders), stored widths, disturb probabilities (including the
+    /// certain-failure corner), out-of-range ones counts and read
+    /// counts spanning the memo boundary up to `u64::MAX`.
+    #[test]
+    fn vectorized_kernel_is_bit_identical_to_scalar_reference(
+        num_points in 1usize..10,
+        seed in any::<u64>(),
+        certain in any::<bool>(),
+        records in kernel_record_strategy(),
+    ) {
+        let points = kernel_points(num_points, seed, certain);
+        let mut vectorized = MultiReplayAggregator::new(points.clone());
+        let mut scalar = ScalarMultiReplayAggregator::new(points.clone());
+        feed_kernel(&records, &points, |kind, ones, n| {
+            vectorized.record(kind, ones, n);
+        });
+        feed_kernel(&records, &points, |kind, ones, n| {
+            scalar.record(kind, ones, n);
+        });
+        for (got, want) in vectorized.finish().iter().zip(&scalar.finish()) {
+            prop_assert_eq!(
+                got.conventional().expected_failures().to_bits(),
+                want.conventional().expected_failures().to_bits()
+            );
+            prop_assert_eq!(got.conventional().events(), want.conventional().events());
+            prop_assert_eq!(
+                got.reap().expected_failures().to_bits(),
+                want.reap().expected_failures().to_bits()
+            );
+            prop_assert_eq!(got.reap().events(), want.reap().events());
+            prop_assert_eq!(
+                got.serial().expected_failures().to_bits(),
+                want.serial().expected_failures().to_bits()
+            );
+            prop_assert_eq!(
+                got.writeback_exposure().to_bits(),
+                want.writeback_exposure().to_bits()
+            );
+            prop_assert_eq!(got.histogram(), want.histogram());
+        }
+    }
+
+    /// Fast-math mode only ever touches the REAP term, and its deviation
+    /// stays inside the documented bound: relative error at most 5e-9.
+    /// Every other observable — conventional and serial sums, writeback
+    /// exposure, histogram, event counts — is bit-identical to exact.
+    #[test]
+    fn fast_math_kernel_error_is_bounded(
+        num_points in 1usize..10,
+        seed in any::<u64>(),
+        records in kernel_record_strategy(),
+    ) {
+        let points = kernel_points(num_points, seed, false);
+        let mut exact = MultiReplayAggregator::new(points.clone());
+        let mut fast = MultiReplayAggregator::with_mode(points.clone(), KernelMode::FastMath);
+        feed_kernel(&records, &points, |kind, ones, n| {
+            exact.record(kind, ones, n);
+        });
+        feed_kernel(&records, &points, |kind, ones, n| {
+            fast.record(kind, ones, n);
+        });
+        for (e, f) in exact.finish().iter().zip(&fast.finish()) {
+            let (er, fr) = (
+                e.reap().expected_failures(),
+                f.reap().expected_failures(),
+            );
+            prop_assert!(
+                (fr - er).abs() <= 5e-9 * er.abs(),
+                "reap sum off by more than the documented bound: {er} vs {fr}"
+            );
+            prop_assert_eq!(
+                e.conventional().expected_failures().to_bits(),
+                f.conventional().expected_failures().to_bits()
+            );
+            prop_assert_eq!(
+                e.serial().expected_failures().to_bits(),
+                f.serial().expected_failures().to_bits()
+            );
+            prop_assert_eq!(
+                e.writeback_exposure().to_bits(),
+                f.writeback_exposure().to_bits()
+            );
+            prop_assert_eq!(e.histogram(), f.histogram());
+            prop_assert_eq!(e.reap().events(), f.reap().events());
         }
     }
 

@@ -138,6 +138,13 @@ impl Flusher {
             .spawn(move || {
                 let mut stopped = thread_shared.stop.lock().unwrap_or_else(|e| e.into_inner());
                 loop {
+                    // Check before parking, not just after: a stop
+                    // issued between spawn and the first wait has
+                    // already had its notify, and re-checking only
+                    // post-wait would sleep out the whole interval.
+                    if *stopped {
+                        return;
+                    }
                     let (guard, timeout) = thread_shared
                         .wake
                         .wait_timeout(stopped, interval)
@@ -259,6 +266,31 @@ mod tests {
             .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
             .collect();
         assert!(leftovers.is_empty(), "{leftovers:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Regression: `stop()` could race the thread's first park. The
+    /// flag was only examined *after* `wait_timeout`, so a `finish()`
+    /// issued before the thread first waited had already spent its
+    /// notification and left the thread sleeping out the entire
+    /// interval (an hour, in the test above) before the join returned.
+    /// Spawning and finishing in a tight loop gives the window many
+    /// chances to reopen; with the pre-park check the join can never
+    /// outlive a write.
+    #[test]
+    fn finish_never_sleeps_out_the_interval() {
+        let dir = scratch("race");
+        crate::set_enabled(true);
+        let start = std::time::Instant::now();
+        for i in 0..64 {
+            let flusher =
+                Flusher::start(dir.join(format!("r{i}.jsonl")), Duration::from_secs(3600));
+            flusher.finish().unwrap();
+        }
+        assert!(
+            start.elapsed() < Duration::from_secs(600),
+            "finish() slept against a parked flusher"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

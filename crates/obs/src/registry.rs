@@ -117,7 +117,22 @@ impl HistCell {
     fn record(&self, value: u64) {
         let bucket = 63 - value.max(1).leading_zeros() as usize;
         self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
-        self.sum.fetch_add(value, Ordering::Relaxed);
+        // The sum saturates instead of wrapping: a long-lived registry
+        // fed huge observations must pin at u64::MAX, never report a
+        // small wrapped total as if nothing happened.
+        let mut current = self.sum.load(Ordering::Relaxed);
+        loop {
+            let next = current.saturating_add(value);
+            match self.sum.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => current = actual,
+            }
+        }
         self.max.fetch_max(value, Ordering::Relaxed);
     }
 }
@@ -536,6 +551,20 @@ mod tests {
         assert_eq!(hist.count, 5);
         assert_eq!(hist.max, 1000);
         assert_eq!(hist.buckets, vec![(1, 2), (2, 2), (512, 1)]);
+    }
+
+    #[test]
+    fn histogram_sum_saturates_instead_of_wrapping() {
+        let r = Registry::new();
+        let h = r.histogram("n");
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        h.record(7);
+        let snap = r.snapshot();
+        let (_, hist) = &snap.hists[0];
+        assert_eq!(hist.sum, u64::MAX, "sum must pin at MAX, not wrap");
+        assert_eq!(hist.count, 3);
+        assert_eq!(hist.max, u64::MAX);
     }
 
     #[test]

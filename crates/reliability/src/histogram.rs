@@ -59,6 +59,21 @@ impl LogHistogram {
         Self::default()
     }
 
+    /// Reassembles a histogram from externally accumulated bins — the
+    /// hand-off point for the batched kernel, which shares one count
+    /// vector across points (bin membership depends only on `N`) and
+    /// keeps per-point failure sums in flat lanes. `counts` and
+    /// `failure` must be the same length, grown exactly as `record`
+    /// would have grown them (highest touched bin + 1).
+    pub(crate) fn from_parts(counts: Vec<u64>, failure: Vec<f64>, max_n: u64) -> Self {
+        debug_assert_eq!(counts.len(), failure.len());
+        Self {
+            counts,
+            failure,
+            max_n,
+        }
+    }
+
     /// Records a demand-check event with accumulated read count `n` and
     /// per-event failure probability `p_fail`.
     ///

@@ -51,5 +51,5 @@ pub use histogram::LogHistogram;
 pub use model::{uncorrectable_probability, AccumulationModel};
 pub use montecarlo::{McLineResult, MonteCarloLine};
 pub use mttf::{FailureAggregator, Mttf};
-pub use multi::MultiReplayAggregator;
+pub use multi::{KernelMode, MultiReplayAggregator, ScalarMultiReplayAggregator};
 pub use replay::{ExposureKind, ReplayAggregator};

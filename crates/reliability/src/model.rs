@@ -190,17 +190,30 @@ impl AccumulationModel {
     /// Conventional cache, Eq. (3): the line was read `n_reads` times
     /// (N−1 concealed + the final demand read) and only checked at the
     /// end; disturbances accumulate across all `n_reads · n_ones` trials.
+    ///
+    /// The trial count saturates at `u64::MAX` instead of wrapping: a
+    /// wrapped product would silently score an astronomically exposed
+    /// line as nearly fresh, and at saturation scale the probability is
+    /// indistinguishable from the true value anyway.
     pub fn fail_conventional(&self, n_ones: u32, n_reads: u64) -> f64 {
-        uncorrectable_probability(n_reads * u64::from(n_ones), self.p_rd, self.t)
+        uncorrectable_probability(n_reads.saturating_mul(u64::from(n_ones)), self.p_rd, self.t)
     }
 
     /// REAP cache, Eq. (6): each of the `n_reads` reads is checked (and
     /// corrected) individually; the block fails iff any single read is
     /// individually uncorrectable.
+    ///
+    /// Degenerate corners are pinned explicitly: zero reads can't fail
+    /// (`N = 0` ⇒ 0), and a certainly-failing read fails for any `N ≥ 1`
+    /// (`single = 1` ⇒ 1). Without the guards the closed form evaluates
+    /// `0 × ln(0) = 0 × −inf = NaN` at the intersection of the two.
     pub fn fail_reap(&self, n_ones: u32, n_reads: u64) -> f64 {
         let single = self.fail_single(n_ones);
-        if single == 0.0 {
+        if single == 0.0 || n_reads == 0 {
             return 0.0;
+        }
+        if single == 1.0 {
+            return 1.0;
         }
         // 1 - (1 - single)^N, stable for tiny `single`.
         -(n_reads as f64 * (-single).ln_1p()).exp_m1()
@@ -255,6 +268,36 @@ mod tests {
         // (the paper rounds to 1.3e-9).
         let p = uncorrectable_probability(5000, 1e-8, 1);
         assert!((p / 1.249_75e-9 - 1.0).abs() < 1e-3, "p = {p}");
+    }
+
+    #[test]
+    fn fail_reap_degenerate_corners_are_exact() {
+        // p_rd = 1, SEC, 4 ones: every read is individually uncorrectable.
+        let certain = AccumulationModel::new(1.0, 1);
+        assert_eq!(certain.fail_single(4), 1.0);
+        // The NaN corner: 0 reads of a certainly-failing line is still
+        // zero failures, not 0 × -inf.
+        assert_eq!(certain.fail_reap(4, 0), 0.0);
+        assert!(!certain.fail_reap(4, 0).is_nan());
+        // Any positive read count of a certainly-failing line fails.
+        assert_eq!(certain.fail_reap(4, 1), 1.0);
+        assert_eq!(certain.fail_reap(4, 1_000_000), 1.0);
+        // Zero reads under an ordinary model is exactly +0.0, as before.
+        let m = AccumulationModel::sec(1e-8);
+        assert_eq!(m.fail_reap(100, 0).to_bits(), 0.0f64.to_bits());
+    }
+
+    #[test]
+    fn fail_conventional_saturates_the_trial_count() {
+        // u64::MAX reads of a many-ones line: the trial product must
+        // saturate, not wrap to a small count that scores the line as
+        // nearly fresh. At that exposure the failure is certain.
+        let m = AccumulationModel::sec(1e-8);
+        let p = m.fail_conventional(100, u64::MAX);
+        assert!(p.is_finite());
+        assert!((p - 1.0).abs() < 1e-12, "saturated exposure must fail: {p}");
+        // Monotonicity across the would-be overflow boundary.
+        assert!(m.fail_conventional(100, u64::MAX) >= m.fail_conventional(100, u64::MAX / 100));
     }
 
     #[test]

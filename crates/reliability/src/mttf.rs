@@ -45,6 +45,17 @@ impl FailureAggregator {
         self.events += 1;
     }
 
+    /// Reassembles an aggregator from an externally accumulated sum and
+    /// event count — the hand-off point for the batched kernel, which
+    /// keeps its per-point sums in flat lanes and only materializes
+    /// `FailureAggregator`s at `finish()`.
+    pub(crate) fn from_parts(expected_failures: f64, events: u64) -> Self {
+        Self {
+            expected_failures,
+            events,
+        }
+    }
+
     /// Sum of recorded failure probabilities (expected failure count).
     pub fn expected_failures(&self) -> f64 {
         self.expected_failures

@@ -135,10 +135,14 @@ impl ReplayAggregator {
                 let p_conv = self.model.fail_conventional(line_ones, unchecked_reads);
                 self.conventional.record(p_conv);
                 // Eq. (6): 1 - (1 - u)^N from the table entry, without
-                // recomputing the binomial tail.
+                // recomputing the binomial tail. The u ∈ {0, 1} corners
+                // are pinned exactly as in `AccumulationModel::fail_reap`
+                // (0 × -inf would otherwise go NaN at u = 1, N = 0).
                 let u = self.single(line_ones);
-                let p_reap = if u == 0.0 {
+                let p_reap = if u == 0.0 || unchecked_reads == 0 {
                     0.0
+                } else if u == 1.0 {
+                    1.0
                 } else {
                     -(unchecked_reads as f64 * (-u).ln_1p()).exp_m1()
                 };

@@ -44,6 +44,10 @@ const ACCEPT_POLL: Duration = Duration::from_millis(20);
 /// the shutdown flag and streaming loops poll for client disconnects.
 const READ_POLL: Duration = Duration::from_millis(50);
 
+/// How often the accept loop re-sweeps the state directory for
+/// abandoned journals (also swept once at startup).
+const JOURNAL_GC_INTERVAL: Duration = Duration::from_secs(60);
+
 /// Everything the daemon needs to run. Build one with
 /// [`ServeConfig::new`] and adjust fields before calling [`serve`].
 #[derive(Debug)]
@@ -68,6 +72,11 @@ pub struct ServeConfig {
     pub supervisor: SupervisorConfig,
     /// Optional on-disk capture store shared with offline sweeps.
     pub store: Option<CaptureStore>,
+    /// Age after which an abandoned job journal (interrupted or failed,
+    /// never resubmitted) is collected from the state directory. `None`
+    /// disables the sweep. Journals of queued or active jobs are never
+    /// collected, whatever their age.
+    pub journal_gc_age: Option<Duration>,
 }
 
 impl ServeConfig {
@@ -84,6 +93,7 @@ impl ServeConfig {
             retry_after_ms: 250,
             supervisor: SupervisorConfig::default(),
             store: None,
+            journal_gc_age: Some(Duration::from_secs(7 * 24 * 3600)),
         }
     }
 }
@@ -188,12 +198,21 @@ pub fn serve(config: ServeConfig) -> io::Result<()> {
         runners.push(std::thread::spawn(move || runner_loop(&state)));
     }
 
+    // Collect journals abandoned before this daemon's lifetime, then
+    // re-sweep periodically so a long-lived daemon stays tidy.
+    sweep_stale_journals(&state);
+    let mut last_gc = std::time::Instant::now();
+
     let plan = state.config.supervisor.fault_plan;
     let mut connections: Vec<std::thread::JoinHandle<()>> = Vec::new();
     let mut conn_serial: u64 = 0;
     let result = loop {
         if state.draining() {
             break Ok(());
+        }
+        if last_gc.elapsed() >= JOURNAL_GC_INTERVAL {
+            sweep_stale_journals(&state);
+            last_gc = std::time::Instant::now();
         }
         match listener.accept() {
             Ok((stream, _addr)) => {
@@ -258,6 +277,53 @@ pub fn serve(config: ServeConfig) -> io::Result<()> {
     }
     let _ = std::fs::remove_file(&state.config.socket);
     result
+}
+
+/// Collects abandoned job journals: any `job-<id>.jsonl` in the state
+/// directory whose last modification is older than the configured age
+/// and whose id is neither queued nor active. A live job's journal is
+/// never touched, whatever its mtime — a queued job can legitimately
+/// sit idle past any threshold. Journals the daemon keeps on purpose
+/// (interrupted or partially failed jobs, awaiting resubmission) age
+/// out here once nobody comes back for them.
+fn sweep_stale_journals(state: &ServerState) {
+    let Some(max_age) = state.config.journal_gc_age else {
+        return;
+    };
+    let entries = match std::fs::read_dir(&state.config.state_dir) {
+        Ok(entries) => entries,
+        Err(_) => return,
+    };
+    let live: HashSet<String> = state
+        .jobs
+        .lock()
+        .expect("jobs poisoned")
+        .keys()
+        .cloned()
+        .collect();
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(id) = name
+            .to_str()
+            .and_then(|n| n.strip_prefix("job-"))
+            .and_then(|n| n.strip_suffix(".jsonl"))
+        else {
+            continue;
+        };
+        if live.contains(id) {
+            continue;
+        }
+        let age = entry
+            .metadata()
+            .and_then(|m| m.modified())
+            .ok()
+            .and_then(|t| t.elapsed().ok());
+        // An unreadable mtime (or one in the future) counts as fresh:
+        // never collect a journal whose age is unknown.
+        if age.is_some_and(|a| a >= max_age) && std::fs::remove_file(entry.path()).is_ok() {
+            bump("serve.journals.collected");
+        }
+    }
 }
 
 /// One runner thread: pop, run, repeat until drain.
@@ -707,5 +773,83 @@ fn handle_submit(
             // record, but do not spin if it somehow did).
             Err(mpsc::RecvTimeoutError::Disconnected) => return,
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reap_core::SweepMode;
+
+    fn state_with(config: ServeConfig) -> ServerState {
+        ServerState {
+            cache: Arc::new(HotCaptureCache::new(config.cache_entries)),
+            config,
+            queue: Mutex::new(VecDeque::new()),
+            queue_ready: Condvar::new(),
+            jobs: Mutex::new(HashMap::new()),
+            active: AtomicU64::new(0),
+            draining: AtomicBool::new(false),
+        }
+    }
+
+    #[test]
+    fn journal_gc_collects_orphans_but_never_live_jobs() {
+        let dir = std::env::temp_dir().join(format!("reap-serve-gc-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let spec = JobSpec {
+            mode: SweepMode::EccSweep,
+            accesses: 1000,
+            seed: 1,
+            max_retries: None,
+            deadline_ms: None,
+        };
+        let live_journal = spec.journal_path(&dir);
+        std::fs::write(&live_journal, "live\n").unwrap();
+        let orphan = dir.join("job-00000000deadbeef.jsonl");
+        std::fs::write(&orphan, "orphan\n").unwrap();
+        let unrelated = dir.join("notes.txt");
+        std::fs::write(&unrelated, "keep\n").unwrap();
+
+        // Age zero: every non-live journal is immediately stale — the
+        // harshest setting the protection must survive.
+        let mut config = ServeConfig::new(dir.join("gc.sock"), &dir);
+        config.journal_gc_age = Some(Duration::ZERO);
+        let state = state_with(config);
+        let (tx, _rx) = mpsc::channel();
+        state.jobs.lock().unwrap().insert(
+            spec.id(),
+            Arc::new(JobHandle {
+                id: spec.id(),
+                spec,
+                cancelled: AtomicBool::new(false),
+                tx: Mutex::new(tx),
+            }),
+        );
+
+        sweep_stale_journals(&state);
+        assert!(
+            live_journal.exists(),
+            "a queued/active job's journal must never be collected"
+        );
+        assert!(!orphan.exists(), "abandoned journal must be collected");
+        assert!(unrelated.exists(), "non-journal files are left alone");
+
+        // Once the job is gone (completed/abandoned), its journal ages
+        // out like any other.
+        state.jobs.lock().unwrap().clear();
+        sweep_stale_journals(&state);
+        assert!(!live_journal.exists(), "orphaned journal now collectable");
+
+        // Disabled GC never touches anything.
+        std::fs::write(&orphan, "orphan\n").unwrap();
+        let mut config = ServeConfig::new(dir.join("gc.sock"), &dir);
+        config.journal_gc_age = None;
+        sweep_stale_journals(&state_with(config));
+        assert!(orphan.exists(), "gc disabled must be a no-op");
+
+        std::fs::remove_dir_all(dir).ok();
     }
 }
