@@ -72,6 +72,7 @@ fn capture_with_scrub(
         Replacement::Lru,
         warmup,
         accesses,
+        period.unwrap_or(0),
     );
     span.add_events(warmup + accesses);
     (capture, scrub_checks)

@@ -51,6 +51,8 @@ pub enum Command {
         /// Explicitly gated counters/gauges (`--metric name[:up|:down]`).
         metrics: Vec<GateMetric>,
     },
+    /// `reap explore` — design-space exploration over a declarative grid.
+    Explore(ExploreArgs),
     /// `reap serve` — long-lived sweep daemon on a Unix socket.
     Serve(ServeArgs),
     /// `reap submit` — submit one sweep job to a running daemon.
@@ -262,6 +264,55 @@ impl Default for SweepArgs {
     }
 }
 
+/// Arguments of `reap explore`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExploreArgs {
+    /// The declarative design-space grid, e.g.
+    /// `"ways=4,8,16 ecc=sec,dec read-current=0.7:1.0:0.1 scrub=0,10k"`.
+    pub grid: String,
+    /// Workloads folded into each point (empty = the default trio).
+    pub workloads: Vec<SpecWorkload>,
+    /// Measured accesses per workload.
+    pub accesses: u64,
+    /// Trace seed.
+    pub seed: u64,
+    /// Worker threads (defaults to the available parallelism).
+    pub jobs: Option<usize>,
+    /// Hard budget on scored points, base grid plus refinement.
+    pub max_points: usize,
+    /// Run the adaptive refinement pass (`--no-refine` disables it).
+    pub refine: bool,
+    /// Stream completed jobs to this checkpoint file.
+    pub checkpoint: Option<PathBuf>,
+    /// Skip jobs already present in the checkpoint.
+    pub resume: bool,
+    /// Write the Pareto-front rows as JSON-lines to this path.
+    pub jsonl_out: Option<PathBuf>,
+    /// Telemetry outputs.
+    pub obs: ObsArgs,
+    /// Persistent capture store.
+    pub capture: CaptureArgs,
+}
+
+impl Default for ExploreArgs {
+    fn default() -> Self {
+        Self {
+            grid: String::new(),
+            workloads: Vec::new(),
+            accesses: 1_000_000,
+            seed: 2019,
+            jobs: None,
+            max_points: 4096,
+            refine: true,
+            checkpoint: None,
+            resume: false,
+            jsonl_out: None,
+            obs: ObsArgs::default(),
+            capture: CaptureArgs::default(),
+        }
+    }
+}
+
 /// Arguments of `reap trace`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TraceArgs {
@@ -431,6 +482,7 @@ pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Command, ParseCl
                 path: PathBuf::from(path),
             })
         }
+        "explore" => parse_explore(cursor),
         "serve" => parse_serve(cursor),
         "submit" => parse_submit(cursor),
         "disturbance" => parse_disturbance(cursor),
@@ -786,6 +838,61 @@ fn parse_sweep(mut c: Cursor) -> Result<Command, ParseCliError> {
     check_obs(&a.obs)?;
     check_capture(&a.capture)?;
     Ok(Command::Sweep(a))
+}
+
+fn parse_explore(mut c: Cursor) -> Result<Command, ParseCliError> {
+    let mut a = ExploreArgs::default();
+    let mut got_grid = false;
+    while let Some(flag) = c.take() {
+        match flag.as_str() {
+            "--grid" | "-g" => {
+                a.grid = c.value_for(&flag)?;
+                got_grid = true;
+            }
+            "--workloads" | "-w" => {
+                let v = c.value_for(&flag)?;
+                if v.eq_ignore_ascii_case("all") {
+                    a.workloads = SpecWorkload::ALL.to_vec();
+                } else {
+                    a.workloads = v
+                        .split(',')
+                        .map(|name| parse_workload(&flag, name.to_owned()))
+                        .collect::<Result<_, _>>()?;
+                }
+            }
+            "--accesses" | "-n" => a.accesses = parse_num(&flag, c.value_for(&flag)?, "count")?,
+            "--seed" | "-s" => a.seed = parse_num(&flag, c.value_for(&flag)?, "seed")?,
+            "--jobs" | "-j" => a.jobs = Some(parse_num(&flag, c.value_for(&flag)?, "count")?),
+            "--max-points" => {
+                a.max_points = parse_num(&flag, c.value_for(&flag)?, "count")?;
+                if a.max_points == 0 {
+                    return Err(ParseCliError::BadValue {
+                        flag,
+                        value: "0".to_owned(),
+                        expected: "non-zero point budget",
+                    });
+                }
+            }
+            "--no-refine" => a.refine = false,
+            "--checkpoint" => a.checkpoint = Some(PathBuf::from(c.value_for(&flag)?)),
+            "--resume" => a.resume = true,
+            "--jsonl-out" => a.jsonl_out = Some(PathBuf::from(c.value_for(&flag)?)),
+            _ if parse_obs_flag(&mut a.obs, &flag, &mut c)? => {}
+            _ if parse_capture_flag(&mut a.capture, &flag, &mut c)? => {}
+            _ => return Err(ParseCliError::UnknownFlag { flag }),
+        }
+    }
+    if !got_grid {
+        return Err(ParseCliError::MissingRequired { name: "--grid" });
+    }
+    if a.resume && a.checkpoint.is_none() {
+        return Err(ParseCliError::MissingRequired {
+            name: "--checkpoint (required by --resume)",
+        });
+    }
+    check_obs(&a.obs)?;
+    check_capture(&a.capture)?;
+    Ok(Command::Explore(a))
 }
 
 fn parse_serve(mut c: Cursor) -> Result<Command, ParseCliError> {
@@ -1364,6 +1471,60 @@ mod tests {
         assert_eq!(a.delta, Some(55.0));
         assert_eq!(a.read_current_ua, Some(80.0));
         assert_eq!(a.temperature_k, Some(350.0));
+    }
+
+    #[test]
+    fn explore_parses_grid_workloads_and_budget() {
+        let Command::Explore(a) = p("explore --grid ways=4,8 -w hmmer,mcf -n 50000 -s 7 \
+             -j 4 --max-points 64 --no-refine --checkpoint ck.jsonl --resume \
+             --jsonl-out front.jsonl --capture-dir caps")
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(a.grid, "ways=4,8");
+        assert_eq!(a.workloads, vec![SpecWorkload::Hmmer, SpecWorkload::Mcf]);
+        assert_eq!(a.accesses, 50_000);
+        assert_eq!(a.seed, 7);
+        assert_eq!(a.jobs, Some(4));
+        assert_eq!(a.max_points, 64);
+        assert!(!a.refine);
+        assert_eq!(a.checkpoint, Some(PathBuf::from("ck.jsonl")));
+        assert!(a.resume);
+        assert_eq!(a.jsonl_out, Some(PathBuf::from("front.jsonl")));
+        assert_eq!(a.capture.dir, Some(PathBuf::from("caps")));
+    }
+
+    #[test]
+    fn explore_defaults_and_requirements() {
+        let Command::Explore(a) = p("explore --grid ecc=sec,dec").unwrap() else {
+            panic!()
+        };
+        assert!(a.workloads.is_empty());
+        assert_eq!(a.accesses, 1_000_000);
+        assert_eq!(a.max_points, 4096);
+        assert!(a.refine);
+
+        let Command::Explore(a) = p("explore --grid ways=4 -w all").unwrap() else {
+            panic!()
+        };
+        assert_eq!(a.workloads.len(), SpecWorkload::ALL.len());
+
+        assert_eq!(
+            p("explore"),
+            Err(ParseCliError::MissingRequired { name: "--grid" })
+        );
+        assert!(matches!(
+            p("explore --grid ways=4 --resume"),
+            Err(ParseCliError::MissingRequired { .. })
+        ));
+        assert!(matches!(
+            p("explore --grid ways=4 --max-points 0"),
+            Err(ParseCliError::BadValue { .. })
+        ));
+        assert!(matches!(
+            p("explore --grid ways=4 -w quake3"),
+            Err(ParseCliError::BadValue { .. })
+        ));
     }
 
     #[test]

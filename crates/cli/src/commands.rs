@@ -1,7 +1,8 @@
 //! Command execution.
 
 use crate::args::{
-    Command, DisturbanceArgs, ObsArgs, RunArgs, ServeArgs, SubmitArgs, SweepArgs, TraceArgs,
+    Command, DisturbanceArgs, ExploreArgs, ObsArgs, RunArgs, ServeArgs, SubmitArgs, SweepArgs,
+    TraceArgs,
 };
 use reap_cache::HierarchyConfig;
 use reap_core::campaign::{run_sweep_campaign, CampaignConfig, CampaignError, SweepMode};
@@ -52,6 +53,25 @@ COMMANDS:
                                      (--retry-backoff-ms T = linear T)
                  --inject SPEC       deterministic fault injection, e.g.
                                      seed=7,panic=0.2,delay=0.1,delay-ms=40,interrupt=5
+    explore      design-space exploration: Pareto front over MTTF,
+                 dynamic energy and L2 area
+                 --grid/-g SPEC (required), e.g.
+                 \"ways=4,8,16 ecc=sec,dec,tec read-current=0.7:1.0:0.1 scrub=0,10k,100k\"
+                 (ranges are inclusive start:stop:step; k/m suffixes;
+                 secded/bch2/bch3 alias sec/dec/tec; omitted dims take
+                 the paper point ways=8 ecc=sec read-current=1 scrub=0)
+                 --workloads/-w A,B,... or `all` (default hmmer,mcf,
+                 libquantum)  --accesses/-n N  --seed/-s S  --jobs/-j K
+                 --max-points K      point budget, base grid + adaptive
+                                     refinement around the front
+                                     (default 4096)
+                 --no-refine         skip the refinement pass
+                 --checkpoint FILE  --resume
+                 --jsonl-out FILE    write the front rows as JSON-lines
+                 --capture-dir DIR [--capture-policy P] [--capture-format F]
+                 (one capture per geometry×scrub×workload, replay-batched
+                 across all ECC×read-current points; stdout is
+                 byte-identical across -j and across kill/resume)
     serve        long-lived sweep daemon on a Unix-domain socket
                  --socket PATH --state-dir DIR (both required)
                  --parallelism/-j K  workers per job   --max-active K
@@ -138,6 +158,7 @@ pub fn execute<W: Write>(command: Command, mut out: W) -> io::Result<i32> {
         }
         Command::Run(args) => run(args, out),
         Command::Sweep(args) => sweep(args, out),
+        Command::Explore(args) => explore(args, out),
         Command::Serve(args) => serve(args, out),
         Command::Submit(args) => submit(args, out),
         Command::Trace(args) => trace(args, out),
@@ -485,6 +506,102 @@ fn sweep_rows<W: Write>(
     }
 }
 
+/// The `reap explore` command: sweeps the design-space grid and prints
+/// every scored point with its Pareto-front membership.
+///
+/// Everything on stdout is deterministic (values, ordering, counts), so
+/// the output is byte-identical across `-j` widths and across a
+/// kill/`--resume` cycle; volatile facts (resumed-job counts, repair
+/// warnings) go to stderr.
+fn explore<W: Write>(args: ExploreArgs, mut out: W) -> io::Result<i32> {
+    let flusher = start_obs(&args.obs);
+    let grid = match reap_core::parse_grid(&args.grid) {
+        Ok(grid) => grid,
+        Err(e) => {
+            writeln!(out, "error: {e}")?;
+            finish_obs(&args.obs, flusher)?;
+            return Ok(2);
+        }
+    };
+    let jobs = args.jobs.unwrap_or_else(|| {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    });
+    let mut config = reap_core::ExploreConfig::new(grid, args.accesses, args.seed, jobs);
+    if !args.workloads.is_empty() {
+        config.workloads = args.workloads.clone();
+    }
+    config.max_points = args.max_points;
+    config.refine = args.refine;
+    config.checkpoint = args.checkpoint.clone();
+    config.resume = args.resume;
+    config.capture_store = args.capture.to_store();
+
+    let outcome = match reap_core::explore::explore(&config) {
+        Ok(o) => o,
+        Err(e) => {
+            writeln!(out, "error: {}", cause_chain(&e))?;
+            finish_obs(&args.obs, flusher)?;
+            return Ok(2);
+        }
+    };
+    if let Some(warning) = &outcome.checkpoint_warning {
+        eprintln!("warning: {warning}");
+    }
+
+    writeln!(
+        out,
+        "{:<6} {:>9} {:>5} {:>7} {:>13} {:>13} {:>9} {:>6}",
+        "ways", "scrub", "ecc", "i_read", "mttf_s", "energy_j", "area_mm2", "front"
+    )?;
+    let mut front = outcome.front.iter().copied().peekable();
+    for (i, r) in outcome.rows.iter().enumerate() {
+        let on_front = front.peek() == Some(&i);
+        if on_front {
+            front.next();
+        }
+        writeln!(
+            out,
+            "{:<6} {:>9} {:>5} {:>7.3} {:>13.6e} {:>13.6e} {:>9.4} {:>6}",
+            r.ways,
+            r.scrub,
+            r.ecc,
+            r.read_scale,
+            r.mttf_s,
+            r.energy_j,
+            r.area_mm2,
+            if on_front { "*" } else { "" },
+        )?;
+    }
+    writeln!(
+        out,
+        "pareto front: {} of {} points ({} base, {} refined, {} over budget)",
+        outcome.front.len(),
+        outcome.rows.len(),
+        outcome.base_points,
+        outcome.refined_points,
+        outcome.truncated,
+    )?;
+
+    if let Some(path) = &args.jsonl_out {
+        let mut file = BufWriter::new(File::create(path)?);
+        for &i in &outcome.front {
+            writeln!(
+                file,
+                "{}",
+                reap_core::explore::explore_row_to_json(&outcome.rows[i])
+            )?;
+        }
+        file.flush()?;
+    }
+    eprintln!(
+        "explore: {} points scored ({} jobs resumed)",
+        outcome.rows.len(),
+        outcome.resumed,
+    );
+    finish_obs(&args.obs, flusher)?;
+    Ok(0)
+}
+
 /// The `reap serve` command: runs the daemon until a drain (SIGTERM,
 /// SIGINT or a protocol `shutdown`) completes.
 fn serve<W: Write>(args: ServeArgs, mut out: W) -> io::Result<i32> {
@@ -665,11 +782,28 @@ mod tests {
         (code, String::from_utf8(buf).expect("utf8"))
     }
 
+    /// Like [`exec`] but with explicit argv — for values with spaces,
+    /// such as multi-dimension `--grid` strings.
+    fn exec_argv(argv: &[&str]) -> (i32, String) {
+        let cmd = parse(argv.iter().map(|s| (*s).to_owned())).expect("parses");
+        let mut buf = Vec::new();
+        let code = execute(cmd, &mut buf).expect("io ok");
+        (code, String::from_utf8(buf).expect("utf8"))
+    }
+
     #[test]
     fn help_mentions_every_command() {
         let (code, text) = exec("help");
         assert_eq!(code, 0);
-        for c in ["run", "sweep", "trace", "trace-info", "disturbance", "list"] {
+        for c in [
+            "run",
+            "sweep",
+            "explore",
+            "trace",
+            "trace-info",
+            "disturbance",
+            "list",
+        ] {
             assert!(text.contains(c), "help must mention `{c}`");
         }
     }
@@ -969,6 +1103,104 @@ mod tests {
         let code = daemon.join().unwrap().unwrap();
         assert_eq!(code, 0, "drained daemon exits 0");
         std::fs::remove_dir_all(dir).ok();
+    }
+
+    const EXPLORE_GRID: &str = "ecc=sec,dec read-current=0.8,1.0 scrub=0,2k";
+
+    #[test]
+    fn explore_stdout_is_byte_identical_across_parallelism() {
+        let argv = |j: &'static str| {
+            vec![
+                "explore",
+                "--grid",
+                EXPLORE_GRID,
+                "-n",
+                "4000",
+                "-s",
+                "3",
+                "-w",
+                "hmmer,mcf",
+                "-j",
+                j,
+            ]
+        };
+        let (code1, narrow) = exec_argv(&argv("1"));
+        let (code4, wide) = exec_argv(&argv("4"));
+        assert_eq!((code1, code4), (0, 0), "{narrow}");
+        assert_eq!(narrow, wide, "explore must be deterministic across -j");
+        assert!(narrow.contains("pareto front:"), "{narrow}");
+        assert!(narrow.contains('*'), "some row must be on the front");
+    }
+
+    #[test]
+    fn explore_resume_reproduces_an_uninterrupted_run_byte_for_byte() {
+        let dir = std::env::temp_dir().join(format!("reap-cli-explore-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let ck = dir.join("explore.ck.jsonl");
+        let front = dir.join("front.jsonl");
+        let ck_s = ck.display().to_string();
+        let front_s = front.display().to_string();
+
+        let base = vec![
+            "explore",
+            "--grid",
+            EXPLORE_GRID,
+            "-n",
+            "4000",
+            "-s",
+            "3",
+            "-w",
+            "hmmer,mcf",
+            "-j",
+            "2",
+            "--checkpoint",
+            &ck_s,
+            "--jsonl-out",
+            &front_s,
+        ];
+        let (code, full) = exec_argv(&base);
+        assert_eq!(code, 0, "{full}");
+
+        // The front artifact holds exactly the starred rows, re-parseable
+        // bit-exactly.
+        let jsonl = std::fs::read_to_string(&front).unwrap();
+        let stars = full.lines().filter(|l| l.ends_with('*')).count();
+        assert_eq!(jsonl.lines().count(), stars, "{jsonl}");
+        for line in jsonl.lines() {
+            let value = reap_obs::json::parse(line).unwrap();
+            reap_core::explore::explore_row_from_json(&value).unwrap();
+        }
+
+        // Simulate a mid-run kill: drop all but the first completed job
+        // from the journal, then resume. Stdout must not change by a byte.
+        let journal = std::fs::read_to_string(&ck).unwrap();
+        let keep: Vec<&str> = journal.lines().take(2).collect();
+        assert!(journal.lines().count() > 2, "need jobs to strip: {journal}");
+        std::fs::write(&ck, format!("{}\n", keep.join("\n"))).unwrap();
+        let mut resumed_argv = base.clone();
+        resumed_argv.push("--resume");
+        let (code, resumed) = exec_argv(&resumed_argv);
+        assert_eq!(code, 0, "{resumed}");
+        assert_eq!(full, resumed, "resume must be byte-identical");
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn explore_rejects_a_bad_grid_with_exit_2() {
+        let (code, text) = exec("explore --grid volts=3");
+        assert_eq!(code, 2);
+        assert!(text.contains("unknown dimension"), "{text}");
+
+        let (code, text) = exec_argv(&[
+            "explore",
+            "--grid",
+            "ways=4,8 ecc=sec,dec,tec",
+            "--max-points",
+            "5",
+        ]);
+        assert_eq!(code, 2);
+        assert!(text.contains("--max-points"), "{text}");
     }
 
     #[test]

@@ -231,10 +231,10 @@ impl HierarchySnapshot {
 ///
 /// A capture is only valid for analysis points that share the
 /// *behavioural* configuration it was taken under — hierarchy geometry,
-/// replacement policy and access budgets — because those change which
-/// events occur at all. [`crate::Simulator::replay`] enforces this.
-/// ECC strength, MTJ parameters, technology node and access rate are
-/// analysis-side and free to vary.
+/// replacement policy, access budgets and scrub period — because those
+/// change which events occur at all. [`crate::Simulator::replay`]
+/// enforces this. ECC strength, MTJ parameters, technology node and
+/// access rate are analysis-side and free to vary.
 #[derive(Debug, Clone)]
 pub struct ExposureCapture {
     source: EventSource,
@@ -252,6 +252,9 @@ pub struct ExposureCapture {
     replacement: Replacement,
     warmup_accesses: u64,
     measure_accesses: u64,
+    /// L2 scrub period in accesses (0 = no scrubbing) — behavioural: a
+    /// scrub resets per-line exposure, changing the recorded events.
+    scrub_period: u64,
 }
 
 impl ExposureCapture {
@@ -269,6 +272,7 @@ impl ExposureCapture {
         replacement: Replacement,
         warmup_accesses: u64,
         measure_accesses: u64,
+        scrub_period: u64,
     ) -> Self {
         Self {
             source: EventSource::Memory(events),
@@ -280,6 +284,7 @@ impl ExposureCapture {
             replacement,
             warmup_accesses,
             measure_accesses,
+            scrub_period,
         }
     }
 
@@ -299,6 +304,7 @@ impl ExposureCapture {
         replacement: Replacement,
         warmup_accesses: u64,
         measure_accesses: u64,
+        scrub_period: u64,
     ) -> Self {
         Self {
             source: EventSource::Streamed { count, open },
@@ -310,6 +316,7 @@ impl ExposureCapture {
             replacement,
             warmup_accesses,
             measure_accesses,
+            scrub_period,
         }
     }
 
@@ -416,6 +423,12 @@ impl ExposureCapture {
     /// Accesses measured (and recorded) after warm-up.
     pub fn measure_accesses(&self) -> u64 {
         self.measure_accesses
+    }
+
+    /// L2 scrub period in accesses the capture was taken under (0 = no
+    /// scrubbing).
+    pub fn scrub_period(&self) -> u64 {
+        self.scrub_period
     }
 }
 
@@ -572,6 +585,7 @@ mod tests {
             Replacement::Lru,
             0,
             0,
+            0,
         )
     }
 
@@ -621,6 +635,7 @@ mod tests {
             Replacement::Lru,
             0,
             0,
+            0,
         );
         assert_eq!(capture.event_count(), records.len() as u64);
         assert_eq!(drain(&capture), records);
@@ -644,6 +659,7 @@ mod tests {
             7,
             HierarchyConfig::paper(),
             Replacement::Lru,
+            0,
             0,
             0,
         );

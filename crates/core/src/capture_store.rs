@@ -213,6 +213,7 @@ pub struct CaptureKey {
     replacement: Replacement,
     warmup_accesses: u64,
     measure_accesses: u64,
+    scrub_period: u64,
 }
 
 impl CaptureKey {
@@ -226,6 +227,7 @@ impl CaptureKey {
             replacement: config.replacement,
             warmup_accesses: config.warmup_accesses,
             measure_accesses: config.measure_accesses,
+            scrub_period: config.scrub_period,
         }
     }
 
@@ -252,6 +254,11 @@ impl CaptureKey {
         h = fnv(h, &seed.to_le_bytes());
         h = fnv(h, &self.warmup_accesses.to_le_bytes());
         h = fnv(h, &self.measure_accesses.to_le_bytes());
+        // Hashed only when scrubbing is on: every pre-existing store
+        // entry (all captured at period 0) keeps its address.
+        if self.scrub_period > 0 {
+            h = fnv(h, &self.scrub_period.to_le_bytes());
+        }
         h
     }
 }
@@ -1464,6 +1471,7 @@ impl CaptureStore {
                 key.replacement,
                 key.warmup_accesses,
                 key.measure_accesses,
+                key.scrub_period,
             ))
         } else {
             let header = validate_v1(BufReader::new(file), key.fingerprint())?;
@@ -1490,6 +1498,7 @@ impl CaptureStore {
                 key.replacement,
                 key.warmup_accesses,
                 key.measure_accesses,
+                key.scrub_period,
             ))
         }
     }
@@ -1984,6 +1993,7 @@ mod tests {
             9,
             HierarchyConfig::paper(),
             Replacement::Lru,
+            0,
             0,
             0,
         );

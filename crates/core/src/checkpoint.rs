@@ -254,6 +254,20 @@ impl CheckpointWriter {
     /// Returns [`CheckpointError::Io`] on write failure.
     pub fn record(&mut self, key: &str, rows: &[SweepRow]) -> Result<(), CheckpointError> {
         let rows: Vec<String> = rows.iter().map(row_to_json).collect();
+        self.record_json_rows(key, &rows)
+    }
+
+    /// Appends one completed job whose rows are already serialized as
+    /// JSON objects — the row-type-agnostic primitive [`record`]
+    /// (sweep rows) and the explorer (explore rows) both write through.
+    /// Flushes like [`record`].
+    ///
+    /// [`record`]: Self::record
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::Io`] on write failure.
+    pub fn record_json_rows(&mut self, key: &str, rows: &[String]) -> Result<(), CheckpointError> {
         let line = format!(
             "{{\"type\":\"result\",\"key\":\"{}\",\"rows\":[{}]}}",
             json::escape(key),
@@ -320,23 +334,28 @@ fn parse_ecc_tag(tag: &str) -> Option<Option<EccStrength>> {
     }
 }
 
-/// A checkpoint read back from disk.
+/// A checkpoint read back from disk, generic over the row type the
+/// journal's result records carry ([`SweepRow`] for sweep campaigns,
+/// the explorer's row for `reap explore`).
 #[derive(Debug, Clone)]
-pub struct LoadedCheckpoint {
+pub struct LoadedRows<R> {
     /// The meta record.
     pub meta: CheckpointMeta,
     /// Completed jobs, in file order.
-    pub completed: Vec<(String, Vec<SweepRow>)>,
+    pub completed: Vec<(String, Vec<R>)>,
     /// Byte offset of a truncated trailing line (crash-interrupted
     /// write), skipped with a warning rather than an error.
     pub truncated_tail: Option<usize>,
 }
 
-/// Reads and validates a checkpoint file.
+/// A loaded sweep checkpoint (the original, [`SweepRow`]-rowed journal).
+pub type LoadedCheckpoint = LoadedRows<SweepRow>;
+
+/// Reads and validates a sweep checkpoint file.
 ///
 /// A final line cut off mid-write (no trailing newline, unparseable) is
 /// tolerated: the loader skips it and reports its byte offset in
-/// [`LoadedCheckpoint::truncated_tail`]. Corruption anywhere else is a
+/// [`LoadedRows::truncated_tail`]. Corruption anywhere else is a
 /// [`CheckpointError::Parse`].
 ///
 /// # Errors
@@ -345,6 +364,23 @@ pub struct LoadedCheckpoint {
 /// mid-file corruption. Fingerprint checking is the caller's decision
 /// (compare against [`CheckpointMeta::new`] of the running campaign).
 pub fn load(path: &Path) -> Result<LoadedCheckpoint, CheckpointError> {
+    load_with(path, parse_row)
+}
+
+/// [`load`] generalized over the row codec: the same `reap-checkpoint/1`
+/// framing (meta line, result lines, bit-hex floats, truncated-tail
+/// tolerance) with `parse` decoding each row object. This is how the
+/// explorer shares the journal without the checkpoint format knowing its
+/// row shape.
+///
+/// # Errors
+///
+/// As [`load`]; a row `parse` failure is a [`CheckpointError::Parse`]
+/// naming the line.
+pub fn load_with<R, F>(path: &Path, parse: F) -> Result<LoadedRows<R>, CheckpointError>
+where
+    F: Fn(&json::Value) -> Result<R, String>,
+{
     let text = std::fs::read_to_string(path).map_err(|source| CheckpointError::Io {
         path: path.to_owned(),
         source,
@@ -439,8 +475,8 @@ pub fn load(path: &Path) -> Result<LoadedCheckpoint, CheckpointError> {
                 };
                 let rows = rows
                     .iter()
-                    .map(|row| parse_row(row).map_err(|m| parse_err(line_no, m)))
-                    .collect::<Result<Vec<SweepRow>, _>>()?;
+                    .map(|row| parse(row).map_err(|m| parse_err(line_no, m)))
+                    .collect::<Result<Vec<R>, _>>()?;
                 completed.push((key, rows));
             }
             "meta" => return Err(parse_err(line_no, "duplicate meta record".to_owned())),
@@ -455,7 +491,7 @@ pub fn load(path: &Path) -> Result<LoadedCheckpoint, CheckpointError> {
     let meta = meta.ok_or_else(|| CheckpointError::SchemaMismatch {
         found: "<empty file>".to_owned(),
     })?;
-    Ok(LoadedCheckpoint {
+    Ok(LoadedRows {
         meta,
         completed,
         truncated_tail,

@@ -40,8 +40,16 @@ impl EnergyBreakdown {
     }
 
     /// Fraction contributed by the ECC logic.
+    ///
+    /// A zero-activity breakdown (no accesses recorded, total energy 0 J)
+    /// has no ECC share by definition: the result is `0.0`, never NaN, so
+    /// rankings over degenerate points stay well ordered.
     pub fn ecc_fraction(&self) -> f64 {
-        self.ecc / self.total()
+        let total = self.total();
+        if total == 0.0 {
+            return 0.0;
+        }
+        self.ecc / total
     }
 }
 
@@ -149,10 +157,18 @@ impl EnergyModel {
 
     /// Relative dynamic-energy overhead of `scheme` versus the
     /// conventional baseline (the Fig. 6 metric: `E_scheme / E_conv − 1`).
+    ///
+    /// When the conventional baseline spent no energy at all (zero-activity
+    /// counters, e.g. `CacheStats::default()`), every scheme also spends
+    /// nothing — the schemes only reprice events that never happened — so
+    /// the overhead is defined as `0.0`, never NaN.
     pub fn overhead_vs_conventional(&self, stats: &CacheStats, scheme: ProtectionScheme) -> f64 {
         let conv = self
             .breakdown(stats, ProtectionScheme::Conventional)
             .total();
+        if conv == 0.0 {
+            return 0.0;
+        }
         let this = self.breakdown(stats, scheme).total();
         this / conv - 1.0
     }
@@ -240,6 +256,38 @@ mod tests {
         assert_eq!(conv.data_write, reap.data_write);
         assert_eq!(conv.tag, reap.tag);
         assert!(reap.ecc > conv.ecc);
+    }
+
+    #[test]
+    fn zero_activity_ecc_fraction_is_zero_not_nan() {
+        // Regression: `ecc / total()` was NaN on an all-zero breakdown.
+        let m = model();
+        for scheme in [
+            ProtectionScheme::Conventional,
+            ProtectionScheme::Reap,
+            ProtectionScheme::SerialTagFirst,
+            ProtectionScheme::DisruptiveRestore,
+        ] {
+            let b = m.breakdown(&CacheStats::default(), scheme);
+            assert_eq!(b.total(), 0.0);
+            assert_eq!(b.ecc_fraction(), 0.0, "{scheme:?} must not be NaN");
+        }
+        assert_eq!(EnergyBreakdown::default().ecc_fraction(), 0.0);
+    }
+
+    #[test]
+    fn zero_activity_overhead_is_zero_not_nan() {
+        // Regression: `this / conv - 1.0` was NaN when conv == 0.
+        let m = model();
+        for scheme in [
+            ProtectionScheme::Conventional,
+            ProtectionScheme::Reap,
+            ProtectionScheme::SerialTagFirst,
+            ProtectionScheme::DisruptiveRestore,
+        ] {
+            let o = m.overhead_vs_conventional(&CacheStats::default(), scheme);
+            assert_eq!(o, 0.0, "{scheme:?} must not be NaN");
+        }
     }
 
     #[test]

@@ -95,6 +95,13 @@ impl Experiment {
         self
     }
 
+    /// Sets the L2 scrub period in measured accesses (0 = no scrubbing).
+    /// Behavioural: captures are pinned to it.
+    pub fn scrub(mut self, period: u64) -> Self {
+        self.config.scrub_period = period;
+        self
+    }
+
     /// The configured workload.
     pub fn configured_workload(&self) -> SpecWorkload {
         self.workload

@@ -49,6 +49,7 @@ pub mod capture_store;
 pub mod checkpoint;
 pub mod energy;
 pub mod experiment;
+pub mod explore;
 pub mod observer;
 pub mod readpath;
 pub mod report;
@@ -68,6 +69,9 @@ pub use capture_store::{
 pub use checkpoint::{CheckpointError, SweepRow};
 pub use energy::{EnergyBreakdown, EnergyModel};
 pub use experiment::{Experiment, ExperimentError};
+pub use explore::{
+    explore, parse_grid, ExploreConfig, ExploreError, ExploreGrid, ExploreOutcome, ExploreRow,
+};
 pub use observer::ReliabilityObserver;
 pub use readpath::ReadPathModel;
 pub use report::Report;

@@ -88,11 +88,17 @@ pub struct SimulationConfig {
     pub warmup_accesses: u64,
     /// Accesses measured.
     pub measure_accesses: u64,
+    /// L2 scrub period in measured accesses: every `scrub_period`
+    /// accesses the whole L2 is scrubbed (checked and exposure-reset).
+    /// `0` disables scrubbing — the paper's baseline. Behavioural: a
+    /// scrub changes which exposure events occur, so captures are pinned
+    /// to it.
+    pub scrub_period: u64,
 }
 
 impl Default for SimulationConfig {
     /// The paper's setup: Table I hierarchy, LRU, default MTJ card
-    /// (`P_rd ≈ 1.5e-8`), SEC, 22 nm, 1 G accesses/s.
+    /// (`P_rd ≈ 1.5e-8`), SEC, 22 nm, 1 G accesses/s, no scrubbing.
     fn default() -> Self {
         Self {
             hierarchy: HierarchyConfig::paper(),
@@ -103,6 +109,7 @@ impl Default for SimulationConfig {
             access_rate_hz: 1e9,
             warmup_accesses: 100_000,
             measure_accesses: 1_000_000,
+            scrub_period: 0,
         }
     }
 }
@@ -317,6 +324,7 @@ impl Simulator {
             }
         }
         hierarchy.l2_mut().reset_stats();
+        let mut since_scrub = 0u64;
         for _ in 0..self.config.measure_accesses {
             let Some(a) = iter.next() else {
                 return Err(SimulationError::BadParameter(
@@ -324,6 +332,17 @@ impl Simulator {
                 ));
             };
             hierarchy.access(a, &mut observer);
+            // Periodic scrubbing (behavioural, see `SimulationConfig`):
+            // checks and exposure-resets every valid L2 line. No terminal
+            // scrub — period 0 stays bit-identical to the historical
+            // unscrubbed capture.
+            if self.config.scrub_period > 0 {
+                since_scrub += 1;
+                if since_scrub >= self.config.scrub_period {
+                    hierarchy.l2_mut().scrub(&mut observer);
+                    since_scrub = 0;
+                }
+            }
             if let Some(p) = &progress {
                 p.tick(1);
             }
@@ -351,6 +370,7 @@ impl Simulator {
             self.config.replacement,
             self.config.warmup_accesses,
             self.config.measure_accesses,
+            self.config.scrub_period,
         ))
     }
 
@@ -428,6 +448,9 @@ impl Simulator {
             || capture.measure_accesses() != self.config.measure_accesses
         {
             return Err(SimulationError::CaptureMismatch("access budgets differ"));
+        }
+        if capture.scrub_period() != self.config.scrub_period {
+            return Err(SimulationError::CaptureMismatch("scrub period differs"));
         }
         Ok(())
     }
@@ -679,6 +702,7 @@ impl Simulator {
             hierarchy.access(a, &mut ());
         }
         hierarchy.l2_mut().reset_stats();
+        let mut since_scrub = 0u64;
         for _ in 0..self.config.measure_accesses {
             let Some(a) = iter.next() else {
                 return Err(SimulationError::BadParameter(
@@ -686,6 +710,15 @@ impl Simulator {
                 ));
             };
             hierarchy.access(a, &mut observer);
+            // Mirror `capture`'s scrub cadence exactly: this is the
+            // reference the two-phase split is property-tested against.
+            if self.config.scrub_period > 0 {
+                since_scrub += 1;
+                if since_scrub >= self.config.scrub_period {
+                    hierarchy.l2_mut().scrub(&mut observer);
+                    since_scrub = 0;
+                }
+            }
         }
 
         let duration_seconds = self.config.measure_accesses as f64 / self.config.access_rate_hz;
@@ -843,6 +876,30 @@ mod tests {
             ..quick_config()
         };
         let err = Simulator::new(other).unwrap().replay(&capture).unwrap_err();
+        assert!(matches!(err, SimulationError::CaptureMismatch(_)));
+    }
+
+    #[test]
+    fn scrubbed_run_matches_single_pass_and_pins_the_capture() {
+        let config = SimulationConfig {
+            scrub_period: 5_000,
+            ..quick_config()
+        };
+        let sim = Simulator::new(config.clone()).unwrap();
+        let two_phase = sim.run(SpecWorkload::Gcc.stream(5)).unwrap();
+        let single = sim.run_single_pass(SpecWorkload::Gcc.stream(5)).unwrap();
+        assert_eq!(failure_bits(&two_phase), failure_bits(&single));
+        assert!(
+            two_phase.l2_stats().scrub_checks > 0,
+            "periodic scrubbing must actually scrub"
+        );
+
+        // The scrub period is behavioural: an unscrubbed simulator must
+        // refuse a scrubbed capture, and vice versa.
+        let capture = sim.capture(SpecWorkload::Gcc.stream(5)).unwrap();
+        assert_eq!(capture.scrub_period(), 5_000);
+        let unscrubbed = Simulator::new(quick_config()).unwrap();
+        let err = unscrubbed.replay(&capture).unwrap_err();
         assert!(matches!(err, SimulationError::CaptureMismatch(_)));
     }
 

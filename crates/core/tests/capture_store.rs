@@ -206,6 +206,7 @@ proptest! {
             Replacement::Lru,
             0,
             0,
+            0,
         );
         let mut encoded = Vec::new();
         let bytes = write_capture_v2(&mut encoded, fingerprint, &capture).expect("encode");

@@ -229,6 +229,15 @@ pub struct ArrayEstimate {
     pub mux_latency: f64,
 }
 
+impl ArrayEstimate {
+    /// Silicon area in mm² — the unit design-space comparisons (and the
+    /// paper's area discussions) are quoted in. Pure unit conversion of
+    /// [`area`](Self::area).
+    pub fn area_mm2(&self) -> f64 {
+        self.area * 1e6
+    }
+}
+
 /// Estimates the array characteristics of `spec` in `tech` at `node`.
 ///
 /// The model is a two-level NVSim-like abstraction: per-bit cell energy
@@ -338,6 +347,13 @@ mod tests {
 
     fn node22() -> TechnologyNode {
         TechnologyNode::nm(22).unwrap()
+    }
+
+    #[test]
+    fn area_mm2_is_the_area_in_square_millimetres() {
+        let e = estimate(&l2_spec(), MemTech::SttMram, node22());
+        assert_eq!(e.area_mm2().to_bits(), (e.area * 1e6).to_bits());
+        assert!(e.area_mm2() > 0.0);
     }
 
     #[test]

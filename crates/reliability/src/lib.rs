@@ -16,7 +16,10 @@
 //!   analysis point, bit-identical to a live single-pass observer;
 //! * [`multi`] — the batched sweep kernel: scores *all* analysis points
 //!   in one pass over the stream, bit-identical to independent per-point
-//!   replays.
+//!   replays;
+//! * [`pareto`] — dominance and front extraction over (MTTF, energy,
+//!   area) for the design-space explorer, total-ordered so degenerate
+//!   points can never mis-sort the front.
 //!
 //! # Examples
 //!
@@ -45,6 +48,7 @@ pub mod model;
 pub mod montecarlo;
 pub mod mttf;
 pub mod multi;
+pub mod pareto;
 pub mod replay;
 
 pub use histogram::LogHistogram;
@@ -52,4 +56,5 @@ pub use model::{uncorrectable_probability, AccumulationModel};
 pub use montecarlo::{McLineResult, MonteCarloLine};
 pub use mttf::{FailureAggregator, Mttf};
 pub use multi::{KernelMode, MultiReplayAggregator, ScalarMultiReplayAggregator};
+pub use pareto::{pareto_front_indices, ParetoPoint};
 pub use replay::{ExposureKind, ReplayAggregator};

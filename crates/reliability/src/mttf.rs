@@ -131,8 +131,30 @@ impl Mttf {
     }
 
     /// This MTTF normalized to a `baseline` (the paper's Fig. 5 metric).
+    ///
+    /// When both sides are infinite — routine at zero expected failures,
+    /// see [`FailureAggregator::mttf`] — the two points are equally
+    /// failure-free and the ratio is defined as `1.0`, never NaN. A finite
+    /// MTTF against an infinite baseline is `0.0`, and an infinite MTTF
+    /// against a finite baseline stays `inf`, both of which IEEE division
+    /// already yields.
     pub fn normalized_to(&self, baseline: Mttf) -> f64 {
+        if self.seconds.is_infinite() && baseline.seconds.is_infinite() {
+            return 1.0;
+        }
         self.seconds / baseline.seconds
+    }
+
+    /// Total ordering over MTTFs for sorting and Pareto comparisons.
+    ///
+    /// `Mttf` only derives [`PartialOrd`] because its seconds are an `f64`;
+    /// this helper makes comparisons total via [`f64::total_cmp`]: every
+    /// finite value orders by magnitude, `inf` (zero expected failures)
+    /// sorts above all finite values, and NaN — which the hardened metrics
+    /// no longer produce, but defensively — sorts above `inf` rather than
+    /// poisoning the sort.
+    pub fn total_cmp(&self, other: &Mttf) -> std::cmp::Ordering {
+        self.seconds.total_cmp(&other.seconds)
     }
 }
 
@@ -200,6 +222,43 @@ mod tests {
         let a = Mttf::from_seconds(1000.0);
         let b = Mttf::from_seconds(10.0);
         assert!((a.normalized_to(b) - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalization_of_two_failure_free_points_is_one() {
+        // Regression: inf/inf was NaN, silently mis-sorting any Pareto
+        // comparison over a pair of zero-expected-failure points.
+        let a = FailureAggregator::new().mttf(1.0);
+        let b = FailureAggregator::new().mttf(2.0);
+        assert!(a.as_seconds().is_infinite());
+        assert_eq!(a.normalized_to(b), 1.0);
+
+        // The one-sided infinities keep their IEEE meaning.
+        let finite = Mttf::from_seconds(100.0);
+        assert_eq!(finite.normalized_to(a), 0.0);
+        assert_eq!(a.normalized_to(finite), f64::INFINITY);
+    }
+
+    #[test]
+    fn total_cmp_orders_inf_and_nan() {
+        use std::cmp::Ordering;
+        let small = Mttf::from_seconds(1.0);
+        let big = Mttf::from_seconds(1e12);
+        let inf = Mttf::from_seconds(f64::INFINITY);
+        let nan = Mttf::from_seconds(f64::NAN);
+        assert_eq!(small.total_cmp(&big), Ordering::Less);
+        assert_eq!(big.total_cmp(&inf), Ordering::Less);
+        assert_eq!(inf.total_cmp(&inf), Ordering::Equal);
+        // NaN compares as greater-than-inf instead of breaking the sort.
+        assert_eq!(inf.total_cmp(&nan), Ordering::Less);
+        assert_eq!(nan.total_cmp(&nan), Ordering::Equal);
+
+        let mut v = [inf, small, nan, big];
+        v.sort_by(Mttf::total_cmp);
+        assert_eq!(v[0].as_seconds(), 1.0);
+        assert_eq!(v[1].as_seconds(), 1e12);
+        assert!(v[2].as_seconds().is_infinite());
+        assert!(v[3].as_seconds().is_nan());
     }
 
     #[test]

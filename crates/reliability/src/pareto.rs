@@ -1,0 +1,152 @@
+//! Pareto dominance and front extraction for design-space exploration.
+//!
+//! The explorer ranks design points by three objectives at once: MTTF
+//! (maximize), dynamic energy (minimize) and array area (minimize). No
+//! single scalar orders such points, so the explorer reports the *Pareto
+//! front* — the set of points no other point beats on every axis.
+//!
+//! All comparisons go through [`f64::total_cmp`] / [`Mttf::total_cmp`]:
+//! the hardened metrics no longer produce NaN, but a NaN that slips in
+//! anyway sorts deterministically (above `+inf`) instead of silently
+//! mis-sorting the front, and `inf` MTTFs (zero expected failures —
+//! routine on short captures) order correctly above every finite value.
+//!
+//! # Examples
+//!
+//! ```
+//! use reap_reliability::{pareto_front_indices, Mttf, ParetoPoint};
+//!
+//! let points = [
+//!     ParetoPoint::new(Mttf::from_seconds(1e9), 2.0, 4.0), // beaten by the next
+//!     ParetoPoint::new(Mttf::from_seconds(2e9), 1.0, 4.0),
+//!     ParetoPoint::new(Mttf::from_seconds(1e6), 0.1, 4.0), // cheap but fragile: kept
+//! ];
+//! assert_eq!(pareto_front_indices(&points), vec![1, 2]);
+//! ```
+
+use crate::mttf::Mttf;
+use std::cmp::Ordering;
+
+/// One design point's objective values.
+///
+/// MTTF is maximized; energy and area are minimized. The struct carries
+/// no identity — callers keep their own rows and index into them with
+/// [`pareto_front_indices`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParetoPoint {
+    /// Mean time to failure (maximize; `inf` = zero expected failures).
+    pub mttf: Mttf,
+    /// Dynamic energy in joules (minimize).
+    pub energy_j: f64,
+    /// Array area in mm² (minimize).
+    pub area_mm2: f64,
+}
+
+impl ParetoPoint {
+    /// Bundles the three objectives.
+    pub fn new(mttf: Mttf, energy_j: f64, area_mm2: f64) -> Self {
+        Self {
+            mttf,
+            energy_j,
+            area_mm2,
+        }
+    }
+
+    /// Whether `self` Pareto-dominates `other`: at least as good on every
+    /// objective (MTTF ≥, energy ≤, area ≤ under the total order) and
+    /// strictly better on at least one. Two identical points do not
+    /// dominate each other — both stay on the front, so ties survive
+    /// deterministically rather than depending on input order.
+    pub fn dominates(&self, other: &ParetoPoint) -> bool {
+        let mttf = self.mttf.total_cmp(&other.mttf);
+        let energy = self.energy_j.total_cmp(&other.energy_j);
+        let area = self.area_mm2.total_cmp(&other.area_mm2);
+        let no_worse =
+            mttf != Ordering::Less && energy != Ordering::Greater && area != Ordering::Greater;
+        let better =
+            mttf == Ordering::Greater || energy == Ordering::Less || area == Ordering::Less;
+        no_worse && better
+    }
+}
+
+/// Extracts the Pareto front: indices (in input order) of every point not
+/// dominated by any other point.
+///
+/// O(n²) pairwise — exploration grids are hundreds to low thousands of
+/// points, far below where a divide-and-conquer front pays off. The
+/// returned indices are strictly increasing, so output is deterministic
+/// for a fixed input order regardless of how the points were computed.
+pub fn pareto_front_indices(points: &[ParetoPoint]) -> Vec<usize> {
+    (0..points.len())
+        .filter(|&i| !points.iter().any(|other| other.dominates(&points[i])))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(mttf: f64, energy: f64, area: f64) -> ParetoPoint {
+        ParetoPoint::new(Mttf::from_seconds(mttf), energy, area)
+    }
+
+    #[test]
+    fn strictly_better_point_dominates() {
+        assert!(p(2.0, 1.0, 1.0).dominates(&p(1.0, 2.0, 2.0)));
+        assert!(!p(1.0, 2.0, 2.0).dominates(&p(2.0, 1.0, 1.0)));
+    }
+
+    #[test]
+    fn equal_points_do_not_dominate_each_other() {
+        let a = p(1.0, 1.0, 1.0);
+        assert!(!a.dominates(&a));
+        assert_eq!(pareto_front_indices(&[a, a]), vec![0, 1]);
+    }
+
+    #[test]
+    fn one_axis_improvement_with_ties_elsewhere_dominates() {
+        assert!(p(2.0, 1.0, 1.0).dominates(&p(1.0, 1.0, 1.0)));
+        assert!(p(1.0, 0.5, 1.0).dominates(&p(1.0, 1.0, 1.0)));
+        assert!(p(1.0, 1.0, 0.5).dominates(&p(1.0, 1.0, 1.0)));
+    }
+
+    #[test]
+    fn tradeoffs_are_incomparable() {
+        // Better MTTF but worse energy: neither dominates.
+        let a = p(2.0, 2.0, 1.0);
+        let b = p(1.0, 1.0, 1.0);
+        assert!(!a.dominates(&b));
+        assert!(!b.dominates(&a));
+        assert_eq!(pareto_front_indices(&[a, b]), vec![0, 1]);
+    }
+
+    #[test]
+    fn infinite_mttf_dominates_finite_at_equal_cost() {
+        let zero_failures = p(f64::INFINITY, 1.0, 1.0);
+        let finite = p(1e12, 1.0, 1.0);
+        assert!(zero_failures.dominates(&finite));
+        assert_eq!(pareto_front_indices(&[finite, zero_failures]), vec![1]);
+    }
+
+    #[test]
+    fn two_infinite_mttfs_tie_on_the_mttf_axis() {
+        // The normalized_to fix's scenario: both points failure-free.
+        // The cheaper one wins; equal-cost ones are both kept.
+        let a = p(f64::INFINITY, 1.0, 1.0);
+        let b = p(f64::INFINITY, 2.0, 1.0);
+        assert!(a.dominates(&b));
+        assert!(!b.dominates(&a));
+        assert_eq!(pareto_front_indices(&[a, b]), vec![0]);
+    }
+
+    #[test]
+    fn front_of_a_chain_is_its_best_point() {
+        let pts = [p(1.0, 4.0, 4.0), p(2.0, 3.0, 3.0), p(3.0, 2.0, 2.0)];
+        assert_eq!(pareto_front_indices(&pts), vec![2]);
+    }
+
+    #[test]
+    fn empty_input_gives_empty_front() {
+        assert!(pareto_front_indices(&[]).is_empty());
+    }
+}

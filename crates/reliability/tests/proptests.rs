@@ -2,7 +2,8 @@
 
 use proptest::prelude::*;
 use reap_reliability::{
-    uncorrectable_probability, AccumulationModel, FailureAggregator, LogHistogram,
+    pareto_front_indices, uncorrectable_probability, AccumulationModel, FailureAggregator,
+    LogHistogram, Mttf, ParetoPoint,
 };
 
 proptest! {
@@ -104,5 +105,38 @@ proptest! {
                 < 1e-12
         );
         prop_assert_eq!(merged.max_n(), direct.max_n());
+    }
+
+    /// The extracted Pareto front is exactly the non-dominated subset:
+    /// every front member is undominated, every non-member is dominated
+    /// by someone. Values are drawn from small pools rich in ties, zeros
+    /// and infinite MTTFs (the zero-expected-failure corner the
+    /// `normalized_to` fix makes safe to rank).
+    #[test]
+    fn pareto_front_is_exactly_the_nondominated_subset(
+        raw in proptest::collection::vec((0usize..4, 0usize..4, 0usize..3), 1..40),
+    ) {
+        const MTTFS: [f64; 4] = [1.0, 1e6, 1e12, f64::INFINITY];
+        const ENERGIES: [f64; 4] = [0.0, 1.0, 2.0, 3.0];
+        const AREAS: [f64; 3] = [1.0, 2.0, 4.0];
+        let points: Vec<ParetoPoint> = raw
+            .iter()
+            .map(|&(m, e, a)| {
+                ParetoPoint::new(Mttf::from_seconds(MTTFS[m]), ENERGIES[e], AREAS[a])
+            })
+            .collect();
+        let front = pareto_front_indices(&points);
+        for i in 0..points.len() {
+            let dominated = points.iter().any(|o| o.dominates(&points[i]));
+            prop_assert_eq!(
+                front.contains(&i),
+                !dominated,
+                "point {} front membership must equal non-domination",
+                i
+            );
+        }
+        // The front is never empty and indices come back sorted.
+        prop_assert!(!front.is_empty());
+        prop_assert!(front.windows(2).all(|w| w[0] < w[1]));
     }
 }

@@ -422,6 +422,10 @@ fn run_job(state: &Arc<ServerState>, handle: &Arc<JobHandle>) {
         .map(|(i, w)| (i as u64, *w))
         .collect();
     if pending.is_empty() {
+        // Remove the journal before answering: `done` is the client's
+        // cue that clean completion has no journal left behind, so the
+        // delete must not race a client that checks right away.
+        let _ = std::fs::remove_file(&journal);
         handle.send(Response::Done {
             job: handle.id.clone(),
             ok: resumed,
@@ -429,7 +433,6 @@ fn run_job(state: &Arc<ServerState>, handle: &Arc<JobHandle>) {
             resumed,
         });
         bump("serve.jobs.completed");
-        let _ = std::fs::remove_file(&journal);
         return;
     }
 
@@ -518,6 +521,15 @@ fn run_job(state: &Arc<ServerState>, handle: &Arc<JobHandle>) {
         });
         bump("serve.jobs.interrupted");
     } else {
+        if failed == 0 {
+            // Clean completion: the journal has served its purpose.
+            // Remove it before answering so a client that checks the
+            // state dir as soon as it reads `done` never races the
+            // delete.
+            let _ = std::fs::remove_file(&journal);
+        }
+        // With failures the journal stays: a resubmission resumes the
+        // successes and retries only the failed workloads.
         handle.send(Response::Done {
             job: handle.id.clone(),
             ok,
@@ -525,12 +537,6 @@ fn run_job(state: &Arc<ServerState>, handle: &Arc<JobHandle>) {
             resumed,
         });
         bump("serve.jobs.completed");
-        if failed == 0 {
-            // Clean completion: the journal has served its purpose.
-            let _ = std::fs::remove_file(&journal);
-        }
-        // With failures the journal stays: a resubmission resumes the
-        // successes and retries only the failed workloads.
     }
 }
 
